@@ -1,0 +1,604 @@
+//! A document index: storage + inverted indexes + search.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use parking_lot::RwLock;
+use serde_json::Value;
+
+use crate::agg::{AggResult, Aggregation};
+use crate::query::{compare_docs, Query, SortOrder};
+use crate::value_path::{as_keyword, as_number, for_each_leaf};
+
+/// Total-ordered wrapper over `f64` usable as a BTreeMap key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FKey(f64);
+
+impl Eq for FKey {}
+
+impl PartialOrd for FKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Default)]
+struct IndexInner {
+    docs: HashMap<u64, Value>,
+    order: Vec<u64>,
+    keywords: HashMap<String, HashMap<String, HashSet<u64>>>,
+    numerics: HashMap<String, BTreeMap<FKey, HashSet<u64>>>,
+    /// Documents accepted but not yet merged into the inverted indexes.
+    /// Mirrors Elasticsearch's near-real-time model: `_bulk` buffers, a
+    /// *refresh* makes documents searchable. Queries trigger the refresh.
+    pending: Vec<u64>,
+    next_id: u64,
+    deletions: u64,
+}
+
+impl IndexInner {
+    fn index_doc(&mut self, id: u64, doc: &Value) {
+        for_each_leaf(doc, &mut |path, leaf| {
+            if let Some(kw) = as_keyword(leaf) {
+                self.keywords.entry(path.to_string()).or_default().entry(kw).or_default().insert(id);
+            } else if let Some(n) = as_number(leaf) {
+                self.numerics
+                    .entry(path.to_string())
+                    .or_default()
+                    .entry(FKey(n))
+                    .or_default()
+                    .insert(id);
+            }
+        });
+    }
+
+    fn unindex_doc(&mut self, id: u64, doc: &Value) {
+        for_each_leaf(doc, &mut |path, leaf| {
+            if let Some(kw) = as_keyword(leaf) {
+                if let Some(terms) = self.keywords.get_mut(path) {
+                    if let Some(set) = terms.get_mut(&kw) {
+                        set.remove(&id);
+                        if set.is_empty() {
+                            terms.remove(&kw);
+                        }
+                    }
+                }
+            } else if let Some(n) = as_number(leaf) {
+                if let Some(tree) = self.numerics.get_mut(path) {
+                    if let Some(set) = tree.get_mut(&FKey(n)) {
+                        set.remove(&id);
+                        if set.is_empty() {
+                            tree.remove(&FKey(n));
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// Returns the candidate doc-id set for a query, or `None` when the
+    /// query cannot be narrowed by the indexes (meaning: scan everything).
+    /// Candidates are a superset of matches; the caller re-verifies.
+    fn candidates(&self, query: &Query) -> Option<HashSet<u64>> {
+        match query {
+            Query::Term { field, value } => {
+                if let Some(kw) = as_keyword(value) {
+                    Some(self.keywords.get(field).and_then(|t| t.get(&kw)).cloned().unwrap_or_default())
+                } else { as_number(value).map(|n| self.numerics
+                            .get(field)
+                            .and_then(|t| t.get(&FKey(n)))
+                            .cloned()
+                            .unwrap_or_default()) }
+            }
+            Query::Terms { field, values } => {
+                let mut out = HashSet::new();
+                for v in values {
+                    match self.candidates(&Query::Term { field: field.clone(), value: v.clone() }) {
+                        Some(ids) => out.extend(ids),
+                        None => return None,
+                    }
+                }
+                Some(out)
+            }
+            Query::Range { field, gte, gt, lte, lt } => {
+                let tree = match self.numerics.get(field) {
+                    Some(t) => t,
+                    None => return Some(HashSet::new()),
+                };
+                use std::ops::Bound;
+                let lower = match (gte, gt) {
+                    (Some(a), Some(b)) if b >= a => Bound::Excluded(FKey(*b)),
+                    (Some(a), _) => Bound::Included(FKey(*a)),
+                    (None, Some(b)) => Bound::Excluded(FKey(*b)),
+                    (None, None) => Bound::Unbounded,
+                };
+                let upper = match (lte, lt) {
+                    (Some(a), Some(b)) if b <= a => Bound::Excluded(FKey(*b)),
+                    (Some(a), _) => Bound::Included(FKey(*a)),
+                    (None, Some(b)) => Bound::Excluded(FKey(*b)),
+                    (None, None) => Bound::Unbounded,
+                };
+                let mut out = HashSet::new();
+                for (_, ids) in tree.range((lower, upper)) {
+                    out.extend(ids);
+                }
+                Some(out)
+            }
+            Query::Prefix { field, prefix } => {
+                let terms = match self.keywords.get(field) {
+                    Some(t) => t,
+                    None => return Some(HashSet::new()),
+                };
+                let mut out = HashSet::new();
+                for (term, ids) in terms {
+                    if term.starts_with(prefix.as_str()) {
+                        out.extend(ids);
+                    }
+                }
+                Some(out)
+            }
+            Query::Bool { must, should, must_not: _ } => {
+                // Intersect the narrowable must clauses; union the shoulds.
+                let mut acc: Option<HashSet<u64>> = None;
+                for q in must {
+                    if let Some(ids) = self.candidates(q) {
+                        acc = Some(match acc {
+                            None => ids,
+                            Some(prev) => prev.intersection(&ids).copied().collect(),
+                        });
+                    }
+                }
+                if acc.is_none() && !should.is_empty() {
+                    let mut union = HashSet::new();
+                    for q in should {
+                        match self.candidates(q) {
+                            Some(ids) => union.extend(ids),
+                            None => return None,
+                        }
+                    }
+                    acc = Some(union);
+                }
+                acc
+            }
+            Query::MatchAll | Query::Exists { .. } => None,
+        }
+    }
+
+    fn matching_ids(&self, query: &Query) -> Vec<u64> {
+        match self.candidates(query) {
+            Some(cands) => {
+                // Preserve insertion order for stable results.
+                self.order
+                    .iter()
+                    .copied()
+                    .filter(|id| cands.contains(id))
+                    .filter(|id| self.docs.get(id).is_some_and(|d| query.matches(d)))
+                    .collect()
+            }
+            None => self
+                .order
+                .iter()
+                .copied()
+                .filter(|id| self.docs.get(id).is_some_and(|d| query.matches(d)))
+                .collect(),
+        }
+    }
+}
+
+/// A search request: query + sort + pagination + aggregations.
+///
+/// Defaults: match-all, insertion order, first 10 000 hits, no aggregations.
+/// Aggregations always run over *all* matching documents, as in
+/// Elasticsearch.
+#[derive(Debug, Clone)]
+pub struct SearchRequest {
+    /// The filter query.
+    pub query: Query,
+    /// Sort keys, applied in order.
+    pub sort: Vec<(String, SortOrder)>,
+    /// Offset into the sorted hit list.
+    pub from: usize,
+    /// Maximum hits returned.
+    pub size: usize,
+    /// Named aggregations.
+    pub aggs: BTreeMap<String, Aggregation>,
+}
+
+impl SearchRequest {
+    /// A request returning documents matching `query`.
+    pub fn new(query: Query) -> Self {
+        SearchRequest { query, sort: Vec::new(), from: 0, size: 10_000, aggs: BTreeMap::new() }
+    }
+
+    /// A match-all request (useful for pure aggregations).
+    pub fn match_all() -> Self {
+        Self::new(Query::MatchAll)
+    }
+
+    /// Adds a sort key.
+    pub fn sort_by(mut self, field: impl Into<String>, order: SortOrder) -> Self {
+        self.sort.push((field.into(), order));
+        self
+    }
+
+    /// Sets the pagination offset.
+    pub fn from(mut self, from: usize) -> Self {
+        self.from = from;
+        self
+    }
+
+    /// Sets the maximum number of hits.
+    pub fn size(mut self, size: usize) -> Self {
+        self.size = size;
+        self
+    }
+
+    /// Adds a named aggregation.
+    pub fn agg(mut self, name: impl Into<String>, agg: Aggregation) -> Self {
+        self.aggs.insert(name.into(), agg);
+        self
+    }
+}
+
+/// One returned document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// Document id within the index.
+    pub id: u64,
+    /// The document body.
+    pub source: Value,
+}
+
+/// The result of [`Index::search`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResponse {
+    /// Total matching documents (before pagination).
+    pub total: u64,
+    /// The requested page of hits.
+    pub hits: Vec<Hit>,
+    /// Aggregation results over all matches.
+    pub aggs: BTreeMap<String, AggResult>,
+}
+
+/// A thread-safe document index with keyword and numeric inverted indexes.
+///
+/// # Examples
+///
+/// ```
+/// use dio_backend::{Index, Query, SearchRequest};
+/// use serde_json::json;
+///
+/// let index = Index::new("events");
+/// index.bulk(vec![json!({"syscall": "read"}), json!({"syscall": "write"})]);
+/// let res = index.search(&SearchRequest::new(Query::term("syscall", "read")));
+/// assert_eq!(res.total, 1);
+/// ```
+pub struct Index {
+    name: String,
+    inner: RwLock<IndexInner>,
+}
+
+impl std::fmt::Debug for Index {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Index").field("name", &self.name).field("docs", &self.len()).finish()
+    }
+}
+
+impl Index {
+    /// Creates an empty index.
+    pub fn new(name: impl Into<String>) -> Self {
+        Index { name: name.into(), inner: RwLock::new(IndexInner::default()) }
+    }
+
+    /// The index name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of live documents.
+    pub fn len(&self) -> usize {
+        self.inner.read().docs.len()
+    }
+
+    /// Whether the index holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Accepts one document, returning its id. The document becomes
+    /// searchable at the next [`Index::refresh`] (queries refresh
+    /// implicitly, as in Elasticsearch's near-real-time model).
+    pub fn index_doc(&self, doc: Value) -> u64 {
+        let mut inner = self.inner.write();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.docs.insert(id, doc);
+        inner.order.push(id);
+        inner.pending.push(id);
+        id
+    }
+
+    /// Bulk-accepts documents under one lock acquisition (the analogue of
+    /// Elasticsearch's `_bulk` API the tracer batches into). Ingestion is
+    /// O(1) per document; the inverted indexes are built at refresh time,
+    /// keeping the hot tracing path cheap — in the paper's deployment this
+    /// work happens on the separate backend server.
+    pub fn bulk(&self, docs: Vec<Value>) -> Vec<u64> {
+        let mut inner = self.inner.write();
+        let mut ids = Vec::with_capacity(docs.len());
+        for doc in docs {
+            let id = inner.next_id;
+            inner.next_id += 1;
+            inner.docs.insert(id, doc);
+            inner.order.push(id);
+            inner.pending.push(id);
+            ids.push(id);
+        }
+        ids
+    }
+
+    /// Merges pending documents into the inverted indexes. Called
+    /// implicitly by every query entry point.
+    pub fn refresh(&self) {
+        if self.inner.read().pending.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.write();
+        let pending = std::mem::take(&mut inner.pending);
+        for id in pending {
+            if let Some(doc) = inner.docs.remove(&id) {
+                inner.index_doc(id, &doc);
+                inner.docs.insert(id, doc);
+            }
+        }
+    }
+
+    /// Fetches a document by id.
+    pub fn get(&self, id: u64) -> Option<Value> {
+        self.inner.read().docs.get(&id).cloned()
+    }
+
+    /// Deletes a document by id, returning whether it existed.
+    pub fn delete(&self, id: u64) -> bool {
+        self.refresh();
+        let mut inner = self.inner.write();
+        let Some(doc) = inner.docs.remove(&id) else {
+            return false;
+        };
+        inner.unindex_doc(id, &doc);
+        inner.deletions += 1;
+        // Compact `order` lazily once deletions pile up.
+        if inner.deletions > 1024 && inner.deletions * 2 > inner.order.len() as u64 {
+            let live: HashSet<u64> = inner.docs.keys().copied().collect();
+            inner.order.retain(|i| live.contains(i));
+            inner.deletions = 0;
+        }
+        true
+    }
+
+    /// Counts documents matching `query`.
+    pub fn count(&self, query: &Query) -> u64 {
+        self.refresh();
+        self.inner.read().matching_ids(query).len() as u64
+    }
+
+    /// Executes a search.
+    pub fn search(&self, request: &SearchRequest) -> SearchResponse {
+        self.refresh();
+        let inner = self.inner.read();
+        let mut ids = inner.matching_ids(&request.query);
+        if !request.sort.is_empty() {
+            ids.sort_by(|a, b| {
+                let da = &inner.docs[a];
+                let db = &inner.docs[b];
+                for (field, order) in &request.sort {
+                    let ord = compare_docs(da, db, field, *order);
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        let total = ids.len() as u64;
+        let aggs = if request.aggs.is_empty() {
+            BTreeMap::new()
+        } else {
+            let docs: Vec<&Value> = ids.iter().map(|id| &inner.docs[id]).collect();
+            request.aggs.iter().map(|(name, agg)| (name.clone(), agg.compute(&docs))).collect()
+        };
+        let hits = ids
+            .into_iter()
+            .skip(request.from)
+            .take(request.size)
+            .map(|id| Hit { id, source: inner.docs[&id].clone() })
+            .collect();
+        SearchResponse { total, hits, aggs }
+    }
+
+    /// Applies `update` to every document matching `query`, keeping the
+    /// inverted indexes consistent. Returns the number of updated documents.
+    ///
+    /// This is the primitive DIO's *file path correlation algorithm* uses
+    /// (Elasticsearch `_update_by_query`).
+    pub fn update_by_query(&self, query: &Query, mut update: impl FnMut(&mut Value)) -> usize {
+        self.refresh();
+        let mut inner = self.inner.write();
+        let ids = inner.matching_ids(query);
+        for &id in &ids {
+            let mut doc = inner.docs.remove(&id).expect("id from matching_ids");
+            inner.unindex_doc(id, &doc);
+            update(&mut doc);
+            inner.index_doc(id, &doc);
+            inner.docs.insert(id, doc);
+        }
+        ids.len()
+    }
+
+    /// Deletes every document matching `query`, returning how many.
+    pub fn delete_by_query(&self, query: &Query) -> usize {
+        self.refresh();
+        let ids = self.inner.read().matching_ids(query);
+        for &id in &ids {
+            self.delete(id);
+        }
+        ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn sample_index() -> Index {
+        let idx = Index::new("t");
+        idx.bulk(vec![
+            json!({"syscall": "openat", "tid": 1, "time": 100, "ret_val": 3}),
+            json!({"syscall": "write", "tid": 1, "time": 200, "ret_val": 26, "offset": 0}),
+            json!({"syscall": "read", "tid": 2, "time": 300, "ret_val": 26, "offset": 0}),
+            json!({"syscall": "read", "tid": 2, "time": 400, "ret_val": 0, "offset": 26}),
+            json!({"syscall": "close", "tid": 1, "time": 500, "ret_val": 0}),
+        ]);
+        idx
+    }
+
+    #[test]
+    fn term_search_uses_keyword_index() {
+        let idx = sample_index();
+        let res = idx.search(&SearchRequest::new(Query::term("syscall", "read")));
+        assert_eq!(res.total, 2);
+        assert!(res.hits.iter().all(|h| h.source["syscall"] == "read"));
+    }
+
+    #[test]
+    fn numeric_term_and_range() {
+        let idx = sample_index();
+        assert_eq!(idx.count(&Query::term("tid", 1)), 3);
+        assert_eq!(idx.count(&Query::range("time").gte(200.0).lte(400.0).build()), 3);
+        assert_eq!(idx.count(&Query::range("time").gt(200.0).lt(400.0).build()), 1);
+        assert_eq!(idx.count(&Query::range("missing_field").gte(0.0).build()), 0);
+    }
+
+    #[test]
+    fn bool_narrowing_still_correct() {
+        let idx = sample_index();
+        let q = Query::bool_query()
+            .must(Query::term("syscall", "read"))
+            .must(Query::term("tid", 2))
+            .must_not(Query::term("ret_val", 0))
+            .build();
+        assert_eq!(idx.count(&q), 1);
+    }
+
+    #[test]
+    fn sort_and_pagination() {
+        let idx = sample_index();
+        let res = idx.search(
+            &SearchRequest::match_all().sort_by("time", SortOrder::Desc).from(1).size(2),
+        );
+        assert_eq!(res.total, 5);
+        assert_eq!(res.hits.len(), 2);
+        assert_eq!(res.hits[0].source["time"], 400);
+        assert_eq!(res.hits[1].source["time"], 300);
+    }
+
+    #[test]
+    fn insertion_order_without_sort() {
+        let idx = sample_index();
+        let res = idx.search(&SearchRequest::match_all());
+        let times: Vec<_> = res.hits.iter().map(|h| h.source["time"].as_u64().unwrap()).collect();
+        assert_eq!(times, vec![100, 200, 300, 400, 500]);
+    }
+
+    #[test]
+    fn aggregations_cover_all_matches_not_page() {
+        let idx = sample_index();
+        let res = idx.search(
+            &SearchRequest::match_all()
+                .size(1)
+                .agg("by_syscall", Aggregation::terms("syscall", 10)),
+        );
+        assert_eq!(res.hits.len(), 1);
+        let buckets = res.aggs["by_syscall"].buckets();
+        assert_eq!(buckets.iter().map(|b| b.doc_count).sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn get_delete_roundtrip() {
+        let idx = Index::new("t");
+        let id = idx.index_doc(json!({"a": 1}));
+        assert_eq!(idx.get(id).unwrap()["a"], 1);
+        assert!(idx.delete(id));
+        assert!(!idx.delete(id));
+        assert!(idx.get(id).is_none());
+        assert_eq!(idx.count(&Query::term("a", 1)), 0);
+    }
+
+    #[test]
+    fn update_by_query_reindexes() {
+        let idx = sample_index();
+        let n = idx.update_by_query(&Query::term("tid", 2), |doc| {
+            doc["file_path"] = json!("/tmp/app.log");
+        });
+        assert_eq!(n, 2);
+        // The new field is queryable through the index.
+        assert_eq!(idx.count(&Query::term("file_path", "/tmp/app.log")), 2);
+        assert_eq!(idx.count(&Query::exists("file_path")), 2);
+    }
+
+    #[test]
+    fn update_by_query_moves_terms() {
+        let idx = Index::new("t");
+        idx.index_doc(json!({"s": "a"}));
+        idx.update_by_query(&Query::term("s", "a"), |doc| {
+            doc["s"] = json!("b");
+        });
+        assert_eq!(idx.count(&Query::term("s", "a")), 0);
+        assert_eq!(idx.count(&Query::term("s", "b")), 1);
+    }
+
+    #[test]
+    fn delete_by_query() {
+        let idx = sample_index();
+        assert_eq!(idx.delete_by_query(&Query::term("tid", 1)), 3);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.count(&Query::MatchAll), 2);
+    }
+
+    #[test]
+    fn prefix_query_through_index() {
+        let idx = Index::new("t");
+        idx.bulk(vec![
+            json!({"file_path": "/db/LOG"}),
+            json!({"file_path": "/db/000001.sst"}),
+            json!({"file_path": "/tmp/x"}),
+        ]);
+        assert_eq!(idx.count(&Query::prefix("file_path", "/db/")), 2);
+    }
+
+    #[test]
+    fn nested_fields_indexed_with_dotted_paths() {
+        let idx = Index::new("t");
+        idx.index_doc(json!({"args": {"count": 26, "path": "/f"}}));
+        assert_eq!(idx.count(&Query::term("args.count", 26)), 1);
+        assert_eq!(idx.count(&Query::term("args.path", "/f")), 1);
+    }
+
+    #[test]
+    fn many_deletions_compact_order() {
+        let idx = Index::new("t");
+        let ids = idx.bulk((0..5000).map(|i| json!({ "i": i })).collect());
+        for id in &ids[..4000] {
+            idx.delete(*id);
+        }
+        assert_eq!(idx.len(), 1000);
+        let res = idx.search(&SearchRequest::match_all().size(usize::MAX));
+        assert_eq!(res.total, 1000);
+    }
+}

@@ -1,0 +1,120 @@
+//! The multi-index document store (the Elasticsearch cluster stand-in).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde_json::Value;
+
+use crate::index::Index;
+
+/// A store of named indices, one per tracing session by DIO convention
+/// (`dio-<session>`).
+///
+/// Cloning shares the underlying store, as multiple tracer/visualizer
+/// components talk to the same backend.
+///
+/// # Examples
+///
+/// ```
+/// use dio_backend::DocStore;
+/// use serde_json::json;
+///
+/// let store = DocStore::new();
+/// store.index("dio-session1").index_doc(json!({"syscall": "read"}));
+/// assert_eq!(store.index_names(), vec!["dio-session1".to_string()]);
+/// ```
+#[derive(Clone, Default)]
+pub struct DocStore {
+    indices: Arc<RwLock<BTreeMap<String, Arc<Index>>>>,
+}
+
+impl std::fmt::Debug for DocStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DocStore").field("indices", &self.index_names()).finish()
+    }
+}
+
+impl DocStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the index named `name`, creating it if absent.
+    pub fn index(&self, name: &str) -> Arc<Index> {
+        if let Some(idx) = self.indices.read().get(name) {
+            return Arc::clone(idx);
+        }
+        let mut indices = self.indices.write();
+        Arc::clone(indices.entry(name.to_string()).or_insert_with(|| Arc::new(Index::new(name))))
+    }
+
+    /// Returns the index named `name` if it exists.
+    pub fn get_index(&self, name: &str) -> Option<Arc<Index>> {
+        self.indices.read().get(name).cloned()
+    }
+
+    /// Deletes an index, returning whether it existed.
+    pub fn delete_index(&self, name: &str) -> bool {
+        self.indices.write().remove(name).is_some()
+    }
+
+    /// Names of all indices, sorted.
+    pub fn index_names(&self) -> Vec<String> {
+        self.indices.read().keys().cloned().collect()
+    }
+
+    /// Bulk-indexes documents into `name` (creating the index if needed).
+    pub fn bulk(&self, name: &str, docs: Vec<Value>) -> Vec<u64> {
+        self.index(name).bulk(docs)
+    }
+
+    /// Total documents across all indices.
+    pub fn total_docs(&self) -> usize {
+        self.indices.read().values().map(|i| i.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn get_or_create_semantics() {
+        let store = DocStore::new();
+        assert!(store.get_index("a").is_none());
+        let a = store.index("a");
+        assert!(Arc::ptr_eq(&a, &store.index("a")));
+        assert!(store.get_index("a").is_some());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let store = DocStore::new();
+        let clone = store.clone();
+        clone.bulk("x", vec![json!({"v": 1}), json!({"v": 2})]);
+        assert_eq!(store.total_docs(), 2);
+        assert_eq!(store.index("x").len(), 2);
+    }
+
+    #[test]
+    fn delete_index() {
+        let store = DocStore::new();
+        store.index("gone");
+        assert!(store.delete_index("gone"));
+        assert!(!store.delete_index("gone"));
+        assert!(store.index_names().is_empty());
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let store = DocStore::new();
+        store.bulk("dio-s1", vec![json!({"syscall": "read"})]);
+        store.bulk("dio-s2", vec![json!({"syscall": "write"})]);
+        assert_eq!(store.index("dio-s1").len(), 1);
+        assert_eq!(store.index("dio-s2").len(), 1);
+        assert_eq!(store.index_names(), vec!["dio-s1".to_string(), "dio-s2".to_string()]);
+    }
+}

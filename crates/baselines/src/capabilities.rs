@@ -1,0 +1,272 @@
+//! The Table III capability matrix: DIO vs other syscall tracers.
+
+/// How a tool's analysis pipeline is integrated with its tracer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Integration {
+    /// No integrated pipeline: the user wires analysis up manually.
+    None,
+    /// Traced data stored first, analyzed later.
+    Offline,
+    /// Events parsed and forwarded to the pipeline as they are captured.
+    Inline,
+}
+
+impl std::fmt::Display for Integration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Integration::None => "-",
+            Integration::Offline => "O",
+            Integration::Inline => "I",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Level of support for one of the paper's use cases (§III-B / §III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UseCaseSupport {
+    /// Cannot even trace the required information.
+    No,
+    /// Traces the information but offers no analysis to diagnose it ("T").
+    TraceOnly,
+    /// Traces and provides the analysis ("TA").
+    TraceAndAnalyze,
+}
+
+impl std::fmt::Display for UseCaseSupport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            UseCaseSupport::No => "-",
+            UseCaseSupport::TraceOnly => "T",
+            UseCaseSupport::TraceAndAnalyze => "TA",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of Table III.
+#[derive(Debug, Clone)]
+pub struct ToolCapabilities {
+    /// Tool name.
+    pub name: &'static str,
+    /// Captures basic syscall info (type, args, return, pids, times).
+    pub syscall_info: bool,
+    /// Captures file offsets (DIO-only, per the paper).
+    pub f_offset: bool,
+    /// Captures file types.
+    pub f_type: bool,
+    /// Captures process names.
+    pub proc_name: bool,
+    /// Kernel-side filtering at the tracing phase.
+    pub filters: bool,
+    /// Entry/exit aggregated into one event in kernel space.
+    pub aggregates_entry_exit: bool,
+    /// Analysis-pipeline integration.
+    pub integration: Integration,
+    /// Customizable analysis over the full captured data.
+    pub customizable: bool,
+    /// Ships predefined visualizations.
+    pub predefined_vis: bool,
+    /// §III-B (Fluent Bit data loss) diagnosability.
+    pub use_case_data_loss: UseCaseSupport,
+    /// §III-C (RocksDB contention) diagnosability.
+    pub use_case_contention: UseCaseSupport,
+}
+
+/// The Table III rows, in paper order, as encoded from §IV's comparison.
+pub fn capability_matrix() -> Vec<ToolCapabilities> {
+    use Integration::{Inline, None as NoPipe, Offline};
+    use UseCaseSupport::{No, TraceAndAnalyze, TraceOnly};
+    vec![
+        ToolCapabilities {
+            name: "strace",
+            syscall_info: true,
+            f_offset: false,
+            f_type: false,
+            proc_name: false,
+            filters: true,
+            aggregates_entry_exit: false,
+            integration: NoPipe,
+            customizable: false,
+            predefined_vis: false,
+            use_case_data_loss: No,
+            use_case_contention: No,
+        },
+        ToolCapabilities {
+            name: "Sysdig",
+            syscall_info: true,
+            f_offset: false,
+            f_type: true,
+            proc_name: true,
+            filters: true,
+            aggregates_entry_exit: false,
+            integration: NoPipe,
+            customizable: false,
+            predefined_vis: false,
+            use_case_data_loss: No,
+            use_case_contention: TraceOnly,
+        },
+        ToolCapabilities {
+            name: "Re-Animator",
+            syscall_info: true,
+            f_offset: false,
+            f_type: false,
+            proc_name: false,
+            filters: false,
+            aggregates_entry_exit: false,
+            integration: NoPipe,
+            customizable: false,
+            predefined_vis: false,
+            use_case_data_loss: No,
+            use_case_contention: No,
+        },
+        ToolCapabilities {
+            name: "Tracee",
+            syscall_info: true,
+            f_offset: false,
+            f_type: false,
+            proc_name: true,
+            filters: true,
+            aggregates_entry_exit: true,
+            integration: NoPipe,
+            customizable: false,
+            predefined_vis: false,
+            use_case_data_loss: No,
+            use_case_contention: TraceOnly,
+        },
+        ToolCapabilities {
+            name: "CaT",
+            syscall_info: true,
+            f_offset: false,
+            f_type: false,
+            proc_name: true,
+            filters: true,
+            aggregates_entry_exit: true,
+            integration: Offline,
+            customizable: false,
+            predefined_vis: false,
+            use_case_data_loss: No,
+            use_case_contention: TraceOnly,
+        },
+        ToolCapabilities {
+            name: "IOscope",
+            syscall_info: true,
+            f_offset: false,
+            f_type: false,
+            proc_name: false,
+            filters: false,
+            aggregates_entry_exit: false,
+            integration: Offline,
+            customizable: false,
+            predefined_vis: true,
+            use_case_data_loss: No,
+            use_case_contention: No,
+        },
+        ToolCapabilities {
+            name: "LongLine",
+            syscall_info: true,
+            f_offset: false,
+            f_type: false,
+            proc_name: true,
+            filters: false,
+            aggregates_entry_exit: false,
+            integration: Inline,
+            customizable: false,
+            predefined_vis: true,
+            use_case_data_loss: No,
+            use_case_contention: TraceOnly,
+        },
+        ToolCapabilities {
+            name: "Daoud et al.",
+            syscall_info: true,
+            f_offset: false,
+            f_type: false,
+            proc_name: false,
+            filters: false,
+            aggregates_entry_exit: false,
+            integration: Offline,
+            customizable: true,
+            predefined_vis: true,
+            use_case_data_loss: No,
+            use_case_contention: TraceOnly,
+        },
+        ToolCapabilities {
+            name: "DIO",
+            syscall_info: true,
+            f_offset: true,
+            f_type: true,
+            proc_name: true,
+            filters: true,
+            aggregates_entry_exit: true,
+            integration: Inline,
+            customizable: true,
+            predefined_vis: true,
+            use_case_data_loss: TraceAndAnalyze,
+            use_case_contention: TraceAndAnalyze,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dio() -> ToolCapabilities {
+        capability_matrix().into_iter().find(|t| t.name == "DIO").unwrap()
+    }
+
+    #[test]
+    fn dio_is_the_only_tool_with_offsets() {
+        let with_offsets: Vec<_> =
+            capability_matrix().into_iter().filter(|t| t.f_offset).map(|t| t.name).collect();
+        assert_eq!(with_offsets, vec!["DIO"], "§IV: DIO is the only tool collecting file offsets");
+    }
+
+    #[test]
+    fn only_three_tools_aggregate_in_kernel() {
+        let agg: Vec<_> = capability_matrix()
+            .into_iter()
+            .filter(|t| t.aggregates_entry_exit)
+            .map(|t| t.name)
+            .collect();
+        assert_eq!(agg, vec!["Tracee", "CaT", "DIO"]);
+    }
+
+    #[test]
+    fn only_dio_and_longline_are_inline() {
+        let inline: Vec<_> = capability_matrix()
+            .into_iter()
+            .filter(|t| t.integration == Integration::Inline)
+            .map(|t| t.name)
+            .collect();
+        assert_eq!(inline, vec!["LongLine", "DIO"]);
+    }
+
+    #[test]
+    fn only_dio_diagnoses_both_use_cases() {
+        let both: Vec<_> = capability_matrix()
+            .into_iter()
+            .filter(|t| {
+                t.use_case_data_loss == UseCaseSupport::TraceAndAnalyze
+                    && t.use_case_contention == UseCaseSupport::TraceAndAnalyze
+            })
+            .map(|t| t.name)
+            .collect();
+        assert_eq!(both, vec!["DIO"]);
+        assert_eq!(dio().use_case_data_loss.to_string(), "TA");
+    }
+
+    #[test]
+    fn filtering_tools_match_section_iv() {
+        let filt: Vec<_> =
+            capability_matrix().into_iter().filter(|t| t.filters).map(|t| t.name).collect();
+        assert_eq!(filt, vec!["strace", "Sysdig", "Tracee", "CaT", "DIO"]);
+    }
+
+    #[test]
+    fn display_symbols() {
+        assert_eq!(Integration::Offline.to_string(), "O");
+        assert_eq!(Integration::Inline.to_string(), "I");
+        assert_eq!(UseCaseSupport::No.to_string(), "-");
+    }
+}

@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+
+//! Baseline tracers for the paper's comparisons.
+//!
+//! Table II compares DIO against *strace* (ptrace-based, blocking,
+//! highest overhead) and *Sysdig* (eBPF-based, cheapest, but reporting
+//! the least information). [`StraceTracer`] and [`SysdigTracer`] model
+//! both mechanisms faithfully enough to regenerate the table's ordering,
+//! and [`capability_matrix`] encodes the qualitative Table III.
+
+mod capabilities;
+mod strace;
+mod sysdig;
+
+pub use capabilities::{capability_matrix, Integration, ToolCapabilities, UseCaseSupport};
+pub use strace::{StraceConfig, StraceTracer};
+pub use sysdig::{SysdigConfig, SysdigEvent, SysdigTracer};

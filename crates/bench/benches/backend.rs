@@ -1,0 +1,150 @@
+//! Backend microbenchmarks: bulk ingestion vs batch size (the paper's
+//! batching rationale), query latency, aggregations, and the file-path
+//! correlation primitive.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use dio_backend::{Aggregation, Index, Query, SearchRequest};
+use serde_json::json;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+        .sample_size(15)
+}
+
+fn event_doc(i: u64) -> serde_json::Value {
+    let syscall = ["read", "write", "openat", "close"][(i % 4) as usize];
+    json!({
+        "session": "bench",
+        "syscall": syscall,
+        "class": "data",
+        "pid": 1000 + (i % 4),
+        "tid": 2000 + (i % 16),
+        "proc_name": if i.is_multiple_of(3) { "db_bench" } else { "rocksdb:low0" },
+        "time": 1_679_000_000_000_000_000u64 + i * 1_000,
+        "ret_val": (i % 4096) as i64,
+        "offset": i * 512,
+        "file_tag": format!("7340032|{}|99", i % 64),
+        "args": {"fd": 3, "count": 4096},
+    })
+}
+
+fn bench_bulk_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulk_ingest");
+    for batch in [1usize, 100, 1000] {
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter_batched(
+                || (Index::new("bench"), (0..batch as u64).map(event_doc).collect::<Vec<_>>()),
+                |(index, docs)| index.bulk(docs),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn loaded_index(n: u64) -> Index {
+    let index = Index::new("bench");
+    index.bulk((0..n).map(event_doc).collect());
+    index.refresh();
+    index
+}
+
+fn bench_refresh(c: &mut Criterion) {
+    // The deferred-indexing cost paid off the tracing path.
+    c.bench_function("refresh_10k_docs", |b| {
+        b.iter_batched(
+            || {
+                let index = Index::new("bench");
+                index.bulk((0..10_000).map(event_doc).collect());
+                index
+            },
+            |index| index.refresh(),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let index = loaded_index(20_000);
+    let mut group = c.benchmark_group("query_20k_docs");
+    group.bench_function("term", |b| {
+        b.iter(|| index.count(&Query::term("syscall", "read")));
+    });
+    group.bench_function("range", |b| {
+        b.iter(|| index.count(&Query::range("ret_val").gte(1000.0).lt(2000.0).build()));
+    });
+    group.bench_function("bool_composite", |b| {
+        let q = Query::bool_query()
+            .must(Query::term("proc_name", "db_bench"))
+            .must(Query::term("syscall", "write"))
+            .must_not(Query::term("ret_val", 0))
+            .build();
+        b.iter(|| index.count(&q));
+    });
+    group.finish();
+}
+
+fn bench_aggregations(c: &mut Criterion) {
+    let index = loaded_index(20_000);
+    let mut group = c.benchmark_group("agg_20k_docs");
+    group.bench_function("terms_by_thread", |b| {
+        let req = SearchRequest::match_all().size(0).agg("t", Aggregation::terms("proc_name", 32));
+        b.iter(|| index.search(&req));
+    });
+    group.bench_function("fig4_date_histogram_x_terms", |b| {
+        let req = SearchRequest::match_all().size(0).agg(
+            "t",
+            Aggregation::date_histogram("time", 1_000_000)
+                .sub("threads", Aggregation::terms("proc_name", 32)),
+        );
+        b.iter(|| index.search(&req));
+    });
+    group.bench_function("percentiles_latency", |b| {
+        let req = SearchRequest::match_all()
+            .size(0)
+            .agg("p", Aggregation::percentiles("ret_val", [50.0, 99.0]));
+        b.iter(|| index.search(&req));
+    });
+    group.finish();
+}
+
+fn bench_path_correlation(c: &mut Criterion) {
+    c.bench_function("path_correlation_5k_events", |b| {
+        b.iter_batched(
+            || {
+                let index = Index::new("bench");
+                let mut docs = Vec::new();
+                for tag in 0..32u64 {
+                    docs.push(json!({
+                        "syscall": "openat",
+                        "file_tag": format!("1|{tag}|9"),
+                        "file_path": format!("/f{tag}"),
+                    }));
+                }
+                for i in 0..5_000u64 {
+                    docs.push(json!({
+                        "syscall": "read",
+                        "file_tag": format!("1|{}|9", i % 32),
+                    }));
+                }
+                index.bulk(docs);
+                index
+            },
+            |index| dio_correlate::correlate_paths(&index),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_bulk_ingest, bench_refresh, bench_queries, bench_aggregations,
+        bench_path_correlation
+}
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! LSM-store microbenchmarks on an instant disk: the substrate's own
+//! costs, separated from the disk model.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dio_kernel::{DiskProfile, Kernel, Process};
+use dio_lsmkv::{sstable, Db, LsmOptions};
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+        .sample_size(15)
+}
+
+fn setup_db() -> (Kernel, Process, Arc<Db>) {
+    let kernel = Kernel::builder().root_disk(DiskProfile::instant()).build();
+    let process = kernel.spawn_process("kv");
+    let opts = LsmOptions { wal_sync_every: 0, ..LsmOptions::new("/db") };
+    let db = Arc::new(Db::open(&process, opts).unwrap());
+    (kernel, process, db)
+}
+
+fn bench_put(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsm_put");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("400B_values", |b| {
+        let (_k, process, db) = setup_db();
+        let t = process.spawn_thread("client");
+        let value = vec![7u8; 400];
+        let mut i = 0u64;
+        b.iter(|| {
+            db.put(&t, format!("key{:012}", i % 100_000).as_bytes(), &value).unwrap();
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsm_get");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("hot_memtable", |b| {
+        let (_k, process, db) = setup_db();
+        let t = process.spawn_thread("client");
+        for i in 0..500u64 {
+            db.put(&t, format!("key{i:06}").as_bytes(), &[1u8; 100]).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            db.get(&t, format!("key{:06}", i % 500).as_bytes()).unwrap();
+            i += 1;
+        });
+    });
+    group.bench_function("from_sstables", |b| {
+        let (_k, process, db) = setup_db();
+        let t = process.spawn_thread("client");
+        for i in 0..2_000u64 {
+            db.put(&t, format!("key{i:06}").as_bytes(), &[1u8; 100]).unwrap();
+        }
+        db.flush_now(&t).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            db.get(&t, format!("key{:06}", (i * 137) % 2_000).as_bytes()).unwrap();
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+fn bench_sstable(c: &mut Criterion) {
+    let entries: Vec<(Vec<u8>, Option<Vec<u8>>)> = (0..2_000u64)
+        .map(|i| (format!("key{i:08}").into_bytes(), Some(vec![3u8; 200])))
+        .collect();
+    let mut group = c.benchmark_group("sstable");
+    group.bench_function("write_2k_entries", |b| {
+        let kernel = Kernel::builder().root_disk(DiskProfile::instant()).build();
+        let t = kernel.spawn_process("sst").spawn_thread("sst");
+        let mut n = 0u32;
+        b.iter_batched(
+            || {
+                n += 1;
+                format!("/t{n}.sst")
+            },
+            |path| sstable::write_sst(&t, &path, &entries, 10).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("point_get", |b| {
+        let kernel = Kernel::builder().root_disk(DiskProfile::instant()).build();
+        let t = kernel.spawn_process("sst").spawn_thread("sst");
+        sstable::write_sst(&t, "/read.sst", &entries, 10).unwrap();
+        let reader = sstable::SstReader::open(&t, "/read.sst").unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("key{:08}", (i * 613) % 2_000);
+            reader.get(&t, key.as_bytes()).unwrap();
+            i += 1;
+        });
+    });
+    group.bench_function("bloom_negative_lookup", |b| {
+        let kernel = Kernel::builder().root_disk(DiskProfile::instant()).build();
+        let t = kernel.spawn_process("sst").spawn_thread("sst");
+        sstable::write_sst(&t, "/bloom.sst", &entries, 10).unwrap();
+        let reader = sstable::SstReader::open(&t, "/bloom.sst").unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("absent{i}");
+            reader.get(&t, key.as_bytes()).unwrap();
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_put, bench_get, bench_sstable
+}
+criterion_main!(benches);

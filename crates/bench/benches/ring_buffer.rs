@@ -1,0 +1,77 @@
+//! Microbenchmarks of the per-CPU ring buffer — the kernel→user transport
+//! whose sizing §III-D studies.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use dio_ebpf::RingBuffer;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(20)
+}
+
+fn bench_push(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_push");
+    group.throughput(Throughput::Elements(1));
+    for slots in [1024usize, 65_536] {
+        group.bench_with_input(BenchmarkId::from_parameter(slots), &slots, |b, &slots| {
+            let ring: RingBuffer<u64> = RingBuffer::with_slots(4, slots);
+            let mut i = 0u64;
+            b.iter(|| {
+                // Keep the buffer from saturating: drain every slot-full.
+                if i % slots as u64 == slots as u64 - 1 {
+                    ring.drain_all(usize::MAX);
+                }
+                ring.try_push((i % 4) as u32, i);
+                i += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_push_when_full(c: &mut Criterion) {
+    // The overflow path must stay cheap: it runs inside the traced
+    // application's syscall when the consumer lags.
+    c.bench_function("ring_push_overflow", |b| {
+        let ring: RingBuffer<u64> = RingBuffer::with_slots(1, 16);
+        for i in 0..16 {
+            ring.try_push(0, i);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            ring.try_push(0, i);
+            i += 1;
+        });
+    });
+}
+
+fn bench_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_drain_batch");
+    for batch in [64usize, 1024] {
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            let ring: RingBuffer<u64> = RingBuffer::with_slots(4, batch * 2);
+            b.iter_batched(
+                || {
+                    for i in 0..batch as u64 {
+                        ring.try_push((i % 4) as u32, i);
+                    }
+                },
+                |()| ring.drain_all(batch),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_push, bench_push_when_full, bench_drain
+}
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! §III-D "I/O events handling" — ring-buffer discards and path-resolution
+//! quality.
+//!
+//! Two measurements:
+//!
+//! 1. **Discard rate vs ring-buffer size.** The paper configures 256 MiB
+//!    per CPU and still discards 3.5% of 549 M events on the I/O-intensive
+//!    RocksDB run. The reproduction sweeps the (scaled) buffer size and
+//!    shows the same regime: small buffers discard heavily, adequate ones
+//!    a few percent, large ones nothing.
+//! 2. **Unresolved file paths, DIO vs Sysdig.** Paper: DIO fails to
+//!    resolve paths for ≤5% of events; Sysdig for ~45%.
+
+use dio_bench::rocksdb_run::{data_path_syscalls, run_rocksdb, RocksdbRunConfig, TracingSetup};
+use dio_bench::write_result;
+use dio_core::correlate_paths;
+use dio_ebpf::RingConfig;
+use dio_kernel::Kernel;
+use dio_lsmkv::{Db, LsmOptions};
+use dio_tracer::{Tracer, TracerConfig};
+use dio_viz::Table;
+
+/// Runs the workload with a DIO tracer whose consumer is throttled, so the
+/// per-CPU buffers actually fill (the paper's consumers lag behind a 549 M
+/// event stream; the scaled run needs an artificially slow consumer to
+/// reach the same regime).
+fn run_with_ring(slots_per_cpu: usize, config: &RocksdbRunConfig) -> (u64, u64, f64) {
+    let kernel = Kernel::builder()
+        .num_cpus(4)
+        .root_disk(dio_bench::rocksdb_run::contended_disk())
+        .build();
+    let process = kernel.spawn_process("db_bench");
+    let db = std::sync::Arc::new(
+        Db::open(&process, LsmOptions::benchmark_profile("/db")).expect("open store"),
+    );
+    let bench = dio_dbbench::BenchConfig {
+        workload: dio_dbbench::YcsbWorkload::A,
+        client_threads: config.client_threads,
+        records: config.records,
+        value_size: config.value_size,
+        ops_per_thread: config.ops_per_thread,
+        max_duration: None,
+        window_ns: config.window_ns,
+        key_dist: dio_dbbench::KeyDistribution::Zipfian { theta: 0.99 },
+        seed: config.seed,
+        scan_limit: 50,
+    };
+    dio_dbbench::load_phase(&db, &process, &bench, 4).expect("load");
+
+    let backend = dio_backend::DocStore::new();
+    // The paper's consumers lag behind a 549M-event stream; the scaled run
+    // paces the consumer (small drains, 4 ms polls) to reach the regime
+    // where bursts overflow the per-CPU buffers.
+    let tracer_config = TracerConfig::new("discard")
+        .syscalls(data_path_syscalls())
+        .ring(RingConfig { bytes_per_cpu: (slots_per_cpu as u64) * 512, est_event_bytes: 512 })
+        .drain_batch(64)
+        .poll_interval(std::time::Duration::from_millis(20));
+    let tracer = Tracer::attach(tracer_config, &kernel, backend.clone());
+    dio_dbbench::run(&db, &process, &bench);
+    let closer = process.spawn_thread("closer");
+    db.shutdown(&closer).expect("shutdown");
+    let summary = tracer.stop();
+    let report = correlate_paths(&backend.index("dio-discard"));
+    (summary.events_stored, summary.events_dropped, report.unresolved_rate())
+}
+
+fn main() {
+    let config = if dio_bench::smoke_mode() {
+        RocksdbRunConfig::smoke()
+    } else {
+        RocksdbRunConfig { ops_per_thread: 3_000, ..RocksdbRunConfig::default() }
+    };
+
+    // --- 1. discard-rate sweep ---
+    let sweep: &[(usize, &str)] = &[
+        (1 << 8, "128 KiB/cpu"),
+        (1 << 10, "0.5 MiB/cpu"),
+        (1 << 12, "2 MiB/cpu"),
+        (1 << 15, "16 MiB/cpu"),
+    ];
+    let mut rows = Vec::new();
+    let mut rates = Vec::new();
+    for &(slots, label) in sweep {
+        let (stored, dropped, _) = run_with_ring(slots, &config);
+        let rate = dropped as f64 / (stored + dropped).max(1) as f64;
+        rates.push(rate);
+        eprintln!("  ring {label}: stored={stored} dropped={dropped} ({:.2}%)", rate * 100.0);
+        rows.push(vec![
+            label.to_string(),
+            stored.to_string(),
+            dropped.to_string(),
+            format!("{:.2}%", rate * 100.0),
+        ]);
+    }
+    let sweep_table =
+        Table::from_rows(["ring buffer", "events stored", "events dropped", "discard rate"], rows);
+
+    // --- 2. unresolved paths: DIO vs sysdig ---
+    let dio_result = run_rocksdb(TracingSetup::Dio, &config);
+    let (_, backend) = dio_result.dio.expect("dio outputs");
+    let dio_unresolved = correlate_paths(&backend.index("dio-rocksdb")).unresolved_rate();
+    let sysdig_result = run_rocksdb(TracingSetup::Sysdig, &config);
+    let sysdig_unresolved = sysdig_result.sysdig_unresolved.expect("sysdig metric");
+
+    let mut out = String::from("SECTION III-D: I/O events handling\n\n");
+    out.push_str("Discard rate vs per-CPU ring-buffer size (throttled consumer):\n");
+    out.push_str(&sweep_table.to_ascii());
+    out.push_str("\npaper: 3.5% of 549M syscalls discarded at 256 MiB/CPU on the 5-hour run\n");
+    out.push_str(&format!(
+        "measured: discard rate falls from {:.1}% to {:.1}% as the buffer grows\n\n",
+        rates[0] * 100.0,
+        rates.last().unwrap() * 100.0
+    ));
+    out.push_str("Unresolved file paths after correlation:\n");
+    out.push_str(&format!("  DIO    : {:.1}% of events (paper: <= 5%)\n", dio_unresolved * 100.0));
+    out.push_str(&format!(
+        "  sysdig : {:.1}% of fd-bearing events (paper: 45%)\n",
+        sysdig_unresolved * 100.0
+    ));
+    println!("{out}");
+    write_result("discard_rates.txt", &out);
+
+    if !dio_bench::smoke_mode() {
+        assert!(
+            rates.windows(2).all(|w| w[0] >= w[1]),
+            "discard rate must not increase with buffer size: {rates:?}"
+        );
+        assert!(rates[0] > 0.01, "the smallest buffer must actually discard: {rates:?}");
+        assert!(
+            dio_unresolved <= 0.05,
+            "DIO unresolved paths {:.3} must stay <= 5%",
+            dio_unresolved
+        );
+        assert!(
+            sysdig_unresolved > dio_unresolved + 0.10,
+            "sysdig must resolve far fewer paths than DIO ({:.3} vs {:.3})",
+            sysdig_unresolved,
+            dio_unresolved
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each evaluation artifact has a binary (`exp_table1`, `exp_fig2`,
+//! `exp_fig3`, `exp_fig4`, `exp_table2`, `exp_discard`, `exp_table3`);
+//! this library holds the shared machinery: the scaled RocksDB workload
+//! runner with pluggable tracer setups, and result-file output.
+//!
+//! Scaling: the paper's testbed runs db_bench for ~3h48m over a 250 GiB
+//! NVMe device. The reproduction shrinks dataset, op count and disk
+//! bandwidth together so each run completes in seconds while keeping the
+//! ratios that produce the phenomena (compaction I/O ≫ client I/O per
+//! burst; tracer cost a few percent of syscall cost). See DESIGN.md §2.
+
+pub mod rocksdb_run;
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Directory where experiment binaries drop their outputs.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("DIO_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    PathBuf::from(dir)
+}
+
+/// Writes `content` to `results/<name>`, creating the directory, and
+/// echoes the path written.
+pub fn write_result(name: &str, content: &str) -> PathBuf {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create result file");
+    f.write_all(content.as_bytes()).expect("write result file");
+    println!("[saved {}]", path.display());
+    path
+}
+
+/// Formats a nanosecond duration as `XhYYm` / `YmZZs` / `Z.ZZs`.
+pub fn format_duration_ns(ns: u64) -> String {
+    let secs = ns as f64 / 1e9;
+    if secs >= 3600.0 {
+        format!("{:.0}h{:02.0}m", (secs / 3600.0).floor(), (secs % 3600.0) / 60.0)
+    } else if secs >= 60.0 {
+        format!("{:.0}m{:02.0}s", (secs / 60.0).floor(), secs % 60.0)
+    } else {
+        format!("{secs:.2}s")
+    }
+}
+
+/// Returns true when the experiment should run in smoke-test mode
+/// (`DIO_SMOKE=1`): tiny workloads, just enough to validate the pipeline.
+pub fn smoke_mode() -> bool {
+    std::env::var("DIO_SMOKE").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Whether a result landed on disk (test support).
+pub fn result_exists(name: &str) -> bool {
+    Path::new(&results_dir()).join(name).exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration_ns(1_500_000_000), "1.50s");
+        assert_eq!(format_duration_ns(90 * 1_000_000_000), "1m30s");
+        assert_eq!(
+            format_duration_ns(3 * 3600 * 1_000_000_000 + 48 * 60 * 1_000_000_000),
+            "3h48m"
+        );
+    }
+}

@@ -1,0 +1,287 @@
+#![warn(missing_docs)]
+
+//! DIO: a generic tool for observing and diagnosing applications' storage
+//! I/O through system call observability.
+//!
+//! This is the facade crate of the DSN 2023 reproduction. It wires the
+//! pieces of Fig. 1 together:
+//!
+//! * a [`Kernel`] (simulated substrate) whose tracepoints the *tracer*
+//!   hooks;
+//! * the *tracer* ([`dio_tracer::Tracer`]), which filters and enriches
+//!   syscalls in kernel space and ships them asynchronously;
+//! * the *backend* ([`DocStore`]), which indexes events and runs queries,
+//!   aggregations and the file-path correlation algorithm;
+//! * the *visualizer* ([`dio_viz`]), whose dashboards render the stored
+//!   events.
+//!
+//! # Examples
+//!
+//! ```
+//! use dio_core::{Dio, TracerConfig};
+//!
+//! let dio = Dio::new();
+//! let session = dio.trace(TracerConfig::new("quickstart"));
+//!
+//! let app = dio.kernel().spawn_process("app");
+//! let thread = app.spawn_thread("app");
+//! let fd = thread.creat("/data.bin", 0o644)?;
+//! thread.write(fd, b"hello")?;
+//! thread.close(fd)?;
+//!
+//! let report = session.stop();
+//! assert_eq!(report.trace.events_stored, 3);
+//! assert_eq!(report.correlation.events_updated, 2); // write + close gain a path
+//! # Ok::<(), dio_core::Errno>(())
+//! ```
+
+use std::sync::Arc;
+
+pub use dio_backend::{
+    AggResult, Aggregation, Bucket, DocStore, Hit, Index, Query, SearchRequest, SearchResponse,
+    SortOrder, StatsResult,
+};
+pub use dio_correlate::{
+    analyze_offsets, correlate_paths, detect_contention, detect_data_loss, detect_small_io,
+    diff_sessions, latency_profile, AccessPattern, ContentionConfig, ContentionReport,
+    CorrelationReport, CountDelta, DataLossIncident, FileAccessProfile, SessionDiff,
+    SmallIoConfig, SmallIoFinding, SyscallLatencyProfile, WindowActivity,
+};
+pub use dio_ebpf::{FilterSpec, RingConfig, RingStats};
+pub use dio_kernel::{
+    DiskProfile, Errno, Kernel, OpenFlags, Process, SimClock, SysResult, ThreadCtx, Vfs, Whence,
+};
+pub use dio_syscall::{FileTag, FileType, Pid, SyscallClass, SyscallEvent, SyscallKind, Tid};
+pub use dio_tracer::{generate_session_name, TraceSummary, Tracer, TracerConfig};
+pub use dio_viz::{dashboards, Chart, Column, Dashboard, Heatmap, Panel, PanelSpec, Series, Table};
+
+/// The assembled DIO deployment: one kernel under observation plus the
+/// analysis pipeline (backend + visualizer).
+///
+/// Cloning shares both the kernel and the backend, mirroring the paper's
+/// deployment where multiple tracer executions feed one pipeline.
+#[derive(Debug, Clone)]
+pub struct Dio {
+    kernel: Kernel,
+    backend: DocStore,
+}
+
+impl Dio {
+    /// A DIO deployment over a fresh default kernel.
+    pub fn new() -> Self {
+        Self::with_kernel(Kernel::new())
+    }
+
+    /// A DIO deployment observing an existing kernel.
+    pub fn with_kernel(kernel: Kernel) -> Self {
+        Dio { kernel, backend: DocStore::new() }
+    }
+
+    /// The kernel under observation.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The analysis backend.
+    pub fn backend(&self) -> &DocStore {
+        &self.backend
+    }
+
+    /// Starts a tracing session.
+    pub fn trace(&self, config: TracerConfig) -> DioSession {
+        let index_name = config.index_name();
+        let session_name = config.session().to_string();
+        let tracer = Tracer::attach(config, &self.kernel, self.backend.clone());
+        DioSession {
+            backend: self.backend.clone(),
+            tracer: Some(tracer),
+            session_name,
+            index_name,
+            auto_correlate: true,
+        }
+    }
+
+    /// The backend index of a previous session (post-mortem analysis).
+    pub fn session_index(&self, session: &str) -> Option<Arc<Index>> {
+        self.backend.get_index(&format!("dio-{session}"))
+    }
+
+    /// Names of all stored sessions.
+    pub fn sessions(&self) -> Vec<String> {
+        self.backend
+            .index_names()
+            .into_iter()
+            .filter_map(|n| n.strip_prefix("dio-").map(str::to_string))
+            .collect()
+    }
+}
+
+impl Default for Dio {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Final report of a tracing session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// Tracer-side counters (stored/dropped/filtered events).
+    pub trace: TraceSummary,
+    /// Path-correlation outcome.
+    pub correlation: CorrelationReport,
+}
+
+/// A live tracing session bound to the analysis pipeline.
+///
+/// Dropping the session stops the tracer; prefer [`DioSession::stop`] to
+/// also run the file-path correlation algorithm and obtain the report.
+#[derive(Debug)]
+pub struct DioSession {
+    backend: DocStore,
+    tracer: Option<Tracer>,
+    session_name: String,
+    index_name: String,
+    auto_correlate: bool,
+}
+
+impl DioSession {
+    /// The session name.
+    pub fn session(&self) -> &str {
+        &self.session_name
+    }
+
+    /// Disables the automatic path correlation at [`DioSession::stop`].
+    pub fn manual_correlation(mut self) -> Self {
+        self.auto_correlate = false;
+        self
+    }
+
+    /// The backend index receiving this session's events.
+    pub fn index(&self) -> Arc<Index> {
+        self.backend.index(&self.index_name)
+    }
+
+    /// Live ring-buffer counters.
+    pub fn ring_stats(&self) -> RingStats {
+        self.tracer.as_ref().map(|t| t.ring_stats()).unwrap_or_default()
+    }
+
+    /// Events stored at the backend so far.
+    pub fn events_stored(&self) -> u64 {
+        self.tracer.as_ref().map(|t| t.events_stored()).unwrap_or(0)
+    }
+
+    /// Renders a dashboard over the session's events (near real-time: the
+    /// session keeps running).
+    pub fn render(&self, dashboard: &Dashboard) -> String {
+        dashboard.render(&self.index())
+    }
+
+    /// Stops tracing, drains buffered events, runs path correlation (unless
+    /// [`DioSession::manual_correlation`] was selected) and reports.
+    pub fn stop(mut self) -> SessionReport {
+        let tracer = self.tracer.take().expect("tracer present until stop");
+        let trace = tracer.stop();
+        let correlation = if self.auto_correlate {
+            correlate_paths(&self.index())
+        } else {
+            CorrelationReport::default()
+        };
+        SessionReport { trace, correlation }
+    }
+
+    /// Blocks until every process in `pids` has exited, then stops — the
+    /// paper's default tracer lifecycle: "the tracer executes along with
+    /// the targeted application, stopping once its main and child
+    /// processes finish" (§II-F).
+    pub fn stop_when_exited(self, kernel: &Kernel, pids: &[Pid]) -> SessionReport {
+        while !kernel.all_exited(pids) {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        self.stop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_dio() -> Dio {
+        Dio::with_kernel(Kernel::builder().root_disk(DiskProfile::instant()).build())
+    }
+
+    #[test]
+    fn end_to_end_trace_correlate_render() {
+        let dio = fast_dio();
+        let session = dio.trace(TracerConfig::new("full"));
+        let t = dio.kernel().spawn_process("app").spawn_thread("app");
+        let fd = t.openat("/app.log", OpenFlags::CREAT | OpenFlags::RDWR, 0o644).unwrap();
+        t.write(fd, b"26 bytes of log content...").unwrap();
+        let mut buf = [0u8; 8];
+        t.lseek(fd, 0, Whence::Set).unwrap();
+        t.read(fd, &mut buf).unwrap();
+        t.close(fd).unwrap();
+
+        let rendered = {
+            // Near-real-time render while the session is live.
+            std::thread::sleep(std::time::Duration::from_millis(300));
+            session.render(&dashboards::syscall_table(Query::MatchAll))
+        };
+        assert!(rendered.contains("openat"));
+
+        let report = session.stop();
+        assert_eq!(report.trace.events_stored, 5);
+        // write/lseek/read/close resolve to the open's path.
+        assert_eq!(report.correlation.events_updated, 4);
+        assert_eq!(report.correlation.events_unresolved, 0);
+
+        let idx = dio.session_index("full").unwrap();
+        assert_eq!(idx.count(&Query::term("file_path", "/app.log")), 5);
+    }
+
+    #[test]
+    fn sessions_listed() {
+        let dio = fast_dio();
+        let s1 = dio.trace(TracerConfig::new("a"));
+        let s2 = dio.trace(TracerConfig::new("b"));
+        s1.stop();
+        s2.stop();
+        assert_eq!(dio.sessions(), vec!["a".to_string(), "b".to_string()]);
+        assert!(dio.session_index("a").is_some());
+        assert!(dio.session_index("zzz").is_none());
+    }
+
+    #[test]
+    fn manual_correlation_skips_pass() {
+        let dio = fast_dio();
+        let session = dio.trace(TracerConfig::new("manual")).manual_correlation();
+        let t = dio.kernel().spawn_process("p").spawn_thread("p");
+        let fd = t.creat("/f", 0o644).unwrap();
+        t.write(fd, b"x").unwrap();
+        let report = session.stop();
+        assert_eq!(report.correlation, CorrelationReport::default());
+        // The write still has no file_path until correlation runs.
+        let idx = dio.session_index("manual").unwrap();
+        assert_eq!(
+            idx.count(
+                &Query::bool_query()
+                    .must(Query::term("syscall", "write"))
+                    .must(Query::exists("file_path"))
+                    .build()
+            ),
+            0
+        );
+        assert_eq!(correlate_paths(&idx).events_updated, 1);
+    }
+
+    #[test]
+    fn clone_shares_pipeline() {
+        let dio = fast_dio();
+        let clone = dio.clone();
+        let session = dio.trace(TracerConfig::new("shared"));
+        let t = clone.kernel().spawn_process("p").spawn_thread("p");
+        t.creat("/x", 0o644).unwrap();
+        session.stop();
+        assert_eq!(clone.session_index("shared").unwrap().len(), 1);
+    }
+}

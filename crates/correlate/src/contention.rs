@@ -1,0 +1,220 @@
+//! Multi-threaded I/O contention detection (the Fig. 4 analysis).
+//!
+//! The paper identifies RocksDB's tail-latency root cause by observing
+//! that "when multiple compaction threads submit I/O requests, the number
+//! of syscalls of db_bench threads decreases". This module automates the
+//! observation: it windows the trace, counts per-window activity of client
+//! vs background threads, and flags windows where many background threads
+//! are active while client throughput dips.
+
+use dio_backend::{Aggregation, Index, SearchRequest};
+
+/// Configuration of the contention analysis.
+#[derive(Debug, Clone)]
+pub struct ContentionConfig {
+    /// Window width in nanoseconds (Fig. 4 uses per-second buckets).
+    pub window_ns: u64,
+    /// Thread-name prefix of foreground/client threads (`db_bench`).
+    pub client_prefix: String,
+    /// Thread-name prefix of background threads (`rocksdb:low`).
+    pub background_prefix: String,
+    /// Minimum simultaneously-active background threads to flag a window
+    /// (the paper observes spikes when ≥5 compaction threads do I/O).
+    pub background_threshold: usize,
+}
+
+impl Default for ContentionConfig {
+    fn default() -> Self {
+        ContentionConfig {
+            window_ns: 1_000_000_000,
+            client_prefix: "db_bench".to_string(),
+            background_prefix: "rocksdb:low".to_string(),
+            background_threshold: 5,
+        }
+    }
+}
+
+/// Activity inside one time window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowActivity {
+    /// Window start (ns).
+    pub start_ns: u64,
+    /// Syscalls issued by client threads.
+    pub client_ops: u64,
+    /// Syscalls issued by background threads.
+    pub background_ops: u64,
+    /// Distinct background threads active in the window.
+    pub active_background_threads: usize,
+    /// Whether the window exceeds the background-thread threshold.
+    pub contended: bool,
+}
+
+/// Result of the contention analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentionReport {
+    /// Per-window activity, time-ordered.
+    pub windows: Vec<WindowActivity>,
+    /// Mean client ops/window during contended windows.
+    pub client_ops_contended: f64,
+    /// Mean client ops/window during calm windows.
+    pub client_ops_calm: f64,
+}
+
+impl ContentionReport {
+    /// Windows flagged as contended.
+    pub fn contended_windows(&self) -> impl Iterator<Item = &WindowActivity> {
+        self.windows.iter().filter(|w| w.contended)
+    }
+
+    /// Whether the trace exhibits the Fig. 4 signature: contended windows
+    /// exist and client throughput drops in them.
+    pub fn contention_detected(&self) -> bool {
+        self.windows.iter().any(|w| w.contended)
+            && self.client_ops_contended < self.client_ops_calm
+    }
+
+    /// Client throughput degradation factor (calm / contended mean ops).
+    pub fn degradation_factor(&self) -> f64 {
+        if self.client_ops_contended <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.client_ops_calm / self.client_ops_contended
+        }
+    }
+}
+
+/// Analyzes a session index for multi-threaded I/O contention.
+pub fn detect_contention(index: &Index, config: &ContentionConfig) -> ContentionReport {
+    let agg = Aggregation::date_histogram("time", config.window_ns)
+        .sub("by_thread", Aggregation::terms("proc_name", 64));
+    let response = index.search(&SearchRequest::match_all().size(0).agg("per_window", agg));
+
+    let mut windows = Vec::new();
+    for bucket in response.aggs["per_window"].buckets() {
+        let start_ns = bucket.key.as_u64().unwrap_or(0);
+        let mut client_ops = 0u64;
+        let mut background_ops = 0u64;
+        let mut active_background = 0usize;
+        for thread in bucket.sub["by_thread"].buckets() {
+            let name = thread.key.as_str().unwrap_or("");
+            if name.starts_with(config.client_prefix.as_str()) {
+                client_ops += thread.doc_count;
+            } else if name.starts_with(config.background_prefix.as_str()) {
+                background_ops += thread.doc_count;
+                if thread.doc_count > 0 {
+                    active_background += 1;
+                }
+            }
+        }
+        windows.push(WindowActivity {
+            start_ns,
+            client_ops,
+            background_ops,
+            active_background_threads: active_background,
+            contended: active_background >= config.background_threshold,
+        });
+    }
+
+    let mean = |contended: bool| {
+        let vals: Vec<u64> = windows
+            .iter()
+            .filter(|w| w.contended == contended)
+            .map(|w| w.client_ops)
+            .collect();
+        if vals.is_empty() {
+            f64::NAN
+        } else {
+            vals.iter().sum::<u64>() as f64 / vals.len() as f64
+        }
+    };
+    ContentionReport {
+        client_ops_contended: mean(true),
+        client_ops_calm: mean(false),
+        windows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    /// Builds a window of events: `clients` client ops and `bg_threads`
+    /// background threads doing `bg_ops_each` ops apiece.
+    fn window(idx: &Index, start_s: u64, clients: usize, bg_threads: usize, bg_ops_each: usize) {
+        let base = start_s * 1_000_000_000;
+        let mut docs = Vec::new();
+        for i in 0..clients {
+            docs.push(json!({"proc_name": "db_bench", "time": base + i as u64, "syscall": "write"}));
+        }
+        for t in 0..bg_threads {
+            for i in 0..bg_ops_each {
+                docs.push(json!({
+                    "proc_name": format!("rocksdb:low{t}"),
+                    "time": base + 100 + i as u64,
+                    "syscall": "read",
+                }));
+            }
+        }
+        idx.bulk(docs);
+    }
+
+    #[test]
+    fn detects_the_fig4_signature() {
+        let idx = Index::new("t");
+        // Calm: 1-2 compaction threads, many client ops.
+        window(&idx, 0, 100, 1, 10);
+        window(&idx, 1, 110, 2, 10);
+        // Contended: 6 compaction threads, client ops dip.
+        window(&idx, 2, 20, 6, 30);
+        window(&idx, 3, 15, 7, 30);
+        // Recovery.
+        window(&idx, 4, 105, 1, 10);
+
+        let report = detect_contention(&idx, &ContentionConfig::default());
+        assert_eq!(report.windows.len(), 5);
+        assert!(report.contention_detected());
+        assert_eq!(report.contended_windows().count(), 2);
+        assert!(report.windows[2].contended);
+        assert_eq!(report.windows[2].active_background_threads, 6);
+        assert!(report.degradation_factor() > 3.0);
+    }
+
+    #[test]
+    fn no_contention_in_calm_trace() {
+        let idx = Index::new("t");
+        window(&idx, 0, 100, 2, 10);
+        window(&idx, 1, 90, 1, 10);
+        let report = detect_contention(&idx, &ContentionConfig::default());
+        assert!(!report.contention_detected());
+        assert!(report.contended_windows().count() == 0);
+    }
+
+    #[test]
+    fn busy_background_without_client_dip_is_not_contention() {
+        let idx = Index::new("t");
+        window(&idx, 0, 100, 1, 5);
+        window(&idx, 1, 120, 6, 5); // many bg threads but clients unaffected
+        let report = detect_contention(&idx, &ContentionConfig::default());
+        assert_eq!(report.contended_windows().count(), 1);
+        assert!(!report.contention_detected(), "client throughput did not drop");
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        let idx = Index::new("t");
+        window(&idx, 0, 100, 3, 10);
+        let strict = ContentionConfig { background_threshold: 3, ..Default::default() };
+        let lax = ContentionConfig::default();
+        assert_eq!(detect_contention(&idx, &strict).contended_windows().count(), 1);
+        assert_eq!(detect_contention(&idx, &lax).contended_windows().count(), 0);
+    }
+
+    #[test]
+    fn empty_index_yields_empty_report() {
+        let idx = Index::new("t");
+        let report = detect_contention(&idx, &ContentionConfig::default());
+        assert!(report.windows.is_empty());
+        assert!(!report.contention_detected());
+    }
+}

@@ -1,0 +1,205 @@
+//! Stale-offset data-loss detection (the Fig. 2 analysis, automated).
+//!
+//! The Fluent Bit bug (issue #1875) manifests in a trace as: a file is
+//! removed and re-created, the new *generation* receives the same
+//! `dev|ino` (inode reuse), and the reader's **first read of the new
+//! generation starts at a non-zero offset and returns 0 bytes** — the
+//! bytes before that offset are silently lost.
+
+use std::collections::{BTreeMap, HashMap};
+
+use dio_backend::{Index, Query, SearchRequest, SortOrder};
+use dio_syscall::FileTag;
+
+/// One detected data-loss incident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataLossIncident {
+    /// The tag of the file generation whose content was skipped.
+    pub tag: FileTag,
+    /// Resolved path, when correlation ran.
+    pub path: Option<String>,
+    /// The stale offset the reader started from.
+    pub stale_offset: u64,
+    /// Bytes written to the generation before that offset — an upper bound
+    /// on the data lost.
+    pub bytes_at_risk: u64,
+    /// The tag of the earlier generation whose state leaked into this one.
+    pub previous_generation: FileTag,
+    /// Name of the process that performed the misread.
+    pub reader: String,
+}
+
+/// Scans a session index for stale-offset reads across inode-reuse
+/// generations.
+///
+/// Requires events with `file_tag`, `offset` and `ret_val` fields, i.e. a
+/// DIO trace with enrichment enabled — the paper notes DIO is the only
+/// tracer collecting the file offsets this diagnosis needs.
+pub fn detect_data_loss(index: &Index) -> Vec<DataLossIncident> {
+    // Pull all tag-bearing data events, time-ordered.
+    let response = index.search(
+        &SearchRequest::new(
+            Query::bool_query()
+                .must(Query::exists("file_tag"))
+                .must(Query::terms("syscall", ["read", "write", "pread64", "pwrite64"]))
+                .build(),
+        )
+        .sort_by("time", SortOrder::Asc)
+        .size(usize::MAX),
+    );
+
+    // Group per generation; remember generation order per (dev, ino).
+    let mut generations: BTreeMap<(u64, u64), Vec<FileTag>> = BTreeMap::new();
+    let mut writes_per_tag: HashMap<FileTag, u64> = HashMap::new();
+    let mut first_read: HashMap<FileTag, (u64, i64, String)> = HashMap::new(); // offset, ret, reader
+    let mut path_per_tag: HashMap<FileTag, String> = HashMap::new();
+
+    for hit in &response.hits {
+        let Some(tag) = hit.source["file_tag"].as_str().and_then(|s| s.parse::<FileTag>().ok())
+        else {
+            continue;
+        };
+        let gens = generations.entry((tag.dev, tag.ino)).or_default();
+        if !gens.contains(&tag) {
+            gens.push(tag);
+        }
+        if let Some(p) = hit.source["file_path"].as_str() {
+            path_per_tag.entry(tag).or_insert_with(|| p.to_string());
+        }
+        let syscall = hit.source["syscall"].as_str().unwrap_or("");
+        let ret = hit.source["ret_val"].as_i64().unwrap_or(0);
+        match syscall {
+            "write" | "pwrite64"
+                if ret > 0 => {
+                    *writes_per_tag.entry(tag).or_insert(0) += ret as u64;
+                }
+            "read" | "pread64" => {
+                first_read.entry(tag).or_insert_with(|| {
+                    let offset = hit.source["offset"].as_u64().unwrap_or(0);
+                    let reader = hit.source["proc_name"].as_str().unwrap_or("").to_string();
+                    (offset, ret, reader)
+                });
+            }
+            _ => {}
+        }
+    }
+
+    let mut incidents = Vec::new();
+    for gens in generations.values() {
+        // Only later generations can inherit stale state from a predecessor.
+        for (i, tag) in gens.iter().enumerate().skip(1) {
+            let Some(&(offset, ret, ref reader)) = first_read.get(tag) else {
+                continue;
+            };
+            if offset > 0 && ret == 0 {
+                let written = writes_per_tag.get(tag).copied().unwrap_or(0);
+                incidents.push(DataLossIncident {
+                    tag: *tag,
+                    path: path_per_tag.get(tag).cloned(),
+                    stale_offset: offset,
+                    bytes_at_risk: written.min(offset),
+                    previous_generation: gens[i - 1],
+                    reader: reader.clone(),
+                });
+            }
+        }
+    }
+    incidents
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn ev(time: u64, proc: &str, syscall: &str, ret: i64, tag: &str, offset: Option<u64>) -> serde_json::Value {
+        let mut doc = json!({
+            "time": time, "proc_name": proc, "syscall": syscall,
+            "ret_val": ret, "file_tag": tag,
+        });
+        if let Some(o) = offset {
+            doc["offset"] = json!(o);
+        }
+        doc
+    }
+
+    /// The exact Fig. 2a scenario.
+    fn buggy_trace(idx: &Index) {
+        idx.bulk(vec![
+            ev(1, "app", "write", 26, "7340032|12|100", Some(0)),
+            ev(2, "fluent-bit", "read", 26, "7340032|12|100", Some(0)),
+            ev(3, "fluent-bit", "read", 0, "7340032|12|100", Some(26)),
+            // unlink + recreate: same dev|ino, new generation.
+            ev(4, "app", "write", 16, "7340032|12|200", Some(0)),
+            // fluent-bit lseeks to 26 and reads 0 bytes: the bug.
+            ev(5, "fluent-bit", "read", 0, "7340032|12|200", Some(26)),
+        ]);
+    }
+
+    /// The Fig. 2b (fixed) scenario.
+    fn fixed_trace(idx: &Index) {
+        idx.bulk(vec![
+            ev(1, "app", "write", 26, "7340032|12|100", Some(0)),
+            ev(2, "flb-pipeline", "read", 26, "7340032|12|100", Some(0)),
+            ev(3, "flb-pipeline", "read", 0, "7340032|12|100", Some(26)),
+            ev(4, "app", "write", 16, "7340032|12|200", Some(0)),
+            ev(5, "flb-pipeline", "read", 16, "7340032|12|200", Some(0)),
+            ev(6, "flb-pipeline", "read", 0, "7340032|12|200", Some(16)),
+        ]);
+    }
+
+    #[test]
+    fn flags_the_buggy_version() {
+        let idx = Index::new("t");
+        buggy_trace(&idx);
+        let incidents = detect_data_loss(&idx);
+        assert_eq!(incidents.len(), 1);
+        let inc = &incidents[0];
+        assert_eq!(inc.stale_offset, 26);
+        assert_eq!(inc.bytes_at_risk, 16);
+        assert_eq!(inc.reader, "fluent-bit");
+        assert_eq!(inc.tag, "7340032|12|200".parse().unwrap());
+        assert_eq!(inc.previous_generation, "7340032|12|100".parse().unwrap());
+    }
+
+    #[test]
+    fn passes_the_fixed_version() {
+        let idx = Index::new("t");
+        fixed_trace(&idx);
+        assert!(detect_data_loss(&idx).is_empty());
+    }
+
+    #[test]
+    fn eof_read_on_first_generation_is_benign() {
+        let idx = Index::new("t");
+        idx.bulk(vec![
+            ev(1, "app", "write", 10, "1|5|100", Some(0)),
+            ev(2, "tailer", "read", 10, "1|5|100", Some(0)),
+            ev(3, "tailer", "read", 0, "1|5|100", Some(10)), // normal EOF poll
+        ]);
+        assert!(detect_data_loss(&idx).is_empty());
+    }
+
+    #[test]
+    fn includes_correlated_path() {
+        let idx = Index::new("t");
+        buggy_trace(&idx);
+        idx.update_by_query(&Query::term("file_tag", "7340032|12|200"), |d| {
+            d["file_path"] = json!("/logs/app.log");
+        });
+        let incidents = detect_data_loss(&idx);
+        assert_eq!(incidents[0].path.as_deref(), Some("/logs/app.log"));
+    }
+
+    #[test]
+    fn multiple_files_independent() {
+        let idx = Index::new("t");
+        buggy_trace(&idx);
+        // A healthy unrelated file with generations.
+        idx.bulk(vec![
+            ev(10, "app", "write", 5, "1|7|300", Some(0)),
+            ev(11, "tailer", "read", 5, "1|7|400", Some(0)),
+        ]);
+        assert_eq!(detect_data_loss(&idx).len(), 1);
+    }
+}

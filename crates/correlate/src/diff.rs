@@ -1,0 +1,220 @@
+//! Post-mortem session comparison (§II "Post-mortem analysis": DIO
+//! "allows storing different tracing executions from the same or different
+//! applications and posteriorly analyzing and **comparing** them").
+//!
+//! This is how the paper's Fig. 2 analysis is actually consumed — the
+//! buggy v1.4.0 session next to the fixed v2.0.5 session. [`diff_sessions`]
+//! automates the side-by-side.
+
+use std::collections::BTreeMap;
+
+use dio_backend::{AggResult, Aggregation, Index, Query, SearchRequest};
+
+/// Counts of one dimension value in each session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountDelta {
+    /// The dimension value (syscall name, thread name, path...).
+    pub key: String,
+    /// Events in session A.
+    pub a: u64,
+    /// Events in session B.
+    pub b: u64,
+}
+
+impl CountDelta {
+    /// Signed difference `b - a`.
+    pub fn delta(&self) -> i64 {
+        self.b as i64 - self.a as i64
+    }
+}
+
+/// The structured comparison of two sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionDiff {
+    /// Total events in each session.
+    pub totals: (u64, u64),
+    /// Failed syscalls (`ret_val < 0`) in each session.
+    pub errors: (u64, u64),
+    /// Median syscall latency (ns) in each session.
+    pub p50_latency_ns: (f64, f64),
+    /// 99th-percentile syscall latency (ns) in each session.
+    pub p99_latency_ns: (f64, f64),
+    /// Per-syscall counts, sorted by |delta| descending.
+    pub by_syscall: Vec<CountDelta>,
+    /// Per-thread counts, sorted by |delta| descending.
+    pub by_thread: Vec<CountDelta>,
+    /// Paths touched only in session A.
+    pub paths_only_a: Vec<String>,
+    /// Paths touched only in session B.
+    pub paths_only_b: Vec<String>,
+}
+
+impl SessionDiff {
+    /// The syscalls whose counts changed between the sessions.
+    pub fn changed_syscalls(&self) -> impl Iterator<Item = &CountDelta> {
+        self.by_syscall.iter().filter(|d| d.delta() != 0)
+    }
+
+    /// Renders a compact human-readable report.
+    pub fn to_text(&self, name_a: &str, name_b: &str) -> String {
+        let mut out = format!("session diff: {name_a} (A) vs {name_b} (B)\n");
+        out.push_str(&format!("  events : A={} B={}\n", self.totals.0, self.totals.1));
+        out.push_str(&format!("  errors : A={} B={}\n", self.errors.0, self.errors.1));
+        out.push_str(&format!(
+            "  latency: p50 A={:.1}us B={:.1}us | p99 A={:.1}us B={:.1}us\n",
+            self.p50_latency_ns.0 / 1e3,
+            self.p50_latency_ns.1 / 1e3,
+            self.p99_latency_ns.0 / 1e3,
+            self.p99_latency_ns.1 / 1e3,
+        ));
+        out.push_str("  syscalls (A -> B):\n");
+        for d in &self.by_syscall {
+            if d.delta() != 0 {
+                out.push_str(&format!("    {:<12} {:>6} -> {:<6} ({:+})\n", d.key, d.a, d.b, d.delta()));
+            }
+        }
+        if !self.paths_only_a.is_empty() {
+            out.push_str(&format!("  paths only in A: {}\n", self.paths_only_a.join(", ")));
+        }
+        if !self.paths_only_b.is_empty() {
+            out.push_str(&format!("  paths only in B: {}\n", self.paths_only_b.join(", ")));
+        }
+        out
+    }
+}
+
+fn term_counts(index: &Index, field: &str) -> BTreeMap<String, u64> {
+    let res = index.search(
+        &SearchRequest::match_all().size(0).agg("t", Aggregation::terms(field, 10_000)),
+    );
+    res.aggs["t"]
+        .buckets()
+        .iter()
+        .filter_map(|b| b.key.as_str().map(|k| (k.to_string(), b.doc_count)))
+        .collect()
+}
+
+fn latency_percentiles(index: &Index) -> (f64, f64) {
+    let res = index.search(
+        &SearchRequest::match_all()
+            .size(0)
+            .agg("lat", Aggregation::percentiles("latency_ns", [50.0, 99.0])),
+    );
+    match &res.aggs["lat"] {
+        AggResult::Percentiles(p) => {
+            let get = |q: f64| p.iter().find(|(x, _)| (*x - q).abs() < 1e-9).map_or(0.0, |(_, v)| *v);
+            (get(50.0), get(99.0))
+        }
+        _ => (0.0, 0.0),
+    }
+}
+
+/// Compares two session indices dimension by dimension.
+pub fn diff_sessions(a: &Index, b: &Index) -> SessionDiff {
+    let merge = |ca: BTreeMap<String, u64>, cb: BTreeMap<String, u64>| {
+        let keys: std::collections::BTreeSet<String> =
+            ca.keys().chain(cb.keys()).cloned().collect();
+        let mut out: Vec<CountDelta> = keys
+            .into_iter()
+            .map(|key| CountDelta {
+                a: ca.get(&key).copied().unwrap_or(0),
+                b: cb.get(&key).copied().unwrap_or(0),
+                key,
+            })
+            .collect();
+        out.sort_by_key(|d| std::cmp::Reverse(d.delta().unsigned_abs()));
+        out
+    };
+    let by_syscall = merge(term_counts(a, "syscall"), term_counts(b, "syscall"));
+    let by_thread = merge(term_counts(a, "proc_name"), term_counts(b, "proc_name"));
+
+    let paths_a: std::collections::BTreeSet<String> =
+        term_counts(a, "file_path").into_keys().collect();
+    let paths_b: std::collections::BTreeSet<String> =
+        term_counts(b, "file_path").into_keys().collect();
+
+    let (p50_a, p99_a) = latency_percentiles(a);
+    let (p50_b, p99_b) = latency_percentiles(b);
+    let errors = (
+        a.count(&Query::range("ret_val").lt(0.0).build()),
+        b.count(&Query::range("ret_val").lt(0.0).build()),
+    );
+
+    SessionDiff {
+        totals: (a.count(&Query::MatchAll), b.count(&Query::MatchAll)),
+        errors,
+        p50_latency_ns: (p50_a, p50_b),
+        p99_latency_ns: (p99_a, p99_b),
+        by_syscall,
+        by_thread,
+        paths_only_a: paths_a.difference(&paths_b).cloned().collect(),
+        paths_only_b: paths_b.difference(&paths_a).cloned().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn ev(syscall: &str, proc: &str, ret: i64, lat: u64, path: Option<&str>) -> serde_json::Value {
+        let mut doc = json!({
+            "syscall": syscall, "proc_name": proc, "ret_val": ret, "latency_ns": lat,
+        });
+        if let Some(p) = path {
+            doc["file_path"] = json!(p);
+        }
+        doc
+    }
+
+    #[test]
+    fn diff_highlights_behavioural_change() {
+        let a = Index::new("a");
+        a.bulk(vec![
+            ev("read", "app", 26, 1_000, Some("/old.log")),
+            ev("read", "app", 0, 900, Some("/old.log")),
+            ev("lseek", "app", 26, 300, Some("/old.log")),
+        ]);
+        let b = Index::new("b");
+        b.bulk(vec![
+            ev("read", "app", 16, 1_100, Some("/new.log")),
+            ev("read", "app", 0, 950, Some("/new.log")),
+        ]);
+        let diff = diff_sessions(&a, &b);
+        assert_eq!(diff.totals, (3, 2));
+        let lseek = diff.by_syscall.iter().find(|d| d.key == "lseek").unwrap();
+        assert_eq!((lseek.a, lseek.b), (1, 0));
+        assert_eq!(lseek.delta(), -1);
+        assert_eq!(diff.paths_only_a, vec!["/old.log".to_string()]);
+        assert_eq!(diff.paths_only_b, vec!["/new.log".to_string()]);
+        assert_eq!(diff.changed_syscalls().count(), 1, "only lseek disappeared");
+        let text = diff.to_text("v1", "v2");
+        assert!(text.contains("lseek"));
+        assert!(text.contains("/new.log"));
+    }
+
+    #[test]
+    fn identical_sessions_diff_to_zero() {
+        let a = Index::new("a");
+        let b = Index::new("b");
+        for idx in [&a, &b] {
+            idx.bulk(vec![ev("write", "app", 5, 100, Some("/same"))]);
+        }
+        let diff = diff_sessions(&a, &b);
+        assert_eq!(diff.totals, (1, 1));
+        assert_eq!(diff.changed_syscalls().count(), 0);
+        assert!(diff.paths_only_a.is_empty());
+        assert!(diff.paths_only_b.is_empty());
+    }
+
+    #[test]
+    fn error_and_latency_dimensions() {
+        let a = Index::new("a");
+        a.bulk(vec![ev("openat", "app", -2, 500, None), ev("read", "app", 1, 1_000, None)]);
+        let b = Index::new("b");
+        b.bulk(vec![ev("openat", "app", 3, 400, None), ev("read", "app", 1, 2_000, None)]);
+        let diff = diff_sessions(&a, &b);
+        assert_eq!(diff.errors, (1, 0));
+        assert!(diff.p99_latency_ns.1 > diff.p99_latency_ns.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! File access-pattern characterization from traced offsets.
+//!
+//! DIO's offset enrichment "allows observing file access patterns (e.g.,
+//! random accesses), even for syscalls that do not provide the file offset
+//! as an argument" (§II-B). This analyzer classifies per-file access
+//! patterns — the kind of costly-pattern diagnosis the introduction
+//! motivates (small or random I/O).
+
+use std::collections::HashMap;
+
+use dio_backend::{Index, Query, SearchRequest, SortOrder};
+use dio_syscall::FileTag;
+
+/// Dominant access pattern of a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// ≥90% of accesses continue where the previous one ended.
+    Sequential,
+    /// ≤50% sequential accesses.
+    Random,
+    /// In between.
+    Mixed,
+}
+
+/// Per-file access statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileAccessProfile {
+    /// File identity.
+    pub tag: FileTag,
+    /// Resolved path, when available.
+    pub path: Option<String>,
+    /// Data syscalls observed (reads + writes).
+    pub ops: u64,
+    /// Reads observed.
+    pub reads: u64,
+    /// Writes observed.
+    pub writes: u64,
+    /// Total bytes transferred.
+    pub bytes: u64,
+    /// Fraction of accesses that were sequential.
+    pub sequential_fraction: f64,
+    /// Mean request size in bytes.
+    pub mean_request_bytes: f64,
+    /// Classified pattern.
+    pub pattern: AccessPattern,
+}
+
+/// Computes access profiles for every file in a session index.
+///
+/// Only events carrying `file_tag` and `offset` (i.e. enriched data
+/// syscalls) participate. Profiles are ordered by operation count,
+/// busiest first.
+pub fn analyze_offsets(index: &Index) -> Vec<FileAccessProfile> {
+    let response = index.search(
+        &SearchRequest::new(
+            Query::bool_query()
+                .must(Query::exists("file_tag"))
+                .must(Query::exists("offset"))
+                .must(Query::terms("syscall", ["read", "write", "pread64", "pwrite64", "readv", "writev"]))
+                .build(),
+        )
+        .sort_by("time", SortOrder::Asc)
+        .size(usize::MAX),
+    );
+
+    struct Acc {
+        path: Option<String>,
+        ops: u64,
+        reads: u64,
+        writes: u64,
+        bytes: u64,
+        sequential: u64,
+        considered: u64,
+        next_expected: Option<u64>,
+    }
+    let mut accs: HashMap<FileTag, Acc> = HashMap::new();
+
+    for hit in &response.hits {
+        let Some(tag) = hit.source["file_tag"].as_str().and_then(|s| s.parse::<FileTag>().ok())
+        else {
+            continue;
+        };
+        let offset = hit.source["offset"].as_u64().unwrap_or(0);
+        let ret = hit.source["ret_val"].as_i64().unwrap_or(0).max(0) as u64;
+        let syscall = hit.source["syscall"].as_str().unwrap_or("");
+        let acc = accs.entry(tag).or_insert_with(|| Acc {
+            path: None,
+            ops: 0,
+            reads: 0,
+            writes: 0,
+            bytes: 0,
+            sequential: 0,
+            considered: 0,
+            next_expected: None,
+        });
+        if acc.path.is_none() {
+            acc.path = hit.source["file_path"].as_str().map(str::to_string);
+        }
+        acc.ops += 1;
+        if syscall.contains("read") {
+            acc.reads += 1;
+        } else {
+            acc.writes += 1;
+        }
+        acc.bytes += ret;
+        if let Some(expected) = acc.next_expected {
+            acc.considered += 1;
+            if offset == expected {
+                acc.sequential += 1;
+            }
+        }
+        acc.next_expected = Some(offset + ret);
+    }
+
+    let mut profiles: Vec<FileAccessProfile> = accs
+        .into_iter()
+        .map(|(tag, acc)| {
+            let sequential_fraction = if acc.considered == 0 {
+                1.0
+            } else {
+                acc.sequential as f64 / acc.considered as f64
+            };
+            let pattern = if sequential_fraction >= 0.9 {
+                AccessPattern::Sequential
+            } else if sequential_fraction <= 0.5 {
+                AccessPattern::Random
+            } else {
+                AccessPattern::Mixed
+            };
+            FileAccessProfile {
+                tag,
+                path: acc.path,
+                ops: acc.ops,
+                reads: acc.reads,
+                writes: acc.writes,
+                bytes: acc.bytes,
+                sequential_fraction,
+                mean_request_bytes: if acc.ops == 0 { 0.0 } else { acc.bytes as f64 / acc.ops as f64 },
+                pattern,
+            }
+        })
+        .collect();
+    profiles.sort_by(|a, b| b.ops.cmp(&a.ops).then_with(|| a.tag.cmp(&b.tag)));
+    profiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn ev(time: u64, syscall: &str, tag: &str, offset: u64, ret: i64) -> serde_json::Value {
+        json!({
+            "time": time, "syscall": syscall, "file_tag": tag,
+            "offset": offset, "ret_val": ret, "proc_name": "p",
+        })
+    }
+
+    #[test]
+    fn sequential_stream_classified() {
+        let idx = Index::new("t");
+        idx.bulk((0..10).map(|i| ev(i, "read", "1|1|1", i * 100, 100)).collect());
+        let profiles = analyze_offsets(&idx);
+        assert_eq!(profiles.len(), 1);
+        let p = &profiles[0];
+        assert_eq!(p.pattern, AccessPattern::Sequential);
+        assert_eq!(p.ops, 10);
+        assert_eq!(p.reads, 10);
+        assert_eq!(p.bytes, 1000);
+        assert_eq!(p.mean_request_bytes, 100.0);
+        assert_eq!(p.sequential_fraction, 1.0);
+    }
+
+    #[test]
+    fn random_access_classified() {
+        let idx = Index::new("t");
+        let offsets = [500u64, 0, 900, 100, 42, 7000, 3, 666];
+        idx.bulk(
+            offsets.iter().enumerate().map(|(i, &o)| ev(i as u64, "pread64", "1|2|1", o, 10)).collect(),
+        );
+        let p = &analyze_offsets(&idx)[0];
+        assert_eq!(p.pattern, AccessPattern::Random);
+        assert!(p.sequential_fraction <= 0.5);
+    }
+
+    #[test]
+    fn mixed_access_classified() {
+        let idx = Index::new("t");
+        // Alternate: seq, seq, jump, seq, seq, jump... ~2/3 sequential.
+        let mut docs = Vec::new();
+        let mut off = 0u64;
+        for i in 0..12u64 {
+            if i % 3 == 2 {
+                off += 10_000; // jump
+            }
+            docs.push(ev(i, "write", "1|3|1", off, 100));
+            off += 100;
+        }
+        idx.bulk(docs);
+        let p = &analyze_offsets(&idx)[0];
+        assert_eq!(p.pattern, AccessPattern::Mixed, "fraction={}", p.sequential_fraction);
+        assert_eq!(p.writes, 12);
+    }
+
+    #[test]
+    fn files_ranked_by_activity() {
+        let idx = Index::new("t");
+        idx.bulk(vec![
+            ev(0, "read", "1|1|1", 0, 10),
+            ev(1, "read", "1|2|1", 0, 10),
+            ev(2, "read", "1|2|1", 10, 10),
+        ]);
+        let profiles = analyze_offsets(&idx);
+        assert_eq!(profiles[0].tag, "1|2|1".parse().unwrap());
+        assert_eq!(profiles[1].tag, "1|1|1".parse().unwrap());
+    }
+
+    #[test]
+    fn single_access_counts_as_sequential() {
+        let idx = Index::new("t");
+        idx.bulk(vec![ev(0, "read", "1|9|1", 0, 5)]);
+        let p = &analyze_offsets(&idx)[0];
+        assert_eq!(p.pattern, AccessPattern::Sequential);
+        assert_eq!(p.sequential_fraction, 1.0);
+    }
+
+    #[test]
+    fn events_without_enrichment_are_skipped() {
+        let idx = Index::new("t");
+        idx.bulk(vec![json!({"time": 0, "syscall": "read", "ret_val": 5})]);
+        assert!(analyze_offsets(&idx).is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! The file-path correlation algorithm (§II-C of the paper).
+//!
+//! Syscalls that operate on file descriptors (`read`, `write`, `close`, ...)
+//! carry only a *file tag* (`dev|ino|first-access-timestamp`). Opens carry
+//! both the tag and the path. The correlation algorithm joins the two using
+//! the backend's query/update features, rewriting tags into the actual file
+//! paths — "translated into the actual file paths being accessed at the
+//! storage backend".
+
+use std::collections::HashMap;
+
+use serde_json::{json, Value};
+
+use dio_backend::{Index, Query, SearchRequest};
+
+/// Outcome of one correlation pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CorrelationReport {
+    /// Distinct file tags for which a path was learned.
+    pub tags_resolved: usize,
+    /// Events whose `file_path` field was filled in.
+    pub events_updated: usize,
+    /// Events that still carry a tag without a resolvable path (their open
+    /// happened before tracing started, or the open event was dropped at
+    /// the ring buffer).
+    pub events_unresolved: usize,
+}
+
+impl CorrelationReport {
+    /// Fraction of tag-bearing events left without a path — the paper's
+    /// §III-D quality metric (≤5% for DIO vs 45% for sysdig).
+    pub fn unresolved_rate(&self) -> f64 {
+        let total = self.events_updated + self.events_unresolved;
+        if total == 0 {
+            0.0
+        } else {
+            self.events_unresolved as f64 / total as f64
+        }
+    }
+}
+
+/// Runs file-path correlation over a session index.
+///
+/// # Examples
+///
+/// ```
+/// use dio_backend::{Index, Query};
+/// use dio_correlate::correlate_paths;
+/// use serde_json::json;
+///
+/// let index = Index::new("t");
+/// index.bulk(vec![
+///     json!({"syscall": "openat", "file_tag": "1|12|5", "file_path": "/a.log"}),
+///     json!({"syscall": "read",   "file_tag": "1|12|5"}),
+/// ]);
+/// let report = correlate_paths(&index);
+/// assert_eq!(report.events_updated, 1);
+/// assert_eq!(index.count(&Query::term("file_path", "/a.log")), 2);
+/// ```
+pub fn correlate_paths(index: &Index) -> CorrelationReport {
+    // 1. Learn tag -> path from open-like events (they carry both).
+    let opens = index.search(
+        &SearchRequest::new(
+            Query::bool_query()
+                .must(Query::terms("syscall", ["open", "openat", "creat"]))
+                .must(Query::exists("file_tag"))
+                .must(Query::exists("file_path"))
+                .build(),
+        )
+        .size(usize::MAX),
+    );
+    let mut tag_to_path: HashMap<String, String> = HashMap::new();
+    for hit in &opens.hits {
+        if let (Some(tag), Some(path)) =
+            (hit.source["file_tag"].as_str(), hit.source["file_path"].as_str())
+        {
+            tag_to_path.insert(tag.to_string(), path.to_string());
+        }
+    }
+
+    // 2. Update every pathless event carrying a known tag.
+    let mut events_updated = 0;
+    for (tag, path) in &tag_to_path {
+        let query = Query::bool_query()
+            .must(Query::term("file_tag", tag.clone()))
+            .must_not(Query::exists("file_path"))
+            .build();
+        let path: Value = json!(path);
+        events_updated += index.update_by_query(&query, |doc| {
+            doc["file_path"] = path.clone();
+        });
+    }
+
+    // 3. Whatever still has a tag but no path is unresolvable.
+    let events_unresolved = index.count(
+        &Query::bool_query()
+            .must(Query::exists("file_tag"))
+            .must_not(Query::exists("file_path"))
+            .build(),
+    ) as usize;
+
+    CorrelationReport { tags_resolved: tag_to_path.len(), events_updated, events_unresolved }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(syscall: &str, tag: Option<&str>, path: Option<&str>) -> Value {
+        let mut doc = json!({"syscall": syscall});
+        if let Some(t) = tag {
+            doc["file_tag"] = json!(t);
+        }
+        if let Some(p) = path {
+            doc["file_path"] = json!(p);
+        }
+        doc
+    }
+
+    #[test]
+    fn correlates_fd_events_to_open_paths() {
+        let idx = Index::new("t");
+        idx.bulk(vec![
+            event("openat", Some("1|12|100"), Some("/app.log")),
+            event("read", Some("1|12|100"), None),
+            event("read", Some("1|12|100"), None),
+            event("close", Some("1|12|100"), None),
+        ]);
+        let r = correlate_paths(&idx);
+        assert_eq!(r.tags_resolved, 1);
+        assert_eq!(r.events_updated, 3);
+        assert_eq!(r.events_unresolved, 0);
+        assert_eq!(idx.count(&Query::term("file_path", "/app.log")), 4);
+    }
+
+    #[test]
+    fn distinguishes_inode_generations() {
+        let idx = Index::new("t");
+        idx.bulk(vec![
+            event("openat", Some("1|12|100"), Some("/gen1.log")),
+            event("read", Some("1|12|100"), None),
+            // Same dev|ino, later generation, different name.
+            event("openat", Some("1|12|200"), Some("/gen2.log")),
+            event("read", Some("1|12|200"), None),
+        ]);
+        correlate_paths(&idx);
+        let r1 = idx.search(&SearchRequest::new(
+            Query::bool_query()
+                .must(Query::term("syscall", "read"))
+                .must(Query::term("file_tag", "1|12|100"))
+                .build(),
+        ));
+        assert_eq!(r1.hits[0].source["file_path"], "/gen1.log");
+        let r2 = idx.search(&SearchRequest::new(
+            Query::bool_query()
+                .must(Query::term("syscall", "read"))
+                .must(Query::term("file_tag", "1|12|200"))
+                .build(),
+        ));
+        assert_eq!(r2.hits[0].source["file_path"], "/gen2.log");
+    }
+
+    #[test]
+    fn unresolvable_tags_are_counted() {
+        let idx = Index::new("t");
+        idx.bulk(vec![
+            // Open for this tag was never captured (e.g. pre-attach).
+            event("read", Some("1|99|5"), None),
+            event("close", Some("1|99|5"), None),
+            event("openat", Some("1|12|1"), Some("/known")),
+            event("read", Some("1|12|1"), None),
+        ]);
+        let r = correlate_paths(&idx);
+        assert_eq!(r.events_updated, 1);
+        assert_eq!(r.events_unresolved, 2);
+        assert!((r.unresolved_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idempotent() {
+        let idx = Index::new("t");
+        idx.bulk(vec![
+            event("openat", Some("1|12|1"), Some("/f")),
+            event("read", Some("1|12|1"), None),
+        ]);
+        let first = correlate_paths(&idx);
+        let second = correlate_paths(&idx);
+        assert_eq!(first.events_updated, 1);
+        assert_eq!(second.events_updated, 0);
+        assert_eq!(second.events_unresolved, 0);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = Index::new("t");
+        let r = correlate_paths(&idx);
+        assert_eq!(r, CorrelationReport::default());
+        assert_eq!(r.unresolved_rate(), 0.0);
+    }
+}

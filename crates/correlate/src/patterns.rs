@@ -1,0 +1,256 @@
+//! The §V "collection of correlation algorithms" — automated detectors
+//! for the inefficient behaviours the paper's introduction motivates:
+//! small-sized I/O requests and per-syscall latency anomalies.
+
+use std::collections::BTreeMap;
+
+use dio_backend::{Index, Query, SearchRequest};
+
+/// Configuration of the small-I/O detector.
+#[derive(Debug, Clone, Copy)]
+pub struct SmallIoConfig {
+    /// Requests strictly below this byte count are "small" (a common rule
+    /// of thumb: below one 4 KiB page).
+    pub threshold_bytes: u64,
+    /// Ignore files with fewer data ops than this.
+    pub min_ops: u64,
+    /// Flag files whose small-request fraction is at least this.
+    pub flag_fraction: f64,
+}
+
+impl Default for SmallIoConfig {
+    fn default() -> Self {
+        SmallIoConfig { threshold_bytes: 4_096, min_ops: 8, flag_fraction: 0.5 }
+    }
+}
+
+/// A file dominated by small I/O requests (§I: "costly access patterns,
+/// such as small-sized I/O requests").
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmallIoFinding {
+    /// Resolved path (or the raw file tag when correlation did not run).
+    pub target: String,
+    /// Data ops on the file.
+    pub ops: u64,
+    /// Ops below the threshold.
+    pub small_ops: u64,
+    /// Mean request size, bytes.
+    pub mean_bytes: f64,
+}
+
+impl SmallIoFinding {
+    /// Fraction of ops below the threshold.
+    pub fn small_fraction(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.small_ops as f64 / self.ops as f64
+        }
+    }
+}
+
+/// Scans a session for files dominated by small I/O requests, most
+/// affected first.
+pub fn detect_small_io(index: &Index, config: &SmallIoConfig) -> Vec<SmallIoFinding> {
+    let response = index.search(
+        &SearchRequest::new(
+            Query::bool_query()
+                .must(Query::terms(
+                    "syscall",
+                    ["read", "write", "pread64", "pwrite64", "readv", "writev"],
+                ))
+                .must(Query::range("ret_val").gt(0.0).build())
+                .build(),
+        )
+        .size(usize::MAX),
+    );
+    struct Acc {
+        ops: u64,
+        small: u64,
+        bytes: u64,
+    }
+    let mut per_file: BTreeMap<String, Acc> = BTreeMap::new();
+    for hit in &response.hits {
+        let target = hit.source["file_path"]
+            .as_str()
+            .or_else(|| hit.source["file_tag"].as_str())
+            .unwrap_or("<unknown>")
+            .to_string();
+        let bytes = hit.source["ret_val"].as_u64().unwrap_or(0);
+        let acc = per_file.entry(target).or_insert(Acc { ops: 0, small: 0, bytes: 0 });
+        acc.ops += 1;
+        acc.bytes += bytes;
+        if bytes < config.threshold_bytes {
+            acc.small += 1;
+        }
+    }
+    let mut findings: Vec<SmallIoFinding> = per_file
+        .into_iter()
+        .filter(|(_, acc)| acc.ops >= config.min_ops)
+        .map(|(target, acc)| SmallIoFinding {
+            target,
+            ops: acc.ops,
+            small_ops: acc.small,
+            mean_bytes: acc.bytes as f64 / acc.ops as f64,
+        })
+        .filter(|f| f.small_fraction() >= config.flag_fraction)
+        .collect();
+    findings.sort_by(|a, b| {
+        b.small_fraction().total_cmp(&a.small_fraction()).then(b.ops.cmp(&a.ops))
+    });
+    findings
+}
+
+/// Latency statistics of one syscall kind within a session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyscallLatencyProfile {
+    /// The syscall name.
+    pub syscall: String,
+    /// Invocations.
+    pub count: u64,
+    /// Mean latency, ns.
+    pub mean_ns: f64,
+    /// Median latency, ns.
+    pub p50_ns: f64,
+    /// Tail latency, ns.
+    pub p99_ns: f64,
+    /// Total time spent inside the syscall, ns.
+    pub total_ns: u64,
+}
+
+impl SyscallLatencyProfile {
+    /// Tail amplification: how much worse the p99 is than the median.
+    pub fn tail_ratio(&self) -> f64 {
+        if self.p50_ns <= 0.0 {
+            0.0
+        } else {
+            self.p99_ns / self.p50_ns
+        }
+    }
+}
+
+/// Per-syscall latency profiles, ordered by total time spent (the "where
+/// does the I/O time go" view).
+pub fn latency_profile(index: &Index) -> Vec<SyscallLatencyProfile> {
+    let response = index.search(&SearchRequest::match_all().size(usize::MAX));
+    let mut per_kind: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    for hit in &response.hits {
+        let (Some(kind), Some(lat)) =
+            (hit.source["syscall"].as_str(), hit.source["latency_ns"].as_u64())
+        else {
+            continue;
+        };
+        per_kind.entry(kind.to_string()).or_default().push(lat);
+    }
+    let mut profiles: Vec<SyscallLatencyProfile> = per_kind
+        .into_iter()
+        .map(|(syscall, mut lats)| {
+            lats.sort_unstable();
+            let count = lats.len() as u64;
+            let total: u64 = lats.iter().sum();
+            let pct = |p: f64| {
+                let rank = ((p / 100.0) * (count as f64 - 1.0)).round() as usize;
+                lats[rank.min(lats.len() - 1)] as f64
+            };
+            SyscallLatencyProfile {
+                syscall,
+                count,
+                mean_ns: total as f64 / count as f64,
+                p50_ns: pct(50.0),
+                p99_ns: pct(99.0),
+                total_ns: total,
+            }
+        })
+        .collect();
+    profiles.sort_by_key(|p| std::cmp::Reverse(p.total_ns));
+    profiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn data_ev(syscall: &str, ret: i64, path: &str, lat: u64) -> serde_json::Value {
+        json!({"syscall": syscall, "ret_val": ret, "file_path": path, "latency_ns": lat})
+    }
+
+    #[test]
+    fn flags_small_io_dominated_files() {
+        let idx = Index::new("t");
+        let mut docs = Vec::new();
+        for _ in 0..20 {
+            docs.push(data_ev("write", 64, "/chatty.log", 100)); // tiny writes
+        }
+        for _ in 0..20 {
+            docs.push(data_ev("write", 65_536, "/bulk.dat", 100)); // large writes
+        }
+        for _ in 0..4 {
+            docs.push(data_ev("write", 1, "/rare", 100)); // below min_ops
+        }
+        idx.bulk(docs);
+        let findings = detect_small_io(&idx, &SmallIoConfig::default());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].target, "/chatty.log");
+        assert_eq!(findings[0].small_fraction(), 1.0);
+        assert_eq!(findings[0].mean_bytes, 64.0);
+    }
+
+    #[test]
+    fn mixed_file_respects_flag_fraction() {
+        let idx = Index::new("t");
+        let mut docs = Vec::new();
+        for i in 0..20 {
+            let size = if i < 8 { 100 } else { 8_192 }; // 40% small
+            docs.push(data_ev("read", size, "/mixed", 100));
+        }
+        idx.bulk(docs);
+        assert!(detect_small_io(&idx, &SmallIoConfig::default()).is_empty());
+        let lax = SmallIoConfig { flag_fraction: 0.3, ..Default::default() };
+        assert_eq!(detect_small_io(&idx, &lax).len(), 1);
+    }
+
+    #[test]
+    fn failed_and_zero_byte_ops_ignored() {
+        let idx = Index::new("t");
+        idx.bulk(vec![
+            data_ev("read", 0, "/eof", 10),
+            data_ev("read", -9, "/bad", 10),
+        ]);
+        let cfg = SmallIoConfig { min_ops: 1, ..Default::default() };
+        assert!(detect_small_io(&idx, &cfg).is_empty());
+    }
+
+    #[test]
+    fn latency_profile_orders_by_total_time() {
+        let idx = Index::new("t");
+        let mut docs = Vec::new();
+        for _ in 0..100 {
+            docs.push(data_ev("read", 1, "/f", 1_000)); // 100 us total
+        }
+        for _ in 0..2 {
+            docs.push(data_ev("fsync", 0, "/f", 1_000_000)); // 2 ms total
+        }
+        idx.bulk(docs);
+        let profiles = latency_profile(&idx);
+        assert_eq!(profiles[0].syscall, "fsync");
+        assert_eq!(profiles[0].count, 2);
+        assert_eq!(profiles[1].syscall, "read");
+        assert_eq!(profiles[1].p50_ns, 1_000.0);
+        assert!(profiles[1].tail_ratio() >= 1.0);
+    }
+
+    #[test]
+    fn tail_ratio_exposes_anomalies() {
+        let idx = Index::new("t");
+        let mut docs: Vec<serde_json::Value> =
+            (0..97).map(|_| data_ev("write", 1, "/f", 100)).collect();
+        for _ in 0..3 {
+            docs.push(data_ev("write", 1, "/f", 50_000)); // 3% outliers
+        }
+        idx.bulk(docs);
+        let profiles = latency_profile(&idx);
+        assert_eq!(profiles.len(), 1);
+        assert!(profiles[0].tail_ratio() > 100.0, "ratio={}", profiles[0].tail_ratio());
+    }
+}

@@ -1,0 +1,315 @@
+//! YCSB-style workload generation (key distributions + operation mixes).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One benchmark operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operation {
+    /// Point read of an existing key.
+    Read,
+    /// Overwrite of an existing key.
+    Update,
+    /// Insert of a new key.
+    Insert,
+    /// Short range scan.
+    Scan,
+    /// Read-modify-write of an existing key.
+    ReadModifyWrite,
+}
+
+/// The YCSB core workload mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YcsbWorkload {
+    /// A: 50% reads / 50% updates, zipfian (the paper's RocksDB workload).
+    A,
+    /// B: 95% reads / 5% updates, zipfian.
+    B,
+    /// C: 100% reads, zipfian.
+    C,
+    /// D: 95% reads (latest) / 5% inserts.
+    D,
+    /// E: 95% scans / 5% inserts.
+    E,
+    /// F: 50% reads / 50% read-modify-writes, zipfian.
+    F,
+}
+
+impl YcsbWorkload {
+    /// Picks the next operation type.
+    pub fn next_op(self, rng: &mut SmallRng) -> Operation {
+        let roll: f64 = rng.gen();
+        match self {
+            YcsbWorkload::A => {
+                if roll < 0.5 {
+                    Operation::Read
+                } else {
+                    Operation::Update
+                }
+            }
+            YcsbWorkload::B => {
+                if roll < 0.95 {
+                    Operation::Read
+                } else {
+                    Operation::Update
+                }
+            }
+            YcsbWorkload::C => Operation::Read,
+            YcsbWorkload::D => {
+                if roll < 0.95 {
+                    Operation::Read
+                } else {
+                    Operation::Insert
+                }
+            }
+            YcsbWorkload::E => {
+                if roll < 0.95 {
+                    Operation::Scan
+                } else {
+                    Operation::Insert
+                }
+            }
+            YcsbWorkload::F => {
+                if roll < 0.5 {
+                    Operation::Read
+                } else {
+                    Operation::ReadModifyWrite
+                }
+            }
+        }
+    }
+
+    /// The letter name (`"A"`..`"F"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            YcsbWorkload::A => "A",
+            YcsbWorkload::B => "B",
+            YcsbWorkload::C => "C",
+            YcsbWorkload::D => "D",
+            YcsbWorkload::E => "E",
+            YcsbWorkload::F => "F",
+        }
+    }
+}
+
+/// Key-selection distribution.
+#[derive(Debug, Clone)]
+pub enum KeyDistribution {
+    /// Uniform over the keyspace.
+    Uniform,
+    /// YCSB's scrambled zipfian with the given theta (0.99 by default).
+    Zipfian {
+        /// Skew parameter; larger = more skew.
+        theta: f64,
+    },
+}
+
+/// Generates record keys according to a distribution.
+///
+/// # Examples
+///
+/// ```
+/// use dio_dbbench::{KeyDistribution, KeyGenerator};
+///
+/// let mut gen = KeyGenerator::new(1_000, KeyDistribution::Zipfian { theta: 0.99 }, 42);
+/// let key = gen.next_key();
+/// assert!(key.starts_with(b"user"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyGenerator {
+    n: u64,
+    dist: KeyDistribution,
+    rng: SmallRng,
+    // zipfian precomputation
+    zetan: f64,
+    theta: f64,
+    alpha: f64,
+    eta: f64,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+impl KeyGenerator {
+    /// Creates a generator over `n` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u64, dist: KeyDistribution, seed: u64) -> Self {
+        assert!(n > 0, "keyspace must be non-empty");
+        let theta = match dist {
+            KeyDistribution::Zipfian { theta } => theta,
+            KeyDistribution::Uniform => 0.0,
+        };
+        let (zetan, alpha, eta) = if matches!(dist, KeyDistribution::Zipfian { .. }) {
+            let zetan = zeta(n, theta);
+            let zeta2 = zeta(2.min(n), theta);
+            let alpha = 1.0 / (1.0 - theta);
+            let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+            (zetan, alpha, eta)
+        } else {
+            (0.0, 0.0, 0.0)
+        };
+        KeyGenerator { n, dist, rng: SmallRng::seed_from_u64(seed), zetan, theta, alpha, eta }
+    }
+
+    /// The keyspace size.
+    pub fn keyspace(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws the next record index.
+    pub fn next_index(&mut self) -> u64 {
+        match self.dist {
+            KeyDistribution::Uniform => self.rng.gen_range(0..self.n),
+            KeyDistribution::Zipfian { .. } => {
+                let u: f64 = self.rng.gen();
+                let uz = u * self.zetan;
+                let rank = if uz < 1.0 {
+                    0
+                } else if uz < 1.0 + 0.5f64.powf(self.theta) {
+                    1
+                } else {
+                    ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64
+                };
+                // Scramble so hot keys spread over the keyspace (YCSB's
+                // "scrambled zipfian").
+                fnv_scramble(rank.min(self.n - 1)) % self.n
+            }
+        }
+    }
+
+    /// Draws the next key in YCSB's `user<index>` format.
+    pub fn next_key(&mut self) -> Vec<u8> {
+        Self::key_for(self.next_index())
+    }
+
+    /// Formats the key for a record index.
+    pub fn key_for(index: u64) -> Vec<u8> {
+        format!("user{index:012}").into_bytes()
+    }
+}
+
+fn fnv_scramble(x: u64) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in x.to_le_bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Generates values of a fixed size with a varying fill byte.
+#[derive(Debug, Clone)]
+pub struct ValueGenerator {
+    size: usize,
+    rng: SmallRng,
+}
+
+impl ValueGenerator {
+    /// Creates a generator for `size`-byte values.
+    pub fn new(size: usize, seed: u64) -> Self {
+        ValueGenerator { size, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// The next value.
+    pub fn next_value(&mut self) -> Vec<u8> {
+        let fill: u8 = self.rng.gen();
+        vec![fill; self.size]
+    }
+
+    /// Configured value size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn uniform_covers_keyspace() {
+        let mut g = KeyGenerator::new(100, KeyDistribution::Uniform, 7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5_000 {
+            let i = g.next_index();
+            assert!(i < 100);
+            seen.insert(i);
+        }
+        assert!(seen.len() > 95, "uniform should touch nearly all keys: {}", seen.len());
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let mut g = KeyGenerator::new(10_000, KeyDistribution::Zipfian { theta: 0.99 }, 7);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(g.next_index()).or_insert(0) += 1;
+        }
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u64 = freqs.iter().take(10).sum();
+        assert!(
+            top10 as f64 > 0.25 * 50_000.0,
+            "top-10 keys should dominate a zipfian draw, got {top10}"
+        );
+        assert!(counts.len() < 9_000, "far fewer distinct keys than draws");
+    }
+
+    #[test]
+    fn zipfian_indices_in_range() {
+        let mut g = KeyGenerator::new(50, KeyDistribution::Zipfian { theta: 0.99 }, 3);
+        for _ in 0..10_000 {
+            assert!(g.next_index() < 50);
+        }
+    }
+
+    #[test]
+    fn keys_are_stable_and_sortable() {
+        assert_eq!(KeyGenerator::key_for(42), b"user000000000042".to_vec());
+        assert!(KeyGenerator::key_for(9) < KeyGenerator::key_for(10));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = KeyGenerator::new(1000, KeyDistribution::Zipfian { theta: 0.99 }, 5);
+        let mut b = KeyGenerator::new(1000, KeyDistribution::Zipfian { theta: 0.99 }, 5);
+        for _ in 0..100 {
+            assert_eq!(a.next_index(), b.next_index());
+        }
+    }
+
+    #[test]
+    fn workload_mixes_roughly_match() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut reads = 0;
+        for _ in 0..10_000 {
+            if YcsbWorkload::A.next_op(&mut rng) == Operation::Read {
+                reads += 1;
+            }
+        }
+        assert!((4_500..=5_500).contains(&reads), "YCSB-A ~50% reads, got {reads}");
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(
+            (0..10_000).all(|_| YcsbWorkload::C.next_op(&mut rng) == Operation::Read),
+            "YCSB-C is read-only"
+        );
+    }
+
+    #[test]
+    fn value_generator_sizes() {
+        let mut v = ValueGenerator::new(400, 1);
+        assert_eq!(v.next_value().len(), 400);
+        assert_eq!(v.size(), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "keyspace")]
+    fn empty_keyspace_panics() {
+        KeyGenerator::new(0, KeyDistribution::Uniform, 1);
+    }
+}

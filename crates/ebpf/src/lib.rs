@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! DIO's kernel-side machinery, modelled after eBPF.
+//!
+//! Three pieces mirror what DIO loads into the Linux kernel:
+//!
+//! * [`FilterSpec`] — in-kernel filtering by syscall type, PID, TID and
+//!   file path, evaluated at `sys_enter` before any data is copied;
+//! * [`TracerProgram`] — the probe pair attached to each syscall
+//!   tracepoint: joins entry+exit in a bounded map, enriches events with
+//!   file type / offset / file tag, and emits [`RawEvent`]s;
+//! * [`RingBuffer`] — per-CPU bounded queues between kernel-space
+//!   producers and the user-space consumer, with exact drop accounting
+//!   (the §III-D discard experiment).
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dio_ebpf::{ProgramConfig, RingBuffer, RingConfig, TracerProgram};
+//! use dio_kernel::{Kernel, SyscallProbe};
+//!
+//! let kernel = Kernel::new();
+//! let ring = Arc::new(RingBuffer::new(kernel.num_cpus(), RingConfig::paper_default()));
+//! let program = TracerProgram::new(ProgramConfig::default(), ring);
+//! kernel.tracepoints().attach(Arc::clone(&program) as Arc<dyn SyscallProbe>);
+//!
+//! let thread = kernel.spawn_process("app").spawn_thread("app");
+//! thread.creat("/file", 0o644)?;
+//! let events = program.ring().drain_all(16);
+//! assert_eq!(events.len(), 1);
+//! # Ok::<(), dio_kernel::Errno>(())
+//! ```
+
+mod filter;
+mod program;
+mod ring;
+
+pub use filter::FilterSpec;
+pub use program::{ProgramConfig, ProgramStats, RawEvent, TracerProgram};
+pub use ring::{RingBuffer, RingConfig, RingStats};

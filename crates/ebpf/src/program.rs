@@ -1,0 +1,502 @@
+//! The DIO tracer's kernel-side program.
+//!
+//! [`TracerProgram`] plays the role of DIO's eBPF programs: it attaches to
+//! the `sys_enter`/`sys_exit` tracepoints of the selected syscalls, filters
+//! events in kernel space, **joins entry and exit into a single event**
+//! (kernel-side aggregation — a feature the paper credits only to DIO, CaT
+//! and Tracee), enriches it with file type / offset / file tag, and pushes
+//! it into the per-CPU ring buffer without ever blocking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use dio_kernel::{EnterEvent, ExitEvent, KernelInspect, SyscallProbe};
+use dio_syscall::{
+    Arg, FileTag, FileType, Pid, SyscallEvent, SyscallKind, SyscallSet, Tid,
+};
+
+use crate::filter::FilterSpec;
+use crate::ring::RingBuffer;
+
+/// A joined (entry+exit) raw event as it travels through the ring buffer.
+///
+/// This is the kernel-side record; the user-space tracer turns it into a
+/// [`SyscallEvent`] by stamping the session name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawEvent {
+    /// Syscall kind.
+    pub kind: SyscallKind,
+    /// Calling process.
+    pub pid: Pid,
+    /// Calling thread.
+    pub tid: Tid,
+    /// Thread name.
+    pub comm: String,
+    /// CPU of the entry tracepoint.
+    pub cpu: u32,
+    /// Entry timestamp (ns).
+    pub time_enter_ns: u64,
+    /// Exit timestamp (ns).
+    pub time_exit_ns: u64,
+    /// Return value (`-errno` on failure).
+    pub ret: i64,
+    /// Raw arguments captured at entry.
+    pub args: Vec<Arg>,
+    /// Enrichment: file type of the target.
+    pub file_type: Option<FileType>,
+    /// Enrichment: offset before the syscall applied.
+    pub offset: Option<u64>,
+    /// Enrichment: file tag of the target.
+    pub file_tag: Option<FileTag>,
+    /// Path argument for path-bearing syscalls.
+    pub path: Option<String>,
+}
+
+impl RawEvent {
+    /// Converts the raw record into a backend-ready event.
+    pub fn into_event(self, session: &str) -> SyscallEvent {
+        SyscallEvent {
+            session: session.to_string(),
+            kind: self.kind,
+            class: self.kind.class(),
+            pid: self.pid,
+            tid: self.tid,
+            comm: self.comm,
+            cpu: self.cpu,
+            time_enter_ns: self.time_enter_ns,
+            time_exit_ns: self.time_exit_ns,
+            ret: self.ret,
+            args: self.args,
+            file_type: self.file_type,
+            offset: self.offset,
+            file_tag: self.file_tag,
+            file_path: self.path,
+        }
+    }
+}
+
+/// Behavioural knobs of the kernel-side program.
+#[derive(Debug, Clone)]
+pub struct ProgramConfig {
+    /// In-kernel filter applied at `sys_enter`.
+    pub filter: FilterSpec,
+    /// Whether to perform context enrichment (file type, offset, file tag).
+    /// DIO enables this; the cheaper sysdig baseline does not.
+    pub enrich: bool,
+    /// Whether to record path arguments of path-bearing syscalls.
+    pub capture_paths: bool,
+    /// Calibrated extra in-kernel work per `sys_enter`, in nanoseconds.
+    ///
+    /// Models the cost of the real eBPF program (argument copies, map
+    /// updates) that the in-process simulation does not naturally pay.
+    /// See DESIGN.md §6 "Overhead model".
+    pub enter_cost_ns: u64,
+    /// Calibrated extra in-kernel work per `sys_exit`, in nanoseconds.
+    pub exit_cost_ns: u64,
+    /// Capacity of the entry→exit join map (BPF maps are bounded).
+    pub join_capacity: usize,
+}
+
+impl Default for ProgramConfig {
+    fn default() -> Self {
+        ProgramConfig {
+            filter: FilterSpec::new(),
+            enrich: true,
+            capture_paths: true,
+            enter_cost_ns: 0,
+            exit_cost_ns: 0,
+            join_capacity: 65_536,
+        }
+    }
+}
+
+/// Counters exported by the program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgramStats {
+    /// Events admitted by the filter at `sys_enter`.
+    pub admitted: u64,
+    /// Events rejected by the filter.
+    pub filtered: u64,
+    /// Entries dropped because the join map was full.
+    pub join_overflow: u64,
+    /// Joined events pushed to the ring buffer (successfully or not —
+    /// ring-buffer drops are counted by [`RingBuffer::stats`]).
+    pub emitted: u64,
+}
+
+#[derive(Debug)]
+struct Pending {
+    kind: SyscallKind,
+    time_enter_ns: u64,
+    cpu: u32,
+    comm: String,
+    args: Vec<Arg>,
+    path: Option<String>,
+    file_type: Option<FileType>,
+    offset: Option<u64>,
+    file_tag: Option<FileTag>,
+    /// fd argument, kept to re-enrich opens at exit.
+    fd: Option<i32>,
+}
+
+const JOIN_SHARDS: usize = 16;
+
+/// Kernel-side tracer program. Attach with
+/// [`dio_kernel::TracepointRegistry::attach`].
+pub struct TracerProgram {
+    config: ProgramConfig,
+    ring: Arc<RingBuffer<RawEvent>>,
+    pending: Vec<Mutex<std::collections::HashMap<Tid, Pending>>>,
+    pending_count: AtomicU64,
+    admitted: AtomicU64,
+    filtered: AtomicU64,
+    join_overflow: AtomicU64,
+    emitted: AtomicU64,
+}
+
+impl std::fmt::Debug for TracerProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TracerProgram").field("stats", &self.stats()).finish()
+    }
+}
+
+/// Busy-waits for `ns` nanoseconds (models in-kernel program cost; the work
+/// happens on the traced thread, inside the syscall, exactly like eBPF).
+#[inline]
+fn spin_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let start = Instant::now();
+    while (start.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+impl TracerProgram {
+    /// Creates a program emitting into `ring`.
+    pub fn new(config: ProgramConfig, ring: Arc<RingBuffer<RawEvent>>) -> Arc<Self> {
+        let pending = (0..JOIN_SHARDS).map(|_| Mutex::new(std::collections::HashMap::new())).collect();
+        Arc::new(TracerProgram {
+            config,
+            ring,
+            pending,
+            pending_count: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            filtered: AtomicU64::new(0),
+            join_overflow: AtomicU64::new(0),
+            emitted: AtomicU64::new(0),
+        })
+    }
+
+    /// The ring buffer this program produces into.
+    pub fn ring(&self) -> &Arc<RingBuffer<RawEvent>> {
+        &self.ring
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ProgramStats {
+        ProgramStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            filtered: self.filtered.load(Ordering::Relaxed),
+            join_overflow: self.join_overflow.load(Ordering::Relaxed),
+            emitted: self.emitted.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard(&self, tid: Tid) -> &Mutex<std::collections::HashMap<Tid, Pending>> {
+        &self.pending[tid.0 as usize % JOIN_SHARDS]
+    }
+
+    fn pending_len(&self) -> usize {
+        self.pending_count.load(Ordering::Relaxed) as usize
+    }
+}
+
+impl SyscallProbe for TracerProgram {
+    fn kinds(&self) -> SyscallSet {
+        self.config.filter.enabled_syscalls()
+    }
+
+    fn on_enter(&self, view: &dyn KernelInspect, event: &EnterEvent<'_>) {
+        spin_ns(self.config.enter_cost_ns);
+        if !self.config.filter.admits(view, event) {
+            self.filtered.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        if self.pending_len() >= self.config.join_capacity {
+            self.join_overflow.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut p = Pending {
+            kind: event.kind,
+            time_enter_ns: event.time_ns,
+            cpu: event.cpu,
+            comm: event.comm.to_string(),
+            args: event.args.to_vec(),
+            path: if self.config.capture_paths { event.path.map(str::to_string) } else { None },
+            file_type: None,
+            offset: None,
+            file_tag: None,
+            fd: event.fd,
+        };
+        if self.config.enrich {
+            if let Some(fd) = event.fd {
+                if let Some(info) = view.fd_info(event.pid, fd) {
+                    p.file_type = Some(info.file_type);
+                    if event.kind.class() == dio_syscall::SyscallClass::Data {
+                        // "The file offset being accessed": positional
+                        // syscalls carry it as an argument; cursor-based
+                        // ones use the open file description's offset.
+                        let arg_offset = matches!(
+                            event.kind,
+                            SyscallKind::Pread64 | SyscallKind::Pwrite64 | SyscallKind::Readahead
+                        )
+                        .then(|| {
+                            event
+                                .args
+                                .iter()
+                                .find(|a| a.name == "offset")
+                                .and_then(|a| a.value.as_u64())
+                        })
+                        .flatten();
+                        p.offset = Some(arg_offset.unwrap_or(info.offset));
+                    }
+                    p.file_tag = Some(info.tag());
+                    if self.config.capture_paths && p.path.is_none() {
+                        // The open-time dentry path; lets path filters and
+                        // the correlation algorithm label fd-based events.
+                        // DIO proper resolves this at the backend instead.
+                        p.path = None;
+                    }
+                }
+            }
+        }
+        if self.shard(event.tid).lock().insert(event.tid, p).is_none() {
+            self.pending_count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn on_exit(&self, view: &dyn KernelInspect, event: &ExitEvent) {
+        spin_ns(self.config.exit_cost_ns);
+        let Some(mut p) = self.shard(event.tid).lock().remove(&event.tid) else {
+            return; // filtered at entry, or join-map overflow
+        };
+        self.pending_count.fetch_sub(1, Ordering::Relaxed);
+        if p.kind != event.kind {
+            return; // mismatched enter/exit (should not happen)
+        }
+        // Opens resolve their fd only at exit: enrich the fresh descriptor.
+        if self.config.enrich
+            && matches!(p.kind, SyscallKind::Open | SyscallKind::Openat | SyscallKind::Creat)
+            && event.ret >= 0
+        {
+            if let Some(info) = view.fd_info(event.pid, event.ret as i32) {
+                p.file_type = Some(info.file_type);
+                p.file_tag = Some(info.tag());
+            }
+        }
+        let _ = p.fd;
+        let raw = RawEvent {
+            kind: p.kind,
+            pid: event.pid,
+            tid: event.tid,
+            comm: p.comm,
+            cpu: p.cpu,
+            time_enter_ns: p.time_enter_ns,
+            time_exit_ns: event.time_ns,
+            ret: event.ret,
+            args: p.args,
+            file_type: p.file_type,
+            offset: p.offset,
+            file_tag: p.file_tag,
+            path: p.path,
+        };
+        self.emitted.fetch_add(1, Ordering::Relaxed);
+        self.ring.try_push(event.cpu, raw);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::RingConfig;
+    use dio_kernel::{DiskProfile, Kernel, OpenFlags};
+
+    fn kernel() -> Kernel {
+        Kernel::builder().root_disk(DiskProfile::instant()).build()
+    }
+
+    fn attach(kernel: &Kernel, config: ProgramConfig) -> Arc<TracerProgram> {
+        let ring = Arc::new(RingBuffer::new(kernel.num_cpus(), RingConfig::with_bytes_per_cpu(1 << 20)));
+        let prog = TracerProgram::new(config, ring);
+        kernel.tracepoints().attach(Arc::clone(&prog) as Arc<dyn SyscallProbe>);
+        prog
+    }
+
+    #[test]
+    fn captures_joined_events_with_enrichment() {
+        let k = kernel();
+        let prog = attach(&k, ProgramConfig::default());
+        let t = k.spawn_process("app").spawn_thread("app");
+        let fd = t.openat("/app.log", OpenFlags::CREAT | OpenFlags::RDWR, 0o644).unwrap();
+        t.write(fd, b"0123456789012345678901234&").unwrap();
+        t.close(fd).unwrap();
+
+        let events = prog.ring().drain_all(100);
+        assert_eq!(events.len(), 3);
+        let open = &events[0];
+        assert_eq!(open.kind, SyscallKind::Openat);
+        assert_eq!(open.ret, fd as i64);
+        assert_eq!(open.path.as_deref(), Some("/app.log"));
+        let tag = open.file_tag.expect("open enriched with tag at exit");
+        assert_eq!(tag.dev, dio_kernel::ROOT_DEV);
+        assert!(tag.first_access_ns > 0);
+
+        let write = &events[1];
+        assert_eq!(write.kind, SyscallKind::Write);
+        assert_eq!(write.ret, 26);
+        assert_eq!(write.offset, Some(0), "offset reported BEFORE the write applies");
+        assert_eq!(write.file_tag, Some(tag), "same generation, same tag");
+        assert_eq!(write.file_type, Some(FileType::Regular));
+        assert!(write.time_exit_ns >= write.time_enter_ns);
+
+        let close = &events[2];
+        assert_eq!(close.kind, SyscallKind::Close);
+        assert_eq!(close.file_tag, Some(tag));
+        // close is not a data syscall: no offset enrichment.
+        assert_eq!(close.offset, None);
+    }
+
+    #[test]
+    fn positional_syscalls_report_the_accessed_offset() {
+        let k = kernel();
+        let prog = attach(&k, ProgramConfig::default());
+        let t = k.spawn_process("app").spawn_thread("app");
+        let fd = t.openat("/f", OpenFlags::CREAT | OpenFlags::RDWR, 0o644).unwrap();
+        t.pwrite64(fd, b"abcd", 1_000).unwrap();
+        let mut buf = [0u8; 2];
+        t.pread64(fd, &mut buf, 1_002).unwrap();
+        // Cursor-based write still reports the cursor position (0).
+        t.write(fd, b"x").unwrap();
+        let events = prog.ring().drain_all(100);
+        let pwrite = events.iter().find(|e| e.kind == SyscallKind::Pwrite64).unwrap();
+        assert_eq!(pwrite.offset, Some(1_000), "pwrite64 offset from its argument");
+        let pread = events.iter().find(|e| e.kind == SyscallKind::Pread64).unwrap();
+        assert_eq!(pread.offset, Some(1_002));
+        let write = events.iter().find(|e| e.kind == SyscallKind::Write).unwrap();
+        assert_eq!(write.offset, Some(0), "plain write uses the cursor");
+    }
+
+    #[test]
+    fn filter_rejections_are_counted_not_emitted() {
+        let k = kernel();
+        let cfg = ProgramConfig {
+            filter: FilterSpec::new().syscalls([SyscallKind::Write]),
+            ..ProgramConfig::default()
+        };
+        let prog = attach(&k, cfg);
+        let t = k.spawn_process("app").spawn_thread("app");
+        let fd = t.openat("/f", OpenFlags::CREAT | OpenFlags::RDWR, 0o644).unwrap();
+        t.write(fd, b"x").unwrap();
+        t.close(fd).unwrap();
+        let events = prog.ring().drain_all(100);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, SyscallKind::Write);
+        // openat/close tracepoints were never enabled -> not even filtered.
+        assert_eq!(prog.stats().filtered, 0);
+        assert_eq!(prog.stats().admitted, 1);
+    }
+
+    #[test]
+    fn pid_filter_separates_processes() {
+        let k = kernel();
+        let p1 = k.spawn_process("one");
+        let p2 = k.spawn_process("two");
+        let cfg = ProgramConfig {
+            filter: FilterSpec::new().pids([p1.pid()]),
+            ..ProgramConfig::default()
+        };
+        let prog = attach(&k, cfg);
+        let t1 = p1.spawn_thread("one");
+        let t2 = p2.spawn_thread("two");
+        t1.creat("/a", 0o644).unwrap();
+        t2.creat("/b", 0o644).unwrap();
+        let events = prog.ring().drain_all(100);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].pid, p1.pid());
+        assert_eq!(prog.stats().filtered, 1);
+    }
+
+    #[test]
+    fn enrichment_disabled_omits_context() {
+        let k = kernel();
+        let cfg = ProgramConfig { enrich: false, ..ProgramConfig::default() };
+        let prog = attach(&k, cfg);
+        let t = k.spawn_process("app").spawn_thread("app");
+        let fd = t.openat("/f", OpenFlags::CREAT | OpenFlags::RDWR, 0o644).unwrap();
+        t.write(fd, b"abc").unwrap();
+        let events = prog.ring().drain_all(100);
+        assert!(events.iter().all(|e| e.file_tag.is_none() && e.offset.is_none()));
+    }
+
+    #[test]
+    fn failed_syscalls_carry_negative_errno() {
+        let k = kernel();
+        let prog = attach(&k, ProgramConfig::default());
+        let t = k.spawn_process("app").spawn_thread("app");
+        let _ = t.openat("/missing", OpenFlags::RDONLY, 0);
+        let events = prog.ring().drain_all(10);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].ret, -2, "ENOENT encoded as -2");
+        assert!(events[0].file_tag.is_none());
+    }
+
+    #[test]
+    fn into_event_stamps_session() {
+        let k = kernel();
+        let prog = attach(&k, ProgramConfig::default());
+        let t = k.spawn_process("app").spawn_thread("worker1");
+        t.creat("/f", 0o644).unwrap();
+        let raw = prog.ring().drain_all(1).pop().unwrap();
+        let ev = raw.into_event("sess-42");
+        assert_eq!(ev.session, "sess-42");
+        assert_eq!(ev.comm, "worker1");
+        assert_eq!(ev.kind, SyscallKind::Creat);
+        assert_eq!(ev.class, dio_syscall::SyscallClass::Metadata);
+    }
+
+    #[test]
+    fn ring_overflow_drops_newest_events() {
+        let k = kernel();
+        let ring = Arc::new(RingBuffer::with_slots(k.num_cpus(), 2));
+        let prog = TracerProgram::new(ProgramConfig::default(), ring);
+        k.tracepoints().attach(Arc::clone(&prog) as Arc<dyn SyscallProbe>);
+        let p = k.spawn_process("app");
+        let t = p.spawn_thread("app"); // one thread => one CPU => one 2-slot queue
+        for i in 0..10 {
+            t.creat(&format!("/f{i}"), 0o644).unwrap();
+        }
+        let stats = prog.ring().stats();
+        assert_eq!(stats.pushed, 2);
+        assert_eq!(stats.dropped, 8);
+        assert_eq!(prog.stats().emitted, 10);
+    }
+
+    #[test]
+    fn join_capacity_overflow_counts() {
+        let k = kernel();
+        let ring = Arc::new(RingBuffer::with_slots(k.num_cpus(), 64));
+        let cfg = ProgramConfig { join_capacity: 0, ..ProgramConfig::default() };
+        let prog = TracerProgram::new(cfg, ring);
+        k.tracepoints().attach(Arc::clone(&prog) as Arc<dyn SyscallProbe>);
+        let t = k.spawn_process("app").spawn_thread("app");
+        t.creat("/f", 0o644).unwrap();
+        assert_eq!(prog.stats().join_overflow, 1);
+        assert!(prog.ring().is_empty());
+    }
+}

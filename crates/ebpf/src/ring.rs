@@ -1,0 +1,245 @@
+//! Per-CPU bounded ring buffers for kernel→user event transport.
+//!
+//! Mirrors the BPF per-CPU ring buffer: producers (eBPF programs in the
+//! syscall path) never block — when the consumer lags and a CPU's buffer is
+//! full, the event is **dropped** and counted. §III-D of the paper measures
+//! exactly this (3.5% of 549 M events dropped at 256 MiB/CPU).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::queue::ArrayQueue;
+
+/// Sizing for the per-CPU buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RingConfig {
+    /// Bytes reserved per CPU (the paper's experiments use 256 MiB).
+    pub bytes_per_cpu: u64,
+    /// Estimated serialized size of one event, used to convert bytes to
+    /// slots (DIO events average a few hundred bytes of JSON).
+    pub est_event_bytes: u64,
+}
+
+impl RingConfig {
+    /// The paper's configuration: 256 MiB per CPU.
+    pub fn paper_default() -> Self {
+        RingConfig { bytes_per_cpu: 256 * 1024 * 1024, est_event_bytes: 512 }
+    }
+
+    /// A small buffer for tests and discard-rate experiments.
+    pub fn with_bytes_per_cpu(bytes_per_cpu: u64) -> Self {
+        RingConfig { bytes_per_cpu, est_event_bytes: 512 }
+    }
+
+    /// Slots per CPU implied by this configuration (at least 1).
+    pub fn slots_per_cpu(&self) -> usize {
+        ((self.bytes_per_cpu / self.est_event_bytes.max(1)) as usize).max(1)
+    }
+}
+
+/// Counters describing ring-buffer behaviour over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// Events successfully produced into some CPU buffer.
+    pub pushed: u64,
+    /// Events taken out by the consumer.
+    pub consumed: u64,
+    /// Events dropped because the target CPU buffer was full.
+    pub dropped: u64,
+}
+
+impl RingStats {
+    /// Fraction of produced-or-dropped events that were dropped.
+    pub fn drop_rate(&self) -> f64 {
+        let total = self.pushed + self.dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / total as f64
+        }
+    }
+}
+
+/// A set of per-CPU bounded queues with drop accounting.
+///
+/// # Examples
+///
+/// ```
+/// use dio_ebpf::{RingBuffer, RingConfig};
+///
+/// let ring: RingBuffer<u32> = RingBuffer::with_slots(2, 4);
+/// ring.try_push(0, 7);
+/// assert_eq!(ring.drain(0, 16), vec![7]);
+/// assert_eq!(ring.stats().consumed, 1);
+/// ```
+#[derive(Debug)]
+pub struct RingBuffer<T> {
+    queues: Vec<ArrayQueue<T>>,
+    pushed: AtomicU64,
+    consumed: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates per-CPU buffers sized by `config`.
+    pub fn new(num_cpus: u32, config: RingConfig) -> Self {
+        Self::with_slots(num_cpus, config.slots_per_cpu())
+    }
+
+    /// Creates per-CPU buffers with an explicit slot count.
+    pub fn with_slots(num_cpus: u32, slots_per_cpu: usize) -> Self {
+        RingBuffer {
+            queues: (0..num_cpus.max(1)).map(|_| ArrayQueue::new(slots_per_cpu.max(1))).collect(),
+            pushed: AtomicU64::new(0),
+            consumed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of per-CPU queues.
+    pub fn num_cpus(&self) -> u32 {
+        self.queues.len() as u32
+    }
+
+    /// Non-blocking push from CPU `cpu`. On overflow the event is dropped
+    /// and counted; the producer never waits.
+    pub fn try_push(&self, cpu: u32, item: T) -> bool {
+        let q = &self.queues[cpu as usize % self.queues.len()];
+        match q.push(item) {
+            Ok(()) => {
+                self.pushed.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Pops up to `max` events from CPU `cpu`'s buffer.
+    pub fn drain(&self, cpu: u32, max: usize) -> Vec<T> {
+        let q = &self.queues[cpu as usize % self.queues.len()];
+        let mut out = Vec::new();
+        while out.len() < max {
+            match q.pop() {
+                Some(item) => out.push(item),
+                None => break,
+            }
+        }
+        self.consumed.fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Pops up to `max` events across all CPU buffers, round-robin.
+    pub fn drain_all(&self, max: usize) -> Vec<T> {
+        let mut out = Vec::new();
+        'outer: loop {
+            let mut empty = 0;
+            for q in &self.queues {
+                if out.len() >= max {
+                    break 'outer;
+                }
+                match q.pop() {
+                    Some(item) => out.push(item),
+                    None => empty += 1,
+                }
+            }
+            if empty == self.queues.len() {
+                break;
+            }
+        }
+        self.consumed.fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Whether every CPU buffer is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> RingStats {
+        RingStats {
+            pushed: self.pushed.load(Ordering::Relaxed),
+            consumed: self.consumed.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_slot_math() {
+        let c = RingConfig::paper_default();
+        assert_eq!(c.slots_per_cpu(), (256 * 1024 * 1024 / 512) as usize);
+        assert_eq!(RingConfig::with_bytes_per_cpu(1024).slots_per_cpu(), 2);
+        assert_eq!(RingConfig { bytes_per_cpu: 1, est_event_bytes: 512 }.slots_per_cpu(), 1);
+    }
+
+    #[test]
+    fn push_drain_roundtrip() {
+        let ring: RingBuffer<u32> = RingBuffer::with_slots(2, 8);
+        for i in 0..5 {
+            assert!(ring.try_push(i % 2, i));
+        }
+        let cpu0 = ring.drain(0, 16);
+        let cpu1 = ring.drain(1, 16);
+        assert_eq!(cpu0, vec![0, 2, 4]);
+        assert_eq!(cpu1, vec![1, 3]);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let ring: RingBuffer<u32> = RingBuffer::with_slots(1, 2);
+        assert!(ring.try_push(0, 1));
+        assert!(ring.try_push(0, 2));
+        assert!(!ring.try_push(0, 3));
+        assert!(!ring.try_push(0, 4));
+        let s = ring.stats();
+        assert_eq!(s.pushed, 2);
+        assert_eq!(s.dropped, 2);
+        assert!((s.drop_rate() - 0.5).abs() < 1e-9);
+        // Consumer only ever sees the events that fit.
+        assert_eq!(ring.drain(0, 16), vec![1, 2]);
+    }
+
+    #[test]
+    fn drain_all_round_robins() {
+        let ring: RingBuffer<u32> = RingBuffer::with_slots(3, 4);
+        ring.try_push(0, 0);
+        ring.try_push(1, 1);
+        ring.try_push(2, 2);
+        ring.try_push(0, 3);
+        let all = ring.drain_all(10);
+        assert_eq!(all, vec![0, 1, 2, 3]);
+        assert_eq!(ring.stats().consumed, 4);
+    }
+
+    #[test]
+    fn drain_respects_max() {
+        let ring: RingBuffer<u32> = RingBuffer::with_slots(1, 8);
+        for i in 0..6 {
+            ring.try_push(0, i);
+        }
+        assert_eq!(ring.drain(0, 4).len(), 4);
+        assert_eq!(ring.drain_all(1).len(), 1);
+        assert_eq!(ring.drain(0, 16).len(), 1);
+    }
+
+    #[test]
+    fn cpu_index_wraps() {
+        let ring: RingBuffer<u32> = RingBuffer::with_slots(2, 4);
+        ring.try_push(5, 42); // cpu 5 % 2 == 1
+        assert_eq!(ring.drain(1, 4), vec![42]);
+    }
+
+    #[test]
+    fn empty_drop_rate_is_zero() {
+        let ring: RingBuffer<u32> = RingBuffer::with_slots(1, 1);
+        assert_eq!(ring.stats().drop_rate(), 0.0);
+    }
+}

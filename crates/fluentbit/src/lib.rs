@@ -1,0 +1,392 @@
+#![warn(missing_docs)]
+
+//! A faithful model of Fluent Bit's `tail` input plugin — buggy and fixed.
+//!
+//! The paper's first case study (§III-B) diagnoses data loss in Fluent Bit
+//! v1.4.0 (issues fluent/fluent-bit#1875 and #4895): the plugin tracks each
+//! file's consumed offset in a database keyed by *name + inode number*, but
+//! v1.4.0 never deletes entries when files are removed. When a log file is
+//! deleted and re-created, Linux reuses the inode number, the stale entry
+//! matches the new file, and the plugin resumes reading at an offset past
+//! the new file's content — losing everything before it.
+//!
+//! [`TailPlugin`] reproduces both behaviours ([`FluentBitVersion::V1_4_0`]
+//! and the fixed [`FluentBitVersion::V2_0_5`]) with the exact syscall
+//! sequences of Fig. 2a/2b, and [`run_issue_1875`] replays the client
+//! script from the issue.
+
+use std::collections::HashMap;
+
+use dio_kernel::{Errno, Kernel, OpenFlags, SysResult, ThreadCtx, Whence};
+
+/// Which Fluent Bit behaviour to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FluentBitVersion {
+    /// v1.4.0 — position-database entries survive file deletion (buggy).
+    V1_4_0,
+    /// v2.0.5 — entries are dropped when the file disappears (fixed).
+    V2_0_5,
+}
+
+impl FluentBitVersion {
+    /// The thread name a tracer observes, matching the paper's figures
+    /// (`fluent-bit` in Fig. 2a, `flb-pipeline` in Fig. 2b).
+    pub fn thread_name(self) -> &'static str {
+        match self {
+            FluentBitVersion::V1_4_0 => "fluent-bit",
+            FluentBitVersion::V2_0_5 => "flb-pipeline",
+        }
+    }
+}
+
+/// What one [`TailPlugin::poll`] observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollOutcome {
+    /// The watched file does not exist (and nothing was open).
+    Missing,
+    /// The watched file disappeared; the open descriptor was closed.
+    FileRemoved,
+    /// `bytes` new bytes were consumed.
+    Consumed {
+        /// Bytes read this poll.
+        bytes: u64,
+    },
+    /// The file exists but yielded no new bytes.
+    NoNewData,
+}
+
+/// The tail input plugin: follows one log file and consumes appended
+/// content, exactly as Fluent Bit's `in_tail` does.
+#[derive(Debug)]
+pub struct TailPlugin {
+    ctx: ThreadCtx,
+    version: FluentBitVersion,
+    path: String,
+    /// The position database: (file name, inode) -> consumed offset.
+    /// This keying is the root cause of the bug.
+    position_db: HashMap<(String, u64), u64>,
+    /// Currently-open descriptor and the inode it refers to.
+    open: Option<(i32, u64)>,
+    bytes_consumed: u64,
+    read_buf_len: usize,
+}
+
+impl TailPlugin {
+    /// Creates a plugin following `path`, issuing syscalls as `ctx`.
+    pub fn new(ctx: ThreadCtx, version: FluentBitVersion, path: impl Into<String>) -> Self {
+        TailPlugin {
+            ctx,
+            version,
+            path: path.into(),
+            position_db: HashMap::new(),
+            open: None,
+            bytes_consumed: 0,
+            read_buf_len: 64,
+        }
+    }
+
+    /// Total bytes successfully consumed from the log.
+    pub fn bytes_consumed(&self) -> u64 {
+        self.bytes_consumed
+    }
+
+    /// The position database size (v1.4.0 leaks entries here).
+    pub fn position_db_len(&self) -> usize {
+        self.position_db.len()
+    }
+
+    /// Scans the watched file once: detects deletion/creation and consumes
+    /// any new content.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unexpected kernel errors (`EBADF`, `EIO`, ...); missing
+    /// files are reported via [`PollOutcome`], not as errors.
+    pub fn poll(&mut self) -> SysResult<PollOutcome> {
+        // 1. Watch for deletion: Fluent Bit reacts to inotify events; the
+        //    polling model stats the path.
+        let stat = match self.ctx.stat(&self.path) {
+            Ok(st) => Some(st),
+            Err(Errno::ENOENT) => None,
+            Err(e) => return Err(e),
+        };
+
+        match (stat, self.open) {
+            (None, None) => Ok(PollOutcome::Missing),
+            (None, Some((fd, ino))) => {
+                // The file we were tailing is gone.
+                self.ctx.close(fd)?;
+                self.open = None;
+                if self.version == FluentBitVersion::V2_0_5 {
+                    // The fix: purge the database entry for the dead file.
+                    self.position_db.remove(&(self.path.clone(), ino));
+                }
+                Ok(PollOutcome::FileRemoved)
+            }
+            (Some(st), open) => {
+                // Rotation detection when the inode changed under us.
+                if let Some((fd, ino)) = open {
+                    if ino != st.ino {
+                        self.ctx.close(fd)?;
+                        self.open = None;
+                        if self.version == FluentBitVersion::V2_0_5 {
+                            self.position_db.remove(&(self.path.clone(), ino));
+                        }
+                    }
+                }
+                if self.open.is_none() {
+                    let fd = self.ctx.openat(&self.path, OpenFlags::RDONLY, 0)?;
+                    self.open = Some((fd, st.ino));
+                    // Restore the consumed position from the database. In
+                    // v1.4.0 a stale entry for a re-created file (same name,
+                    // same reused inode) survives — THE bug.
+                    let key = (self.path.clone(), st.ino);
+                    let resume = self.position_db.get(&key).copied().unwrap_or(0);
+                    if resume > 0 {
+                        self.ctx.lseek(fd, resume as i64, Whence::Set)?;
+                    }
+                }
+                self.consume()
+            }
+        }
+    }
+
+    /// Reads until EOF from the current position, updating the database.
+    fn consume(&mut self) -> SysResult<PollOutcome> {
+        let (fd, ino) = self.open.expect("called with an open file");
+        let mut total = 0u64;
+        let mut buf = vec![0u8; self.read_buf_len];
+        loop {
+            let n = self.ctx.read(fd, &mut buf)?;
+            total += n as u64;
+            if n < buf.len() {
+                break;
+            }
+        }
+        let pos = self.ctx.lseek(fd, 0, Whence::Cur)?;
+        self.position_db.insert((self.path.clone(), ino), pos);
+        self.bytes_consumed += total;
+        if total > 0 {
+            Ok(PollOutcome::Consumed { bytes: total })
+        } else {
+            Ok(PollOutcome::NoNewData)
+        }
+    }
+}
+
+/// The client program from issue #1875: creates a log file, lets the
+/// tailer consume it, removes it, and re-creates it with fresh content.
+#[derive(Debug)]
+pub struct LogClient {
+    ctx: ThreadCtx,
+}
+
+impl LogClient {
+    /// Creates a client issuing syscalls as `ctx`.
+    pub fn new(ctx: ThreadCtx) -> Self {
+        LogClient { ctx }
+    }
+
+    /// Creates `path` and writes `content` to it (open + write + close).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (`ENOSPC`, ...).
+    pub fn write_log(&self, path: &str, content: &[u8]) -> SysResult<()> {
+        let fd = self.ctx.openat(path, OpenFlags::CREAT | OpenFlags::WRONLY, 0o644)?;
+        self.ctx.write(fd, content)?;
+        self.ctx.close(fd)?;
+        Ok(())
+    }
+
+    /// Removes `path` with `unlink`.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` when the file is missing.
+    pub fn remove(&self, path: &str) -> SysResult<()> {
+        self.ctx.unlink(path)
+    }
+}
+
+/// Outcome of a [`run_issue_1875`] replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioOutcome {
+    /// Bytes the client wrote across both file generations.
+    pub bytes_written: u64,
+    /// Bytes the tailer consumed.
+    pub bytes_consumed: u64,
+    /// The client's pid (for trace filtering).
+    pub client_pid: dio_syscall::Pid,
+    /// The plugin's pid (for trace filtering).
+    pub plugin_pid: dio_syscall::Pid,
+}
+
+impl ScenarioOutcome {
+    /// Bytes lost to the stale-offset bug.
+    pub fn bytes_lost(&self) -> u64 {
+        self.bytes_written - self.bytes_consumed
+    }
+}
+
+/// Replays the issue #1875 script (the Fig. 2 experiment): 26 bytes
+/// written and consumed, file removed and re-created, 16 more bytes
+/// written. With v1.4.0 the final 16 bytes are lost; with v2.0.5 they are
+/// consumed.
+///
+/// `gap_ns` separates the phases on the trace's time axis (the paper's
+/// table shows multi-second gaps; tests use small values).
+///
+/// # Errors
+///
+/// Propagates kernel errors from either process.
+pub fn run_issue_1875(
+    kernel: &Kernel,
+    version: FluentBitVersion,
+    log_path: &str,
+    gap_ns: u64,
+) -> SysResult<ScenarioOutcome> {
+    let client_proc = kernel.spawn_process("app");
+    let plugin_proc = kernel.spawn_process(version.thread_name());
+    let client = LogClient::new(client_proc.spawn_thread("app"));
+    let mut plugin =
+        TailPlugin::new(plugin_proc.spawn_thread(version.thread_name()), version, log_path);
+    let pause = || {
+        if gap_ns > 0 {
+            kernel.clock().sleep_ns(gap_ns);
+        }
+    };
+
+    // (1) app creates app.log and writes 26 bytes at offset 0.
+    let first = b"2020-02-21 17:51:52: line1"; // 26 bytes
+    assert_eq!(first.len(), 26);
+    client.write_log(log_path, first)?;
+    pause();
+    // (2) fluent-bit detects the new content and reads all 26 bytes.
+    plugin.poll()?;
+    pause();
+    // (3) app removes the file; fluent-bit closes its descriptor.
+    client.remove(log_path)?;
+    plugin.poll()?;
+    pause();
+    // (4) app creates a new file with the same name and writes 16 bytes.
+    let second = b"17:52:01: line2!"; // 16 bytes
+    assert_eq!(second.len(), 16);
+    client.write_log(log_path, second)?;
+    pause();
+    // (5) fluent-bit opens the new file. v1.4.0 resumes at stale offset 26
+    //     and reads 0 bytes; v2.0.5 starts at 0 and reads the 16 bytes.
+    plugin.poll()?;
+    pause();
+    plugin.poll()?; // one more EOF poll, as in Fig. 2
+
+    Ok(ScenarioOutcome {
+        bytes_written: (first.len() + second.len()) as u64,
+        bytes_consumed: plugin.bytes_consumed(),
+        client_pid: client_proc.pid(),
+        plugin_pid: plugin_proc.pid(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dio_kernel::DiskProfile;
+
+    fn kernel() -> Kernel {
+        Kernel::builder().root_disk(DiskProfile::instant()).build()
+    }
+
+    #[test]
+    fn v1_4_0_loses_the_second_generation() {
+        let k = kernel();
+        let out = run_issue_1875(&k, FluentBitVersion::V1_4_0, "/app.log", 0).unwrap();
+        assert_eq!(out.bytes_written, 42);
+        assert_eq!(out.bytes_consumed, 26, "only the first generation is read");
+        assert_eq!(out.bytes_lost(), 16);
+    }
+
+    #[test]
+    fn v2_0_5_consumes_everything() {
+        let k = kernel();
+        let out = run_issue_1875(&k, FluentBitVersion::V2_0_5, "/app.log", 0).unwrap();
+        assert_eq!(out.bytes_consumed, 42);
+        assert_eq!(out.bytes_lost(), 0);
+    }
+
+    #[test]
+    fn inode_is_actually_reused_across_generations() {
+        let k = kernel();
+        let t = k.spawn_process("probe").spawn_thread("probe");
+        let client = LogClient::new(k.spawn_process("app").spawn_thread("app"));
+        client.write_log("/app.log", b"aaa").unwrap();
+        let ino1 = t.stat("/app.log").unwrap().ino;
+        client.remove("/app.log").unwrap();
+        client.write_log("/app.log", b"bb").unwrap();
+        let ino2 = t.stat("/app.log").unwrap().ino;
+        assert_eq!(ino1, ino2, "the bug requires inode reuse");
+    }
+
+    #[test]
+    fn plugin_consumes_incremental_appends() {
+        let k = kernel();
+        let proc = k.spawn_process("tailer");
+        let mut plugin =
+            TailPlugin::new(proc.spawn_thread("tailer"), FluentBitVersion::V2_0_5, "/x.log");
+        assert_eq!(plugin.poll().unwrap(), PollOutcome::Missing);
+
+        let writer = k.spawn_process("w").spawn_thread("w");
+        let fd = writer
+            .openat("/x.log", OpenFlags::CREAT | OpenFlags::WRONLY | OpenFlags::APPEND, 0o644)
+            .unwrap();
+        writer.write(fd, b"hello ").unwrap();
+        assert_eq!(plugin.poll().unwrap(), PollOutcome::Consumed { bytes: 6 });
+        assert_eq!(plugin.poll().unwrap(), PollOutcome::NoNewData);
+        writer.write(fd, b"world").unwrap();
+        assert_eq!(plugin.poll().unwrap(), PollOutcome::Consumed { bytes: 5 });
+        assert_eq!(plugin.bytes_consumed(), 11);
+        writer.close(fd).unwrap();
+    }
+
+    #[test]
+    fn v1_4_0_leaks_position_db_entries() {
+        let k = kernel();
+        let client = LogClient::new(k.spawn_process("app").spawn_thread("app"));
+        let mut v1 = TailPlugin::new(
+            k.spawn_process("fb1").spawn_thread("fb1"),
+            FluentBitVersion::V1_4_0,
+            "/l.log",
+        );
+        client.write_log("/l.log", b"abc").unwrap();
+        v1.poll().unwrap();
+        client.remove("/l.log").unwrap();
+        v1.poll().unwrap();
+        assert_eq!(v1.position_db_len(), 1, "stale entry survives in v1.4.0");
+
+        let client2 = LogClient::new(k.spawn_process("app2").spawn_thread("app2"));
+        let mut v2 = TailPlugin::new(
+            k.spawn_process("fb2").spawn_thread("fb2"),
+            FluentBitVersion::V2_0_5,
+            "/m.log",
+        );
+        client2.write_log("/m.log", b"abc").unwrap();
+        v2.poll().unwrap();
+        client2.remove("/m.log").unwrap();
+        v2.poll().unwrap();
+        assert_eq!(v2.position_db_len(), 0, "fixed version purges the entry");
+    }
+
+    #[test]
+    fn reads_spanning_multiple_buffers() {
+        let k = kernel();
+        let client = LogClient::new(k.spawn_process("app").spawn_thread("app"));
+        let mut plugin = TailPlugin::new(
+            k.spawn_process("fb").spawn_thread("fb"),
+            FluentBitVersion::V2_0_5,
+            "/big.log",
+        );
+        let content = vec![b'x'; 1000]; // > 64-byte read buffer
+        client.write_log("/big.log", &content).unwrap();
+        assert_eq!(plugin.poll().unwrap(), PollOutcome::Consumed { bytes: 1000 });
+    }
+}

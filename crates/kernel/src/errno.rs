@@ -1,0 +1,111 @@
+//! POSIX error numbers returned by the simulated kernel.
+
+use serde::{Deserialize, Serialize};
+
+/// The subset of `errno` values the simulated syscalls can produce.
+///
+/// Numeric values match Linux on x86-64, so a traced `ret_val` of `-2`
+/// means `ENOENT` exactly as it would in a real strace/DIO capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(i32)]
+pub enum Errno {
+    /// Operation not permitted.
+    EPERM = 1,
+    /// No such file or directory.
+    ENOENT = 2,
+    /// I/O error.
+    EIO = 5,
+    /// Bad file descriptor.
+    EBADF = 9,
+    /// Permission denied.
+    EACCES = 13,
+    /// File exists.
+    EEXIST = 17,
+    /// Not a directory.
+    ENOTDIR = 20,
+    /// Is a directory.
+    EISDIR = 21,
+    /// Invalid argument.
+    EINVAL = 22,
+    /// File table overflow.
+    ENFILE = 23,
+    /// File too large.
+    EFBIG = 27,
+    /// No space left on device.
+    ENOSPC = 28,
+    /// Illegal seek.
+    ESPIPE = 29,
+    /// Too many links.
+    EMLINK = 31,
+    /// Filename too long.
+    ENAMETOOLONG = 36,
+    /// Directory not empty.
+    ENOTEMPTY = 39,
+    /// Too many symbolic links encountered.
+    ELOOP = 40,
+    /// No data available (missing xattr).
+    ENODATA = 61,
+    /// Operation not supported.
+    EOPNOTSUPP = 95,
+}
+
+impl Errno {
+    /// The syscall return encoding: `-errno`, as Linux returns to user space.
+    pub fn to_ret(self) -> i64 {
+        -(self as i64)
+    }
+
+    /// The symbolic name, e.g. `"ENOENT"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Errno::EPERM => "EPERM",
+            Errno::ENOENT => "ENOENT",
+            Errno::EIO => "EIO",
+            Errno::EBADF => "EBADF",
+            Errno::EACCES => "EACCES",
+            Errno::EEXIST => "EEXIST",
+            Errno::ENOTDIR => "ENOTDIR",
+            Errno::EISDIR => "EISDIR",
+            Errno::EINVAL => "EINVAL",
+            Errno::ENFILE => "ENFILE",
+            Errno::EFBIG => "EFBIG",
+            Errno::ENOSPC => "ENOSPC",
+            Errno::ESPIPE => "ESPIPE",
+            Errno::EMLINK => "EMLINK",
+            Errno::ENAMETOOLONG => "ENAMETOOLONG",
+            Errno::ENOTEMPTY => "ENOTEMPTY",
+            Errno::ELOOP => "ELOOP",
+            Errno::ENODATA => "ENODATA",
+            Errno::EOPNOTSUPP => "EOPNOTSUPP",
+        }
+    }
+}
+
+impl std::fmt::Display for Errno {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.name(), *self as i32)
+    }
+}
+
+impl std::error::Error for Errno {}
+
+/// Result type of every simulated syscall.
+pub type SysResult<T> = Result<T, Errno>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linux_encoding() {
+        assert_eq!(Errno::ENOENT.to_ret(), -2);
+        assert_eq!(Errno::EBADF.to_ret(), -9);
+        assert_eq!(Errno::ENODATA.to_ret(), -61);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Errno::ENOENT.to_string(), "ENOENT (2)");
+        assert_eq!(Errno::ENOTEMPTY.name(), "ENOTEMPTY");
+    }
+}

@@ -1,0 +1,1136 @@
+//! An in-memory POSIX-like file system with Linux-style inode-number reuse.
+//!
+//! The reuse policy (lowest free inode number first) is load-bearing: it is
+//! what lets the Fluent Bit experiment (Fig. 2) reproduce — a file deleted
+//! and re-created with the same name receives the *same inode number*, and
+//! only the file tag's first-access timestamp distinguishes the generations.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use dio_syscall::FileType;
+
+use crate::clock::SimClock;
+use crate::disk::{Disk, DiskOp, DiskProfile};
+use crate::errno::{Errno, SysResult};
+
+/// Maximum symlink traversals during path resolution.
+const MAX_SYMLINK_DEPTH: u32 = 8;
+
+/// Maximum path component length, as on Linux.
+const NAME_MAX: usize = 255;
+
+/// The contents of an inode.
+#[derive(Debug)]
+pub enum InodeContent {
+    /// A regular file and its bytes.
+    Regular(Vec<u8>),
+    /// A directory mapping names to child inode numbers.
+    Directory(BTreeMap<String, u64>),
+    /// A symbolic link and its target path.
+    Symlink(String),
+    /// A special file (pipe, device, socket) with no byte contents.
+    Special(FileType),
+}
+
+/// An in-memory inode.
+#[derive(Debug)]
+pub struct Inode {
+    ino: u64,
+    dev: u64,
+    content: RwLock<InodeContent>,
+    xattrs: Mutex<BTreeMap<String, Vec<u8>>>,
+    nlink: AtomicU32,
+    open_count: AtomicU32,
+    first_access_ns: AtomicU64,
+}
+
+impl Inode {
+    /// Inode number.
+    pub fn ino(&self) -> u64 {
+        self.ino
+    }
+
+    /// Device number hosting the inode.
+    pub fn dev(&self) -> u64 {
+        self.dev
+    }
+
+    /// The file type of this inode.
+    pub fn file_type(&self) -> FileType {
+        match &*self.content.read() {
+            InodeContent::Regular(_) => FileType::Regular,
+            InodeContent::Directory(_) => FileType::Directory,
+            InodeContent::Symlink(_) => FileType::Symlink,
+            InodeContent::Special(t) => *t,
+        }
+    }
+
+    /// Current size in bytes (0 for non-regular files).
+    pub fn size(&self) -> u64 {
+        match &*self.content.read() {
+            InodeContent::Regular(data) => data.len() as u64,
+            InodeContent::Directory(children) => children.len() as u64,
+            _ => 0,
+        }
+    }
+
+    /// Link count.
+    pub fn nlink(&self) -> u32 {
+        self.nlink.load(Ordering::Acquire)
+    }
+
+    /// Number of open file descriptions referring to this inode.
+    pub fn open_count(&self) -> u32 {
+        self.open_count.load(Ordering::Acquire)
+    }
+
+    /// Records the first access timestamp if unset, and returns it.
+    ///
+    /// This is the timestamp component of the DIO file tag.
+    pub fn touch_first_access(&self, now_ns: u64) -> u64 {
+        match self.first_access_ns.compare_exchange(0, now_ns, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => now_ns,
+            Err(existing) => existing,
+        }
+    }
+
+    /// The recorded first-access timestamp (0 if never accessed).
+    pub fn first_access_ns(&self) -> u64 {
+        self.first_access_ns.load(Ordering::Acquire)
+    }
+}
+
+/// `stat`-style metadata snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatBuf {
+    /// Device number.
+    pub dev: u64,
+    /// Inode number.
+    pub ino: u64,
+    /// File type.
+    pub file_type: FileType,
+    /// Size in bytes.
+    pub size: u64,
+    /// Link count.
+    pub nlink: u32,
+}
+
+/// `statfs`-style file-system metadata snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatFs {
+    /// Device number.
+    pub dev: u64,
+    /// Block size used for accounting.
+    pub block_size: u64,
+    /// Total capacity in bytes (`u64::MAX` when unbounded).
+    pub capacity: u64,
+    /// Bytes currently used by regular file data.
+    pub used: u64,
+    /// Number of live inodes.
+    pub inodes: u64,
+}
+
+struct InodeTable {
+    map: HashMap<u64, Arc<Inode>>,
+    free: BinaryHeap<Reverse<u64>>,
+    next: u64,
+}
+
+/// An in-memory file system living on one simulated [`Disk`].
+///
+/// All data-path operations charge the disk model; directory and metadata
+/// operations are memory-only (the paper's testbed had warm metadata caches).
+#[derive(Debug)]
+pub struct Vfs {
+    dev: u64,
+    disk: Arc<Disk>,
+    clock: SimClock,
+    inodes: Mutex<InodeTable>,
+    root_ino: u64,
+    capacity: Option<u64>,
+    used_bytes: AtomicU64,
+}
+
+impl std::fmt::Debug for InodeTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InodeTable")
+            .field("live", &self.map.len())
+            .field("free", &self.free.len())
+            .field("next", &self.next)
+            .finish()
+    }
+}
+
+impl Vfs {
+    /// Creates a file system on a new disk with the given profile.
+    pub fn new(dev: u64, profile: DiskProfile, clock: SimClock) -> Arc<Self> {
+        let disk = Arc::new(Disk::new(dev, profile, clock.clone()));
+        Self::on_disk(disk, clock)
+    }
+
+    /// Creates a file system on an existing disk.
+    pub fn on_disk(disk: Arc<Disk>, clock: SimClock) -> Arc<Self> {
+        let dev = disk.dev();
+        let vfs = Vfs {
+            dev,
+            disk,
+            clock,
+            inodes: Mutex::new(InodeTable { map: HashMap::new(), free: BinaryHeap::new(), next: 1 }),
+            root_ino: 1,
+            capacity: None,
+            used_bytes: AtomicU64::new(0),
+        };
+        let root = vfs.alloc_inode(InodeContent::Directory(BTreeMap::new()));
+        debug_assert_eq!(root.ino(), 1);
+        root.nlink.store(2, Ordering::Release);
+        Arc::new(vfs)
+    }
+
+    /// Creates a capacity-bounded file system (writes past the limit fail
+    /// with `ENOSPC`) — used for failure-injection tests.
+    pub fn with_capacity(dev: u64, profile: DiskProfile, clock: SimClock, capacity: u64) -> Arc<Self> {
+        let vfs = Self::new(dev, profile, clock);
+        // Arc::new_cyclic is overkill; rebuild with capacity set.
+        let Vfs { dev, disk, clock, inodes, root_ino, used_bytes, .. } =
+            Arc::try_unwrap(vfs).expect("fresh vfs has a single owner");
+        Arc::new(Vfs { dev, disk, clock, inodes, root_ino, capacity: Some(capacity), used_bytes })
+    }
+
+    /// The device number of this file system.
+    pub fn dev(&self) -> u64 {
+        self.dev
+    }
+
+    /// The underlying disk model.
+    pub fn disk(&self) -> &Arc<Disk> {
+        &self.disk
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    fn alloc_inode(&self, content: InodeContent) -> Arc<Inode> {
+        let mut table = self.inodes.lock();
+        let ino = match table.free.pop() {
+            Some(Reverse(i)) => i,
+            None => {
+                let i = table.next;
+                table.next += 1;
+                i
+            }
+        };
+        let inode = Arc::new(Inode {
+            ino,
+            dev: self.dev,
+            content: RwLock::new(content),
+            xattrs: Mutex::new(BTreeMap::new()),
+            nlink: AtomicU32::new(1),
+            open_count: AtomicU32::new(0),
+            first_access_ns: AtomicU64::new(0),
+        });
+        table.map.insert(ino, Arc::clone(&inode));
+        inode
+    }
+
+    fn get_inode(&self, ino: u64) -> Option<Arc<Inode>> {
+        self.inodes.lock().map.get(&ino).cloned()
+    }
+
+    /// Frees the inode number if the inode has no links and no open
+    /// descriptions. Called after unlink/rmdir and after close.
+    pub(crate) fn maybe_free(&self, inode: &Arc<Inode>) {
+        if inode.nlink() == 0 && inode.open_count() == 0 {
+            let mut table = self.inodes.lock();
+            // Re-check under the table lock to avoid double-free races.
+            if inode.nlink() == 0 && inode.open_count() == 0 {
+                if let Some(existing) = table.map.get(&inode.ino) {
+                    if Arc::ptr_eq(existing, inode) {
+                        table.map.remove(&inode.ino);
+                        table.free.push(Reverse(inode.ino));
+                        if let InodeContent::Regular(data) = &*inode.content.read() {
+                            self.used_bytes.fetch_sub(data.len() as u64, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn inc_open(&self, inode: &Arc<Inode>) {
+        inode.open_count.fetch_add(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn dec_open(&self, inode: &Arc<Inode>) {
+        inode.open_count.fetch_sub(1, Ordering::AcqRel);
+        self.maybe_free(inode);
+    }
+
+    // ---------------------------------------------------------------- paths
+
+    fn components(path: &str) -> SysResult<Vec<&str>> {
+        if !path.starts_with('/') {
+            return Err(Errno::EINVAL);
+        }
+        let mut out = Vec::new();
+        for comp in path.split('/') {
+            match comp {
+                "" | "." => {}
+                ".." => {
+                    out.pop();
+                }
+                name => {
+                    if name.len() > NAME_MAX {
+                        return Err(Errno::ENAMETOOLONG);
+                    }
+                    out.push(name);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn resolve_from(&self, start: Arc<Inode>, comps: &[&str], follow_last: bool, depth: u32) -> SysResult<Arc<Inode>> {
+        if depth > MAX_SYMLINK_DEPTH {
+            return Err(Errno::ELOOP);
+        }
+        let mut cur = start;
+        for (i, comp) in comps.iter().enumerate() {
+            let is_last = i + 1 == comps.len();
+            let next_ino = match &*cur.content.read() {
+                InodeContent::Directory(children) => {
+                    *children.get(*comp).ok_or(Errno::ENOENT)?
+                }
+                _ => return Err(Errno::ENOTDIR),
+            };
+            let next = self.get_inode(next_ino).ok_or(Errno::ENOENT)?;
+            let is_symlink = matches!(&*next.content.read(), InodeContent::Symlink(_));
+            if is_symlink && (!is_last || follow_last) {
+                let target = match &*next.content.read() {
+                    InodeContent::Symlink(t) => t.clone(),
+                    _ => unreachable!(),
+                };
+                let target_comps = Self::components(&target)?;
+                let root = self.get_inode(self.root_ino).ok_or(Errno::ENOENT)?;
+                let resolved = self.resolve_from(root, &target_comps, true, depth + 1)?;
+                // Continue walking the remaining components from the target.
+                let rest = &comps[i + 1..];
+                return self.resolve_from(resolved, rest, follow_last, depth + 1);
+            }
+            cur = next;
+        }
+        Ok(cur)
+    }
+
+    /// Resolves an absolute path to an inode.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` for missing components, `ENOTDIR` when an intermediate
+    /// component is not a directory, `ELOOP` for symlink cycles, `EINVAL`
+    /// for relative paths.
+    pub fn lookup(&self, path: &str, follow_symlinks: bool) -> SysResult<Arc<Inode>> {
+        let comps = Self::components(path)?;
+        let root = self.get_inode(self.root_ino).ok_or(Errno::ENOENT)?;
+        self.resolve_from(root, &comps, follow_symlinks, 0)
+    }
+
+    /// Resolves the parent directory of `path`, returning it and the final
+    /// component name.
+    fn lookup_parent(&self, path: &str) -> SysResult<(Arc<Inode>, String)> {
+        let comps = Self::components(path)?;
+        let (name, parents) = comps.split_last().ok_or(Errno::EINVAL)?;
+        let root = self.get_inode(self.root_ino).ok_or(Errno::ENOENT)?;
+        let dir = self.resolve_from(root, parents, true, 0)?;
+        if !matches!(&*dir.content.read(), InodeContent::Directory(_)) {
+            return Err(Errno::ENOTDIR);
+        }
+        Ok((dir, name.to_string()))
+    }
+
+    // ------------------------------------------------------------- creation
+
+    /// Creates (or opens) a regular file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// `EEXIST` when `exclusive` and the file exists; `EISDIR` when the path
+    /// is an existing directory; `ENOENT` when the parent is missing.
+    pub fn create_file(&self, path: &str, exclusive: bool) -> SysResult<Arc<Inode>> {
+        let (dir, name) = self.lookup_parent(path)?;
+        // Fast path: existing entry.
+        let existing = match &*dir.content.read() {
+            InodeContent::Directory(children) => children.get(&name).copied(),
+            _ => return Err(Errno::ENOTDIR),
+        };
+        if let Some(ino) = existing {
+            if exclusive {
+                return Err(Errno::EEXIST);
+            }
+            let inode = self.get_inode(ino).ok_or(Errno::ENOENT)?;
+            return match inode.file_type() {
+                FileType::Directory => Err(Errno::EISDIR),
+                _ => Ok(inode),
+            };
+        }
+        let inode = self.alloc_inode(InodeContent::Regular(Vec::new()));
+        let mut content = dir.content.write();
+        match &mut *content {
+            InodeContent::Directory(children) => {
+                if children.contains_key(&name) {
+                    // Lost a race: fall back to the existing entry.
+                    drop(content);
+                    inode.nlink.store(0, Ordering::Release);
+                    self.maybe_free(&inode);
+                    return self.create_file(path, exclusive);
+                }
+                children.insert(name, inode.ino());
+            }
+            _ => return Err(Errno::ENOTDIR),
+        }
+        Ok(inode)
+    }
+
+    /// Creates a directory.
+    ///
+    /// # Errors
+    ///
+    /// `EEXIST` if the entry exists; `ENOENT`/`ENOTDIR` on bad parents.
+    pub fn mkdir(&self, path: &str) -> SysResult<Arc<Inode>> {
+        let (dir, name) = self.lookup_parent(path)?;
+        let inode = self.alloc_inode(InodeContent::Directory(BTreeMap::new()));
+        inode.nlink.store(2, Ordering::Release);
+        let mut content = dir.content.write();
+        match &mut *content {
+            InodeContent::Directory(children) => {
+                if children.contains_key(&name) {
+                    drop(content);
+                    inode.nlink.store(0, Ordering::Release);
+                    self.maybe_free(&inode);
+                    return Err(Errno::EEXIST);
+                }
+                children.insert(name, inode.ino());
+            }
+            _ => return Err(Errno::ENOTDIR),
+        }
+        Ok(inode)
+    }
+
+    /// Recursively creates directories, ignoring existing ones (test helper).
+    pub fn mkdir_all(&self, path: &str) -> SysResult<()> {
+        let comps = Self::components(path)?;
+        let mut cur = String::new();
+        for c in comps {
+            cur.push('/');
+            cur.push_str(c);
+            match self.mkdir(&cur) {
+                Ok(_) | Err(Errno::EEXIST) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates a special file (pipe, device node, socket).
+    ///
+    /// # Errors
+    ///
+    /// `EEXIST` if the entry exists; `EINVAL` for non-special types.
+    pub fn mknod(&self, path: &str, file_type: FileType) -> SysResult<Arc<Inode>> {
+        match file_type {
+            FileType::Pipe | FileType::BlockDevice | FileType::CharDevice | FileType::Socket => {}
+            FileType::Regular => return self.create_file(path, true),
+            _ => return Err(Errno::EINVAL),
+        }
+        let (dir, name) = self.lookup_parent(path)?;
+        let inode = self.alloc_inode(InodeContent::Special(file_type));
+        let mut content = dir.content.write();
+        match &mut *content {
+            InodeContent::Directory(children) => {
+                if children.contains_key(&name) {
+                    drop(content);
+                    inode.nlink.store(0, Ordering::Release);
+                    self.maybe_free(&inode);
+                    return Err(Errno::EEXIST);
+                }
+                children.insert(name, inode.ino());
+            }
+            _ => return Err(Errno::ENOTDIR),
+        }
+        Ok(inode)
+    }
+
+    /// Creates a symbolic link at `path` pointing to `target` (test helper;
+    /// `symlink` is not one of the 42 traced syscalls).
+    pub fn symlink(&self, target: &str, path: &str) -> SysResult<Arc<Inode>> {
+        let (dir, name) = self.lookup_parent(path)?;
+        let inode = self.alloc_inode(InodeContent::Symlink(target.to_string()));
+        let mut content = dir.content.write();
+        match &mut *content {
+            InodeContent::Directory(children) => {
+                if children.contains_key(&name) {
+                    drop(content);
+                    inode.nlink.store(0, Ordering::Release);
+                    self.maybe_free(&inode);
+                    return Err(Errno::EEXIST);
+                }
+                children.insert(name, inode.ino());
+            }
+            _ => return Err(Errno::ENOTDIR),
+        }
+        Ok(inode)
+    }
+
+    // -------------------------------------------------------------- removal
+
+    /// Unlinks a non-directory entry.
+    ///
+    /// # Errors
+    ///
+    /// `EISDIR` for directories (use [`Vfs::rmdir`]); `ENOENT` if missing.
+    pub fn unlink(&self, path: &str) -> SysResult<()> {
+        let (dir, name) = self.lookup_parent(path)?;
+        let inode = {
+            let mut content = dir.content.write();
+            let children = match &mut *content {
+                InodeContent::Directory(children) => children,
+                _ => return Err(Errno::ENOTDIR),
+            };
+            let ino = *children.get(&name).ok_or(Errno::ENOENT)?;
+            let inode = self.get_inode(ino).ok_or(Errno::ENOENT)?;
+            if inode.file_type() == FileType::Directory {
+                return Err(Errno::EISDIR);
+            }
+            children.remove(&name);
+            inode
+        };
+        inode.nlink.fetch_sub(1, Ordering::AcqRel);
+        self.maybe_free(&inode);
+        Ok(())
+    }
+
+    /// Removes an empty directory.
+    ///
+    /// # Errors
+    ///
+    /// `ENOTEMPTY` when the directory has entries; `ENOTDIR` for files.
+    pub fn rmdir(&self, path: &str) -> SysResult<()> {
+        let (dir, name) = self.lookup_parent(path)?;
+        let inode = {
+            let mut content = dir.content.write();
+            let children = match &mut *content {
+                InodeContent::Directory(children) => children,
+                _ => return Err(Errno::ENOTDIR),
+            };
+            let ino = *children.get(&name).ok_or(Errno::ENOENT)?;
+            let inode = self.get_inode(ino).ok_or(Errno::ENOENT)?;
+            match &*inode.content.read() {
+                InodeContent::Directory(grandchildren) => {
+                    if !grandchildren.is_empty() {
+                        return Err(Errno::ENOTEMPTY);
+                    }
+                }
+                _ => return Err(Errno::ENOTDIR),
+            }
+            children.remove(&name);
+            inode
+        };
+        inode.nlink.store(0, Ordering::Release);
+        self.maybe_free(&inode);
+        Ok(())
+    }
+
+    /// Renames `old` to `new`, replacing a non-directory target.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` when `old` is missing; `EEXIST` when `noreplace` and the
+    /// target exists; `EISDIR`/`ENOTEMPTY` for invalid directory targets.
+    pub fn rename(&self, old: &str, new: &str, noreplace: bool) -> SysResult<()> {
+        let (old_dir, old_name) = self.lookup_parent(old)?;
+        let (new_dir, new_name) = self.lookup_parent(new)?;
+
+        fn as_dir(content: &mut InodeContent) -> SysResult<&mut BTreeMap<String, u64>> {
+            match content {
+                InodeContent::Directory(children) => Ok(children),
+                _ => Err(Errno::ENOTDIR),
+            }
+        }
+
+        // The displaced target's link drop happens after the dir locks are
+        // released, so `maybe_free` can take the inode-table lock safely.
+        let displaced = if Arc::ptr_eq(&old_dir, &new_dir) {
+            let mut guard = old_dir.content.write();
+            let children = as_dir(&mut guard)?;
+            let moving_ino = *children.get(&old_name).ok_or(Errno::ENOENT)?;
+            if old_name == new_name {
+                return Ok(());
+            }
+            let displaced = self.check_rename_target(children, &new_name, noreplace)?;
+            children.remove(&old_name);
+            children.insert(new_name, moving_ino);
+            displaced
+        } else {
+            // Lock ordering by inode number avoids deadlock between two dirs.
+            let (mut guard_a, mut guard_b) = if old_dir.ino() < new_dir.ino() {
+                let a = old_dir.content.write();
+                let b = new_dir.content.write();
+                (a, b)
+            } else {
+                let b = new_dir.content.write();
+                let a = old_dir.content.write();
+                (a, b)
+            };
+            let old_children = as_dir(&mut guard_a)?;
+            let new_children = as_dir(&mut guard_b)?;
+            let moving_ino = *old_children.get(&old_name).ok_or(Errno::ENOENT)?;
+            let displaced = self.check_rename_target(new_children, &new_name, noreplace)?;
+            old_children.remove(&old_name);
+            new_children.insert(new_name, moving_ino);
+            displaced
+        };
+        if let Some(target) = displaced {
+            target.nlink.fetch_sub(1, Ordering::AcqRel);
+            self.maybe_free(&target);
+        }
+        Ok(())
+    }
+
+    /// Validates the destination entry of a rename, returning the inode it
+    /// displaces (if any).
+    fn check_rename_target(
+        &self,
+        new_children: &BTreeMap<String, u64>,
+        new_name: &str,
+        noreplace: bool,
+    ) -> SysResult<Option<Arc<Inode>>> {
+        let Some(target_ino) = new_children.get(new_name).copied() else {
+            return Ok(None);
+        };
+        if noreplace {
+            return Err(Errno::EEXIST);
+        }
+        let target = self.get_inode(target_ino).ok_or(Errno::ENOENT)?;
+        if let InodeContent::Directory(c) = &*target.content.read() {
+            if !c.is_empty() {
+                return Err(Errno::ENOTEMPTY);
+            }
+        }
+        Ok(Some(target))
+    }
+
+    // ------------------------------------------------------------ data path
+
+    /// Reads up to `buf.len()` bytes from `inode` at `offset`.
+    ///
+    /// Charges the disk model for the bytes actually transferred.
+    ///
+    /// # Errors
+    ///
+    /// `EISDIR` when reading a directory.
+    pub fn read_at(&self, inode: &Inode, offset: u64, buf: &mut [u8]) -> SysResult<usize> {
+        let n = {
+            let content = inode.content.read();
+            match &*content {
+                InodeContent::Regular(data) => {
+                    let start = offset.min(data.len() as u64) as usize;
+                    let end = (start + buf.len()).min(data.len());
+                    let n = end - start;
+                    buf[..n].copy_from_slice(&data[start..end]);
+                    n
+                }
+                InodeContent::Directory(_) => return Err(Errno::EISDIR),
+                InodeContent::Special(_) | InodeContent::Symlink(_) => 0,
+            }
+        };
+        if n > 0 {
+            self.disk.access(DiskOp::Read, n as u64);
+        }
+        Ok(n)
+    }
+
+    /// Writes `data` to `inode` at `offset` (or at EOF when `append`),
+    /// returning the number of bytes written and the offset *at which* the
+    /// write happened.
+    ///
+    /// # Errors
+    ///
+    /// `EISDIR` for directories; `ENOSPC` when a capacity limit is exceeded.
+    pub fn write_at(&self, inode: &Inode, offset: u64, data: &[u8], append: bool) -> SysResult<(usize, u64)> {
+        let write_off = {
+            let mut content = inode.content.write();
+            match &mut *content {
+                InodeContent::Regular(file) => {
+                    let write_off = if append { file.len() as u64 } else { offset };
+                    let end = write_off as usize + data.len();
+                    let grow = end.saturating_sub(file.len());
+                    if let Some(cap) = self.capacity {
+                        if self.used_bytes.load(Ordering::Relaxed) + grow as u64 > cap {
+                            return Err(Errno::ENOSPC);
+                        }
+                    }
+                    if file.len() < end {
+                        file.resize(end, 0);
+                        self.used_bytes.fetch_add(grow as u64, Ordering::Relaxed);
+                    }
+                    file[write_off as usize..end].copy_from_slice(data);
+                    write_off
+                }
+                InodeContent::Directory(_) => return Err(Errno::EISDIR),
+                InodeContent::Special(_) | InodeContent::Symlink(_) => offset,
+            }
+        };
+        if !data.is_empty() {
+            self.disk.access(DiskOp::Write, data.len() as u64);
+        }
+        Ok((data.len(), write_off))
+    }
+
+    /// Truncates (or extends with zeros) a regular file to `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// `EISDIR` for directories; `EINVAL` for other non-regular files.
+    pub fn truncate(&self, inode: &Inode, len: u64) -> SysResult<()> {
+        let mut content = inode.content.write();
+        match &mut *content {
+            InodeContent::Regular(file) => {
+                let old = file.len() as u64;
+                file.resize(len as usize, 0);
+                if len >= old {
+                    self.used_bytes.fetch_add(len - old, Ordering::Relaxed);
+                } else {
+                    self.used_bytes.fetch_sub(old - len, Ordering::Relaxed);
+                }
+                Ok(())
+            }
+            InodeContent::Directory(_) => Err(Errno::EISDIR),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    /// Issues a flush barrier on the backing device (`fsync` cost model).
+    pub fn sync(&self) {
+        self.disk.access(DiskOp::Flush, 0);
+    }
+
+    /// Simulates `readahead`: charges a read of `len` bytes without copying.
+    pub fn readahead(&self, inode: &Inode, offset: u64, len: u64) -> SysResult<u64> {
+        let size = inode.size();
+        let start = offset.min(size);
+        let n = (size - start).min(len);
+        if n > 0 {
+            self.disk.access(DiskOp::Read, n);
+        }
+        Ok(n)
+    }
+
+    // ------------------------------------------------------------- metadata
+
+    /// Returns `stat`-style metadata for an inode.
+    pub fn getattr(&self, inode: &Inode) -> StatBuf {
+        StatBuf {
+            dev: self.dev,
+            ino: inode.ino(),
+            file_type: inode.file_type(),
+            size: inode.size(),
+            nlink: inode.nlink(),
+        }
+    }
+
+    /// Returns `statfs`-style metadata for the file system.
+    pub fn statfs(&self) -> StatFs {
+        StatFs {
+            dev: self.dev,
+            block_size: 4096,
+            capacity: self.capacity.unwrap_or(u64::MAX),
+            used: self.used_bytes.load(Ordering::Relaxed),
+            inodes: self.inodes.lock().map.len() as u64,
+        }
+    }
+
+    /// Lists the entries of a directory.
+    ///
+    /// # Errors
+    ///
+    /// `ENOTDIR` when the inode is not a directory.
+    pub fn readdir(&self, inode: &Inode) -> SysResult<Vec<String>> {
+        match &*inode.content.read() {
+            InodeContent::Directory(children) => Ok(children.keys().cloned().collect()),
+            _ => Err(Errno::ENOTDIR),
+        }
+    }
+
+    // --------------------------------------------------------------- xattrs
+
+    /// Sets an extended attribute.
+    pub fn setxattr(&self, inode: &Inode, name: &str, value: &[u8]) -> SysResult<()> {
+        if name.is_empty() || name.len() > NAME_MAX {
+            return Err(Errno::EINVAL);
+        }
+        inode.xattrs.lock().insert(name.to_string(), value.to_vec());
+        Ok(())
+    }
+
+    /// Gets an extended attribute.
+    ///
+    /// # Errors
+    ///
+    /// `ENODATA` when the attribute does not exist.
+    pub fn getxattr(&self, inode: &Inode, name: &str) -> SysResult<Vec<u8>> {
+        inode.xattrs.lock().get(name).cloned().ok_or(Errno::ENODATA)
+    }
+
+    /// Lists extended attribute names.
+    pub fn listxattr(&self, inode: &Inode) -> Vec<String> {
+        inode.xattrs.lock().keys().cloned().collect()
+    }
+
+    /// Removes an extended attribute.
+    ///
+    /// # Errors
+    ///
+    /// `ENODATA` when the attribute does not exist.
+    pub fn removexattr(&self, inode: &Inode, name: &str) -> SysResult<()> {
+        inode.xattrs.lock().remove(name).map(|_| ()).ok_or(Errno::ENODATA)
+    }
+
+    /// Number of live inodes (diagnostics).
+    pub fn live_inodes(&self) -> usize {
+        self.inodes.lock().map.len()
+    }
+
+    /// Reads a symlink target without following it.
+    ///
+    /// # Errors
+    ///
+    /// `EINVAL` when the inode is not a symlink.
+    pub fn readlink(&self, inode: &Inode) -> SysResult<String> {
+        match &*inode.content.read() {
+            InodeContent::Symlink(t) => Ok(t.clone()),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_vfs() -> Arc<Vfs> {
+        Vfs::new(7340032, DiskProfile::instant(), SimClock::new())
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let vfs = test_vfs();
+        let f = vfs.create_file("/a.txt", false).unwrap();
+        let (n, off) = vfs.write_at(&f, 0, b"hello world", false).unwrap();
+        assert_eq!((n, off), (11, 0));
+        let mut buf = [0u8; 16];
+        let n = vfs.read_at(&f, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello world");
+        assert_eq!(f.size(), 11);
+    }
+
+    #[test]
+    fn read_past_eof_returns_zero() {
+        let vfs = test_vfs();
+        let f = vfs.create_file("/a", false).unwrap();
+        vfs.write_at(&f, 0, b"abc", false).unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(vfs.read_at(&f, 3, &mut buf).unwrap(), 0);
+        assert_eq!(vfs.read_at(&f, 100, &mut buf).unwrap(), 0);
+        assert_eq!(vfs.read_at(&f, 1, &mut buf).unwrap(), 2);
+    }
+
+    #[test]
+    fn sparse_write_zero_fills() {
+        let vfs = test_vfs();
+        let f = vfs.create_file("/s", false).unwrap();
+        vfs.write_at(&f, 5, b"xy", false).unwrap();
+        let mut buf = [9u8; 7];
+        assert_eq!(vfs.read_at(&f, 0, &mut buf).unwrap(), 7);
+        assert_eq!(&buf, &[0, 0, 0, 0, 0, b'x', b'y']);
+    }
+
+    #[test]
+    fn append_writes_at_eof() {
+        let vfs = test_vfs();
+        let f = vfs.create_file("/log", false).unwrap();
+        vfs.write_at(&f, 0, b"aaa", false).unwrap();
+        let (_, off) = vfs.write_at(&f, 0, b"bb", true).unwrap();
+        assert_eq!(off, 3);
+        assert_eq!(f.size(), 5);
+    }
+
+    #[test]
+    fn inode_numbers_are_reused_lowest_first() {
+        let vfs = test_vfs();
+        let a = vfs.create_file("/a", false).unwrap();
+        let b = vfs.create_file("/b", false).unwrap();
+        let (ia, ib) = (a.ino(), b.ino());
+        assert!(ib > ia);
+        drop((a, b));
+        vfs.unlink("/a").unwrap();
+        vfs.unlink("/b").unwrap();
+        // Both freed; new files must take the lowest numbers first.
+        let c = vfs.create_file("/c", false).unwrap();
+        let d = vfs.create_file("/d", false).unwrap();
+        assert_eq!(c.ino(), ia, "lowest free inode reused first");
+        assert_eq!(d.ino(), ib);
+    }
+
+    #[test]
+    fn inode_not_reused_while_open() {
+        let vfs = test_vfs();
+        let a = vfs.create_file("/a", false).unwrap();
+        let ino = a.ino();
+        vfs.inc_open(&a);
+        vfs.unlink("/a").unwrap();
+        // Still open: number must not be reused.
+        let b = vfs.create_file("/b", false).unwrap();
+        assert_ne!(b.ino(), ino);
+        // After close it becomes available again.
+        vfs.dec_open(&a);
+        let c = vfs.create_file("/c", false).unwrap();
+        assert_eq!(c.ino(), ino);
+    }
+
+    #[test]
+    fn unlinked_but_open_file_remains_readable() {
+        let vfs = test_vfs();
+        let f = vfs.create_file("/tmpfile", false).unwrap();
+        vfs.write_at(&f, 0, b"data", false).unwrap();
+        vfs.inc_open(&f);
+        vfs.unlink("/tmpfile").unwrap();
+        assert!(vfs.lookup("/tmpfile", true).is_err());
+        let mut buf = [0u8; 4];
+        assert_eq!(vfs.read_at(&f, 0, &mut buf).unwrap(), 4);
+        vfs.dec_open(&f);
+    }
+
+    #[test]
+    fn mkdir_and_nested_files() {
+        let vfs = test_vfs();
+        vfs.mkdir("/dir").unwrap();
+        vfs.mkdir("/dir/sub").unwrap();
+        let f = vfs.create_file("/dir/sub/f", false).unwrap();
+        assert_eq!(vfs.lookup("/dir/sub/f", true).unwrap().ino(), f.ino());
+        assert_eq!(vfs.mkdir("/dir").unwrap_err(), Errno::EEXIST);
+        assert_eq!(vfs.mkdir("/missing/x").unwrap_err(), Errno::ENOENT);
+    }
+
+    #[test]
+    fn mkdir_all_is_idempotent() {
+        let vfs = test_vfs();
+        vfs.mkdir_all("/a/b/c").unwrap();
+        vfs.mkdir_all("/a/b/c").unwrap();
+        assert!(vfs.lookup("/a/b/c", true).is_ok());
+    }
+
+    #[test]
+    fn rmdir_requires_empty_dir() {
+        let vfs = test_vfs();
+        vfs.mkdir("/d").unwrap();
+        vfs.create_file("/d/f", false).unwrap();
+        assert_eq!(vfs.rmdir("/d").unwrap_err(), Errno::ENOTEMPTY);
+        vfs.unlink("/d/f").unwrap();
+        vfs.rmdir("/d").unwrap();
+        assert!(vfs.lookup("/d", true).is_err());
+        let f = vfs.create_file("/f", false).unwrap();
+        drop(f);
+        assert_eq!(vfs.rmdir("/f").unwrap_err(), Errno::ENOTDIR);
+    }
+
+    #[test]
+    fn unlink_rejects_directories() {
+        let vfs = test_vfs();
+        vfs.mkdir("/d").unwrap();
+        assert_eq!(vfs.unlink("/d").unwrap_err(), Errno::EISDIR);
+    }
+
+    #[test]
+    fn rename_moves_and_replaces() {
+        let vfs = test_vfs();
+        let a = vfs.create_file("/a", false).unwrap();
+        vfs.write_at(&a, 0, b"A", false).unwrap();
+        let b = vfs.create_file("/b", false).unwrap();
+        let b_ino = b.ino();
+        drop(b);
+        vfs.rename("/a", "/b", false).unwrap();
+        assert!(vfs.lookup("/a", true).is_err());
+        assert_eq!(vfs.lookup("/b", true).unwrap().ino(), a.ino());
+        // The displaced inode was freed and is reusable.
+        let c = vfs.create_file("/c", false).unwrap();
+        assert_eq!(c.ino(), b_ino);
+    }
+
+    #[test]
+    fn rename_noreplace_fails_on_existing() {
+        let vfs = test_vfs();
+        vfs.create_file("/a", false).unwrap();
+        vfs.create_file("/b", false).unwrap();
+        assert_eq!(vfs.rename("/a", "/b", true).unwrap_err(), Errno::EEXIST);
+    }
+
+    #[test]
+    fn rename_across_directories() {
+        let vfs = test_vfs();
+        vfs.mkdir("/src").unwrap();
+        vfs.mkdir("/dst").unwrap();
+        let f = vfs.create_file("/src/f", false).unwrap();
+        vfs.rename("/src/f", "/dst/g", false).unwrap();
+        assert_eq!(vfs.lookup("/dst/g", true).unwrap().ino(), f.ino());
+        assert!(vfs.lookup("/src/f", true).is_err());
+    }
+
+    #[test]
+    fn rename_same_path_is_noop() {
+        let vfs = test_vfs();
+        let f = vfs.create_file("/x", false).unwrap();
+        vfs.rename("/x", "/x", false).unwrap();
+        assert_eq!(vfs.lookup("/x", true).unwrap().ino(), f.ino());
+    }
+
+    #[test]
+    fn truncate_shrinks_and_grows() {
+        let vfs = test_vfs();
+        let f = vfs.create_file("/t", false).unwrap();
+        vfs.write_at(&f, 0, b"123456", false).unwrap();
+        vfs.truncate(&f, 2).unwrap();
+        assert_eq!(f.size(), 2);
+        vfs.truncate(&f, 4).unwrap();
+        let mut buf = [9u8; 4];
+        vfs.read_at(&f, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"12\0\0");
+    }
+
+    #[test]
+    fn symlinks_resolve_and_loop_detection() {
+        let vfs = test_vfs();
+        let f = vfs.create_file("/real", false).unwrap();
+        vfs.symlink("/real", "/link").unwrap();
+        assert_eq!(vfs.lookup("/link", true).unwrap().ino(), f.ino());
+        // lstat-style: do not follow.
+        assert_eq!(vfs.lookup("/link", false).unwrap().file_type(), FileType::Symlink);
+        vfs.symlink("/loop2", "/loop1").unwrap();
+        vfs.symlink("/loop1", "/loop2").unwrap();
+        assert_eq!(vfs.lookup("/loop1", true).unwrap_err(), Errno::ELOOP);
+    }
+
+    #[test]
+    fn symlink_in_intermediate_component() {
+        let vfs = test_vfs();
+        vfs.mkdir("/data").unwrap();
+        vfs.create_file("/data/f", false).unwrap();
+        vfs.symlink("/data", "/d").unwrap();
+        assert!(vfs.lookup("/d/f", true).is_ok());
+    }
+
+    #[test]
+    fn xattr_roundtrip() {
+        let vfs = test_vfs();
+        let f = vfs.create_file("/x", false).unwrap();
+        vfs.setxattr(&f, "user.tag", b"v1").unwrap();
+        assert_eq!(vfs.getxattr(&f, "user.tag").unwrap(), b"v1");
+        assert_eq!(vfs.listxattr(&f), vec!["user.tag".to_string()]);
+        vfs.removexattr(&f, "user.tag").unwrap();
+        assert_eq!(vfs.getxattr(&f, "user.tag").unwrap_err(), Errno::ENODATA);
+        assert_eq!(vfs.removexattr(&f, "user.tag").unwrap_err(), Errno::ENODATA);
+    }
+
+    #[test]
+    fn capacity_limit_enforced() {
+        let vfs = Vfs::with_capacity(1, DiskProfile::instant(), SimClock::new(), 10);
+        let f = vfs.create_file("/f", false).unwrap();
+        vfs.write_at(&f, 0, b"12345", false).unwrap();
+        assert_eq!(vfs.write_at(&f, 5, b"678901", false).unwrap_err(), Errno::ENOSPC);
+        // Overwrites within the file do not grow usage.
+        vfs.write_at(&f, 0, b"abcde", false).unwrap();
+        assert_eq!(vfs.statfs().used, 5);
+    }
+
+    #[test]
+    fn statfs_tracks_usage() {
+        let vfs = test_vfs();
+        let f = vfs.create_file("/f", false).unwrap();
+        vfs.write_at(&f, 0, &[0u8; 100], false).unwrap();
+        assert_eq!(vfs.statfs().used, 100);
+        drop(f);
+        vfs.unlink("/f").unwrap();
+        assert_eq!(vfs.statfs().used, 0);
+    }
+
+    #[test]
+    fn first_access_timestamp_is_sticky() {
+        let vfs = test_vfs();
+        let f = vfs.create_file("/f", false).unwrap();
+        assert_eq!(f.first_access_ns(), 0);
+        assert_eq!(f.touch_first_access(42), 42);
+        assert_eq!(f.touch_first_access(99), 42);
+        assert_eq!(f.first_access_ns(), 42);
+    }
+
+    #[test]
+    fn relative_paths_rejected() {
+        let vfs = test_vfs();
+        assert_eq!(vfs.lookup("a/b", true).unwrap_err(), Errno::EINVAL);
+        assert_eq!(vfs.create_file("rel", false).unwrap_err(), Errno::EINVAL);
+    }
+
+    #[test]
+    fn dot_and_dotdot_components() {
+        let vfs = test_vfs();
+        vfs.mkdir("/a").unwrap();
+        let f = vfs.create_file("/a/f", false).unwrap();
+        assert_eq!(vfs.lookup("/a/./f", true).unwrap().ino(), f.ino());
+        assert_eq!(vfs.lookup("/a/../a/f", true).unwrap().ino(), f.ino());
+        assert_eq!(vfs.lookup("/../a/f", true).unwrap().ino(), f.ino());
+    }
+
+    #[test]
+    fn mknod_special_files() {
+        let vfs = test_vfs();
+        let p = vfs.mknod("/pipe", FileType::Pipe).unwrap();
+        assert_eq!(p.file_type(), FileType::Pipe);
+        let d = vfs.mknod("/dev0", FileType::BlockDevice).unwrap();
+        assert_eq!(d.file_type(), FileType::BlockDevice);
+        assert_eq!(vfs.mknod("/pipe", FileType::Pipe).unwrap_err(), Errno::EEXIST);
+        assert_eq!(vfs.mknod("/bad", FileType::Directory).unwrap_err(), Errno::EINVAL);
+    }
+
+    #[test]
+    fn create_exclusive() {
+        let vfs = test_vfs();
+        vfs.create_file("/f", true).unwrap();
+        assert_eq!(vfs.create_file("/f", true).unwrap_err(), Errno::EEXIST);
+        assert!(vfs.create_file("/f", false).is_ok());
+    }
+
+    #[test]
+    fn lookup_through_file_is_enotdir() {
+        let vfs = test_vfs();
+        vfs.create_file("/f", false).unwrap();
+        assert_eq!(vfs.lookup("/f/x", true).unwrap_err(), Errno::ENOTDIR);
+    }
+
+    #[test]
+    fn readdir_lists_entries() {
+        let vfs = test_vfs();
+        vfs.mkdir("/d").unwrap();
+        vfs.create_file("/d/a", false).unwrap();
+        vfs.create_file("/d/b", false).unwrap();
+        let dir = vfs.lookup("/d", true).unwrap();
+        assert_eq!(vfs.readdir(&dir).unwrap(), vec!["a".to_string(), "b".to_string()]);
+        let f = vfs.lookup("/d/a", true).unwrap();
+        assert_eq!(vfs.readdir(&f).unwrap_err(), Errno::ENOTDIR);
+    }
+}

@@ -1,0 +1,126 @@
+//! A double-hashing Bloom filter for SSTables.
+
+/// A serializable Bloom filter over byte keys.
+///
+/// Uses the Kirsch–Mitzenmacher double-hashing scheme over FNV-1a, the
+/// standard construction in LSM stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u8>,
+    k: u32,
+}
+
+fn fnv1a(data: &[u8], seed: u64) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+impl BloomFilter {
+    /// Builds a filter for `keys` with `bits_per_key` bits of budget each.
+    pub fn build<'a>(keys: impl IntoIterator<Item = &'a [u8]>, n_keys: usize, bits_per_key: usize) -> Self {
+        let nbits = (n_keys * bits_per_key).max(64);
+        let k = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
+        let mut filter = BloomFilter { bits: vec![0u8; nbits.div_ceil(8)], k };
+        for key in keys {
+            filter.insert(key);
+        }
+        filter
+    }
+
+    fn insert(&mut self, key: &[u8]) {
+        let nbits = (self.bits.len() * 8) as u64;
+        let h1 = fnv1a(key, 0);
+        let h2 = fnv1a(key, 0x9e37_79b9_7f4a_7c15);
+        for i in 0..self.k as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % nbits;
+            self.bits[(bit / 8) as usize] |= 1 << (bit % 8);
+        }
+    }
+
+    /// Whether `key` may be present (false positives possible, false
+    /// negatives impossible).
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let nbits = (self.bits.len() * 8) as u64;
+        let h1 = fnv1a(key, 0);
+        let h2 = fnv1a(key, 0x9e37_79b9_7f4a_7c15);
+        (0..self.k as u64).all(|i| {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % nbits;
+            self.bits[(bit / 8) as usize] & (1 << (bit % 8)) != 0
+        })
+    }
+
+    /// Serializes as `[k: u32][len: u32][bits]`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.bits.len());
+        out.extend_from_slice(&self.k.to_le_bytes());
+        out.extend_from_slice(&(self.bits.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.bits);
+        out
+    }
+
+    /// Deserializes from [`BloomFilter::to_bytes`] output.
+    ///
+    /// Returns `None` on malformed input.
+    pub fn from_bytes(data: &[u8]) -> Option<Self> {
+        if data.len() < 8 {
+            return None;
+        }
+        let k = u32::from_le_bytes(data[0..4].try_into().ok()?);
+        let len = u32::from_le_bytes(data[4..8].try_into().ok()?) as usize;
+        if data.len() < 8 + len || k == 0 {
+            return None;
+        }
+        Some(BloomFilter { bits: data[8..8 + len].to_vec(), k })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<Vec<u8>> = (0..1000).map(|i| format!("key{i:05}").into_bytes()).collect();
+        let filter = BloomFilter::build(keys.iter().map(Vec::as_slice), keys.len(), 10);
+        for k in &keys {
+            assert!(filter.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_reasonable() {
+        let keys: Vec<Vec<u8>> = (0..1000).map(|i| format!("key{i:05}").into_bytes()).collect();
+        let filter = BloomFilter::build(keys.iter().map(Vec::as_slice), keys.len(), 10);
+        let fps = (0..10_000)
+            .filter(|i| filter.may_contain(format!("absent{i}").as_bytes()))
+            .count();
+        // 10 bits/key gives ~1% theoretical; allow generous slack.
+        assert!(fps < 500, "false positive rate too high: {fps}/10000");
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let keys = [b"a".as_slice(), b"b".as_slice()];
+        let filter = BloomFilter::build(keys, 2, 10);
+        let back = BloomFilter::from_bytes(&filter.to_bytes()).unwrap();
+        assert_eq!(filter, back);
+        assert!(back.may_contain(b"a"));
+    }
+
+    #[test]
+    fn malformed_bytes_rejected() {
+        assert!(BloomFilter::from_bytes(&[]).is_none());
+        assert!(BloomFilter::from_bytes(&[1, 2, 3]).is_none());
+        assert!(BloomFilter::from_bytes(&[0, 0, 0, 0, 255, 255, 255, 255]).is_none());
+    }
+
+    #[test]
+    fn empty_filter_has_minimum_size() {
+        let filter = BloomFilter::build(std::iter::empty(), 0, 10);
+        assert!(!filter.may_contain(b"anything"));
+    }
+}

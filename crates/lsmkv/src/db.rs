@@ -1,0 +1,1103 @@
+//! The LSM key-value store: write path, read path, flush and compaction.
+//!
+//! Thread roles mirror the paper's RocksDB deployment (§III-C):
+//!
+//! * **client threads** call [`Db::put`]/[`Db::get`] directly (they appear
+//!   in traces under their own names, e.g. `db_bench`);
+//! * one **flush thread** (`rocksdb:high0`) turns immutable memtables into
+//!   L0 SSTables;
+//! * N **compaction threads** (`rocksdb:low0..`) merge SSTables down the
+//!   levels; L0→L1 compactions are exclusive, as in RocksDB.
+//!
+//! Writes stall (slowdown trigger) and eventually stop (stop trigger) when
+//! L0 grows faster than compactions drain it — the exact mechanism behind
+//! the client latency spikes of Fig. 3.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use dio_kernel::{Errno, Process, SysResult, ThreadCtx};
+
+use crate::memtable::{Entry, MemTable};
+use crate::options::LsmOptions;
+use crate::sstable::{write_sst, SstReader};
+use crate::wal::Wal;
+
+/// Cumulative store statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// Memtable flushes completed.
+    pub flushes: u64,
+    /// Compactions completed (including L0→L1).
+    pub compactions: u64,
+    /// L0→L1 compactions completed.
+    pub l0_compactions: u64,
+    /// Writes that hit the slowdown regime.
+    pub slowed_writes: u64,
+    /// Writes that hit the stop regime.
+    pub stopped_writes: u64,
+    /// Total nanoseconds writers spent stalled.
+    pub stall_ns: u64,
+    /// Bytes written by flushes.
+    pub bytes_flushed: u64,
+    /// Bytes written by compactions.
+    pub bytes_compacted: u64,
+}
+
+#[derive(Debug)]
+struct TableMeta {
+    id: u64,
+    path: String,
+    size: u64,
+    min: Vec<u8>,
+    max: Vec<u8>,
+    reader: SstReader,
+}
+
+impl TableMeta {
+    fn overlaps(&self, min: &[u8], max: &[u8]) -> bool {
+        self.min.as_slice() <= max && min <= self.max.as_slice()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Levels {
+    /// L0: newest table first; key ranges may overlap.
+    l0: Vec<Arc<TableMeta>>,
+    /// L1..=max: disjoint ranges, sorted by min key.
+    lower: Vec<Vec<Arc<TableMeta>>>,
+    compacting: HashSet<u64>,
+    l0_compaction_running: bool,
+    /// Tables removed from the tree but possibly still referenced by
+    /// in-flight reads; their descriptors are closed once unreferenced.
+    graveyard: Vec<Arc<TableMeta>>,
+}
+
+struct WriteState {
+    wal: Wal,
+    next_wal_id: u64,
+}
+
+struct CompactionJob {
+    upper: Vec<Arc<TableMeta>>,
+    lower: Vec<Arc<TableMeta>>,
+    target_level: usize, // 1-based
+    is_l0: bool,
+}
+
+struct DbInner {
+    opts: LsmOptions,
+    wal: Mutex<WriteState>,
+    mem: RwLock<Arc<MemTable>>,
+    imm: Mutex<VecDeque<(String, Arc<MemTable>)>>,
+    imm_cv: Condvar,
+    levels: Mutex<Levels>,
+    levels_cv: Condvar,
+    manifest_lock: Mutex<()>,
+    next_table_id: AtomicU64,
+    stop: AtomicBool,
+    // stats
+    flushes: AtomicU64,
+    compactions: AtomicU64,
+    l0_compactions: AtomicU64,
+    slowed_writes: AtomicU64,
+    stopped_writes: AtomicU64,
+    stall_ns: AtomicU64,
+    bytes_flushed: AtomicU64,
+    bytes_compacted: AtomicU64,
+}
+
+/// An embedded LSM key-value store running on the simulated kernel.
+///
+/// # Examples
+///
+/// ```
+/// use dio_kernel::{DiskProfile, Kernel};
+/// use dio_lsmkv::{Db, LsmOptions};
+///
+/// let kernel = Kernel::builder().root_disk(DiskProfile::instant()).build();
+/// let proc = kernel.spawn_process("kvstore");
+/// let client = proc.spawn_thread("client");
+/// let db = Db::open(&proc, LsmOptions::new("/db"))?;
+///
+/// db.put(&client, b"hello", b"world")?;
+/// assert_eq!(db.get(&client, b"hello")?, Some(b"world".to_vec()));
+/// db.shutdown(&client)?;
+/// # Ok::<(), dio_kernel::Errno>(())
+/// ```
+pub struct Db {
+    inner: Arc<DbInner>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Db {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Db").field("path", &self.inner.opts.db_path).field("stats", &self.stats()).finish()
+    }
+}
+
+impl Db {
+    /// Opens (or recovers) a store under `opts.db_path`, spawning the
+    /// flush thread and the compaction pool as threads of `process`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors during directory setup and recovery.
+    pub fn open(process: &Process, opts: LsmOptions) -> SysResult<Db> {
+        let setup = process.spawn_thread("rocksdb:open");
+        match setup.mkdir(&opts.db_path, 0o755) {
+            Ok(()) | Err(Errno::EEXIST) => {}
+            Err(e) => return Err(e),
+        }
+
+        let mut mem = MemTable::new();
+        let mut levels = Levels { lower: vec![Vec::new(); opts.max_levels], ..Default::default() };
+        let mut next_table_id = 1u64;
+        let mut next_wal_id = 1u64;
+
+        // ---- recovery: manifest, SSTables, then WAL replay ----
+        let manifest_path = format!("{}/MANIFEST", opts.db_path);
+        if let Ok(lines) = read_all_lines(&setup, &manifest_path) {
+            for line in lines {
+                let parts: Vec<&str> = line.split(' ').collect();
+                match parts.as_slice() {
+                    ["next_table_id", n] => next_table_id = n.parse().unwrap_or(1),
+                    ["next_wal_id", n] => next_wal_id = n.parse().unwrap_or(1),
+                    ["table", level, id, size, path] => {
+                        let Ok(reader) = SstReader::open(&setup, path) else {
+                            continue;
+                        };
+                        let (Some(min), Some(max)) = (reader.min_key(), reader.max_key()) else {
+                            continue;
+                        };
+                        let meta = Arc::new(TableMeta {
+                            id: id.parse().unwrap_or(0),
+                            path: (*path).to_string(),
+                            size: size.parse().unwrap_or(0),
+                            min: min.to_vec(),
+                            max: max.to_vec(),
+                            reader,
+                        });
+                        let level: usize = level.parse().unwrap_or(0);
+                        if level == 0 {
+                            levels.l0.push(meta);
+                        } else if level <= levels.lower.len() {
+                            levels.lower[level - 1].push(meta);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            levels.l0.sort_by_key(|t| std::cmp::Reverse(t.id));
+            for lvl in &mut levels.lower {
+                lvl.sort_by(|a, b| a.min.cmp(&b.min));
+            }
+        }
+        // Replay any WALs left behind. The directory listing is the source
+        // of truth: a crash may have left WALs the manifest never recorded.
+        let mut orphan_wals: Vec<u64> = list_dir(&setup, &opts.db_path)
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|name| {
+                name.strip_prefix("wal_")?.strip_suffix(".log")?.parse::<u64>().ok()
+            })
+            .collect();
+        orphan_wals.sort_unstable();
+        for wal_id in orphan_wals {
+            let path = wal_path(&opts.db_path, wal_id);
+            let _ = Wal::replay(&setup, &path, |k, v| match v {
+                Some(v) => mem.put(k, v),
+                None => mem.delete(k),
+            });
+            Wal::remove(&setup, &path)?;
+            next_wal_id = next_wal_id.max(wal_id + 1);
+        }
+
+        let wal = Wal::create(&setup, wal_path(&opts.db_path, next_wal_id), opts.wal_sync_every)?;
+        let compaction_threads = opts.compaction_threads;
+        let inner = Arc::new(DbInner {
+            opts,
+            wal: Mutex::new(WriteState { wal, next_wal_id: next_wal_id + 1 }),
+            mem: RwLock::new(Arc::new(mem)),
+            imm: Mutex::new(VecDeque::new()),
+            imm_cv: Condvar::new(),
+            levels: Mutex::new(levels),
+            levels_cv: Condvar::new(),
+            manifest_lock: Mutex::new(()),
+            next_table_id: AtomicU64::new(next_table_id),
+            stop: AtomicBool::new(false),
+            flushes: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            l0_compactions: AtomicU64::new(0),
+            slowed_writes: AtomicU64::new(0),
+            stopped_writes: AtomicU64::new(0),
+            stall_ns: AtomicU64::new(0),
+            bytes_flushed: AtomicU64::new(0),
+            bytes_compacted: AtomicU64::new(0),
+        });
+
+        let mut threads = Vec::new();
+        {
+            // The flush thread: rocksdb:high0, as in the paper.
+            let inner = Arc::clone(&inner);
+            let ctx = process.spawn_thread("rocksdb:high0");
+            threads.push(
+                std::thread::Builder::new()
+                    .name("rocksdb:high0".into())
+                    .spawn(move || flush_loop(&inner, &ctx))
+                    .expect("spawn flush thread"),
+            );
+        }
+        for i in 0..compaction_threads {
+            let inner = Arc::clone(&inner);
+            let name = format!("rocksdb:low{i}");
+            let ctx = process.spawn_thread(&name);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || compaction_loop(&inner, &ctx))
+                    .expect("spawn compaction thread"),
+            );
+        }
+        Ok(Db { inner, threads: Mutex::new(threads) })
+    }
+
+    /// Store statistics snapshot.
+    pub fn stats(&self) -> DbStats {
+        let i = &self.inner;
+        DbStats {
+            flushes: i.flushes.load(Ordering::Relaxed),
+            compactions: i.compactions.load(Ordering::Relaxed),
+            l0_compactions: i.l0_compactions.load(Ordering::Relaxed),
+            slowed_writes: i.slowed_writes.load(Ordering::Relaxed),
+            stopped_writes: i.stopped_writes.load(Ordering::Relaxed),
+            stall_ns: i.stall_ns.load(Ordering::Relaxed),
+            bytes_flushed: i.bytes_flushed.load(Ordering::Relaxed),
+            bytes_compacted: i.bytes_compacted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Current number of L0 files (write-stall input).
+    pub fn l0_files(&self) -> usize {
+        self.inner.levels.lock().l0.len()
+    }
+
+    /// Table count per level, L0 first.
+    pub fn level_table_counts(&self) -> Vec<usize> {
+        let levels = self.inner.levels.lock();
+        let mut out = vec![levels.l0.len()];
+        out.extend(levels.lower.iter().map(Vec::len));
+        out
+    }
+
+    /// Inserts a key/value pair, stalling in the slowdown/stop regimes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors from the WAL append.
+    pub fn put(&self, ctx: &ThreadCtx, key: &[u8], value: &[u8]) -> SysResult<()> {
+        self.write(ctx, key, Some(value))
+    }
+
+    /// Deletes a key (writes a tombstone).
+    ///
+    /// # Errors
+    ///
+    /// As [`Db::put`].
+    pub fn delete(&self, ctx: &ThreadCtx, key: &[u8]) -> SysResult<()> {
+        self.write(ctx, key, None)
+    }
+
+    fn write(&self, ctx: &ThreadCtx, key: &[u8], value: Option<&[u8]>) -> SysResult<()> {
+        self.maybe_stall(ctx);
+        // Writers are serialized by the WAL lock, so log order and
+        // memtable apply order agree.
+        let mut wal = self.inner.wal.lock();
+        wal.wal.append(ctx, key, value)?;
+        self.write_locked(ctx, &mut wal, key, value)
+    }
+
+    /// Applies the mutation to the current memtable and rotates when full.
+    fn write_locked(
+        &self,
+        ctx: &ThreadCtx,
+        wal: &mut WriteState,
+        key: &[u8],
+        value: Option<&[u8]>,
+    ) -> SysResult<()> {
+        let inner = &self.inner;
+        let full = {
+            let mut mem_guard = inner.mem.write();
+            let mem = Arc::get_mut(&mut mem_guard).map(|m| {
+                match value {
+                    Some(v) => m.put(key, v),
+                    None => m.delete(key),
+                }
+                m.approx_bytes()
+            });
+            match mem {
+                Some(bytes) => bytes >= inner.opts.memtable_bytes,
+                None => {
+                    // A reader holds a snapshot Arc: clone-on-write.
+                    let mut cloned = MemTable::new();
+                    for (k, e) in mem_guard.iter() {
+                        match e {
+                            Some(v) => cloned.put(k, v),
+                            None => cloned.delete(k),
+                        }
+                    }
+                    match value {
+                        Some(v) => cloned.put(key, v),
+                        None => cloned.delete(key),
+                    }
+                    let bytes = cloned.approx_bytes();
+                    *mem_guard = Arc::new(cloned);
+                    bytes >= inner.opts.memtable_bytes
+                }
+            }
+        };
+        if full {
+            self.rotate(ctx, wal)?;
+        }
+        Ok(())
+    }
+
+    /// Swaps in a fresh memtable + WAL and queues the old pair for flush.
+    fn rotate(&self, ctx: &ThreadCtx, wal: &mut WriteState) -> SysResult<()> {
+        let inner = &self.inner;
+        let new_wal_id = wal.next_wal_id;
+        let new_wal = Wal::create(ctx, wal_path(&inner.opts.db_path, new_wal_id), inner.opts.wal_sync_every)?;
+        let mut old_wal = std::mem::replace(&mut wal.wal, new_wal);
+        wal.next_wal_id += 1;
+        old_wal.sync(ctx)?;
+        let old_path = old_wal.close(ctx)?;
+        let old_mem = {
+            let mut mem_guard = inner.mem.write();
+            std::mem::replace(&mut *mem_guard, Arc::new(MemTable::new()))
+        };
+        let mut imm = inner.imm.lock();
+        imm.push_back((old_path, old_mem));
+        inner.imm_cv.notify_all();
+        Ok(())
+    }
+
+    /// Blocks or slows the writer per the L0 triggers.
+    fn maybe_stall(&self, ctx: &ThreadCtx) {
+        let inner = &self.inner;
+        let clock = ctx.kernel().clock().clone();
+        let mut levels = inner.levels.lock();
+        if levels.l0.len() >= inner.opts.l0_stop_trigger {
+            inner.stopped_writes.fetch_add(1, Ordering::Relaxed);
+            let start = clock.now_ns();
+            while levels.l0.len() >= inner.opts.l0_stop_trigger
+                && !inner.stop.load(Ordering::Acquire)
+            {
+                inner.levels_cv.wait_for(&mut levels, Duration::from_millis(50));
+            }
+            inner.stall_ns.fetch_add(clock.now_ns() - start, Ordering::Relaxed);
+        } else if levels.l0.len() >= inner.opts.l0_slowdown_trigger {
+            inner.slowed_writes.fetch_add(1, Ordering::Relaxed);
+            drop(levels);
+            let pause = inner.opts.slowdown_write_ns;
+            clock.sleep_ns(pause);
+            inner.stall_ns.fetch_add(pause, Ordering::Relaxed);
+        }
+    }
+
+    /// Point lookup through memtable, immutables, L0 (newest first) and
+    /// the lower levels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel read errors.
+    pub fn get(&self, ctx: &ThreadCtx, key: &[u8]) -> SysResult<Option<Vec<u8>>> {
+        let inner = &self.inner;
+        {
+            let mem = Arc::clone(&*inner.mem.read());
+            if let Some(entry) = mem.get(key) {
+                return Ok(entry.clone());
+            }
+        }
+        {
+            let imm = inner.imm.lock();
+            for (_, mem) in imm.iter().rev() {
+                if let Some(entry) = mem.get(key) {
+                    return Ok(entry.clone());
+                }
+            }
+        }
+        let (l0, lower) = {
+            let levels = inner.levels.lock();
+            (levels.l0.clone(), levels.lower.clone())
+        };
+        for table in &l0 {
+            if table.overlaps(key, key) {
+                if let Some(entry) = table.reader.get(ctx, key)? {
+                    return Ok(entry);
+                }
+            }
+        }
+        for level in &lower {
+            // Disjoint ranges: binary search for the containing table.
+            let idx = level.partition_point(|t| t.max.as_slice() < key);
+            if let Some(table) = level.get(idx) {
+                if table.overlaps(key, key) {
+                    if let Some(entry) = table.reader.get(ctx, key)? {
+                        return Ok(entry);
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Range scan: up to `limit` live entries with `key >= from`, merged
+    /// across all sources with correct shadowing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel read errors.
+    pub fn scan(&self, ctx: &ThreadCtx, from: &[u8], limit: usize) -> SysResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        let inner = &self.inner;
+        let mut merged: BTreeMap<Vec<u8>, Entry> = BTreeMap::new();
+        let (l0, lower) = {
+            let levels = inner.levels.lock();
+            (levels.l0.clone(), levels.lower.clone())
+        };
+        // Lowest precedence first: deep levels, then L0 oldest→newest,
+        // then immutables oldest→newest, then the memtable.
+        for level in lower.iter().rev() {
+            for table in level {
+                if table.max.as_slice() >= from {
+                    for (k, v) in table.reader.scan_all(ctx)? {
+                        if k.as_slice() >= from {
+                            merged.insert(k, v);
+                        }
+                    }
+                }
+            }
+        }
+        for table in l0.iter().rev() {
+            if table.max.as_slice() >= from {
+                for (k, v) in table.reader.scan_all(ctx)? {
+                    if k.as_slice() >= from {
+                        merged.insert(k, v);
+                    }
+                }
+            }
+        }
+        {
+            let imm = inner.imm.lock();
+            for (_, mem) in imm.iter() {
+                for (k, v) in mem.range_from(from) {
+                    merged.insert(k.clone(), v.clone());
+                }
+            }
+        }
+        {
+            let mem = Arc::clone(&*inner.mem.read());
+            for (k, v) in mem.range_from(from) {
+                merged.insert(k.clone(), v.clone());
+            }
+        }
+        Ok(merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .take(limit)
+            .collect())
+    }
+
+    /// Forces the current memtable to rotate and waits until every queued
+    /// flush completed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors from WAL rotation.
+    pub fn flush_now(&self, ctx: &ThreadCtx) -> SysResult<()> {
+        {
+            let mut wal = self.inner.wal.lock();
+            let non_empty = !self.inner.mem.read().is_empty();
+            if non_empty {
+                self.rotate(ctx, &mut wal)?;
+            }
+        }
+        let mut imm = self.inner.imm.lock();
+        while !imm.is_empty() {
+            self.inner.imm_cv.wait_for(&mut imm, Duration::from_millis(20));
+        }
+        Ok(())
+    }
+
+    /// Flushes outstanding writes, stops background threads and closes the
+    /// store. The data remains recoverable via [`Db::open`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors from the final flush.
+    pub fn shutdown(&self, ctx: &ThreadCtx) -> SysResult<()> {
+        self.flush_now(ctx)?;
+        self.inner.stop.store(true, Ordering::Release);
+        self.inner.imm_cv.notify_all();
+        self.inner.levels_cv.notify_all();
+        for h in self.threads.lock().drain(..) {
+            let _ = h.join();
+        }
+        // Persist the final tree shape.
+        write_manifest(&self.inner, ctx);
+        Ok(())
+    }
+}
+
+impl Drop for Db {
+    fn drop(&mut self) {
+        // Never fails / never blocks long: signal and detach.
+        self.inner.stop.store(true, Ordering::Release);
+        self.inner.imm_cv.notify_all();
+        self.inner.levels_cv.notify_all();
+        for h in self.threads.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn wal_path(db_path: &str, id: u64) -> String {
+    format!("{db_path}/wal_{id:06}.log")
+}
+
+fn sst_path(db_path: &str, id: u64) -> String {
+    format!("{db_path}/{id:06}.sst")
+}
+
+/// Lists a directory through the kernel's VFS (directory reads are not one
+/// of the 42 traced syscalls, so this bypasses the syscall layer).
+fn list_dir(ctx: &ThreadCtx, path: &str) -> SysResult<Vec<String>> {
+    let (vfs, inner) = ctx.kernel().resolve_mount(path)?;
+    let dir = vfs.lookup(&inner, true)?;
+    vfs.readdir(&dir)
+}
+
+fn read_all_lines(ctx: &ThreadCtx, path: &str) -> SysResult<Vec<String>> {
+    let fd = ctx.openat(path, dio_kernel::OpenFlags::RDONLY, 0)?;
+    let size = ctx.fstat(fd)?.size as usize;
+    let mut data = vec![0u8; size];
+    let n = ctx.pread64(fd, &mut data, 0)?;
+    data.truncate(n);
+    ctx.close(fd)?;
+    Ok(String::from_utf8_lossy(&data).lines().map(str::to_string).collect())
+}
+
+/// Serializes the level tree to `MANIFEST` (last-writer-wins snapshot).
+fn write_manifest(inner: &DbInner, ctx: &ThreadCtx) {
+    let _guard = inner.manifest_lock.lock();
+    let mut content = String::new();
+    {
+        let levels = inner.levels.lock();
+        content.push_str(&format!("next_table_id {}\n", inner.next_table_id.load(Ordering::Relaxed)));
+        content.push_str(&format!("next_wal_id {}\n", inner.wal.lock().next_wal_id));
+        for t in &levels.l0 {
+            content.push_str(&format!("table 0 {} {} {}\n", t.id, t.size, t.path));
+        }
+        for (i, level) in levels.lower.iter().enumerate() {
+            for t in level {
+                content.push_str(&format!("table {} {} {} {}\n", i + 1, t.id, t.size, t.path));
+            }
+        }
+    }
+    let path = format!("{}/MANIFEST", inner.opts.db_path);
+    let result = (|| -> SysResult<()> {
+        let fd = ctx.openat(
+            &path,
+            dio_kernel::OpenFlags::CREAT | dio_kernel::OpenFlags::WRONLY | dio_kernel::OpenFlags::TRUNC,
+            0o644,
+        )?;
+        ctx.write(fd, content.as_bytes())?;
+        ctx.fsync(fd)?;
+        ctx.close(fd)
+    })();
+    debug_assert!(result.is_ok(), "manifest write failed: {result:?}");
+}
+
+// ------------------------------------------------------------------ flush
+
+fn flush_loop(inner: &Arc<DbInner>, ctx: &ThreadCtx) {
+    loop {
+        let job = {
+            let mut imm = inner.imm.lock();
+            loop {
+                if let Some(front) = imm.front().cloned() {
+                    break Some(front);
+                }
+                if inner.stop.load(Ordering::Acquire) {
+                    break None;
+                }
+                inner.imm_cv.wait_for(&mut imm, Duration::from_millis(20));
+            }
+        };
+        let Some((wal_file, mem)) = job else {
+            return;
+        };
+        if flush_one(inner, ctx, &wal_file, &mem).is_ok() {
+            let mut imm = inner.imm.lock();
+            imm.pop_front();
+            inner.imm_cv.notify_all();
+        }
+    }
+}
+
+fn flush_one(inner: &Arc<DbInner>, ctx: &ThreadCtx, wal_file: &str, mem: &MemTable) -> SysResult<()> {
+    let entries: Vec<(Vec<u8>, Entry)> =
+        mem.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    if entries.is_empty() {
+        return Wal::remove(ctx, wal_file);
+    }
+    let id = inner.next_table_id.fetch_add(1, Ordering::Relaxed);
+    let path = sst_path(&inner.opts.db_path, id);
+    let size = write_sst(ctx, &path, &entries, inner.opts.bloom_bits_per_key)?;
+    let reader = SstReader::open(ctx, &path)?;
+    let meta = Arc::new(TableMeta {
+        id,
+        path,
+        size,
+        min: entries.first().expect("non-empty").0.clone(),
+        max: entries.last().expect("non-empty").0.clone(),
+        reader,
+    });
+    {
+        let mut levels = inner.levels.lock();
+        levels.l0.insert(0, meta);
+    }
+    inner.flushes.fetch_add(1, Ordering::Relaxed);
+    inner.bytes_flushed.fetch_add(size, Ordering::Relaxed);
+    Wal::remove(ctx, wal_file)?;
+    write_manifest(inner, ctx);
+    Ok(())
+}
+
+// ------------------------------------------------------------- compaction
+
+fn compaction_loop(inner: &Arc<DbInner>, ctx: &ThreadCtx) {
+    while !inner.stop.load(Ordering::Acquire) {
+        reap_graveyard(inner, ctx);
+        match pick_job(inner) {
+            Some(job) => {
+                if let Err(e) = run_compaction(inner, ctx, job) {
+                    debug_assert!(false, "compaction failed: {e}");
+                }
+            }
+            None => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Closes descriptors of removed tables nobody references anymore.
+fn reap_graveyard(inner: &Arc<DbInner>, ctx: &ThreadCtx) {
+    let dead: Vec<Arc<TableMeta>> = {
+        let mut levels = inner.levels.lock();
+        let (dead, alive): (Vec<_>, Vec<_>) =
+            levels.graveyard.drain(..).partition(|t| Arc::strong_count(t) == 1);
+        levels.graveyard = alive;
+        dead
+    };
+    for table in dead {
+        let _ = table.reader.close(ctx);
+    }
+}
+
+fn pick_job(inner: &Arc<DbInner>) -> Option<CompactionJob> {
+    let mut levels = inner.levels.lock();
+    let opts = &inner.opts;
+
+    // L0 -> L1, exclusive, takes every L0 file (RocksDB semantics).
+    if !levels.l0_compaction_running
+        && levels.l0.len() >= opts.l0_compaction_trigger
+        && levels.l0.iter().all(|t| !levels.compacting.contains(&t.id))
+    {
+        let upper: Vec<_> = levels.l0.clone();
+        let min = upper.iter().map(|t| t.min.clone()).min().expect("l0 non-empty");
+        let max = upper.iter().map(|t| t.max.clone()).max().expect("l0 non-empty");
+        let lower_tables: Vec<_> = levels.lower[0]
+            .iter()
+            .filter(|t| t.overlaps(&min, &max))
+            .cloned()
+            .collect();
+        if lower_tables.iter().all(|t| !levels.compacting.contains(&t.id)) {
+            for t in upper.iter().chain(lower_tables.iter()) {
+                levels.compacting.insert(t.id);
+            }
+            levels.l0_compaction_running = true;
+            return Some(CompactionJob { upper, lower: lower_tables, target_level: 1, is_l0: true });
+        }
+    }
+
+    // Size-triggered compactions of L1.. (parallel).
+    for lvl in 1..opts.max_levels {
+        let total: u64 = levels.lower[lvl - 1].iter().map(|t| t.size).sum();
+        if total <= opts.max_bytes_for_level(lvl) {
+            continue;
+        }
+        let candidates: Vec<Arc<TableMeta>> = levels.lower[lvl - 1]
+            .iter()
+            .filter(|t| !levels.compacting.contains(&t.id))
+            .cloned()
+            .collect();
+        for candidate in candidates {
+            let overlaps: Vec<Arc<TableMeta>> = levels.lower[lvl]
+                .iter()
+                .filter(|t| t.overlaps(&candidate.min, &candidate.max))
+                .cloned()
+                .collect();
+            if overlaps.iter().any(|t| levels.compacting.contains(&t.id)) {
+                continue;
+            }
+            levels.compacting.insert(candidate.id);
+            for t in &overlaps {
+                levels.compacting.insert(t.id);
+            }
+            return Some(CompactionJob {
+                upper: vec![candidate],
+                lower: overlaps,
+                target_level: lvl + 1,
+                is_l0: false,
+            });
+        }
+    }
+    None
+}
+
+fn run_compaction(inner: &Arc<DbInner>, ctx: &ThreadCtx, job: CompactionJob) -> SysResult<()> {
+    let opts = &inner.opts;
+    // Merge with correct precedence: lower level is older, upper newer;
+    // within L0, smaller id is older. Insert old→new so new wins.
+    let mut merged: BTreeMap<Vec<u8>, Entry> = BTreeMap::new();
+    for table in &job.lower {
+        for (k, v) in table.reader.scan_all(ctx)? {
+            merged.insert(k, v);
+        }
+    }
+    let mut upper_sorted: Vec<&Arc<TableMeta>> = job.upper.iter().collect();
+    upper_sorted.sort_by_key(|t| t.id);
+    for table in upper_sorted {
+        for (k, v) in table.reader.scan_all(ctx)? {
+            merged.insert(k, v);
+        }
+    }
+    // Drop tombstones at the bottom level.
+    let is_bottom = job.target_level == opts.max_levels;
+    let entries: Vec<(Vec<u8>, Entry)> = merged
+        .into_iter()
+        .filter(|(_, v)| !(is_bottom && v.is_none()))
+        .collect();
+
+    // Split into target-sized output files.
+    let mut outputs: Vec<Arc<TableMeta>> = Vec::new();
+    let mut chunk: Vec<(Vec<u8>, Entry)> = Vec::new();
+    let mut chunk_bytes = 0usize;
+    let mut total_bytes = 0u64;
+    let mut finalize = |chunk: &mut Vec<(Vec<u8>, Entry)>| -> SysResult<()> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let id = inner.next_table_id.fetch_add(1, Ordering::Relaxed);
+        let path = sst_path(&opts.db_path, id);
+        let entries = std::mem::take(chunk);
+        let size = write_sst(ctx, &path, &entries, opts.bloom_bits_per_key)?;
+        total_bytes += size;
+        let reader = SstReader::open(ctx, &path)?;
+        outputs.push(Arc::new(TableMeta {
+            id,
+            path,
+            size,
+            min: entries.first().expect("non-empty").0.clone(),
+            max: entries.last().expect("non-empty").0.clone(),
+            reader,
+        }));
+        Ok(())
+    };
+    for (k, v) in entries {
+        chunk_bytes += k.len() + v.as_ref().map_or(0, Vec::len) + 16;
+        chunk.push((k, v));
+        if chunk_bytes >= opts.target_file_bytes {
+            finalize(&mut chunk)?;
+            chunk_bytes = 0;
+        }
+    }
+    finalize(&mut chunk)?;
+
+    // Install the result.
+    {
+        let mut levels = inner.levels.lock();
+        let input_ids: HashSet<u64> =
+            job.upper.iter().chain(job.lower.iter()).map(|t| t.id).collect();
+        if job.is_l0 {
+            levels.l0.retain(|t| !input_ids.contains(&t.id));
+            levels.l0_compaction_running = false;
+        }
+        for level in &mut levels.lower {
+            level.retain(|t| !input_ids.contains(&t.id));
+        }
+        let target = &mut levels.lower[job.target_level - 1];
+        target.extend(outputs.iter().cloned());
+        target.sort_by(|a, b| a.min.cmp(&b.min));
+        for id in &input_ids {
+            levels.compacting.remove(id);
+        }
+        levels
+            .graveyard
+            .extend(job.upper.iter().cloned().chain(job.lower.iter().cloned()));
+        inner.levels_cv.notify_all();
+    }
+    // Unlink input files (descriptors stay valid for in-flight reads).
+    for table in job.upper.iter().chain(job.lower.iter()) {
+        let _ = ctx.unlink(&table.path);
+    }
+    inner.compactions.fetch_add(1, Ordering::Relaxed);
+    if job.is_l0 {
+        inner.l0_compactions.fetch_add(1, Ordering::Relaxed);
+    }
+    inner.bytes_compacted.fetch_add(total_bytes, Ordering::Relaxed);
+    write_manifest(inner, ctx);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::LsmOptions;
+    use dio_kernel::{DiskProfile, Kernel};
+
+    fn kernel() -> Kernel {
+        Kernel::builder().root_disk(DiskProfile::instant()).build()
+    }
+
+    fn small_opts() -> LsmOptions {
+        LsmOptions {
+            db_path: "/db".into(),
+            memtable_bytes: 2 * 1024,
+            l0_compaction_trigger: 2,
+            l0_slowdown_trigger: 50,
+            l0_stop_trigger: 100,
+            max_levels: 3,
+            l1_max_bytes: 8 * 1024,
+            target_file_bytes: 4 * 1024,
+            compaction_threads: 2,
+            wal_sync_every: 16,
+            bloom_bits_per_key: 10,
+            slowdown_write_ns: 0,
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip_through_memtable() {
+        let k = kernel();
+        let proc = k.spawn_process("kv");
+        let client = proc.spawn_thread("client");
+        let db = Db::open(&proc, small_opts()).unwrap();
+        db.put(&client, b"a", b"1").unwrap();
+        assert_eq!(db.get(&client, b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(db.get(&client, b"missing").unwrap(), None);
+        db.delete(&client, b"a").unwrap();
+        assert_eq!(db.get(&client, b"a").unwrap(), None);
+        db.shutdown(&client).unwrap();
+    }
+
+    #[test]
+    fn reads_after_flush_come_from_sstables() {
+        let k = kernel();
+        let proc = k.spawn_process("kv");
+        let client = proc.spawn_thread("client");
+        let db = Db::open(&proc, small_opts()).unwrap();
+        for i in 0..200u32 {
+            db.put(&client, format!("key{i:04}").as_bytes(), &[i as u8; 32]).unwrap();
+        }
+        db.flush_now(&client).unwrap();
+        assert!(db.stats().flushes > 0, "memtable rotated and flushed");
+        for i in (0..200u32).step_by(17) {
+            assert_eq!(
+                db.get(&client, format!("key{i:04}").as_bytes()).unwrap(),
+                Some(vec![i as u8; 32]),
+                "key{i:04}"
+            );
+        }
+        db.shutdown(&client).unwrap();
+    }
+
+    #[test]
+    fn overwrites_and_deletes_survive_flush_and_compaction() {
+        let k = kernel();
+        let proc = k.spawn_process("kv");
+        let client = proc.spawn_thread("client");
+        let db = Db::open(&proc, small_opts()).unwrap();
+        for round in 0..6u32 {
+            for i in 0..100u32 {
+                db.put(&client, format!("k{i:03}").as_bytes(), format!("r{round}-{i}").as_bytes())
+                    .unwrap();
+            }
+            db.delete(&client, format!("k{:03}", round).as_bytes()).unwrap();
+            db.flush_now(&client).unwrap();
+        }
+        // Wait for compactions to settle.
+        std::thread::sleep(Duration::from_millis(100));
+        for i in 0..100u32 {
+            let got = db.get(&client, format!("k{i:03}").as_bytes()).unwrap();
+            if i == 5 {
+                assert_eq!(got, None, "k005 deleted in the final round");
+            } else if i < 6 {
+                // Deleted in round i but rewritten in every later round.
+                assert_eq!(got, Some(format!("r5-{i}").into_bytes()), "k{i:03}");
+            } else {
+                assert_eq!(got, Some(format!("r5-{i}").into_bytes()), "k{i:03}");
+            }
+        }
+        assert!(db.stats().compactions > 0, "compactions ran");
+        db.shutdown(&client).unwrap();
+    }
+
+    #[test]
+    fn scan_merges_all_sources() {
+        let k = kernel();
+        let proc = k.spawn_process("kv");
+        let client = proc.spawn_thread("client");
+        let db = Db::open(&proc, small_opts()).unwrap();
+        for i in 0..50u32 {
+            db.put(&client, format!("s{i:03}").as_bytes(), b"old").unwrap();
+        }
+        db.flush_now(&client).unwrap();
+        // Overwrite a few in the memtable, delete one.
+        db.put(&client, b"s010", b"new").unwrap();
+        db.delete(&client, b"s011").unwrap();
+        let result = db.scan(&client, b"s005", 10).unwrap();
+        assert_eq!(result.len(), 10);
+        assert_eq!(result[0].0, b"s005");
+        let as_map: std::collections::HashMap<_, _> = result.into_iter().collect();
+        assert_eq!(as_map[&b"s010".to_vec()], b"new".to_vec());
+        assert!(!as_map.contains_key(b"s011".as_slice()), "tombstone hides the key");
+        db.shutdown(&client).unwrap();
+    }
+
+    #[test]
+    fn recovery_from_wal_after_crash() {
+        let k = kernel();
+        let proc = k.spawn_process("kv");
+        let client = proc.spawn_thread("client");
+        {
+            let db = Db::open(&proc, small_opts()).unwrap();
+            db.put(&client, b"persist", b"me").unwrap();
+            db.put(&client, b"and", b"me2").unwrap();
+            // Simulated crash: drop without shutdown (WAL not flushed to SST).
+            drop(db);
+        }
+        let db = Db::open(&proc, small_opts()).unwrap();
+        assert_eq!(db.get(&client, b"persist").unwrap(), Some(b"me".to_vec()));
+        assert_eq!(db.get(&client, b"and").unwrap(), Some(b"me2".to_vec()));
+        db.shutdown(&client).unwrap();
+    }
+
+    #[test]
+    fn recovery_from_manifest_after_clean_shutdown() {
+        let k = kernel();
+        let proc = k.spawn_process("kv");
+        let client = proc.spawn_thread("client");
+        {
+            let db = Db::open(&proc, small_opts()).unwrap();
+            for i in 0..300u32 {
+                db.put(&client, format!("m{i:04}").as_bytes(), &[7u8; 24]).unwrap();
+            }
+            db.shutdown(&client).unwrap();
+        }
+        let db = Db::open(&proc, small_opts()).unwrap();
+        for i in (0..300u32).step_by(31) {
+            assert_eq!(db.get(&client, format!("m{i:04}").as_bytes()).unwrap(), Some(vec![7u8; 24]));
+        }
+        db.shutdown(&client).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let k = kernel();
+        let proc = k.spawn_process("kv");
+        let db = Arc::new(Db::open(&proc, small_opts()).unwrap());
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let db = Arc::clone(&db);
+            let ctx = proc.spawn_thread(format!("writer{w}"));
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    db.put(&ctx, format!("w{w}-{i:04}").as_bytes(), &[w as u8; 16]).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let client = proc.spawn_thread("reader");
+        for w in 0..4 {
+            for i in (0..200u32).step_by(37) {
+                assert_eq!(
+                    db.get(&client, format!("w{w}-{i:04}").as_bytes()).unwrap(),
+                    Some(vec![w as u8; 16])
+                );
+            }
+        }
+        db.shutdown(&client).unwrap();
+    }
+
+    #[test]
+    fn l0_stop_trigger_blocks_writers_until_compaction() {
+        let k = kernel();
+        let proc = k.spawn_process("kv");
+        let client = proc.spawn_thread("client");
+        let opts = LsmOptions {
+            l0_compaction_trigger: 2,
+            l0_slowdown_trigger: 3,
+            l0_stop_trigger: 4,
+            memtable_bytes: 512,
+            compaction_threads: 1,
+            slowdown_write_ns: 10_000,
+            ..small_opts()
+        };
+        let db = Db::open(&proc, opts).unwrap();
+        for i in 0..600u32 {
+            db.put(&client, format!("x{i:05}").as_bytes(), &[0u8; 64]).unwrap();
+        }
+        db.flush_now(&client).unwrap();
+        // Give the single compaction thread time to drain L0.
+        for _ in 0..100 {
+            if db.stats().l0_compactions > 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let stats = db.stats();
+        assert!(stats.flushes > 4, "{stats:?}");
+        assert!(stats.l0_compactions > 0, "L0 compactions must have run: {stats:?}");
+        assert!(
+            stats.slowed_writes + stats.stopped_writes > 0,
+            "write stalls expected: {stats:?}"
+        );
+        db.shutdown(&client).unwrap();
+    }
+
+    #[test]
+    fn tombstones_dropped_at_bottom_level() {
+        let k = kernel();
+        let proc = k.spawn_process("kv");
+        let client = proc.spawn_thread("client");
+        let opts = LsmOptions { max_levels: 1, l1_max_bytes: 1 << 30, ..small_opts() };
+        let db = Db::open(&proc, opts).unwrap();
+        db.put(&client, b"gone", b"soon").unwrap();
+        db.flush_now(&client).unwrap();
+        db.delete(&client, b"gone").unwrap();
+        db.flush_now(&client).unwrap();
+        // Two L0 files trigger an L0->L1(bottom) compaction.
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(db.get(&client, b"gone").unwrap(), None);
+        let counts = db.level_table_counts();
+        assert_eq!(counts[0], 0, "L0 drained: {counts:?}");
+        db.shutdown(&client).unwrap();
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! An LSM-tree key-value store built entirely on the simulated kernel —
+//! the reproduction's stand-in for RocksDB (§III-C of the paper).
+//!
+//! Every byte of I/O (WAL appends, SSTable reads/writes, fsyncs, unlinks)
+//! goes through [`dio_kernel::ThreadCtx`] syscalls, so DIO traces this
+//! store exactly as the paper traces RocksDB. The architecture follows the
+//! paper's deployment:
+//!
+//! * foreground client threads served in arrival order;
+//! * one high-priority **flush** thread (`rocksdb:high0`);
+//! * a pool of low-priority **compaction** threads (`rocksdb:low0..6`),
+//!   with exclusive L0→L1 compactions and parallel lower-level ones;
+//! * L0-based **write slowdown/stop triggers**, the mechanism that turns
+//!   compaction backlog into client latency spikes (Fig. 3).
+//!
+//! Components: [`MemTable`], [`Wal`], SSTables with Bloom filters
+//! ([`sstable`]), and the leveled [`Db`] engine.
+
+mod bloom;
+mod db;
+mod memtable;
+mod options;
+pub mod sstable;
+mod wal;
+
+pub use bloom::BloomFilter;
+pub use db::{Db, DbStats};
+pub use memtable::{Entry, MemTable};
+pub use options::LsmOptions;
+pub use wal::Wal;

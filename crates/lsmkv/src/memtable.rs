@@ -1,0 +1,125 @@
+//! The in-memory write buffer.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A value or a deletion marker.
+pub type Entry = Option<Vec<u8>>;
+
+/// A sorted in-memory buffer of recent writes. `None` values are
+/// tombstones (deletions that must mask older on-disk values).
+#[derive(Debug, Default)]
+pub struct MemTable {
+    map: BTreeMap<Vec<u8>, Entry>,
+    approx_bytes: usize,
+}
+
+impl MemTable {
+    /// Creates an empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a key/value pair.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.insert(key.to_vec(), Some(value.to_vec()));
+    }
+
+    /// Inserts a tombstone.
+    pub fn delete(&mut self, key: &[u8]) {
+        self.insert(key.to_vec(), None);
+    }
+
+    fn insert(&mut self, key: Vec<u8>, entry: Entry) {
+        let add = key.len() + entry.as_ref().map_or(0, Vec::len) + 16;
+        if let Some(old) = self.map.insert(key, entry) {
+            self.approx_bytes = self.approx_bytes.saturating_sub(old.map_or(0, |v| v.len()));
+        }
+        self.approx_bytes += add;
+    }
+
+    /// Looks up a key. `Some(None)` means "deleted here" (masks lower
+    /// levels); `None` means "not present in this memtable".
+    pub fn get(&self, key: &[u8]) -> Option<&Entry> {
+        self.map.get(key)
+    }
+
+    /// Number of entries (including tombstones).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the memtable holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<u8>, &Entry)> {
+        self.map.iter()
+    }
+
+    /// Iterates entries with `key >= from` in key order.
+    pub fn range_from<'a>(&'a self, from: &[u8]) -> impl Iterator<Item = (&'a Vec<u8>, &'a Entry)> {
+        self.map.range::<[u8], _>((Bound::Included(from), Bound::Unbounded))
+    }
+
+    /// Drains the memtable into a sorted vector (for flushing).
+    pub fn into_sorted(self) -> Vec<(Vec<u8>, Entry)> {
+        self.map.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete() {
+        let mut m = MemTable::new();
+        m.put(b"a", b"1");
+        m.put(b"b", b"2");
+        assert_eq!(m.get(b"a"), Some(&Some(b"1".to_vec())));
+        m.delete(b"a");
+        assert_eq!(m.get(b"a"), Some(&None), "tombstone, not absence");
+        assert_eq!(m.get(b"zz"), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_updates_size_accounting() {
+        let mut m = MemTable::new();
+        m.put(b"k", &[0u8; 100]);
+        let after_first = m.approx_bytes();
+        m.put(b"k", &[0u8; 10]);
+        assert!(m.approx_bytes() < after_first + 100, "old value accounted out");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn sorted_iteration() {
+        let mut m = MemTable::new();
+        m.put(b"c", b"3");
+        m.put(b"a", b"1");
+        m.put(b"b", b"2");
+        let keys: Vec<_> = m.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+        let from_b: Vec<_> = m.range_from(b"b").map(|(k, _)| k.clone()).collect();
+        assert_eq!(from_b.len(), 2);
+    }
+
+    #[test]
+    fn into_sorted_preserves_tombstones() {
+        let mut m = MemTable::new();
+        m.put(b"a", b"1");
+        m.delete(b"b");
+        let v = m.into_sorted();
+        assert_eq!(v[0], (b"a".to_vec(), Some(b"1".to_vec())));
+        assert_eq!(v[1], (b"b".to_vec(), None));
+    }
+}

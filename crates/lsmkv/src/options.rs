@@ -1,0 +1,111 @@
+//! Tuning options for the LSM store.
+
+/// Configuration of an [`crate::Db`].
+///
+/// Defaults give a small, fast store suitable for tests; the RocksDB
+/// contention experiment scales them via [`LsmOptions::benchmark_profile`].
+#[derive(Debug, Clone)]
+pub struct LsmOptions {
+    /// Directory holding WALs and SSTables (absolute, inside the simulated
+    /// kernel's namespace).
+    pub db_path: String,
+    /// Memtable size that triggers a flush, in bytes.
+    pub memtable_bytes: usize,
+    /// Number of L0 files that schedules an L0→L1 compaction.
+    pub l0_compaction_trigger: usize,
+    /// Number of L0 files at which writes are slowed down.
+    pub l0_slowdown_trigger: usize,
+    /// Number of L0 files at which writes stop until compaction catches up.
+    pub l0_stop_trigger: usize,
+    /// Number of levels below L0.
+    pub max_levels: usize,
+    /// Max total bytes of L1; each further level is 10× larger.
+    pub l1_max_bytes: u64,
+    /// Target SSTable file size.
+    pub target_file_bytes: usize,
+    /// Background compaction threads (the paper's run uses 7, named
+    /// `rocksdb:low0..low6`).
+    pub compaction_threads: usize,
+    /// `fdatasync` the WAL every N writes (0 = never).
+    pub wal_sync_every: usize,
+    /// Bits per key in SSTable bloom filters.
+    pub bloom_bits_per_key: usize,
+    /// Pause injected per write while in the slowdown regime, nanoseconds.
+    pub slowdown_write_ns: u64,
+}
+
+impl Default for LsmOptions {
+    fn default() -> Self {
+        LsmOptions {
+            db_path: "/db".to_string(),
+            memtable_bytes: 64 * 1024,
+            l0_compaction_trigger: 4,
+            l0_slowdown_trigger: 8,
+            l0_stop_trigger: 12,
+            max_levels: 6,
+            l1_max_bytes: 512 * 1024,
+            target_file_bytes: 64 * 1024,
+            compaction_threads: 2,
+            wal_sync_every: 64,
+            bloom_bits_per_key: 10,
+            slowdown_write_ns: 1_000_000,
+        }
+    }
+}
+
+impl LsmOptions {
+    /// Options with a custom database directory.
+    pub fn new(db_path: impl Into<String>) -> Self {
+        LsmOptions { db_path: db_path.into(), ..Default::default() }
+    }
+
+    /// The configuration used by the Fig. 3/4 reproduction: 7 compaction
+    /// threads + 1 flush thread (RocksDB's `max_background_jobs = 8` split),
+    /// larger memtables, and aggressive level targets so compactions churn.
+    pub fn benchmark_profile(db_path: impl Into<String>) -> Self {
+        LsmOptions {
+            db_path: db_path.into(),
+            memtable_bytes: 256 * 1024,
+            l0_compaction_trigger: 8,
+            l0_slowdown_trigger: 12,
+            l0_stop_trigger: 20,
+            max_levels: 5,
+            l1_max_bytes: 512 * 1024,
+            target_file_bytes: 256 * 1024,
+            compaction_threads: 7,
+            wal_sync_every: 64,
+            bloom_bits_per_key: 10,
+            slowdown_write_ns: 1_000_000,
+        }
+    }
+
+    /// Maximum bytes allowed at level `level` (1-based below L0).
+    pub fn max_bytes_for_level(&self, level: usize) -> u64 {
+        let mut max = self.l1_max_bytes;
+        for _ in 1..level {
+            max = max.saturating_mul(10);
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_targets_grow_10x() {
+        let o = LsmOptions::default();
+        assert_eq!(o.max_bytes_for_level(1), o.l1_max_bytes);
+        assert_eq!(o.max_bytes_for_level(2), o.l1_max_bytes * 10);
+        assert_eq!(o.max_bytes_for_level(3), o.l1_max_bytes * 100);
+    }
+
+    #[test]
+    fn benchmark_profile_matches_paper_threading() {
+        let o = LsmOptions::benchmark_profile("/db");
+        assert_eq!(o.compaction_threads, 7, "1 flush + 7 compactions = 8 background threads");
+        assert!(o.l0_stop_trigger > o.l0_slowdown_trigger);
+        assert!(o.l0_slowdown_trigger > o.l0_compaction_trigger);
+    }
+}

@@ -1,0 +1,218 @@
+//! The write-ahead log, persisted through the simulated kernel's syscalls.
+
+use dio_kernel::{Errno, OpenFlags, SysResult, ThreadCtx};
+
+/// Record header: key length + value length (`u32::MAX` marks a tombstone).
+const TOMBSTONE: u32 = u32::MAX;
+
+/// An append-only write-ahead log backing one memtable generation.
+///
+/// Every mutation is appended before it is applied in memory; the log is
+/// deleted once its memtable is flushed into an SSTable.
+#[derive(Debug)]
+pub struct Wal {
+    path: String,
+    fd: i32,
+    appended: u64,
+    since_sync: usize,
+    sync_every: usize,
+}
+
+impl Wal {
+    /// Creates (truncating) a WAL at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (`ENOENT` for a missing directory, ...).
+    pub fn create(ctx: &ThreadCtx, path: impl Into<String>, sync_every: usize) -> SysResult<Wal> {
+        let path = path.into();
+        let fd = ctx.openat(
+            &path,
+            OpenFlags::CREAT | OpenFlags::WRONLY | OpenFlags::TRUNC | OpenFlags::APPEND,
+            0o644,
+        )?;
+        Ok(Wal { path, fd, appended: 0, since_sync: 0, sync_every })
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Records appended so far.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Appends one record (`value = None` is a tombstone), periodically
+    /// issuing `fdatasync` per the configured interval.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (`ENOSPC`, `EBADF`, ...).
+    pub fn append(&mut self, ctx: &ThreadCtx, key: &[u8], value: Option<&[u8]>) -> SysResult<()> {
+        let vlen = value.map_or(TOMBSTONE, |v| v.len() as u32);
+        let mut record = Vec::with_capacity(8 + key.len() + value.map_or(0, <[u8]>::len));
+        record.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        record.extend_from_slice(&vlen.to_le_bytes());
+        record.extend_from_slice(key);
+        if let Some(v) = value {
+            record.extend_from_slice(v);
+        }
+        ctx.write(self.fd, &record)?;
+        self.appended += 1;
+        self.since_sync += 1;
+        if self.sync_every > 0 && self.since_sync >= self.sync_every {
+            ctx.fdatasync(self.fd)?;
+            self.since_sync = 0;
+        }
+        Ok(())
+    }
+
+    /// Forces the log to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    pub fn sync(&mut self, ctx: &ThreadCtx) -> SysResult<()> {
+        ctx.fdatasync(self.fd)?;
+        self.since_sync = 0;
+        Ok(())
+    }
+
+    /// Closes the descriptor (the file stays on disk for recovery).
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` if already closed.
+    pub fn close(self, ctx: &ThreadCtx) -> SysResult<String> {
+        ctx.close(self.fd)?;
+        Ok(self.path)
+    }
+
+    /// Replays a WAL file, invoking `apply(key, value)` per record in
+    /// append order. Returns the number of records replayed. Truncated
+    /// trailing records (torn writes) are ignored, as in real recovery.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` when the log does not exist.
+    pub fn replay(
+        ctx: &ThreadCtx,
+        path: &str,
+        mut apply: impl FnMut(&[u8], Option<&[u8]>),
+    ) -> SysResult<u64> {
+        let fd = ctx.openat(path, OpenFlags::RDONLY, 0)?;
+        let size = ctx.fstat(fd)?.size as usize;
+        let mut data = vec![0u8; size];
+        let n = ctx.pread64(fd, &mut data, 0)?;
+        data.truncate(n);
+        ctx.close(fd)?;
+
+        let mut pos = 0usize;
+        let mut records = 0u64;
+        while pos + 8 <= data.len() {
+            let klen = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let vlen_raw = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            pos += 8;
+            let vlen = if vlen_raw == TOMBSTONE { 0 } else { vlen_raw as usize };
+            if pos + klen + vlen > data.len() {
+                break; // torn final record
+            }
+            let key = &data[pos..pos + klen];
+            pos += klen;
+            let value = if vlen_raw == TOMBSTONE {
+                None
+            } else {
+                let v = &data[pos..pos + vlen];
+                pos += vlen;
+                Some(v)
+            };
+            apply(key, value);
+            records += 1;
+        }
+        Ok(records)
+    }
+
+    /// Removes a WAL file after its memtable was flushed.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` when the log does not exist.
+    pub fn remove(ctx: &ThreadCtx, path: &str) -> SysResult<()> {
+        match ctx.unlink(path) {
+            Ok(()) | Err(Errno::ENOENT) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dio_kernel::{DiskProfile, Kernel};
+
+    fn ctx() -> ThreadCtx {
+        let k = Kernel::builder().root_disk(DiskProfile::instant()).build();
+        k.spawn_process("wal-test").spawn_thread("wal-test")
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let t = ctx();
+        let mut wal = Wal::create(&t, "/wal.log", 0).unwrap();
+        wal.append(&t, b"k1", Some(b"v1")).unwrap();
+        wal.append(&t, b"k2", None).unwrap();
+        wal.append(&t, b"k3", Some(b"")).unwrap();
+        assert_eq!(wal.appended(), 3);
+        wal.close(&t).unwrap();
+
+        let mut seen = Vec::new();
+        let n = Wal::replay(&t, "/wal.log", |k, v| {
+            seen.push((k.to_vec(), v.map(<[u8]>::to_vec)));
+        })
+        .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(seen[0], (b"k1".to_vec(), Some(b"v1".to_vec())));
+        assert_eq!(seen[1], (b"k2".to_vec(), None));
+        assert_eq!(seen[2], (b"k3".to_vec(), Some(Vec::new())));
+    }
+
+    #[test]
+    fn torn_final_record_is_skipped() {
+        let t = ctx();
+        let mut wal = Wal::create(&t, "/torn.log", 0).unwrap();
+        wal.append(&t, b"good", Some(b"record")).unwrap();
+        wal.close(&t).unwrap();
+        // Append garbage that looks like a header but lacks the payload.
+        let fd = t.openat("/torn.log", OpenFlags::WRONLY | OpenFlags::APPEND, 0).unwrap();
+        t.write(fd, &[200, 0, 0, 0, 5, 0, 0, 0, b'x']).unwrap();
+        t.close(fd).unwrap();
+        let n = Wal::replay(&t, "/torn.log", |_, _| {}).unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn periodic_sync_issues_fdatasync() {
+        let t = ctx();
+        let before = t.kernel().root_vfs().disk().stats().flushes;
+        let mut wal = Wal::create(&t, "/s.log", 2).unwrap();
+        wal.append(&t, b"a", Some(b"1")).unwrap();
+        wal.append(&t, b"b", Some(b"1")).unwrap(); // triggers sync
+        wal.append(&t, b"c", Some(b"1")).unwrap();
+        let after = t.kernel().root_vfs().disk().stats().flushes;
+        assert_eq!(after - before, 1);
+        wal.sync(&t).unwrap();
+        assert_eq!(t.kernel().root_vfs().disk().stats().flushes - before, 2);
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let t = ctx();
+        let wal = Wal::create(&t, "/gone.log", 0).unwrap();
+        wal.close(&t).unwrap();
+        Wal::remove(&t, "/gone.log").unwrap();
+        Wal::remove(&t, "/gone.log").unwrap(); // ENOENT swallowed
+        assert!(Wal::replay(&t, "/gone.log", |_, _| {}).is_err());
+    }
+}

@@ -1,0 +1,549 @@
+#![warn(missing_docs)]
+
+//! Trace replay: re-executes a stored DIO session against a fresh kernel.
+//!
+//! The paper's related work (§IV, Table III) discusses Re-Animator, a
+//! "versatile high-fidelity storage-system tracing and replaying" system.
+//! DIO's traces contain everything replay needs — syscall type, arguments,
+//! return values, per-thread attribution, timestamps — so this crate adds
+//! the replay half: it walks a session's events in time order, recreates
+//! the original processes and threads, re-issues each syscall (with
+//! synthetic payloads, since DIO records sizes rather than data), and
+//! reports every *divergence* where the replayed return value differs from
+//! the recorded one.
+//!
+//! Replay is useful for (a) regression-testing storage stacks against
+//! recorded production behaviour, and (b) validating that a trace is
+//! internally consistent — a diverging replay of an unmodified trace
+//! usually means events were dropped at the ring buffer.
+//!
+//! # Examples
+//!
+//! ```
+//! use dio_backend::DocStore;
+//! use dio_kernel::{DiskProfile, Kernel};
+//! use dio_replay::{replay_session, ReplayConfig};
+//! use dio_tracer::{Tracer, TracerConfig};
+//!
+//! // Record...
+//! let kernel = Kernel::builder().root_disk(DiskProfile::instant()).build();
+//! let backend = DocStore::new();
+//! let tracer = Tracer::attach(TracerConfig::new("rec"), &kernel, backend.clone());
+//! let t = kernel.spawn_process("app").spawn_thread("app");
+//! let fd = t.creat("/f", 0o644)?;
+//! t.write(fd, b"hello")?;
+//! t.close(fd)?;
+//! tracer.stop();
+//!
+//! // ...and replay against a brand-new kernel.
+//! let fresh = Kernel::builder().root_disk(DiskProfile::instant()).build();
+//! let report = replay_session(&backend.index("dio-rec"), &fresh, &ReplayConfig::default());
+//! assert_eq!(report.events_replayed, 3);
+//! assert!(report.divergences.is_empty());
+//! # Ok::<(), dio_kernel::Errno>(())
+//! ```
+
+use std::collections::HashMap;
+
+use dio_backend::{Index, Query, SearchRequest, SortOrder};
+use dio_kernel::{Kernel, OpenFlags, ThreadCtx, Whence};
+use dio_syscall::{FileType, SyscallKind};
+
+/// Replay tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayConfig {
+    /// Time scaling: `0.0` replays as fast as possible; `1.0` preserves the
+    /// recorded inter-event gaps; `0.1` replays 10× faster.
+    pub speed: f64,
+    /// Stop at the first divergence instead of collecting all of them.
+    pub stop_on_divergence: bool,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig { speed: 0.0, stop_on_divergence: false }
+    }
+}
+
+/// One replayed event whose outcome differed from the recording.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Recorded entry timestamp of the event.
+    pub time_ns: u64,
+    /// The syscall.
+    pub syscall: String,
+    /// Return value in the recording.
+    pub recorded_ret: i64,
+    /// Return value observed during replay.
+    pub replayed_ret: i64,
+}
+
+/// Outcome of a replay run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReplayReport {
+    /// Events successfully re-issued.
+    pub events_replayed: u64,
+    /// Events skipped: unmappable descriptors (opened before the trace
+    /// started, or their open was dropped) or unsupported forms.
+    pub events_skipped: u64,
+    /// Return-value mismatches between recording and replay.
+    pub divergences: Vec<Divergence>,
+}
+
+impl ReplayReport {
+    /// Whether the replay reproduced every recorded outcome.
+    pub fn is_faithful(&self) -> bool {
+        self.divergences.is_empty() && self.events_skipped == 0
+    }
+}
+
+struct ReplayState {
+    threads: HashMap<(u64, u64), ThreadCtx>,
+    /// (recorded pid, recorded fd) -> replayed fd.
+    fd_map: HashMap<(u64, i64), i32>,
+}
+
+impl ReplayState {
+    fn thread<'a>(
+        &'a mut self,
+        kernel: &Kernel,
+        procs: &mut HashMap<u64, dio_kernel::Process>,
+        pid: u64,
+        tid: u64,
+        comm: &str,
+    ) -> &'a ThreadCtx {
+        self.threads.entry((pid, tid)).or_insert_with(|| {
+            let proc = procs
+                .entry(pid)
+                .or_insert_with(|| kernel.spawn_process(comm.to_string()))
+                .clone();
+            proc.spawn_thread(comm.to_string())
+        })
+    }
+}
+
+fn arg_u64(doc: &serde_json::Value, name: &str) -> Option<u64> {
+    doc["args"][name].as_u64()
+}
+
+fn arg_i64(doc: &serde_json::Value, name: &str) -> Option<i64> {
+    doc["args"][name].as_i64()
+}
+
+fn arg_str<'a>(doc: &'a serde_json::Value, name: &str) -> Option<&'a str> {
+    doc["args"][name].as_str()
+}
+
+/// Replays every event of `index` (time-ordered) against `kernel`.
+///
+/// Unsupported argument shapes are counted as skipped rather than failing
+/// the run, so partially-enriched traces (e.g. from the sysdig baseline)
+/// degrade gracefully.
+pub fn replay_session(index: &Index, kernel: &Kernel, config: &ReplayConfig) -> ReplayReport {
+    let events = index.search(
+        &SearchRequest::new(Query::MatchAll).sort_by("time", SortOrder::Asc).size(usize::MAX),
+    );
+    let mut report = ReplayReport::default();
+    let mut state = ReplayState { threads: HashMap::new(), fd_map: HashMap::new() };
+    let mut procs: HashMap<u64, dio_kernel::Process> = HashMap::new();
+    let mut last_time: Option<u64> = None;
+
+    for hit in &events.hits {
+        let doc = &hit.source;
+        let (Some(pid), Some(tid), Some(kind_name)) =
+            (doc["pid"].as_u64(), doc["tid"].as_u64(), doc["syscall"].as_str())
+        else {
+            report.events_skipped += 1;
+            continue;
+        };
+        let Ok(kind) = kind_name.parse::<SyscallKind>() else {
+            report.events_skipped += 1;
+            continue;
+        };
+        let comm = doc["proc_name"].as_str().unwrap_or("replayed");
+        let recorded_ret = doc["ret_val"].as_i64().unwrap_or(0);
+        let time_ns = doc["time"].as_u64().unwrap_or(0);
+
+        // Pace the replay against the recorded timeline.
+        if config.speed > 0.0 {
+            if let Some(prev) = last_time {
+                let gap = time_ns.saturating_sub(prev) as f64 * config.speed;
+                kernel.clock().sleep_ns(gap as u64);
+            }
+        }
+        last_time = Some(time_ns);
+
+        let replayed_ret = match replay_one(&mut state, kernel, &mut procs, pid, tid, comm, kind, doc, recorded_ret)
+        {
+            Some(ret) => ret,
+            None => {
+                report.events_skipped += 1;
+                continue;
+            }
+        };
+        report.events_replayed += 1;
+        if replayed_ret != recorded_ret && !ret_equivalent(kind, recorded_ret, replayed_ret) {
+            report.divergences.push(Divergence {
+                time_ns,
+                syscall: kind_name.to_string(),
+                recorded_ret,
+                replayed_ret,
+            });
+            if config.stop_on_divergence {
+                break;
+            }
+        }
+    }
+    report
+}
+
+/// File-descriptor numbers may legitimately differ between recording and
+/// replay (the replayed process has a different descriptor history); an
+/// open returning *some* valid fd is considered equivalent.
+fn ret_equivalent(kind: SyscallKind, recorded: i64, replayed: i64) -> bool {
+    matches!(kind, SyscallKind::Open | SyscallKind::Openat | SyscallKind::Creat)
+        && recorded >= 0
+        && replayed >= 0
+}
+
+#[allow(clippy::too_many_arguments)]
+fn replay_one(
+    state: &mut ReplayState,
+    kernel: &Kernel,
+    procs: &mut HashMap<u64, dio_kernel::Process>,
+    pid: u64,
+    tid: u64,
+    comm: &str,
+    kind: SyscallKind,
+    doc: &serde_json::Value,
+    recorded_ret: i64,
+) -> Option<i64> {
+    // Resolve the replayed thread (creating process/thread lazily).
+    let ctx_key = (pid, tid);
+    if !state.threads.contains_key(&ctx_key) {
+        state.thread(kernel, procs, pid, tid, comm);
+    }
+    let translate_fd = |state: &ReplayState, doc: &serde_json::Value| -> Option<i32> {
+        let fd = arg_i64(doc, "fd")?;
+        state.fd_map.get(&(pid, fd)).copied()
+    };
+    let encode = |r: Result<i64, dio_kernel::Errno>| match r {
+        Ok(v) => v,
+        Err(e) => e.to_ret(),
+    };
+    let ctx = &state.threads[&ctx_key];
+
+    let ret = match kind {
+        SyscallKind::Open | SyscallKind::Openat | SyscallKind::Creat => {
+            let path = arg_str(doc, "path")?.to_string();
+            let flags = if kind == SyscallKind::Creat {
+                OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::TRUNC
+            } else {
+                OpenFlags(arg_u64(doc, "flags")? as u32)
+            };
+            let result = ctx.openat(&path, flags, arg_u64(doc, "mode").unwrap_or(0) as u32);
+            if let Ok(new_fd) = result {
+                if recorded_ret >= 0 {
+                    state.fd_map.insert((pid, recorded_ret), new_fd);
+                }
+            }
+            encode(result.map(i64::from))
+        }
+        SyscallKind::Close => {
+            let fd = arg_i64(doc, "fd")?;
+            let new_fd = state.fd_map.remove(&(pid, fd))?;
+            encode(state.threads[&ctx_key].close(new_fd).map(|()| 0))
+        }
+        SyscallKind::Read | SyscallKind::Readv => {
+            let fd = translate_fd(state, doc)?;
+            let mut buf = vec![0u8; arg_u64(doc, "count")? as usize];
+            encode(ctx.read(fd, &mut buf).map(|n| n as i64))
+        }
+        SyscallKind::Pread64 => {
+            let fd = translate_fd(state, doc)?;
+            let mut buf = vec![0u8; arg_u64(doc, "count")? as usize];
+            encode(ctx.pread64(fd, &mut buf, arg_u64(doc, "offset")?).map(|n| n as i64))
+        }
+        SyscallKind::Write | SyscallKind::Writev => {
+            let fd = translate_fd(state, doc)?;
+            let buf = vec![0xA5u8; arg_u64(doc, "count")? as usize];
+            encode(ctx.write(fd, &buf).map(|n| n as i64))
+        }
+        SyscallKind::Pwrite64 => {
+            let fd = translate_fd(state, doc)?;
+            let buf = vec![0xA5u8; arg_u64(doc, "count")? as usize];
+            encode(ctx.pwrite64(fd, &buf, arg_u64(doc, "offset")?).map(|n| n as i64))
+        }
+        SyscallKind::Lseek => {
+            let fd = translate_fd(state, doc)?;
+            let whence = match arg_u64(doc, "whence")? {
+                0 => Whence::Set,
+                1 => Whence::Cur,
+                _ => Whence::End,
+            };
+            encode(ctx.lseek(fd, arg_i64(doc, "offset")?, whence).map(|o| o as i64))
+        }
+        SyscallKind::Readahead => {
+            let fd = translate_fd(state, doc)?;
+            encode(
+                ctx.readahead(fd, arg_u64(doc, "offset")?, arg_u64(doc, "count")? as usize)
+                    .map(|()| 0),
+            )
+        }
+        SyscallKind::Truncate => {
+            encode(ctx.truncate(arg_str(doc, "path")?, arg_u64(doc, "length")?).map(|()| 0))
+        }
+        SyscallKind::Ftruncate => {
+            let fd = translate_fd(state, doc)?;
+            encode(ctx.ftruncate(fd, arg_u64(doc, "length")?).map(|()| 0))
+        }
+        SyscallKind::Fsync => {
+            let fd = translate_fd(state, doc)?;
+            encode(ctx.fsync(fd).map(|()| 0))
+        }
+        SyscallKind::Fdatasync => {
+            let fd = translate_fd(state, doc)?;
+            encode(ctx.fdatasync(fd).map(|()| 0))
+        }
+        SyscallKind::Stat => encode(ctx.stat(arg_str(doc, "path")?).map(|_| 0)),
+        SyscallKind::Lstat => encode(ctx.lstat(arg_str(doc, "path")?).map(|_| 0)),
+        SyscallKind::Fstat => {
+            let fd = translate_fd(state, doc)?;
+            encode(ctx.fstat(fd).map(|_| 0))
+        }
+        SyscallKind::Fstatfs => {
+            let fd = translate_fd(state, doc)?;
+            encode(ctx.fstatfs(fd).map(|_| 0))
+        }
+        SyscallKind::Rename | SyscallKind::Renameat => {
+            encode(ctx.rename(arg_str(doc, "oldpath")?, arg_str(doc, "newpath")?).map(|()| 0))
+        }
+        SyscallKind::Renameat2 => encode(
+            ctx.renameat2(
+                arg_str(doc, "oldpath")?,
+                arg_str(doc, "newpath")?,
+                arg_u64(doc, "flags")? as u32,
+            )
+            .map(|()| 0),
+        ),
+        SyscallKind::Unlink => encode(ctx.unlink(arg_str(doc, "path")?).map(|()| 0)),
+        SyscallKind::Unlinkat => encode(
+            ctx.unlinkat(arg_str(doc, "path")?, arg_u64(doc, "flags").unwrap_or(0) as u32)
+                .map(|()| 0),
+        ),
+        SyscallKind::Mkdir | SyscallKind::Mkdirat => {
+            encode(ctx.mkdir(arg_str(doc, "path")?, arg_u64(doc, "mode").unwrap_or(0o755) as u32).map(|()| 0))
+        }
+        SyscallKind::Rmdir => encode(ctx.rmdir(arg_str(doc, "path")?).map(|()| 0)),
+        SyscallKind::Mknod | SyscallKind::Mknodat => {
+            let file_type = match arg_u64(doc, "mode")? {
+                0o010000 => FileType::Pipe,
+                0o020000 => FileType::CharDevice,
+                0o060000 => FileType::BlockDevice,
+                0o140000 => FileType::Socket,
+                _ => FileType::Regular,
+            };
+            encode(ctx.mknod(arg_str(doc, "path")?, file_type).map(|()| 0))
+        }
+        SyscallKind::Setxattr | SyscallKind::Lsetxattr => {
+            let value = vec![0xEEu8; arg_u64(doc, "size").unwrap_or(0) as usize];
+            let path = arg_str(doc, "path")?;
+            let name = arg_str(doc, "name")?;
+            if kind == SyscallKind::Setxattr {
+                encode(ctx.setxattr(path, name, &value).map(|()| 0))
+            } else {
+                encode(ctx.lsetxattr(path, name, &value).map(|()| 0))
+            }
+        }
+        SyscallKind::Fsetxattr => {
+            let fd = translate_fd(state, doc)?;
+            let value = vec![0xEEu8; arg_u64(doc, "size").unwrap_or(0) as usize];
+            encode(ctx.fsetxattr(fd, arg_str(doc, "name")?, &value).map(|()| 0))
+        }
+        SyscallKind::Getxattr => {
+            encode(ctx.getxattr(arg_str(doc, "path")?, arg_str(doc, "name")?).map(|v| v.len() as i64))
+        }
+        SyscallKind::Lgetxattr => {
+            encode(ctx.lgetxattr(arg_str(doc, "path")?, arg_str(doc, "name")?).map(|v| v.len() as i64))
+        }
+        SyscallKind::Fgetxattr => {
+            let fd = translate_fd(state, doc)?;
+            encode(ctx.fgetxattr(fd, arg_str(doc, "name")?).map(|v| v.len() as i64))
+        }
+        SyscallKind::Listxattr => encode(
+            ctx.listxattr(arg_str(doc, "path")?)
+                .map(|names| names.iter().map(|n| n.len() as i64 + 1).sum()),
+        ),
+        SyscallKind::Llistxattr => encode(
+            ctx.llistxattr(arg_str(doc, "path")?)
+                .map(|names| names.iter().map(|n| n.len() as i64 + 1).sum()),
+        ),
+        SyscallKind::Flistxattr => {
+            let fd = translate_fd(state, doc)?;
+            encode(ctx.flistxattr(fd).map(|names| names.iter().map(|n| n.len() as i64 + 1).sum()))
+        }
+        SyscallKind::Removexattr => {
+            encode(ctx.removexattr(arg_str(doc, "path")?, arg_str(doc, "name")?).map(|()| 0))
+        }
+        SyscallKind::Lremovexattr => {
+            encode(ctx.lremovexattr(arg_str(doc, "path")?, arg_str(doc, "name")?).map(|()| 0))
+        }
+        SyscallKind::Fremovexattr => {
+            let fd = translate_fd(state, doc)?;
+            encode(ctx.fremovexattr(fd, arg_str(doc, "name")?).map(|()| 0))
+        }
+    };
+    Some(ret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dio_backend::DocStore;
+    use dio_kernel::DiskProfile;
+    use dio_tracer::{Tracer, TracerConfig};
+
+    fn fast_kernel() -> Kernel {
+        Kernel::builder().root_disk(DiskProfile::instant()).build()
+    }
+
+    /// Records `workload` under DIO and returns the session index.
+    fn record(workload: impl FnOnce(&Kernel)) -> std::sync::Arc<Index> {
+        let kernel = fast_kernel();
+        let backend = DocStore::new();
+        let tracer = Tracer::attach(TracerConfig::new("rec"), &kernel, backend.clone());
+        workload(&kernel);
+        tracer.stop();
+        backend.index("dio-rec")
+    }
+
+    #[test]
+    fn faithful_replay_of_a_mixed_workload() {
+        let index = record(|kernel| {
+            let t = kernel.spawn_process("app").spawn_thread("app");
+            t.mkdir("/d", 0o755).unwrap();
+            let fd = t.openat("/d/f", OpenFlags::CREAT | OpenFlags::RDWR, 0o644).unwrap();
+            t.write(fd, b"hello world").unwrap();
+            t.lseek(fd, 0, Whence::Set).unwrap();
+            let mut buf = [0u8; 5];
+            t.read(fd, &mut buf).unwrap();
+            t.fsync(fd).unwrap();
+            t.setxattr("/d/f", "user.tag", b"x").unwrap();
+            t.getxattr("/d/f", "user.tag").unwrap();
+            t.stat("/d/f").unwrap();
+            t.close(fd).unwrap();
+            t.rename("/d/f", "/d/g").unwrap();
+            t.unlink("/d/g").unwrap();
+            t.rmdir("/d").unwrap();
+        });
+        let fresh = fast_kernel();
+        let report = replay_session(&index, &fresh, &ReplayConfig::default());
+        assert!(report.is_faithful(), "{report:?}");
+        assert_eq!(report.events_replayed, 13);
+        // The replayed kernel's state matches: everything was cleaned up.
+        let t = fresh.spawn_process("check").spawn_thread("check");
+        assert!(t.stat("/d").is_err());
+    }
+
+    #[test]
+    fn replay_reconstructs_file_state() {
+        let index = record(|kernel| {
+            let t = kernel.spawn_process("app").spawn_thread("app");
+            let fd = t.openat("/keep.dat", OpenFlags::CREAT | OpenFlags::WRONLY, 0o644).unwrap();
+            t.write(fd, &[1u8; 1000]).unwrap();
+            t.ftruncate(fd, 400).unwrap();
+            t.close(fd).unwrap();
+        });
+        let fresh = fast_kernel();
+        let report = replay_session(&index, &fresh, &ReplayConfig::default());
+        assert!(report.is_faithful(), "{report:?}");
+        let t = fresh.spawn_process("check").spawn_thread("check");
+        assert_eq!(t.stat("/keep.dat").unwrap().size, 400);
+    }
+
+    #[test]
+    fn errors_replay_as_the_same_errno() {
+        let index = record(|kernel| {
+            let t = kernel.spawn_process("app").spawn_thread("app");
+            let _ = t.openat("/missing", OpenFlags::RDONLY, 0); // ENOENT
+            let _ = t.unlink("/also-missing"); // ENOENT
+            t.mkdir("/dup", 0o755).unwrap();
+            let _ = t.mkdir("/dup", 0o755); // EEXIST
+        });
+        let fresh = fast_kernel();
+        let report = replay_session(&index, &fresh, &ReplayConfig::default());
+        assert!(report.is_faithful(), "errnos must reproduce exactly: {report:?}");
+        assert_eq!(report.events_replayed, 4);
+    }
+
+    #[test]
+    fn divergence_detected_when_environment_differs() {
+        let index = record(|kernel| {
+            let t = kernel.spawn_process("app").spawn_thread("app");
+            t.stat("/preexisting").unwrap_err(); // recorded as ENOENT
+        });
+        // Fresh kernel WITH the file: stat now succeeds -> divergence.
+        let fresh = fast_kernel();
+        let t = fresh.spawn_process("setup").spawn_thread("setup");
+        t.creat("/preexisting", 0o644).unwrap();
+        let report = replay_session(&index, &fresh, &ReplayConfig::default());
+        assert_eq!(report.divergences.len(), 1);
+        assert_eq!(report.divergences[0].recorded_ret, -2);
+        assert_eq!(report.divergences[0].replayed_ret, 0);
+        assert!(!report.is_faithful());
+    }
+
+    #[test]
+    fn unmappable_fds_are_skipped_not_fatal() {
+        // Simulate a trace whose open event was dropped: a lone write on
+        // an fd the replayer never saw opened.
+        let index = Index::new("partial");
+        index.index_doc(serde_json::json!({
+            "time": 1, "pid": 9, "tid": 9, "proc_name": "app",
+            "syscall": "write", "ret_val": 4, "args": {"fd": 3, "count": 4},
+        }));
+        let fresh = fast_kernel();
+        let report = replay_session(&index, &fresh, &ReplayConfig::default());
+        assert_eq!(report.events_skipped, 1);
+        assert_eq!(report.events_replayed, 0);
+        assert!(report.divergences.is_empty());
+    }
+
+    #[test]
+    fn multi_threaded_trace_replays_per_thread() {
+        let index = record(|kernel| {
+            let proc = kernel.spawn_process("app");
+            let t1 = proc.spawn_thread("t1");
+            let t2 = proc.spawn_thread("t2");
+            let fd1 = t1.creat("/a", 0o644).unwrap();
+            let fd2 = t2.creat("/b", 0o644).unwrap();
+            t1.write(fd1, b"one").unwrap();
+            t2.write(fd2, b"twoo").unwrap();
+            t1.close(fd1).unwrap();
+            t2.close(fd2).unwrap();
+        });
+        let fresh = fast_kernel();
+        let report = replay_session(&index, &fresh, &ReplayConfig::default());
+        assert!(report.is_faithful(), "{report:?}");
+        let t = fresh.spawn_process("check").spawn_thread("check");
+        assert_eq!(t.stat("/a").unwrap().size, 3);
+        assert_eq!(t.stat("/b").unwrap().size, 4);
+    }
+
+    #[test]
+    fn paced_replay_preserves_gaps() {
+        let index = record(|kernel| {
+            let t = kernel.spawn_process("app").spawn_thread("app");
+            t.creat("/x", 0o644).unwrap();
+            kernel.clock().sleep_ns(3_000_000); // 3 ms gap
+            t.creat("/y", 0o644).unwrap();
+        });
+        let fresh = fast_kernel();
+        let clock = fresh.clock().clone();
+        let t0 = clock.now_ns();
+        let report = replay_session(&index, &fresh, &ReplayConfig { speed: 1.0, stop_on_divergence: false });
+        let elapsed = clock.now_ns() - t0;
+        assert!(report.is_faithful());
+        assert!(elapsed >= 2_500_000, "recorded gap preserved, elapsed={elapsed}ns");
+    }
+}

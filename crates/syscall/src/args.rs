@@ -1,0 +1,175 @@
+//! Typed syscall argument values as observed at a tracepoint.
+
+use serde::{Deserialize, Serialize};
+
+/// A single syscall argument value.
+///
+/// Mirrors what an eBPF program can read at a `sys_enter` tracepoint: raw
+/// integers plus the user-space strings (paths, xattr names) the kernel
+/// copies in.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum ArgValue {
+    /// A signed integer argument (fds, whence values, modes...).
+    Int(i64),
+    /// An unsigned integer argument (sizes, offsets, flags...).
+    UInt(u64),
+    /// A string argument (paths, xattr names...).
+    Str(String),
+}
+
+impl ArgValue {
+    /// Returns the value as `i64` when it is numeric.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            ArgValue::Int(v) => Some(*v),
+            ArgValue::UInt(v) => i64::try_from(*v).ok(),
+            ArgValue::Str(_) => None,
+        }
+    }
+
+    /// Returns the value as `u64` when it is numeric and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            ArgValue::Int(v) => u64::try_from(*v).ok(),
+            ArgValue::UInt(v) => Some(*v),
+            ArgValue::Str(_) => None,
+        }
+    }
+
+    /// Returns the value as a string slice when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ArgValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for ArgValue {
+    /// Numeric variants compare by value (`Int(26) == UInt(26)`), so that an
+    /// event survives a JSON round trip unchanged even though untagged serde
+    /// picks one canonical integer representation.
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ArgValue::Str(a), ArgValue::Str(b)) => a == b,
+            (ArgValue::Str(_), _) | (_, ArgValue::Str(_)) => false,
+            (ArgValue::Int(a), ArgValue::Int(b)) => a == b,
+            (ArgValue::UInt(a), ArgValue::UInt(b)) => a == b,
+            (ArgValue::Int(a), ArgValue::UInt(b)) | (ArgValue::UInt(b), ArgValue::Int(a)) => {
+                u64::try_from(*a).map(|a| a == *b).unwrap_or(false)
+            }
+        }
+    }
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::Int(v)
+    }
+}
+
+impl From<i32> for ArgValue {
+    fn from(v: i32) -> Self {
+        ArgValue::Int(v as i64)
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::UInt(v)
+    }
+}
+
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::UInt(v as u64)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::UInt(v as u64)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+impl std::fmt::Display for ArgValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgValue::Int(v) => write!(f, "{v}"),
+            ArgValue::UInt(v) => write!(f, "{v}"),
+            ArgValue::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// A named syscall argument, e.g. `count=4096` for `read`.
+///
+/// # Examples
+///
+/// ```
+/// use dio_syscall::Arg;
+///
+/// let a = Arg::new("count", 4096u64);
+/// assert_eq!(a.name, "count");
+/// assert_eq!(a.value.as_u64(), Some(4096));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Arg {
+    /// Argument name as it appears in the syscall signature.
+    pub name: std::borrow::Cow<'static, str>,
+    /// The observed value.
+    pub value: ArgValue,
+}
+
+impl Arg {
+    /// Creates a named argument from any supported value type.
+    pub fn new(name: &'static str, value: impl Into<ArgValue>) -> Self {
+        Arg { name: std::borrow::Cow::Borrowed(name), value: value.into() }
+    }
+}
+
+impl std::fmt::Display for Arg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}={}", self.name, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(ArgValue::from(-1i64).as_i64(), Some(-1));
+        assert_eq!(ArgValue::from(7u32).as_u64(), Some(7));
+        assert_eq!(ArgValue::from("x").as_str(), Some("x"));
+        assert_eq!(ArgValue::from("x").as_i64(), None);
+        assert_eq!(ArgValue::Int(-1).as_u64(), None);
+        assert_eq!(ArgValue::UInt(u64::MAX).as_i64(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Arg::new("fd", 3i64).to_string(), "fd=3");
+        assert_eq!(Arg::new("path", "/tmp/a").to_string(), "path=\"/tmp/a\"");
+    }
+
+    #[test]
+    fn serializes_untagged() {
+        let v = serde_json::to_value(Arg::new("count", 26u64)).unwrap();
+        assert_eq!(v["value"], serde_json::json!(26));
+    }
+}

@@ -1,0 +1,269 @@
+//! Tracer configuration (the paper's §II-F configuration file).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use dio_ebpf::{FilterSpec, RingConfig};
+use dio_syscall::{Pid, SyscallKind, Tid};
+
+static SESSION_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// Generates a unique session name (`dio-session-N`).
+///
+/// The paper labels "each tracing execution with a unique session name" so
+/// that multiple executions can share one backend (§II-F).
+pub fn generate_session_name() -> String {
+    format!("dio-session-{}", SESSION_COUNTER.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Full configuration of a tracing session.
+///
+/// # Examples
+///
+/// ```
+/// use dio_tracer::TracerConfig;
+/// use dio_syscall::SyscallKind;
+///
+/// let config = TracerConfig::new("rocksdb-run")
+///     .syscalls([SyscallKind::Open, SyscallKind::Read, SyscallKind::Write, SyscallKind::Close])
+///     .batch_size(500);
+/// assert_eq!(config.session(), "rocksdb-run");
+/// ```
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TracerConfig {
+    session: String,
+    filter: FilterSpec,
+    ring: RingConfig,
+    batch_size: usize,
+    flush_interval: Duration,
+    drain_batch: usize,
+    poll_interval: Duration,
+    enrich: bool,
+    enter_cost_ns: u64,
+    exit_cost_ns: u64,
+}
+
+impl TracerConfig {
+    /// Configuration with the given session name, tracing all 42 syscalls
+    /// system-wide with paper-default buffers (256 MiB/CPU, 1000-event
+    /// batches).
+    pub fn new(session: impl Into<String>) -> Self {
+        TracerConfig {
+            session: session.into(),
+            filter: FilterSpec::new(),
+            ring: RingConfig::paper_default(),
+            batch_size: 1_000,
+            flush_interval: Duration::from_millis(100),
+            drain_batch: 4_096,
+            poll_interval: Duration::from_micros(200),
+            enrich: true,
+            enter_cost_ns: 0,
+            exit_cost_ns: 0,
+        }
+    }
+
+    /// Configuration with a generated unique session name.
+    pub fn with_generated_session() -> Self {
+        Self::new(generate_session_name())
+    }
+
+    /// Serializes the configuration as pretty JSON — the paper's §II-F
+    /// configuration file ("all these configurations ... can be set
+    /// through a configuration file").
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serializes")
+    }
+
+    /// Parses a configuration from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Loads a configuration from a JSON file on the host file system.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors and parse errors, boxed.
+    pub fn from_file(path: impl AsRef<std::path::Path>) -> Result<Self, Box<dyn std::error::Error>> {
+        let raw = std::fs::read_to_string(path)?;
+        Ok(Self::from_json(&raw)?)
+    }
+
+    /// The session name.
+    pub fn session(&self) -> &str {
+        &self.session
+    }
+
+    /// The backend index this session writes to (`dio-<session>`).
+    pub fn index_name(&self) -> String {
+        format!("dio-{}", self.session)
+    }
+
+    /// Restricts tracing to the given syscalls.
+    pub fn syscalls(mut self, kinds: impl IntoIterator<Item = SyscallKind>) -> Self {
+        self.filter = self.filter.syscalls(kinds);
+        self
+    }
+
+    /// Restricts tracing to the given processes.
+    pub fn pids(mut self, pids: impl IntoIterator<Item = Pid>) -> Self {
+        self.filter = self.filter.pids(pids);
+        self
+    }
+
+    /// Restricts tracing to the given threads.
+    pub fn tids(mut self, tids: impl IntoIterator<Item = Tid>) -> Self {
+        self.filter = self.filter.tids(tids);
+        self
+    }
+
+    /// Restricts tracing to paths under `prefix` (repeatable).
+    pub fn path_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.filter = self.filter.path_prefix(prefix);
+        self
+    }
+
+    /// Replaces the whole filter.
+    pub fn filter(mut self, filter: FilterSpec) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Sets the per-CPU ring-buffer size.
+    pub fn ring(mut self, ring: RingConfig) -> Self {
+        self.ring = ring;
+        self
+    }
+
+    /// Events per bulk-index request.
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.batch_size = n.max(1);
+        self
+    }
+
+    /// Maximum time a partial batch may wait before being flushed.
+    pub fn flush_interval(mut self, d: Duration) -> Self {
+        self.flush_interval = d;
+        self
+    }
+
+    /// Limits how many events the consumer drains per poll (throttling
+    /// knob for the §III-D discard experiments).
+    pub fn drain_batch(mut self, n: usize) -> Self {
+        self.drain_batch = n.max(1);
+        self
+    }
+
+    /// Sets how long the consumer sleeps between polls.
+    pub fn poll_interval(mut self, d: Duration) -> Self {
+        self.poll_interval = d;
+        self
+    }
+
+    /// Enables or disables kernel-context enrichment.
+    pub fn enrich(mut self, on: bool) -> Self {
+        self.enrich = on;
+        self
+    }
+
+    /// Sets calibrated in-kernel per-event costs (see DESIGN.md §6).
+    pub fn kernel_costs(mut self, enter_ns: u64, exit_ns: u64) -> Self {
+        self.enter_cost_ns = enter_ns;
+        self.exit_cost_ns = exit_ns;
+        self
+    }
+
+    pub(crate) fn filter_spec(&self) -> &FilterSpec {
+        &self.filter
+    }
+
+    pub(crate) fn ring_config(&self) -> RingConfig {
+        self.ring
+    }
+
+    pub(crate) fn batch(&self) -> usize {
+        self.batch_size
+    }
+
+    pub(crate) fn flush(&self) -> Duration {
+        self.flush_interval
+    }
+
+    pub(crate) fn drain(&self) -> usize {
+        self.drain_batch
+    }
+
+    pub(crate) fn poll(&self) -> Duration {
+        self.poll_interval
+    }
+
+    pub(crate) fn enrich_enabled(&self) -> bool {
+        self.enrich
+    }
+
+    pub(crate) fn costs(&self) -> (u64, u64) {
+        (self.enter_cost_ns, self.exit_cost_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_sessions_are_unique() {
+        let a = generate_session_name();
+        let b = generate_session_name();
+        assert_ne!(a, b);
+        assert!(a.starts_with("dio-session-"));
+    }
+
+    #[test]
+    fn index_name_convention() {
+        assert_eq!(TracerConfig::new("x").index_name(), "dio-x");
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_configuration() {
+        let original = TracerConfig::new("from-file")
+            .syscalls([SyscallKind::Read, SyscallKind::Write])
+            .pids([Pid(42)])
+            .path_prefix("/db")
+            .batch_size(512)
+            .enrich(false)
+            .kernel_costs(100, 200);
+        let json = original.to_json();
+        assert!(json.contains("from-file"));
+        let parsed = TracerConfig::from_json(&json).unwrap();
+        assert_eq!(parsed.session(), "from-file");
+        assert_eq!(parsed.batch(), 512);
+        assert!(!parsed.enrich_enabled());
+        assert_eq!(parsed.costs(), (100, 200));
+        assert_eq!(parsed.filter_spec(), original.filter_spec());
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(TracerConfig::from_json("{not json").is_err());
+        assert!(TracerConfig::from_json("{}").is_err(), "all fields required");
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let c = TracerConfig::new("s")
+            .syscalls([SyscallKind::Read])
+            .pids([Pid(1)])
+            .path_prefix("/db")
+            .batch_size(0)
+            .enrich(false)
+            .kernel_costs(10, 20);
+        assert_eq!(c.batch(), 1, "batch size clamped to >= 1");
+        assert!(!c.enrich_enabled());
+        assert_eq!(c.costs(), (10, 20));
+        assert_eq!(c.filter_spec().enabled_syscalls().len(), 1);
+    }
+}

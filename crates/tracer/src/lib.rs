@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! DIO's user-space tracer component.
+//!
+//! Mirrors the Go user-space side of DIO: it enables the desired
+//! tracepoints (attaching the kernel-side program), applies user-defined
+//! filters, asynchronously consumes the per-CPU ring buffers, parses raw
+//! records into JSON events, and bulk-ships them to the backend — all off
+//! the traced application's critical path (§II-B of the paper).
+//!
+//! See [`Tracer`] for the lifecycle and [`TracerConfig`] for the knobs
+//! (syscall/PID/TID/path filters, ring-buffer size, batch size).
+
+mod config;
+mod tracer;
+
+pub use config::{generate_session_name, TracerConfig};
+pub use tracer::{TraceSummary, Tracer};

@@ -1,0 +1,360 @@
+//! Time-series, bar-chart and heatmap renderers (the Fig. 3/4 styles).
+
+use std::collections::BTreeMap;
+
+/// A named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points, x-ascending.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { name: name.into(), points }
+    }
+}
+
+/// A multi-series line chart rendered as ASCII.
+///
+/// # Examples
+///
+/// ```
+/// use dio_viz::{Chart, Series};
+///
+/// let chart = Chart::new("p99 latency (ms)")
+///     .series(Series::new("clients", (0..50).map(|i| (i as f64, (i % 7) as f64)).collect()));
+/// let art = chart.to_ascii(60, 10);
+/// assert!(art.contains("p99 latency"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chart {
+    title: String,
+    series: Vec<Series>,
+    y_label: String,
+    x_label: String,
+}
+
+const MARKERS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&', '$', '~'];
+
+impl Chart {
+    /// Creates an empty chart.
+    pub fn new(title: impl Into<String>) -> Self {
+        Chart { title: title.into(), series: Vec::new(), y_label: String::new(), x_label: String::new() }
+    }
+
+    /// Adds a series.
+    pub fn series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Sets the y-axis label.
+    pub fn y_label(mut self, label: impl Into<String>) -> Self {
+        self.y_label = label.into();
+        self
+    }
+
+    /// Sets the x-axis label.
+    pub fn x_label(mut self, label: impl Into<String>) -> Self {
+        self.x_label = label.into();
+        self
+    }
+
+    /// Renders the chart into a `width`×`height` character plot area with
+    /// axes and a legend.
+    pub fn to_ascii(&self, width: usize, height: usize) -> String {
+        let width = width.max(8);
+        let height = height.max(3);
+        let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                xmin = xmin.min(x);
+                xmax = xmax.max(x);
+                ymin = ymin.min(y);
+                ymax = ymax.max(y);
+            }
+        }
+        let mut out = format!("{}\n", self.title);
+        if !xmin.is_finite() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        if (ymax - ymin).abs() < f64::EPSILON {
+            ymax = ymin + 1.0;
+        }
+        if (xmax - xmin).abs() < f64::EPSILON {
+            xmax = xmin + 1.0;
+        }
+        let mut grid = vec![vec![' '; width]; height];
+        for (si, s) in self.series.iter().enumerate() {
+            let marker = MARKERS[si % MARKERS.len()];
+            for &(x, y) in &s.points {
+                let col = (((x - xmin) / (xmax - xmin)) * (width as f64 - 1.0)).round() as usize;
+                let row = (((y - ymin) / (ymax - ymin)) * (height as f64 - 1.0)).round() as usize;
+                let row = height - 1 - row.min(height - 1);
+                grid[row][col.min(width - 1)] = marker;
+            }
+        }
+        if !self.y_label.is_empty() {
+            out.push_str(&format!("y: {}\n", self.y_label));
+        }
+        for (i, row) in grid.iter().enumerate() {
+            let y_val = ymax - (ymax - ymin) * i as f64 / (height as f64 - 1.0);
+            out.push_str(&format!("{y_val:>10.2} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
+        out.push_str(&format!("{:>12}{:<.3}{:>width$.3}\n", "", xmin, xmax, width = width - 4));
+        if !self.x_label.is_empty() {
+            out.push_str(&format!("x: {}\n", self.x_label));
+        }
+        for (si, s) in self.series.iter().enumerate() {
+            out.push_str(&format!("  {} {}\n", MARKERS[si % MARKERS.len()], s.name));
+        }
+        out
+    }
+
+    /// Exports the chart as CSV: `x,series1,series2,...` with one row per
+    /// distinct x value.
+    pub fn to_csv(&self) -> String {
+        let mut xs: BTreeMap<u64, Vec<Option<f64>>> = BTreeMap::new();
+        for (si, s) in self.series.iter().enumerate() {
+            for &(x, y) in &s.points {
+                let entry = xs.entry(x.to_bits()).or_insert_with(|| vec![None; self.series.len()]);
+                entry[si] = Some(y);
+            }
+        }
+        let mut out = String::from("x");
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&s.name);
+        }
+        out.push('\n');
+        let mut rows: Vec<(f64, &Vec<Option<f64>>)> =
+            xs.iter().map(|(bits, ys)| (f64::from_bits(*bits), ys)).collect();
+        rows.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (x, ys) in rows {
+            out.push_str(&format!("{x}"));
+            for y in ys {
+                out.push(',');
+                if let Some(y) = y {
+                    out.push_str(&format!("{y}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A labelled horizontal bar chart (histogram buckets, terms counts).
+#[derive(Debug, Clone, Default)]
+pub struct BarChart {
+    title: String,
+    bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// Creates an empty bar chart.
+    pub fn new(title: impl Into<String>) -> Self {
+        BarChart { title: title.into(), bars: Vec::new() }
+    }
+
+    /// Adds one labelled bar.
+    pub fn bar(mut self, label: impl Into<String>, value: f64) -> Self {
+        self.bars.push((label.into(), value));
+        self
+    }
+
+    /// Adds many bars.
+    pub fn bars(mut self, bars: impl IntoIterator<Item = (String, f64)>) -> Self {
+        self.bars.extend(bars);
+        self
+    }
+
+    /// Renders with bars scaled to `width` characters.
+    pub fn to_ascii(&self, width: usize) -> String {
+        let width = width.max(1);
+        let max = self.bars.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+        let label_w = self.bars.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+        let mut out = format!("{}\n", self.title);
+        for (label, value) in &self.bars {
+            let n = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
+            out.push_str(&format!("{label:<label_w$} | {} {value}\n", "#".repeat(n)));
+        }
+        out
+    }
+}
+
+/// A (row × column) intensity heatmap, e.g. thread × time-window syscall
+/// counts — the densest way to see the Fig. 4 contention pattern.
+#[derive(Debug, Clone, Default)]
+pub struct Heatmap {
+    title: String,
+    rows: Vec<(String, Vec<f64>)>,
+    col_labels: Vec<String>,
+    normalize_rows: bool,
+}
+
+const RAMP: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+impl Heatmap {
+    /// Creates an empty heatmap.
+    pub fn new(title: impl Into<String>) -> Self {
+        Heatmap { title: title.into(), rows: Vec::new(), col_labels: Vec::new(), normalize_rows: false }
+    }
+
+    /// Normalizes intensities per row instead of over the whole map —
+    /// keeps low-volume rows (e.g. compaction threads next to busy
+    /// clients in Fig. 4) visible.
+    pub fn normalize_per_row(mut self) -> Self {
+        self.normalize_rows = true;
+        self
+    }
+
+    /// Sets the column labels (first and last are displayed).
+    pub fn col_labels(mut self, labels: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.col_labels = labels.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Adds a row of cell intensities.
+    pub fn row(mut self, label: impl Into<String>, values: Vec<f64>) -> Self {
+        self.rows.push((label.into(), values));
+        self
+    }
+
+    /// Renders with one character per cell, normalized over the whole map
+    /// (or per row with [`Heatmap::normalize_per_row`]).
+    pub fn to_ascii(&self) -> String {
+        let global_max = self
+            .rows
+            .iter()
+            .flat_map(|(_, vs)| vs.iter().copied())
+            .fold(0.0f64, f64::max);
+        let label_w = self.rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+        let mut out = format!("{}\n", self.title);
+        for (label, values) in &self.rows {
+            let max = if self.normalize_rows {
+                values.iter().copied().fold(0.0f64, f64::max)
+            } else {
+                global_max
+            };
+            out.push_str(&format!("{label:<label_w$} |"));
+            for &v in values {
+                let idx = if max > 0.0 {
+                    (((v / max) * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1)
+                } else {
+                    0
+                };
+                out.push(RAMP[idx]);
+            }
+            out.push_str("|\n");
+        }
+        if let (Some(first), Some(last)) = (self.col_labels.first(), self.col_labels.last()) {
+            let inner = self.rows.first().map(|(_, v)| v.len()).unwrap_or(0);
+            let pad = inner.saturating_sub(first.chars().count() + last.chars().count());
+            out.push_str(&format!(
+                "{:<label_w$}  {}{}{}\n",
+                "",
+                first,
+                " ".repeat(pad),
+                last
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_renders_all_series() {
+        let chart = Chart::new("t")
+            .series(Series::new("a", vec![(0.0, 0.0), (1.0, 1.0)]))
+            .series(Series::new("b", vec![(0.0, 1.0), (1.0, 0.0)]))
+            .y_label("ops")
+            .x_label("s");
+        let art = chart.to_ascii(40, 8);
+        assert!(art.contains("* a"));
+        assert!(art.contains("o b"));
+        assert!(art.contains("y: ops"));
+        assert!(art.contains('*') && art.contains('o'));
+    }
+
+    #[test]
+    fn chart_empty_data() {
+        let art = Chart::new("empty").to_ascii(40, 8);
+        assert!(art.contains("(no data)"));
+    }
+
+    #[test]
+    fn chart_flat_series_does_not_divide_by_zero() {
+        let chart = Chart::new("flat").series(Series::new("s", vec![(0.0, 5.0), (1.0, 5.0)]));
+        let art = chart.to_ascii(20, 5);
+        assert!(art.contains('*'));
+    }
+
+    #[test]
+    fn chart_csv_merges_x_values() {
+        let chart = Chart::new("t")
+            .series(Series::new("a", vec![(1.0, 10.0), (2.0, 20.0)]))
+            .series(Series::new("b", vec![(2.0, 5.0)]));
+        let csv = chart.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines[1], "1,10,");
+        assert_eq!(lines[2], "2,20,5");
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let art = BarChart::new("ops").bar("read", 100.0).bar("write", 50.0).to_ascii(10);
+        let read_line = art.lines().find(|l| l.starts_with("read")).unwrap();
+        let write_line = art.lines().find(|l| l.starts_with("write")).unwrap();
+        assert_eq!(read_line.matches('#').count(), 10);
+        assert_eq!(write_line.matches('#').count(), 5);
+    }
+
+    #[test]
+    fn bar_chart_zero_values() {
+        let art = BarChart::new("z").bar("a", 0.0).to_ascii(10);
+        assert!(art.contains("a"));
+        assert_eq!(art.matches('#').count(), 0);
+    }
+
+    #[test]
+    fn heatmap_per_row_normalization() {
+        let base = Heatmap::new("h")
+            .row("busy", vec![0.0, 1_000.0])
+            .row("quiet", vec![0.0, 2.0]);
+        let global = base.clone().to_ascii();
+        let quiet_global = global.lines().find(|l| l.starts_with("quiet")).unwrap().to_string();
+        assert!(quiet_global.contains(' '), "quiet row invisible on global scale");
+        assert!(!quiet_global.contains('@'));
+        let per_row = base.normalize_per_row().to_ascii();
+        let quiet_local = per_row.lines().find(|l| l.starts_with("quiet")).unwrap();
+        assert!(quiet_local.ends_with("@|"), "quiet row peaks at @ on its own scale: {quiet_local}");
+    }
+
+    #[test]
+    fn heatmap_intensity_ramp() {
+        let art = Heatmap::new("h")
+            .row("hot", vec![0.0, 5.0, 10.0])
+            .row("cold", vec![0.0, 0.0, 1.0])
+            .col_labels(["t0", "t2"])
+            .to_ascii();
+        let hot = art.lines().find(|l| l.starts_with("hot")).unwrap();
+        assert!(hot.ends_with("@|"), "max intensity at the end: {hot}");
+        assert!(art.contains("t0"));
+        assert!(art.contains("t2"));
+    }
+}

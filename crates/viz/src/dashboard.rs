@@ -1,0 +1,344 @@
+//! Dashboards: named panels bound to backend queries (the Kibana layer).
+//!
+//! DIO ships "predefined dashboards" that are imported once and render as
+//! soon as data arrives (§II-F). [`dashboards`] provides the ones used in
+//! the paper's evaluation; custom ones are assembled from [`Panel`]s.
+
+use dio_backend::{Aggregation, Index, Query, SearchRequest, SortOrder};
+
+use crate::chart::{BarChart, Chart, Heatmap, Series};
+use crate::table::{Column, Table};
+
+/// What a panel displays.
+#[derive(Debug, Clone)]
+pub enum PanelSpec {
+    /// A table of matching events.
+    Table {
+        /// Columns to project.
+        columns: Vec<Column>,
+        /// The search feeding the table.
+        request: SearchRequest,
+    },
+    /// Event counts over time as a line chart, optionally split by a
+    /// keyword field (one series per value) — the Fig. 4 shape.
+    EventsOverTime {
+        /// Filter over the index.
+        query: Query,
+        /// Time bucket width (ns).
+        interval_ns: u64,
+        /// Split field, e.g. `proc_name`.
+        split_field: Option<String>,
+    },
+    /// Same data as a thread × time heatmap.
+    ActivityHeatmap {
+        /// Filter over the index.
+        query: Query,
+        /// Time bucket width (ns).
+        interval_ns: u64,
+        /// Row field, e.g. `proc_name`.
+        split_field: String,
+    },
+    /// Top terms of a field as a bar chart.
+    TopTerms {
+        /// Filter over the index.
+        query: Query,
+        /// The keyword field.
+        field: String,
+        /// Maximum bars.
+        size: usize,
+    },
+}
+
+/// A titled panel.
+#[derive(Debug, Clone)]
+pub struct Panel {
+    /// Display title.
+    pub title: String,
+    /// The visualization.
+    pub spec: PanelSpec,
+}
+
+impl Panel {
+    /// Creates a panel.
+    pub fn new(title: impl Into<String>, spec: PanelSpec) -> Self {
+        Panel { title: title.into(), spec }
+    }
+
+    /// Renders the panel against a session index.
+    pub fn render(&self, index: &Index) -> String {
+        match &self.spec {
+            PanelSpec::Table { columns, request } => {
+                let response = index.search(request);
+                let table = Table::new(columns.clone(), &response.hits);
+                format!("### {} ({} events)\n{}", self.title, response.total, table.to_ascii())
+            }
+            PanelSpec::EventsOverTime { query, interval_ns, split_field } => {
+                let mut agg = Aggregation::date_histogram("time", *interval_ns);
+                if let Some(field) = split_field {
+                    agg = agg.sub("split", Aggregation::terms(field, 32));
+                }
+                let response =
+                    index.search(&SearchRequest::new(query.clone()).size(0).agg("t", agg));
+                let buckets = response.aggs["t"].buckets();
+                let mut chart = Chart::new(format!("### {}", self.title))
+                    .y_label("syscalls per window")
+                    .x_label(format!("time (windows of {} ms)", interval_ns / 1_000_000));
+                match split_field {
+                    None => {
+                        let pts = buckets
+                            .iter()
+                            .map(|b| (b.key.as_f64().unwrap_or(0.0), b.doc_count as f64))
+                            .collect();
+                        chart = chart.series(Series::new("events", pts));
+                    }
+                    Some(_) => {
+                        let mut names: Vec<String> = Vec::new();
+                        for b in buckets {
+                            for tb in b.sub["split"].buckets() {
+                                let name = tb.key.as_str().unwrap_or("").to_string();
+                                if !names.contains(&name) {
+                                    names.push(name);
+                                }
+                            }
+                        }
+                        names.sort();
+                        for name in names {
+                            let pts = buckets
+                                .iter()
+                                .map(|b| {
+                                    let count = b.sub["split"]
+                                        .buckets()
+                                        .iter()
+                                        .find(|tb| tb.key.as_str() == Some(name.as_str()))
+                                        .map_or(0.0, |tb| tb.doc_count as f64);
+                                    (b.key.as_f64().unwrap_or(0.0), count)
+                                })
+                                .collect();
+                            chart = chart.series(Series::new(name, pts));
+                        }
+                    }
+                }
+                chart.to_ascii(96, 16)
+            }
+            PanelSpec::ActivityHeatmap { query, interval_ns, split_field } => {
+                let agg = Aggregation::date_histogram("time", *interval_ns)
+                    .sub("split", Aggregation::terms(split_field, 32));
+                let response =
+                    index.search(&SearchRequest::new(query.clone()).size(0).agg("t", agg));
+                let buckets = response.aggs["t"].buckets();
+                let mut names: Vec<String> = Vec::new();
+                for b in buckets {
+                    for tb in b.sub["split"].buckets() {
+                        let name = tb.key.as_str().unwrap_or("").to_string();
+                        if !names.contains(&name) {
+                            names.push(name);
+                        }
+                    }
+                }
+                names.sort();
+                let mut heatmap = Heatmap::new(format!("### {}", self.title))
+                    .normalize_per_row()
+                    .col_labels([
+                    format!("{}", buckets.first().map_or(0.0, |b| b.key.as_f64().unwrap_or(0.0))),
+                    format!("{}", buckets.last().map_or(0.0, |b| b.key.as_f64().unwrap_or(0.0))),
+                ]);
+                for name in names {
+                    let values = buckets
+                        .iter()
+                        .map(|b| {
+                            b.sub["split"]
+                                .buckets()
+                                .iter()
+                                .find(|tb| tb.key.as_str() == Some(name.as_str()))
+                                .map_or(0.0, |tb| tb.doc_count as f64)
+                        })
+                        .collect();
+                    heatmap = heatmap.row(name, values);
+                }
+                heatmap.to_ascii()
+            }
+            PanelSpec::TopTerms { query, field, size } => {
+                let response = index.search(
+                    &SearchRequest::new(query.clone())
+                        .size(0)
+                        .agg("top", Aggregation::terms(field, *size)),
+                );
+                let bars = response.aggs["top"]
+                    .buckets()
+                    .iter()
+                    .map(|b| (b.key.as_str().unwrap_or("?").to_string(), b.doc_count as f64));
+                BarChart::new(format!("### {}", self.title)).bars(bars).to_ascii(48)
+            }
+        }
+    }
+}
+
+/// A named collection of panels rendered against one session index.
+#[derive(Debug, Clone)]
+pub struct Dashboard {
+    /// Dashboard name.
+    pub name: String,
+    /// Panels, rendered top to bottom.
+    pub panels: Vec<Panel>,
+}
+
+impl Dashboard {
+    /// Creates an empty dashboard.
+    pub fn new(name: impl Into<String>) -> Self {
+        Dashboard { name: name.into(), panels: Vec::new() }
+    }
+
+    /// Adds a panel.
+    pub fn panel(mut self, panel: Panel) -> Self {
+        self.panels.push(panel);
+        self
+    }
+
+    /// Renders every panel against `index`.
+    pub fn render(&self, index: &Index) -> String {
+        let mut out = format!("== Dashboard: {} ==\n\n", self.name);
+        for p in &self.panels {
+            out.push_str(&p.render(index));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The predefined dashboards shipped with DIO.
+pub mod dashboards {
+    use super::*;
+
+    /// The Fig. 2-style syscall table: time, process, syscall, return
+    /// value, file tag, offset (and the correlated path).
+    pub fn syscall_table(query: Query) -> Dashboard {
+        Dashboard::new("syscall-table").panel(Panel::new(
+            "Traced syscalls",
+            PanelSpec::Table {
+                columns: vec![
+                    Column::new("time").grouped(),
+                    Column::new("proc_name"),
+                    Column::new("syscall"),
+                    Column::new("ret_val").header("ret val"),
+                    Column::new("file_tag").header("file_tag (dev|ino|timestamp)"),
+                    Column::new("offset"),
+                    Column::new("file_path"),
+                ],
+                request: SearchRequest::new(query)
+                    .sort_by("time", SortOrder::Asc)
+                    .size(10_000),
+            },
+        ))
+    }
+
+    /// The Fig. 4-style view: syscalls over time split by thread name,
+    /// plus the same data as a heatmap.
+    pub fn syscalls_over_time(query: Query, interval_ns: u64) -> Dashboard {
+        Dashboard::new("syscalls-over-time")
+            .panel(Panel::new(
+                "Syscalls issued over time, by thread",
+                PanelSpec::EventsOverTime {
+                    query: query.clone(),
+                    interval_ns,
+                    split_field: Some("proc_name".to_string()),
+                },
+            ))
+            .panel(Panel::new(
+                "Thread activity heatmap",
+                PanelSpec::ActivityHeatmap {
+                    query,
+                    interval_ns,
+                    split_field: "proc_name".to_string(),
+                },
+            ))
+    }
+
+    /// Session overview: top syscalls and top threads.
+    pub fn session_overview() -> Dashboard {
+        Dashboard::new("session-overview")
+            .panel(Panel::new(
+                "Syscall mix",
+                PanelSpec::TopTerms { query: Query::MatchAll, field: "syscall".into(), size: 42 },
+            ))
+            .panel(Panel::new(
+                "Busiest threads",
+                PanelSpec::TopTerms { query: Query::MatchAll, field: "proc_name".into(), size: 16 },
+            ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn sample_index() -> Index {
+        let idx = Index::new("t");
+        let mut docs = Vec::new();
+        for i in 0..10u64 {
+            docs.push(json!({
+                "time": 1_000_000_000u64 * (i / 2),
+                "proc_name": if i % 2 == 0 { "db_bench" } else { "rocksdb:low0" },
+                "syscall": if i % 3 == 0 { "read" } else { "write" },
+                "ret_val": 4096,
+                "file_tag": "1|10|5",
+                "offset": i * 4096,
+            }));
+        }
+        idx.bulk(docs);
+        idx
+    }
+
+    #[test]
+    fn table_dashboard_renders_events() {
+        let idx = sample_index();
+        let out = dashboards::syscall_table(Query::MatchAll).render(&idx);
+        assert!(out.contains("db_bench"));
+        assert!(out.contains("file_tag (dev|ino|timestamp)"));
+        assert!(out.contains("10 events"));
+    }
+
+    #[test]
+    fn time_series_dashboard_splits_by_thread() {
+        let idx = sample_index();
+        let out = dashboards::syscalls_over_time(Query::MatchAll, 1_000_000_000).render(&idx);
+        assert!(out.contains("db_bench"));
+        assert!(out.contains("rocksdb:low0"));
+        assert!(out.contains("heatmap"));
+    }
+
+    #[test]
+    fn overview_counts_terms() {
+        let idx = sample_index();
+        let out = dashboards::session_overview().render(&idx);
+        assert!(out.contains("Syscall mix"));
+        assert!(out.contains("read"));
+        assert!(out.contains("write"));
+    }
+
+    #[test]
+    fn events_over_time_without_split() {
+        let idx = sample_index();
+        let panel = Panel::new(
+            "all",
+            PanelSpec::EventsOverTime { query: Query::MatchAll, interval_ns: 1_000_000_000, split_field: None },
+        );
+        let out = panel.render(&idx);
+        assert!(out.contains("events"));
+    }
+
+    #[test]
+    fn filtered_panel_respects_query() {
+        let idx = sample_index();
+        let panel = Panel::new(
+            "reads",
+            PanelSpec::Table {
+                columns: vec![Column::new("syscall")],
+                request: SearchRequest::new(Query::term("syscall", "read")),
+            },
+        );
+        let out = panel.render(&idx);
+        assert!(out.contains("4 events"));
+        assert!(!out.contains("write"));
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! DIO's visualizer component: a text-mode Kibana.
+//!
+//! "The *visualizer* provides an automated approach towards exploring ...
+//! and visually depicting (e.g., through tables, histograms, time-series
+//! graphs) the analysis findings" (§II-D). This crate renders the same
+//! artifacts to text and CSV:
+//!
+//! * [`Table`] — Fig. 2-style event tables with grouped timestamps;
+//! * [`Chart`] / [`BarChart`] / [`Heatmap`] — Fig. 3/4-style time series,
+//!   distribution bars, and thread-activity heatmaps;
+//! * [`Dashboard`] — named panels bound to backend queries, including the
+//!   [`dashboards`] predefined with DIO.
+
+mod chart;
+mod dashboard;
+mod table;
+
+pub use chart::{BarChart, Chart, Heatmap, Series};
+pub use dashboard::{dashboards, Dashboard, Panel, PanelSpec};
+pub use table::{group_digits, CellFormat, Column, Table};

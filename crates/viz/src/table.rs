@@ -1,0 +1,288 @@
+//! Tabular visualizations (the Fig. 2 style).
+
+use serde_json::Value;
+
+use dio_backend::{get_path, Hit};
+
+/// How a cell value is formatted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CellFormat {
+    /// Strings verbatim, numbers via `Display`.
+    #[default]
+    Auto,
+    /// Integers with thousands separators (`1,679,308,382,363,981,568`),
+    /// matching the paper's Kibana tables.
+    Grouped,
+}
+
+/// One table column bound to a document field.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Dotted field path into the document.
+    pub field: String,
+    /// Header label.
+    pub header: String,
+    /// Cell format.
+    pub format: CellFormat,
+}
+
+impl Column {
+    /// A column whose header equals its field name.
+    pub fn new(field: impl Into<String>) -> Self {
+        let field = field.into();
+        Column { header: field.clone(), field, format: CellFormat::Auto }
+    }
+
+    /// Overrides the header label.
+    pub fn header(mut self, header: impl Into<String>) -> Self {
+        self.header = header.into();
+        self
+    }
+
+    /// Uses grouped (thousands-separated) number formatting.
+    pub fn grouped(mut self) -> Self {
+        self.format = CellFormat::Grouped;
+        self
+    }
+}
+
+/// Formats an integer with thousands separators.
+pub fn group_digits(n: i128) -> String {
+    let raw = n.unsigned_abs().to_string();
+    let mut out = String::with_capacity(raw.len() + raw.len() / 3 + 1);
+    if n < 0 {
+        out.push('-');
+    }
+    let lead = raw.len() % 3;
+    for (i, c) in raw.chars().enumerate() {
+        if i != 0 && (i + 3 - lead).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+fn format_cell(value: Option<&Value>, format: CellFormat) -> String {
+    let Some(v) = value else {
+        return String::new();
+    };
+    match (format, v) {
+        (CellFormat::Grouped, Value::Number(n)) => {
+            if let Some(i) = n.as_i64() {
+                group_digits(i as i128)
+            } else if let Some(u) = n.as_u64() {
+                group_digits(u as i128)
+            } else {
+                n.to_string()
+            }
+        }
+        (_, Value::String(s)) => s.clone(),
+        (_, other) => other.to_string(),
+    }
+}
+
+/// A rendered table of search hits.
+///
+/// # Examples
+///
+/// ```
+/// use dio_viz::{Column, Table};
+/// use dio_backend::Hit;
+/// use serde_json::json;
+///
+/// let hits = vec![Hit { id: 0, source: json!({"syscall": "write", "ret_val": 26}) }];
+/// let table = Table::new([Column::new("syscall"), Column::new("ret_val")], &hits);
+/// assert!(table.to_ascii().contains("write"));
+/// assert_eq!(table.to_csv().lines().count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Builds a table by projecting `columns` out of `hits`.
+    pub fn new(columns: impl IntoIterator<Item = Column>, hits: &[Hit]) -> Self {
+        let columns: Vec<Column> = columns.into_iter().collect();
+        let headers = columns.iter().map(|c| c.header.clone()).collect();
+        let rows = hits
+            .iter()
+            .map(|hit| {
+                columns
+                    .iter()
+                    .map(|c| format_cell(get_path(&hit.source, &c.field), c.format))
+                    .collect()
+            })
+            .collect();
+        Table { headers, rows }
+    }
+
+    /// Builds a table from pre-rendered rows.
+    pub fn from_rows(
+        headers: impl IntoIterator<Item = impl Into<String>>,
+        rows: Vec<Vec<String>>,
+    ) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows }
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned ASCII table.
+    pub fn to_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.chars().count());
+                }
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            out.push('|');
+            for (i, cell) in cells.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(0);
+                out.push(' ');
+                out.push_str(cell);
+                for _ in cell.chars().count()..w {
+                    out.push(' ');
+                }
+                out.push_str(" |");
+            }
+            out.push('\n');
+        };
+        let rule = |out: &mut String| {
+            out.push('+');
+            for w in &widths {
+                for _ in 0..w + 2 {
+                    out.push('-');
+                }
+                out.push('+');
+            }
+            out.push('\n');
+        };
+        rule(&mut out);
+        render_row(&self.headers, &mut out);
+        rule(&mut out);
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        rule(&mut out);
+        out
+    }
+
+    /// Renders CSV (header row + data rows, comma-escaped).
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn hits() -> Vec<Hit> {
+        vec![
+            Hit {
+                id: 0,
+                source: json!({
+                    "time": 1_679_308_382_363_981_568u64,
+                    "proc_name": "app",
+                    "syscall": "write",
+                    "ret_val": 26,
+                    "offset": 0,
+                }),
+            },
+            Hit {
+                id: 1,
+                source: json!({
+                    "time": 1_679_308_386_889_688_320u64,
+                    "proc_name": "fluent-bit",
+                    "syscall": "read",
+                    "ret_val": 26,
+                }),
+            },
+        ]
+    }
+
+    #[test]
+    fn digit_grouping() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1_000), "1,000");
+        assert_eq!(group_digits(1_679_308_382_363_981_568), "1,679,308,382,363,981,568");
+        assert_eq!(group_digits(-12_345), "-12,345");
+    }
+
+    #[test]
+    fn paper_style_table() {
+        let table = Table::new(
+            [
+                Column::new("time").grouped(),
+                Column::new("proc_name"),
+                Column::new("syscall"),
+                Column::new("ret_val").header("ret val"),
+                Column::new("offset"),
+            ],
+            &hits(),
+        );
+        let ascii = table.to_ascii();
+        assert!(ascii.contains("1,679,308,382,363,981,568"));
+        assert!(ascii.contains("fluent-bit"));
+        assert!(ascii.contains("ret val"));
+        // Missing offset renders as an empty cell, not a panic.
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let table = Table::from_rows(
+            ["a", "b"],
+            vec![vec!["x,y".to_string(), "he said \"hi\"".to_string()]],
+        );
+        let csv = table.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn alignment_pads_columns() {
+        let table = Table::from_rows(["col"], vec![vec!["short".into()], vec!["much longer".into()]]);
+        let ascii = table.to_ascii();
+        let lines: Vec<&str> = ascii.lines().collect();
+        let widths: std::collections::HashSet<usize> = lines.iter().map(|l| l.len()).collect();
+        assert_eq!(widths.len(), 1, "all lines equal width:\n{ascii}");
+    }
+
+    #[test]
+    fn empty_table() {
+        let table = Table::new([Column::new("x")], &[]);
+        assert!(table.is_empty());
+        assert!(table.to_ascii().contains('x'));
+    }
+}

@@ -1,0 +1,71 @@
+//! A miniature Table II: comparing tracer overheads on a small workload.
+//!
+//! ```text
+//! cargo run --release --example overhead_comparison
+//! ```
+//!
+//! Runs the same file-churn workload untraced and under each tracer
+//! (sysdig-like, DIO, strace-like) and prints the relative slowdowns.
+//! For the full-scale Table II reproduction use
+//! `cargo run --release -p dio-bench --bin exp_table2`.
+
+use std::sync::Arc;
+
+use dio::core::{Dio, DiskProfile, Kernel, OpenFlags, TracerConfig};
+use dio_baselines::{StraceConfig, StraceTracer, SysdigConfig, SysdigTracer};
+use dio_kernel::SyscallProbe;
+
+fn workload(kernel: &Kernel, tag: &str) -> u64 {
+    let proc = kernel.spawn_process(format!("app-{tag}"));
+    let t = proc.spawn_thread(format!("app-{tag}"));
+    let clock = kernel.clock().clone();
+    let start = clock.now_ns();
+    t.mkdir(&format!("/{tag}"), 0o755).expect("mkdir");
+    for i in 0..400 {
+        let path = format!("/{tag}/f{i}");
+        let fd = t.openat(&path, OpenFlags::CREAT | OpenFlags::RDWR, 0o644).expect("open");
+        t.write(fd, &[0u8; 4096]).expect("write");
+        let mut buf = [0u8; 1024];
+        t.pread64(fd, &mut buf, 0).expect("read");
+        t.close(fd).expect("close");
+        if i % 4 == 0 {
+            t.unlink(&path).expect("unlink");
+        }
+    }
+    clock.now_ns() - start
+}
+
+fn main() {
+    let disk = DiskProfile { read_bw_bps: 256 << 20, write_bw_bps: 128 << 20, base_latency_ns: 10_000, flush_latency_ns: 40_000 };
+    let mk_kernel = || Kernel::builder().num_cpus(2).root_disk(disk).build();
+
+    // vanilla
+    let vanilla = workload(&mk_kernel(), "v");
+
+    // sysdig-like
+    let kernel = mk_kernel();
+    let sysdig = SysdigTracer::new(SysdigConfig::default(), kernel.num_cpus());
+    kernel.tracepoints().attach(Arc::clone(&sysdig) as Arc<dyn SyscallProbe>);
+    let sysdig_time = workload(&kernel, "s");
+
+    // DIO
+    let kernel = mk_kernel();
+    let dio = Dio::with_kernel(kernel);
+    let session = dio.trace(TracerConfig::new("overhead").kernel_costs(1_200, 3_000));
+    let dio_time = workload(dio.kernel(), "d");
+    let summary = session.stop();
+
+    // strace-like
+    let kernel = mk_kernel();
+    let strace = StraceTracer::new(StraceConfig::default());
+    kernel.tracepoints().attach(Arc::clone(&strace) as Arc<dyn SyscallProbe>);
+    let strace_time = workload(&kernel, "t");
+
+    let f = |t: u64| t as f64 / vanilla as f64;
+    println!("workload: 400 x (open + write 4K + read 1K + close), 2 CPUs");
+    println!("vanilla : {:>8.2} ms  1.00x", vanilla as f64 / 1e6);
+    println!("sysdig  : {:>8.2} ms  {:.2}x", sysdig_time as f64 / 1e6, f(sysdig_time));
+    println!("DIO     : {:>8.2} ms  {:.2}x  ({} events to backend)", dio_time as f64 / 1e6, f(dio_time), summary.trace.events_stored);
+    println!("strace  : {:>8.2} ms  {:.2}x  ({} lines)", strace_time as f64 / 1e6, f(strace_time), strace.events());
+    println!("\npaper's Table II ordering: vanilla <= sysdig < DIO < strace");
+}

@@ -1,0 +1,53 @@
+//! Quickstart: trace an application's I/O and explore it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds the full DIO pipeline (kernel + tracer + backend + visualizer),
+//! runs a tiny application against the simulated kernel, and prints the
+//! trace table and a session overview — the 60-second tour of the API.
+
+use dio::core::{dashboards, Dio, OpenFlags, Query, TracerConfig, Whence};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Deploy DIO: one simulated kernel plus the analysis pipeline.
+    let dio = Dio::new();
+
+    // 2. Start a tracing session (all 42 syscalls, no filters).
+    let session = dio.trace(TracerConfig::new("quickstart"));
+
+    // 3. Run an application against the kernel.
+    let app = dio.kernel().spawn_process("demo-app");
+    let thread = app.spawn_thread("demo-app");
+    thread.mkdir("/data", 0o755)?;
+    let fd = thread.openat("/data/report.txt", OpenFlags::CREAT | OpenFlags::RDWR, 0o644)?;
+    thread.write(fd, b"hello, observability!")?;
+    thread.lseek(fd, 0, Whence::Set)?;
+    let mut buf = [0u8; 5];
+    thread.read(fd, &mut buf)?;
+    thread.fsync(fd)?;
+    thread.close(fd)?;
+    thread.stat("/data/report.txt")?;
+    thread.unlink("/data/report.txt")?;
+
+    // 4. Stop the session: events are drained and file paths correlated.
+    let report = session.stop();
+    println!(
+        "stored {} events ({} dropped); correlation filled {} paths\n",
+        report.trace.events_stored, report.trace.events_dropped, report.correlation.events_updated
+    );
+
+    // 5. Explore with the predefined dashboards.
+    let index = dio.session_index("quickstart").expect("session stored");
+    println!("{}", dashboards::syscall_table(Query::MatchAll).render(&index));
+    println!("{}", dashboards::session_overview().render(&index));
+
+    // 6. Or query directly.
+    let writes = index.count(&Query::term("syscall", "write"));
+    let on_report = index.count(&Query::term("file_path", "/data/report.txt"));
+    println!("write syscalls: {writes}; events on /data/report.txt: {on_report}");
+    assert_eq!(writes, 1);
+    assert!(on_report >= 5);
+    Ok(())
+}

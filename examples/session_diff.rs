@@ -1,0 +1,47 @@
+//! Post-mortem session comparison (§II): trace two versions of an
+//! application into one pipeline, then diff the executions.
+//!
+//! ```text
+//! cargo run --example session_diff
+//! ```
+//!
+//! Uses the Fluent Bit case study: the buggy v1.4.0 and fixed v2.0.5 runs
+//! are stored as separate sessions, and [`dio_core::diff_sessions`] shows
+//! exactly how the fixed version's syscall behaviour differs.
+
+use dio::core::{diff_sessions, Dio, TracerConfig};
+use dio_fluentbit::{run_issue_1875, FluentBitVersion};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dio = Dio::new();
+
+    // Session A: the buggy version.
+    let session = dio.trace(TracerConfig::new("v1.4.0"));
+    run_issue_1875(dio.kernel(), FluentBitVersion::V1_4_0, "/a.log", 0)?;
+    session.stop();
+
+    // Session B: the fixed version (same workload, fresh kernel state not
+    // required — different log file keeps the runs independent).
+    let session = dio.trace(TracerConfig::new("v2.0.5"));
+    run_issue_1875(dio.kernel(), FluentBitVersion::V2_0_5, "/b.log", 0)?;
+    session.stop();
+
+    let a = dio.session_index("v1.4.0").expect("session A stored");
+    let b = dio.session_index("v2.0.5").expect("session B stored");
+    let diff = diff_sessions(&a, &b);
+    println!("{}", diff.to_text("v1.4.0", "v2.0.5"));
+
+    // The fixed version reads the second generation instead of seeking
+    // past it, so its read results differ; and the thread is renamed
+    // fluent-bit -> flb-pipeline between the versions.
+    let threads: Vec<&str> = diff
+        .by_thread
+        .iter()
+        .filter(|d| d.delta() != 0)
+        .map(|d| d.key.as_str())
+        .collect();
+    assert!(threads.contains(&"fluent-bit"));
+    assert!(threads.contains(&"flb-pipeline"));
+    println!("thread-name change visible in diff: {threads:?}");
+    Ok(())
+}

@@ -1,0 +1,3 @@
+//! DIO facade crate: re-exports the whole workspace.
+pub use dio_core as core;
+pub use dio_replay as replay;

@@ -1,0 +1,183 @@
+//! Cross-crate integration: the full Fig. 1 pipeline, end to end.
+
+use dio::core::{
+    dashboards, Aggregation, Dio, DiskProfile, Kernel, OpenFlags, Query, SearchRequest, SortOrder,
+    TracerConfig, Whence,
+};
+use dio_syscall::{SyscallKind, Tid};
+
+fn fast_dio() -> Dio {
+    Dio::with_kernel(Kernel::builder().root_disk(DiskProfile::instant()).build())
+}
+
+#[test]
+fn trace_store_query_visualize() {
+    let dio = fast_dio();
+    let session = dio.trace(TracerConfig::new("e2e"));
+
+    let app = dio.kernel().spawn_process("writer");
+    let t = app.spawn_thread("writer");
+    t.mkdir("/var", 0o755).unwrap();
+    let fd = t.openat("/var/f.db", OpenFlags::CREAT | OpenFlags::RDWR, 0o644).unwrap();
+    for i in 0..10u64 {
+        t.pwrite64(fd, &[0xAB; 256], i * 256).unwrap();
+    }
+    t.fsync(fd).unwrap();
+    t.lseek(fd, 0, Whence::Set).unwrap();
+    let mut buf = [0u8; 128];
+    t.read(fd, &mut buf).unwrap();
+    t.close(fd).unwrap();
+
+    let report = session.stop();
+    // mkdir + open + 10 pwrite + fsync + lseek + read + close = 16
+    assert_eq!(report.trace.events_stored, 16);
+    assert_eq!(report.trace.events_dropped, 0);
+    assert!(report.correlation.events_updated >= 13, "fd events gained paths");
+    assert_eq!(report.correlation.events_unresolved, 0);
+
+    let index = dio.session_index("e2e").unwrap();
+    // Query layer.
+    assert_eq!(index.count(&Query::term("syscall", "pwrite64")), 10);
+    assert_eq!(index.count(&Query::term("file_path", "/var/f.db")), 15);
+    assert_eq!(index.count(&Query::term("proc_name", "writer")), 16);
+    // Aggregation layer.
+    let res = index.search(
+        &SearchRequest::match_all()
+            .size(0)
+            .agg("by_class", Aggregation::terms("class", 10)),
+    );
+    let classes: Vec<&str> =
+        res.aggs["by_class"].buckets().iter().map(|b| b.key.as_str().unwrap()).collect();
+    assert!(classes.contains(&"data"));
+    assert!(classes.contains(&"metadata"));
+    assert!(classes.contains(&"directory management"));
+    // Visualization layer.
+    let rendered = dashboards::syscall_table(Query::MatchAll).render(&index);
+    assert!(rendered.contains("pwrite64"));
+    assert!(rendered.contains("/var/f.db"));
+    assert!(rendered.contains("16 events"));
+}
+
+#[test]
+fn offsets_are_pre_syscall_and_sequential() {
+    let dio = fast_dio();
+    let session = dio.trace(TracerConfig::new("offsets").syscalls([SyscallKind::Write]));
+    let t = dio.kernel().spawn_process("seq").spawn_thread("seq");
+    let fd = t.openat("/s", OpenFlags::CREAT | OpenFlags::WRONLY, 0o644).unwrap();
+    for _ in 0..5 {
+        t.write(fd, &[1u8; 100]).unwrap();
+    }
+    session.stop();
+    let index = dio.session_index("offsets").unwrap();
+    let hits = index
+        .search(&SearchRequest::new(Query::term("syscall", "write")).sort_by("time", SortOrder::Asc))
+        .hits;
+    let offsets: Vec<u64> = hits.iter().map(|h| h.source["offset"].as_u64().unwrap()).collect();
+    assert_eq!(offsets, vec![0, 100, 200, 300, 400], "offset BEFORE each write applies");
+}
+
+#[test]
+fn multi_process_sessions_are_attributable() {
+    let dio = fast_dio();
+    let session = dio.trace(TracerConfig::new("attr"));
+    let mut tids: Vec<Tid> = Vec::new();
+    for name in ["svc-a", "svc-b", "svc-c"] {
+        let p = dio.kernel().spawn_process(name);
+        let t = p.spawn_thread(name);
+        tids.push(t.tid());
+        t.creat(&format!("/{name}.out"), 0o644).unwrap();
+    }
+    session.stop();
+    let index = dio.session_index("attr").unwrap();
+    for (i, name) in ["svc-a", "svc-b", "svc-c"].iter().enumerate() {
+        let q = Query::bool_query()
+            .must(Query::term("proc_name", *name))
+            .must(Query::term("tid", tids[i].0 as i64))
+            .build();
+        assert_eq!(index.count(&q), 1, "{name}");
+    }
+}
+
+#[test]
+fn post_mortem_sessions_survive_tracer() {
+    let dio = fast_dio();
+    for round in 0..3 {
+        let session = dio.trace(TracerConfig::new(format!("run-{round}")));
+        let t = dio.kernel().spawn_process("app").spawn_thread("app");
+        for i in 0..=round {
+            t.creat(&format!("/r{round}-f{i}"), 0o644).unwrap();
+        }
+        session.stop();
+    }
+    // All three sessions remain queryable afterwards (post-mortem §II).
+    assert_eq!(dio.sessions(), vec!["run-0", "run-1", "run-2"]);
+    for round in 0..3u64 {
+        let index = dio.session_index(&format!("run-{round}")).unwrap();
+        assert_eq!(index.count(&Query::MatchAll), round + 1);
+    }
+}
+
+#[test]
+fn errors_carry_linux_errno_encoding() {
+    let dio = fast_dio();
+    let session = dio.trace(TracerConfig::new("errs"));
+    let t = dio.kernel().spawn_process("app").spawn_thread("app");
+    let _ = t.openat("/nope", OpenFlags::RDONLY, 0); // ENOENT
+    let _ = t.close(99); // EBADF
+    t.mkdir("/d", 0o755).unwrap();
+    let _ = t.mkdir("/d", 0o755); // EEXIST
+    session.stop();
+    let index = dio.session_index("errs").unwrap();
+    assert_eq!(index.count(&Query::term("ret_val", -2)), 1, "ENOENT");
+    assert_eq!(index.count(&Query::term("ret_val", -9)), 1, "EBADF");
+    assert_eq!(index.count(&Query::term("ret_val", -17)), 1, "EEXIST");
+    assert_eq!(index.count(&Query::range("ret_val").lt(0.0).build()), 3);
+}
+
+#[test]
+fn near_real_time_visibility_while_running() {
+    let dio = fast_dio();
+    let session = dio.trace(TracerConfig::new("live").flush_interval(std::time::Duration::from_millis(10)));
+    let t = dio.kernel().spawn_process("app").spawn_thread("app");
+    t.creat("/live.txt", 0o644).unwrap();
+    // Events become visible without stopping the session.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        if session.events_stored() >= 1 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "event did not arrive in time");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let rendered = session.render(&dashboards::syscall_table(Query::MatchAll));
+    assert!(rendered.contains("creat"));
+    session.stop();
+}
+
+#[test]
+fn session_stops_when_traced_processes_exit() {
+    let dio = fast_dio();
+    let session = dio.trace(TracerConfig::new("lifecycle"));
+    let proc = dio.kernel().spawn_process("short-lived");
+    let pid = proc.pid();
+    let worker = {
+        let kernel = dio.kernel().clone();
+        std::thread::spawn(move || {
+            let p = kernel.process(pid).unwrap();
+            let t = p.spawn_thread("short-lived");
+            let fd = t.creat("/done-marker", 0o644).unwrap();
+            t.write(fd, b"bye").unwrap();
+            // Exit WITHOUT closing: exit() must release the descriptor.
+            p.exit();
+        })
+    };
+    let report = session.stop_when_exited(dio.kernel(), &[pid]);
+    worker.join().unwrap();
+    assert!(dio.kernel().all_exited(&[pid]));
+    assert_eq!(report.trace.events_stored, 2, "creat + write traced before exit");
+    // exit() closed the fd, so the inode number is reusable.
+    let t = dio.kernel().spawn_process("after").spawn_thread("after");
+    t.unlink("/done-marker").unwrap();
+    let probe = t.creat("/reuse-probe", 0o644).unwrap();
+    assert!(probe >= 3);
+}

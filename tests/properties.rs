@@ -1,0 +1,356 @@
+//! Property-based tests over the core invariants DESIGN.md §6 calls out.
+
+use proptest::prelude::*;
+
+use dio::core::{DiskProfile, Kernel, OpenFlags, Query, SimClock, Whence};
+use dio_backend::{Index, SearchRequest};
+use dio_dbbench::LatencyHistogram;
+use dio_ebpf::RingBuffer;
+use dio_kernel::Vfs;
+use dio_syscall::{FileTag, SyscallKind, SyscallSet};
+
+// ------------------------------------------------------------------ VFS
+
+/// Model-based test: a simulated-VFS file behaves like an in-memory byte
+/// vector under arbitrary write/read/truncate/seek sequences.
+#[derive(Debug, Clone)]
+enum FileOp {
+    Write(Vec<u8>),
+    PWrite(Vec<u8>, u16),
+    Read(u8),
+    Seek(u16),
+    Truncate(u16),
+}
+
+fn file_op() -> impl Strategy<Value = FileOp> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(FileOp::Write),
+        (proptest::collection::vec(any::<u8>(), 0..64), any::<u16>())
+            .prop_map(|(d, o)| FileOp::PWrite(d, o % 512)),
+        any::<u8>().prop_map(FileOp::Read),
+        any::<u16>().prop_map(|o| FileOp::Seek(o % 600)),
+        any::<u16>().prop_map(|o| FileOp::Truncate(o % 600)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vfs_file_matches_vec_model(ops in proptest::collection::vec(file_op(), 1..40)) {
+        let kernel = Kernel::builder().root_disk(DiskProfile::instant()).build();
+        let t = kernel.spawn_process("model").spawn_thread("model");
+        let fd = t.openat("/m", OpenFlags::CREAT | OpenFlags::RDWR, 0o644).unwrap();
+        let mut model: Vec<u8> = Vec::new();
+        let mut cursor: usize = 0;
+
+        for op in ops {
+            match op {
+                FileOp::Write(data) => {
+                    let n = t.write(fd, &data).unwrap();
+                    prop_assert_eq!(n, data.len());
+                    let end = cursor + data.len();
+                    if model.len() < end {
+                        model.resize(end, 0);
+                    }
+                    model[cursor..end].copy_from_slice(&data);
+                    cursor = end;
+                }
+                FileOp::PWrite(data, off) => {
+                    t.pwrite64(fd, &data, off as u64).unwrap();
+                    let end = off as usize + data.len();
+                    if model.len() < end {
+                        model.resize(end, 0);
+                    }
+                    model[off as usize..end].copy_from_slice(&data);
+                }
+                FileOp::Read(len) => {
+                    let mut buf = vec![0u8; len as usize];
+                    let n = t.read(fd, &mut buf).unwrap();
+                    // The cursor may sit past EOF (seek/truncate): reads
+                    // there return 0 bytes, like POSIX.
+                    let start = cursor.min(model.len());
+                    let expect_n = (model.len() - start).min(len as usize);
+                    prop_assert_eq!(n, expect_n);
+                    prop_assert_eq!(&buf[..n], &model[start..start + n]);
+                    cursor += n;
+                }
+                FileOp::Seek(off) => {
+                    let pos = t.lseek(fd, off as i64, Whence::Set).unwrap();
+                    prop_assert_eq!(pos, off as u64);
+                    cursor = off as usize;
+                }
+                FileOp::Truncate(len) => {
+                    t.ftruncate(fd, len as u64).unwrap();
+                    model.resize(len as usize, 0);
+                }
+            }
+            prop_assert_eq!(t.fstat(fd).unwrap().size, model.len() as u64);
+        }
+    }
+
+    /// Inode numbers are reused lowest-first and never collide while live.
+    #[test]
+    fn inode_reuse_is_lowest_first(removals in proptest::collection::vec(0usize..8, 1..8)) {
+        let vfs = Vfs::new(1, DiskProfile::instant(), SimClock::new());
+        let mut live: Vec<(String, u64)> = (0..8)
+            .map(|i| {
+                let path = format!("/f{i}");
+                let ino = vfs.create_file(&path, false).unwrap().ino();
+                (path, ino)
+            })
+            .collect();
+        for r in removals {
+            if live.is_empty() {
+                break;
+            }
+            let (path, _) = live.remove(r % live.len());
+            vfs.unlink(&path).unwrap();
+        }
+        // Allocate a new file: it must take the smallest free number.
+        let live_inos: std::collections::HashSet<u64> = live.iter().map(|(_, i)| *i).collect();
+        let fresh = vfs.create_file("/fresh", false).unwrap().ino();
+        prop_assert!(!live_inos.contains(&fresh), "no collision with live inodes");
+        for candidate in 2..fresh {
+            prop_assert!(
+                live_inos.contains(&candidate),
+                "smaller number {candidate} was free but not used (got {fresh})"
+            );
+        }
+    }
+
+    /// File tags distinguish generations: same path recreated n times
+    /// yields n distinct tags even when inode numbers repeat.
+    #[test]
+    fn file_tags_unique_per_generation(n in 2usize..6) {
+        let kernel = Kernel::builder().root_disk(DiskProfile::instant()).build();
+        let t = kernel.spawn_process("gen").spawn_thread("gen");
+        let mut tags: Vec<FileTag> = Vec::new();
+        for _ in 0..n {
+            let fd = t.openat("/g", OpenFlags::CREAT | OpenFlags::WRONLY, 0o644).unwrap();
+            let inode = t.fstat(fd).unwrap();
+            let vfs = kernel.root_vfs();
+            let ino = vfs.lookup("/g", true).unwrap();
+            tags.push(FileTag::new(inode.dev, inode.ino, ino.first_access_ns()));
+            t.close(fd).unwrap();
+            t.unlink("/g").unwrap();
+        }
+        let distinct: std::collections::HashSet<&FileTag> = tags.iter().collect();
+        prop_assert_eq!(distinct.len(), n, "{:?}", tags);
+    }
+}
+
+// ----------------------------------------------------------- ring buffer
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation: pushed + dropped == produced, consumed <= pushed, and
+    /// the consumer sees a per-CPU-FIFO prefix of what fit.
+    #[test]
+    fn ring_buffer_conserves_events(
+        slots in 1usize..32,
+        cpus in 1u32..4,
+        items in proptest::collection::vec((0u32..4, any::<u32>()), 0..200),
+    ) {
+        let ring: RingBuffer<u32> = RingBuffer::with_slots(cpus, slots);
+        let mut accepted_per_cpu: Vec<Vec<u32>> = vec![Vec::new(); cpus as usize];
+        for (cpu, value) in &items {
+            if ring.try_push(*cpu, *value) {
+                accepted_per_cpu[(*cpu as usize) % cpus as usize].push(*value);
+            }
+        }
+        let stats = ring.stats();
+        prop_assert_eq!(stats.pushed + stats.dropped, items.len() as u64);
+        for cpu in 0..cpus {
+            let drained = ring.drain(cpu, usize::MAX);
+            prop_assert_eq!(&drained, &accepted_per_cpu[cpu as usize], "cpu {} FIFO", cpu);
+        }
+        prop_assert_eq!(ring.stats().consumed, stats.pushed);
+        prop_assert!(ring.is_empty());
+    }
+}
+
+// ----------------------------------------------------------- histograms
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Histogram percentiles are monotone, bounded by min/max, and within
+    /// the documented ~3% relative resolution.
+    #[test]
+    fn histogram_percentiles_bounded(values in proptest::collection::vec(1u64..10_000_000, 1..500)) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let mut prev = 0u64;
+        for p in [1.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let got = h.percentile(p);
+            prop_assert!(got >= *sorted.first().unwrap() && got <= *sorted.last().unwrap());
+            prop_assert!(got >= prev, "percentiles are monotone");
+            prev = got;
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
+            let exact = sorted[rank.min(sorted.len() - 1)] as f64;
+            prop_assert!(
+                (got as f64 - exact).abs() <= exact * 0.07 + 1.0,
+                "p{}: got {}, exact {}", p, got, exact
+            );
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        prop_assert_eq!(h.min(), *sorted.first().unwrap());
+    }
+}
+
+// -------------------------------------------------------------- backend
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Index-accelerated search returns exactly the same documents as a
+    /// full scan with `Query::matches`.
+    #[test]
+    fn index_search_equals_scan(
+        docs in proptest::collection::vec((0i64..20, 0i64..5, any::<bool>()), 1..80),
+        term in 0i64..20,
+        lo in 0i64..5,
+    ) {
+        let index = Index::new("prop");
+        let values: Vec<serde_json::Value> = docs
+            .iter()
+            .map(|(a, b, c)| serde_json::json!({"a": a, "b": b, "flag": c}))
+            .collect();
+        index.bulk(values.clone());
+        let queries = vec![
+            Query::term("a", term),
+            Query::range("b").gte(lo as f64).build(),
+            Query::bool_query()
+                .must(Query::term("a", term))
+                .must_not(Query::term("flag", true))
+                .build(),
+            Query::bool_query()
+                .should(Query::term("a", term))
+                .should(Query::range("b").gt(lo as f64).build())
+                .build(),
+        ];
+        for q in queries {
+            let via_index = index.search(&SearchRequest::new(q.clone()).size(usize::MAX)).total;
+            let via_scan = values.iter().filter(|d| q.matches(d)).count() as u64;
+            prop_assert_eq!(via_index, via_scan, "query {:?}", q);
+        }
+    }
+
+    /// SyscallSet behaves like a HashSet over the 42 kinds.
+    #[test]
+    fn syscall_set_matches_hashset(indices in proptest::collection::vec(0usize..42, 0..80)) {
+        let mut set = SyscallSet::new();
+        let mut model = std::collections::HashSet::new();
+        for (i, idx) in indices.iter().enumerate() {
+            let kind = SyscallKind::ALL[*idx];
+            if i % 3 == 2 {
+                prop_assert_eq!(set.remove(kind), model.remove(&kind));
+            } else {
+                prop_assert_eq!(set.insert(kind), model.insert(kind));
+            }
+            prop_assert_eq!(set.len(), model.len());
+        }
+        for &kind in SyscallKind::ALL {
+            prop_assert_eq!(set.contains(kind), model.contains(&kind));
+        }
+    }
+}
+
+// ------------------------------------------------------------- LSM store
+
+/// Model-based test of the LSM engine: arbitrary put/delete/get/scan/flush
+/// sequences behave like a BTreeMap, including across a crash-free reopen.
+#[derive(Debug, Clone)]
+enum KvOp {
+    Put(u8, u8),
+    Delete(u8),
+    Get(u8),
+    Scan(u8, u8),
+    Flush,
+}
+
+fn kv_op() -> impl Strategy<Value = KvOp> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<u8>()).prop_map(|(k, v)| KvOp::Put(k % 64, v)),
+        2 => any::<u8>().prop_map(|k| KvOp::Delete(k % 64)),
+        3 => any::<u8>().prop_map(|k| KvOp::Get(k % 64)),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(f, n)| KvOp::Scan(f % 64, n % 16 + 1)),
+        1 => Just(KvOp::Flush),
+    ]
+}
+
+fn kv_key(k: u8) -> Vec<u8> {
+    format!("key{k:03}").into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lsm_store_matches_btreemap_model(ops in proptest::collection::vec(kv_op(), 1..60)) {
+        let kernel = Kernel::builder().root_disk(DiskProfile::instant()).build();
+        let process = kernel.spawn_process("kv");
+        let client = process.spawn_thread("client");
+        let opts = dio_lsmkv::LsmOptions {
+            memtable_bytes: 256, // rotate aggressively to exercise flush/compaction
+            l0_compaction_trigger: 2,
+            compaction_threads: 2,
+            ..dio_lsmkv::LsmOptions::new("/db")
+        };
+        let db = dio_lsmkv::Db::open(&process, opts.clone()).unwrap();
+        let mut model: std::collections::BTreeMap<Vec<u8>, Vec<u8>> = std::collections::BTreeMap::new();
+
+        for op in &ops {
+            match op {
+                KvOp::Put(k, v) => {
+                    db.put(&client, &kv_key(*k), &[*v; 8]).unwrap();
+                    model.insert(kv_key(*k), vec![*v; 8]);
+                }
+                KvOp::Delete(k) => {
+                    db.delete(&client, &kv_key(*k)).unwrap();
+                    model.remove(&kv_key(*k));
+                }
+                KvOp::Get(k) => {
+                    prop_assert_eq!(
+                        db.get(&client, &kv_key(*k)).unwrap(),
+                        model.get(&kv_key(*k)).cloned(),
+                        "get {:?}", kv_key(*k)
+                    );
+                }
+                KvOp::Scan(from, n) => {
+                    let got = db.scan(&client, &kv_key(*from), *n as usize).unwrap();
+                    let expect: Vec<(Vec<u8>, Vec<u8>)> = model
+                        .range(kv_key(*from)..)
+                        .take(*n as usize)
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    prop_assert_eq!(got, expect, "scan from {:?}", kv_key(*from));
+                }
+                KvOp::Flush => db.flush_now(&client).unwrap(),
+            }
+        }
+
+        // Clean shutdown + reopen must preserve every key (durability).
+        db.shutdown(&client).unwrap();
+        drop(db);
+        let db = dio_lsmkv::Db::open(&process, opts).unwrap();
+        for (k, v) in &model {
+            let got = db.get(&client, k).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(v), "after reopen: {:?}", k);
+        }
+        // And deleted keys stay deleted.
+        for k in 0..64u8 {
+            if !model.contains_key(&kv_key(k)) {
+                prop_assert_eq!(db.get(&client, &kv_key(k)).unwrap(), None);
+            }
+        }
+        db.shutdown(&client).unwrap();
+    }
+}

@@ -56,7 +56,11 @@ impl Aggregation {
 
     /// Buckets numeric values into fixed-width intervals.
     pub fn histogram(field: impl Into<String>, interval: f64) -> Self {
-        Aggregation { kind: AggKind::Histogram { interval }, field: field.into(), sub: BTreeMap::new() }
+        Aggregation {
+            kind: AggKind::Histogram { interval },
+            field: field.into(),
+            sub: BTreeMap::new(),
+        }
     }
 
     /// Buckets nanosecond timestamps into fixed windows (gaps filled with
@@ -161,9 +165,11 @@ impl Aggregation {
                     .into_iter()
                     .map(|(key, group)| self.bucket(Value::String(key), &group))
                     .collect();
-                buckets.sort_by(|a, b| b.doc_count.cmp(&a.doc_count).then_with(|| {
-                    a.key.as_str().unwrap_or("").cmp(b.key.as_str().unwrap_or(""))
-                }));
+                buckets.sort_by(|a, b| {
+                    b.doc_count.cmp(&a.doc_count).then_with(|| {
+                        a.key.as_str().unwrap_or("").cmp(b.key.as_str().unwrap_or(""))
+                    })
+                });
                 buckets.truncate(*size);
                 AggResult::Buckets(buckets)
             }
@@ -175,16 +181,18 @@ impl Aggregation {
                         groups.entry((n / interval).floor() as i64).or_default().push(doc);
                     }
                 }
-                let buckets = self.fill_numeric_buckets(groups, |slot| {
-                    Value::from(slot as f64 * interval)
-                });
+                let buckets =
+                    self.fill_numeric_buckets(groups, |slot| Value::from(slot as f64 * interval));
                 AggResult::Buckets(buckets)
             }
             AggKind::DateHistogram { interval_ns } => {
                 let mut groups: BTreeMap<i64, Vec<&Value>> = BTreeMap::new();
                 for doc in docs {
                     if let Some(n) = get_path(doc, &self.field).and_then(as_number) {
-                        groups.entry((n / *interval_ns as f64).floor() as i64).or_default().push(doc);
+                        groups
+                            .entry((n / *interval_ns as f64).floor() as i64)
+                            .or_default()
+                            .push(doc);
                     }
                 }
                 let interval = *interval_ns;
@@ -290,7 +298,10 @@ impl Aggregation {
         let span = (max - min) as u64 + 1;
         if span > 100_000 {
             // Too sparse to fill: emit only occupied buckets.
-            return groups.into_iter().map(|(slot, docs)| self.bucket(key_of(slot), &docs)).collect();
+            return groups
+                .into_iter()
+                .map(|(slot, docs)| self.bucket(key_of(slot), &docs))
+                .collect();
         }
         let empty: Vec<&Value> = Vec::new();
         (min..=max)

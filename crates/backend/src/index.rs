@@ -45,7 +45,12 @@ impl IndexInner {
     fn index_doc(&mut self, id: u64, doc: &Value) {
         for_each_leaf(doc, &mut |path, leaf| {
             if let Some(kw) = as_keyword(leaf) {
-                self.keywords.entry(path.to_string()).or_default().entry(kw).or_default().insert(id);
+                self.keywords
+                    .entry(path.to_string())
+                    .or_default()
+                    .entry(kw)
+                    .or_default()
+                    .insert(id);
             } else if let Some(n) = as_number(leaf) {
                 self.numerics
                     .entry(path.to_string())
@@ -88,12 +93,22 @@ impl IndexInner {
         match query {
             Query::Term { field, value } => {
                 if let Some(kw) = as_keyword(value) {
-                    Some(self.keywords.get(field).and_then(|t| t.get(&kw)).cloned().unwrap_or_default())
-                } else { as_number(value).map(|n| self.numerics
+                    Some(
+                        self.keywords
+                            .get(field)
+                            .and_then(|t| t.get(&kw))
+                            .cloned()
+                            .unwrap_or_default(),
+                    )
+                } else {
+                    as_number(value).map(|n| {
+                        self.numerics
                             .get(field)
                             .and_then(|t| t.get(&FKey(n)))
                             .cloned()
-                            .unwrap_or_default()) }
+                            .unwrap_or_default()
+                    })
+                }
             }
             Query::Terms { field, values } => {
                 let mut out = HashSet::new();
@@ -281,6 +296,9 @@ pub struct SearchResponse {
 pub struct Index {
     name: String,
     inner: RwLock<IndexInner>,
+    /// Query-latency histogram, bound by the owning [`crate::DocStore`]
+    /// when telemetry is enabled.
+    query_ns: std::sync::OnceLock<std::sync::Arc<dio_telemetry::Histogram>>,
 }
 
 impl std::fmt::Debug for Index {
@@ -292,7 +310,15 @@ impl std::fmt::Debug for Index {
 impl Index {
     /// Creates an empty index.
     pub fn new(name: impl Into<String>) -> Self {
-        Index { name: name.into(), inner: RwLock::new(IndexInner::default()) }
+        Index {
+            name: name.into(),
+            inner: RwLock::new(IndexInner::default()),
+            query_ns: std::sync::OnceLock::new(),
+        }
+    }
+
+    pub(crate) fn bind_query_histogram(&self, histogram: std::sync::Arc<dio_telemetry::Histogram>) {
+        let _ = self.query_ns.set(histogram);
     }
 
     /// The index name.
@@ -389,6 +415,7 @@ impl Index {
 
     /// Executes a search.
     pub fn search(&self, request: &SearchRequest) -> SearchResponse {
+        let _timer = self.query_ns.get().map(|h| h.start_timer());
         self.refresh();
         let inner = self.inner.read();
         let mut ids = inner.matching_ids(&request.query);
@@ -499,9 +526,8 @@ mod tests {
     #[test]
     fn sort_and_pagination() {
         let idx = sample_index();
-        let res = idx.search(
-            &SearchRequest::match_all().sort_by("time", SortOrder::Desc).from(1).size(2),
-        );
+        let res = idx
+            .search(&SearchRequest::match_all().sort_by("time", SortOrder::Desc).from(1).size(2));
         assert_eq!(res.total, 5);
         assert_eq!(res.hits.len(), 2);
         assert_eq!(res.hits[0].source["time"], 400);

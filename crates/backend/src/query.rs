@@ -82,7 +82,10 @@ impl Query {
     }
 
     /// A `terms` query.
-    pub fn terms(field: impl Into<String>, values: impl IntoIterator<Item = impl Into<Value>>) -> Query {
+    pub fn terms(
+        field: impl Into<String>,
+        values: impl IntoIterator<Item = impl Into<Value>>,
+    ) -> Query {
         Query::Terms { field: field.into(), values: values.into_iter().map(Into::into).collect() }
     }
 

@@ -1,12 +1,23 @@
 //! The multi-index document store (the Elasticsearch cluster stand-in).
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
 use serde_json::Value;
 
+use dio_telemetry::{Counter, Histogram, MetricsRegistry};
+
 use crate::index::Index;
+
+/// Telemetry handles updated on the store's ingest and query paths once
+/// [`DocStore::bind_telemetry`] is called.
+#[derive(Debug)]
+struct StoreTelemetry {
+    bulk_ns: Arc<Histogram>,
+    bulk_docs: Arc<Counter>,
+    query_ns: Arc<Histogram>,
+}
 
 /// A store of named indices, one per tracing session by DIO convention
 /// (`dio-<session>`).
@@ -27,6 +38,7 @@ use crate::index::Index;
 #[derive(Clone, Default)]
 pub struct DocStore {
     indices: Arc<RwLock<BTreeMap<String, Arc<Index>>>>,
+    telemetry: Arc<OnceLock<StoreTelemetry>>,
 }
 
 impl std::fmt::Debug for DocStore {
@@ -41,13 +53,36 @@ impl DocStore {
         Self::default()
     }
 
+    /// Registers the store's metrics (`backend.bulk.ns` / `backend.bulk.docs`
+    /// and `backend.query.ns`) with `registry`. Existing and future indices
+    /// record their search latency into the shared query histogram. Binding
+    /// twice is a no-op.
+    pub fn bind_telemetry(&self, registry: &MetricsRegistry) {
+        let _ = self.telemetry.set(StoreTelemetry {
+            bulk_ns: registry.histogram("backend.bulk.ns"),
+            bulk_docs: registry.counter("backend.bulk.docs"),
+            query_ns: registry.histogram("backend.query.ns"),
+        });
+        if let Some(t) = self.telemetry.get() {
+            for idx in self.indices.read().values() {
+                idx.bind_query_histogram(Arc::clone(&t.query_ns));
+            }
+        }
+    }
+
     /// Returns the index named `name`, creating it if absent.
     pub fn index(&self, name: &str) -> Arc<Index> {
         if let Some(idx) = self.indices.read().get(name) {
             return Arc::clone(idx);
         }
         let mut indices = self.indices.write();
-        Arc::clone(indices.entry(name.to_string()).or_insert_with(|| Arc::new(Index::new(name))))
+        let idx = Arc::clone(
+            indices.entry(name.to_string()).or_insert_with(|| Arc::new(Index::new(name))),
+        );
+        if let Some(t) = self.telemetry.get() {
+            idx.bind_query_histogram(Arc::clone(&t.query_ns));
+        }
+        idx
     }
 
     /// Returns the index named `name` if it exists.
@@ -67,7 +102,13 @@ impl DocStore {
 
     /// Bulk-indexes documents into `name` (creating the index if needed).
     pub fn bulk(&self, name: &str, docs: Vec<Value>) -> Vec<u64> {
-        self.index(name).bulk(docs)
+        let timer = self.telemetry.get().map(|t| {
+            t.bulk_docs.add(docs.len() as u64);
+            t.bulk_ns.start_timer()
+        });
+        let ids = self.index(name).bulk(docs);
+        drop(timer);
+        ids
     }
 
     /// Total documents across all indices.

@@ -71,7 +71,11 @@ fn spin_ns(ns: u64) {
 impl StraceTracer {
     /// Creates a tracer with the given cost model.
     pub fn new(config: StraceConfig) -> Arc<Self> {
-        Arc::new(StraceTracer { config, tracer: Mutex::new(TracerState::default()), events: AtomicU64::new(0) })
+        Arc::new(StraceTracer {
+            config,
+            tracer: Mutex::new(TracerState::default()),
+            events: AtomicU64::new(0),
+        })
     }
 
     /// Completed (entry+exit) events observed.
@@ -96,9 +100,10 @@ impl SyscallProbe for StraceTracer {
         spin_ns(self.config.stop_cost_ns);
         if self.config.record_lines {
             let args: Vec<String> = event.args.iter().map(ToString::to_string).collect();
-            tracer
-                .pending
-                .insert(event.tid, format!("[pid {}] {}({})", event.tid, event.kind, args.join(", ")));
+            tracer.pending.insert(
+                event.tid,
+                format!("[pid {}] {}({})", event.tid, event.kind, args.join(", ")),
+            );
         }
     }
 

@@ -226,7 +226,10 @@ mod tests {
     #[test]
     fn emits_separate_enter_and_exit_events() {
         let k = kernel();
-        let tracer = SysdigTracer::new(SysdigConfig { probe_cost_ns: 0, ..Default::default() }, k.num_cpus());
+        let tracer = SysdigTracer::new(
+            SysdigConfig { probe_cost_ns: 0, ..Default::default() },
+            k.num_cpus(),
+        );
         k.tracepoints().attach(Arc::clone(&tracer) as Arc<dyn SyscallProbe>);
         let t = k.spawn_process("app").spawn_thread("app");
         t.creat("/f", 0o644).unwrap();
@@ -239,13 +242,17 @@ mod tests {
     #[test]
     fn resolves_fds_learned_from_captured_opens() {
         let k = kernel();
-        let tracer = SysdigTracer::new(SysdigConfig { probe_cost_ns: 0, ..Default::default() }, k.num_cpus());
+        let tracer = SysdigTracer::new(
+            SysdigConfig { probe_cost_ns: 0, ..Default::default() },
+            k.num_cpus(),
+        );
         k.tracepoints().attach(Arc::clone(&tracer) as Arc<dyn SyscallProbe>);
         let t = k.spawn_process("app").spawn_thread("app");
         let fd = t.openat("/known.txt", OpenFlags::CREAT | OpenFlags::RDWR, 0o644).unwrap();
         t.write(fd, b"x").unwrap();
         let events = tracer.drain(100);
-        let write_enter = events.iter().find(|e| e.enter && e.syscall == SyscallKind::Write).unwrap();
+        let write_enter =
+            events.iter().find(|e| e.enter && e.syscall == SyscallKind::Write).unwrap();
         assert_eq!(write_enter.fd_name.as_deref(), Some("/known.txt"));
         assert_eq!(tracer.unresolved_path_rate(), 0.0);
     }
@@ -256,11 +263,15 @@ mod tests {
         let t = k.spawn_process("app").spawn_thread("app");
         let fd = t.openat("/early.txt", OpenFlags::CREAT | OpenFlags::RDWR, 0o644).unwrap();
         // Attach only now.
-        let tracer = SysdigTracer::new(SysdigConfig { probe_cost_ns: 0, ..Default::default() }, k.num_cpus());
+        let tracer = SysdigTracer::new(
+            SysdigConfig { probe_cost_ns: 0, ..Default::default() },
+            k.num_cpus(),
+        );
         k.tracepoints().attach(Arc::clone(&tracer) as Arc<dyn SyscallProbe>);
         t.write(fd, b"x").unwrap();
         let events = tracer.drain(100);
-        let write_enter = events.iter().find(|e| e.enter && e.syscall == SyscallKind::Write).unwrap();
+        let write_enter =
+            events.iter().find(|e| e.enter && e.syscall == SyscallKind::Write).unwrap();
         assert_eq!(write_enter.fd_name, None);
         assert!(tracer.unresolved_path_rate() > 0.0);
     }
@@ -275,11 +286,14 @@ mod tests {
         // Open 16 files, keep them open, then touch the first one again.
         let mut fds = Vec::new();
         for i in 0..16 {
-            fds.push(t.openat(&format!("/churn{i}"), OpenFlags::CREAT | OpenFlags::RDWR, 0o644).unwrap());
+            fds.push(
+                t.openat(&format!("/churn{i}"), OpenFlags::CREAT | OpenFlags::RDWR, 0o644).unwrap(),
+            );
         }
         t.write(fds[0], b"x").unwrap();
         let events = tracer.drain(1000);
-        let write_enter = events.iter().find(|e| e.enter && e.syscall == SyscallKind::Write).unwrap();
+        let write_enter =
+            events.iter().find(|e| e.enter && e.syscall == SyscallKind::Write).unwrap();
         assert_eq!(write_enter.fd_name, None, "entry for fd[0] was evicted");
         assert!(tracer.unresolved_path_rate() > 0.0);
     }

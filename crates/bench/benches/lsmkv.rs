@@ -71,9 +71,8 @@ fn bench_get(c: &mut Criterion) {
 }
 
 fn bench_sstable(c: &mut Criterion) {
-    let entries: Vec<(Vec<u8>, Option<Vec<u8>>)> = (0..2_000u64)
-        .map(|i| (format!("key{i:08}").into_bytes(), Some(vec![3u8; 200])))
-        .collect();
+    let entries: Vec<(Vec<u8>, Option<Vec<u8>>)> =
+        (0..2_000u64).map(|i| (format!("key{i:08}").into_bytes(), Some(vec![3u8; 200]))).collect();
     let mut group = c.benchmark_group("sstable");
     group.bench_function("write_2k_entries", |b| {
         let kernel = Kernel::builder().root_disk(DiskProfile::instant()).build();

@@ -26,14 +26,19 @@ fn instant_kernel() -> (Kernel, ThreadCtx, i32) {
 }
 
 fn attach_dio(kernel: &Kernel, config: ProgramConfig) -> Arc<TracerProgram> {
-    let ring = Arc::new(RingBuffer::new(kernel.num_cpus(), RingConfig::with_bytes_per_cpu(8 << 20)));
+    let ring =
+        Arc::new(RingBuffer::new(kernel.num_cpus(), RingConfig::with_bytes_per_cpu(8 << 20)));
     let prog = TracerProgram::new(config, ring);
     kernel.tracepoints().attach(Arc::clone(&prog) as Arc<dyn SyscallProbe>);
     prog
 }
 
 /// One pread64 per iteration; a drain keeps the ring from overflowing.
-fn bench_syscall(c: &mut Criterion, name: &str, setup: impl Fn(&Kernel) -> Option<Arc<TracerProgram>>) {
+fn bench_syscall(
+    c: &mut Criterion,
+    name: &str,
+    setup: impl Fn(&Kernel) -> Option<Arc<TracerProgram>>,
+) {
     c.bench_function(name, |b| {
         let (kernel, t, fd) = instant_kernel();
         let prog = setup(&kernel);

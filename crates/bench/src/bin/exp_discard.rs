@@ -12,9 +12,9 @@
 //!    resolve paths for ≤5% of events; Sysdig for ~45%.
 
 use dio_bench::rocksdb_run::{data_path_syscalls, run_rocksdb, RocksdbRunConfig, TracingSetup};
-use dio_bench::write_result;
+use dio_bench::{write_json_result, write_result};
 use dio_core::correlate_paths;
-use dio_ebpf::RingConfig;
+use dio_ebpf::{RingConfig, RingStats};
 use dio_kernel::Kernel;
 use dio_lsmkv::{Db, LsmOptions};
 use dio_tracer::{Tracer, TracerConfig};
@@ -24,11 +24,9 @@ use dio_viz::Table;
 /// per-CPU buffers actually fill (the paper's consumers lag behind a 549 M
 /// event stream; the scaled run needs an artificially slow consumer to
 /// reach the same regime).
-fn run_with_ring(slots_per_cpu: usize, config: &RocksdbRunConfig) -> (u64, u64, f64) {
-    let kernel = Kernel::builder()
-        .num_cpus(4)
-        .root_disk(dio_bench::rocksdb_run::contended_disk())
-        .build();
+fn run_with_ring(slots_per_cpu: usize, config: &RocksdbRunConfig) -> (u64, u64, f64, RingStats) {
+    let kernel =
+        Kernel::builder().num_cpus(4).root_disk(dio_bench::rocksdb_run::contended_disk()).build();
     let process = kernel.spawn_process("db_bench");
     let db = std::sync::Arc::new(
         Db::open(&process, LsmOptions::benchmark_profile("/db")).expect("open store"),
@@ -60,9 +58,10 @@ fn run_with_ring(slots_per_cpu: usize, config: &RocksdbRunConfig) -> (u64, u64, 
     dio_dbbench::run(&db, &process, &bench);
     let closer = process.spawn_thread("closer");
     db.shutdown(&closer).expect("shutdown");
+    let ring_stats = tracer.ring_stats();
     let summary = tracer.stop();
     let report = correlate_paths(&backend.index("dio-discard"));
-    (summary.events_stored, summary.events_dropped, report.unresolved_rate())
+    (summary.events_stored, summary.events_dropped, report.unresolved_rate(), ring_stats)
 }
 
 fn main() {
@@ -81,20 +80,50 @@ fn main() {
     ];
     let mut rows = Vec::new();
     let mut rates = Vec::new();
+    let mut sweep_stats: Vec<RingStats> = Vec::new();
     for &(slots, label) in sweep {
-        let (stored, dropped, _) = run_with_ring(slots, &config);
+        let (stored, dropped, _, ring_stats) = run_with_ring(slots, &config);
         let rate = dropped as f64 / (stored + dropped).max(1) as f64;
         rates.push(rate);
-        eprintln!("  ring {label}: stored={stored} dropped={dropped} ({:.2}%)", rate * 100.0);
+        eprintln!(
+            "  ring {label}: stored={stored} dropped={dropped} ({:.2}%) skew={:.2}pp",
+            rate * 100.0,
+            ring_stats.drop_skew() * 100.0
+        );
         rows.push(vec![
             label.to_string(),
             stored.to_string(),
             dropped.to_string(),
             format!("{:.2}%", rate * 100.0),
+            format!("{:.1}pp", ring_stats.drop_skew() * 100.0),
         ]);
+        sweep_stats.push(ring_stats);
     }
-    let sweep_table =
-        Table::from_rows(["ring buffer", "events stored", "events dropped", "discard rate"], rows);
+    let sweep_table = Table::from_rows(
+        ["ring buffer", "events stored", "events dropped", "discard rate", "per-CPU skew"],
+        rows,
+    );
+
+    // Per-CPU breakdown of the most drop-prone configuration: drops are NOT
+    // uniform across CPUs — the CPU hosting the busiest producer threads
+    // overflows its buffer first.
+    let worst = &sweep_stats[0];
+    let per_cpu_table = Table::from_rows(
+        ["cpu", "pushed", "dropped", "drop rate", "occupancy HWM"],
+        worst
+            .per_cpu
+            .iter()
+            .map(|c| {
+                vec![
+                    c.cpu.to_string(),
+                    c.pushed.to_string(),
+                    c.dropped.to_string(),
+                    format!("{:.2}%", c.drop_rate() * 100.0),
+                    c.occupancy_hwm.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
 
     // --- 2. unresolved paths: DIO vs sysdig ---
     let dio_result = run_rocksdb(TracingSetup::Dio, &config);
@@ -112,6 +141,12 @@ fn main() {
         rates[0] * 100.0,
         rates.last().unwrap() * 100.0
     ));
+    out.push_str(&format!("Per-CPU drops at the smallest ring ({}):\n", sweep[0].1));
+    out.push_str(&per_cpu_table.to_ascii());
+    out.push_str(&format!(
+        "drop skew (max - min per-CPU drop rate): {:.1}pp\n\n",
+        worst.drop_skew() * 100.0
+    ));
     out.push_str("Unresolved file paths after correlation:\n");
     out.push_str(&format!("  DIO    : {:.1}% of events (paper: <= 5%)\n", dio_unresolved * 100.0));
     out.push_str(&format!(
@@ -120,6 +155,38 @@ fn main() {
     ));
     println!("{out}");
     write_result("discard_rates.txt", &out);
+    write_json_result(
+        "discard_rates.json",
+        "exp_discard",
+        serde_json::json!({
+            "sweep_slots_per_cpu": sweep.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+            "ops_per_thread": config.ops_per_thread,
+            "client_threads": config.client_threads,
+            "records": config.records,
+            "value_size": config.value_size,
+            "seed": config.seed,
+        }),
+        serde_json::json!({
+            "discard_rates": rates.clone(),
+            "sweep": sweep
+                .iter()
+                .zip(&sweep_stats)
+                .map(|(&(slots, _), s)| {
+                    serde_json::json!({
+                        "slots_per_cpu": slots,
+                        "pushed": s.pushed,
+                        "dropped": s.dropped,
+                        "drop_rate": s.drop_rate(),
+                        "drop_skew": s.drop_skew(),
+                        "occupancy_hwm": s.occupancy_hwm,
+                        "per_cpu": s.per_cpu,
+                    })
+                })
+                .collect::<Vec<_>>(),
+            "dio_unresolved_rate": dio_unresolved,
+            "sysdig_unresolved_rate": sysdig_unresolved,
+        }),
+    );
 
     if !dio_bench::smoke_mode() {
         assert!(

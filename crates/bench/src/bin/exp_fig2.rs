@@ -47,7 +47,9 @@ fn run_version(version: FluentBitVersion, fig: &str) -> String {
     ));
     out.push_str(&format!(
         "trace: {} events stored, {} dropped; paths resolved for all but {} events\n",
-        report.trace.events_stored, report.trace.events_dropped, report.correlation.events_unresolved
+        report.trace.events_stored,
+        report.trace.events_dropped,
+        report.correlation.events_unresolved
     ));
 
     // Automated diagnosis.

@@ -32,9 +32,8 @@ fn main() {
     let contention_cfg = ContentionConfig { window_ns, ..ContentionConfig::default() };
     let report = detect_contention(&index, &contention_cfg);
 
-    let mut out = String::from(
-        "FIG. 4: syscalls issued by RocksDB over time, aggregated by thread name\n\n",
-    );
+    let mut out =
+        String::from("FIG. 4: syscalls issued by RocksDB over time, aggregated by thread name\n\n");
     out.push_str(&rendered);
     out.push_str(&format!(
         "\ntrace: {} events stored, {} dropped ({:.2}% discard), {} unresolved paths\n",
@@ -63,7 +62,9 @@ fn main() {
     ));
 
     // Per-window breakdown table (the machine-readable Fig. 4).
-    let mut csv = String::from("window_start_s,client_ops,background_ops,active_compaction_threads,contended\n");
+    let mut csv = String::from(
+        "window_start_s,client_ops,background_ops,active_compaction_threads,contended\n",
+    );
     let t0 = report.windows.first().map_or(0, |w| w.start_ns);
     for w in &report.windows {
         csv.push_str(&format!(

@@ -10,7 +10,7 @@
 //! used against scheduler noise on small hosts.
 
 use dio_bench::rocksdb_run::{run_rocksdb, RocksdbRunConfig, TracingSetup};
-use dio_bench::{format_duration_ns, write_result};
+use dio_bench::{format_duration_ns, write_json_result, write_result};
 use dio_viz::Table;
 
 const RUNS: usize = 3;
@@ -69,9 +69,8 @@ fn main() {
 
     let factors: Vec<f64> = medians.iter().map(|m| m / vanilla_median).collect();
     let ordering_holds = factors[1] < factors[2] && factors[2] < factors[3];
-    let mut out = String::from(
-        "TABLE II: execution time for 3 interleaved runs of RocksDB per setup\n\n",
-    );
+    let mut out =
+        String::from("TABLE II: execution time for 3 interleaved runs of RocksDB per setup\n\n");
     out.push_str(&table.to_ascii());
     out.push_str("\npaper:    vanilla 1.00x | sysdig 1.04x | DIO 1.37x | strace 1.71x\n");
     out.push_str(&format!(
@@ -84,6 +83,25 @@ fn main() {
     ));
     println!("{out}");
     write_result("table2_overhead.txt", &out);
+    write_json_result(
+        "table2_overhead.json",
+        "exp_table2",
+        serde_json::json!({
+            "runs": RUNS,
+            "ops_per_thread": config.ops_per_thread,
+            "client_threads": config.client_threads,
+            "records": config.records,
+            "value_size": config.value_size,
+            "seed": config.seed,
+        }),
+        serde_json::json!({
+            "setups": TracingSetup::ALL.into_iter().map(|s| s.name()).collect::<Vec<_>>(),
+            "median_ns": medians.clone(),
+            "overhead_factors": factors.clone(),
+            "ordering_sysdig_dio_strace_holds": ordering_holds,
+            "times_ns": times.clone(),
+        }),
+    );
 
     if !dio_bench::smoke_mode() {
         assert!(ordering_holds, "Table II overhead ordering must hold: {factors:?}");
@@ -97,9 +115,6 @@ fn main() {
             "DIO factor {:.2} out of plausible range (paper: 1.37)",
             factors[2]
         );
-        assert!(
-            factors[3] > factors[2],
-            "strace must cost more than DIO (paper: 1.71 vs 1.37)"
-        );
+        assert!(factors[3] > factors[2], "strace must cost more than DIO (paper: 1.71 vs 1.37)");
     }
 }

@@ -4,7 +4,11 @@ use dio_baselines::capability_matrix;
 use dio_viz::Table;
 
 fn flag(b: bool) -> String {
-    if b { "+".to_string() } else { "-".to_string() }
+    if b {
+        "+".to_string()
+    } else {
+        "-".to_string()
+    }
 }
 
 fn main() {

@@ -34,6 +34,37 @@ pub fn write_result(name: &str, content: &str) -> PathBuf {
     path
 }
 
+/// A unique-enough run identifier: Unix seconds plus the process id.
+pub fn run_id() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    format!("{}-{}", secs, std::process::id())
+}
+
+/// Writes a machine-readable result document to `results/<name>`:
+/// `{run_id, experiment, smoke, params, metrics}` as pretty JSON.
+///
+/// Every experiment binary pairs this with its human-readable
+/// [`write_result`] output so downstream tooling never has to parse
+/// ASCII tables.
+pub fn write_json_result(
+    name: &str,
+    experiment: &str,
+    params: serde_json::Value,
+    metrics: serde_json::Value,
+) -> PathBuf {
+    let doc = serde_json::json!({
+        "run_id": run_id(),
+        "experiment": experiment,
+        "smoke": smoke_mode(),
+        "params": params,
+        "metrics": metrics,
+    });
+    write_result(name, &serde_json::to_string_pretty(&doc).expect("result serializes"))
+}
+
 /// Formats a nanosecond duration as `XhYYm` / `YmZZs` / `Z.ZZs`.
 pub fn format_duration_ns(ns: u64) -> String {
     let secs = ns as f64 / 1e9;
@@ -65,9 +96,6 @@ mod tests {
     fn duration_formatting() {
         assert_eq!(format_duration_ns(1_500_000_000), "1.50s");
         assert_eq!(format_duration_ns(90 * 1_000_000_000), "1m30s");
-        assert_eq!(
-            format_duration_ns(3 * 3600 * 1_000_000_000 + 48 * 60 * 1_000_000_000),
-            "3h48m"
-        );
+        assert_eq!(format_duration_ns(3 * 3600 * 1_000_000_000 + 48 * 60 * 1_000_000_000), "3h48m");
     }
 }

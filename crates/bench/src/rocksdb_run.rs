@@ -210,9 +210,20 @@ pub fn run_rocksdb(setup: TracingSetup, config: &RocksdbRunConfig) -> RocksdbRun
     }
 
     let db = Arc::new(
-        Db::open(&process, LsmOptions { compaction_threads: config.compaction_threads, ..LsmOptions::benchmark_profile("/db") })
-            .expect("re-open store under tracer"),
+        Db::open(
+            &process,
+            LsmOptions {
+                compaction_threads: config.compaction_threads,
+                ..LsmOptions::benchmark_profile("/db")
+            },
+        )
+        .expect("re-open store under tracer"),
     );
+    if let Some(tracer) = &dio_tracer {
+        // The store's flush/compaction/stall counters join the session's
+        // self-telemetry (lsmkv.* metrics in the health index).
+        db.bind_telemetry(tracer.registry());
+    }
     let syscalls_before = kernel.syscalls_executed();
     let report = run(&db, &process, &bench);
     let syscalls = kernel.syscalls_executed() - syscalls_before;

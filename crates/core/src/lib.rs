@@ -44,8 +44,8 @@ pub use dio_backend::{
 pub use dio_correlate::{
     analyze_offsets, correlate_paths, detect_contention, detect_data_loss, detect_small_io,
     diff_sessions, latency_profile, AccessPattern, ContentionConfig, ContentionReport,
-    CorrelationReport, CountDelta, DataLossIncident, FileAccessProfile, SessionDiff,
-    SmallIoConfig, SmallIoFinding, SyscallLatencyProfile, WindowActivity,
+    CorrelationReport, CountDelta, DataLossIncident, FileAccessProfile, SessionDiff, SmallIoConfig,
+    SmallIoFinding, SyscallLatencyProfile, WindowActivity,
 };
 pub use dio_ebpf::{FilterSpec, RingConfig, RingStats};
 pub use dio_kernel::{
@@ -53,7 +53,10 @@ pub use dio_kernel::{
 };
 pub use dio_syscall::{FileTag, FileType, Pid, SyscallClass, SyscallEvent, SyscallKind, Tid};
 pub use dio_tracer::{generate_session_name, TraceSummary, Tracer, TracerConfig};
-pub use dio_viz::{dashboards, Chart, Column, Dashboard, Heatmap, Panel, PanelSpec, Series, Table};
+pub use dio_viz::{
+    dashboards, render_health_dashboard, Chart, Column, Dashboard, HealthReport, Heatmap, Panel,
+    PanelSpec, Series, Table,
+};
 
 /// The assembled DIO deployment: one kernel under observation plus the
 /// analysis pipeline (backend + visualizer).
@@ -107,12 +110,21 @@ impl Dio {
     }
 
     /// Names of all stored sessions.
+    ///
+    /// Health indices (`dio-telemetry-<session>`) are excluded — use
+    /// [`Dio::telemetry_index`] to reach those.
     pub fn sessions(&self) -> Vec<String> {
         self.backend
             .index_names()
             .into_iter()
+            .filter(|n| !n.starts_with("dio-telemetry-"))
             .filter_map(|n| n.strip_prefix("dio-").map(str::to_string))
             .collect()
+    }
+
+    /// The health-document index of a session, if self-telemetry was on.
+    pub fn telemetry_index(&self, session: &str) -> Option<Arc<Index>> {
+        self.backend.get_index(&format!("dio-telemetry-{session}"))
     }
 }
 

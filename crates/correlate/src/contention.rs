@@ -69,8 +69,7 @@ impl ContentionReport {
     /// Whether the trace exhibits the Fig. 4 signature: contended windows
     /// exist and client throughput drops in them.
     pub fn contention_detected(&self) -> bool {
-        self.windows.iter().any(|w| w.contended)
-            && self.client_ops_contended < self.client_ops_calm
+        self.windows.iter().any(|w| w.contended) && self.client_ops_contended < self.client_ops_calm
     }
 
     /// Client throughput degradation factor (calm / contended mean ops).
@@ -116,22 +115,15 @@ pub fn detect_contention(index: &Index, config: &ContentionConfig) -> Contention
     }
 
     let mean = |contended: bool| {
-        let vals: Vec<u64> = windows
-            .iter()
-            .filter(|w| w.contended == contended)
-            .map(|w| w.client_ops)
-            .collect();
+        let vals: Vec<u64> =
+            windows.iter().filter(|w| w.contended == contended).map(|w| w.client_ops).collect();
         if vals.is_empty() {
             f64::NAN
         } else {
             vals.iter().sum::<u64>() as f64 / vals.len() as f64
         }
     };
-    ContentionReport {
-        client_ops_contended: mean(true),
-        client_ops_calm: mean(false),
-        windows,
-    }
+    ContentionReport { client_ops_contended: mean(true), client_ops_calm: mean(false), windows }
 }
 
 #[cfg(test)]
@@ -145,7 +137,9 @@ mod tests {
         let base = start_s * 1_000_000_000;
         let mut docs = Vec::new();
         for i in 0..clients {
-            docs.push(json!({"proc_name": "db_bench", "time": base + i as u64, "syscall": "write"}));
+            docs.push(
+                json!({"proc_name": "db_bench", "time": base + i as u64, "syscall": "write"}),
+            );
         }
         for t in 0..bg_threads {
             for i in 0..bg_ops_each {

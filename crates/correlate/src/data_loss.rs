@@ -69,10 +69,9 @@ pub fn detect_data_loss(index: &Index) -> Vec<DataLossIncident> {
         let syscall = hit.source["syscall"].as_str().unwrap_or("");
         let ret = hit.source["ret_val"].as_i64().unwrap_or(0);
         match syscall {
-            "write" | "pwrite64"
-                if ret > 0 => {
-                    *writes_per_tag.entry(tag).or_insert(0) += ret as u64;
-                }
+            "write" | "pwrite64" if ret > 0 => {
+                *writes_per_tag.entry(tag).or_insert(0) += ret as u64;
+            }
             "read" | "pread64" => {
                 first_read.entry(tag).or_insert_with(|| {
                     let offset = hit.source["offset"].as_u64().unwrap_or(0);
@@ -112,7 +111,14 @@ mod tests {
     use super::*;
     use serde_json::json;
 
-    fn ev(time: u64, proc: &str, syscall: &str, ret: i64, tag: &str, offset: Option<u64>) -> serde_json::Value {
+    fn ev(
+        time: u64,
+        proc: &str,
+        syscall: &str,
+        ret: i64,
+        tag: &str,
+        offset: Option<u64>,
+    ) -> serde_json::Value {
         let mut doc = json!({
             "time": time, "proc_name": proc, "syscall": syscall,
             "ret_val": ret, "file_tag": tag,

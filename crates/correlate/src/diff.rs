@@ -70,7 +70,13 @@ impl SessionDiff {
         out.push_str("  syscalls (A -> B):\n");
         for d in &self.by_syscall {
             if d.delta() != 0 {
-                out.push_str(&format!("    {:<12} {:>6} -> {:<6} ({:+})\n", d.key, d.a, d.b, d.delta()));
+                out.push_str(&format!(
+                    "    {:<12} {:>6} -> {:<6} ({:+})\n",
+                    d.key,
+                    d.a,
+                    d.b,
+                    d.delta()
+                ));
             }
         }
         if !self.paths_only_a.is_empty() {
@@ -84,9 +90,8 @@ impl SessionDiff {
 }
 
 fn term_counts(index: &Index, field: &str) -> BTreeMap<String, u64> {
-    let res = index.search(
-        &SearchRequest::match_all().size(0).agg("t", Aggregation::terms(field, 10_000)),
-    );
+    let res = index
+        .search(&SearchRequest::match_all().size(0).agg("t", Aggregation::terms(field, 10_000)));
     res.aggs["t"]
         .buckets()
         .iter()
@@ -102,7 +107,8 @@ fn latency_percentiles(index: &Index) -> (f64, f64) {
     );
     match &res.aggs["lat"] {
         AggResult::Percentiles(p) => {
-            let get = |q: f64| p.iter().find(|(x, _)| (*x - q).abs() < 1e-9).map_or(0.0, |(_, v)| *v);
+            let get =
+                |q: f64| p.iter().find(|(x, _)| (*x - q).abs() < 1e-9).map_or(0.0, |(_, v)| *v);
             (get(50.0), get(99.0))
         }
         _ => (0.0, 0.0),

@@ -56,7 +56,10 @@ pub fn analyze_offsets(index: &Index) -> Vec<FileAccessProfile> {
             Query::bool_query()
                 .must(Query::exists("file_tag"))
                 .must(Query::exists("offset"))
-                .must(Query::terms("syscall", ["read", "write", "pread64", "pwrite64", "readv", "writev"]))
+                .must(Query::terms(
+                    "syscall",
+                    ["read", "write", "pread64", "pwrite64", "readv", "writev"],
+                ))
                 .build(),
         )
         .sort_by("time", SortOrder::Asc)
@@ -135,7 +138,11 @@ pub fn analyze_offsets(index: &Index) -> Vec<FileAccessProfile> {
                 writes: acc.writes,
                 bytes: acc.bytes,
                 sequential_fraction,
-                mean_request_bytes: if acc.ops == 0 { 0.0 } else { acc.bytes as f64 / acc.ops as f64 },
+                mean_request_bytes: if acc.ops == 0 {
+                    0.0
+                } else {
+                    acc.bytes as f64 / acc.ops as f64
+                },
                 pattern,
             }
         })
@@ -176,7 +183,11 @@ mod tests {
         let idx = Index::new("t");
         let offsets = [500u64, 0, 900, 100, 42, 7000, 3, 666];
         idx.bulk(
-            offsets.iter().enumerate().map(|(i, &o)| ev(i as u64, "pread64", "1|2|1", o, 10)).collect(),
+            offsets
+                .iter()
+                .enumerate()
+                .map(|(i, &o)| ev(i as u64, "pread64", "1|2|1", o, 10))
+                .collect(),
         );
         let p = &analyze_offsets(&idx)[0];
         assert_eq!(p.pattern, AccessPattern::Random);

@@ -95,9 +95,8 @@ pub fn detect_small_io(index: &Index, config: &SmallIoConfig) -> Vec<SmallIoFind
         })
         .filter(|f| f.small_fraction() >= config.flag_fraction)
         .collect();
-    findings.sort_by(|a, b| {
-        b.small_fraction().total_cmp(&a.small_fraction()).then(b.ops.cmp(&a.ops))
-    });
+    findings
+        .sort_by(|a, b| b.small_fraction().total_cmp(&a.small_fraction()).then(b.ops.cmp(&a.ops)));
     findings
 }
 
@@ -213,10 +212,7 @@ mod tests {
     #[test]
     fn failed_and_zero_byte_ops_ignored() {
         let idx = Index::new("t");
-        idx.bulk(vec![
-            data_ev("read", 0, "/eof", 10),
-            data_ev("read", -9, "/bad", 10),
-        ]);
+        idx.bulk(vec![data_ev("read", 0, "/eof", 10), data_ev("read", -9, "/bad", 10)]);
         let cfg = SmallIoConfig { min_ops: 1, ..Default::default() };
         assert!(detect_small_io(&idx, &cfg).is_empty());
     }

@@ -92,7 +92,12 @@ impl BenchReport {
 /// # Errors
 ///
 /// Propagates kernel errors from the store.
-pub fn load_phase(db: &Arc<Db>, process: &Process, config: &BenchConfig, threads: usize) -> SysResult<()> {
+pub fn load_phase(
+    db: &Arc<Db>,
+    process: &Process,
+    config: &BenchConfig,
+    threads: usize,
+) -> SysResult<()> {
     let threads = threads.max(1);
     let per = config.records.div_ceil(threads as u64);
     let mut handles = Vec::new();
@@ -138,8 +143,11 @@ pub fn run(db: &Arc<Db>, process: &Process, config: &BenchConfig) -> BenchReport
         let errors = Arc::clone(&errors);
         let clock = clock.clone();
         handles.push(std::thread::spawn(move || {
-            let mut keys =
-                KeyGenerator::new(config.records, config.key_dist.clone(), config.seed + 100 + t as u64);
+            let mut keys = KeyGenerator::new(
+                config.records,
+                config.key_dist.clone(),
+                config.seed + 100 + t as u64,
+            );
             let mut values = ValueGenerator::new(config.value_size, config.seed + 200 + t as u64);
             let mut op_rng = SmallRng::seed_from_u64(config.seed + 300 + t as u64);
             let mut recorder = WindowedLatency::new(config.window_ns);
@@ -170,8 +178,7 @@ pub fn run(db: &Arc<Db>, process: &Process, config: &BenchConfig) -> BenchReport
                     }
                     Operation::ReadModifyWrite => {
                         let key = keys.next_key();
-                        db.get(&ctx, &key)
-                            .and_then(|_| db.put(&ctx, &key, &values.next_value()))
+                        db.get(&ctx, &key).and_then(|_| db.put(&ctx, &key, &values.next_value()))
                     }
                 };
                 let t1 = clock.now_ns();
@@ -276,8 +283,8 @@ mod tests {
         assert_eq!(report.errors, 0);
         // Some inserts landed beyond the initial keyspace.
         let client = process.spawn_thread("check");
-        let found = (100..120u64)
-            .any(|i| db.get(&client, &KeyGenerator::key_for(i)).unwrap().is_some());
+        let found =
+            (100..120u64).any(|i| db.get(&client, &KeyGenerator::key_for(i)).unwrap().is_some());
         assert!(found, "YCSB-D inserts new records");
         db.shutdown(&client).unwrap();
     }

@@ -88,11 +88,12 @@ impl FilterSpec {
         match &self.path_prefixes {
             None => true,
             Some(prefixes) => prefixes.iter().any(|p| {
-                path == p || (path.starts_with(p.as_str()) && {
-                    // Prefixes are directory-ish: "/log" matches "/log/x"
-                    // but not "/logfile".
-                    p.ends_with('/') || path.as_bytes().get(p.len()) == Some(&b'/')
-                })
+                path == p
+                    || (path.starts_with(p.as_str()) && {
+                        // Prefixes are directory-ish: "/log" matches "/log/x"
+                        // but not "/logfile".
+                        p.ends_with('/') || path.as_bytes().get(p.len()) == Some(&b'/')
+                    })
             }),
         }
     }
@@ -158,7 +159,13 @@ mod tests {
         }
     }
 
-    fn enter(kind: SyscallKind, pid: u32, tid: u32, path: Option<&'static str>, fd: Option<i32>) -> EnterEvent<'static> {
+    fn enter(
+        kind: SyscallKind,
+        pid: u32,
+        tid: u32,
+        path: Option<&'static str>,
+        fd: Option<i32>,
+    ) -> EnterEvent<'static> {
         EnterEvent {
             kind,
             pid: Pid(pid),

@@ -8,15 +8,14 @@
 //! it into the per-CPU ring buffer without ever blocking.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use dio_kernel::{EnterEvent, ExitEvent, KernelInspect, SyscallProbe};
-use dio_syscall::{
-    Arg, FileTag, FileType, Pid, SyscallEvent, SyscallKind, SyscallSet, Tid,
-};
+use dio_syscall::{Arg, FileTag, FileType, Pid, SyscallEvent, SyscallKind, SyscallSet, Tid};
+use dio_telemetry::{Counter, Gauge, MetricsRegistry};
 
 use crate::filter::FilterSpec;
 use crate::ring::RingBuffer;
@@ -144,6 +143,17 @@ struct Pending {
 
 const JOIN_SHARDS: usize = 16;
 
+/// Telemetry handles updated on the program's hot paths once
+/// [`TracerProgram::bind_telemetry`] is called.
+#[derive(Debug)]
+struct ProgramTelemetry {
+    accepted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    join_inserted: Arc<Counter>,
+    join_overflow: Arc<Counter>,
+    join_occupancy: Arc<Gauge>,
+}
+
 /// Kernel-side tracer program. Attach with
 /// [`dio_kernel::TracepointRegistry::attach`].
 pub struct TracerProgram {
@@ -155,6 +165,7 @@ pub struct TracerProgram {
     filtered: AtomicU64,
     join_overflow: AtomicU64,
     emitted: AtomicU64,
+    telemetry: OnceLock<ProgramTelemetry>,
 }
 
 impl std::fmt::Debug for TracerProgram {
@@ -179,7 +190,8 @@ fn spin_ns(ns: u64) {
 impl TracerProgram {
     /// Creates a program emitting into `ring`.
     pub fn new(config: ProgramConfig, ring: Arc<RingBuffer<RawEvent>>) -> Arc<Self> {
-        let pending = (0..JOIN_SHARDS).map(|_| Mutex::new(std::collections::HashMap::new())).collect();
+        let pending =
+            (0..JOIN_SHARDS).map(|_| Mutex::new(std::collections::HashMap::new())).collect();
         Arc::new(TracerProgram {
             config,
             ring,
@@ -189,7 +201,23 @@ impl TracerProgram {
             filtered: AtomicU64::new(0),
             join_overflow: AtomicU64::new(0),
             emitted: AtomicU64::new(0),
+            telemetry: OnceLock::new(),
         })
+    }
+
+    /// Registers the program's metrics (`ebpf.filter.accepted` /
+    /// `.rejected`, `ebpf.join.inserted` / `.overflow` / `.occupancy`)
+    /// with `registry` and binds the ring buffer's metrics too. Binding
+    /// twice is a no-op.
+    pub fn bind_telemetry(&self, registry: &MetricsRegistry) {
+        let _ = self.telemetry.set(ProgramTelemetry {
+            accepted: registry.counter("ebpf.filter.accepted"),
+            rejected: registry.counter("ebpf.filter.rejected"),
+            join_inserted: registry.counter("ebpf.join.inserted"),
+            join_overflow: registry.counter("ebpf.join.overflow"),
+            join_occupancy: registry.gauge("ebpf.join.occupancy"),
+        });
+        self.ring.bind_telemetry(registry);
     }
 
     /// The ring buffer this program produces into.
@@ -225,11 +253,20 @@ impl SyscallProbe for TracerProgram {
         spin_ns(self.config.enter_cost_ns);
         if !self.config.filter.admits(view, event) {
             self.filtered.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = self.telemetry.get() {
+                t.rejected.inc();
+            }
             return;
         }
         self.admitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = self.telemetry.get() {
+            t.accepted.inc();
+        }
         if self.pending_len() >= self.config.join_capacity {
             self.join_overflow.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = self.telemetry.get() {
+                t.join_overflow.inc();
+            }
             return;
         }
         let mut p = Pending {
@@ -277,7 +314,11 @@ impl SyscallProbe for TracerProgram {
             }
         }
         if self.shard(event.tid).lock().insert(event.tid, p).is_none() {
-            self.pending_count.fetch_add(1, Ordering::Relaxed);
+            let occupancy = self.pending_count.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(t) = self.telemetry.get() {
+                t.join_inserted.inc();
+                t.join_occupancy.set(occupancy);
+            }
         }
     }
 
@@ -286,7 +327,10 @@ impl SyscallProbe for TracerProgram {
         let Some(mut p) = self.shard(event.tid).lock().remove(&event.tid) else {
             return; // filtered at entry, or join-map overflow
         };
-        self.pending_count.fetch_sub(1, Ordering::Relaxed);
+        let occupancy = self.pending_count.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+        if let Some(t) = self.telemetry.get() {
+            t.join_occupancy.set(occupancy);
+        }
         if p.kind != event.kind {
             return; // mismatched enter/exit (should not happen)
         }
@@ -332,7 +376,8 @@ mod tests {
     }
 
     fn attach(kernel: &Kernel, config: ProgramConfig) -> Arc<TracerProgram> {
-        let ring = Arc::new(RingBuffer::new(kernel.num_cpus(), RingConfig::with_bytes_per_cpu(1 << 20)));
+        let ring =
+            Arc::new(RingBuffer::new(kernel.num_cpus(), RingConfig::with_bytes_per_cpu(1 << 20)));
         let prog = TracerProgram::new(config, ring);
         kernel.tracepoints().attach(Arc::clone(&prog) as Arc<dyn SyscallProbe>);
         prog

@@ -6,8 +6,11 @@
 //! exactly this (3.5% of 549 M events dropped at 256 MiB/CPU).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use crossbeam::queue::ArrayQueue;
+
+use dio_telemetry::{Counter, Gauge, MetricsRegistry};
 
 /// Sizing for the per-CPU buffers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -36,8 +39,35 @@ impl RingConfig {
     }
 }
 
+/// Counters for a single CPU's buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CpuRingStats {
+    /// The CPU index.
+    pub cpu: u32,
+    /// Events successfully produced into this CPU's buffer.
+    pub pushed: u64,
+    /// Events taken out by the consumer.
+    pub consumed: u64,
+    /// Events dropped because this CPU's buffer was full.
+    pub dropped: u64,
+    /// Highest occupancy (queued events) this buffer ever reached.
+    pub occupancy_hwm: u64,
+}
+
+impl CpuRingStats {
+    /// Fraction of this CPU's produced-or-dropped events that were dropped.
+    pub fn drop_rate(&self) -> f64 {
+        let total = self.pushed + self.dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / total as f64
+        }
+    }
+}
+
 /// Counters describing ring-buffer behaviour over a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RingStats {
     /// Events successfully produced into some CPU buffer.
     pub pushed: u64,
@@ -45,6 +75,10 @@ pub struct RingStats {
     pub consumed: u64,
     /// Events dropped because the target CPU buffer was full.
     pub dropped: u64,
+    /// Highest occupancy any single CPU buffer ever reached.
+    pub occupancy_hwm: u64,
+    /// Per-CPU breakdown, indexed by CPU.
+    pub per_cpu: Vec<CpuRingStats>,
 }
 
 impl RingStats {
@@ -57,6 +91,39 @@ impl RingStats {
             self.dropped as f64 / total as f64
         }
     }
+
+    /// Spread between the busiest and quietest CPU's drop rate — nonzero
+    /// when the consumer's round-robin draining or a skewed producer load
+    /// penalizes some CPUs more than others.
+    pub fn drop_skew(&self) -> f64 {
+        let rates: Vec<f64> = self.per_cpu.iter().map(CpuRingStats::drop_rate).collect();
+        match (
+            rates.iter().cloned().fold(f64::INFINITY, f64::min),
+            rates.iter().cloned().fold(0.0f64, f64::max),
+        ) {
+            (min, max) if min.is_finite() => max - min,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Telemetry handles the ring updates on its hot paths once
+/// [`RingBuffer::bind_telemetry`] is called.
+#[derive(Debug)]
+struct RingTelemetry {
+    pushed: Arc<Counter>,
+    dropped: Arc<Counter>,
+    consumed: Arc<Counter>,
+    occupancy_hwm: Arc<Gauge>,
+}
+
+/// Per-queue counters backing [`CpuRingStats`].
+#[derive(Debug, Default)]
+struct CpuCounters {
+    pushed: AtomicU64,
+    consumed: AtomicU64,
+    dropped: AtomicU64,
+    occupancy_hwm: AtomicU64,
 }
 
 /// A set of per-CPU bounded queues with drop accounting.
@@ -74,9 +141,8 @@ impl RingStats {
 #[derive(Debug)]
 pub struct RingBuffer<T> {
     queues: Vec<ArrayQueue<T>>,
-    pushed: AtomicU64,
-    consumed: AtomicU64,
-    dropped: AtomicU64,
+    counters: Vec<CpuCounters>,
+    telemetry: OnceLock<RingTelemetry>,
 }
 
 impl<T> RingBuffer<T> {
@@ -87,12 +153,24 @@ impl<T> RingBuffer<T> {
 
     /// Creates per-CPU buffers with an explicit slot count.
     pub fn with_slots(num_cpus: u32, slots_per_cpu: usize) -> Self {
+        let n = num_cpus.max(1) as usize;
         RingBuffer {
-            queues: (0..num_cpus.max(1)).map(|_| ArrayQueue::new(slots_per_cpu.max(1))).collect(),
-            pushed: AtomicU64::new(0),
-            consumed: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
+            queues: (0..n).map(|_| ArrayQueue::new(slots_per_cpu.max(1))).collect(),
+            counters: (0..n).map(|_| CpuCounters::default()).collect(),
+            telemetry: OnceLock::new(),
         }
+    }
+
+    /// Registers the ring's metrics (`ebpf.ring.pushed` / `.dropped` /
+    /// `.consumed` / `.occupancy_hwm`) with `registry`; the hot paths
+    /// update them lock-free from then on. Binding twice is a no-op.
+    pub fn bind_telemetry(&self, registry: &MetricsRegistry) {
+        let _ = self.telemetry.set(RingTelemetry {
+            pushed: registry.counter("ebpf.ring.pushed"),
+            dropped: registry.counter("ebpf.ring.dropped"),
+            consumed: registry.counter("ebpf.ring.consumed"),
+            occupancy_hwm: registry.gauge("ebpf.ring.occupancy_hwm"),
+        });
     }
 
     /// Number of per-CPU queues.
@@ -100,25 +178,52 @@ impl<T> RingBuffer<T> {
         self.queues.len() as u32
     }
 
+    /// Events currently queued across all CPU buffers.
+    pub fn occupancy(&self) -> u64 {
+        self.queues.iter().map(|q| q.len() as u64).sum()
+    }
+
     /// Non-blocking push from CPU `cpu`. On overflow the event is dropped
     /// and counted; the producer never waits.
     pub fn try_push(&self, cpu: u32, item: T) -> bool {
-        let q = &self.queues[cpu as usize % self.queues.len()];
+        let slot = cpu as usize % self.queues.len();
+        let q = &self.queues[slot];
+        let counters = &self.counters[slot];
         match q.push(item) {
             Ok(()) => {
-                self.pushed.fetch_add(1, Ordering::Relaxed);
+                counters.pushed.fetch_add(1, Ordering::Relaxed);
+                let occupancy = q.len() as u64;
+                counters.occupancy_hwm.fetch_max(occupancy, Ordering::Relaxed);
+                if let Some(t) = self.telemetry.get() {
+                    t.pushed.inc();
+                    t.occupancy_hwm.set_max(occupancy);
+                }
                 true
             }
             Err(_) => {
-                self.dropped.fetch_add(1, Ordering::Relaxed);
+                counters.dropped.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = self.telemetry.get() {
+                    t.dropped.inc();
+                }
                 false
             }
         }
     }
 
+    fn count_consumed(&self, slot: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counters[slot].consumed.fetch_add(n, Ordering::Relaxed);
+        if let Some(t) = self.telemetry.get() {
+            t.consumed.add(n);
+        }
+    }
+
     /// Pops up to `max` events from CPU `cpu`'s buffer.
     pub fn drain(&self, cpu: u32, max: usize) -> Vec<T> {
-        let q = &self.queues[cpu as usize % self.queues.len()];
+        let slot = cpu as usize % self.queues.len();
+        let q = &self.queues[slot];
         let mut out = Vec::new();
         while out.len() < max {
             match q.pop() {
@@ -126,21 +231,25 @@ impl<T> RingBuffer<T> {
                 None => break,
             }
         }
-        self.consumed.fetch_add(out.len() as u64, Ordering::Relaxed);
+        self.count_consumed(slot, out.len() as u64);
         out
     }
 
     /// Pops up to `max` events across all CPU buffers, round-robin.
     pub fn drain_all(&self, max: usize) -> Vec<T> {
         let mut out = Vec::new();
+        let mut taken = vec![0u64; self.queues.len()];
         'outer: loop {
             let mut empty = 0;
-            for q in &self.queues {
+            for (slot, q) in self.queues.iter().enumerate() {
                 if out.len() >= max {
                     break 'outer;
                 }
                 match q.pop() {
-                    Some(item) => out.push(item),
+                    Some(item) => {
+                        out.push(item);
+                        taken[slot] += 1;
+                    }
                     None => empty += 1,
                 }
             }
@@ -148,7 +257,9 @@ impl<T> RingBuffer<T> {
                 break;
             }
         }
-        self.consumed.fetch_add(out.len() as u64, Ordering::Relaxed);
+        for (slot, n) in taken.into_iter().enumerate() {
+            self.count_consumed(slot, n);
+        }
         out
     }
 
@@ -157,12 +268,26 @@ impl<T> RingBuffer<T> {
         self.queues.iter().all(|q| q.is_empty())
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot, with the per-CPU breakdown.
     pub fn stats(&self) -> RingStats {
+        let per_cpu: Vec<CpuRingStats> = self
+            .counters
+            .iter()
+            .enumerate()
+            .map(|(cpu, c)| CpuRingStats {
+                cpu: cpu as u32,
+                pushed: c.pushed.load(Ordering::Relaxed),
+                consumed: c.consumed.load(Ordering::Relaxed),
+                dropped: c.dropped.load(Ordering::Relaxed),
+                occupancy_hwm: c.occupancy_hwm.load(Ordering::Relaxed),
+            })
+            .collect();
         RingStats {
-            pushed: self.pushed.load(Ordering::Relaxed),
-            consumed: self.consumed.load(Ordering::Relaxed),
-            dropped: self.dropped.load(Ordering::Relaxed),
+            pushed: per_cpu.iter().map(|c| c.pushed).sum(),
+            consumed: per_cpu.iter().map(|c| c.consumed).sum(),
+            dropped: per_cpu.iter().map(|c| c.dropped).sum(),
+            occupancy_hwm: per_cpu.iter().map(|c| c.occupancy_hwm).max().unwrap_or(0),
+            per_cpu,
         }
     }
 }

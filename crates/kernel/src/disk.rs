@@ -61,7 +61,12 @@ impl DiskProfile {
     /// An infinitely fast device — useful for unit tests that should not
     /// spend wall-clock time waiting on the disk model.
     pub fn instant() -> Self {
-        DiskProfile { read_bw_bps: u64::MAX, write_bw_bps: u64::MAX, base_latency_ns: 0, flush_latency_ns: 0 }
+        DiskProfile {
+            read_bw_bps: u64::MAX,
+            write_bw_bps: u64::MAX,
+            base_latency_ns: 0,
+            flush_latency_ns: 0,
+        }
     }
 
     fn service_ns(&self, op: DiskOp, bytes: u64) -> u64 {
@@ -209,7 +214,12 @@ mod tests {
 
     #[test]
     fn service_time_scales_with_bytes() {
-        let p = DiskProfile { read_bw_bps: 1_000_000_000, write_bw_bps: 1_000_000_000, base_latency_ns: 100, flush_latency_ns: 5 };
+        let p = DiskProfile {
+            read_bw_bps: 1_000_000_000,
+            write_bw_bps: 1_000_000_000,
+            base_latency_ns: 100,
+            flush_latency_ns: 5,
+        };
         assert_eq!(p.service_ns(DiskOp::Read, 1_000), 100 + 1_000);
         assert_eq!(p.service_ns(DiskOp::Write, 0), 100);
         assert_eq!(p.service_ns(DiskOp::Flush, 123), 5);
@@ -219,7 +229,12 @@ mod tests {
     fn access_blocks_for_service_time() {
         let clock = SimClock::new();
         // 1 MiB/ms => 1 GiB/s; 512 KiB write ~ 0.5 ms + base.
-        let p = DiskProfile { read_bw_bps: 1 << 30, write_bw_bps: 1 << 30, base_latency_ns: 100_000, flush_latency_ns: 0 };
+        let p = DiskProfile {
+            read_bw_bps: 1 << 30,
+            write_bw_bps: 1 << 30,
+            base_latency_ns: 100_000,
+            flush_latency_ns: 0,
+        };
         let d = Disk::new(0, p, clock.clone());
         let t0 = clock.now_ns();
         d.access(DiskOp::Write, 512 * 1024);
@@ -230,7 +245,12 @@ mod tests {
     #[test]
     fn concurrent_access_queues_fcfs() {
         let clock = SimClock::new();
-        let p = DiskProfile { read_bw_bps: 1 << 30, write_bw_bps: 1 << 30, base_latency_ns: 200_000, flush_latency_ns: 0 };
+        let p = DiskProfile {
+            read_bw_bps: 1 << 30,
+            write_bw_bps: 1 << 30,
+            base_latency_ns: 200_000,
+            flush_latency_ns: 0,
+        };
         let d = Arc::new(Disk::new(0, p, clock.clone()));
         let t0 = clock.now_ns();
         let handles: Vec<_> = (0..4)

@@ -96,7 +96,12 @@ pub struct OpenFile {
 }
 
 impl OpenFile {
-    pub(crate) fn new(vfs: Arc<Vfs>, inode: Arc<Inode>, flags: OpenFlags, path: String) -> Arc<Self> {
+    pub(crate) fn new(
+        vfs: Arc<Vfs>,
+        inode: Arc<Inode>,
+        flags: OpenFlags,
+        path: String,
+    ) -> Arc<Self> {
         vfs.inc_open(&inode);
         Arc::new(OpenFile { vfs, inode, offset: Mutex::new(0), flags, path })
     }

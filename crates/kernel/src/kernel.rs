@@ -2,11 +2,12 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Mutex, RwLock};
 
-use dio_syscall::{Pid, Tid};
+use dio_syscall::{Pid, SyscallClass, SyscallKind, Tid};
+use dio_telemetry::{Counter, MetricsRegistry};
 
 use crate::clock::SimClock;
 use crate::disk::DiskProfile;
@@ -63,7 +64,8 @@ impl Process {
     pub fn spawn_thread(&self, comm: impl Into<String>) -> ThreadCtx {
         let tid = Tid(self.kernel.inner.next_tid.fetch_add(1, Ordering::Relaxed));
         self.inner.threads.lock().push(tid);
-        let cpu = self.kernel.inner.next_cpu.fetch_add(1, Ordering::Relaxed) % self.kernel.inner.num_cpus;
+        let cpu =
+            self.kernel.inner.next_cpu.fetch_add(1, Ordering::Relaxed) % self.kernel.inner.num_cpus;
         ThreadCtx::new(self.kernel.clone(), Arc::clone(&self.inner), tid, comm.into(), cpu)
     }
 
@@ -92,6 +94,24 @@ impl Process {
     }
 }
 
+/// Telemetry handles updated on every syscall dispatch once
+/// [`Kernel::bind_telemetry`] is called.
+#[derive(Debug)]
+struct KernelTelemetry {
+    dispatched: Arc<Counter>,
+    /// Per-class counters, indexed by [`class_slot`].
+    by_class: [Arc<Counter>; 4],
+}
+
+fn class_slot(class: SyscallClass) -> usize {
+    match class {
+        SyscallClass::Data => 0,
+        SyscallClass::Metadata => 1,
+        SyscallClass::ExtendedAttributes => 2,
+        SyscallClass::DirectoryManagement => 3,
+    }
+}
+
 pub(crate) struct KernelState {
     clock: SimClock,
     /// Mount table: `(prefix, vfs)`, longest prefix wins. `/` is always last.
@@ -103,6 +123,7 @@ pub(crate) struct KernelState {
     next_tid: AtomicU32,
     next_cpu: AtomicU32,
     syscalls_executed: AtomicU64,
+    telemetry: OnceLock<KernelTelemetry>,
 }
 
 /// Handle to the simulated kernel. Cloning is cheap and shares state.
@@ -176,6 +197,7 @@ impl KernelBuilder {
                 next_tid: AtomicU32::new(1000),
                 next_cpu: AtomicU32::new(0),
                 syscalls_executed: AtomicU64::new(0),
+                telemetry: OnceLock::new(),
             }),
         }
     }
@@ -212,8 +234,27 @@ impl Kernel {
         self.inner.syscalls_executed.load(Ordering::Relaxed)
     }
 
-    pub(crate) fn count_syscall(&self) {
+    pub(crate) fn count_syscall(&self, kind: SyscallKind) {
         self.inner.syscalls_executed.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = self.inner.telemetry.get() {
+            t.dispatched.inc();
+            t.by_class[class_slot(kind.class())].inc();
+        }
+    }
+
+    /// Registers the kernel's dispatch metrics (`kernel.syscalls.dispatched`
+    /// and `kernel.syscalls.class.<class>`) with `registry`. Binding twice
+    /// is a no-op.
+    pub fn bind_telemetry(&self, registry: &MetricsRegistry) {
+        let _ = self.inner.telemetry.set(KernelTelemetry {
+            dispatched: registry.counter("kernel.syscalls.dispatched"),
+            by_class: [
+                registry.counter("kernel.syscalls.class.data"),
+                registry.counter("kernel.syscalls.class.metadata"),
+                registry.counter("kernel.syscalls.class.extended_attributes"),
+                registry.counter("kernel.syscalls.class.directory_management"),
+            ],
+        });
     }
 
     /// Mounts a file system at `prefix` (e.g. `/log`). Longest prefix wins
@@ -259,7 +300,8 @@ impl Kernel {
                 path == prefix || path.starts_with(&format!("{prefix}/"))
             };
             if matched {
-                let inner = if prefix == "/" { path.to_string() } else { path[prefix.len()..].to_string() };
+                let inner =
+                    if prefix == "/" { path.to_string() } else { path[prefix.len()..].to_string() };
                 let inner = if inner.is_empty() { "/".to_string() } else { inner };
                 return Ok((Arc::clone(vfs), inner));
             }
@@ -301,9 +343,7 @@ impl Kernel {
     /// exited, as they would after reaping).
     pub fn all_exited(&self, pids: &[Pid]) -> bool {
         let processes = self.inner.processes.lock();
-        pids.iter().all(|pid| {
-            processes.get(pid).is_none_or(|p| p.exited.load(Ordering::Acquire))
-        })
+        pids.iter().all(|pid| processes.get(pid).is_none_or(|p| p.exited.load(Ordering::Acquire)))
     }
 
     /// An inspector implementing [`KernelInspect`] for probes.
@@ -403,7 +443,9 @@ mod tests {
         let k = fast_kernel();
         let p = k.spawn_process("app");
         let t = p.spawn_thread("app");
-        let fd = t.openat("/f", crate::fd::OpenFlags::CREAT | crate::fd::OpenFlags::RDWR, 0o644).unwrap();
+        let fd = t
+            .openat("/f", crate::fd::OpenFlags::CREAT | crate::fd::OpenFlags::RDWR, 0o644)
+            .unwrap();
         t.write(fd, b"abcd").unwrap();
         let view = k.inspector();
         let info = KernelInspect::fd_info(&view, p.pid(), fd).unwrap();

@@ -97,7 +97,7 @@ impl ThreadCtx {
         fd: Option<i32>,
         op: impl FnOnce() -> SysResult<(i64, T)>,
     ) -> SysResult<T> {
-        self.kernel.count_syscall();
+        self.kernel.count_syscall(kind);
         let registry = self.kernel.tracepoints();
         if !registry.is_traced(kind) {
             return op().map(|(_, v)| v);
@@ -152,7 +152,9 @@ impl ThreadCtx {
         if inode.file_type() == FileType::Directory && flags.writable() {
             return Err(Errno::EISDIR);
         }
-        if flags.contains(OpenFlags::TRUNC) && flags.writable() && inode.file_type() == FileType::Regular
+        if flags.contains(OpenFlags::TRUNC)
+            && flags.writable()
+            && inode.file_type() == FileType::Regular
         {
             vfs.truncate(&inode, 0)?;
         }
@@ -168,11 +170,8 @@ impl ThreadCtx {
     ///
     /// `ENOENT`, `EEXIST` (with `O_CREAT|O_EXCL`), `EISDIR`, `EINVAL`.
     pub fn open(&self, path: &str, flags: OpenFlags, mode: u32) -> SysResult<i32> {
-        let args = vec![
-            Arg::new("path", path),
-            Arg::new("flags", flags.bits()),
-            Arg::new("mode", mode),
-        ];
+        let args =
+            vec![Arg::new("path", path), Arg::new("flags", flags.bits()), Arg::new("mode", mode)];
         self.invoke(SyscallKind::Open, args, Some(path), None, || self.do_open(path, flags))
     }
 
@@ -382,8 +381,7 @@ impl ThreadCtx {
     ///
     /// `EBADF`; `EINVAL` on non-regular files.
     pub fn readahead(&self, fd: i32, offset: u64, count: usize) -> SysResult<()> {
-        let args =
-            vec![Arg::new("fd", fd), Arg::new("offset", offset), Arg::new("count", count)];
+        let args = vec![Arg::new("fd", fd), Arg::new("offset", offset), Arg::new("count", count)];
         self.invoke(SyscallKind::Readahead, args, None, Some(fd), || {
             let file = self.file(fd)?;
             if file.inode().file_type() != FileType::Regular {
@@ -601,7 +599,11 @@ impl ThreadCtx {
 
     // --------------------------------------------------------------- xattr
 
-    fn xattr_target(&self, path: &str, follow: bool) -> SysResult<(Arc<Vfs>, Arc<crate::vfs::Inode>)> {
+    fn xattr_target(
+        &self,
+        path: &str,
+        follow: bool,
+    ) -> SysResult<(Arc<Vfs>, Arc<crate::vfs::Inode>)> {
         let (vfs, inner) = self.resolve(path)?;
         let inode = vfs.lookup(&inner, follow)?;
         Ok((vfs, inode))
@@ -685,8 +687,7 @@ impl ThreadCtx {
     ///
     /// `EBADF`; `EINVAL`.
     pub fn fsetxattr(&self, fd: i32, name: &str, value: &[u8]) -> SysResult<()> {
-        let args =
-            vec![Arg::new("fd", fd), Arg::new("name", name), Arg::new("size", value.len())];
+        let args = vec![Arg::new("fd", fd), Arg::new("name", name), Arg::new("size", value.len())];
         self.invoke(SyscallKind::Fsetxattr, args, None, Some(fd), || {
             let file = self.file(fd)?;
             file.vfs().setxattr(file.inode(), name, value)?;
@@ -835,8 +836,7 @@ impl ThreadCtx {
     ///
     /// As [`ThreadCtx::mkdir`].
     pub fn mkdirat(&self, path: &str, mode: u32) -> SysResult<()> {
-        let args =
-            vec![Arg::new("dfd", AT_FDCWD), Arg::new("path", path), Arg::new("mode", mode)];
+        let args = vec![Arg::new("dfd", AT_FDCWD), Arg::new("path", path), Arg::new("mode", mode)];
         self.invoke(SyscallKind::Mkdirat, args, Some(path), None, || {
             let (vfs, inner) = self.resolve(path)?;
             vfs.mkdir(&inner)?;
@@ -927,7 +927,9 @@ mod tests {
     #[test]
     fn append_mode() {
         let t = thread();
-        let fd = t.openat("/log", OpenFlags::CREAT | OpenFlags::WRONLY | OpenFlags::APPEND, 0o644).unwrap();
+        let fd = t
+            .openat("/log", OpenFlags::CREAT | OpenFlags::WRONLY | OpenFlags::APPEND, 0o644)
+            .unwrap();
         t.write(fd, b"aa").unwrap();
         // Even after seeking back, append writes land at EOF.
         t.lseek(fd, 0, Whence::Set).unwrap();

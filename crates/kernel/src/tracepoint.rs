@@ -282,7 +282,14 @@ mod tests {
         reg.attach(Arc::clone(&b) as Arc<dyn SyscallProbe>);
         reg.dispatch_exit(
             &NullView,
-            &ExitEvent { kind: SyscallKind::Close, pid: Pid(1), tid: Tid(1), cpu: 0, time_ns: 0, ret: 0 },
+            &ExitEvent {
+                kind: SyscallKind::Close,
+                pid: Pid(1),
+                tid: Tid(1),
+                cpu: 0,
+                time_ns: 0,
+                ret: 0,
+            },
         );
         assert_eq!(a.exits.load(Ordering::Relaxed), 1);
         assert_eq!(b.exits.load(Ordering::Relaxed), 1);

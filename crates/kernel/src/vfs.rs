@@ -181,7 +181,11 @@ impl Vfs {
             dev,
             disk,
             clock,
-            inodes: Mutex::new(InodeTable { map: HashMap::new(), free: BinaryHeap::new(), next: 1 }),
+            inodes: Mutex::new(InodeTable {
+                map: HashMap::new(),
+                free: BinaryHeap::new(),
+                next: 1,
+            }),
             root_ino: 1,
             capacity: None,
             used_bytes: AtomicU64::new(0),
@@ -194,7 +198,12 @@ impl Vfs {
 
     /// Creates a capacity-bounded file system (writes past the limit fail
     /// with `ENOSPC`) — used for failure-injection tests.
-    pub fn with_capacity(dev: u64, profile: DiskProfile, clock: SimClock, capacity: u64) -> Arc<Self> {
+    pub fn with_capacity(
+        dev: u64,
+        profile: DiskProfile,
+        clock: SimClock,
+        capacity: u64,
+    ) -> Arc<Self> {
         let vfs = Self::new(dev, profile, clock);
         // Arc::new_cyclic is overkill; rebuild with capacity set.
         let Vfs { dev, disk, clock, inodes, root_ino, used_bytes, .. } =
@@ -297,7 +306,13 @@ impl Vfs {
         Ok(out)
     }
 
-    fn resolve_from(&self, start: Arc<Inode>, comps: &[&str], follow_last: bool, depth: u32) -> SysResult<Arc<Inode>> {
+    fn resolve_from(
+        &self,
+        start: Arc<Inode>,
+        comps: &[&str],
+        follow_last: bool,
+        depth: u32,
+    ) -> SysResult<Arc<Inode>> {
         if depth > MAX_SYMLINK_DEPTH {
             return Err(Errno::ELOOP);
         }
@@ -305,9 +320,7 @@ impl Vfs {
         for (i, comp) in comps.iter().enumerate() {
             let is_last = i + 1 == comps.len();
             let next_ino = match &*cur.content.read() {
-                InodeContent::Directory(children) => {
-                    *children.get(*comp).ok_or(Errno::ENOENT)?
-                }
+                InodeContent::Directory(children) => *children.get(*comp).ok_or(Errno::ENOENT)?,
                 _ => return Err(Errno::ENOTDIR),
             };
             let next = self.get_inode(next_ino).ok_or(Errno::ENOENT)?;
@@ -663,7 +676,13 @@ impl Vfs {
     /// # Errors
     ///
     /// `EISDIR` for directories; `ENOSPC` when a capacity limit is exceeded.
-    pub fn write_at(&self, inode: &Inode, offset: u64, data: &[u8], append: bool) -> SysResult<(usize, u64)> {
+    pub fn write_at(
+        &self,
+        inode: &Inode,
+        offset: u64,
+        data: &[u8],
+        append: bool,
+    ) -> SysResult<(usize, u64)> {
         let write_off = {
             let mut content = inode.content.write();
             match &mut *content {

@@ -21,7 +21,11 @@ fn fnv1a(data: &[u8], seed: u64) -> u64 {
 
 impl BloomFilter {
     /// Builds a filter for `keys` with `bits_per_key` bits of budget each.
-    pub fn build<'a>(keys: impl IntoIterator<Item = &'a [u8]>, n_keys: usize, bits_per_key: usize) -> Self {
+    pub fn build<'a>(
+        keys: impl IntoIterator<Item = &'a [u8]>,
+        n_keys: usize,
+        bits_per_key: usize,
+    ) -> Self {
         let nbits = (n_keys * bits_per_key).max(64);
         let k = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
         let mut filter = BloomFilter { bits: vec![0u8; nbits.div_ceil(8)], k };
@@ -95,9 +99,8 @@ mod tests {
     fn false_positive_rate_is_reasonable() {
         let keys: Vec<Vec<u8>> = (0..1000).map(|i| format!("key{i:05}").into_bytes()).collect();
         let filter = BloomFilter::build(keys.iter().map(Vec::as_slice), keys.len(), 10);
-        let fps = (0..10_000)
-            .filter(|i| filter.may_contain(format!("absent{i}").as_bytes()))
-            .count();
+        let fps =
+            (0..10_000).filter(|i| filter.may_contain(format!("absent{i}").as_bytes())).count();
         // 10 bits/key gives ~1% theoretical; allow generous slack.
         assert!(fps < 500, "false positive rate too high: {fps}/10000");
     }

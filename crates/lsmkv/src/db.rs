@@ -15,13 +15,14 @@
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use dio_kernel::{Errno, Process, SysResult, ThreadCtx};
+use dio_telemetry::{Counter, MetricsRegistry};
 
 use crate::memtable::{Entry, MemTable};
 use crate::options::LsmOptions;
@@ -90,6 +91,15 @@ struct CompactionJob {
     is_l0: bool,
 }
 
+/// Telemetry handles mirrored by the store's internal counters once
+/// [`Db::bind_telemetry`] is called.
+#[derive(Debug)]
+struct DbTelemetry {
+    flushes: Arc<Counter>,
+    compactions: Arc<Counter>,
+    stall_ns: Arc<Counter>,
+}
+
 struct DbInner {
     opts: LsmOptions,
     wal: Mutex<WriteState>,
@@ -110,6 +120,7 @@ struct DbInner {
     stall_ns: AtomicU64,
     bytes_flushed: AtomicU64,
     bytes_compacted: AtomicU64,
+    telemetry: OnceLock<DbTelemetry>,
 }
 
 /// An embedded LSM key-value store running on the simulated kernel.
@@ -137,7 +148,10 @@ pub struct Db {
 
 impl std::fmt::Debug for Db {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Db").field("path", &self.inner.opts.db_path).field("stats", &self.stats()).finish()
+        f.debug_struct("Db")
+            .field("path", &self.inner.opts.db_path)
+            .field("stats", &self.stats())
+            .finish()
     }
 }
 
@@ -203,9 +217,7 @@ impl Db {
         let mut orphan_wals: Vec<u64> = list_dir(&setup, &opts.db_path)
             .unwrap_or_default()
             .iter()
-            .filter_map(|name| {
-                name.strip_prefix("wal_")?.strip_suffix(".log")?.parse::<u64>().ok()
-            })
+            .filter_map(|name| name.strip_prefix("wal_")?.strip_suffix(".log")?.parse::<u64>().ok())
             .collect();
         orphan_wals.sort_unstable();
         for wal_id in orphan_wals {
@@ -239,6 +251,7 @@ impl Db {
             stall_ns: AtomicU64::new(0),
             bytes_flushed: AtomicU64::new(0),
             bytes_compacted: AtomicU64::new(0),
+            telemetry: OnceLock::new(),
         });
 
         let mut threads = Vec::new();
@@ -265,6 +278,17 @@ impl Db {
             );
         }
         Ok(Db { inner, threads: Mutex::new(threads) })
+    }
+
+    /// Registers the store's background-activity metrics (`lsmkv.flushes`,
+    /// `lsmkv.compactions`, `lsmkv.stall_ns`) with `registry`. Binding
+    /// twice is a no-op.
+    pub fn bind_telemetry(&self, registry: &MetricsRegistry) {
+        let _ = self.inner.telemetry.set(DbTelemetry {
+            flushes: registry.counter("lsmkv.flushes"),
+            compactions: registry.counter("lsmkv.compactions"),
+            stall_ns: registry.counter("lsmkv.stall_ns"),
+        });
     }
 
     /// Store statistics snapshot.
@@ -371,7 +395,8 @@ impl Db {
     fn rotate(&self, ctx: &ThreadCtx, wal: &mut WriteState) -> SysResult<()> {
         let inner = &self.inner;
         let new_wal_id = wal.next_wal_id;
-        let new_wal = Wal::create(ctx, wal_path(&inner.opts.db_path, new_wal_id), inner.opts.wal_sync_every)?;
+        let new_wal =
+            Wal::create(ctx, wal_path(&inner.opts.db_path, new_wal_id), inner.opts.wal_sync_every)?;
         let mut old_wal = std::mem::replace(&mut wal.wal, new_wal);
         wal.next_wal_id += 1;
         old_wal.sync(ctx)?;
@@ -399,13 +424,20 @@ impl Db {
             {
                 inner.levels_cv.wait_for(&mut levels, Duration::from_millis(50));
             }
-            inner.stall_ns.fetch_add(clock.now_ns() - start, Ordering::Relaxed);
+            let stalled = clock.now_ns() - start;
+            inner.stall_ns.fetch_add(stalled, Ordering::Relaxed);
+            if let Some(t) = inner.telemetry.get() {
+                t.stall_ns.add(stalled);
+            }
         } else if levels.l0.len() >= inner.opts.l0_slowdown_trigger {
             inner.slowed_writes.fetch_add(1, Ordering::Relaxed);
             drop(levels);
             let pause = inner.opts.slowdown_write_ns;
             clock.sleep_ns(pause);
             inner.stall_ns.fetch_add(pause, Ordering::Relaxed);
+            if let Some(t) = inner.telemetry.get() {
+                t.stall_ns.add(pause);
+            }
         }
     }
 
@@ -462,7 +494,12 @@ impl Db {
     /// # Errors
     ///
     /// Propagates kernel read errors.
-    pub fn scan(&self, ctx: &ThreadCtx, from: &[u8], limit: usize) -> SysResult<Vec<(Vec<u8>, Vec<u8>)>> {
+    pub fn scan(
+        &self,
+        ctx: &ThreadCtx,
+        from: &[u8],
+        limit: usize,
+    ) -> SysResult<Vec<(Vec<u8>, Vec<u8>)>> {
         let inner = &self.inner;
         let mut merged: BTreeMap<Vec<u8>, Entry> = BTreeMap::new();
         let (l0, lower) = {
@@ -505,11 +542,7 @@ impl Db {
                 merged.insert(k.clone(), v.clone());
             }
         }
-        Ok(merged
-            .into_iter()
-            .filter_map(|(k, v)| v.map(|v| (k, v)))
-            .take(limit)
-            .collect())
+        Ok(merged.into_iter().filter_map(|(k, v)| v.map(|v| (k, v))).take(limit).collect())
     }
 
     /// Forces the current memtable to rotate and waits until every queued
@@ -597,7 +630,8 @@ fn write_manifest(inner: &DbInner, ctx: &ThreadCtx) {
     let mut content = String::new();
     {
         let levels = inner.levels.lock();
-        content.push_str(&format!("next_table_id {}\n", inner.next_table_id.load(Ordering::Relaxed)));
+        content
+            .push_str(&format!("next_table_id {}\n", inner.next_table_id.load(Ordering::Relaxed)));
         content.push_str(&format!("next_wal_id {}\n", inner.wal.lock().next_wal_id));
         for t in &levels.l0 {
             content.push_str(&format!("table 0 {} {} {}\n", t.id, t.size, t.path));
@@ -612,7 +646,9 @@ fn write_manifest(inner: &DbInner, ctx: &ThreadCtx) {
     let result = (|| -> SysResult<()> {
         let fd = ctx.openat(
             &path,
-            dio_kernel::OpenFlags::CREAT | dio_kernel::OpenFlags::WRONLY | dio_kernel::OpenFlags::TRUNC,
+            dio_kernel::OpenFlags::CREAT
+                | dio_kernel::OpenFlags::WRONLY
+                | dio_kernel::OpenFlags::TRUNC,
             0o644,
         )?;
         ctx.write(fd, content.as_bytes())?;
@@ -649,9 +685,13 @@ fn flush_loop(inner: &Arc<DbInner>, ctx: &ThreadCtx) {
     }
 }
 
-fn flush_one(inner: &Arc<DbInner>, ctx: &ThreadCtx, wal_file: &str, mem: &MemTable) -> SysResult<()> {
-    let entries: Vec<(Vec<u8>, Entry)> =
-        mem.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+fn flush_one(
+    inner: &Arc<DbInner>,
+    ctx: &ThreadCtx,
+    wal_file: &str,
+    mem: &MemTable,
+) -> SysResult<()> {
+    let entries: Vec<(Vec<u8>, Entry)> = mem.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
     if entries.is_empty() {
         return Wal::remove(ctx, wal_file);
     }
@@ -673,6 +713,9 @@ fn flush_one(inner: &Arc<DbInner>, ctx: &ThreadCtx, wal_file: &str, mem: &MemTab
     }
     inner.flushes.fetch_add(1, Ordering::Relaxed);
     inner.bytes_flushed.fetch_add(size, Ordering::Relaxed);
+    if let Some(t) = inner.telemetry.get() {
+        t.flushes.inc();
+    }
     Wal::remove(ctx, wal_file)?;
     write_manifest(inner, ctx);
     Ok(())
@@ -720,17 +763,19 @@ fn pick_job(inner: &Arc<DbInner>) -> Option<CompactionJob> {
         let upper: Vec<_> = levels.l0.clone();
         let min = upper.iter().map(|t| t.min.clone()).min().expect("l0 non-empty");
         let max = upper.iter().map(|t| t.max.clone()).max().expect("l0 non-empty");
-        let lower_tables: Vec<_> = levels.lower[0]
-            .iter()
-            .filter(|t| t.overlaps(&min, &max))
-            .cloned()
-            .collect();
+        let lower_tables: Vec<_> =
+            levels.lower[0].iter().filter(|t| t.overlaps(&min, &max)).cloned().collect();
         if lower_tables.iter().all(|t| !levels.compacting.contains(&t.id)) {
             for t in upper.iter().chain(lower_tables.iter()) {
                 levels.compacting.insert(t.id);
             }
             levels.l0_compaction_running = true;
-            return Some(CompactionJob { upper, lower: lower_tables, target_level: 1, is_l0: true });
+            return Some(CompactionJob {
+                upper,
+                lower: lower_tables,
+                target_level: 1,
+                is_l0: true,
+            });
         }
     }
 
@@ -788,10 +833,8 @@ fn run_compaction(inner: &Arc<DbInner>, ctx: &ThreadCtx, job: CompactionJob) -> 
     }
     // Drop tombstones at the bottom level.
     let is_bottom = job.target_level == opts.max_levels;
-    let entries: Vec<(Vec<u8>, Entry)> = merged
-        .into_iter()
-        .filter(|(_, v)| !(is_bottom && v.is_none()))
-        .collect();
+    let entries: Vec<(Vec<u8>, Entry)> =
+        merged.into_iter().filter(|(_, v)| !(is_bottom && v.is_none())).collect();
 
     // Split into target-sized output files.
     let mut outputs: Vec<Arc<TableMeta>> = Vec::new();
@@ -846,9 +889,7 @@ fn run_compaction(inner: &Arc<DbInner>, ctx: &ThreadCtx, job: CompactionJob) -> 
         for id in &input_ids {
             levels.compacting.remove(id);
         }
-        levels
-            .graveyard
-            .extend(job.upper.iter().cloned().chain(job.lower.iter().cloned()));
+        levels.graveyard.extend(job.upper.iter().cloned().chain(job.lower.iter().cloned()));
         inner.levels_cv.notify_all();
     }
     // Unlink input files (descriptors stay valid for in-flight reads).
@@ -856,6 +897,9 @@ fn run_compaction(inner: &Arc<DbInner>, ctx: &ThreadCtx, job: CompactionJob) -> 
         let _ = ctx.unlink(&table.path);
     }
     inner.compactions.fetch_add(1, Ordering::Relaxed);
+    if let Some(t) = inner.telemetry.get() {
+        t.compactions.inc();
+    }
     if job.is_l0 {
         inner.l0_compactions.fetch_add(1, Ordering::Relaxed);
     }
@@ -1011,7 +1055,10 @@ mod tests {
         }
         let db = Db::open(&proc, small_opts()).unwrap();
         for i in (0..300u32).step_by(31) {
-            assert_eq!(db.get(&client, format!("m{i:04}").as_bytes()).unwrap(), Some(vec![7u8; 24]));
+            assert_eq!(
+                db.get(&client, format!("m{i:04}").as_bytes()).unwrap(),
+                Some(vec![7u8; 24])
+            );
         }
         db.shutdown(&client).unwrap();
     }
@@ -1075,10 +1122,7 @@ mod tests {
         let stats = db.stats();
         assert!(stats.flushes > 4, "{stats:?}");
         assert!(stats.l0_compactions > 0, "L0 compactions must have run: {stats:?}");
-        assert!(
-            stats.slowed_writes + stats.stopped_writes > 0,
-            "write stalls expected: {stats:?}"
-        );
+        assert!(stats.slowed_writes + stats.stopped_writes > 0, "write stalls expected: {stats:?}");
         db.shutdown(&client).unwrap();
     }
 

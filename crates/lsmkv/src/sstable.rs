@@ -53,14 +53,15 @@ pub fn write_sst(
     let mut buf: Vec<u8> = Vec::with_capacity(WRITE_CHUNK * 2);
     let mut written = 0u64;
     let mut index: Vec<IndexEntry> = Vec::with_capacity(entries.len());
-    let flush = |ctx: &ThreadCtx, buf: &mut Vec<u8>, written: &mut u64, force: bool| -> SysResult<()> {
-        if buf.len() >= WRITE_CHUNK || (force && !buf.is_empty()) {
-            ctx.write(fd, buf)?;
-            *written += buf.len() as u64;
-            buf.clear();
-        }
-        Ok(())
-    };
+    let flush =
+        |ctx: &ThreadCtx, buf: &mut Vec<u8>, written: &mut u64, force: bool| -> SysResult<()> {
+            if buf.len() >= WRITE_CHUNK || (force && !buf.is_empty()) {
+                ctx.write(fd, buf)?;
+                *written += buf.len() as u64;
+                buf.clear();
+            }
+            Ok(())
+        };
 
     for (key, value) in entries {
         let offset = written + buf.len() as u64;
@@ -90,8 +91,11 @@ pub fn write_sst(
     let bloom_off = written;
 
     // Bloom + footer.
-    let bloom =
-        BloomFilter::build(entries.iter().map(|(k, _)| k.as_slice()), entries.len(), bloom_bits_per_key);
+    let bloom = BloomFilter::build(
+        entries.iter().map(|(k, _)| k.as_slice()),
+        entries.len(),
+        bloom_bits_per_key,
+    );
     buf.extend_from_slice(&bloom.to_bytes());
     buf.extend_from_slice(&index_off.to_le_bytes());
     buf.extend_from_slice(&bloom_off.to_le_bytes());
@@ -243,8 +247,7 @@ impl SstReader {
         let mut out = Vec::with_capacity(self.index.len());
         let mut pos = 0usize;
         while pos + 8 <= data.len() {
-            let klen =
-                u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let klen = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
             let vlen_raw = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
             pos += 8;
             let key = data[pos..pos + klen].to_vec();
@@ -285,8 +288,7 @@ mod tests {
         (0..n)
             .map(|i| {
                 let key = format!("key{i:06}").into_bytes();
-                let value =
-                    if i % 7 == 3 { None } else { Some(format!("value-{i}").into_bytes()) };
+                let value = if i % 7 == 3 { None } else { Some(format!("value-{i}").into_bytes()) };
                 (key, value)
             })
             .collect()

@@ -113,10 +113,8 @@ impl ReplayState {
         comm: &str,
     ) -> &'a ThreadCtx {
         self.threads.entry((pid, tid)).or_insert_with(|| {
-            let proc = procs
-                .entry(pid)
-                .or_insert_with(|| kernel.spawn_process(comm.to_string()))
-                .clone();
+            let proc =
+                procs.entry(pid).or_insert_with(|| kernel.spawn_process(comm.to_string())).clone();
             proc.spawn_thread(comm.to_string())
         })
     }
@@ -173,8 +171,17 @@ pub fn replay_session(index: &Index, kernel: &Kernel, config: &ReplayConfig) -> 
         }
         last_time = Some(time_ns);
 
-        let replayed_ret = match replay_one(&mut state, kernel, &mut procs, pid, tid, comm, kind, doc, recorded_ret)
-        {
+        let replayed_ret = match replay_one(
+            &mut state,
+            kernel,
+            &mut procs,
+            pid,
+            tid,
+            comm,
+            kind,
+            doc,
+            recorded_ret,
+        ) {
             Some(ret) => ret,
             None => {
                 report.events_skipped += 1;
@@ -331,9 +338,10 @@ fn replay_one(
             ctx.unlinkat(arg_str(doc, "path")?, arg_u64(doc, "flags").unwrap_or(0) as u32)
                 .map(|()| 0),
         ),
-        SyscallKind::Mkdir | SyscallKind::Mkdirat => {
-            encode(ctx.mkdir(arg_str(doc, "path")?, arg_u64(doc, "mode").unwrap_or(0o755) as u32).map(|()| 0))
-        }
+        SyscallKind::Mkdir | SyscallKind::Mkdirat => encode(
+            ctx.mkdir(arg_str(doc, "path")?, arg_u64(doc, "mode").unwrap_or(0o755) as u32)
+                .map(|()| 0),
+        ),
         SyscallKind::Rmdir => encode(ctx.rmdir(arg_str(doc, "path")?).map(|()| 0)),
         SyscallKind::Mknod | SyscallKind::Mknodat => {
             let file_type = match arg_u64(doc, "mode")? {
@@ -360,12 +368,12 @@ fn replay_one(
             let value = vec![0xEEu8; arg_u64(doc, "size").unwrap_or(0) as usize];
             encode(ctx.fsetxattr(fd, arg_str(doc, "name")?, &value).map(|()| 0))
         }
-        SyscallKind::Getxattr => {
-            encode(ctx.getxattr(arg_str(doc, "path")?, arg_str(doc, "name")?).map(|v| v.len() as i64))
-        }
-        SyscallKind::Lgetxattr => {
-            encode(ctx.lgetxattr(arg_str(doc, "path")?, arg_str(doc, "name")?).map(|v| v.len() as i64))
-        }
+        SyscallKind::Getxattr => encode(
+            ctx.getxattr(arg_str(doc, "path")?, arg_str(doc, "name")?).map(|v| v.len() as i64),
+        ),
+        SyscallKind::Lgetxattr => encode(
+            ctx.lgetxattr(arg_str(doc, "path")?, arg_str(doc, "name")?).map(|v| v.len() as i64),
+        ),
         SyscallKind::Fgetxattr => {
             let fd = translate_fd(state, doc)?;
             encode(ctx.fgetxattr(fd, arg_str(doc, "name")?).map(|v| v.len() as i64))
@@ -541,7 +549,8 @@ mod tests {
         let fresh = fast_kernel();
         let clock = fresh.clock().clone();
         let t0 = clock.now_ns();
-        let report = replay_session(&index, &fresh, &ReplayConfig { speed: 1.0, stop_on_divergence: false });
+        let report =
+            replay_session(&index, &fresh, &ReplayConfig { speed: 1.0, stop_on_divergence: false });
         let elapsed = clock.now_ns() - t0;
         assert!(report.is_faithful());
         assert!(elapsed >= 2_500_000, "recorded gap preserved, elapsed={elapsed}ns");

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Self-telemetry for the DIO pipeline (DIO observing DIO).
+//!
+//! The paper's argument (DSN 2023) is that you cannot diagnose what you
+//! cannot observe; the same holds for the tracing pipeline itself. This
+//! crate provides the substrate every stage reports into:
+//!
+//! * [`MetricsRegistry`] — named, lock-free [`Counter`]s, [`Gauge`]s and
+//!   log-bucketed [`Histogram`]s (p50/p90/p99/p999 snapshots, same
+//!   bucketing design as `dio-dbbench`'s latency histogram but with
+//!   atomic buckets so producers never take a lock);
+//! * [`Histogram::start_timer`] — cheap scoped stage timers;
+//! * [`TelemetrySnapshot`] — a point-in-time copy of every metric, able
+//!   to render itself as flat backend health documents;
+//! * [`Exporter`] — a background thread that periodically snapshots the
+//!   registry and hands the documents to a sink (the tracer wires the
+//!   sink to `DocStore::bulk` on a `dio-telemetry-<session>` index).
+//!
+//! Metric names are dotted paths (`ebpf.ring.dropped`,
+//! `tracer.shipper.batch_ns`); the full catalog is documented in
+//! DESIGN.md §"Self-telemetry".
+//!
+//! # Examples
+//!
+//! ```
+//! use dio_telemetry::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new();
+//! let dropped = registry.counter("ebpf.ring.dropped");
+//! dropped.add(3);
+//! let parse = registry.histogram("tracer.consumer.parse_ns");
+//! {
+//!     let _timer = parse.start_timer();
+//!     // ... stage work ...
+//! }
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("ebpf.ring.dropped"), 3);
+//! assert_eq!(snap.histogram("tracer.consumer.parse_ns").unwrap().count, 1);
+//! ```
+
+mod exporter;
+mod metrics;
+mod registry;
+
+pub use exporter::{Exporter, ExporterHandle};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, StageTimer};
+pub use registry::{MetricsRegistry, TelemetrySnapshot};

@@ -1,0 +1,298 @@
+//! The individual metric instruments: counters, gauges, histograms, timers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Sub-buckets per power of two (resolution ≈ 1/32 ≈ 3%), matching the
+/// `dio-dbbench` latency histogram so percentiles are comparable.
+const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS;
+const BUCKETS: usize = 64 * SUB;
+
+fn bucket_of(value: u64) -> usize {
+    let v = value.max(1);
+    let msb = 63 - v.leading_zeros();
+    if msb < SUB_BITS {
+        return v as usize;
+    }
+    let sub = ((v >> (msb - SUB_BITS)) & ((1 << SUB_BITS) - 1)) as usize;
+    ((msb - SUB_BITS + 1) as usize * SUB + sub).min(BUCKETS - 1)
+}
+
+fn bucket_lower_bound(bucket: usize) -> u64 {
+    if bucket < SUB {
+        return bucket as u64;
+    }
+    let msb = (bucket / SUB) as u32 + SUB_BITS - 1;
+    let sub = (bucket % SUB) as u64;
+    (1u64 << msb) | (sub << (msb - SUB_BITS))
+}
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value instrument (queue depth, occupancy, ...).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if `v` is larger (high-water marks).
+    pub fn set_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free log-bucketed histogram over `u64` samples (latencies in ns,
+/// batch sizes, ...). Constant memory, ~3% value resolution, O(1) record.
+pub struct Histogram {
+    counts: Box<[AtomicU64]>,
+    total: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Starts a scoped timer that records elapsed nanoseconds on drop.
+    pub fn start_timer(&self) -> StageTimer<'_> {
+        StageTimer { histogram: self, start: Instant::now() }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy with percentiles resolved.
+    ///
+    /// Concurrent recording may skew a snapshot by the in-flight samples;
+    /// quiescent snapshots (after threads join) are exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        let min = self.min.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        let percentile = |p: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_lower_bound(i).min(max).max(min.min(max));
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            count: total,
+            min: if total == 0 { 0 } else { min },
+            max,
+            mean: if total == 0 { 0.0 } else { sum as f64 / total as f64 },
+            p50: percentile(50.0),
+            p90: percentile(90.0),
+            p99: percentile(99.0),
+            p999: percentile(99.9),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram").field("count", &self.count()).finish_non_exhaustive()
+    }
+}
+
+/// Resolved histogram statistics at one point in time.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// 50th percentile.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+/// Scoped timer from [`Histogram::start_timer`]; records the elapsed
+/// wall-clock nanoseconds into the histogram when dropped.
+pub struct StageTimer<'a> {
+    histogram: &'a Histogram,
+    start: Instant,
+}
+
+impl StageTimer<'_> {
+    /// Stops early, recording now instead of at scope end.
+    pub fn observe(self) {}
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.histogram.record(ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(10);
+        g.set_max(7);
+        assert_eq!(g.get(), 10, "set_max never lowers");
+        g.set_max(15);
+        assert_eq!(g.get(), 15);
+    }
+
+    #[test]
+    fn histogram_percentiles_bound_the_data() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        assert!((450..=550).contains(&s.p50), "p50={}", s.p50);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.p999);
+        assert!(s.p999 <= 1000);
+        assert!((s.mean - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        let s = Histogram::new().snapshot();
+        assert_eq!((s.count, s.min, s.max, s.p50, s.p999), (0, 0, 0, 0, 0));
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_counts_every_sample() {
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i + 1);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count, 80_000);
+    }
+
+    #[test]
+    fn stage_timer_records_on_drop() {
+        let h = Histogram::new();
+        {
+            let _t = h.start_timer();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert!(s.max >= 1_000_000, "recorded at least 1ms, got {}ns", s.max);
+    }
+
+    #[test]
+    fn snapshot_serializes_with_percentile_fields() {
+        let h = Histogram::new();
+        h.record(100);
+        let v = serde_json::to_value(h.snapshot()).unwrap();
+        assert_eq!(v["count"], 1);
+        assert!(v.get("p99").is_some());
+    }
+}

@@ -41,6 +41,8 @@ pub struct TracerConfig {
     enrich: bool,
     enter_cost_ns: u64,
     exit_cost_ns: u64,
+    telemetry: bool,
+    telemetry_interval: Duration,
 }
 
 impl TracerConfig {
@@ -59,6 +61,8 @@ impl TracerConfig {
             enrich: true,
             enter_cost_ns: 0,
             exit_cost_ns: 0,
+            telemetry: true,
+            telemetry_interval: Duration::from_millis(100),
         }
     }
 
@@ -88,7 +92,9 @@ impl TracerConfig {
     /// # Errors
     ///
     /// I/O errors and parse errors, boxed.
-    pub fn from_file(path: impl AsRef<std::path::Path>) -> Result<Self, Box<dyn std::error::Error>> {
+    pub fn from_file(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Self, Box<dyn std::error::Error>> {
         let raw = std::fs::read_to_string(path)?;
         Ok(Self::from_json(&raw)?)
     }
@@ -101,6 +107,12 @@ impl TracerConfig {
     /// The backend index this session writes to (`dio-<session>`).
     pub fn index_name(&self) -> String {
         format!("dio-{}", self.session)
+    }
+
+    /// The backend index receiving this session's health documents
+    /// (`dio-telemetry-<session>`).
+    pub fn telemetry_index_name(&self) -> String {
+        format!("dio-telemetry-{}", self.session)
     }
 
     /// Restricts tracing to the given syscalls.
@@ -177,6 +189,23 @@ impl TracerConfig {
         self
     }
 
+    /// Enables or disables the self-telemetry exporter (on by default).
+    ///
+    /// Metrics are always collected (the counters are a handful of relaxed
+    /// atomic increments); this knob only controls the background thread
+    /// that ships health documents to `dio-telemetry-<session>`.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    /// Sets how often the exporter snapshots the registry and ships health
+    /// documents.
+    pub fn telemetry_interval(mut self, d: Duration) -> Self {
+        self.telemetry_interval = d;
+        self
+    }
+
     pub(crate) fn filter_spec(&self) -> &FilterSpec {
         &self.filter
     }
@@ -207,6 +236,14 @@ impl TracerConfig {
 
     pub(crate) fn costs(&self) -> (u64, u64) {
         (self.enter_cost_ns, self.exit_cost_ns)
+    }
+
+    pub(crate) fn telemetry_enabled(&self) -> bool {
+        self.telemetry
+    }
+
+    pub(crate) fn telemetry_tick(&self) -> Duration {
+        self.telemetry_interval
     }
 }
 

@@ -11,6 +11,9 @@ use serde_json::Value;
 use dio_backend::DocStore;
 use dio_ebpf::{ProgramConfig, RawEvent, RingBuffer, RingStats, TracerProgram};
 use dio_kernel::{Kernel, ProbeId, SyscallProbe};
+use dio_telemetry::{
+    Exporter, ExporterHandle, Gauge, Histogram, MetricsRegistry, TelemetrySnapshot,
+};
 
 use crate::config::TracerConfig;
 
@@ -29,6 +32,9 @@ pub struct TraceSummary {
     pub events_filtered: u64,
     /// Bulk requests issued.
     pub batches: u64,
+    /// Final self-telemetry snapshot: every pipeline metric at shutdown
+    /// (see the DESIGN.md "Self-telemetry" section for the catalog).
+    pub health: TelemetrySnapshot,
 }
 
 impl TraceSummary {
@@ -87,6 +93,21 @@ pub struct Tracer {
     shipper: Option<JoinHandle<()>>,
     stored: Arc<AtomicU64>,
     batches: Arc<AtomicU64>,
+    registry: Arc<MetricsRegistry>,
+    exporter: Option<ExporterHandle>,
+}
+
+/// Telemetry handles for the consumer thread.
+struct ConsumerTelemetry {
+    drain_batch: Arc<Histogram>,
+    parse_ns: Arc<Histogram>,
+    channel_depth: Arc<Gauge>,
+}
+
+/// Telemetry handles for the shipper thread.
+struct ShipperTelemetry {
+    batch_ns: Arc<Histogram>,
+    batch_size: Arc<Histogram>,
 }
 
 impl std::fmt::Debug for Tracer {
@@ -117,6 +138,14 @@ impl Tracer {
         );
         let probe_id = kernel.tracepoints().attach(Arc::clone(&program) as Arc<dyn SyscallProbe>);
 
+        // Self-telemetry: one registry per session, shared by every pipeline
+        // stage. Binding is done before the worker threads start so no
+        // increment is lost.
+        let registry = Arc::new(MetricsRegistry::new());
+        kernel.bind_telemetry(&registry);
+        program.bind_telemetry(&registry);
+        backend.bind_telemetry(&registry);
+
         let stop_flag = Arc::new(AtomicBool::new(false));
         let stored = Arc::new(AtomicU64::new(0));
         let batches = Arc::new(AtomicU64::new(0));
@@ -129,9 +158,16 @@ impl Tracer {
             let session = config.session().to_string();
             let drain_batch = config.drain();
             let poll = config.poll();
+            let telemetry = ConsumerTelemetry {
+                drain_batch: registry.histogram("tracer.consumer.drain_batch"),
+                parse_ns: registry.histogram("tracer.consumer.parse_ns"),
+                channel_depth: registry.gauge("tracer.channel.depth"),
+            };
             std::thread::Builder::new()
                 .name(format!("dio-consumer-{session}"))
-                .spawn(move || consumer_loop(&ring, &stop, &session, &tx, drain_batch, poll))
+                .spawn(move || {
+                    consumer_loop(&ring, &stop, &session, &tx, drain_batch, poll, &telemetry)
+                })
                 .expect("spawn consumer thread")
         };
         let shipper = {
@@ -141,11 +177,38 @@ impl Tracer {
             let flush = config.flush();
             let stored = Arc::clone(&stored);
             let batches = Arc::clone(&batches);
+            let telemetry = ShipperTelemetry {
+                batch_ns: registry.histogram("tracer.shipper.batch_ns"),
+                batch_size: registry.histogram("tracer.shipper.batch_size"),
+            };
             std::thread::Builder::new()
                 .name(format!("dio-shipper-{}", config.session()))
-                .spawn(move || shipper_loop(&backend, &index_name, batch_size, flush, &rx, &stored, &batches))
+                .spawn(move || {
+                    shipper_loop(
+                        &backend,
+                        &index_name,
+                        batch_size,
+                        flush,
+                        &rx,
+                        &stored,
+                        &batches,
+                        &telemetry,
+                    )
+                })
                 .expect("spawn shipper thread")
         };
+
+        let exporter = config.telemetry_enabled().then(|| {
+            let sink_backend = backend.clone();
+            let telemetry_index = config.telemetry_index_name();
+            Exporter::new(config.session(), config.telemetry_tick()).spawn(
+                Arc::clone(&registry),
+                |_| {},
+                move |docs| {
+                    sink_backend.bulk(&telemetry_index, docs);
+                },
+            )
+        });
 
         Tracer {
             session: config.session().to_string(),
@@ -158,6 +221,8 @@ impl Tracer {
             shipper: Some(shipper),
             stored,
             batches,
+            registry,
+            exporter,
         }
     }
 
@@ -181,6 +246,20 @@ impl Tracer {
         self.stored.load(Ordering::Relaxed)
     }
 
+    /// The session's metrics registry.
+    ///
+    /// Components outside the tracer pipeline (e.g. the `dio-lsmkv` store's
+    /// `Db::bind_telemetry`) can register their own metrics here so they
+    /// ride along in the same health documents.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// A live snapshot of every pipeline metric.
+    pub fn health_snapshot(&self) -> TelemetrySnapshot {
+        self.registry.snapshot()
+    }
+
     /// Detaches from the kernel, drains every buffered event, flushes the
     /// last batch, and returns the session summary.
     pub fn stop(mut self) -> TraceSummary {
@@ -198,6 +277,11 @@ impl Tracer {
                 let _ = h.join();
             }
         }
+        // Stop the exporter only after the pipeline has drained, so its
+        // final flush ships the end state of every metric.
+        if let Some(exporter) = self.exporter.take() {
+            exporter.stop();
+        }
         let ring = self.program.ring().stats();
         let prog = self.program.stats();
         TraceSummary {
@@ -207,6 +291,7 @@ impl Tracer {
             events_dropped: ring.dropped,
             events_filtered: prog.filtered,
             batches: self.batches.load(Ordering::Relaxed),
+            health: self.registry.snapshot(),
         }
     }
 }
@@ -225,6 +310,7 @@ fn consumer_loop(
     tx: &Sender<Value>,
     drain_batch: usize,
     poll: Duration,
+    telemetry: &ConsumerTelemetry,
 ) {
     loop {
         let raws = ring.drain_all(drain_batch);
@@ -232,12 +318,18 @@ fn consumer_loop(
         if raws.is_empty() && stop.load(Ordering::Acquire) && ring.is_empty() {
             break;
         }
+        if drained > 0 {
+            telemetry.drain_batch.record(drained as u64);
+        }
         for raw in raws {
+            let parse_timer = telemetry.parse_ns.start_timer();
             let doc = raw.into_event(session).to_document();
+            parse_timer.observe();
             if tx.send(doc).is_err() {
                 return; // shipper gone
             }
         }
+        telemetry.channel_depth.set(tx.len() as u64);
         // A paced consumer sleeps even when the buffer has more to give —
         // this is what lets a small ring overflow under bursts, as the
         // paper's user-space consumers do at 549M-event scale.
@@ -251,6 +343,7 @@ fn consumer_loop(
     // Dropping tx closes the channel; the shipper flushes and exits.
 }
 
+#[allow(clippy::too_many_arguments)]
 fn shipper_loop(
     backend: &DocStore,
     index_name: &str,
@@ -259,6 +352,7 @@ fn shipper_loop(
     rx: &Receiver<Value>,
     stored: &AtomicU64,
     batches: &AtomicU64,
+    telemetry: &ShipperTelemetry,
 ) {
     let mut batch: Vec<Value> = Vec::with_capacity(batch_size);
     let mut last_flush = Instant::now();
@@ -267,18 +361,18 @@ fn shipper_loop(
             Ok(doc) => {
                 batch.push(doc);
                 if batch.len() >= batch_size {
-                    flush_batch(backend, index_name, &mut batch, stored, batches);
+                    flush_batch(backend, index_name, &mut batch, stored, batches, telemetry);
                     last_flush = Instant::now();
                 }
             }
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                 if !batch.is_empty() && last_flush.elapsed() >= flush_interval {
-                    flush_batch(backend, index_name, &mut batch, stored, batches);
+                    flush_batch(backend, index_name, &mut batch, stored, batches, telemetry);
                     last_flush = Instant::now();
                 }
             }
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                flush_batch(backend, index_name, &mut batch, stored, batches);
+                flush_batch(backend, index_name, &mut batch, stored, batches, telemetry);
                 return;
             }
         }
@@ -291,12 +385,16 @@ fn flush_batch(
     batch: &mut Vec<Value>,
     stored: &AtomicU64,
     batches: &AtomicU64,
+    telemetry: &ShipperTelemetry,
 ) {
     if batch.is_empty() {
         return;
     }
     let n = batch.len() as u64;
+    telemetry.batch_size.record(n);
+    let batch_timer = telemetry.batch_ns.start_timer();
     backend.bulk(index_name, std::mem::take(batch));
+    batch_timer.observe();
     stored.fetch_add(n, Ordering::Relaxed);
     batches.fetch_add(1, Ordering::Relaxed);
 }
@@ -330,9 +428,8 @@ mod tests {
         assert_eq!(idx.len(), 3);
         assert_eq!(idx.count(&Query::term("syscall", "write")), 1);
         assert_eq!(idx.count(&Query::term("proc_name", "app")), 3);
-        let hit = &idx
-            .search(&dio_backend::SearchRequest::new(Query::term("syscall", "write")))
-            .hits[0];
+        let hit =
+            &idx.search(&dio_backend::SearchRequest::new(Query::term("syscall", "write"))).hits[0];
         assert_eq!(hit.source["ret_val"], 26);
         assert_eq!(hit.source["offset"], 0);
         assert!(hit.source["file_tag"].as_str().unwrap().contains('|'));
@@ -388,7 +485,15 @@ mod tests {
         let s2 = t2.stop();
         assert_eq!(s1.events_stored, 1);
         assert_eq!(s2.events_stored, 1);
-        assert_eq!(backend.index_names(), vec!["dio-s1".to_string(), "dio-s2".to_string()]);
+        assert_eq!(
+            backend.index_names(),
+            vec![
+                "dio-s1".to_string(),
+                "dio-s2".to_string(),
+                "dio-telemetry-s1".to_string(),
+                "dio-telemetry-s2".to_string(),
+            ]
+        );
     }
 
     #[test]

@@ -43,7 +43,12 @@ const MARKERS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&', '$', '~'];
 impl Chart {
     /// Creates an empty chart.
     pub fn new(title: impl Into<String>) -> Self {
-        Chart { title: title.into(), series: Vec::new(), y_label: String::new(), x_label: String::new() }
+        Chart {
+            title: title.into(),
+            series: Vec::new(),
+            y_label: String::new(),
+            x_label: String::new(),
+        }
     }
 
     /// Adds a series.
@@ -207,7 +212,12 @@ const RAMP: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
 impl Heatmap {
     /// Creates an empty heatmap.
     pub fn new(title: impl Into<String>) -> Self {
-        Heatmap { title: title.into(), rows: Vec::new(), col_labels: Vec::new(), normalize_rows: false }
+        Heatmap {
+            title: title.into(),
+            rows: Vec::new(),
+            col_labels: Vec::new(),
+            normalize_rows: false,
+        }
     }
 
     /// Normalizes intensities per row instead of over the whole map —
@@ -233,11 +243,8 @@ impl Heatmap {
     /// Renders with one character per cell, normalized over the whole map
     /// (or per row with [`Heatmap::normalize_per_row`]).
     pub fn to_ascii(&self) -> String {
-        let global_max = self
-            .rows
-            .iter()
-            .flat_map(|(_, vs)| vs.iter().copied())
-            .fold(0.0f64, f64::max);
+        let global_max =
+            self.rows.iter().flat_map(|(_, vs)| vs.iter().copied()).fold(0.0f64, f64::max);
         let label_w = self.rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
         let mut out = format!("{}\n", self.title);
         for (label, values) in &self.rows {
@@ -260,13 +267,7 @@ impl Heatmap {
         if let (Some(first), Some(last)) = (self.col_labels.first(), self.col_labels.last()) {
             let inner = self.rows.first().map(|(_, v)| v.len()).unwrap_or(0);
             let pad = inner.saturating_sub(first.chars().count() + last.chars().count());
-            out.push_str(&format!(
-                "{:<label_w$}  {}{}{}\n",
-                "",
-                first,
-                " ".repeat(pad),
-                last
-            ));
+            out.push_str(&format!("{:<label_w$}  {}{}{}\n", "", first, " ".repeat(pad), last));
         }
         out
     }
@@ -333,16 +334,17 @@ mod tests {
 
     #[test]
     fn heatmap_per_row_normalization() {
-        let base = Heatmap::new("h")
-            .row("busy", vec![0.0, 1_000.0])
-            .row("quiet", vec![0.0, 2.0]);
+        let base = Heatmap::new("h").row("busy", vec![0.0, 1_000.0]).row("quiet", vec![0.0, 2.0]);
         let global = base.clone().to_ascii();
         let quiet_global = global.lines().find(|l| l.starts_with("quiet")).unwrap().to_string();
         assert!(quiet_global.contains(' '), "quiet row invisible on global scale");
         assert!(!quiet_global.contains('@'));
         let per_row = base.normalize_per_row().to_ascii();
         let quiet_local = per_row.lines().find(|l| l.starts_with("quiet")).unwrap();
-        assert!(quiet_local.ends_with("@|"), "quiet row peaks at @ on its own scale: {quiet_local}");
+        assert!(
+            quiet_local.ends_with("@|"),
+            "quiet row peaks at @ on its own scale: {quiet_local}"
+        );
     }
 
     #[test]

@@ -136,12 +136,17 @@ impl Panel {
                     }
                 }
                 names.sort();
-                let mut heatmap = Heatmap::new(format!("### {}", self.title))
-                    .normalize_per_row()
-                    .col_labels([
-                    format!("{}", buckets.first().map_or(0.0, |b| b.key.as_f64().unwrap_or(0.0))),
-                    format!("{}", buckets.last().map_or(0.0, |b| b.key.as_f64().unwrap_or(0.0))),
-                ]);
+                let mut heatmap =
+                    Heatmap::new(format!("### {}", self.title)).normalize_per_row().col_labels([
+                        format!(
+                            "{}",
+                            buckets.first().map_or(0.0, |b| b.key.as_f64().unwrap_or(0.0))
+                        ),
+                        format!(
+                            "{}",
+                            buckets.last().map_or(0.0, |b| b.key.as_f64().unwrap_or(0.0))
+                        ),
+                    ]);
                 for name in names {
                     let values = buckets
                         .iter()
@@ -224,9 +229,7 @@ pub mod dashboards {
                     Column::new("offset"),
                     Column::new("file_path"),
                 ],
-                request: SearchRequest::new(query)
-                    .sort_by("time", SortOrder::Asc)
-                    .size(10_000),
+                request: SearchRequest::new(query).sort_by("time", SortOrder::Asc).size(10_000),
             },
         ))
     }
@@ -321,7 +324,11 @@ mod tests {
         let idx = sample_index();
         let panel = Panel::new(
             "all",
-            PanelSpec::EventsOverTime { query: Query::MatchAll, interval_ns: 1_000_000_000, split_field: None },
+            PanelSpec::EventsOverTime {
+                query: Query::MatchAll,
+                interval_ns: 1_000_000_000,
+                split_field: None,
+            },
         );
         let out = panel.render(&idx);
         assert!(out.contains("events"));

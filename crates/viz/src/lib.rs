@@ -15,8 +15,10 @@
 
 mod chart;
 mod dashboard;
+mod health;
 mod table;
 
 pub use chart::{BarChart, Chart, Heatmap, Series};
 pub use dashboard::{dashboards, Dashboard, Panel, PanelSpec};
+pub use health::{render_health_dashboard, HealthReport, HealthSnapshot, MetricPoint};
 pub use table::{group_digits, CellFormat, Column, Table};

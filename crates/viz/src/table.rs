@@ -272,7 +272,8 @@ mod tests {
 
     #[test]
     fn alignment_pads_columns() {
-        let table = Table::from_rows(["col"], vec![vec!["short".into()], vec!["much longer".into()]]);
+        let table =
+            Table::from_rows(["col"], vec![vec!["short".into()], vec!["much longer".into()]]);
         let ascii = table.to_ascii();
         let lines: Vec<&str> = ascii.lines().collect();
         let widths: std::collections::HashSet<usize> = lines.iter().map(|l| l.len()).collect();

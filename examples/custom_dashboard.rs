@@ -52,18 +52,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- custom aggregation: bytes moved per syscall type ---
     let agg = index.search(
-        &SearchRequest::new(Query::terms("syscall", ["pread64", "pwrite64"]))
-            .size(0)
-            .agg(
-                "per_syscall",
-                Aggregation::terms("syscall", 10).sub("bytes", Aggregation::stats("ret_val")),
-            ),
+        &SearchRequest::new(Query::terms("syscall", ["pread64", "pwrite64"])).size(0).agg(
+            "per_syscall",
+            Aggregation::terms("syscall", 10).sub("bytes", Aggregation::stats("ret_val")),
+        ),
     );
     for bucket in agg.aggs["per_syscall"].buckets() {
         if let dio::core::AggResult::Stats(stats) = &bucket.sub["bytes"] {
             println!(
                 "{}: {} calls, {:.0} bytes total, {:.0} bytes/call",
-                bucket.key, stats.count, stats.sum, stats.avg()
+                bucket.key,
+                stats.count,
+                stats.sum,
+                stats.avg()
             );
         }
     }
@@ -103,13 +104,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             p.mean_request_bytes
         );
     }
-    assert!(profiles
-        .iter()
-        .any(|p| p.path.as_deref() == Some("/seq.dat")
-            && p.pattern == dio::core::AccessPattern::Sequential));
-    assert!(profiles
-        .iter()
-        .any(|p| p.path.as_deref() == Some("/rand.dat")
-            && p.pattern != dio::core::AccessPattern::Sequential));
+    assert!(profiles.iter().any(|p| p.path.as_deref() == Some("/seq.dat")
+        && p.pattern == dio::core::AccessPattern::Sequential));
+    assert!(profiles.iter().any(|p| p.path.as_deref() == Some("/rand.dat")
+        && p.pattern != dio::core::AccessPattern::Sequential));
     Ok(())
 }

@@ -44,9 +44,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let alpha_events = alpha_only.stop();
     let logs = logs_only.stop();
 
-    println!("session 'writes' stored {} events (both processes' writes)", writes.trace.events_stored);
-    println!("session 'alpha'  stored {} events (alpha's full activity)", alpha_events.trace.events_stored);
-    println!("session 'logs'   stored {} events (everything under /logs)", logs.trace.events_stored);
+    println!(
+        "session 'writes' stored {} events (both processes' writes)",
+        writes.trace.events_stored
+    );
+    println!(
+        "session 'alpha'  stored {} events (alpha's full activity)",
+        alpha_events.trace.events_stored
+    );
+    println!(
+        "session 'logs'   stored {} events (everything under /logs)",
+        logs.trace.events_stored
+    );
 
     // Verify the filters did what they claim.
     let w = dio.session_index("writes").expect("session");

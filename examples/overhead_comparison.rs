@@ -36,7 +36,12 @@ fn workload(kernel: &Kernel, tag: &str) -> u64 {
 }
 
 fn main() {
-    let disk = DiskProfile { read_bw_bps: 256 << 20, write_bw_bps: 128 << 20, base_latency_ns: 10_000, flush_latency_ns: 40_000 };
+    let disk = DiskProfile {
+        read_bw_bps: 256 << 20,
+        write_bw_bps: 128 << 20,
+        base_latency_ns: 10_000,
+        flush_latency_ns: 40_000,
+    };
     let mk_kernel = || Kernel::builder().num_cpus(2).root_disk(disk).build();
 
     // vanilla
@@ -65,7 +70,17 @@ fn main() {
     println!("workload: 400 x (open + write 4K + read 1K + close), 2 CPUs");
     println!("vanilla : {:>8.2} ms  1.00x", vanilla as f64 / 1e6);
     println!("sysdig  : {:>8.2} ms  {:.2}x", sysdig_time as f64 / 1e6, f(sysdig_time));
-    println!("DIO     : {:>8.2} ms  {:.2}x  ({} events to backend)", dio_time as f64 / 1e6, f(dio_time), summary.trace.events_stored);
-    println!("strace  : {:>8.2} ms  {:.2}x  ({} lines)", strace_time as f64 / 1e6, f(strace_time), strace.events());
+    println!(
+        "DIO     : {:>8.2} ms  {:.2}x  ({} events to backend)",
+        dio_time as f64 / 1e6,
+        f(dio_time),
+        summary.trace.events_stored
+    );
+    println!(
+        "strace  : {:>8.2} ms  {:.2}x  ({} lines)",
+        strace_time as f64 / 1e6,
+        f(strace_time),
+        strace.events()
+    );
     println!("\npaper's Table II ordering: vanilla <= sysdig < DIO < strace");
 }

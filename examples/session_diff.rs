@@ -34,12 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The fixed version reads the second generation instead of seeking
     // past it, so its read results differ; and the thread is renamed
     // fluent-bit -> flb-pipeline between the versions.
-    let threads: Vec<&str> = diff
-        .by_thread
-        .iter()
-        .filter(|d| d.delta() != 0)
-        .map(|d| d.key.as_str())
-        .collect();
+    let threads: Vec<&str> =
+        diff.by_thread.iter().filter(|d| d.delta() != 0).map(|d| d.key.as_str()).collect();
     assert!(threads.contains(&"fluent-bit"));
     assert!(threads.contains(&"flb-pipeline"));
     println!("thread-name change visible in diff: {threads:?}");

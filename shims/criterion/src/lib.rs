@@ -1,0 +1,255 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the macro/builder surface of the real crate but implements a
+//! simple calibrated timing loop: warm up, pick an iteration count that
+//! fills the measurement window, report mean ns/iter (and throughput when
+//! configured). Good enough to keep `cargo bench` runnable offline; not a
+//! statistical benchmark harness.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for code using `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Benchmark driver configuration.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(900),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the number of samples (used to split the window).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.warm_up, self.measurement, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Compatibility no-op (the real crate parses CLI args here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `group/<parameter>` naming.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+
+    /// `group/name/<parameter>` naming.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup for every iteration.
+    PerIteration,
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the units-per-iteration used for throughput output.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Overrides the sample count (accepted for compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.warm_up, self.measurement, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.warm_up, self.measurement, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing extra; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    name: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Warm-up pass: also calibrates how many iterations fit the window.
+    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < warm_up {
+        f(&mut bencher);
+        if bencher.elapsed < Duration::from_micros(1) {
+            bencher.iters = (bencher.iters * 8).min(1 << 20);
+        }
+    }
+    let per_iter = bencher.elapsed.as_nanos().max(1) / u128::from(bencher.iters.max(1));
+    let target_iters = (measurement.as_nanos() / per_iter.max(1)).clamp(1, 50_000_000) as u64;
+    bencher.iters = target_iters;
+    f(&mut bencher);
+    let ns_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters.max(1) as f64;
+    let mut line = format!("bench: {name:<50} {ns_per_iter:>12.1} ns/iter");
+    if let Some(t) = throughput {
+        let per_sec = match t {
+            Throughput::Elements(n) => n as f64 / (ns_per_iter / 1e9),
+            Throughput::Bytes(n) => n as f64 / (ns_per_iter / 1e9),
+        };
+        let unit = match t {
+            Throughput::Elements(_) => "elem/s",
+            Throughput::Bytes(_) => "B/s",
+        };
+        line.push_str(&format!("  ({per_sec:>14.0} {unit})"));
+    }
+    println!("{line}");
+}
+
+/// Passed to benchmark closures; times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with fresh inputs from `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Declares the benchmark entry functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,6 @@
+//! Offline stand-in for `crossbeam`, providing the subset the workspace
+//! uses: `queue::ArrayQueue` (lock-free bounded MPMC) and
+//! `channel::{bounded, Sender, Receiver}` (blocking bounded channel).
+
+pub mod channel;
+pub mod queue;

@@ -1,0 +1,230 @@
+//! Lock-free bounded MPMC queue (Vyukov-style sequence-stamped ring),
+//! API-compatible with `crossbeam::queue::ArrayQueue` for the operations
+//! the workspace uses.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+struct Slot<T> {
+    /// Sequence stamp: `2 * index` when empty and writable for position
+    /// `index`, `2 * index + 1` after a value is written, `2 * (index + cap)`
+    /// once consumed. Doubling keeps "written" stamps (odd) from ever
+    /// aliasing "free" stamps (even), which matters for `cap == 1`.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded multi-producer multi-consumer lock-free queue.
+pub struct ArrayQueue<T> {
+    slots: Box<[Slot<T>]>,
+    cap: usize,
+    head: CachePadded<AtomicUsize>,
+    tail: CachePadded<AtomicUsize>,
+}
+
+unsafe impl<T: Send> Send for ArrayQueue<T> {}
+unsafe impl<T: Send> Sync for ArrayQueue<T> {}
+
+impl<T> ArrayQueue<T> {
+    /// Creates a queue holding at most `cap` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "capacity must be non-zero");
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(2 * i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ArrayQueue {
+            slots,
+            cap,
+            head: CachePadded(AtomicUsize::new(0)),
+            tail: CachePadded(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Attempts to push, returning `Err(value)` when the queue is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        loop {
+            let tail = self.tail.0.load(Ordering::SeqCst);
+            let slot = &self.slots[tail % self.cap];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == 2 * tail {
+                if self
+                    .tail
+                    .0
+                    .compare_exchange_weak(tail, tail + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    unsafe { (*slot.value.get()).write(value) };
+                    slot.seq.store(2 * tail + 1, Ordering::Release);
+                    return Ok(());
+                }
+            } else if seq < 2 * tail {
+                // Slot still occupied by the previous lap; full unless a pop
+                // is racing us.
+                let head = self.head.0.load(Ordering::SeqCst);
+                if head + self.cap <= tail {
+                    return Err(value);
+                }
+                std::hint::spin_loop();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Pops the oldest element, or `None` when the queue is empty.
+    pub fn pop(&self) -> Option<T> {
+        loop {
+            let head = self.head.0.load(Ordering::SeqCst);
+            let slot = &self.slots[head % self.cap];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == 2 * head + 1 {
+                if self
+                    .head
+                    .0
+                    .compare_exchange_weak(head, head + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    let value = unsafe { (*slot.value.get()).assume_init_read() };
+                    slot.seq.store(2 * (head + self.cap), Ordering::Release);
+                    return Some(value);
+                }
+            } else if seq <= 2 * head {
+                let tail = self.tail.0.load(Ordering::SeqCst);
+                if tail <= head {
+                    return None;
+                }
+                std::hint::spin_loop();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Maximum number of elements the queue can hold.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Approximate number of elements currently queued.
+    pub fn len(&self) -> usize {
+        let tail = self.tail.0.load(Ordering::SeqCst);
+        let head = self.head.0.load(Ordering::SeqCst);
+        tail.saturating_sub(head).min(self.cap)
+    }
+
+    /// Whether the queue is (approximately) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the queue is (approximately) full.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.cap
+    }
+}
+
+impl<T> Drop for ArrayQueue<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+impl<T> std::fmt::Debug for ArrayQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArrayQueue")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_full() {
+        let q = ArrayQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_one_rejects_when_full() {
+        let q = ArrayQueue::new(1);
+        assert!(q.push(1).is_ok());
+        assert_eq!(q.push(2), Err(2), "second push must not overwrite");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+        for lap in 0..10 {
+            assert!(q.push(lap).is_ok());
+            assert_eq!(q.push(99), Err(99));
+            assert_eq!(q.pop(), Some(lap));
+        }
+    }
+
+    #[test]
+    fn wraps_around_many_laps() {
+        let q = ArrayQueue::new(3);
+        for i in 0..100 {
+            q.push(i).unwrap();
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_conserve_items() {
+        let q = Arc::new(ArrayQueue::new(64));
+        let pushed = Arc::new(AtomicUsize::new(0));
+        let popped = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let q = q.clone();
+            let pushed = pushed.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    if q.push(t * 1000 + i).is_ok() {
+                        pushed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let q = q.clone();
+            let popped = popped.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..3000 {
+                    if q.pop().is_some() {
+                        popped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut rest = 0;
+        while q.pop().is_some() {
+            rest += 1;
+        }
+        assert_eq!(pushed.load(Ordering::SeqCst), popped.load(Ordering::SeqCst) + rest);
+    }
+}

@@ -1,0 +1,455 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the shim `serde::Serialize` / `serde::Deserialize`
+//! traits (which go through the dynamic `serde::Value` document model) for
+//! the type shapes this workspace actually uses:
+//!
+//! * named-field structs (honoring `#[serde(skip_serializing_if = "Option::is_none")]`,
+//!   with `Option` fields tolerating missing keys);
+//! * newtype structs (`struct Pid(pub u32)`);
+//! * unit enums, optionally with discriminants and
+//!   `#[serde(rename_all = "snake_case")]`;
+//! * `#[serde(untagged)]` enums whose variants are single-field tuples.
+//!
+//! The parser works directly on `proc_macro::TokenStream` — no `syn`/`quote`,
+//! because the build is fully offline. Unsupported shapes produce a
+//! `compile_error!` naming the limitation rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+struct Field {
+    name: String,
+    skip_if_none: bool,
+    is_option: bool,
+}
+
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    NewtypeStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    rename_all_snake: bool,
+    untagged: bool,
+    shape: Shape,
+}
+
+/// Derives the shim `serde::Serialize` for supported shapes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+/// Derives the shim `serde::Deserialize` for supported shapes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match (&parsed.shape, mode) {
+        (Shape::NamedStruct(fields), Mode::Ser) => gen_struct_ser(&parsed.name, fields),
+        (Shape::NamedStruct(fields), Mode::De) => gen_struct_de(&parsed.name, fields),
+        (Shape::NewtypeStruct, Mode::Ser) => gen_newtype_ser(&parsed.name),
+        (Shape::NewtypeStruct, Mode::De) => gen_newtype_de(&parsed.name),
+        (Shape::Enum(variants), _) => {
+            if parsed.untagged {
+                if variants.iter().any(|v| v.arity != 1) {
+                    return compile_error(
+                        "serde shim: untagged enums must have single-field tuple variants",
+                    );
+                }
+                match mode {
+                    Mode::Ser => gen_untagged_ser(&parsed.name, variants),
+                    Mode::De => gen_untagged_de(&parsed.name, variants),
+                }
+            } else {
+                if variants.iter().any(|v| v.arity != 0) {
+                    return compile_error(
+                        "serde shim: non-untagged enums must have unit variants only",
+                    );
+                }
+                match mode {
+                    Mode::Ser => gen_unit_enum_ser(&parsed.name, variants, parsed.rename_all_snake),
+                    Mode::De => gen_unit_enum_de(&parsed.name, variants, parsed.rename_all_snake),
+                }
+            }
+        }
+    };
+    code.parse().expect("generated impl parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("error tokens parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut it = input.into_iter().peekable();
+    let serde_attrs = take_attrs(&mut it);
+    let rename_all_snake =
+        serde_attrs.iter().any(|a| a.contains("rename_all") && a.contains("snake_case"));
+    let untagged = serde_attrs.iter().any(|a| a.contains("untagged"));
+    skip_visibility(&mut it);
+    let kw = expect_ident(&mut it)?;
+    let name = expect_ident(&mut it)?;
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde shim: generic type `{name}` is not supported"));
+    }
+    let shape = match kw.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if count_top_level_fields(g.stream()) != 1 {
+                    return Err(format!(
+                        "serde shim: tuple struct `{name}` must have exactly one field"
+                    ));
+                }
+                Shape::NewtypeStruct
+            }
+            _ => return Err(format!("serde shim: unsupported struct shape for `{name}`")),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err(format!("serde shim: unsupported enum shape for `{name}`")),
+        },
+        other => return Err(format!("serde shim: cannot derive for `{other}` items")),
+    };
+    Ok(Input { name, rename_all_snake, untagged, shape })
+}
+
+/// Consumes leading `#[...]` attributes, returning the content of each
+/// `#[serde(...)]` as a string (other attributes are skipped).
+fn take_attrs(it: &mut TokenIter) -> Vec<String> {
+    let mut serde_attrs = Vec::new();
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        if let Some(TokenTree::Group(g)) = it.next() {
+            let mut inner = g.stream().into_iter();
+            if let Some(TokenTree::Ident(i)) = inner.next() {
+                if i.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.next() {
+                        serde_attrs.push(args.stream().to_string());
+                    }
+                }
+            }
+        }
+    }
+    serde_attrs
+}
+
+fn skip_visibility(it: &mut TokenIter) {
+    if matches!(it.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+}
+
+fn expect_ident(it: &mut TokenIter) -> Result<String, String> {
+    match it.next() {
+        Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+        other => Err(format!("serde shim: expected identifier, found {other:?}")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let attrs = take_attrs(&mut it);
+        skip_visibility(&mut it);
+        let Some(tt) = it.next() else { break };
+        let name = match tt {
+            TokenTree::Ident(i) => i.to_string(),
+            other => return Err(format!("serde shim: expected field name, found {other}")),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde shim: expected `:` after field, found {other:?}")),
+        }
+        // Consume the type up to the next top-level comma; remember whether
+        // it is spelled `Option<...>` (missing keys then deserialize as None).
+        let mut angle_depth = 0i32;
+        let mut first_ident: Option<String> = None;
+        while let Some(tt) = it.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    it.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Ident(i) if first_ident.is_none() => {
+                    first_ident = Some(i.to_string());
+                }
+                _ => {}
+            }
+            it.next();
+        }
+        let skip_if_none = attrs.iter().any(|a| a.contains("skip_serializing_if"));
+        let is_option = first_ident.as_deref() == Some("Option");
+        fields.push(Field { name, skip_if_none, is_option });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let _attrs = take_attrs(&mut it);
+        let Some(tt) = it.next() else { break };
+        let name = match tt {
+            TokenTree::Ident(i) => i.to_string(),
+            other => return Err(format!("serde shim: expected variant name, found {other}")),
+        };
+        let mut arity = 0;
+        if let Some(TokenTree::Group(g)) = it.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                arity = count_top_level_fields(g.stream());
+                it.next();
+            }
+        }
+        // Skip a `= discriminant` (and anything else) up to the comma.
+        for tt in it.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, arity });
+    }
+    Ok(variants)
+}
+
+/// Counts comma-separated fields at the top level of a tuple body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    for tt in stream {
+        saw_tokens = true;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => fields += 1,
+            _ => {}
+        }
+    }
+    if saw_tokens {
+        fields + 1
+    } else {
+        0
+    }
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_struct_ser(name: &str, fields: &[Field]) -> String {
+    let mut body = String::new();
+    for f in fields {
+        let fname = &f.name;
+        if f.skip_if_none {
+            body.push_str(&format!(
+                "match ::serde::Serialize::to_value(&self.{fname}) {{ \
+                     ::serde::Value::Null => {{}}, \
+                     __v => {{ __map.insert({fname:?}.to_string(), __v); }} \
+                 }}\n"
+            ));
+        } else {
+            body.push_str(&format!(
+                "__map.insert({fname:?}.to_string(), ::serde::Serialize::to_value(&self.{fname}));\n"
+            ));
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut __map = ::serde::Map::new();\n\
+                 {body}\
+                 ::serde::Value::Object(__map)\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &[Field]) -> String {
+    let mut body = String::new();
+    for f in fields {
+        let fname = &f.name;
+        if f.skip_if_none || f.is_option {
+            body.push_str(&format!(
+                "{fname}: match __obj.get({fname:?}) {{ \
+                     ::core::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?, \
+                     ::core::option::Option::None => \
+                         ::serde::Deserialize::from_value(&::serde::Value::Null)?, \
+                 }},\n"
+            ));
+        } else {
+            body.push_str(&format!(
+                "{fname}: ::serde::Deserialize::from_value(__obj.get({fname:?}).ok_or_else(|| \
+                     ::serde::Error::custom(concat!(\"missing field `\", {fname:?}, \"`\")))?)?,\n"
+            ));
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 let __obj = match __value {{\n\
+                     ::serde::Value::Object(__m) => __m,\n\
+                     _ => return ::core::result::Result::Err(::serde::Error::custom(\
+                         concat!(\"expected object for struct \", {name:?}))),\n\
+                 }};\n\
+                 ::core::result::Result::Ok({name} {{\n{body}}})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_newtype_ser(name: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Serialize::to_value(&self.0) }}\n\
+         }}"
+    )
+}
+
+fn gen_newtype_de(name: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 ::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_unit_enum_ser(name: &str, variants: &[Variant], snake: bool) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let ser_name = if snake { snake_case(&v.name) } else { v.name.clone() };
+            format!("{name}::{} => {ser_name:?},\n", v.name)
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::String((match self {{\n{arms}}}).to_string())\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_unit_enum_de(name: &str, variants: &[Variant], snake: bool) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let ser_name = if snake { snake_case(&v.name) } else { v.name.clone() };
+            format!("{ser_name:?} => ::core::result::Result::Ok({name}::{}),\n", v.name)
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 match __value {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                         {arms}\
+                         __other => ::core::result::Result::Err(::serde::Error::custom(\
+                             format!(concat!(\"unknown variant `{{}}` of \", {name:?}), __other))),\n\
+                     }},\n\
+                     _ => ::core::result::Result::Err(::serde::Error::custom(\
+                         concat!(\"expected string for enum \", {name:?}))),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_untagged_ser(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| format!("{name}::{}(__x) => ::serde::Serialize::to_value(__x),\n", v.name))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_untagged_de(name: &str, variants: &[Variant]) -> String {
+    let attempts: String = variants
+        .iter()
+        .map(|v| {
+            format!(
+                "if let ::core::result::Result::Ok(__x) = \
+                     ::serde::Deserialize::from_value(__value) {{\n\
+                     return ::core::result::Result::Ok({name}::{}(__x));\n\
+                 }}\n",
+                v.name
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 {attempts}\
+                 ::core::result::Result::Err(::serde::Error::custom(\
+                     concat!(\"data did not match any variant of untagged enum \", {name:?})))\n\
+             }}\n\
+         }}"
+    )
+}

@@ -29,7 +29,9 @@ fn fluentbit_bug_pattern_in_trace() {
     let index = dio.session_index("fb-bug").unwrap();
     // The reader's events in time order, second generation only.
     let tags: Vec<String> = index
-        .search(&SearchRequest::new(Query::term("syscall", "openat")).sort_by("time", SortOrder::Asc))
+        .search(
+            &SearchRequest::new(Query::term("syscall", "openat")).sort_by("time", SortOrder::Asc),
+        )
         .hits
         .iter()
         .filter_map(|h| h.source["file_tag"].as_str().map(String::from))

@@ -42,9 +42,7 @@ fn trace_store_query_visualize() {
     assert_eq!(index.count(&Query::term("proc_name", "writer")), 16);
     // Aggregation layer.
     let res = index.search(
-        &SearchRequest::match_all()
-            .size(0)
-            .agg("by_class", Aggregation::terms("class", 10)),
+        &SearchRequest::match_all().size(0).agg("by_class", Aggregation::terms("class", 10)),
     );
     let classes: Vec<&str> =
         res.aggs["by_class"].buckets().iter().map(|b| b.key.as_str().unwrap()).collect();
@@ -70,7 +68,9 @@ fn offsets_are_pre_syscall_and_sequential() {
     session.stop();
     let index = dio.session_index("offsets").unwrap();
     let hits = index
-        .search(&SearchRequest::new(Query::term("syscall", "write")).sort_by("time", SortOrder::Asc))
+        .search(
+            &SearchRequest::new(Query::term("syscall", "write")).sort_by("time", SortOrder::Asc),
+        )
         .hits;
     let offsets: Vec<u64> = hits.iter().map(|h| h.source["offset"].as_u64().unwrap()).collect();
     assert_eq!(offsets, vec![0, 100, 200, 300, 400], "offset BEFORE each write applies");
@@ -137,7 +137,8 @@ fn errors_carry_linux_errno_encoding() {
 #[test]
 fn near_real_time_visibility_while_running() {
     let dio = fast_dio();
-    let session = dio.trace(TracerConfig::new("live").flush_interval(std::time::Duration::from_millis(10)));
+    let session =
+        dio.trace(TracerConfig::new("live").flush_interval(std::time::Duration::from_millis(10)));
     let t = dio.kernel().spawn_process("app").spawn_thread("app");
     t.creat("/live.txt", 0o644).unwrap();
     // Events become visible without stopping the session.

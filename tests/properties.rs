@@ -354,3 +354,70 @@ proptest! {
         db.shutdown(&client).unwrap();
     }
 }
+
+// ------------------------------------------- ring drop accounting
+
+/// One step of an arbitrary producer/consumer interleaving.
+#[derive(Debug, Clone)]
+enum RingOp {
+    Push(u32, u32),
+    Drain(u32, usize),
+    DrainAll(usize),
+}
+
+fn ring_op() -> impl Strategy<Value = RingOp> {
+    prop_oneof![
+        4 => (0u32..4, any::<u32>()).prop_map(|(c, v)| RingOp::Push(c, v)),
+        1 => (0u32..4, 1usize..8).prop_map(|(c, n)| RingOp::Drain(c, n)),
+        1 => (1usize..16).prop_map(RingOp::DrainAll),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Exact drop accounting under arbitrary push/drain interleavings:
+    /// after every step `pushed + dropped == attempts` and
+    /// `consumed <= pushed`; per-CPU counters always sum to the totals and
+    /// no buffer's occupancy high-water mark exceeds its capacity.
+    #[test]
+    fn ring_buffer_exact_drop_accounting(
+        slots in 1usize..16,
+        cpus in 1u32..4,
+        ops in proptest::collection::vec(ring_op(), 0..250),
+    ) {
+        let ring: RingBuffer<u32> = RingBuffer::with_slots(cpus, slots);
+        let mut attempts = 0u64;
+        for op in &ops {
+            match *op {
+                RingOp::Push(cpu, value) => {
+                    let _ = ring.try_push(cpu, value);
+                    attempts += 1;
+                }
+                RingOp::Drain(cpu, max) => {
+                    ring.drain(cpu % cpus, max);
+                }
+                RingOp::DrainAll(max) => {
+                    ring.drain_all(max);
+                }
+            }
+            let s = ring.stats();
+            prop_assert_eq!(s.pushed + s.dropped, attempts);
+            prop_assert!(s.consumed <= s.pushed);
+        }
+
+        // Drain to empty: everything pushed is eventually consumed.
+        ring.drain_all(usize::MAX);
+        let s = ring.stats();
+        prop_assert_eq!(s.pushed + s.dropped, attempts);
+        prop_assert_eq!(s.consumed, s.pushed);
+        prop_assert!(ring.is_empty());
+        prop_assert_eq!(s.per_cpu.iter().map(|c| c.pushed).sum::<u64>(), s.pushed);
+        prop_assert_eq!(s.per_cpu.iter().map(|c| c.dropped).sum::<u64>(), s.dropped);
+        prop_assert_eq!(s.per_cpu.iter().map(|c| c.consumed).sum::<u64>(), s.consumed);
+        prop_assert!(s.occupancy_hwm as usize <= slots);
+        for c in &s.per_cpu {
+            prop_assert!(c.occupancy_hwm as usize <= slots, "cpu {} HWM", c.cpu);
+        }
+    }
+}

@@ -6,6 +6,7 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::RwLock;
 use serde_json::Value;
 
+use dio_telemetry::span::{monotonic_ns, Stage, StageStamps};
 use dio_telemetry::{Counter, Histogram, MetricsRegistry};
 
 use crate::index::Index;
@@ -111,6 +112,20 @@ impl DocStore {
         ids
     }
 
+    /// [`DocStore::bulk`] for span-traced batches: after the backend
+    /// acknowledges the bulk request, every document's [`StageStamps`]
+    /// record is stamped [`Stage::BulkIndex`] (one clock read for the
+    /// batch — the whole bulk is acknowledged at once, like a single
+    /// Elasticsearch `_bulk` response).
+    pub fn bulk_spans(&self, name: &str, docs: Vec<Value>, spans: &mut [StageStamps]) -> Vec<u64> {
+        let ids = self.bulk(name, docs);
+        let now = monotonic_ns();
+        for stamps in spans.iter_mut() {
+            stamps.stamp(Stage::BulkIndex, now);
+        }
+        ids
+    }
+
     /// Total documents across all indices.
     pub fn total_docs(&self) -> usize {
         self.indices.read().values().map(|i| i.len()).sum()
@@ -147,6 +162,18 @@ mod tests {
         assert!(store.delete_index("gone"));
         assert!(!store.delete_index("gone"));
         assert!(store.index_names().is_empty());
+    }
+
+    #[test]
+    fn bulk_spans_stamps_bulk_index_on_ack() {
+        let store = DocStore::new();
+        let mut spans = vec![StageStamps::new(), StageStamps::new()];
+        spans[0].stamp(Stage::KernelDispatch, 10);
+        let ids = store.bulk_spans("dio-s1", vec![json!({"a": 1}), json!({"a": 2})], &mut spans);
+        assert_eq!(ids.len(), 2);
+        let first = spans[0].get(Stage::BulkIndex).expect("stamped");
+        let second = spans[1].get(Stage::BulkIndex).expect("stamped");
+        assert_eq!(first, second, "one acknowledgement time for the whole bulk");
     }
 
     #[test]

@@ -155,17 +155,13 @@ fn main() {
     ));
     println!("{out}");
     write_result("discard_rates.txt", &out);
+    let mut params = config.params_json();
+    params["sweep_slots_per_cpu"] =
+        serde_json::json!(sweep.iter().map(|&(s, _)| s).collect::<Vec<_>>());
     write_json_result(
         "discard_rates.json",
         "exp_discard",
-        serde_json::json!({
-            "sweep_slots_per_cpu": sweep.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
-            "ops_per_thread": config.ops_per_thread,
-            "client_threads": config.client_threads,
-            "records": config.records,
-            "value_size": config.value_size,
-            "seed": config.seed,
-        }),
+        params,
         serde_json::json!({
             "discard_rates": rates.clone(),
             "sweep": sweep

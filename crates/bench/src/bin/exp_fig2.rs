@@ -8,13 +8,17 @@
 use dio_core::{dashboards, detect_data_loss, Dio, Query, SearchRequest, SortOrder, TracerConfig};
 use dio_fluentbit::{run_issue_1875, FluentBitVersion};
 
-fn run_version(version: FluentBitVersion, fig: &str) -> String {
+/// Phase gap on the simulated time axis (the paper's table shows
+/// multi-second gaps between client writes and tailer reads).
+const GAP_NS: u64 = 20_000_000;
+
+fn run_version(version: FluentBitVersion, fig: &str) -> (String, serde_json::Value) {
     let dio = Dio::new();
     let session_name = format!("fluentbit-{fig}");
     // The paper filters on the two applications' processes; our kernel
     // only runs those two, so the full syscall set is equivalent.
     let session = dio.trace(TracerConfig::new(&session_name));
-    let outcome = run_issue_1875(dio.kernel(), version, "/app.log", 20_000_000)
+    let outcome = run_issue_1875(dio.kernel(), version, "/app.log", GAP_NS)
         .expect("scenario replays cleanly");
     let report = session.stop();
 
@@ -116,14 +120,39 @@ fn run_version(version: FluentBitVersion, fig: &str) -> String {
         "file tags: generations {} and {} share dev|ino, differ in timestamp\n",
         tags[0], tags[1]
     ));
-    out
+
+    let metrics = serde_json::json!({
+        "bytes_written": outcome.bytes_written,
+        "bytes_consumed": outcome.bytes_consumed,
+        "bytes_lost": outcome.bytes_lost(),
+        "events_stored": report.trace.events_stored,
+        "events_dropped": report.trace.events_dropped,
+        "events_unresolved": report.correlation.events_unresolved,
+        "data_loss_incidents": incidents.len(),
+        "stale_offset": incidents.first().map(|i| i.stale_offset),
+        "file_tag_generations": tags.len(),
+    });
+    (out, metrics)
 }
 
 fn main() {
-    let fig2a = run_version(FluentBitVersion::V1_4_0, "a");
-    let fig2b = run_version(FluentBitVersion::V2_0_5, "b");
+    let (fig2a, metrics_a) = run_version(FluentBitVersion::V1_4_0, "a");
+    let (fig2b, metrics_b) = run_version(FluentBitVersion::V2_0_5, "b");
     let combined = format!("{fig2a}\n{}\n{fig2b}", "=".repeat(100));
     println!("{combined}");
     dio_bench::write_result("fig2_fluentbit.txt", &combined);
+    dio_bench::write_json_result(
+        "fig2_fluentbit.json",
+        "exp_fig2",
+        serde_json::json!({
+            "workload": "fluentbit_issue_1875",
+            "log_path": "/app.log",
+            "gap_ns": GAP_NS,
+        }),
+        serde_json::json!({
+            "v1_4_0": metrics_a,
+            "v2_0_5": metrics_b,
+        }),
+    );
     println!("\nFig. 2 reproduced: v1.4.0 loses 16 bytes at stale offset 26; v2.0.5 reads from 0.");
 }

@@ -80,6 +80,29 @@ fn main() {
     println!("{out}");
     dio_bench::write_result("fig4_syscalls_by_thread.txt", &out);
     dio_bench::write_result("fig4_syscalls_by_thread.csv", &csv);
+    dio_bench::write_json_result(
+        "fig4_syscalls_by_thread.json",
+        "exp_fig4",
+        config.params_json(),
+        serde_json::json!({
+            "events_stored": summary.events_stored,
+            "events_dropped": summary.events_dropped,
+            "drop_rate": summary.drop_rate(),
+            "windows": report.windows.len(),
+            "contended_windows": report.contended_windows().count(),
+            "contention_detected": report.contention_detected(),
+            "client_ops_calm": report.client_ops_calm,
+            "client_ops_contended": report.client_ops_contended,
+            "degradation_factor": report.degradation_factor(),
+            "per_window": report.windows.iter().map(|w| serde_json::json!({
+                "start_s": (w.start_ns - t0) as f64 / 1e9,
+                "client_ops": w.client_ops,
+                "background_ops": w.background_ops,
+                "active_compaction_threads": w.active_background_threads,
+                "contended": w.contended,
+            })).collect::<Vec<_>>(),
+        }),
+    );
 
     if !dio_bench::smoke_mode() {
         assert!(summary.events_stored > 0);

@@ -25,5 +25,19 @@ fn main() {
     out.push_str(&format!("measured: {} syscalls in the catalog\n", SyscallKind::ALL.len()));
     println!("{out}");
     dio_bench::write_result("table1_syscalls.txt", &out);
+    let mut by_class = serde_json::Map::new();
+    for class in classes {
+        let count = SyscallKind::ALL.iter().filter(|k| k.class() == class).count();
+        by_class.insert(class.to_string(), serde_json::json!(count));
+    }
+    dio_bench::write_json_result(
+        "table1_syscalls.json",
+        "exp_table1",
+        serde_json::json!({ "workload": "syscall_catalog" }),
+        serde_json::json!({
+            "total_syscalls": SyscallKind::ALL.len(),
+            "by_class": serde_json::Value::Object(by_class),
+        }),
+    );
     assert_eq!(SyscallKind::ALL.len(), 42);
 }

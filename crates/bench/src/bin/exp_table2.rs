@@ -83,17 +83,12 @@ fn main() {
     ));
     println!("{out}");
     write_result("table2_overhead.txt", &out);
+    let mut params = config.params_json();
+    params["runs"] = serde_json::json!(RUNS);
     write_json_result(
         "table2_overhead.json",
         "exp_table2",
-        serde_json::json!({
-            "runs": RUNS,
-            "ops_per_thread": config.ops_per_thread,
-            "client_threads": config.client_threads,
-            "records": config.records,
-            "value_size": config.value_size,
-            "seed": config.seed,
-        }),
+        params,
         serde_json::json!({
             "setups": TracingSetup::ALL.into_iter().map(|s| s.name()).collect::<Vec<_>>(),
             "median_ns": medians.clone(),

@@ -59,6 +59,31 @@ fn main() {
     out.push_str("LongLine forward events inline; only DIO diagnoses both use cases (TA).\n");
     println!("{out}");
     dio_bench::write_result("table3_comparison.txt", &out);
+    dio_bench::write_json_result(
+        "table3_comparison.json",
+        "exp_table3",
+        serde_json::json!({ "workload": "capability_matrix" }),
+        serde_json::json!({
+            "tools": matrix.iter().map(|t| t.name).collect::<Vec<_>>(),
+            "tools_with_f_offset": matrix.iter().filter(|t| t.f_offset).count(),
+            "tools_with_entry_exit_agg":
+                matrix.iter().filter(|t| t.aggregates_entry_exit).count(),
+            "matrix": matrix.iter().map(|t| serde_json::json!({
+                "tool": t.name,
+                "syscall_info": t.syscall_info,
+                "f_offset": t.f_offset,
+                "f_type": t.f_type,
+                "proc_name": t.proc_name,
+                "filters": t.filters,
+                "aggregates_entry_exit": t.aggregates_entry_exit,
+                "integration": t.integration.to_string(),
+                "customizable": t.customizable,
+                "predefined_vis": t.predefined_vis,
+                "use_case_data_loss": t.use_case_data_loss.to_string(),
+                "use_case_contention": t.use_case_contention.to_string(),
+            })).collect::<Vec<_>>(),
+        }),
+    );
 
     // Invariants from §IV.
     assert_eq!(matrix.iter().filter(|t| t.f_offset).count(), 1);

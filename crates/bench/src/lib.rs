@@ -43,12 +43,33 @@ pub fn run_id() -> String {
     format!("{}-{}", secs, std::process::id())
 }
 
+/// The commit the results were produced from: `GITHUB_SHA` in CI, `git
+/// rev-parse HEAD` on a dev box, `"unknown"` outside a work tree.
+pub fn git_commit() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Writes a machine-readable result document to `results/<name>`:
-/// `{run_id, experiment, smoke, params, metrics}` as pretty JSON.
+/// `{run_id, experiment, git_commit, smoke, params, metrics}` as pretty
+/// JSON.
 ///
 /// Every experiment binary pairs this with its human-readable
 /// [`write_result`] output so downstream tooling never has to parse
-/// ASCII tables.
+/// ASCII tables. `params` keys are shared across binaries (the RocksDB
+/// ones all embed [`rocksdb_run::RocksdbRunConfig::params_json`]) so a
+/// parameter always lives under the same name in every result file.
 pub fn write_json_result(
     name: &str,
     experiment: &str,
@@ -58,6 +79,7 @@ pub fn write_json_result(
     let doc = serde_json::json!({
         "run_id": run_id(),
         "experiment": experiment,
+        "git_commit": git_commit(),
         "smoke": smoke_mode(),
         "params": params,
         "metrics": metrics,
@@ -91,6 +113,13 @@ pub fn result_exists(name: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn git_commit_is_never_empty() {
+        let sha = git_commit();
+        assert!(!sha.is_empty());
+        assert!(sha == "unknown" || sha.chars().all(|c| c.is_ascii_hexdigit()), "{sha}");
+    }
 
     #[test]
     fn duration_formatting() {

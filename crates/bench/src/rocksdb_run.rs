@@ -108,6 +108,23 @@ impl RocksdbRunConfig {
     pub fn smoke() -> Self {
         RocksdbRunConfig { records: 300, ops_per_thread: 120, ..Default::default() }
     }
+
+    /// The shared `params` block of a machine-readable result document.
+    /// Every RocksDB-workload binary embeds this so a parameter lives
+    /// under the same key in every `results/*.json` file; binaries append
+    /// their extra knobs to the returned object.
+    pub fn params_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "workload": "rocksdb_ycsb_a",
+            "records": self.records,
+            "ops_per_thread": self.ops_per_thread,
+            "value_size": self.value_size,
+            "client_threads": self.client_threads,
+            "compaction_threads": self.compaction_threads,
+            "window_ns": self.window_ns,
+            "seed": self.seed,
+        })
+    }
 }
 
 /// The scaled equivalent of the paper's NVMe dataset disk: bandwidth is

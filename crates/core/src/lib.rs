@@ -52,10 +52,11 @@ pub use dio_kernel::{
     DiskProfile, Errno, Kernel, OpenFlags, Process, SimClock, SysResult, ThreadCtx, Vfs, Whence,
 };
 pub use dio_syscall::{FileTag, FileType, Pid, SyscallClass, SyscallEvent, SyscallKind, Tid};
+pub use dio_telemetry::{SpanCollector, SpanSummary, Stage, StageStamps};
 pub use dio_tracer::{generate_session_name, TraceSummary, Tracer, TracerConfig};
 pub use dio_viz::{
-    dashboards, render_health_dashboard, Chart, Column, Dashboard, HealthReport, Heatmap, Panel,
-    PanelSpec, Series, Table,
+    dashboards, render_health_dashboard, render_latency_waterfall, Chart, Column, Dashboard,
+    HealthReport, Heatmap, Panel, PanelSpec, Series, Table,
 };
 
 /// The assembled DIO deployment: one kernel under observation plus the

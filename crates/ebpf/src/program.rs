@@ -15,6 +15,7 @@ use parking_lot::Mutex;
 
 use dio_kernel::{EnterEvent, ExitEvent, KernelInspect, SyscallProbe};
 use dio_syscall::{Arg, FileTag, FileType, Pid, SyscallEvent, SyscallKind, SyscallSet, Tid};
+use dio_telemetry::span::{SpanCollector, Stage, StageStamps, StampCarrier};
 use dio_telemetry::{Counter, Gauge, MetricsRegistry};
 
 use crate::filter::FilterSpec;
@@ -52,6 +53,19 @@ pub struct RawEvent {
     pub file_tag: Option<FileTag>,
     /// Path argument for path-bearing syscalls.
     pub path: Option<String>,
+    /// Per-stage span stamps accumulated along the pipeline
+    /// (kernel dispatch set at emit; ring push/drain and later stages
+    /// stamped by the transport layers).
+    pub stamps: StageStamps,
+}
+
+impl StampCarrier for RawEvent {
+    fn stamps(&self) -> &StageStamps {
+        &self.stamps
+    }
+    fn stamps_mut(&mut self) -> &mut StageStamps {
+        &mut self.stamps
+    }
 }
 
 impl RawEvent {
@@ -166,6 +180,7 @@ pub struct TracerProgram {
     join_overflow: AtomicU64,
     emitted: AtomicU64,
     telemetry: OnceLock<ProgramTelemetry>,
+    spans: OnceLock<Arc<SpanCollector>>,
 }
 
 impl std::fmt::Debug for TracerProgram {
@@ -202,7 +217,16 @@ impl TracerProgram {
             join_overflow: AtomicU64::new(0),
             emitted: AtomicU64::new(0),
             telemetry: OnceLock::new(),
+            spans: OnceLock::new(),
         })
+    }
+
+    /// Attaches a span collector: every emitted event is accounted as
+    /// entering the pipeline (lag watermark), and ring-rejected events are
+    /// reported as drop-attributed partial spans. Binding twice is a no-op.
+    pub fn bind_spans(&self, spans: Arc<SpanCollector>) {
+        self.ring.bind_spans(Arc::clone(&spans));
+        let _ = self.spans.set(spans);
     }
 
     /// Registers the program's metrics (`ebpf.filter.accepted` /
@@ -345,6 +369,8 @@ impl SyscallProbe for TracerProgram {
             }
         }
         let _ = p.fd;
+        let mut stamps = StageStamps::new();
+        stamps.stamp(Stage::KernelDispatch, event.mono_ns);
         let raw = RawEvent {
             kind: p.kind,
             pid: event.pid,
@@ -359,9 +385,13 @@ impl SyscallProbe for TracerProgram {
             offset: p.offset,
             file_tag: p.file_tag,
             path: p.path,
+            stamps,
         };
         self.emitted.fetch_add(1, Ordering::Relaxed);
-        self.ring.try_push(event.cpu, raw);
+        if let Some(spans) = self.spans.get() {
+            spans.note_emitted(event.mono_ns);
+        }
+        self.ring.try_push_stamped(event.cpu, raw);
     }
 }
 

@@ -10,6 +10,7 @@ use std::sync::{Arc, OnceLock};
 
 use crossbeam::queue::ArrayQueue;
 
+use dio_telemetry::span::{monotonic_ns, SpanCollector, Stage, StampCarrier};
 use dio_telemetry::{Counter, Gauge, MetricsRegistry};
 
 /// Sizing for the per-CPU buffers.
@@ -143,6 +144,7 @@ pub struct RingBuffer<T> {
     queues: Vec<ArrayQueue<T>>,
     counters: Vec<CpuCounters>,
     telemetry: OnceLock<RingTelemetry>,
+    spans: OnceLock<Arc<SpanCollector>>,
 }
 
 impl<T> RingBuffer<T> {
@@ -158,6 +160,7 @@ impl<T> RingBuffer<T> {
             queues: (0..n).map(|_| ArrayQueue::new(slots_per_cpu.max(1))).collect(),
             counters: (0..n).map(|_| CpuCounters::default()).collect(),
             telemetry: OnceLock::new(),
+            spans: OnceLock::new(),
         }
     }
 
@@ -171,6 +174,13 @@ impl<T> RingBuffer<T> {
             consumed: registry.counter("ebpf.ring.consumed"),
             occupancy_hwm: registry.gauge("ebpf.ring.occupancy_hwm"),
         });
+    }
+
+    /// Attaches a span collector for drop attribution: from then on,
+    /// events rejected by [`RingBuffer::try_push_stamped`] are reported as
+    /// drop-attributed partial spans. Binding twice is a no-op.
+    pub fn bind_spans(&self, spans: Arc<SpanCollector>) {
+        let _ = self.spans.set(spans);
     }
 
     /// Number of per-CPU queues.
@@ -207,6 +217,27 @@ impl<T> RingBuffer<T> {
                 }
                 false
             }
+        }
+    }
+
+    /// [`RingBuffer::try_push`] for span-carrying events: stamps
+    /// [`Stage::RingPush`] on the event entering the ring, and on overflow
+    /// hands the *pre-push* partial stamp record to the bound
+    /// [`SpanCollector`] so the drop is attributed to the `ring_push`
+    /// hand-off the event failed to clear.
+    pub fn try_push_stamped(&self, cpu: u32, mut item: T) -> bool
+    where
+        T: StampCarrier,
+    {
+        let pre_push = *item.stamps();
+        item.stamps_mut().stamp_now(Stage::RingPush);
+        if self.try_push(cpu, item) {
+            true
+        } else {
+            if let Some(spans) = self.spans.get() {
+                spans.record_drop(&pre_push);
+            }
+            false
         }
     }
 
@@ -259,6 +290,23 @@ impl<T> RingBuffer<T> {
         }
         for (slot, n) in taken.into_iter().enumerate() {
             self.count_consumed(slot, n);
+        }
+        out
+    }
+
+    /// [`RingBuffer::drain_all`] for span-carrying events: stamps
+    /// [`Stage::RingDrain`] on every event leaving the ring (one clock
+    /// read for the whole batch).
+    pub fn drain_all_stamped(&self, max: usize) -> Vec<T>
+    where
+        T: StampCarrier,
+    {
+        let mut out = self.drain_all(max);
+        if !out.is_empty() {
+            let now = monotonic_ns();
+            for item in &mut out {
+                item.stamps_mut().stamp(Stage::RingDrain, now);
+            }
         }
         out
     }
@@ -366,5 +414,65 @@ mod tests {
     fn empty_drop_rate_is_zero() {
         let ring: RingBuffer<u32> = RingBuffer::with_slots(1, 1);
         assert_eq!(ring.stats().drop_rate(), 0.0);
+    }
+
+    /// Regression: the aggregate occupancy high-water mark is per-CPU and
+    /// must be the max of the per-CPU maxima, never their sum — HWM 3 on
+    /// cpu0 plus HWM 2 on cpu1 is an aggregate of 3, not 5.
+    #[test]
+    fn occupancy_hwm_aggregates_max_of_maxes_not_sum() {
+        let ring: RingBuffer<u32> = RingBuffer::with_slots(2, 8);
+        for i in 0..3 {
+            ring.try_push(0, i); // cpu0 occupancy reaches 3
+        }
+        for i in 0..2 {
+            ring.try_push(1, i); // cpu1 occupancy reaches 2
+        }
+        let s = ring.stats();
+        assert_eq!(s.per_cpu[0].occupancy_hwm, 3);
+        assert_eq!(s.per_cpu[1].occupancy_hwm, 2);
+        assert_eq!(s.occupancy_hwm, 3, "aggregate must be max(3, 2), not 3 + 2");
+        // Draining never lowers a high-water mark.
+        ring.drain_all(16);
+        assert_eq!(ring.stats().occupancy_hwm, 3);
+    }
+
+    #[test]
+    fn stamped_push_and_drain_stamp_hand_offs() {
+        use dio_telemetry::span::StageStamps;
+
+        let ring: RingBuffer<StageStamps> = RingBuffer::with_slots(1, 4);
+        let mut stamps = StageStamps::new();
+        stamps.stamp_now(Stage::KernelDispatch);
+        assert!(ring.try_push_stamped(0, stamps));
+        let drained = ring.drain_all_stamped(4);
+        assert_eq!(drained.len(), 1);
+        let s = drained[0];
+        let push = s.get(Stage::RingPush).expect("push stamped");
+        let drain = s.get(Stage::RingDrain).expect("drain stamped");
+        assert!(s.get(Stage::KernelDispatch).unwrap() <= push);
+        assert!(push <= drain);
+        assert_eq!(s.first_missing(), Some(Stage::Parse));
+    }
+
+    #[test]
+    fn stamped_push_overflow_attributes_drop_to_ring_push() {
+        use dio_telemetry::span::StageStamps;
+        use dio_telemetry::MetricsRegistry;
+
+        let registry = MetricsRegistry::new();
+        let spans = SpanCollector::new(&registry, 0);
+        let ring: RingBuffer<StageStamps> = RingBuffer::with_slots(1, 1);
+        ring.bind_spans(Arc::clone(&spans));
+
+        let mut stamps = StageStamps::new();
+        stamps.stamp_now(Stage::KernelDispatch);
+        assert!(ring.try_push_stamped(0, stamps));
+        assert!(!ring.try_push_stamped(0, stamps), "second push overflows");
+
+        let summary = spans.summary();
+        assert_eq!(summary.dropped, 1);
+        assert_eq!(summary.drops_by_stage.get("ring_push"), Some(&1));
+        assert_eq!(summary.e2e.count, 0, "dropped events never reach e2e");
     }
 }

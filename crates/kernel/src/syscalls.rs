@@ -127,6 +127,7 @@ impl ThreadCtx {
             cpu: self.cpu,
             time_ns: self.kernel.clock().now_ns(),
             ret,
+            mono_ns: dio_telemetry::monotonic_ns(),
         };
         registry.dispatch_exit(&view, &exit);
         result.map(|(_, v)| v)

@@ -87,6 +87,11 @@ pub struct ExitEvent {
     pub time_ns: u64,
     /// Return value (`-errno` on failure).
     pub ret: i64,
+    /// Monotonic dispatch stamp ([`dio_telemetry::monotonic_ns`]) taken
+    /// when the kernel fired the tracepoint — the span's
+    /// `Stage::KernelDispatch` anchor. Unlike `time_ns` (simulated clock)
+    /// this is comparable with user-space stamps.
+    pub mono_ns: u64,
 }
 
 /// A kernel-side probe attached to syscall tracepoints.
@@ -289,6 +294,7 @@ mod tests {
                 cpu: 0,
                 time_ns: 0,
                 ret: 0,
+                mono_ns: 1,
             },
         );
         assert_eq!(a.exits.load(Ordering::Relaxed), 1);

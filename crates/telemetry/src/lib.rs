@@ -15,7 +15,11 @@
 //!   to render itself as flat backend health documents;
 //! * [`Exporter`] — a background thread that periodically snapshots the
 //!   registry and hands the documents to a sink (the tracer wires the
-//!   sink to `DocStore::bulk` on a `dio-telemetry-<session>` index).
+//!   sink to `DocStore::bulk` on a `dio-telemetry-<session>` index);
+//! * [`span`] — end-to-end event span tracing: per-event [`StageStamps`]
+//!   stamped at every pipeline hand-off, aggregated by [`SpanCollector`]
+//!   into per-stage/e2e latency histograms, a pipeline lag watermark, and
+//!   drop attribution.
 //!
 //! Metric names are dotted paths (`ebpf.ring.dropped`,
 //! `tracer.shipper.batch_ns`); the full catalog is documented in
@@ -42,7 +46,9 @@
 mod exporter;
 mod metrics;
 mod registry;
+pub mod span;
 
 pub use exporter::{Exporter, ExporterHandle};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, StageTimer};
 pub use registry::{MetricsRegistry, TelemetrySnapshot};
+pub use span::{monotonic_ns, SpanCollector, SpanSummary, Stage, StageStamps, StampCarrier};

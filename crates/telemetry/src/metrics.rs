@@ -175,7 +175,7 @@ impl std::fmt::Debug for Histogram {
 }
 
 /// Resolved histogram statistics at one point in time.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct HistogramSnapshot {
     /// Number of samples.
     pub count: u64,

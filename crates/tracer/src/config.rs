@@ -43,6 +43,7 @@ pub struct TracerConfig {
     exit_cost_ns: u64,
     telemetry: bool,
     telemetry_interval: Duration,
+    span_sample_every: u64,
 }
 
 impl TracerConfig {
@@ -63,6 +64,7 @@ impl TracerConfig {
             exit_cost_ns: 0,
             telemetry: true,
             telemetry_interval: Duration::from_millis(100),
+            span_sample_every: 64,
         }
     }
 
@@ -206,6 +208,15 @@ impl TracerConfig {
         self
     }
 
+    /// Sets the full-span document sampling period: 1 in `n` completed
+    /// spans is bulk-indexed into `dio-telemetry-<session>` for post-hoc
+    /// queries (`kind: "span"` documents). 0 disables sampling, 1 keeps
+    /// every span. Default: 64.
+    pub fn span_sample_every(mut self, n: u64) -> Self {
+        self.span_sample_every = n;
+        self
+    }
+
     pub(crate) fn filter_spec(&self) -> &FilterSpec {
         &self.filter
     }
@@ -244,6 +255,10 @@ impl TracerConfig {
 
     pub(crate) fn telemetry_tick(&self) -> Duration {
         self.telemetry_interval
+    }
+
+    pub(crate) fn span_sampling(&self) -> u64 {
+        self.span_sample_every
     }
 }
 

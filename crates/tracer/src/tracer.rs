@@ -6,11 +6,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use serde_json::Value;
+use serde_json::{json, Value};
 
 use dio_backend::DocStore;
 use dio_ebpf::{ProgramConfig, RawEvent, RingBuffer, RingStats, TracerProgram};
 use dio_kernel::{Kernel, ProbeId, SyscallProbe};
+use dio_telemetry::span::{SpanCollector, SpanSummary, Stage, StageStamps};
 use dio_telemetry::{
     Exporter, ExporterHandle, Gauge, Histogram, MetricsRegistry, TelemetrySnapshot,
 };
@@ -35,6 +36,10 @@ pub struct TraceSummary {
     /// Final self-telemetry snapshot: every pipeline metric at shutdown
     /// (see the DESIGN.md "Self-telemetry" section for the catalog).
     pub health: TelemetrySnapshot,
+    /// Span-derived statistics: per-stage and end-to-end latency
+    /// percentiles, the lag watermark, and drop attribution (see the
+    /// DESIGN.md "Span lifecycle" section).
+    pub spans: SpanSummary,
 }
 
 impl TraceSummary {
@@ -94,7 +99,15 @@ pub struct Tracer {
     stored: Arc<AtomicU64>,
     batches: Arc<AtomicU64>,
     registry: Arc<MetricsRegistry>,
+    spans: Arc<SpanCollector>,
     exporter: Option<ExporterHandle>,
+}
+
+/// One parsed event in flight between consumer and shipper: the backend
+/// document plus its span stamps (which must survive until bulk-index).
+struct ShipItem {
+    doc: Value,
+    stamps: StageStamps,
 }
 
 /// Telemetry handles for the consumer thread.
@@ -145,12 +158,14 @@ impl Tracer {
         kernel.bind_telemetry(&registry);
         program.bind_telemetry(&registry);
         backend.bind_telemetry(&registry);
+        let spans = SpanCollector::new(&registry, config.span_sampling());
+        program.bind_spans(Arc::clone(&spans));
 
         let stop_flag = Arc::new(AtomicBool::new(false));
         let stored = Arc::new(AtomicU64::new(0));
         let batches = Arc::new(AtomicU64::new(0));
         // A deep channel so the consumer rarely blocks on the shipper.
-        let (tx, rx) = bounded::<Value>(config.batch() * 64);
+        let (tx, rx) = bounded::<ShipItem>(config.batch() * 64);
 
         let consumer = {
             let ring = Arc::clone(&ring);
@@ -158,6 +173,7 @@ impl Tracer {
             let session = config.session().to_string();
             let drain_batch = config.drain();
             let poll = config.poll();
+            let spans = Arc::clone(&spans);
             let telemetry = ConsumerTelemetry {
                 drain_batch: registry.histogram("tracer.consumer.drain_batch"),
                 parse_ns: registry.histogram("tracer.consumer.parse_ns"),
@@ -166,7 +182,16 @@ impl Tracer {
             std::thread::Builder::new()
                 .name(format!("dio-consumer-{session}"))
                 .spawn(move || {
-                    consumer_loop(&ring, &stop, &session, &tx, drain_batch, poll, &telemetry)
+                    consumer_loop(
+                        &ring,
+                        &stop,
+                        &session,
+                        &tx,
+                        drain_batch,
+                        poll,
+                        &spans,
+                        &telemetry,
+                    )
                 })
                 .expect("spawn consumer thread")
         };
@@ -177,6 +202,13 @@ impl Tracer {
             let flush = config.flush();
             let stored = Arc::clone(&stored);
             let batches = Arc::clone(&batches);
+            // Sampled full-span documents only ship while the telemetry
+            // index is in use; with telemetry off, no index is created.
+            let span_sink = config.telemetry_enabled().then(|| SpanSink {
+                session: config.session().to_string(),
+                telemetry_index: config.telemetry_index_name(),
+            });
+            let spans = Arc::clone(&spans);
             let telemetry = ShipperTelemetry {
                 batch_ns: registry.histogram("tracer.shipper.batch_ns"),
                 batch_size: registry.histogram("tracer.shipper.batch_size"),
@@ -184,16 +216,18 @@ impl Tracer {
             std::thread::Builder::new()
                 .name(format!("dio-shipper-{}", config.session()))
                 .spawn(move || {
-                    shipper_loop(
-                        &backend,
-                        &index_name,
+                    let ctx = ShipperCtx {
+                        backend,
+                        index_name,
                         batch_size,
-                        flush,
-                        &rx,
-                        &stored,
-                        &batches,
-                        &telemetry,
-                    )
+                        flush_interval: flush,
+                        stored,
+                        batches,
+                        spans,
+                        span_sink,
+                        telemetry,
+                    };
+                    shipper_loop(&ctx, &rx)
                 })
                 .expect("spawn shipper thread")
         };
@@ -201,9 +235,14 @@ impl Tracer {
         let exporter = config.telemetry_enabled().then(|| {
             let sink_backend = backend.clone();
             let telemetry_index = config.telemetry_index_name();
+            let lag_spans = Arc::clone(&spans);
             Exporter::new(config.session(), config.telemetry_tick()).spawn(
                 Arc::clone(&registry),
-                |_| {},
+                // Recompute the lag watermark right before each export so
+                // the shipped gauge is current, not last-event stale.
+                move |_| {
+                    lag_spans.refresh_lag();
+                },
                 move |docs| {
                     sink_backend.bulk(&telemetry_index, docs);
                 },
@@ -222,6 +261,7 @@ impl Tracer {
             stored,
             batches,
             registry,
+            spans,
             exporter,
         }
     }
@@ -255,9 +295,17 @@ impl Tracer {
         &self.registry
     }
 
-    /// A live snapshot of every pipeline metric.
+    /// A live snapshot of every pipeline metric (the lag watermark gauge
+    /// is recomputed first, so it reflects now rather than the last tick).
     pub fn health_snapshot(&self) -> TelemetrySnapshot {
+        self.spans.refresh_lag();
         self.registry.snapshot()
+    }
+
+    /// Live span-derived statistics (per-stage/e2e latency percentiles,
+    /// lag watermark, drop attribution).
+    pub fn span_summary(&self) -> SpanSummary {
+        self.spans.summary()
     }
 
     /// Detaches from the kernel, drains every buffered event, flushes the
@@ -284,6 +332,9 @@ impl Tracer {
         }
         let ring = self.program.ring().stats();
         let prog = self.program.stats();
+        // Summarize spans first: it refreshes the lag gauges, so the
+        // health snapshot below carries the final (drained = 0) lag.
+        let spans = self.spans.summary();
         TraceSummary {
             session: self.session.clone(),
             index_name: self.index_name.clone(),
@@ -292,6 +343,7 @@ impl Tracer {
             events_filtered: prog.filtered,
             batches: self.batches.load(Ordering::Relaxed),
             health: self.registry.snapshot(),
+            spans,
         }
     }
 }
@@ -303,17 +355,19 @@ impl Drop for Tracer {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn consumer_loop(
     ring: &RingBuffer<RawEvent>,
     stop: &AtomicBool,
     session: &str,
-    tx: &Sender<Value>,
+    tx: &Sender<ShipItem>,
     drain_batch: usize,
     poll: Duration,
+    spans: &SpanCollector,
     telemetry: &ConsumerTelemetry,
 ) {
     loop {
-        let raws = ring.drain_all(drain_batch);
+        let raws = ring.drain_all_stamped(drain_batch);
         let drained = raws.len();
         if raws.is_empty() && stop.load(Ordering::Acquire) && ring.is_empty() {
             break;
@@ -322,11 +376,18 @@ fn consumer_loop(
             telemetry.drain_batch.record(drained as u64);
         }
         for raw in raws {
+            let mut stamps = raw.stamps;
             let parse_timer = telemetry.parse_ns.start_timer();
             let doc = raw.into_event(session).to_document();
             parse_timer.observe();
-            if tx.send(doc).is_err() {
-                return; // shipper gone
+            stamps.stamp_now(Stage::Parse);
+            let pre_enqueue = stamps;
+            stamps.stamp_now(Stage::BatchEnqueue);
+            if tx.send(ShipItem { doc, stamps }).is_err() {
+                // Shipper gone: the event never cleared the batch_enqueue
+                // hand-off — attribute the drop there.
+                spans.record_drop(&pre_enqueue);
+                return;
             }
         }
         telemetry.channel_depth.set(tx.len() as u64);
@@ -343,60 +404,90 @@ fn consumer_loop(
     // Dropping tx closes the channel; the shipper flushes and exits.
 }
 
-#[allow(clippy::too_many_arguments)]
-fn shipper_loop(
-    backend: &DocStore,
-    index_name: &str,
+/// Destination for sampled full-span documents (present only while the
+/// telemetry exporter is enabled, so telemetry-off sessions create no
+/// `dio-telemetry-*` index).
+struct SpanSink {
+    session: String,
+    telemetry_index: String,
+}
+
+/// Everything the shipper thread needs, bundled to keep the loop readable.
+struct ShipperCtx {
+    backend: DocStore,
+    index_name: String,
     batch_size: usize,
     flush_interval: Duration,
-    rx: &Receiver<Value>,
-    stored: &AtomicU64,
-    batches: &AtomicU64,
-    telemetry: &ShipperTelemetry,
-) {
-    let mut batch: Vec<Value> = Vec::with_capacity(batch_size);
+    stored: Arc<AtomicU64>,
+    batches: Arc<AtomicU64>,
+    spans: Arc<SpanCollector>,
+    span_sink: Option<SpanSink>,
+    telemetry: ShipperTelemetry,
+}
+
+fn shipper_loop(ctx: &ShipperCtx, rx: &Receiver<ShipItem>) {
+    let mut batch: Vec<ShipItem> = Vec::with_capacity(ctx.batch_size);
     let mut last_flush = Instant::now();
     loop {
-        match rx.recv_timeout(flush_interval) {
-            Ok(doc) => {
-                batch.push(doc);
-                if batch.len() >= batch_size {
-                    flush_batch(backend, index_name, &mut batch, stored, batches, telemetry);
+        match rx.recv_timeout(ctx.flush_interval) {
+            Ok(item) => {
+                batch.push(item);
+                if batch.len() >= ctx.batch_size {
+                    flush_batch(ctx, &mut batch);
                     last_flush = Instant::now();
                 }
             }
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                if !batch.is_empty() && last_flush.elapsed() >= flush_interval {
-                    flush_batch(backend, index_name, &mut batch, stored, batches, telemetry);
+                if !batch.is_empty() && last_flush.elapsed() >= ctx.flush_interval {
+                    flush_batch(ctx, &mut batch);
                     last_flush = Instant::now();
                 }
             }
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                flush_batch(backend, index_name, &mut batch, stored, batches, telemetry);
+                flush_batch(ctx, &mut batch);
                 return;
             }
         }
     }
 }
 
-fn flush_batch(
-    backend: &DocStore,
-    index_name: &str,
-    batch: &mut Vec<Value>,
-    stored: &AtomicU64,
-    batches: &AtomicU64,
-    telemetry: &ShipperTelemetry,
-) {
+fn flush_batch(ctx: &ShipperCtx, batch: &mut Vec<ShipItem>) {
     if batch.is_empty() {
         return;
     }
     let n = batch.len() as u64;
-    telemetry.batch_size.record(n);
-    let batch_timer = telemetry.batch_ns.start_timer();
-    backend.bulk(index_name, std::mem::take(batch));
+    ctx.telemetry.batch_size.record(n);
+    let mut docs = Vec::with_capacity(batch.len());
+    let mut stamps = Vec::with_capacity(batch.len());
+    for item in batch.drain(..) {
+        docs.push(item.doc);
+        stamps.push(item.stamps);
+    }
+    let batch_timer = ctx.telemetry.batch_ns.start_timer();
+    ctx.backend.bulk_spans(&ctx.index_name, docs, &mut stamps);
     batch_timer.observe();
-    stored.fetch_add(n, Ordering::Relaxed);
-    batches.fetch_add(1, Ordering::Relaxed);
+    ctx.stored.fetch_add(n, Ordering::Relaxed);
+    ctx.batches.fetch_add(1, Ordering::Relaxed);
+    // Every stamp record now carries its bulk-index time: feed the span
+    // histograms and ship the sampled full-span documents for post-hoc
+    // queries. Span documents carry no `metric` field, so health-report
+    // readers of the telemetry index skip them.
+    let mut sampled = Vec::new();
+    for st in &stamps {
+        if ctx.spans.record_shipped(st) {
+            if let Some(sink) = &ctx.span_sink {
+                let mut doc = st.to_document();
+                doc["session"] = json!(sink.session);
+                doc["kind"] = json!("span");
+                sampled.push(doc);
+            }
+        }
+    }
+    if let Some(sink) = &ctx.span_sink {
+        if !sampled.is_empty() {
+            ctx.backend.bulk(&sink.telemetry_index, sampled);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -508,6 +599,37 @@ mod tests {
         t.creat("/after", 0o644).unwrap();
         assert!(!k.tracepoints().is_traced(SyscallKind::Creat));
         assert_eq!(backend.index("dio-dropped").count(&Query::term("args.path", "/after")), 0);
+    }
+
+    #[test]
+    fn summary_exposes_span_latencies_and_samples_span_docs() {
+        let k = kernel();
+        let backend = DocStore::new();
+        let tracer =
+            Tracer::attach(TracerConfig::new("spans").span_sample_every(1), &k, backend.clone());
+        let t = k.spawn_process("app").spawn_thread("app");
+        for i in 0..10 {
+            t.creat(&format!("/s{i}"), 0o644).unwrap();
+        }
+        let summary = tracer.stop();
+        assert_eq!(summary.spans.completed, 10);
+        assert_eq!(summary.spans.dropped, 0);
+        assert_eq!(summary.spans.e2e.count, 10, "every stored event has an e2e span");
+        assert!(summary.spans.e2e.max > 0);
+        assert!(summary.spans.e2e.p50 <= summary.spans.e2e.p99);
+        for name in SpanSummary::transition_names() {
+            let stage = summary.spans.stage(name).unwrap_or_else(|| panic!("stage {name}"));
+            assert_eq!(stage.count, 10, "all 10 events crossed {name}");
+        }
+        assert_eq!(summary.spans.lag_watermark_ns, 0, "drained at shutdown");
+        assert!(summary.spans.drops_by_stage.is_empty());
+        // 1-in-1 sampling: a full-span document per event in the
+        // telemetry index, each with stamps, transitions, and e2e.
+        let idx = backend.index("dio-telemetry-spans");
+        let span_docs = idx.count(&Query::term("kind", "span"));
+        assert_eq!(span_docs, 10);
+        // And the health gauge rode along via the exporter's final flush.
+        assert!(summary.health.gauges.contains_key("span.lag.watermark_ns"));
     }
 
     #[test]

@@ -266,6 +266,20 @@ pub fn render_health_dashboard(index: &Index) -> String {
                 .to_ascii(96, 12),
         );
         out.push('\n');
+        // Pipeline lag: how stale the backend view is at each export
+        // round (upper bound on the oldest unshipped event's age).
+        let lag = report.series("span.lag.watermark_ns");
+        if !lag.is_empty() {
+            let lag_us: Vec<(f64, f64)> = lag.into_iter().map(|(x, y)| (x, y / 1e3)).collect();
+            out.push_str(
+                &Chart::new("### Pipeline lag watermark over export rounds")
+                    .y_label("lag (µs, oldest unshipped event age)")
+                    .x_label("export round")
+                    .series(Series::new("lag µs", lag_us))
+                    .to_ascii(96, 12),
+            );
+            out.push('\n');
+        }
     }
     out
 }
@@ -301,6 +315,7 @@ mod tests {
             docs.push(doc(seq, t, "ebpf.ring.dropped", "counter", 10 * seq));
             docs.push(doc(seq, t, "ebpf.ring.occupancy_hwm", "gauge", 7));
             docs.push(doc(seq, t, "tracer.channel.depth", "gauge", 5 * seq));
+            docs.push(doc(seq, t, "span.lag.watermark_ns", "gauge", 20_000 * seq));
             docs.push(hist_doc(seq, t, "tracer.shipper.batch_ns", 4_000));
         }
         idx.bulk(docs);
@@ -328,6 +343,24 @@ mod tests {
         assert!(out.contains("occupancy high-water mark 7"));
         assert!(out.contains("drop rate over export rounds"));
         assert!(out.contains("Queue depths over export rounds"));
+        assert!(out.contains("Pipeline lag watermark over export rounds"));
+    }
+
+    #[test]
+    fn span_documents_are_skipped_but_lag_series_plots() {
+        let idx = sample_index();
+        // A sampled full-span document (no `metric` field) must not
+        // disturb the health report.
+        idx.bulk(vec![json!({
+            "session": "s", "kind": "span",
+            "stamps": {"kernel_dispatch": 1u64},
+            "stage_ns": {"dispatch_to_push": 5u64},
+        })]);
+        let report = HealthReport::from_index(&idx);
+        assert_eq!(report.snapshots.len(), 3);
+        let lag = report.series("span.lag.watermark_ns");
+        assert_eq!(lag.len(), 3);
+        assert_eq!(lag[2].1, 60_000.0);
     }
 
     #[test]

@@ -11,14 +11,18 @@
 //! * [`Chart`] / [`BarChart`] / [`Heatmap`] — Fig. 3/4-style time series,
 //!   distribution bars, and thread-activity heatmaps;
 //! * [`Dashboard`] — named panels bound to backend queries, including the
-//!   [`dashboards`] predefined with DIO.
+//!   [`dashboards`] predefined with DIO;
+//! * [`render_latency_waterfall`] — per-stage p50/p99 bars and the
+//!   end-to-end latency distribution of the pipeline's own event spans.
 
 mod chart;
 mod dashboard;
 mod health;
 mod table;
+mod waterfall;
 
 pub use chart::{BarChart, Chart, Heatmap, Series};
 pub use dashboard::{dashboards, Dashboard, Panel, PanelSpec};
 pub use health::{render_health_dashboard, HealthReport, HealthSnapshot, MetricPoint};
 pub use table::{group_digits, CellFormat, Column, Table};
+pub use waterfall::render_latency_waterfall;

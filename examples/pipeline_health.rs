@@ -9,11 +9,15 @@
 //! drops, consumer/shipper batch latencies, backend bulk times — to a
 //! `dio-telemetry-<session>` index next to the trace itself. This example
 //! runs a deliberately under-provisioned session (tiny ring, slow
-//! consumer) and renders the health dashboard from those documents.
+//! consumer) and renders the health dashboard from those documents, plus
+//! the per-stage latency waterfall and the pipeline lag time series
+//! derived from end-to-end event spans.
 
 use std::time::Duration;
 
-use dio::core::{render_health_dashboard, Dio, HealthReport, RingConfig, TracerConfig};
+use dio::core::{
+    render_health_dashboard, render_latency_waterfall, Dio, HealthReport, RingConfig, TracerConfig,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dio = Dio::new();
@@ -51,17 +55,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         health.counter("ebpf.filter.rejected"),
     );
 
-    // ...and the exporter shipped per-round documents to the health index.
+    // Per-event spans: where did the time go between the kernel
+    // tracepoint and the backend acknowledgement, and which stage starved
+    // the dropped events?
+    println!("{}", render_latency_waterfall(&report.trace.spans));
+    assert_eq!(report.trace.spans.e2e.count, report.trace.events_stored);
+    assert_eq!(report.trace.spans.dropped, report.trace.events_dropped);
+    assert_eq!(
+        report.trace.spans.lag_watermark_ns, 0,
+        "a stopped session has shipped everything it will ever ship"
+    );
+
+    // ...and the exporter shipped per-round documents to the health index,
+    // including the lag watermark the dashboard plots as a time series.
     let index = dio.telemetry_index("health-demo").expect("telemetry index");
     println!("{}", render_health_dashboard(&index));
 
     // The parsed report supports programmatic checks (alerts, CI gates).
     let parsed = HealthReport::from_index(&index);
+    let lag_series = parsed.series("span.lag.watermark_ns");
+    let peak_lag = lag_series.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    assert!(
+        peak_lag > 0.0,
+        "an under-provisioned pipeline must show nonzero lag at some export round"
+    );
     println!(
-        "parsed {} export rounds: {:.0} syscalls/s, {:.2}% dropped",
+        "parsed {} export rounds: {:.0} syscalls/s, {:.2}% dropped, peak lag {:.1}µs",
         parsed.snapshots.len(),
         parsed.syscall_rate(),
         parsed.drop_rate() * 100.0,
+        peak_lag / 1e3,
     );
     Ok(())
 }

@@ -1,7 +1,7 @@
 //! Offline stand-in for `proptest`.
 //!
 //! Implements the subset the workspace's property tests use: the
-//! [`Strategy`] trait (ranges, tuples, `any`, `Just`, `prop_map`,
+//! [`strategy::Strategy`] trait (ranges, tuples, `any`, `Just`, `prop_map`,
 //! `prop_oneof!`, `collection::vec`) and the `proptest!` /
 //! `prop_assert*` macros. Unlike real proptest there is no shrinking —
 //! failing inputs are reported verbatim via the panic message — but

@@ -151,6 +151,19 @@ impl<T: Serialize> Serialize for Vec<T> {
     }
 }
 
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        items.try_into().map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
 impl<T: Deserialize> Deserialize for Vec<T> {
     fn from_value(value: &Value) -> Result<Self, Error> {
         match value {

@@ -8,6 +8,7 @@ use dio_dbbench::LatencyHistogram;
 use dio_ebpf::RingBuffer;
 use dio_kernel::Vfs;
 use dio_syscall::{FileTag, SyscallKind, SyscallSet};
+use dio_telemetry::{MetricsRegistry, SpanCollector, Stage, StageStamps};
 
 // ------------------------------------------------------------------ VFS
 
@@ -418,6 +419,145 @@ proptest! {
         prop_assert!(s.occupancy_hwm as usize <= slots);
         for c in &s.per_cpu {
             prop_assert!(c.occupancy_hwm as usize <= slots, "cpu {} HWM", c.cpu);
+        }
+    }
+}
+
+// ------------------------------------------------------------ event spans
+
+/// Stamp values are bounded so a wrapped subtraction (a "negative"
+/// latency) would be detected as a huge outlier by the assertions below.
+const STAMP_BOUND: u64 = 1_000_000;
+
+/// A stamp record with an arbitrary subset of stages stamped, in
+/// arbitrary (possibly inverted) order.
+fn arbitrary_stamps() -> impl Strategy<Value = StageStamps> {
+    let maybe_stamp = prop_oneof![Just(None), (1u64..STAMP_BOUND).prop_map(Some),];
+    proptest::collection::vec(maybe_stamp, Stage::COUNT).prop_map(|values| {
+        let mut stamps = StageStamps::new();
+        for (stage, v) in Stage::ALL.into_iter().zip(values) {
+            if let Some(ns) = v {
+                stamps.stamp(stage, ns);
+            }
+        }
+        stamps
+    })
+}
+
+/// A complete record whose stamps respect pipeline order.
+fn ordered_stamps() -> impl Strategy<Value = StageStamps> {
+    proptest::collection::vec(1u64..STAMP_BOUND, Stage::COUNT).prop_map(|mut values| {
+        values.sort_unstable();
+        let mut stamps = StageStamps::new();
+        for (stage, ns) in Stage::ALL.into_iter().zip(values) {
+            stamps.stamp(stage, ns);
+        }
+        stamps
+    })
+}
+
+/// A partial record: a prefix of the pipeline stamped in order, at least
+/// one stage missing — what a mid-flight discard leaves behind.
+fn partial_stamps() -> impl Strategy<Value = StageStamps> {
+    (0..Stage::COUNT, proptest::collection::vec(1u64..STAMP_BOUND, Stage::COUNT)).prop_map(
+        |(len, mut values)| {
+            values.sort_unstable();
+            let mut stamps = StageStamps::new();
+            for (stage, ns) in Stage::ALL.into_iter().zip(values).take(len) {
+                stamps.stamp(stage, ns);
+            }
+            stamps
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Derived latencies never go negative (i.e. never wrap) under
+    /// arbitrary stamp interleavings, and exist exactly when both
+    /// endpoints are stamped.
+    #[test]
+    fn span_latencies_non_negative_under_arbitrary_interleavings(stamps in arbitrary_stamps()) {
+        for (i, from) in Stage::ALL.into_iter().enumerate() {
+            for to in Stage::ALL.into_iter().skip(i + 1) {
+                match stamps.latency_between(from, to) {
+                    Some(ns) => {
+                        prop_assert!(stamps.get(from).is_some() && stamps.get(to).is_some());
+                        // Bounded stamps -> bounded latency; a wrapped
+                        // subtraction would land near u64::MAX.
+                        prop_assert!(ns < STAMP_BOUND, "{} -> {}: {ns}", from.name(), to.name());
+                    }
+                    None => prop_assert!(
+                        stamps.get(from).is_none() || stamps.get(to).is_none()
+                    ),
+                }
+            }
+        }
+
+        // The collector ingests the same record without panicking, and
+        // every histogram it derives stays within the stamp bound.
+        let registry = MetricsRegistry::new();
+        let spans = SpanCollector::new(&registry, 0);
+        if stamps.is_complete() {
+            spans.record_shipped(&stamps);
+        } else {
+            spans.record_drop(&stamps);
+        }
+        let summary = spans.summary();
+        for h in summary.stages.values().chain([&summary.e2e]) {
+            prop_assert!(h.max < STAMP_BOUND, "wrapped latency leaked: {}", h.max);
+        }
+    }
+
+    /// For in-order stamps the per-stage transitions decompose the
+    /// end-to-end latency exactly: adjacent latencies sum to e2e.
+    #[test]
+    fn span_stage_latencies_decompose_e2e(stamps in ordered_stamps()) {
+        let adjacent: u64 = Stage::ALL
+            .windows(2)
+            .map(|w| stamps.latency_between(w[0], w[1]).expect("complete record"))
+            .sum();
+        prop_assert_eq!(stamps.e2e_ns().expect("complete record"), adjacent);
+    }
+
+    /// Drop-attributed partial spans never count toward the end-to-end
+    /// histogram, whatever the interleaving of completions and drops; the
+    /// per-outcome counters and drop attribution reconcile exactly.
+    #[test]
+    fn dropped_partial_spans_never_count_toward_e2e(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                ordered_stamps().prop_map(|s| (true, s)),
+                partial_stamps().prop_map(|s| (false, s)),
+            ],
+            0..60,
+        ),
+    ) {
+        let registry = MetricsRegistry::new();
+        let spans = SpanCollector::new(&registry, 0);
+        let mut shipped = 0u64;
+        let mut droppedu = 0u64;
+        for (complete, stamps) in &ops {
+            if *complete {
+                spans.record_shipped(stamps);
+                shipped += 1;
+            } else {
+                spans.record_drop(stamps);
+                droppedu += 1;
+            }
+        }
+
+        let summary = spans.summary();
+        prop_assert_eq!(summary.completed, shipped);
+        prop_assert_eq!(summary.e2e.count, shipped, "only complete spans reach e2e");
+        prop_assert_eq!(summary.dropped, droppedu);
+        prop_assert_eq!(summary.drops_by_stage.values().sum::<u64>(), droppedu);
+        // A prefix record is attributed to the first stage it never
+        // reached, so ring-stage attribution can only come from records
+        // that stopped before the ring.
+        for (stage, n) in &summary.drops_by_stage {
+            prop_assert!(*n > 0, "empty attribution bucket {stage} published");
         }
     }
 }

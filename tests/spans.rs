@@ -1,0 +1,145 @@
+//! End-to-end event spans: per-stage stamps must reconcile *exactly*
+//! with the pipeline's event accounting — every stored event is one
+//! completed span, every dropped event is one drop-attributed partial
+//! span, and the lag watermark returns to zero once the session has
+//! shipped everything it will ever ship.
+
+use std::time::Duration;
+
+use dio::core::{
+    Dio, DiskProfile, Kernel, Query, RingConfig, SearchRequest, SpanSummary, TracerConfig,
+};
+
+fn fast_kernel() -> Kernel {
+    Kernel::builder().root_disk(DiskProfile::instant()).build()
+}
+
+fn transition_counts(spans: &SpanSummary) -> Vec<(&'static str, u64)> {
+    SpanSummary::transition_names()
+        .into_iter()
+        .map(|name| (name, spans.stage(name).map(|h| h.count).unwrap_or(0)))
+        .collect()
+}
+
+/// Span-derived end-to-end counts reconcile exactly with the event
+/// counts of an under-provisioned (really dropping) session.
+#[test]
+fn span_counts_reconcile_exactly_with_event_counts() {
+    let dio = Dio::with_kernel(fast_kernel());
+    let session = dio.trace(
+        TracerConfig::new("span-recon")
+            // A starved consumer over tiny buffers -> real drops, so both
+            // the completed and the drop-attributed paths are exercised.
+            .ring(RingConfig { bytes_per_cpu: 32 * 512, est_event_bytes: 512 })
+            .drain_batch(8)
+            .poll_interval(Duration::from_millis(10))
+            .telemetry_interval(Duration::from_millis(5))
+            // Sample every span into the telemetry index.
+            .span_sample_every(1),
+    );
+
+    let t = dio.kernel().spawn_process("app").spawn_thread("app");
+    let fd = t.creat("/data.bin", 0o644).unwrap();
+    for i in 0..4_000u64 {
+        t.pwrite64(fd, b"x", i).unwrap();
+    }
+    t.close(fd).unwrap();
+    let report = session.stop();
+    let spans = &report.trace.spans;
+
+    // The workload actually exercised both outcomes.
+    assert!(report.trace.events_dropped > 0, "tiny ring must drop");
+    assert!(report.trace.events_stored > 0);
+
+    // Exact reconciliation: one completed span per stored event, one
+    // dropped span per dropped event, nothing double-counted.
+    assert_eq!(spans.completed, report.trace.events_stored);
+    assert_eq!(spans.e2e.count, report.trace.events_stored);
+    assert_eq!(spans.dropped, report.trace.events_dropped);
+    assert_eq!(
+        spans.completed + spans.dropped,
+        report.trace.events_stored + report.trace.events_dropped,
+        "every accepted event ends as exactly one span"
+    );
+
+    // Every completed span crossed every hand-off: each transition
+    // histogram counts exactly the stored events. (Ring-dropped events
+    // never reach RingPush, so they contribute to no transition.)
+    for (name, count) in transition_counts(spans) {
+        assert_eq!(count, report.trace.events_stored, "transition {name}");
+    }
+
+    // Drop attribution: the only starvation point in this configuration
+    // is the ring, and the per-stage counters sum back to the total.
+    assert_eq!(spans.drops_by_stage.get("ring_push"), Some(&spans.dropped));
+    assert_eq!(spans.drops_by_stage.values().sum::<u64>(), spans.dropped);
+
+    // A stopped session has shipped everything it will ever ship.
+    assert_eq!(spans.lag_watermark_ns, 0);
+    assert!(spans.peak_lag_ns > 0, "a starved pipeline must have lagged at some point");
+
+    // The health snapshot carries the same accounting as counters.
+    assert_eq!(report.trace.health.counter("span.completed"), spans.completed);
+    assert_eq!(report.trace.health.counter("span.dropped"), spans.dropped);
+    assert_eq!(report.trace.health.counter("span.drop.at_ring_push"), spans.dropped);
+
+    // With 1-in-1 sampling every completed span became a queryable span
+    // document in the telemetry index, next to the metric documents.
+    let index = dio.telemetry_index("span-recon").expect("telemetry index exists");
+    assert_eq!(index.count(&Query::term("kind", "span")), spans.completed);
+}
+
+/// Sampling: 1-in-N keeps the document volume bounded while the span
+/// accounting itself stays exact; N = 0 disables span documents entirely.
+#[test]
+fn span_sampling_bounds_documents_without_losing_accounting() {
+    let dio = Dio::with_kernel(fast_kernel());
+    let session = dio.trace(
+        TracerConfig::new("sampled")
+            .telemetry_interval(Duration::from_millis(5))
+            .span_sample_every(10),
+    );
+    let t = dio.kernel().spawn_process("app").spawn_thread("app");
+    for i in 0..500u64 {
+        let fd = t.creat(&format!("/f{i}"), 0o644).unwrap();
+        t.write(fd, b"payload").unwrap();
+        t.close(fd).unwrap();
+    }
+    let report = session.stop();
+    let spans = &report.trace.spans;
+
+    // Accounting is exact regardless of the sampling rate.
+    assert_eq!(spans.completed, report.trace.events_stored);
+    assert_eq!(spans.e2e.count, 1_500);
+    assert_eq!(spans.dropped, 0);
+    assert!(spans.drops_by_stage.is_empty());
+
+    // 1-in-10 sampling: exactly ceil(1500 / 10) documents, in order.
+    let index = dio.telemetry_index("sampled").expect("telemetry index exists");
+    assert_eq!(index.count(&Query::term("kind", "span")), 150);
+
+    // Sampled documents carry the derived stage latencies.
+    let resp = index.search(&SearchRequest::new(Query::term("kind", "span")).size(1));
+    let doc = &resp.hits[0].source;
+    assert!(doc.get("stamps").is_some(), "raw stamps present: {doc}");
+    assert!(doc.get("stage_ns").is_some(), "derived latencies present: {doc}");
+    assert!(doc.get("e2e_ns").is_some(), "e2e present: {doc}");
+    assert_eq!(doc.get("session").and_then(|v| v.as_str()), Some("sampled"));
+}
+
+/// Disabling telemetry disables span documents but not span accounting.
+#[test]
+fn spans_accounted_even_with_telemetry_off() {
+    let dio = Dio::with_kernel(fast_kernel());
+    let session = dio.trace(TracerConfig::new("quiet").telemetry(false).span_sample_every(1));
+    let t = dio.kernel().spawn_process("app").spawn_thread("app");
+    let fd = t.creat("/q.bin", 0o644).unwrap();
+    t.write(fd, b"data").unwrap();
+    t.close(fd).unwrap();
+    let report = session.stop();
+
+    assert_eq!(report.trace.spans.completed, 3);
+    assert_eq!(report.trace.spans.e2e.count, 3);
+    assert_eq!(report.trace.spans.lag_watermark_ns, 0);
+    assert!(dio.telemetry_index("quiet").is_none(), "no exporter, no span documents");
+}

@@ -28,7 +28,7 @@ fn instant_kernel() -> (Kernel, ThreadCtx, i32) {
 fn attach_dio(kernel: &Kernel, config: ProgramConfig) -> Arc<TracerProgram> {
     let ring =
         Arc::new(RingBuffer::new(kernel.num_cpus(), RingConfig::with_bytes_per_cpu(8 << 20)));
-    let prog = TracerProgram::new(config, ring);
+    let prog = TracerProgram::new(config, ring).expect("verified filter");
     kernel.tracepoints().attach(Arc::clone(&prog) as Arc<dyn SyscallProbe>);
     prog
 }

@@ -1,19 +1,21 @@
 //! Table I — the 42 storage-related syscalls supported by DIO, by class.
+//!
+//! The per-class census comes from `dio-verify`'s catalog contract
+//! ([`dio_verify::CLASS_CENSUS`]), and the artifact embeds the same
+//! generated listing (`dio_verify::table1_markdown`) that `dio-verify
+//! --write-docs` renders into DESIGN.md/README.md — one source of truth
+//! across docs, lint, and experiment.
 
-use dio_syscall::{SyscallClass, SyscallKind};
+use dio_syscall::SyscallKind;
+use dio_verify::{check_catalog_invariants, table1_markdown, CLASS_CENSUS};
 use dio_viz::Table;
 
 fn main() {
-    let classes = [
-        SyscallClass::Data,
-        SyscallClass::Metadata,
-        SyscallClass::ExtendedAttributes,
-        SyscallClass::DirectoryManagement,
-    ];
     let mut rows = Vec::new();
-    for class in classes {
+    for &(class, want) in CLASS_CENSUS {
         let names: Vec<&str> =
             SyscallKind::ALL.iter().filter(|k| k.class() == class).map(|k| k.name()).collect();
+        assert_eq!(names.len(), want, "census drift for class {class}");
         rows.push(vec![class.to_string(), names.len().to_string(), names.join(", ")]);
     }
     rows.push(vec!["TOTAL".to_string(), SyscallKind::ALL.len().to_string(), String::new()]);
@@ -23,11 +25,12 @@ fn main() {
     out.push_str(&table.to_ascii());
     out.push_str("\npaper: 42 supported storage-related syscalls\n");
     out.push_str(&format!("measured: {} syscalls in the catalog\n", SyscallKind::ALL.len()));
+    out.push_str("\n-- generated listing (dio-verify --write-docs) --\n\n");
+    out.push_str(&table1_markdown());
     println!("{out}");
     dio_bench::write_result("table1_syscalls.txt", &out);
     let mut by_class = serde_json::Map::new();
-    for class in classes {
-        let count = SyscallKind::ALL.iter().filter(|k| k.class() == class).count();
+    for &(class, count) in CLASS_CENSUS {
         by_class.insert(class.to_string(), serde_json::json!(count));
     }
     dio_bench::write_json_result(
@@ -40,4 +43,6 @@ fn main() {
         }),
     );
     assert_eq!(SyscallKind::ALL.len(), 42);
+    let failures = check_catalog_invariants();
+    assert!(failures.is_empty(), "catalog invariants violated: {failures:?}");
 }

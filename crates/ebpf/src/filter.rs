@@ -9,6 +9,7 @@ use std::collections::HashSet;
 
 use dio_kernel::{EnterEvent, KernelInspect};
 use dio_syscall::{Pid, SyscallKind, SyscallSet, Tid};
+use dio_verify::{FilterFacts, VerifyReport};
 
 /// An in-kernel filter specification.
 ///
@@ -88,14 +89,63 @@ impl FilterSpec {
         match &self.path_prefixes {
             None => true,
             Some(prefixes) => prefixes.iter().any(|p| {
-                path == p
-                    || (path.starts_with(p.as_str()) && {
-                        // Prefixes are directory-ish: "/log" matches "/log/x"
-                        // but not "/logfile".
-                        p.ends_with('/') || path.as_bytes().get(p.len()) == Some(&b'/')
-                    })
+                // An empty prefix matches nothing: prefixes are
+                // directory-ish and "" is not a directory (the verifier
+                // rejects it as unmatchable; this keeps the runtime
+                // matcher consistent with that claim).
+                !p.is_empty()
+                    && (path == p
+                        || (path.starts_with(p.as_str()) && {
+                            // Prefixes are directory-ish: "/log" matches
+                            // "/log/x" but not "/logfile".
+                            p.ends_with('/') || path.as_bytes().get(p.len()) == Some(&b'/')
+                        }))
             }),
         }
+    }
+
+    /// Lowers the filter into the verifier-neutral [`FilterFacts`] shape
+    /// consumed by [`dio_verify::verify_filter`].
+    ///
+    /// Id sets are sorted so the facts (and thus diagnostics) are
+    /// deterministic regardless of hash order.
+    pub fn facts(&self) -> FilterFacts {
+        fn sorted_ids<T: Copy>(
+            set: &Option<HashSet<T>>,
+            raw: impl Fn(T) -> u32,
+        ) -> Option<Vec<u32>> {
+            set.as_ref().map(|s| {
+                let mut v: Vec<u32> = s.iter().map(|&id| raw(id)).collect();
+                v.sort_unstable();
+                v
+            })
+        }
+        FilterFacts {
+            syscalls: self.syscalls,
+            pids: sorted_ids(&self.pids, |p: Pid| p.0),
+            tids: sorted_ids(&self.tids, |t: Tid| t.0),
+            path_prefixes: self.path_prefixes.clone(),
+        }
+    }
+
+    /// Runs the static verifier over this filter.
+    ///
+    /// This is the load-time analysis [`crate::TracerProgram::new`] applies
+    /// before attaching — the reproduction's analogue of the eBPF
+    /// verifier's rejection at `BPF_PROG_LOAD`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dio_ebpf::FilterSpec;
+    /// use dio_verify::Rule;
+    ///
+    /// let spec = FilterSpec::new().syscalls([]);
+    /// let err = spec.verify().into_result().unwrap_err();
+    /// assert!(err.violates(Rule::EmptySyscallSet));
+    /// ```
+    pub fn verify(&self) -> VerifyReport {
+        dio_verify::verify_filter(&self.facts())
     }
 
     /// Full admission check at `sys_enter`.
@@ -220,6 +270,13 @@ mod tests {
         let f2 = FilterSpec::new().path_prefix("/a").path_prefix("/b");
         assert!(f2.matches_path("/a/x"));
         assert!(f2.matches_path("/b/y"));
+        // An empty prefix matches nothing (consistent with the verifier's
+        // unmatchable-path-prefix claim), and "/" matches everything.
+        let empty = FilterSpec::new().path_prefix("");
+        assert!(!empty.matches_path("/a"));
+        assert!(!empty.matches_path(""));
+        let root = FilterSpec::new().path_prefix("/");
+        assert!(root.matches_path("/a/x"));
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //!   producers and the user-space consumer, with exact drop accounting
 //!   (the §III-D discard experiment).
 //!
+//! Loading a [`TracerProgram`] first runs `dio-verify`'s static filter
+//! analysis — the reproduction's analogue of the eBPF verifier — so an
+//! unsatisfiable or pathological [`FilterSpec`] fails with a typed
+//! [`VerifyError`] before any tracepoint is attached (DESIGN.md §9).
+//!
 //! # Examples
 //!
 //! ```
@@ -22,7 +27,7 @@
 //!
 //! let kernel = Kernel::new();
 //! let ring = Arc::new(RingBuffer::new(kernel.num_cpus(), RingConfig::paper_default()));
-//! let program = TracerProgram::new(ProgramConfig::default(), ring);
+//! let program = TracerProgram::new(ProgramConfig::default(), ring).expect("verified filter");
 //! kernel.tracepoints().attach(Arc::clone(&program) as Arc<dyn SyscallProbe>);
 //!
 //! let thread = kernel.spawn_process("app").spawn_thread("app");
@@ -39,3 +44,7 @@ mod ring;
 pub use filter::FilterSpec;
 pub use program::{ProgramConfig, ProgramStats, RawEvent, TracerProgram};
 pub use ring::{RingBuffer, RingConfig, RingStats};
+
+// Load-time verification vocabulary, re-exported so callers matching on
+// rejection diagnostics need not depend on dio-verify directly.
+pub use dio_verify::{Rule, VerifyError, VerifyReport};

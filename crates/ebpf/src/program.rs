@@ -17,6 +17,7 @@ use dio_kernel::{EnterEvent, ExitEvent, KernelInspect, SyscallProbe};
 use dio_syscall::{Arg, FileTag, FileType, Pid, SyscallEvent, SyscallKind, SyscallSet, Tid};
 use dio_telemetry::span::{SpanCollector, Stage, StageStamps, StampCarrier};
 use dio_telemetry::{Counter, Gauge, MetricsRegistry};
+use dio_verify::VerifyError;
 
 use crate::filter::FilterSpec;
 use crate::ring::RingBuffer;
@@ -204,10 +205,25 @@ fn spin_ns(ns: u64) {
 
 impl TracerProgram {
     /// Creates a program emitting into `ring`.
-    pub fn new(config: ProgramConfig, ring: Arc<RingBuffer<RawEvent>>) -> Arc<Self> {
+    ///
+    /// The filter is statically verified first (the analogue of the eBPF
+    /// verifier's `BPF_PROG_LOAD` check): a spec that can never admit an
+    /// event, or whose path filter exceeds the per-event cost budget, is
+    /// rejected here with a typed [`VerifyError`] naming each violated
+    /// rule — instead of attaching and producing a silently empty trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] when [`FilterSpec::verify`] rejects the
+    /// filter; warnings (e.g. shadowed prefixes) do not fail the load.
+    pub fn new(
+        config: ProgramConfig,
+        ring: Arc<RingBuffer<RawEvent>>,
+    ) -> Result<Arc<Self>, VerifyError> {
+        config.filter.verify().into_result()?;
         let pending =
             (0..JOIN_SHARDS).map(|_| Mutex::new(std::collections::HashMap::new())).collect();
-        Arc::new(TracerProgram {
+        Ok(Arc::new(TracerProgram {
             config,
             ring,
             pending,
@@ -218,7 +234,7 @@ impl TracerProgram {
             emitted: AtomicU64::new(0),
             telemetry: OnceLock::new(),
             spans: OnceLock::new(),
-        })
+        }))
     }
 
     /// Attaches a span collector: every emitted event is accounted as
@@ -408,7 +424,7 @@ mod tests {
     fn attach(kernel: &Kernel, config: ProgramConfig) -> Arc<TracerProgram> {
         let ring =
             Arc::new(RingBuffer::new(kernel.num_cpus(), RingConfig::with_bytes_per_cpu(1 << 20)));
-        let prog = TracerProgram::new(config, ring);
+        let prog = TracerProgram::new(config, ring).expect("valid filter spec");
         kernel.tracepoints().attach(Arc::clone(&prog) as Arc<dyn SyscallProbe>);
         prog
     }
@@ -549,7 +565,7 @@ mod tests {
     fn ring_overflow_drops_newest_events() {
         let k = kernel();
         let ring = Arc::new(RingBuffer::with_slots(k.num_cpus(), 2));
-        let prog = TracerProgram::new(ProgramConfig::default(), ring);
+        let prog = TracerProgram::new(ProgramConfig::default(), ring).unwrap();
         k.tracepoints().attach(Arc::clone(&prog) as Arc<dyn SyscallProbe>);
         let p = k.spawn_process("app");
         let t = p.spawn_thread("app"); // one thread => one CPU => one 2-slot queue
@@ -567,11 +583,81 @@ mod tests {
         let k = kernel();
         let ring = Arc::new(RingBuffer::with_slots(k.num_cpus(), 64));
         let cfg = ProgramConfig { join_capacity: 0, ..ProgramConfig::default() };
-        let prog = TracerProgram::new(cfg, ring);
+        let prog = TracerProgram::new(cfg, ring).unwrap();
         k.tracepoints().attach(Arc::clone(&prog) as Arc<dyn SyscallProbe>);
         let t = k.spawn_process("app").spawn_thread("app");
         t.creat("/f", 0o644).unwrap();
         assert_eq!(prog.stats().join_overflow, 1);
         assert!(prog.ring().is_empty());
+    }
+
+    mod load_time_verification {
+        use super::*;
+        use dio_verify::Rule;
+
+        fn load(filter: FilterSpec) -> Result<Arc<TracerProgram>, dio_verify::VerifyError> {
+            let ring = Arc::new(RingBuffer::with_slots(1, 8));
+            TracerProgram::new(ProgramConfig { filter, ..ProgramConfig::default() }, ring)
+        }
+
+        #[test]
+        fn empty_syscall_set_fails_load() {
+            let err = load(FilterSpec::new().syscalls([])).unwrap_err();
+            assert!(err.violates(Rule::EmptySyscallSet));
+            assert!(err.to_string().contains("error[empty-syscall-set]"));
+        }
+
+        #[test]
+        fn empty_pid_set_fails_load() {
+            let err = load(FilterSpec::new().pids([])).unwrap_err();
+            assert!(err.violates(Rule::EmptyPidSet));
+        }
+
+        #[test]
+        fn empty_tid_set_fails_load() {
+            let err = load(FilterSpec::new().tids([])).unwrap_err();
+            assert!(err.violates(Rule::EmptyTidSet));
+        }
+
+        #[test]
+        fn unmatchable_id_fails_load() {
+            let err = load(FilterSpec::new().pids([Pid(0)])).unwrap_err();
+            assert!(err.violates(Rule::UnmatchableId));
+            let err = load(FilterSpec::new().tids([Tid(0)])).unwrap_err();
+            assert!(err.violates(Rule::UnmatchableId));
+        }
+
+        #[test]
+        fn unmatchable_path_prefix_fails_load() {
+            let err = load(FilterSpec::new().path_prefix("relative/never")).unwrap_err();
+            assert!(err.violates(Rule::UnmatchablePathPrefix));
+            let err = load(FilterSpec::new().path_prefix("")).unwrap_err();
+            assert!(err.violates(Rule::UnmatchablePathPrefix));
+        }
+
+        #[test]
+        fn duplicate_path_prefix_fails_load() {
+            let err = load(FilterSpec::new().path_prefix("/db").path_prefix("/db")).unwrap_err();
+            assert!(err.violates(Rule::DuplicatePathPrefix));
+        }
+
+        #[test]
+        fn path_filter_cost_fails_load() {
+            let mut spec = FilterSpec::new();
+            for i in 0..=dio_verify::MAX_PATH_PREFIXES {
+                spec = spec.path_prefix(format!("/p{i}"));
+            }
+            let err = load(spec).unwrap_err();
+            assert!(err.violates(Rule::PathFilterCost));
+        }
+
+        #[test]
+        fn warnings_do_not_fail_load() {
+            // A shadowed prefix warns but the program still loads.
+            let spec = FilterSpec::new().path_prefix("/db").path_prefix("/db/wal");
+            assert_eq!(spec.verify().warnings().count(), 1);
+            assert!(load(spec).is_ok());
+            assert!(load(FilterSpec::new()).is_ok(), "default spec always loads");
+        }
     }
 }

@@ -1,0 +1,164 @@
+//! The kernel↔catalog argument-decoding contract, checked end to end.
+//!
+//! `dio_syscall::expected_args` declares, per syscall, the argument names a
+//! tracepoint records; the probe dispatch in `dio-kernel` builds the actual
+//! `Arg` vectors. `dio-verify --check-catalog` cross-checks the two by
+//! *source scanning*; this test checks the same contract *dynamically* by
+//! attaching a capturing probe, invoking all 42 syscalls, and comparing the
+//! observed argument names against the table.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use dio_kernel::{EnterEvent, ExitEvent, Kernel, KernelInspect, OpenFlags, SyscallProbe, Whence};
+use dio_syscall::{expected_args, FileType, SyscallKind};
+
+/// Records the argument-name vector of every `sys_enter` it observes.
+#[derive(Default)]
+struct ArgRecorder {
+    seen: Mutex<BTreeMap<SyscallKind, Vec<Vec<String>>>>,
+}
+
+impl SyscallProbe for ArgRecorder {
+    fn on_enter(&self, _: &dyn KernelInspect, event: &EnterEvent<'_>) {
+        let names: Vec<String> = event.args.iter().map(|a| a.name.to_string()).collect();
+        self.seen.lock().unwrap().entry(event.kind).or_default().push(names);
+    }
+
+    fn on_exit(&self, _: &dyn KernelInspect, _: &ExitEvent) {}
+}
+
+/// Invokes every one of the 42 traced syscalls at least once.
+fn drive_all_syscalls(kernel: &Kernel) {
+    let t = kernel.spawn_process("contract").spawn_thread("contract");
+
+    // Data class.
+    let fd = t.open("/f", OpenFlags::CREAT | OpenFlags::RDWR, 0o644).unwrap();
+    t.write(fd, b"hello world").unwrap();
+    t.pwrite64(fd, b"xy", 0).unwrap();
+    t.writev(fd, &[b"ab".as_slice(), b"cd"]).unwrap();
+    t.lseek(fd, 0, Whence::Set).unwrap();
+    let mut buf = [0u8; 4];
+    t.read(fd, &mut buf).unwrap();
+    t.pread64(fd, &mut buf, 0).unwrap();
+    let (mut a, mut b) = ([0u8; 2], [0u8; 2]);
+    t.readv(fd, &mut [&mut a[..], &mut b[..]]).unwrap();
+    t.readahead(fd, 0, 4).unwrap();
+
+    // Metadata class.
+    let fd2 = t.creat("/c", 0o644).unwrap();
+    t.close(fd2).unwrap();
+    let fd3 = t.openat("/oa", OpenFlags::CREAT | OpenFlags::RDWR, 0o644).unwrap();
+    t.close(fd3).unwrap();
+    t.truncate("/f", 8).unwrap();
+    t.ftruncate(fd, 4).unwrap();
+    t.fsync(fd).unwrap();
+    t.fdatasync(fd).unwrap();
+    kernel.root_vfs().symlink("/f", "/ln").unwrap();
+    t.stat("/f").unwrap();
+    t.lstat("/ln").unwrap();
+    t.fstat(fd).unwrap();
+    t.fstatfs(fd).unwrap();
+    t.rename("/c", "/c2").unwrap();
+    t.renameat("/c2", "/c3").unwrap();
+    t.renameat2("/c3", "/c4", 0).unwrap();
+    t.unlink("/c4").unwrap();
+    t.close(t.creat("/u", 0o644).unwrap()).unwrap();
+    t.unlinkat("/u", 0).unwrap();
+
+    // Extended attributes class.
+    t.setxattr("/f", "user.a", b"1").unwrap();
+    t.lsetxattr("/ln", "user.b", b"2").unwrap();
+    t.fsetxattr(fd, "user.c", b"3").unwrap();
+    t.getxattr("/f", "user.a").unwrap();
+    t.lgetxattr("/ln", "user.b").unwrap();
+    t.fgetxattr(fd, "user.c").unwrap();
+    t.listxattr("/f").unwrap();
+    t.llistxattr("/ln").unwrap();
+    t.flistxattr(fd).unwrap();
+    t.removexattr("/f", "user.a").unwrap();
+    t.lremovexattr("/ln", "user.b").unwrap();
+    t.fremovexattr(fd, "user.c").unwrap();
+
+    // Directory management class.
+    t.mknod("/pipe", FileType::Pipe).unwrap();
+    t.mknodat("/sock", FileType::Socket).unwrap();
+    t.mkdir("/d", 0o755).unwrap();
+    t.mkdirat("/d2", 0o755).unwrap();
+    t.rmdir("/d2").unwrap();
+
+    t.close(fd).unwrap();
+}
+
+#[test]
+fn every_syscall_emits_exactly_the_catalogued_args() {
+    let kernel = Kernel::new();
+    let recorder = Arc::new(ArgRecorder::default());
+    kernel.tracepoints().attach(Arc::clone(&recorder) as Arc<dyn SyscallProbe>);
+
+    drive_all_syscalls(&kernel);
+
+    let seen = recorder.seen.lock().unwrap();
+    for &kind in SyscallKind::ALL {
+        let invocations = seen.get(&kind).unwrap_or_else(|| {
+            panic!("driver never invoked {} — coverage hole in the contract test", kind.name())
+        });
+        let want: Vec<String> = expected_args(kind).iter().map(|s| s.to_string()).collect();
+        assert!(
+            !want.is_empty(),
+            "expected_args({}) is empty — the args.rs arm was removed",
+            kind.name()
+        );
+        for got in invocations {
+            assert_eq!(
+                got,
+                &want,
+                "arg drift for {}: kernel dispatch recorded {:?}, catalog expects {:?}",
+                kind.name(),
+                got,
+                want
+            );
+        }
+    }
+    assert_eq!(seen.len(), SyscallKind::ALL.len(), "all 42 syscalls observed");
+}
+
+/// The enter-side fd/path hints agree with the catalog's `takes_fd` /
+/// `takes_path` bits — the filter layer relies on them to resolve paths.
+#[test]
+fn enter_hints_match_catalog_bits() {
+    #[derive(Default)]
+    struct HintRecorder {
+        seen: Mutex<BTreeMap<SyscallKind, (bool, bool)>>,
+    }
+    impl SyscallProbe for HintRecorder {
+        fn on_enter(&self, _: &dyn KernelInspect, event: &EnterEvent<'_>) {
+            let mut seen = self.seen.lock().unwrap();
+            let entry = seen.entry(event.kind).or_insert((false, false));
+            entry.0 |= event.fd.is_some();
+            entry.1 |= event.path.is_some();
+        }
+        fn on_exit(&self, _: &dyn KernelInspect, _: &ExitEvent) {}
+    }
+
+    let kernel = Kernel::new();
+    let recorder = Arc::new(HintRecorder::default());
+    kernel.tracepoints().attach(Arc::clone(&recorder) as Arc<dyn SyscallProbe>);
+    drive_all_syscalls(&kernel);
+
+    let seen = recorder.seen.lock().unwrap();
+    for (&kind, &(saw_fd, saw_path)) in seen.iter() {
+        assert_eq!(
+            saw_fd,
+            kind.takes_fd(),
+            "{}: fd hint disagrees with catalog takes_fd",
+            kind.name()
+        );
+        assert_eq!(
+            saw_path,
+            kind.takes_path(),
+            "{}: path hint disagrees with catalog takes_path",
+            kind.name()
+        );
+    }
+}

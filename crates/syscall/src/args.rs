@@ -2,6 +2,73 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::SyscallKind;
+
+/// The argument names a tracepoint records for `kind`, in signature order.
+///
+/// This is the decoding contract between the kernel probes (which build the
+/// `Arg` vectors) and every consumer of trace documents: dashboards query
+/// `args.count`, `args.offset`, etc. by these names. `dio-verify
+/// --check-catalog` cross-checks this table against the probe dispatch in
+/// `dio-kernel`, so drift between the two layers is a CI failure rather
+/// than a silently mis-decoded trace.
+///
+/// # Examples
+///
+/// ```
+/// use dio_syscall::{expected_args, SyscallKind};
+/// assert_eq!(expected_args(SyscallKind::Pread64), ["fd", "count", "offset"]);
+/// ```
+pub fn expected_args(kind: SyscallKind) -> &'static [&'static str] {
+    #[allow(unreachable_patterns)]
+    // the `_` arm keeps arm removal compiling; the catalog lint catches it
+    match kind {
+        SyscallKind::Read => &["fd", "count"],
+        SyscallKind::Pread64 => &["fd", "count", "offset"],
+        SyscallKind::Readv => &["fd", "iovcnt", "count"],
+        SyscallKind::Write => &["fd", "count"],
+        SyscallKind::Pwrite64 => &["fd", "count", "offset"],
+        SyscallKind::Writev => &["fd", "iovcnt", "count"],
+        SyscallKind::Lseek => &["fd", "offset", "whence"],
+        SyscallKind::Readahead => &["fd", "offset", "count"],
+        SyscallKind::Creat => &["path", "mode"],
+        SyscallKind::Open => &["path", "flags", "mode"],
+        SyscallKind::Openat => &["dfd", "path", "flags", "mode"],
+        SyscallKind::Close => &["fd"],
+        SyscallKind::Truncate => &["path", "length"],
+        SyscallKind::Ftruncate => &["fd", "length"],
+        SyscallKind::Rename => &["oldpath", "newpath"],
+        SyscallKind::Renameat => &["olddfd", "oldpath", "newdfd", "newpath"],
+        SyscallKind::Renameat2 => &["olddfd", "oldpath", "newdfd", "newpath", "flags"],
+        SyscallKind::Unlink => &["path"],
+        SyscallKind::Unlinkat => &["dfd", "path", "flags"],
+        SyscallKind::Fsync => &["fd"],
+        SyscallKind::Fdatasync => &["fd"],
+        SyscallKind::Stat => &["path"],
+        SyscallKind::Lstat => &["path"],
+        SyscallKind::Fstat => &["fd"],
+        SyscallKind::Fstatfs => &["fd"],
+        SyscallKind::Getxattr => &["path", "name"],
+        SyscallKind::Lgetxattr => &["path", "name"],
+        SyscallKind::Fgetxattr => &["fd", "name"],
+        SyscallKind::Setxattr => &["path", "name", "size"],
+        SyscallKind::Lsetxattr => &["path", "name", "size"],
+        SyscallKind::Fsetxattr => &["fd", "name", "size"],
+        SyscallKind::Listxattr => &["path"],
+        SyscallKind::Llistxattr => &["path"],
+        SyscallKind::Flistxattr => &["fd"],
+        SyscallKind::Removexattr => &["path", "name"],
+        SyscallKind::Lremovexattr => &["path", "name"],
+        SyscallKind::Fremovexattr => &["fd", "name"],
+        SyscallKind::Mknod => &["path", "mode"],
+        SyscallKind::Mknodat => &["dfd", "path", "mode"],
+        SyscallKind::Mkdir => &["path", "mode"],
+        SyscallKind::Mkdirat => &["dfd", "path", "mode"],
+        SyscallKind::Rmdir => &["path"],
+        _ => &[],
+    }
+}
+
 /// A single syscall argument value.
 ///
 /// Mirrors what an eBPF program can read at a `sys_enter` tracepoint: raw
@@ -171,5 +238,27 @@ mod tests {
     fn serializes_untagged() {
         let v = serde_json::to_value(Arg::new("count", 26u64)).unwrap();
         assert_eq!(v["value"], serde_json::json!(26));
+    }
+
+    #[test]
+    fn every_kind_has_expected_args() {
+        for &k in SyscallKind::ALL {
+            let names = expected_args(k);
+            assert!(!names.is_empty(), "{k} has no expected args — decoding arm missing");
+            let mut seen = std::collections::HashSet::new();
+            for n in names {
+                assert!(seen.insert(n), "{k} lists duplicate arg {n}");
+            }
+            // fd-bearing calls record `fd`; path-bearing calls record a path arg.
+            if k.takes_fd() {
+                assert!(names.contains(&"fd"), "{k} takes an fd but records no fd arg");
+            }
+            if k.takes_path() {
+                assert!(
+                    names.iter().any(|n| n.ends_with("path")),
+                    "{k} takes a path but records no path arg"
+                );
+            }
+        }
     }
 }

@@ -217,6 +217,23 @@ impl TracerConfig {
         self
     }
 
+    /// Runs the static verifier over this configuration's filter (the
+    /// analysis [`crate::Tracer::try_attach`] applies before attaching).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dio_tracer::TracerConfig;
+    /// use dio_verify::Rule;
+    ///
+    /// let bad = TracerConfig::new("s").pids([]);
+    /// assert!(bad.verify().into_result().unwrap_err().violates(Rule::EmptyPidSet));
+    /// assert!(TracerConfig::new("s").verify().is_ok());
+    /// ```
+    pub fn verify(&self) -> dio_verify::VerifyReport {
+        self.filter.verify()
+    }
+
     pub(crate) fn filter_spec(&self) -> &FilterSpec {
         &self.filter
     }

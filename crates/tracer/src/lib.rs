@@ -10,9 +10,16 @@
 //!
 //! See [`Tracer`] for the lifecycle and [`TracerConfig`] for the knobs
 //! (syscall/PID/TID/path filters, ring-buffer size, batch size).
+//!
+//! Attaching statically verifies the filter first ([`Tracer::try_attach`],
+//! DESIGN.md §9): a configuration that provably traces nothing is rejected
+//! with a typed [`VerifyError`] instead of producing an empty session.
 
 mod config;
 mod tracer;
 
 pub use config::{generate_session_name, TracerConfig};
 pub use tracer::{TraceSummary, Tracer};
+
+// Verification vocabulary, re-exported for callers handling rejections.
+pub use dio_verify::{Rule, VerifyError, VerifyReport};

@@ -15,6 +15,7 @@ use dio_telemetry::span::{SpanCollector, SpanSummary, Stage, StageStamps};
 use dio_telemetry::{
     Exporter, ExporterHandle, Gauge, Histogram, MetricsRegistry, TelemetrySnapshot,
 };
+use dio_verify::VerifyError;
 
 use crate::config::TracerConfig;
 
@@ -40,6 +41,9 @@ pub struct TraceSummary {
     /// percentiles, the lag watermark, and drop attribution (see the
     /// DESIGN.md "Span lifecycle" section).
     pub spans: SpanSummary,
+    /// Operator-facing warnings about the session, e.g. the empty-trace
+    /// diagnosis (events were inspected but the filter admitted none).
+    pub notes: Vec<String>,
 }
 
 impl TraceSummary {
@@ -135,7 +139,34 @@ impl std::fmt::Debug for Tracer {
 impl Tracer {
     /// Attaches the tracer to `kernel` and starts the pipeline into
     /// `backend`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the verifier's diagnostics when the configuration's
+    /// filter is statically rejected (see [`Tracer::try_attach`] for the
+    /// non-panicking form).
     pub fn attach(config: TracerConfig, kernel: &Kernel, backend: DocStore) -> Tracer {
+        match Self::try_attach(config, kernel, backend) {
+            Ok(tracer) => tracer,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Attaches the tracer after statically verifying the configuration.
+    ///
+    /// This is the load-time gate of DESIGN.md §9: the filter is analyzed
+    /// by `dio-verify` before any tracepoint is enabled, so a spec that
+    /// provably traces nothing (or costs unbounded per-event work) is
+    /// rejected here instead of producing a silently empty session.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`VerifyError`] naming each violated rule.
+    pub fn try_attach(
+        config: TracerConfig,
+        kernel: &Kernel,
+        backend: DocStore,
+    ) -> Result<Tracer, VerifyError> {
         let ring = Arc::new(RingBuffer::new(kernel.num_cpus(), config.ring_config()));
         let (enter_cost_ns, exit_cost_ns) = config.costs();
         let program = TracerProgram::new(
@@ -148,7 +179,7 @@ impl Tracer {
                 join_capacity: 65_536,
             },
             Arc::clone(&ring),
-        );
+        )?;
         let probe_id = kernel.tracepoints().attach(Arc::clone(&program) as Arc<dyn SyscallProbe>);
 
         // Self-telemetry: one registry per session, shared by every pipeline
@@ -249,7 +280,7 @@ impl Tracer {
             )
         });
 
-        Tracer {
+        Ok(Tracer {
             session: config.session().to_string(),
             index_name: config.index_name(),
             kernel: kernel.clone(),
@@ -263,7 +294,7 @@ impl Tracer {
             registry,
             spans,
             exporter,
-        }
+        })
     }
 
     /// The session name.
@@ -315,6 +346,7 @@ impl Tracer {
     }
 
     fn shutdown(&mut self) -> TraceSummary {
+        let first_shutdown = self.consumer.is_some();
         if self.consumer.is_some() {
             self.kernel.tracepoints().detach(self.probe_id);
             self.stop_flag.store(true, Ordering::Release);
@@ -325,13 +357,27 @@ impl Tracer {
                 let _ = h.join();
             }
         }
+        let ring = self.program.ring().stats();
+        let prog = self.program.stats();
+        let mut notes = Vec::new();
+        // Empty-trace diagnosis: the filter inspected events but admitted
+        // none. The verifier rejects specs where this is statically
+        // certain; this catches the runtime-contingent cases (wrong pid,
+        // path nobody touched, ...). Counted before the exporter's final
+        // flush so the warning ships with the session's health documents.
+        if first_shutdown && prog.admitted == 0 && prog.filtered > 0 {
+            self.registry.counter("tracer.warn.empty_trace").inc();
+            notes.push(format!(
+                "empty trace: filter inspected {} event(s) and admitted none — \
+                 the spec is satisfiable but matched nothing at runtime",
+                prog.filtered
+            ));
+        }
         // Stop the exporter only after the pipeline has drained, so its
         // final flush ships the end state of every metric.
         if let Some(exporter) = self.exporter.take() {
             exporter.stop();
         }
-        let ring = self.program.ring().stats();
-        let prog = self.program.stats();
         // Summarize spans first: it refreshes the lag gauges, so the
         // health snapshot below carries the final (drained = 0) lag.
         let spans = self.spans.summary();
@@ -344,6 +390,7 @@ impl Tracer {
             batches: self.batches.load(Ordering::Relaxed),
             health: self.registry.snapshot(),
             spans,
+            notes,
         }
     }
 }
@@ -630,6 +677,69 @@ mod tests {
         assert_eq!(span_docs, 10);
         // And the health gauge rode along via the exporter's final flush.
         assert!(summary.health.gauges.contains_key("span.lag.watermark_ns"));
+    }
+
+    #[test]
+    fn try_attach_rejects_unsatisfiable_configs() {
+        let k = kernel();
+        let backend = DocStore::new();
+        let err = Tracer::try_attach(TracerConfig::new("bad").syscalls([]), &k, backend.clone())
+            .unwrap_err();
+        assert!(err.violates(dio_verify::Rule::EmptySyscallSet));
+        // Nothing was attached: syscalls run untraced.
+        let t = k.spawn_process("app").spawn_thread("app");
+        t.creat("/x", 0o644).unwrap();
+        assert!(!k.tracepoints().is_traced(SyscallKind::Creat));
+        assert!(backend.index_names().is_empty());
+        // A sound config still attaches through the same path.
+        let tracer = Tracer::try_attach(TracerConfig::new("ok"), &k, backend).unwrap();
+        t.creat("/y", 0o644).unwrap();
+        assert_eq!(tracer.stop().events_stored, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty-pid-set")]
+    fn attach_panics_with_diagnostics_on_rejected_spec() {
+        let k = kernel();
+        let _ = Tracer::attach(TracerConfig::new("boom").pids([]), &k, DocStore::new());
+    }
+
+    #[test]
+    fn empty_trace_session_is_flagged() {
+        let k = kernel();
+        let backend = DocStore::new();
+        // Pid 9999 is satisfiable in general but matches no live process.
+        let tracer = Tracer::attach(
+            TracerConfig::new("empty").pids([dio_syscall::Pid(9_999)]),
+            &k,
+            backend.clone(),
+        );
+        let t = k.spawn_process("app").spawn_thread("app");
+        t.creat("/f", 0o644).unwrap();
+        let summary = tracer.stop();
+        assert_eq!(summary.events_stored, 0);
+        assert_eq!(summary.events_filtered, 1);
+        assert_eq!(summary.notes.len(), 1, "summary carries the empty-trace note");
+        assert!(summary.notes[0].contains("empty trace"), "note: {}", summary.notes[0]);
+        assert_eq!(summary.health.counters.get("tracer.warn.empty_trace"), Some(&1));
+        // The warning also shipped with the final health documents.
+        let idx = backend.index("dio-telemetry-empty");
+        assert!(
+            idx.count(&Query::term("metric", "tracer.warn.empty_trace")) >= 1,
+            "warning counter exported to the telemetry index"
+        );
+    }
+
+    #[test]
+    fn sessions_with_events_carry_no_notes() {
+        let k = kernel();
+        let tracer = Tracer::attach(TracerConfig::new("fine"), &k, DocStore::new());
+        let t = k.spawn_process("app").spawn_thread("app");
+        t.creat("/f", 0o644).unwrap();
+        let summary = tracer.stop();
+        assert_eq!(summary.events_stored, 1);
+        assert!(summary.notes.is_empty());
+        assert!(!summary.health.counters.contains_key("tracer.warn.empty_trace"));
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! `dio-verify` — static analysis CLI for the DIO reproduction.
+//!
+//! ```text
+//! dio-verify --check-catalog [--root DIR]   lint the Table I contract across all layers
+//! dio-verify --write-docs    [--root DIR]   regenerate the Table I listings in the docs
+//! dio-verify --print-table                  print the canonical Table I markdown
+//! dio-verify --check-filter FILE            verify a TracerConfig/FilterSpec JSON file
+//! ```
+//!
+//! Exits 0 on success, 1 on findings, 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dio_verify::{check_catalog, table1_markdown, verify_filter, write_docs, FilterFacts};
+
+const USAGE: &str = "usage: dio-verify (--check-catalog | --write-docs) [--root DIR]
+       dio-verify --print-table
+       dio-verify --check-filter FILE";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode: Option<&str> = None;
+    let mut root = PathBuf::from(".");
+    let mut filter_file: Option<PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check-catalog" | "--write-docs" | "--print-table" => {
+                if mode
+                    .replace(match arg.as_str() {
+                        "--check-catalog" => "catalog",
+                        "--write-docs" => "docs",
+                        _ => "table",
+                    })
+                    .is_some()
+                {
+                    return usage("more than one mode given");
+                }
+            }
+            "--check-filter" => {
+                if mode.replace("filter").is_some() {
+                    return usage("more than one mode given");
+                }
+                match it.next() {
+                    Some(f) => filter_file = Some(PathBuf::from(f)),
+                    None => return usage("--check-filter needs a FILE"),
+                }
+            }
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a DIR"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    match mode {
+        Some("catalog") => {
+            let failures = check_catalog(&root);
+            if failures.is_empty() {
+                println!("dio-verify: catalog OK — 42 syscalls consistent across all layers");
+                ExitCode::SUCCESS
+            } else {
+                for f in &failures {
+                    eprintln!("{f}");
+                }
+                eprintln!("dio-verify: {} catalog check(s) failed", failures.len());
+                ExitCode::FAILURE
+            }
+        }
+        Some("docs") => match write_docs(&root) {
+            Ok(written) => {
+                if written.is_empty() {
+                    println!("dio-verify: docs already up to date");
+                } else {
+                    for p in written {
+                        println!("dio-verify: rewrote {}", p.display());
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("dio-verify: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("table") => {
+            print!("{}", table1_markdown());
+            ExitCode::SUCCESS
+        }
+        Some("filter") => {
+            let file = filter_file.expect("set with mode");
+            let json = match std::fs::read_to_string(&file) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("dio-verify: cannot read {}: {e}", file.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let facts = match FilterFacts::from_config_json(&json) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("dio-verify: {}: {e}", file.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let report = verify_filter(&facts);
+            for w in report.warnings() {
+                eprintln!("{w}");
+            }
+            match report.into_result() {
+                Ok(_) => {
+                    println!("dio-verify: filter OK");
+                    ExitCode::SUCCESS
+                }
+                Err(err) => {
+                    eprintln!("{err}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage("no mode given"),
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("dio-verify: {err}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,441 @@
+//! The FilterSpec verifier: load-time rejection of unsatisfiable or
+//! pathological tracer filters.
+//!
+//! Real DIO inherits this guarantee from the kernel's eBPF verifier: a
+//! tracing program that could loop, overrun a map, or never produce output
+//! is rejected before it attaches (PAPER.md §III). The reproduction's
+//! filters are plain Rust, so nothing rejected them — a contradictory
+//! `FilterSpec` would attach happily and surface only as a mysteriously
+//! empty trace. [`verify_filter`] closes that gap: it walks the predicate
+//! structure of a filter and refuses, with a typed [`VerifyError`]
+//! (via [`VerifyReport::into_result`]), any spec that provably traces
+//! nothing or costs unbounded per-event work.
+
+use dio_syscall::SyscallSet;
+
+use crate::report::{Rule, VerifyReport};
+
+/// Maximum number of path prefixes a filter may carry — every prefix is
+/// walked on every `sys_enter`, so the count is a per-event cost bound
+/// (the analogue of the eBPF verifier's instruction budget).
+pub const MAX_PATH_PREFIXES: usize = 64;
+
+/// Maximum total bytes of path-prefix text scanned per event.
+pub const MAX_PATH_PREFIX_BYTES: usize = 64 * 1024;
+
+/// Longest path the VFS can produce (`PATH_MAX`); longer prefixes can
+/// never match.
+pub const PATH_MAX: usize = 4096;
+
+/// A verifier-neutral description of a filter's predicate structure.
+///
+/// `dio-ebpf`'s `FilterSpec` lowers itself into this shape (via
+/// `FilterSpec::facts`) so the verifier can analyze filters without a
+/// dependency cycle between the crates. `None` dimensions match
+/// everything, mirroring the filter's semantics.
+///
+/// # Examples
+///
+/// ```
+/// use dio_verify::{verify_filter, FilterFacts, Rule};
+/// use dio_syscall::SyscallSet;
+///
+/// let facts = FilterFacts { syscalls: Some(SyscallSet::EMPTY), ..FilterFacts::default() };
+/// let err = verify_filter(&facts).into_result().unwrap_err();
+/// assert!(err.violates(Rule::EmptySyscallSet));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FilterFacts {
+    /// The syscall restriction, if any.
+    pub syscalls: Option<SyscallSet>,
+    /// The PID restriction, if any (raw ids).
+    pub pids: Option<Vec<u32>>,
+    /// The TID restriction, if any (raw ids).
+    pub tids: Option<Vec<u32>>,
+    /// The path-prefix restriction, if any.
+    pub path_prefixes: Option<Vec<String>>,
+}
+
+impl FilterFacts {
+    /// Extracts filter facts from a serialized `TracerConfig`/`FilterSpec`
+    /// JSON document (the paper's §II-F configuration file), accepting
+    /// either the filter object itself or a config with a `filter` field.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unparseable JSON or a malformed filter shape.
+    pub fn from_config_json(json: &str) -> Result<FilterFacts, String> {
+        let root: serde_json::Value =
+            serde_json::from_str(json).map_err(|e| format!("malformed JSON: {e}"))?;
+        let filter = root.get("filter").unwrap_or(&root);
+        let obj = filter.as_object().ok_or("filter is not a JSON object")?;
+        let mut facts = FilterFacts::default();
+        if let Some(v) = obj.get("syscalls") {
+            if !v.is_null() {
+                let bits = v.as_u64().ok_or("filter.syscalls must be a u64 bitmap")?;
+                let set: SyscallSet = serde_json::from_value(&serde_json::json!(bits))
+                    .map_err(|e| format!("filter.syscalls: {e}"))?;
+                facts.syscalls = Some(set);
+            }
+        }
+        for (key, slot) in [("pids", &mut facts.pids), ("tids", &mut facts.tids)] {
+            if let Some(v) = obj.get(key) {
+                if !v.is_null() {
+                    let arr = v.as_array().ok_or_else(|| format!("filter.{key} must be a list"))?;
+                    let ids = arr
+                        .iter()
+                        .map(|x| {
+                            x.as_u64()
+                                .and_then(|n| u32::try_from(n).ok())
+                                .ok_or_else(|| format!("filter.{key} entries must be u32 ids"))
+                        })
+                        .collect::<Result<Vec<u32>, String>>()?;
+                    *slot = Some(ids);
+                }
+            }
+        }
+        if let Some(v) = obj.get("path_prefixes") {
+            if !v.is_null() {
+                let arr = v.as_array().ok_or("filter.path_prefixes must be a list")?;
+                let prefixes = arr
+                    .iter()
+                    .map(|x| {
+                        x.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| "filter.path_prefixes entries must be strings".into())
+                    })
+                    .collect::<Result<Vec<String>, String>>()?;
+                facts.path_prefixes = Some(prefixes);
+            }
+        }
+        Ok(facts)
+    }
+}
+
+/// Whether `prefix` could ever match a path produced by the kernel.
+fn prefix_matchable(prefix: &str) -> Option<&'static str> {
+    if prefix.is_empty() {
+        return Some("it is empty");
+    }
+    if !prefix.starts_with('/') {
+        return Some("it is relative and the VFS resolves absolute paths only");
+    }
+    if prefix.contains('\0') {
+        return Some("it contains a NUL byte");
+    }
+    if prefix.len() > PATH_MAX {
+        return Some("it exceeds PATH_MAX");
+    }
+    None
+}
+
+/// Whether `inner` is a directory-wise descendant of `outer` (so a filter
+/// already admitting `outer` admits everything under `inner`).
+fn prefix_shadows(outer: &str, inner: &str) -> bool {
+    inner != outer
+        && inner.starts_with(outer)
+        && (outer.ends_with('/') || inner.as_bytes().get(outer.len()) == Some(&b'/'))
+}
+
+/// Statically analyzes a filter's predicate structure.
+///
+/// Returns a [`VerifyReport`] carrying every finding; call
+/// [`VerifyReport::into_result`] to turn rejecting findings into a typed
+/// [`crate::VerifyError`]. The rules are documented on [`Rule`] and in
+/// DESIGN.md §9 "Static verification".
+pub fn verify_filter(facts: &FilterFacts) -> VerifyReport {
+    let mut report = VerifyReport::clean();
+
+    if let Some(set) = facts.syscalls {
+        if set.is_empty() {
+            report.reject(
+                Rule::EmptySyscallSet,
+                true,
+                "the syscall set is empty: no event can pass the type filter".into(),
+            );
+        }
+    }
+
+    for (dim, ids, rule) in
+        [("pid", &facts.pids, Rule::EmptyPidSet), ("tid", &facts.tids, Rule::EmptyTidSet)]
+    {
+        if let Some(ids) = ids {
+            if ids.is_empty() {
+                report.reject(
+                    rule,
+                    true,
+                    format!("the {dim} set is empty: no event can pass the {dim} filter"),
+                );
+            } else {
+                let zeroes = ids.iter().filter(|&&id| id == 0).count();
+                if zeroes > 0 {
+                    // The whole dimension is dead only when 0 is the sole member.
+                    let sole = zeroes == ids.len();
+                    report.reject(
+                        Rule::UnmatchableId,
+                        sole,
+                        format!(
+                            "{dim} 0 can never match: the kernel never assigns id 0 to an \
+                             application thread"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    if let Some(prefixes) = &facts.path_prefixes {
+        if prefixes.is_empty() {
+            report.reject(
+                Rule::UnmatchablePathPrefix,
+                true,
+                "the path filter lists no prefixes: no path can ever match".into(),
+            );
+        }
+        let mut unmatchable = 0usize;
+        for p in prefixes {
+            if let Some(why) = prefix_matchable(p) {
+                unmatchable += 1;
+                report.reject(
+                    Rule::UnmatchablePathPrefix,
+                    false,
+                    format!("path prefix {p:?} can never match: {why}"),
+                );
+            }
+        }
+        if !prefixes.is_empty() && unmatchable == prefixes.len() {
+            // Every prefix is dead: the path dimension is unsatisfiable.
+            report.reject(
+                Rule::UnmatchablePathPrefix,
+                true,
+                "every path prefix is unmatchable: no path can ever pass the filter".into(),
+            );
+        }
+
+        let mut seen = std::collections::HashSet::new();
+        for p in prefixes {
+            if !seen.insert(p.as_str()) {
+                report.reject(
+                    Rule::DuplicatePathPrefix,
+                    false,
+                    format!("path prefix {p:?} appears more than once: pure per-event cost"),
+                );
+            }
+        }
+
+        for (i, inner) in prefixes.iter().enumerate() {
+            if prefixes.iter().enumerate().any(|(j, outer)| i != j && prefix_shadows(outer, inner))
+            {
+                report.warn(
+                    Rule::ShadowedPathPrefix,
+                    format!(
+                        "path prefix {inner:?} is shadowed by a broader prefix and never \
+                             changes the verdict"
+                    ),
+                );
+            }
+        }
+
+        if prefixes.len() > MAX_PATH_PREFIXES {
+            report.reject(
+                Rule::PathFilterCost,
+                false,
+                format!(
+                    "{} path prefixes exceed the verifier bound of {MAX_PATH_PREFIXES} \
+                     (every prefix is walked on every sys_enter)",
+                    prefixes.len()
+                ),
+            );
+        }
+        let total_bytes: usize = prefixes.iter().map(String::len).sum();
+        if total_bytes > MAX_PATH_PREFIX_BYTES {
+            report.reject(
+                Rule::PathFilterCost,
+                false,
+                format!(
+                    "path prefixes total {total_bytes} bytes, exceeding the per-event scan \
+                     bound of {MAX_PATH_PREFIX_BYTES}"
+                ),
+            );
+        }
+
+        if let Some(set) = facts.syscalls {
+            if !set.is_empty() && set.iter().all(|k| !k.takes_path()) {
+                report.warn(
+                    Rule::FdOnlyPathFilter,
+                    "path filter combined with fd-only syscalls: matching relies on fd→path \
+                     resolution and misses files opened before the session started"
+                        .into(),
+                );
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dio_syscall::SyscallKind;
+
+    fn ok_facts() -> FilterFacts {
+        FilterFacts {
+            syscalls: Some([SyscallKind::Openat, SyscallKind::Read].into_iter().collect()),
+            pids: Some(vec![1000]),
+            tids: None,
+            path_prefixes: Some(vec!["/db".into()]),
+        }
+    }
+
+    #[test]
+    fn default_and_sound_specs_pass() {
+        assert!(verify_filter(&FilterFacts::default()).into_result().is_ok());
+        let report = verify_filter(&ok_facts());
+        assert!(report.is_ok());
+        assert!(!report.statically_empty());
+        assert_eq!(report.diagnostics.len(), 0);
+    }
+
+    #[test]
+    fn empty_syscall_set_rejected() {
+        let facts = FilterFacts { syscalls: Some(SyscallSet::EMPTY), ..ok_facts() };
+        let err = verify_filter(&facts).into_result().unwrap_err();
+        assert!(err.violates(Rule::EmptySyscallSet));
+        assert!(err.report.statically_empty());
+    }
+
+    #[test]
+    fn empty_pid_set_rejected() {
+        let facts = FilterFacts { pids: Some(vec![]), ..ok_facts() };
+        let err = verify_filter(&facts).into_result().unwrap_err();
+        assert!(err.violates(Rule::EmptyPidSet));
+        assert!(err.report.statically_empty());
+    }
+
+    #[test]
+    fn empty_tid_set_rejected() {
+        let facts = FilterFacts { tids: Some(vec![]), ..ok_facts() };
+        let err = verify_filter(&facts).into_result().unwrap_err();
+        assert!(err.violates(Rule::EmptyTidSet));
+    }
+
+    #[test]
+    fn id_zero_rejected_and_empty_only_when_sole() {
+        let facts = FilterFacts { pids: Some(vec![0]), ..ok_facts() };
+        let err = verify_filter(&facts).into_result().unwrap_err();
+        assert!(err.violates(Rule::UnmatchableId));
+        assert!(err.report.statically_empty(), "pid 0 as the only pid is statically empty");
+
+        let facts = FilterFacts { pids: Some(vec![0, 1000]), ..ok_facts() };
+        let err = verify_filter(&facts).into_result().unwrap_err();
+        assert!(err.violates(Rule::UnmatchableId));
+        assert!(!err.report.statically_empty(), "pid 1000 can still match");
+
+        let facts = FilterFacts { tids: Some(vec![0]), ..ok_facts() };
+        assert!(verify_filter(&facts).into_result().unwrap_err().violates(Rule::UnmatchableId));
+    }
+
+    #[test]
+    fn unmatchable_prefixes_rejected() {
+        for bad in ["", "relative/path", "a", "/nul\0byte"] {
+            let facts = FilterFacts { path_prefixes: Some(vec![bad.to_string()]), ..ok_facts() };
+            let err = verify_filter(&facts).into_result().unwrap_err();
+            assert!(err.violates(Rule::UnmatchablePathPrefix), "prefix {bad:?}");
+            assert!(err.report.statically_empty(), "sole dead prefix empties the dimension");
+        }
+        let too_long = format!("/{}", "x".repeat(PATH_MAX + 1));
+        let facts = FilterFacts { path_prefixes: Some(vec![too_long]), ..ok_facts() };
+        assert!(verify_filter(&facts)
+            .into_result()
+            .unwrap_err()
+            .violates(Rule::UnmatchablePathPrefix));
+        // One dead prefix among live ones rejects but is not statically empty.
+        let facts = FilterFacts {
+            path_prefixes: Some(vec!["relative".into(), "/ok".into()]),
+            ..ok_facts()
+        };
+        let err = verify_filter(&facts).into_result().unwrap_err();
+        assert!(err.violates(Rule::UnmatchablePathPrefix));
+        assert!(!err.report.statically_empty());
+        // An explicitly empty prefix list can match nothing at all.
+        let facts = FilterFacts { path_prefixes: Some(vec![]), ..ok_facts() };
+        let err = verify_filter(&facts).into_result().unwrap_err();
+        assert!(err.report.statically_empty());
+    }
+
+    #[test]
+    fn duplicate_prefix_rejected() {
+        let facts =
+            FilterFacts { path_prefixes: Some(vec!["/db".into(), "/db".into()]), ..ok_facts() };
+        let err = verify_filter(&facts).into_result().unwrap_err();
+        assert!(err.violates(Rule::DuplicatePathPrefix));
+        assert!(!err.report.statically_empty(), "duplicates waste work but still match");
+    }
+
+    #[test]
+    fn shadowed_prefix_warns_but_loads() {
+        let facts =
+            FilterFacts { path_prefixes: Some(vec!["/db".into(), "/db/wal".into()]), ..ok_facts() };
+        let report = verify_filter(&facts);
+        assert!(report.is_ok());
+        assert_eq!(report.warnings().next().unwrap().rule, Rule::ShadowedPathPrefix);
+        // "/dbx" is NOT under "/db" (directory-wise).
+        let facts =
+            FilterFacts { path_prefixes: Some(vec!["/db".into(), "/dbx".into()]), ..ok_facts() };
+        assert_eq!(verify_filter(&facts).warnings().count(), 0);
+    }
+
+    #[test]
+    fn path_filter_cost_bounds() {
+        let many: Vec<String> = (0..=MAX_PATH_PREFIXES).map(|i| format!("/p{i}")).collect();
+        let facts = FilterFacts { path_prefixes: Some(many), ..ok_facts() };
+        let err = verify_filter(&facts).into_result().unwrap_err();
+        assert!(err.violates(Rule::PathFilterCost));
+
+        let fat: Vec<String> = (0..32).map(|i| format!("/{i:04}{}", "y".repeat(2100))).collect();
+        let facts = FilterFacts { path_prefixes: Some(fat), ..ok_facts() };
+        assert!(verify_filter(&facts).into_result().unwrap_err().violates(Rule::PathFilterCost));
+    }
+
+    #[test]
+    fn fd_only_path_filter_warns() {
+        let facts = FilterFacts {
+            syscalls: Some([SyscallKind::Read, SyscallKind::Write].into_iter().collect()),
+            pids: None,
+            tids: None,
+            path_prefixes: Some(vec!["/db".into()]),
+        };
+        let report = verify_filter(&facts);
+        assert!(report.is_ok());
+        assert_eq!(report.warnings().next().unwrap().rule, Rule::FdOnlyPathFilter);
+        // Openat takes a path, so the warning clears.
+        let facts = FilterFacts {
+            syscalls: Some([SyscallKind::Read, SyscallKind::Openat].into_iter().collect()),
+            ..facts
+        };
+        assert_eq!(verify_filter(&facts).warnings().count(), 0);
+    }
+
+    #[test]
+    fn facts_parse_from_config_json() {
+        let json = r#"{
+            "session": "s",
+            "filter": {
+                "syscalls": null,
+                "pids": [7, 8],
+                "tids": null,
+                "path_prefixes": ["/db"]
+            }
+        }"#;
+        let facts = FilterFacts::from_config_json(json).unwrap();
+        assert_eq!(facts.pids, Some(vec![7, 8]));
+        assert_eq!(facts.path_prefixes, Some(vec!["/db".to_string()]));
+        assert!(facts.syscalls.is_none());
+        assert!(FilterFacts::from_config_json("{not json").is_err());
+        assert!(FilterFacts::from_config_json(r#"{"filter": {"pids": ["x"]}}"#).is_err());
+        // A bare filter object (no wrapper) parses too.
+        let bare = FilterFacts::from_config_json(r#"{"pids": []}"#).unwrap();
+        assert_eq!(bare.pids, Some(vec![]));
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Static analysis for DIO tracer programs and the syscall catalog.
+//!
+//! Real DIO relies on the kernel's eBPF verifier to reject unsafe or
+//! unbounded tracing programs before they attach (PAPER.md §III). This
+//! crate is the reproduction's analogue, with two passes:
+//!
+//! * **Filter verification** ([`verify_filter`]) — walks a filter's
+//!   predicate structure ([`FilterFacts`]) and rejects unsatisfiable specs
+//!   (empty syscall/pid/tid sets, never-matching path prefixes) and
+//!   pathological ones (duplicate probes, per-event cost over budget) with
+//!   a typed [`VerifyReport`] / [`VerifyError`] naming each violated
+//!   [`Rule`]. `dio-ebpf` runs this pass inside `TracerProgram`
+//!   construction, so a broken spec fails at load time instead of tracing
+//!   nothing.
+//! * **Catalog linting** ([`check_catalog`]) — cross-checks the 42
+//!   syscalls of Table I across `catalog.rs`, the arg contract in
+//!   `args.rs`, the kernel probe dispatch, the event document schema, and
+//!   the listings in DESIGN.md/README.md. The `dio-verify` binary runs it
+//!   in CI (`--check-catalog`) and regenerates the docs (`--write-docs`).
+//!
+//! # Examples
+//!
+//! Rejecting a filter that can never match:
+//!
+//! ```
+//! use dio_verify::{verify_filter, FilterFacts, Rule};
+//!
+//! let facts = FilterFacts { pids: Some(vec![]), ..FilterFacts::default() };
+//! let err = verify_filter(&facts).into_result().unwrap_err();
+//! assert!(err.violates(Rule::EmptyPidSet));
+//! assert!(err.to_string().contains("error[empty-pid-set]"));
+//! ```
+
+mod catalog;
+mod filter;
+mod report;
+
+pub use catalog::{
+    check_args_arms_src, check_catalog, check_catalog_invariants, check_doc_table,
+    check_kernel_dispatch_src, table1_markdown, write_docs, LintFailure, CLASS_CENSUS,
+    DOCUMENT_FIELDS, TABLE1_BEGIN, TABLE1_END,
+};
+pub use filter::{verify_filter, FilterFacts, MAX_PATH_PREFIXES, MAX_PATH_PREFIX_BYTES, PATH_MAX};
+pub use report::{Diagnostic, Rule, Severity, VerifyError, VerifyReport};

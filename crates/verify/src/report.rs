@@ -1,0 +1,258 @@
+//! Typed diagnostics produced by the verifier passes.
+
+use std::fmt;
+
+/// One of the verifier's named rules.
+///
+/// Each rule plays the role of one check class inside the kernel's eBPF
+/// verifier: a tracer configuration that violates a rejecting rule is
+/// refused at load time, before any tracepoint is attached — the moral
+/// equivalent of `bpf(BPF_PROG_LOAD)` returning `EACCES` instead of letting
+/// an unbounded or contradictory program run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Rule {
+    /// The spec restricts syscalls to an empty set: no event can ever pass
+    /// the type filter, so the session is statically guaranteed empty.
+    EmptySyscallSet,
+    /// The spec restricts PIDs to an empty set.
+    EmptyPidSet,
+    /// The spec restricts TIDs to an empty set.
+    EmptyTidSet,
+    /// A PID/TID constraint names id 0, which the kernel never assigns to
+    /// an application thread (Linux pid 0 is the swapper; the simulator
+    /// allocates ids from 1000). The constraint can never match.
+    UnmatchableId,
+    /// A path prefix can never match any path the kernel produces: it is
+    /// empty, relative (the VFS resolves absolute paths only), contains a
+    /// NUL byte, or exceeds `PATH_MAX`.
+    UnmatchablePathPrefix,
+    /// The same path prefix appears more than once; every copy is walked
+    /// on every `sys_enter`, so duplicates are pure per-event cost.
+    DuplicatePathPrefix,
+    /// A path prefix is nested under another prefix of the same spec and
+    /// can never change the verdict (e.g. `/db/wal` under `/db`).
+    ShadowedPathPrefix,
+    /// The path filter exceeds the verifier's cost bound (too many
+    /// prefixes or too many total bytes scanned per event) — the analogue
+    /// of the eBPF verifier's instruction/complexity budget.
+    PathFilterCost,
+    /// A path filter is combined with a syscall set in which no selected
+    /// syscall carries a path argument; matching then relies entirely on
+    /// fd→path resolution, which cannot see files opened before the
+    /// session started.
+    FdOnlyPathFilter,
+}
+
+impl Rule {
+    /// The stable kebab-case name used in diagnostics and documentation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::EmptySyscallSet => "empty-syscall-set",
+            Rule::EmptyPidSet => "empty-pid-set",
+            Rule::EmptyTidSet => "empty-tid-set",
+            Rule::UnmatchableId => "unmatchable-id",
+            Rule::UnmatchablePathPrefix => "unmatchable-path-prefix",
+            Rule::DuplicatePathPrefix => "duplicate-path-prefix",
+            Rule::ShadowedPathPrefix => "shadowed-path-prefix",
+            Rule::PathFilterCost => "path-filter-cost",
+            Rule::FdOnlyPathFilter => "fd-only-path-filter",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a diagnostic affects the load decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The spec is refused; constructing a `TracerProgram` from it fails.
+    Reject,
+    /// The spec loads, but the report carries the finding for operators.
+    Warn,
+}
+
+/// One finding of the verifier, tied to a [`Rule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Whether the finding rejects the spec or only warns.
+    pub severity: Severity,
+    /// Human-readable explanation naming the offending value.
+    pub message: String,
+    /// Whether this finding alone proves the session can never record a
+    /// single event (used by property tests to cross-check the verifier
+    /// against brute-force evaluation).
+    pub statically_empty: bool,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.severity {
+            Severity::Reject => "error",
+            Severity::Warn => "warning",
+        };
+        write!(f, "{kind}[{}]: {}", self.rule, self.message)
+    }
+}
+
+/// The outcome of a verifier pass: every finding, rejecting or not.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// All findings, in rule-evaluation order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl VerifyReport {
+    /// A report with no findings.
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn reject(&mut self, rule: Rule, statically_empty: bool, message: String) {
+        self.diagnostics.push(Diagnostic {
+            rule,
+            severity: Severity::Reject,
+            message,
+            statically_empty,
+        });
+    }
+
+    pub(crate) fn warn(&mut self, rule: Rule, message: String) {
+        self.diagnostics.push(Diagnostic {
+            rule,
+            severity: Severity::Warn,
+            message,
+            statically_empty: false,
+        });
+    }
+
+    /// Findings with [`Severity::Reject`].
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Reject)
+    }
+
+    /// Findings with [`Severity::Warn`].
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warn)
+    }
+
+    /// Whether the spec passes (it may still carry warnings).
+    pub fn is_ok(&self) -> bool {
+        self.errors().next().is_none()
+    }
+
+    /// Whether the verifier proved the spec can never admit any event.
+    pub fn statically_empty(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.statically_empty)
+    }
+
+    /// Converts the report into a result: `Err` when any rejecting finding
+    /// is present.
+    pub fn into_result(self) -> Result<VerifyReport, VerifyError> {
+        if self.is_ok() {
+            Ok(self)
+        } else {
+            Err(VerifyError { report: self })
+        }
+    }
+}
+
+/// The typed error returned when a spec is rejected at load time.
+///
+/// Displays every rejecting diagnostic, one per line, each naming the
+/// violated [`Rule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The full report, including any warnings that accompanied the
+    /// rejection.
+    pub report: VerifyReport,
+}
+
+impl VerifyError {
+    /// The rules violated with rejecting severity, in evaluation order.
+    pub fn rules(&self) -> Vec<Rule> {
+        self.report.errors().map(|d| d.rule).collect()
+    }
+
+    /// Whether `rule` is among the rejecting findings.
+    pub fn violates(&self, rule: Rule) -> bool {
+        self.report.errors().any(|d| d.rule == rule)
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "filter spec rejected by dio-verify")?;
+        for d in self.report.errors() {
+            write!(f, "\n  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_severity_partitions() {
+        let mut r = VerifyReport::clean();
+        assert!(r.is_ok());
+        assert!(!r.statically_empty());
+        r.warn(Rule::ShadowedPathPrefix, "warn".into());
+        assert!(r.is_ok(), "warnings alone do not reject");
+        r.reject(Rule::EmptySyscallSet, true, "empty".into());
+        assert!(!r.is_ok());
+        assert!(r.statically_empty());
+        assert_eq!(r.errors().count(), 1);
+        assert_eq!(r.warnings().count(), 1);
+    }
+
+    #[test]
+    fn error_display_names_rules() {
+        let mut r = VerifyReport::clean();
+        r.reject(Rule::EmptyPidSet, true, "pid set is empty".into());
+        let err = r.into_result().unwrap_err();
+        assert!(err.violates(Rule::EmptyPidSet));
+        assert!(!err.violates(Rule::EmptyTidSet));
+        let text = err.to_string();
+        assert!(text.contains("error[empty-pid-set]"), "got: {text}");
+        assert!(text.contains("pid set is empty"));
+    }
+
+    #[test]
+    fn clean_report_into_result_is_ok() {
+        assert!(VerifyReport::clean().into_result().is_ok());
+        let mut warn_only = VerifyReport::clean();
+        warn_only.warn(Rule::FdOnlyPathFilter, "w".into());
+        assert!(warn_only.into_result().is_ok());
+    }
+
+    #[test]
+    fn rule_names_are_kebab_case_and_unique() {
+        let rules = [
+            Rule::EmptySyscallSet,
+            Rule::EmptyPidSet,
+            Rule::EmptyTidSet,
+            Rule::UnmatchableId,
+            Rule::UnmatchablePathPrefix,
+            Rule::DuplicatePathPrefix,
+            Rule::ShadowedPathPrefix,
+            Rule::PathFilterCost,
+            Rule::FdOnlyPathFilter,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for r in rules {
+            assert!(seen.insert(r.name()), "duplicate rule name {}", r.name());
+            assert!(r.name().chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! End-to-end drift detection: `check_catalog` (and the `dio-verify`
+//! binary) against a fixture copy of the real repo, with drift seeded
+//! into individual layers. Each seeded drift must fail the lint with the
+//! corresponding check name — this is the CI guarantee that the Table I
+//! contract cannot rot silently.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use dio_verify::check_catalog;
+
+const ARGS_RS: &str = "crates/syscall/src/args.rs";
+const KERNEL_SYSCALLS_RS: &str = "crates/kernel/src/syscalls.rs";
+
+/// Copies the four linted files from the real repo into a fresh fixture
+/// tree under the test tmpdir.
+fn make_fixture(tag: &str) -> PathBuf {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let fixture = Path::new(env!("CARGO_TARGET_TMPDIR")).join(tag);
+    for rel in [ARGS_RS, KERNEL_SYSCALLS_RS, "DESIGN.md", "README.md"] {
+        let dst = fixture.join(rel);
+        std::fs::create_dir_all(dst.parent().unwrap()).unwrap();
+        std::fs::copy(repo.join(rel), dst).unwrap();
+    }
+    fixture
+}
+
+/// Applies a literal substitution to one fixture file, asserting the
+/// needle was present (a vacuous seed would make the test meaningless).
+fn seed(fixture: &Path, rel: &str, needle: &str, replacement: &str) {
+    let path = fixture.join(rel);
+    let src = std::fs::read_to_string(&path).unwrap();
+    assert!(src.contains(needle), "seed needle `{needle}` not found in {rel}");
+    std::fs::write(&path, src.replace(needle, replacement)).unwrap();
+}
+
+fn checks(fixture: &Path) -> Vec<&'static str> {
+    check_catalog(fixture).iter().map(|f| f.check).collect()
+}
+
+#[test]
+fn pristine_fixture_passes() {
+    let fixture = make_fixture("pristine");
+    let failures = check_catalog(&fixture);
+    assert!(failures.is_empty(), "clean copy of the repo must lint clean: {failures:?}");
+}
+
+#[test]
+fn removed_args_arm_is_caught() {
+    // The `_ => &[]` fallback means this still *compiles*; only the lint
+    // (and the kernel-args cross-check) can see it.
+    let fixture = make_fixture("args-arm-drift");
+    seed(
+        &fixture,
+        ARGS_RS,
+        "SyscallKind::Renameat2 => &[\"olddfd\", \"oldpath\", \"newdfd\", \"newpath\", \"flags\"],",
+        "",
+    );
+    let got = checks(&fixture);
+    assert!(got.contains(&"args-arms"), "missing arm must fail args-arms, got {got:?}");
+    let failures = check_catalog(&fixture);
+    let msg = &failures.iter().find(|f| f.check == "args-arms").unwrap().message;
+    assert!(msg.contains("renameat2"), "failure names the dropped syscall: {msg}");
+}
+
+#[test]
+fn renamed_kernel_arg_is_caught() {
+    let fixture = make_fixture("kernel-arg-drift");
+    seed(&fixture, KERNEL_SYSCALLS_RS, "Arg::new(\"whence\"", "Arg::new(\"origin\"");
+    let got = checks(&fixture);
+    assert!(got.contains(&"kernel-args"), "renamed arg must fail kernel-args, got {got:?}");
+    let failures = check_catalog(&fixture);
+    let msg = &failures.iter().find(|f| f.check == "kernel-args").unwrap().message;
+    assert!(
+        msg.contains("lseek") && msg.contains("whence") && msg.contains("origin"),
+        "diff-style message names the syscall and both sides: {msg}"
+    );
+}
+
+#[test]
+fn removed_dispatch_site_is_caught() {
+    let fixture = make_fixture("dispatch-drift");
+    seed(&fixture, KERNEL_SYSCALLS_RS, "invoke(SyscallKind::Rmdir", "invoke(SyscallKind::Futex");
+    let got = checks(&fixture);
+    // Rmdir loses its site *and* an unknown kind appears.
+    assert!(got.contains(&"kernel-dispatch"), "must fail kernel-dispatch, got {got:?}");
+    let failures = check_catalog(&fixture);
+    let messages: Vec<_> =
+        failures.iter().filter(|f| f.check == "kernel-dispatch").map(|f| &f.message).collect();
+    assert!(messages.iter().any(|m| m.contains("rmdir")), "names the untraced syscall");
+    assert!(messages.iter().any(|m| m.contains("Futex")), "names the unknown kind");
+}
+
+#[test]
+fn stale_doc_table_is_caught() {
+    let fixture = make_fixture("doc-drift");
+    seed(&fixture, "DESIGN.md", "| 1 | `read` | data |", "| 1 | `futex` | data |");
+    let failures = check_catalog(&fixture);
+    let doc = failures.iter().find(|f| f.check == "docs-table1");
+    let doc = doc.unwrap_or_else(|| panic!("stale table must fail docs-table1: {failures:?}"));
+    assert!(
+        doc.message.contains("- |") && doc.message.contains("+ |"),
+        "diff-style excerpt shows want/got lines: {}",
+        doc.message
+    );
+}
+
+#[test]
+fn cli_exits_nonzero_on_drift_and_zero_when_clean() {
+    let clean = make_fixture("cli-clean");
+    let out = Command::new(env!("CARGO_BIN_EXE_dio-verify"))
+        .args(["--check-catalog", "--root"])
+        .arg(&clean)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "clean fixture: {}", String::from_utf8_lossy(&out.stderr));
+
+    let drifted = make_fixture("cli-drift");
+    seed(&drifted, ARGS_RS, "SyscallKind::Rmdir => &[\"path\"],", "");
+    let out = Command::new(env!("CARGO_BIN_EXE_dio-verify"))
+        .args(["--check-catalog", "--root"])
+        .arg(&drifted)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "drift must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("args-arms") && stderr.contains("rmdir"),
+        "diagnostic names the check and syscall: {stderr}"
+    );
+}

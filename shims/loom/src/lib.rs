@@ -1,0 +1,99 @@
+//! Offline stand-in for the [loom](https://crates.io/crates/loom) API
+//! surface this workspace uses.
+//!
+//! Real loom model-checks a concurrent closure by exhaustively exploring
+//! thread interleavings under the C11 memory model. This shim keeps the
+//! same source shape — `loom::model(|| …)` with `loom::thread` /
+//! `loom::sync` inside — but executes the closure repeatedly on real OS
+//! threads instead, so models double as stress tests on every platform
+//! the workspace builds on. The exploration budget comes from
+//! `LOOM_MAX_PREEMPTIONS` (read here as an iteration multiplier) to stay
+//! command-line compatible with loom invocations in CI.
+//!
+//! Swapping in the real crate later is a one-line Cargo change: models
+//! only use the subset re-exported below.
+
+use std::sync::OnceLock;
+
+/// Default number of executions of the model closure per [`model`] call.
+const DEFAULT_ITERS: usize = 64;
+
+fn iterations() -> usize {
+    static ITERS: OnceLock<usize> = OnceLock::new();
+    *ITERS.get_or_init(|| {
+        std::env::var("LOOM_MAX_PREEMPTIONS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|p| DEFAULT_ITERS * p.max(1))
+            .unwrap_or(DEFAULT_ITERS)
+    })
+}
+
+/// Runs `f` under the model: repeatedly, to exercise many interleavings.
+///
+/// Real loom explores interleavings deterministically; this shim re-runs
+/// the closure `iterations()` times on OS threads. Panics propagate, so a
+/// violated invariant still fails the test.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for _ in 0..iterations() {
+        f();
+    }
+}
+
+/// Mirror of `loom::thread`, backed by [`std::thread`].
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Mirror of `loom::sync`, backed by [`std::sync`].
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+    /// Mirror of `loom::sync::atomic`.
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+}
+
+/// Mirror of `loom::hint`.
+pub mod hint {
+    pub use std::hint::spin_loop;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_closure_many_times() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let r = runs.clone();
+        super::model(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(runs.load(Ordering::SeqCst) >= super::DEFAULT_ITERS);
+    }
+
+    #[test]
+    fn threads_and_atomics_compose() {
+        super::model(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = n.clone();
+                    super::thread::spawn(move || n.fetch_add(1, Ordering::SeqCst))
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        });
+    }
+}

@@ -299,6 +299,10 @@ pub struct Index {
     /// Query-latency histogram, bound by the owning [`crate::DocStore`]
     /// when telemetry is enabled.
     query_ns: std::sync::OnceLock<std::sync::Arc<dio_telemetry::Histogram>>,
+    /// Continuous-query subscribers; ingest delivers batch copies to each
+    /// (see [`crate::Subscription`]). Kept outside `inner` so delivery
+    /// happens after the ingest write lock is released.
+    subscribers: RwLock<Vec<std::sync::Arc<crate::subscribe::SubQueue>>>,
 }
 
 impl std::fmt::Debug for Index {
@@ -314,6 +318,42 @@ impl Index {
             name: name.into(),
             inner: RwLock::new(IndexInner::default()),
             query_ns: std::sync::OnceLock::new(),
+            subscribers: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Opens a continuous query: every batch accepted from now on is also
+    /// delivered to the returned [`crate::Subscription`], whose bounded
+    /// queue holds up to `capacity` batches (overflow drops batches for
+    /// that subscriber — ingest never blocks).
+    pub fn subscribe(&self, capacity: usize) -> crate::Subscription {
+        let queue = std::sync::Arc::new(crate::subscribe::SubQueue::new(capacity));
+        self.subscribers.write().push(std::sync::Arc::clone(&queue));
+        crate::Subscription::new(self.name.clone(), queue)
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.read().iter().filter(|s| s.is_alive()).count()
+    }
+
+    fn has_subscribers(&self) -> bool {
+        !self.subscribers.read().is_empty()
+    }
+
+    /// Delivers a batch copy to every live subscriber and prunes dead
+    /// ones. Called outside the ingest write lock.
+    fn notify_subscribers(&self, batch: &[Value]) {
+        let mut saw_dead = false;
+        for sub in self.subscribers.read().iter() {
+            if sub.is_alive() {
+                sub.offer(batch);
+            } else {
+                saw_dead = true;
+            }
+        }
+        if saw_dead {
+            self.subscribers.write().retain(|s| s.is_alive());
         }
     }
 
@@ -340,12 +380,21 @@ impl Index {
     /// searchable at the next [`Index::refresh`] (queries refresh
     /// implicitly, as in Elasticsearch's near-real-time model).
     pub fn index_doc(&self, doc: Value) -> u64 {
-        let mut inner = self.inner.write();
-        let id = inner.next_id;
-        inner.next_id += 1;
-        inner.docs.insert(id, doc);
-        inner.order.push(id);
-        inner.pending.push(id);
+        // Copy for subscribers before the document moves into the store;
+        // the copy is skipped entirely when nobody subscribed.
+        let snapshot = self.has_subscribers().then(|| vec![doc.clone()]);
+        let id = {
+            let mut inner = self.inner.write();
+            let id = inner.next_id;
+            inner.next_id += 1;
+            inner.docs.insert(id, doc);
+            inner.order.push(id);
+            inner.pending.push(id);
+            id
+        };
+        if let Some(batch) = snapshot {
+            self.notify_subscribers(&batch);
+        }
         id
     }
 
@@ -355,15 +404,22 @@ impl Index {
     /// keeping the hot tracing path cheap — in the paper's deployment this
     /// work happens on the separate backend server.
     pub fn bulk(&self, docs: Vec<Value>) -> Vec<u64> {
-        let mut inner = self.inner.write();
-        let mut ids = Vec::with_capacity(docs.len());
-        for doc in docs {
-            let id = inner.next_id;
-            inner.next_id += 1;
-            inner.docs.insert(id, doc);
-            inner.order.push(id);
-            inner.pending.push(id);
-            ids.push(id);
+        let snapshot = self.has_subscribers().then(|| docs.clone());
+        let ids = {
+            let mut inner = self.inner.write();
+            let mut ids = Vec::with_capacity(docs.len());
+            for doc in docs {
+                let id = inner.next_id;
+                inner.next_id += 1;
+                inner.docs.insert(id, doc);
+                inner.order.push(id);
+                inner.pending.push(id);
+                ids.push(id);
+            }
+            ids
+        };
+        if let Some(batch) = snapshot {
+            self.notify_subscribers(&batch);
         }
         ids
     }

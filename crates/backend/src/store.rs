@@ -91,6 +91,18 @@ impl DocStore {
         self.indices.read().get(name).cloned()
     }
 
+    /// Opens a continuous query on `name` (creating the index if needed)
+    /// with the default queue depth. See [`Index::subscribe`].
+    pub fn subscribe(&self, name: &str) -> crate::Subscription {
+        self.subscribe_with_capacity(name, crate::DEFAULT_SUBSCRIPTION_CAPACITY)
+    }
+
+    /// [`DocStore::subscribe`] with an explicit bounded queue depth (in
+    /// batches).
+    pub fn subscribe_with_capacity(&self, name: &str, capacity: usize) -> crate::Subscription {
+        self.index(name).subscribe(capacity)
+    }
+
     /// Deletes an index, returning whether it existed.
     pub fn delete_index(&self, name: &str) -> bool {
         self.indices.write().remove(name).is_some()

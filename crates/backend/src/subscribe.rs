@@ -1,0 +1,207 @@
+//! Continuous queries: push-based subscriptions to an index's ingest.
+//!
+//! A [`Subscription`] receives every batch accepted by [`Index::bulk`] /
+//! [`Index::index_doc`] *after* it was created — the push analogue of
+//! Elasticsearch's `_changes`-style polling, built for the live diagnosis
+//! engine so detectors consume events as bulk batches land instead of
+//! re-querying finished indices.
+//!
+//! Delivery never blocks the writer: each subscriber owns a bounded queue
+//! of batches, and a full queue **drops the batch for that subscriber**
+//! (counted in [`Subscription::missed_batches`]) rather than stalling the
+//! ingest path. Consumers are expected to treat misses as a degradation
+//! signal (the diagnosis engine switches to sampled evaluation).
+//!
+//! [`Index::bulk`]: crate::Index::bulk
+//! [`Index::index_doc`]: crate::Index::index_doc
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use serde_json::Value;
+
+/// Default bounded queue depth (in batches) for [`crate::DocStore::subscribe`].
+pub const DEFAULT_SUBSCRIPTION_CAPACITY: usize = 64;
+
+/// Shared state between an index and one subscriber.
+#[derive(Debug)]
+pub(crate) struct SubQueue {
+    batches: Mutex<VecDeque<Vec<Value>>>,
+    capacity: usize,
+    missed: AtomicU64,
+    alive: AtomicBool,
+}
+
+impl SubQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        SubQueue {
+            batches: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            missed: AtomicU64::new(0),
+            alive: AtomicBool::new(true),
+        }
+    }
+
+    pub(crate) fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Non-blocking delivery: drops (and counts) the batch when full.
+    pub(crate) fn offer(&self, batch: &[Value]) {
+        let mut q = self.batches.lock();
+        if q.len() >= self.capacity {
+            drop(q);
+            self.missed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            q.push_back(batch.to_vec());
+        }
+    }
+}
+
+/// Consumer handle of a continuous query (see the module docs).
+///
+/// Dropping the subscription detaches it: the index stops cloning batches
+/// for it on the next delivery.
+#[derive(Debug)]
+pub struct Subscription {
+    index: String,
+    queue: Arc<SubQueue>,
+}
+
+impl Subscription {
+    pub(crate) fn new(index: String, queue: Arc<SubQueue>) -> Self {
+        Subscription { index, queue }
+    }
+
+    /// Name of the subscribed index.
+    pub fn index_name(&self) -> &str {
+        &self.index
+    }
+
+    /// Pops the oldest pending batch, if any.
+    pub fn try_recv(&self) -> Option<Vec<Value>> {
+        self.queue.batches.lock().pop_front()
+    }
+
+    /// Waits up to `timeout` for a batch (polling; granularity ~1ms).
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Vec<Value>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(batch) = self.try_recv() {
+                return Some(batch);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Pops every pending batch.
+    pub fn drain(&self) -> Vec<Vec<Value>> {
+        self.queue.batches.lock().drain(..).collect()
+    }
+
+    /// Batches currently queued (a backpressure signal: compare against
+    /// [`Subscription::capacity`]).
+    pub fn backlog(&self) -> usize {
+        self.queue.batches.lock().len()
+    }
+
+    /// Bounded queue depth in batches.
+    pub fn capacity(&self) -> usize {
+        self.queue.capacity
+    }
+
+    /// Batches dropped because this subscriber's queue was full.
+    pub fn missed_batches(&self) -> u64 {
+        self.queue.missed.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.queue.alive.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Index;
+    use serde_json::json;
+
+    #[test]
+    fn subscription_sees_batches_indexed_after_creation() {
+        let idx = Index::new("t");
+        idx.bulk(vec![json!({"n": 0})]); // before subscribe: not delivered
+        let sub = idx.subscribe(8);
+        idx.bulk(vec![json!({"n": 1}), json!({"n": 2})]);
+        idx.index_doc(json!({"n": 3}));
+        let batches = sub.drain();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].len(), 2);
+        assert_eq!(batches[1][0]["n"], 3);
+        assert_eq!(sub.missed_batches(), 0);
+        // The documents are also stored normally.
+        assert_eq!(idx.len(), 4);
+    }
+
+    #[test]
+    fn full_queue_drops_batches_instead_of_blocking() {
+        let idx = Index::new("t");
+        let sub = idx.subscribe(2);
+        for n in 0..5 {
+            idx.bulk(vec![json!({"n": n})]);
+        }
+        assert_eq!(sub.backlog(), 2, "queue capped at capacity");
+        assert_eq!(sub.missed_batches(), 3);
+        // Ingest was never stalled: all docs landed.
+        assert_eq!(idx.len(), 5);
+        // Draining frees space for new deliveries.
+        sub.drain();
+        idx.bulk(vec![json!({"n": 9})]);
+        assert_eq!(sub.try_recv().unwrap()[0]["n"], 9);
+    }
+
+    #[test]
+    fn dropped_subscription_detaches() {
+        let idx = Index::new("t");
+        let sub = idx.subscribe(8);
+        idx.bulk(vec![json!({"n": 1})]);
+        drop(sub);
+        idx.bulk(vec![json!({"n": 2})]);
+        assert_eq!(idx.subscriber_count(), 0, "dead subscriber pruned on delivery");
+    }
+
+    #[test]
+    fn multiple_subscribers_each_get_every_batch() {
+        let idx = Index::new("t");
+        let a = idx.subscribe(8);
+        let b = idx.subscribe(8);
+        idx.bulk(vec![json!({"n": 1})]);
+        assert_eq!(a.try_recv().unwrap()[0]["n"], 1);
+        assert_eq!(b.try_recv().unwrap()[0]["n"], 1);
+    }
+
+    #[test]
+    fn recv_timeout_returns_queued_batch_and_times_out_when_empty() {
+        let idx = Index::new("t");
+        let sub = idx.subscribe(8);
+        idx.bulk(vec![json!({"n": 1})]);
+        assert!(sub.recv_timeout(Duration::from_millis(50)).is_some());
+        assert!(sub.recv_timeout(Duration::from_millis(5)).is_none());
+    }
+
+    #[test]
+    fn no_subscribers_means_no_cloning_path() {
+        // Purely behavioral: bulk on an unsubscribed index works as before.
+        let idx = Index::new("t");
+        let ids = idx.bulk(vec![json!({"n": 1}), json!({"n": 2})]);
+        assert_eq!(ids.len(), 2);
+        assert_eq!(idx.subscriber_count(), 0);
+    }
+}

@@ -5,22 +5,72 @@
 //! visualizations from the backend, runs the automated stale-offset
 //! analysis, and checks the trace exhibits exactly the paper's pattern.
 
-use dio_core::{dashboards, detect_data_loss, Dio, Query, SearchRequest, SortOrder, TracerConfig};
+use dio_core::{
+    dashboards, detect_data_loss, render_alert_history, Alert, AlertKind, DiagnoseConfig, Dio,
+    Query, SearchRequest, SortOrder, TracerConfig,
+};
 use dio_fluentbit::{run_issue_1875, FluentBitVersion};
 
 /// Phase gap on the simulated time axis (the paper's table shows
 /// multi-second gaps between client writes and tailer reads).
 const GAP_NS: u64 = 20_000_000;
 
-fn run_version(version: FluentBitVersion, fig: &str) -> (String, serde_json::Value) {
+/// Polls the live engine until `pred` holds (or ~2 s elapse) — the
+/// consumer thread taps events asynchronously, so the verdict needs a
+/// moment to materialize *during* the trace.
+fn await_live(engine: &dio_core::DiagnosisEngine, pred: impl Fn(&[Alert]) -> bool) -> Vec<Alert> {
+    for _ in 0..1_000 {
+        let alerts = engine.alerts();
+        if pred(&alerts) {
+            return alerts;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    engine.alerts()
+}
+
+fn is_data_loss(a: &Alert) -> bool {
+    matches!(a.kind, AlertKind::DataLoss | AlertKind::StaleOffsetResume)
+}
+
+fn run_version(version: FluentBitVersion, fig: &str) -> (String, serde_json::Value, Vec<Alert>) {
     let dio = Dio::new();
     let session_name = format!("fluentbit-{fig}");
     // The paper filters on the two applications' processes; our kernel
-    // only runs those two, so the full syscall set is equivalent.
-    let session = dio.trace(TracerConfig::new(&session_name));
+    // only runs those two, so the full syscall set is equivalent. The
+    // streaming diagnosis engine rides along to raise the Fig. 2a verdict
+    // live, while the trace is still running.
+    let session = dio.trace(TracerConfig::new(&session_name).diagnose(DiagnoseConfig::default()));
     let outcome = run_issue_1875(dio.kernel(), version, "/app.log", GAP_NS)
         .expect("scenario replays cleanly");
+
+    // Live verdict, BEFORE tracer teardown: the buggy version must raise a
+    // data-loss alert while the session is still attached; the fixed one
+    // must stay quiet (we wait for its validated offset-0 restart instead,
+    // proving the detector did inspect the same reads).
+    let engine = session.diagnosis().expect("diagnosis enabled");
+    let live_alerts = match version {
+        FluentBitVersion::V1_4_0 => await_live(&engine, |a| a.iter().any(is_data_loss)),
+        FluentBitVersion::V2_0_5 => await_live(&engine, |_| engine.validated_restarts() >= 1),
+    };
+    let live_data_loss = live_alerts.iter().filter(|a| is_data_loss(a)).count();
+    match version {
+        FluentBitVersion::V1_4_0 => assert!(
+            live_data_loss >= 1,
+            "v1.4.0 must raise a live data-loss alert before teardown, got {live_alerts:?}"
+        ),
+        FluentBitVersion::V2_0_5 => {
+            assert_eq!(live_data_loss, 0, "v2.0.5 must stay clean, got {live_alerts:?}");
+            assert!(engine.validated_restarts() >= 1, "offset-0 restart must be validated");
+        }
+    }
+
     let report = session.stop();
+    assert_eq!(
+        report.trace.alerts.iter().filter(|a| is_data_loss(a)).count(),
+        live_data_loss,
+        "teardown must not add or lose data-loss verdicts"
+    );
 
     let index = dio.session_index(&session_name).expect("session stored");
     // The Fig. 2 table shows the data-path syscalls of both processes.
@@ -121,6 +171,17 @@ fn run_version(version: FluentBitVersion, fig: &str) -> (String, serde_json::Val
         tags[0], tags[1]
     ));
 
+    // The live verdict must agree with the offline algorithm over the
+    // stored trace.
+    assert_eq!(
+        live_data_loss >= 1,
+        !incidents.is_empty(),
+        "streaming and offline data-loss verdicts diverge"
+    );
+    out.push('\n');
+    out.push_str(&render_alert_history(&report.trace.alerts));
+
+    let diagnosis = report.trace.diagnosis.expect("engine stats in summary");
     let metrics = serde_json::json!({
         "bytes_written": outcome.bytes_written,
         "bytes_consumed": outcome.bytes_consumed,
@@ -131,13 +192,21 @@ fn run_version(version: FluentBitVersion, fig: &str) -> (String, serde_json::Val
         "data_loss_incidents": incidents.len(),
         "stale_offset": incidents.first().map(|i| i.stale_offset),
         "file_tag_generations": tags.len(),
+        "live_verdict": {
+            "data_loss_detected": live_data_loss >= 1,
+            "detected_before_teardown": true,
+            "alerts_raised": report.trace.alerts.len(),
+            "validated_offset0_restarts": engine.validated_restarts(),
+            "events_observed": diagnosis.observed,
+            "events_evaluated": diagnosis.evaluated,
+        },
     });
-    (out, metrics)
+    (out, metrics, report.trace.alerts)
 }
 
 fn main() {
-    let (fig2a, metrics_a) = run_version(FluentBitVersion::V1_4_0, "a");
-    let (fig2b, metrics_b) = run_version(FluentBitVersion::V2_0_5, "b");
+    let (fig2a, metrics_a, alerts_a) = run_version(FluentBitVersion::V1_4_0, "a");
+    let (fig2b, metrics_b, alerts_b) = run_version(FluentBitVersion::V2_0_5, "b");
     let combined = format!("{fig2a}\n{}\n{fig2b}", "=".repeat(100));
     println!("{combined}");
     dio_bench::write_result("fig2_fluentbit.txt", &combined);
@@ -154,5 +223,16 @@ fn main() {
             "v2_0_5": metrics_b,
         }),
     );
-    println!("\nFig. 2 reproduced: v1.4.0 loses 16 bytes at stale offset 26; v2.0.5 reads from 0.");
+    dio_bench::write_json_result(
+        "fig2_alerts.json",
+        "exp_fig2",
+        serde_json::json!({ "workload": "fluentbit_issue_1875" }),
+        serde_json::json!({
+            "v1_4_0": alerts_a.iter().map(Alert::to_document).collect::<Vec<_>>(),
+            "v2_0_5": alerts_b.iter().map(Alert::to_document).collect::<Vec<_>>(),
+        }),
+    );
+    println!(
+        "\nFig. 2 reproduced: v1.4.0 loses 16 bytes at stale offset 26 (flagged live); v2.0.5 reads from 0."
+    );
 }

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use dio_backend::DocStore;
 use dio_baselines::{StraceConfig, StraceTracer, SysdigConfig, SysdigTracer};
 use dio_dbbench::{load_phase, run, BenchConfig, BenchReport, KeyDistribution, YcsbWorkload};
+use dio_diagnose::DiagnoseConfig;
 use dio_kernel::{DiskProfile, Kernel, SyscallProbe};
 use dio_lsmkv::{Db, DbStats, LsmOptions};
 use dio_syscall::SyscallKind;
@@ -87,6 +88,9 @@ pub struct RocksdbRunConfig {
     pub window_ns: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Attach the live diagnosis engine to the DIO tracer (streaming
+    /// contention/rate detectors windowed at `window_ns`).
+    pub diagnose: bool,
 }
 
 impl Default for RocksdbRunConfig {
@@ -99,6 +103,7 @@ impl Default for RocksdbRunConfig {
             compaction_threads: 7,
             window_ns: 250_000_000,
             seed: 42,
+            diagnose: false,
         }
     }
 }
@@ -123,6 +128,7 @@ impl RocksdbRunConfig {
             "compaction_threads": self.compaction_threads,
             "window_ns": self.window_ns,
             "seed": self.seed,
+            "diagnose": self.diagnose,
         })
     }
 }
@@ -201,10 +207,18 @@ pub fn run_rocksdb(setup: TracingSetup, config: &RocksdbRunConfig) -> RocksdbRun
             // run needs far fewer slots (events are in-memory structs, and
             // preallocating half a million slots per CPU would swamp the
             // 1-CPU harness). 16 MiB/CPU keeps the same no-drop regime.
-            let tracer_config = TracerConfig::new("rocksdb")
+            let mut tracer_config = TracerConfig::new("rocksdb")
                 .syscalls(data_path_syscalls())
                 .ring(dio_ebpf::RingConfig::with_bytes_per_cpu(16 * 1024 * 1024))
                 .kernel_costs(costs::dio_enter_ns(), costs::dio_exit_ns());
+            if config.diagnose {
+                // Stream the contention detector at the same window width
+                // Fig. 3 uses for its latency plot; the prefix defaults
+                // already name this workload's threads (db_bench clients,
+                // rocksdb:low compactors).
+                tracer_config =
+                    tracer_config.diagnose(DiagnoseConfig::default().window_ns(config.window_ns));
+            }
             dio_tracer = Some(Tracer::attach(tracer_config, &kernel, backend.clone()));
         }
         TracingSetup::Sysdig => {

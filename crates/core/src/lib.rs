@@ -39,13 +39,16 @@ use std::sync::Arc;
 
 pub use dio_backend::{
     AggResult, Aggregation, Bucket, DocStore, Hit, Index, Query, SearchRequest, SearchResponse,
-    SortOrder, StatsResult,
+    SortOrder, StatsResult, Subscription, DEFAULT_SUBSCRIPTION_CAPACITY,
 };
 pub use dio_correlate::{
     analyze_offsets, correlate_paths, detect_contention, detect_data_loss, detect_small_io,
     diff_sessions, latency_profile, AccessPattern, ContentionConfig, ContentionReport,
     CorrelationReport, CountDelta, DataLossIncident, FileAccessProfile, SessionDiff, SmallIoConfig,
     SmallIoFinding, SyscallLatencyProfile, WindowActivity,
+};
+pub use dio_diagnose::{
+    Alert, AlertKind, DiagnoseConfig, DiagnosisEngine, EngineStats, Severity, SubscriptionHandle,
 };
 pub use dio_ebpf::{FilterSpec, RingConfig, RingStats};
 pub use dio_kernel::{
@@ -55,8 +58,9 @@ pub use dio_syscall::{FileTag, FileType, Pid, SyscallClass, SyscallEvent, Syscal
 pub use dio_telemetry::{SpanCollector, SpanSummary, Stage, StageStamps};
 pub use dio_tracer::{generate_session_name, TraceSummary, Tracer, TracerConfig};
 pub use dio_viz::{
-    dashboards, render_health_dashboard, render_latency_waterfall, Chart, Column, Dashboard,
-    HealthReport, Heatmap, Panel, PanelSpec, Series, Table,
+    dashboards, render_alert_history, render_health_dashboard, render_latency_waterfall,
+    render_top, sparkline, Chart, Column, Dashboard, HealthReport, Heatmap, Panel, PanelSpec,
+    Series, Table, TopOptions,
 };
 
 /// The assembled DIO deployment: one kernel under observation plus the
@@ -190,6 +194,21 @@ impl DioSession {
         dashboard.render(&self.index())
     }
 
+    /// The in-process diagnosis engine, when the session was started with
+    /// [`TracerConfig::diagnose`] — poll it for alerts *while* the trace
+    /// runs.
+    pub fn diagnosis(&self) -> Option<Arc<DiagnosisEngine>> {
+        self.tracer.as_ref().and_then(|t| t.diagnosis())
+    }
+
+    /// Renders one tick of the `dio top` live view: trailing-window
+    /// syscall rates per process and file, plus the engine's currently
+    /// active alerts (empty when diagnosis is off).
+    pub fn top(&self, opts: &TopOptions) -> String {
+        let alerts = self.diagnosis().map(|e| e.active_alerts()).unwrap_or_default();
+        render_top(&self.index(), &alerts, opts)
+    }
+
     /// Stops tracing, drains buffered events, runs path correlation (unless
     /// [`DioSession::manual_correlation`] was selected) and reports.
     pub fn stop(mut self) -> SessionReport {
@@ -285,6 +304,48 @@ mod tests {
             0
         );
         assert_eq!(correlate_paths(&idx).events_updated, 1);
+    }
+
+    #[test]
+    fn live_diagnosis_and_top_view() {
+        let dio = fast_dio();
+        let session = dio.trace(TracerConfig::new("live").diagnose(DiagnoseConfig::default()));
+        let t = dio.kernel().spawn_process("app").spawn_thread("app");
+        let fd = t.creat("/hot.bin", 0o644).unwrap();
+        for _ in 0..20 {
+            t.write(fd, b"payload").unwrap();
+        }
+        t.close(fd).unwrap();
+
+        let engine = session.diagnosis().expect("diagnose configured");
+        // Wait for the tap (engine) *and* the shipper (backend index) to
+        // both see the workload before rendering.
+        for _ in 0..500 {
+            if engine.stats().observed >= 22 && session.events_stored() >= 22 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let screen = session.top(&TopOptions::default());
+        assert!(screen.contains("dio top"), "{screen}");
+        assert!(screen.contains("app"), "{screen}");
+
+        let report = session.stop();
+        let stats = report.trace.diagnosis.expect("summary carries stats");
+        assert_eq!(stats.observed, report.trace.events_stored);
+    }
+
+    #[test]
+    fn top_without_diagnosis_still_renders() {
+        let dio = fast_dio();
+        let session = dio.trace(TracerConfig::new("plain-top"));
+        let t = dio.kernel().spawn_process("p").spawn_thread("p");
+        t.creat("/f", 0o644).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        assert!(session.diagnosis().is_none());
+        let screen = session.top(&TopOptions::default());
+        assert!(screen.contains("none active"));
+        session.stop();
     }
 
     #[test]

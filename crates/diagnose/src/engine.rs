@@ -1,0 +1,657 @@
+//! The windowed event-stream diagnosis engine.
+//!
+//! [`DiagnosisEngine`] owns one instance of every streaming detector and
+//! exposes a batch-oriented ingestion API ([`DiagnosisEngine::observe_batch`])
+//! plus two feeding modes:
+//!
+//! * **in-process tap** — the tracer's consumer thread calls
+//!   [`DiagnosisEngine::observe_batch_with_pressure`] with the parsed
+//!   documents of each drain, passing the pipeline's current fill level;
+//!   no backend round-trip is involved (zero-backend operation);
+//! * **backend subscription** — [`DiagnosisEngine::spawn_subscriber`]
+//!   consumes a [`dio_backend::Subscription`] on a dedicated thread, so
+//!   detectors evaluate batches as they land at the store.
+//!
+//! Backpressure degrades, never stalls: when the reported pressure crosses
+//! [`DiagnoseConfig::degrade_pressure`], the engine evaluates only 1 in
+//! [`DiagnoseConfig::degraded_sample_every`] events (counted in
+//! [`EngineStats::sampled_out`] and the `diagnose.events.sampled_out`
+//! telemetry counter) — the shipper-side cost of diagnosis stays bounded
+//! under ring-buffer pressure.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use dio_backend::Subscription;
+use dio_correlate::ContentionReport;
+use dio_telemetry::{Counter, Gauge, MetricsRegistry};
+use parking_lot::Mutex;
+use serde_json::Value;
+
+use crate::alert::{Alert, AlertKind, Severity};
+use crate::detectors::{
+    ContentionDetector, DataLossDetector, ErrorRateDetector, RateDetector, RateKey,
+};
+
+/// Configuration of the live diagnosis engine (all knobs, flat so it
+/// serializes through the tracer's JSON configuration file).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DiagnoseConfig {
+    /// Window width (ns) for every windowed detector. Default 1s, the
+    /// paper's Fig. 4 bucketing.
+    pub window_ns: u64,
+    /// Window slide (ns) for the rate/error detectors; 0 = tumbling.
+    /// The contention detector always tumbles (date-histogram parity).
+    pub slide_ns: u64,
+    /// Key dimension of the rate/error detectors: `class` (default),
+    /// `pid`, `file_tag` or `proc`.
+    pub rate_key: String,
+    /// Thread-name prefix of foreground/client threads.
+    pub client_prefix: String,
+    /// Thread-name prefix of background threads.
+    pub background_prefix: String,
+    /// Background threads that must be active to call a window contended.
+    pub background_threshold: usize,
+    /// Rate spike/collapse factor versus the trailing baseline.
+    pub rate_factor: f64,
+    /// Minimum ops/window before a rate verdict may fire.
+    pub rate_min_ops: u64,
+    /// Trailing windows forming the rate baseline (warm-up guard).
+    pub rate_baseline_windows: usize,
+    /// Failing fraction at which a window raises an error-rate alert.
+    pub error_rate_threshold: f64,
+    /// Minimum ops/window before an error-rate verdict may fire.
+    pub error_min_ops: u64,
+    /// Pipeline pressure (0..1) beyond which evaluation degrades to
+    /// sampling.
+    pub degrade_pressure: f64,
+    /// Under degradation, evaluate 1 in this many events.
+    pub degraded_sample_every: u64,
+    /// An alert stays "active" while the event-time clock is within this
+    /// horizon of it (drives the `dio top` active-alerts panel).
+    pub active_ttl_ns: u64,
+    /// Maximum evidence rows attached per alert.
+    pub evidence_limit: usize,
+}
+
+impl Default for DiagnoseConfig {
+    fn default() -> Self {
+        DiagnoseConfig {
+            window_ns: 1_000_000_000,
+            slide_ns: 0,
+            rate_key: "class".to_string(),
+            client_prefix: "db_bench".to_string(),
+            background_prefix: "rocksdb:low".to_string(),
+            background_threshold: 5,
+            rate_factor: 4.0,
+            rate_min_ops: 100,
+            rate_baseline_windows: 3,
+            error_rate_threshold: 0.25,
+            error_min_ops: 20,
+            degrade_pressure: 0.75,
+            degraded_sample_every: 16,
+            active_ttl_ns: 5_000_000_000,
+            evidence_limit: 8,
+        }
+    }
+}
+
+impl DiagnoseConfig {
+    /// Sets the window width (ns).
+    pub fn window_ns(mut self, ns: u64) -> Self {
+        self.window_ns = ns.max(1);
+        self
+    }
+
+    /// Sets the window slide (ns); 0 = tumbling.
+    pub fn slide_ns(mut self, ns: u64) -> Self {
+        self.slide_ns = ns;
+        self
+    }
+
+    /// Sets the rate/error key dimension (`class`/`pid`/`file_tag`/`proc`).
+    pub fn rate_key(mut self, key: impl Into<String>) -> Self {
+        self.rate_key = key.into();
+        self
+    }
+
+    /// Sets the contention thread-name prefixes.
+    pub fn contention_prefixes(
+        mut self,
+        client: impl Into<String>,
+        background: impl Into<String>,
+    ) -> Self {
+        self.client_prefix = client.into();
+        self.background_prefix = background.into();
+        self
+    }
+
+    /// Sets the contended-window background-thread threshold.
+    pub fn background_threshold(mut self, n: usize) -> Self {
+        self.background_threshold = n;
+        self
+    }
+
+    /// Sets the degradation trigger (pipeline fill fraction, 0..1).
+    pub fn degrade_pressure(mut self, fraction: f64) -> Self {
+        self.degrade_pressure = fraction;
+        self
+    }
+
+    /// Sets the degraded sampling period (evaluate 1 in `n` events).
+    pub fn degraded_sample_every(mut self, n: u64) -> Self {
+        self.degraded_sample_every = n.max(1);
+        self
+    }
+}
+
+/// Counters summarizing an engine's lifetime (also exported as
+/// `diagnose.*` telemetry while a registry is bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Events offered to the engine.
+    pub observed: u64,
+    /// Events actually run through the detectors.
+    pub evaluated: u64,
+    /// Events skipped by degraded (sampled) evaluation.
+    pub sampled_out: u64,
+    /// Batches that arrived while the engine was degraded.
+    pub degraded_batches: u64,
+    /// Alerts raised.
+    pub alerts_raised: u64,
+    /// Subscription batches the backend dropped for this consumer.
+    pub missed_batches: u64,
+}
+
+struct EngineInner {
+    data_loss: DataLossDetector,
+    contention: ContentionDetector,
+    rate: RateDetector,
+    error_rate: ErrorRateDetector,
+    alerts: Vec<Alert>,
+    unshipped: Vec<Alert>,
+    finished: bool,
+}
+
+struct EngineTelemetry {
+    observed: Arc<Counter>,
+    evaluated: Arc<Counter>,
+    sampled_out: Arc<Counter>,
+    degraded_batches: Arc<Counter>,
+    alerts_raised: Arc<Counter>,
+    missed_batches: Arc<Counter>,
+    active_alerts: Arc<Gauge>,
+    open_windows: Arc<Gauge>,
+}
+
+/// The live diagnosis engine (see the module docs).
+pub struct DiagnosisEngine {
+    config: DiagnoseConfig,
+    inner: Mutex<EngineInner>,
+    observed: AtomicU64,
+    evaluated: AtomicU64,
+    sampled_out: AtomicU64,
+    degraded_batches: AtomicU64,
+    missed_batches: AtomicU64,
+    last_event_ns: AtomicU64,
+    sample_tick: AtomicU64,
+    telemetry: OnceLock<EngineTelemetry>,
+}
+
+impl std::fmt::Debug for DiagnosisEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiagnosisEngine")
+            .field("observed", &self.observed.load(Ordering::Relaxed))
+            .field("alerts", &self.inner.lock().alerts.len())
+            .finish()
+    }
+}
+
+impl DiagnosisEngine {
+    /// Builds an engine with every detector configured from `config`.
+    pub fn new(config: DiagnoseConfig) -> Arc<Self> {
+        let key = RateKey::parse(&config.rate_key);
+        Arc::new(DiagnosisEngine {
+            inner: Mutex::new(EngineInner {
+                data_loss: DataLossDetector::default(),
+                contention: ContentionDetector::new(
+                    config.window_ns,
+                    config.client_prefix.clone(),
+                    config.background_prefix.clone(),
+                    config.background_threshold,
+                ),
+                rate: RateDetector::new(
+                    config.window_ns,
+                    config.slide_ns,
+                    key,
+                    config.rate_factor,
+                    config.rate_min_ops,
+                    config.rate_baseline_windows,
+                ),
+                error_rate: ErrorRateDetector::new(
+                    config.window_ns,
+                    config.slide_ns,
+                    key,
+                    config.error_rate_threshold,
+                    config.error_min_ops,
+                    config.evidence_limit,
+                ),
+                alerts: Vec::new(),
+                unshipped: Vec::new(),
+                finished: false,
+            }),
+            config,
+            observed: AtomicU64::new(0),
+            evaluated: AtomicU64::new(0),
+            sampled_out: AtomicU64::new(0),
+            degraded_batches: AtomicU64::new(0),
+            missed_batches: AtomicU64::new(0),
+            last_event_ns: AtomicU64::new(0),
+            sample_tick: AtomicU64::new(0),
+            telemetry: OnceLock::new(),
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &DiagnoseConfig {
+        &self.config
+    }
+
+    /// Registers the `diagnose.*` counters and gauges with a session
+    /// registry so degradation and alert activity ship with the health
+    /// documents.
+    pub fn bind_telemetry(&self, registry: &MetricsRegistry) {
+        let _ = self.telemetry.set(EngineTelemetry {
+            observed: registry.counter("diagnose.events.observed"),
+            evaluated: registry.counter("diagnose.events.evaluated"),
+            sampled_out: registry.counter("diagnose.events.sampled_out"),
+            degraded_batches: registry.counter("diagnose.batches.degraded"),
+            alerts_raised: registry.counter("diagnose.alerts.raised"),
+            missed_batches: registry.counter("diagnose.subscription.missed"),
+            active_alerts: registry.gauge("diagnose.alerts.active"),
+            open_windows: registry.gauge("diagnose.windows.open"),
+        });
+    }
+
+    /// Feeds a batch at zero pressure (full evaluation).
+    pub fn observe_batch(&self, docs: &[Value]) -> Vec<Alert> {
+        self.observe_batch_with_pressure(docs, 0.0)
+    }
+
+    /// Feeds a batch of event documents, returning any alerts raised.
+    ///
+    /// `pressure` is the caller's pipeline fill fraction (0..1); at or
+    /// above [`DiagnoseConfig::degrade_pressure`] the engine samples
+    /// instead of evaluating every event, so a loaded pipeline never waits
+    /// on diagnosis.
+    pub fn observe_batch_with_pressure(&self, docs: &[Value], pressure: f64) -> Vec<Alert> {
+        if docs.is_empty() {
+            return Vec::new();
+        }
+        let degraded =
+            pressure >= self.config.degrade_pressure && self.config.degraded_sample_every > 1;
+        if degraded {
+            self.degraded_batches.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut fresh = Vec::new();
+        let mut evaluated = 0u64;
+        let mut sampled_out = 0u64;
+        let mut max_time = 0u64;
+        {
+            let mut inner = self.inner.lock();
+            for doc in docs {
+                max_time = max_time.max(doc["time"].as_u64().unwrap_or(0));
+                if degraded {
+                    let tick = self.sample_tick.fetch_add(1, Ordering::Relaxed);
+                    if !tick.is_multiple_of(self.config.degraded_sample_every) {
+                        sampled_out += 1;
+                        continue;
+                    }
+                }
+                evaluated += 1;
+                inner.data_loss.observe(doc, &mut fresh);
+                inner.contention.observe(doc);
+                inner.rate.observe(doc);
+                inner.error_rate.observe(doc);
+            }
+            inner.contention.evaluate_ready(&mut fresh);
+            inner.rate.evaluate_ready(&mut fresh);
+            inner.error_rate.evaluate_ready(&mut fresh);
+            self.commit(&mut inner, &mut fresh, max_time);
+        }
+        self.observed.fetch_add(docs.len() as u64, Ordering::Relaxed);
+        self.evaluated.fetch_add(evaluated, Ordering::Relaxed);
+        self.sampled_out.fetch_add(sampled_out, Ordering::Relaxed);
+        if let Some(t) = self.telemetry.get() {
+            t.observed.add(docs.len() as u64);
+            t.evaluated.add(evaluated);
+            t.sampled_out.add(sampled_out);
+            if degraded {
+                t.degraded_batches.inc();
+            }
+        }
+        fresh
+    }
+
+    /// Seals every open window and runs the end-of-stream checks; further
+    /// calls are no-ops. Returns the alerts raised by this final pass.
+    pub fn finish(&self) -> Vec<Alert> {
+        let mut fresh = Vec::new();
+        let mut inner = self.inner.lock();
+        if inner.finished {
+            return fresh;
+        }
+        inner.finished = true;
+        inner.contention.evaluate_all(&mut fresh);
+        inner.rate.evaluate_all(&mut fresh);
+        inner.error_rate.evaluate_all(&mut fresh);
+        // Retrospective safety net: per-window streaming alerts compare
+        // against the calm mean *so far*, which can miss a dip whose calm
+        // baseline only materialized later. The full-trace report applies
+        // the offline verdict.
+        if !inner.contention.alerted() {
+            let report = inner.contention.report();
+            if report.contention_detected() {
+                let time = self.last_event_ns.load(Ordering::Relaxed);
+                fresh.push(Alert {
+                    seq: 0,
+                    detector: "contention",
+                    kind: AlertKind::ContentionSkew,
+                    severity: Severity::Warning,
+                    time_ns: time,
+                    window_start_ns: None,
+                    window_end_ns: None,
+                    subject: format!("{}*", self.config.client_prefix),
+                    message: format!(
+                        "full-trace contention verdict: client throughput fell from {:.1} to \
+                         {:.1} op(s)/window across {} contended window(s)",
+                        report.client_ops_calm,
+                        report.client_ops_contended,
+                        report.contended_windows().count()
+                    ),
+                    fields: serde_json::json!({
+                        "client_ops_calm": report.client_ops_calm,
+                        "client_ops_contended": report.client_ops_contended,
+                        "contended_windows": report.contended_windows().count(),
+                        "degradation_factor": report.degradation_factor(),
+                    }),
+                    evidence: Vec::new(),
+                });
+            }
+        }
+        let time = self.last_event_ns.load(Ordering::Relaxed);
+        self.commit(&mut inner, &mut fresh, time);
+        fresh
+    }
+
+    /// Assigns sequence numbers, records the batch's event-time high
+    /// water mark, and publishes `fresh` into the alert log.
+    fn commit(&self, inner: &mut EngineInner, fresh: &mut [Alert], max_time: u64) {
+        if max_time > 0 {
+            self.last_event_ns.fetch_max(max_time, Ordering::Relaxed);
+        }
+        if !fresh.is_empty() {
+            for alert in fresh.iter_mut() {
+                alert.seq = inner.alerts.len() as u64;
+                alert.evidence.truncate(self.config.evidence_limit);
+                inner.alerts.push(alert.clone());
+                inner.unshipped.push(alert.clone());
+            }
+            if let Some(t) = self.telemetry.get() {
+                t.alerts_raised.add(fresh.len() as u64);
+            }
+        }
+        if let Some(t) = self.telemetry.get() {
+            let now = self.last_event_ns.load(Ordering::Relaxed);
+            let active =
+                inner.alerts.iter().filter(|a| a.time_ns + self.config.active_ttl_ns > now).count();
+            t.active_alerts.set(active as u64);
+            t.open_windows.set(
+                (inner.contention.open_windows()
+                    + inner.rate.open_windows()
+                    + inner.error_rate.open_windows()) as u64,
+            );
+        }
+    }
+
+    /// Every alert raised so far, in sequence order.
+    pub fn alerts(&self) -> Vec<Alert> {
+        self.inner.lock().alerts.clone()
+    }
+
+    /// Alerts whose event time is within [`DiagnoseConfig::active_ttl_ns`]
+    /// of the engine's event-time clock (the `dio top` active panel).
+    pub fn active_alerts(&self) -> Vec<Alert> {
+        let now = self.last_event_ns.load(Ordering::Relaxed);
+        self.inner
+            .lock()
+            .alerts
+            .iter()
+            .filter(|a| a.time_ns + self.config.active_ttl_ns > now)
+            .cloned()
+            .collect()
+    }
+
+    /// Alerts raised since the last drain (for shipping to the backend).
+    pub fn drain_unshipped(&self) -> Vec<Alert> {
+        std::mem::take(&mut self.inner.lock().unshipped)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            observed: self.observed.load(Ordering::Relaxed),
+            evaluated: self.evaluated.load(Ordering::Relaxed),
+            sampled_out: self.sampled_out.load(Ordering::Relaxed),
+            degraded_batches: self.degraded_batches.load(Ordering::Relaxed),
+            alerts_raised: self.inner.lock().alerts.len() as u64,
+            missed_batches: self.missed_batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The streaming contention detector's full-trace report (offline
+    /// parity; meaningful after [`DiagnosisEngine::finish`]).
+    pub fn contention_summary(&self) -> ContentionReport {
+        self.inner.lock().contention.report()
+    }
+
+    /// Clean-restart validations observed by the data-loss detector.
+    pub fn validated_restarts(&self) -> u64 {
+        self.inner.lock().data_loss.validated_restarts()
+    }
+
+    /// Consumes a backend [`Subscription`] on a dedicated thread: each
+    /// received batch is evaluated with the subscription's queue fill as
+    /// the pressure signal, and batches the backend had to drop for this
+    /// consumer are surfaced as `missed_batches`.
+    ///
+    /// Stop (and join) via the returned handle; stopping drains the queue
+    /// and calls [`DiagnosisEngine::finish`].
+    pub fn spawn_subscriber(self: &Arc<Self>, subscription: Subscription) -> SubscriptionHandle {
+        let engine = Arc::clone(self);
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(format!("dio-diagnose-{}", subscription.index_name()))
+            .spawn(move || {
+                let capacity = subscription.capacity().max(1);
+                loop {
+                    let stopping = thread_stop.load(Ordering::Acquire);
+                    match subscription.recv_timeout(Duration::from_millis(5)) {
+                        Some(batch) => {
+                            let pressure = subscription.backlog() as f64 / capacity as f64;
+                            engine.note_missed(subscription.missed_batches());
+                            engine.observe_batch_with_pressure(&batch, pressure);
+                        }
+                        None if stopping => break,
+                        None => {}
+                    }
+                }
+                engine.note_missed(subscription.missed_batches());
+                engine.finish();
+            })
+            .expect("spawn diagnosis subscriber thread");
+        SubscriptionHandle { stop, thread: Some(handle) }
+    }
+
+    /// Records the subscription's cumulative missed-batch count.
+    fn note_missed(&self, total: u64) {
+        let prev = self.missed_batches.swap(total, Ordering::Relaxed);
+        if let Some(t) = self.telemetry.get() {
+            if total > prev {
+                t.missed_batches.add(total - prev);
+            }
+        }
+    }
+}
+
+/// Joinable handle of a [`DiagnosisEngine::spawn_subscriber`] thread.
+#[derive(Debug)]
+pub struct SubscriptionHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SubscriptionHandle {
+    /// Signals the consumer thread to drain remaining batches, finish the
+    /// engine, and exit; joins it.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SubscriptionHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn ev(time: u64, proc: &str, syscall: &str, ret: i64, tag: &str, offset: u64) -> Value {
+        json!({
+            "time": time, "proc_name": proc, "syscall": syscall,
+            "ret_val": ret, "file_tag": tag, "offset": offset, "class": "data",
+        })
+    }
+
+    fn buggy_batch() -> Vec<Value> {
+        vec![
+            ev(1, "app", "write", 26, "7340032|12|100", 0),
+            ev(2, "fluent-bit", "read", 26, "7340032|12|100", 0),
+            ev(3, "fluent-bit", "read", 0, "7340032|12|100", 26),
+            ev(4, "app", "write", 16, "7340032|12|200", 0),
+            ev(5, "fluent-bit", "read", 0, "7340032|12|200", 26),
+        ]
+    }
+
+    #[test]
+    fn engine_raises_data_loss_immediately() {
+        let engine = DiagnosisEngine::new(DiagnoseConfig::default());
+        let fresh = engine.observe_batch(&buggy_batch());
+        assert!(fresh.iter().any(|a| a.kind == AlertKind::DataLoss), "got {fresh:?}");
+        let stats = engine.stats();
+        assert_eq!(stats.observed, 5);
+        assert_eq!(stats.evaluated, 5);
+        assert_eq!(stats.sampled_out, 0);
+        assert!(stats.alerts_raised >= 1);
+    }
+
+    #[test]
+    fn sequence_numbers_are_assigned_in_order() {
+        let engine = DiagnosisEngine::new(DiagnoseConfig::default());
+        engine.observe_batch(&buggy_batch());
+        engine.finish();
+        let alerts = engine.alerts();
+        for (i, a) in alerts.iter().enumerate() {
+            assert_eq!(a.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn pressure_degrades_to_sampling_and_counts_it() {
+        let config = DiagnoseConfig::default().degrade_pressure(0.5).degraded_sample_every(4);
+        let engine = DiagnosisEngine::new(config);
+        let registry = MetricsRegistry::new();
+        engine.bind_telemetry(&registry);
+        let docs: Vec<Value> =
+            (0..100).map(|i| json!({"time": i, "class": "data", "ret_val": 1})).collect();
+        engine.observe_batch_with_pressure(&docs, 0.9);
+        let stats = engine.stats();
+        assert_eq!(stats.observed, 100);
+        assert_eq!(stats.sampled_out, 75, "3 of 4 skipped");
+        assert_eq!(stats.evaluated, 25);
+        assert_eq!(stats.degraded_batches, 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("diagnose.events.sampled_out"), 75);
+        assert_eq!(snap.counter("diagnose.batches.degraded"), 1);
+    }
+
+    #[test]
+    fn below_threshold_pressure_evaluates_everything() {
+        let engine = DiagnosisEngine::new(DiagnoseConfig::default());
+        let docs: Vec<Value> = (0..50).map(|i| json!({"time": i, "class": "data"})).collect();
+        engine.observe_batch_with_pressure(&docs, 0.2);
+        assert_eq!(engine.stats().evaluated, 50);
+        assert_eq!(engine.stats().sampled_out, 0);
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_drain_unshipped_clears() {
+        let engine = DiagnosisEngine::new(DiagnoseConfig::default());
+        engine.observe_batch(&buggy_batch());
+        engine.finish();
+        let shipped = engine.drain_unshipped();
+        assert!(!shipped.is_empty());
+        assert!(engine.drain_unshipped().is_empty());
+        assert!(engine.finish().is_empty(), "second finish is a no-op");
+    }
+
+    #[test]
+    fn active_alerts_expire_with_event_time() {
+        let config = DiagnoseConfig { active_ttl_ns: 100, ..Default::default() };
+        let engine = DiagnosisEngine::new(config);
+        engine.observe_batch(&buggy_batch());
+        assert_eq!(engine.active_alerts().len(), engine.alerts().len());
+        // Advance the event-time clock far beyond the TTL.
+        engine.observe_batch(&[json!({"time": 10_000, "class": "data"})]);
+        assert!(engine.active_alerts().is_empty());
+        assert!(!engine.alerts().is_empty(), "history is retained");
+    }
+
+    #[test]
+    fn subscriber_thread_feeds_the_engine_from_the_backend() {
+        let store = dio_backend::DocStore::new();
+        let engine = DiagnosisEngine::new(DiagnoseConfig::default());
+        let handle = engine.spawn_subscriber(store.subscribe("dio-live"));
+        store.bulk("dio-live", buggy_batch());
+        // Wait for the consumer to pick the batch up.
+        for _ in 0..200 {
+            if engine.stats().observed == 5 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        handle.stop();
+        assert_eq!(engine.stats().observed, 5);
+        assert!(engine.alerts().iter().any(|a| a.kind == AlertKind::DataLoss));
+    }
+
+    #[test]
+    fn config_json_roundtrip() {
+        let config = DiagnoseConfig::default().window_ns(250_000_000).background_threshold(3);
+        let json = serde_json::to_string(&config).unwrap();
+        let parsed: DiagnoseConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, config);
+    }
+}

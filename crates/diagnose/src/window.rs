@@ -1,0 +1,168 @@
+//! Tumbling / sliding event-time windows.
+//!
+//! The streaming detectors bucket events into fixed-width windows keyed by
+//! event time (`time` field, ns). A window *closes* once the watermark —
+//! the largest event time observed so far — passes its end plus one full
+//! window of allowed lateness; closed windows are handed to the detector
+//! for evaluation and then dropped, so state stays bounded no matter how
+//! long the trace runs.
+//!
+//! With `slide_ns == 0` (the default) windows tumble: each event lands in
+//! exactly one window starting at `floor(t / width) * width`, matching the
+//! backend's `date_histogram` bucketing so streaming verdicts line up with
+//! the offline `correlate` algorithms. A non-zero slide produces
+//! overlapping windows anchored at every multiple of the slide.
+
+use std::collections::BTreeMap;
+
+/// Fixed-width windows over event time accumulating per-window state `A`.
+#[derive(Debug)]
+pub struct SlidingWindows<A> {
+    width_ns: u64,
+    slide_ns: u64,
+    watermark_ns: u64,
+    open: BTreeMap<u64, A>,
+}
+
+impl<A: Default> SlidingWindows<A> {
+    /// Tumbling windows of `width_ns`; `slide_ns == 0` means tumble,
+    /// otherwise windows start at every multiple of `slide_ns`.
+    pub fn new(width_ns: u64, slide_ns: u64) -> Self {
+        SlidingWindows {
+            width_ns: width_ns.max(1),
+            slide_ns,
+            watermark_ns: 0,
+            open: BTreeMap::new(),
+        }
+    }
+
+    /// Window width in nanoseconds.
+    pub fn width_ns(&self) -> u64 {
+        self.width_ns
+    }
+
+    /// Largest event time seen so far.
+    pub fn watermark_ns(&self) -> u64 {
+        self.watermark_ns
+    }
+
+    /// Number of windows currently open (accumulating).
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Start timestamps of every window containing `t`.
+    fn starts_for(&self, t: u64) -> Vec<u64> {
+        if self.slide_ns == 0 {
+            return vec![(t / self.width_ns) * self.width_ns];
+        }
+        // Slide-anchored starts s with s <= t < s + width.
+        let last = (t / self.slide_ns) * self.slide_ns;
+        let mut starts = Vec::new();
+        let mut s = last;
+        loop {
+            if s + self.width_ns > t {
+                starts.push(s);
+            } else {
+                break;
+            }
+            if s < self.slide_ns {
+                break;
+            }
+            s -= self.slide_ns;
+        }
+        starts.reverse();
+        starts
+    }
+
+    /// Routes an event at time `t` into its window(s), applying `f` to each
+    /// window's accumulator, and advances the watermark.
+    pub fn observe(&mut self, t: u64, mut f: impl FnMut(&mut A)) {
+        for start in self.starts_for(t) {
+            f(self.open.entry(start).or_default());
+        }
+        self.watermark_ns = self.watermark_ns.max(t);
+    }
+
+    /// Closes and returns every window whose end + one window of lateness
+    /// is behind the watermark, in start order.
+    pub fn drain_ready(&mut self) -> Vec<(u64, A)> {
+        // Allow one full window of lateness before sealing.
+        let horizon = self.watermark_ns.saturating_sub(self.width_ns);
+        let mut closed = Vec::new();
+        while let Some((&start, _)) = self.open.iter().next() {
+            if start + self.width_ns <= horizon {
+                let acc = self.open.remove(&start).expect("window present");
+                closed.push((start, acc));
+            } else {
+                break;
+            }
+        }
+        closed
+    }
+
+    /// Closes and returns every remaining window (end of stream).
+    pub fn drain_all(&mut self) -> Vec<(u64, A)> {
+        std::mem::take(&mut self.open).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tumbling_assigns_single_window() {
+        let mut w: SlidingWindows<u64> = SlidingWindows::new(100, 0);
+        for t in [0, 99, 100, 250] {
+            w.observe(t, |c| *c += 1);
+        }
+        assert_eq!(w.open_count(), 3);
+        let all = w.drain_all();
+        assert_eq!(all, vec![(0, 2), (100, 1), (200, 1)]);
+    }
+
+    #[test]
+    fn sliding_assigns_overlapping_windows() {
+        let mut w: SlidingWindows<u64> = SlidingWindows::new(100, 50);
+        w.observe(120, |c| *c += 1);
+        // t=120 belongs to windows starting at 50 and 100.
+        let all = w.drain_all();
+        assert_eq!(all, vec![(50, 1), (100, 1)]);
+    }
+
+    #[test]
+    fn drain_ready_respects_lateness() {
+        let mut w: SlidingWindows<u64> = SlidingWindows::new(100, 0);
+        w.observe(10, |c| *c += 1);
+        assert!(w.drain_ready().is_empty(), "watermark too low");
+        w.observe(250, |c| *c += 1);
+        // horizon = 250 - 100 = 150: window [0,100) sealed, [200,300) open.
+        let ready = w.drain_ready();
+        assert_eq!(ready, vec![(0, 1)]);
+        assert_eq!(w.open_count(), 1);
+    }
+
+    #[test]
+    fn late_event_within_lateness_still_lands() {
+        let mut w: SlidingWindows<u64> = SlidingWindows::new(100, 0);
+        w.observe(199, |c| *c += 1);
+        w.observe(50, |c| *c += 1); // late but window [0,100) not sealed yet
+        let all = w.drain_all();
+        assert_eq!(all, vec![(0, 1), (100, 1)]);
+    }
+
+    #[test]
+    fn zero_width_clamped() {
+        let w: SlidingWindows<u64> = SlidingWindows::new(0, 0);
+        assert_eq!(w.width_ns(), 1);
+    }
+
+    #[test]
+    fn sliding_near_origin_does_not_underflow() {
+        let mut w: SlidingWindows<u64> = SlidingWindows::new(100, 50);
+        w.observe(10, |c| *c += 1);
+        let all = w.drain_all();
+        assert_eq!(all, vec![(0, 1)]);
+    }
+}

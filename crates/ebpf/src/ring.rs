@@ -10,7 +10,7 @@ use std::sync::{Arc, OnceLock};
 
 use crossbeam::queue::ArrayQueue;
 
-use dio_telemetry::span::{monotonic_ns, SpanCollector, Stage, StampCarrier};
+use dio_telemetry::span::{monotonic_ns, SpanCollector, Stage, StageStamps, StampCarrier};
 use dio_telemetry::{Counter, Gauge, MetricsRegistry};
 
 /// Sizing for the per-CPU buffers.
@@ -193,30 +193,69 @@ impl<T> RingBuffer<T> {
         self.queues.iter().map(|q| q.len() as u64).sum()
     }
 
-    /// Non-blocking push from CPU `cpu`. On overflow the event is dropped
-    /// and counted; the producer never waits.
-    pub fn try_push(&self, cpu: u32, item: T) -> bool {
-        let slot = cpu as usize % self.queues.len();
+    /// Total slots across all CPU buffers.
+    pub fn capacity(&self) -> u64 {
+        self.queues.iter().map(|q| q.capacity() as u64).sum()
+    }
+
+    /// Current fill level of the *fullest* CPU buffer, 0.0 (empty) to
+    /// 1.0 (every slot occupied) — the backpressure signal consumers use
+    /// to shed optional work before drops begin. Per-CPU, not averaged:
+    /// overflow happens per queue, so one saturated CPU is real pressure
+    /// even while the others idle.
+    pub fn fill_fraction(&self) -> f64 {
+        self.queues
+            .iter()
+            .map(|q| if q.capacity() == 0 { 0.0 } else { q.len() as f64 / q.capacity() as f64 })
+            .fold(0.0, f64::max)
+    }
+
+    /// The single overflow-accounting site. The per-CPU counters are the
+    /// **source of truth** for drop counts; the `ebpf.ring.dropped`
+    /// telemetry counter and the span collector's drop attribution are
+    /// derived views updated here, in the same call, so the three can
+    /// never diverge (they are reconciled against each other in tests).
+    fn note_drop(&self, slot: usize, pre_push: Option<&StageStamps>) {
+        self.counters[slot].dropped.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = self.telemetry.get() {
+            t.dropped.inc();
+        }
+        if let Some(pre) = pre_push {
+            if let Some(spans) = self.spans.get() {
+                spans.record_drop(pre);
+            }
+        }
+    }
+
+    /// Success path of a push: counters and telemetry on accept, `false`
+    /// (no accounting) on overflow — the caller routes overflow through
+    /// [`RingBuffer::note_drop`].
+    fn push_at(&self, slot: usize, item: T) -> bool {
         let q = &self.queues[slot];
-        let counters = &self.counters[slot];
         match q.push(item) {
             Ok(()) => {
-                counters.pushed.fetch_add(1, Ordering::Relaxed);
+                self.counters[slot].pushed.fetch_add(1, Ordering::Relaxed);
                 let occupancy = q.len() as u64;
-                counters.occupancy_hwm.fetch_max(occupancy, Ordering::Relaxed);
+                self.counters[slot].occupancy_hwm.fetch_max(occupancy, Ordering::Relaxed);
                 if let Some(t) = self.telemetry.get() {
                     t.pushed.inc();
                     t.occupancy_hwm.set_max(occupancy);
                 }
                 true
             }
-            Err(_) => {
-                counters.dropped.fetch_add(1, Ordering::Relaxed);
-                if let Some(t) = self.telemetry.get() {
-                    t.dropped.inc();
-                }
-                false
-            }
+            Err(_) => false,
+        }
+    }
+
+    /// Non-blocking push from CPU `cpu`. On overflow the event is dropped
+    /// and counted; the producer never waits.
+    pub fn try_push(&self, cpu: u32, item: T) -> bool {
+        let slot = cpu as usize % self.queues.len();
+        if self.push_at(slot, item) {
+            true
+        } else {
+            self.note_drop(slot, None);
+            false
         }
     }
 
@@ -224,19 +263,19 @@ impl<T> RingBuffer<T> {
     /// [`Stage::RingPush`] on the event entering the ring, and on overflow
     /// hands the *pre-push* partial stamp record to the bound
     /// [`SpanCollector`] so the drop is attributed to the `ring_push`
-    /// hand-off the event failed to clear.
+    /// hand-off the event failed to clear — in the same internal
+    /// `note_drop` call that bumps the counters.
     pub fn try_push_stamped(&self, cpu: u32, mut item: T) -> bool
     where
         T: StampCarrier,
     {
+        let slot = cpu as usize % self.queues.len();
         let pre_push = *item.stamps();
         item.stamps_mut().stamp_now(Stage::RingPush);
-        if self.try_push(cpu, item) {
+        if self.push_at(slot, item) {
             true
         } else {
-            if let Some(spans) = self.spans.get() {
-                spans.record_drop(&pre_push);
-            }
+            self.note_drop(slot, Some(&pre_push));
             false
         }
     }
@@ -453,6 +492,63 @@ mod tests {
         assert!(s.get(Stage::KernelDispatch).unwrap() <= push);
         assert!(push <= drain);
         assert_eq!(s.first_missing(), Some(Stage::Parse));
+    }
+
+    #[test]
+    fn capacity_and_fill_fraction_track_occupancy() {
+        let ring: RingBuffer<u32> = RingBuffer::with_slots(2, 4);
+        assert_eq!(ring.capacity(), 8);
+        assert_eq!(ring.fill_fraction(), 0.0);
+        for i in 0..2 {
+            ring.try_push(0, i);
+        }
+        // Fill is per-CPU (the fullest queue), not a workspace average:
+        // CPU 0 at 2/4 while CPU 1 idles reads as 0.5, not 0.25.
+        assert!((ring.fill_fraction() - 0.5).abs() < 1e-9);
+        for i in 0..4 {
+            ring.try_push(1, i);
+        }
+        assert!((ring.fill_fraction() - 1.0).abs() < 1e-9);
+        ring.drain_all(16);
+        assert_eq!(ring.fill_fraction(), 0.0);
+    }
+
+    /// The drop-accounting contract: the per-CPU counters are the source
+    /// of truth, and both derived views — the `ebpf.ring.dropped`
+    /// telemetry counter and the span collector's drop attribution — must
+    /// reconcile with them exactly, because all three are updated at the
+    /// single `note_drop` site.
+    #[test]
+    fn drop_accounting_reconciles_across_stats_telemetry_and_spans() {
+        use dio_telemetry::span::StageStamps;
+        use dio_telemetry::MetricsRegistry;
+
+        let registry = MetricsRegistry::new();
+        let spans = SpanCollector::new(&registry, 0);
+        let ring: RingBuffer<StageStamps> = RingBuffer::with_slots(2, 2);
+        ring.bind_telemetry(&registry);
+        ring.bind_spans(Arc::clone(&spans));
+
+        let mut stamps = StageStamps::new();
+        stamps.stamp_now(Stage::KernelDispatch);
+        let mut accepted = 0u64;
+        for i in 0..20u32 {
+            if ring.try_push_stamped(i % 2, stamps) {
+                accepted += 1;
+            }
+        }
+        let stats = ring.stats();
+        assert_eq!(stats.pushed, accepted);
+        assert_eq!(stats.dropped, 20 - accepted);
+        assert!(stats.dropped > 0, "tiny ring must overflow");
+        let per_cpu_sum: u64 = stats.per_cpu.iter().map(|c| c.dropped).sum();
+        assert_eq!(per_cpu_sum, stats.dropped, "aggregate = sum of source-of-truth counters");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("ebpf.ring.dropped"), stats.dropped);
+        assert_eq!(snap.counter("ebpf.ring.pushed"), stats.pushed);
+        let summary = spans.summary();
+        assert_eq!(summary.dropped, stats.dropped);
+        assert_eq!(summary.drops_by_stage.get("ring_push"), Some(&stats.dropped));
     }
 
     #[test]

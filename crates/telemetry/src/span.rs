@@ -268,14 +268,22 @@ impl SpanCollector {
         let stage_ns =
             TRANSITIONS.map(|(_, _, name)| registry.histogram(&format!("span.stage.{name}_ns")));
         let drop_at = Stage::ALL.map(|s| registry.counter(&format!("span.drop.at_{}", s.name())));
+        // The lag gauges are session-scoped state: when registries are
+        // shared or pooled across back-to-back sessions, a stale peak from
+        // a previous collector must not leak into this session's
+        // waterline, so both are zeroed at construction.
+        let lag_watermark = registry.gauge("span.lag.watermark_ns");
+        let lag_peak = registry.gauge("span.lag.peak_ns");
+        lag_watermark.set(0);
+        lag_peak.set(0);
         Arc::new(SpanCollector {
             stage_ns,
             e2e_ns: registry.histogram("span.e2e_ns"),
             completed: registry.counter("span.completed"),
             dropped: registry.counter("span.dropped"),
             drop_at,
-            lag_watermark: registry.gauge("span.lag.watermark_ns"),
-            lag_peak: registry.gauge("span.lag.peak_ns"),
+            lag_watermark,
+            lag_peak,
             sample_every,
             sample_tick: AtomicU64::new(0),
             emitted: AtomicU64::new(0),
@@ -561,6 +569,25 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.gauge("span.lag.watermark_ns"), lag);
         assert!(snap.gauge("span.lag.peak_ns") >= lag);
+    }
+
+    /// Back-to-back sessions sharing one registry (or a pooled registry)
+    /// must each start with a clean lag waterline: constructing a new
+    /// collector resets both lag gauges.
+    #[test]
+    fn new_collector_resets_lag_gauges_from_previous_session() {
+        let registry = MetricsRegistry::new();
+        let first = SpanCollector::new(&registry, 0);
+        first.note_emitted(1_000); // in flight forever: lag grows
+        let lag = first.refresh_lag();
+        assert!(lag > 0);
+        let snap = registry.snapshot();
+        assert!(snap.gauge("span.lag.peak_ns") >= lag);
+
+        let _second = SpanCollector::new(&registry, 0);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("span.lag.watermark_ns"), 0, "fresh session, fresh waterline");
+        assert_eq!(snap.gauge("span.lag.peak_ns"), 0, "previous session's peak not inherited");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use dio_diagnose::DiagnoseConfig;
 use dio_ebpf::{FilterSpec, RingConfig};
 use dio_syscall::{Pid, SyscallKind, Tid};
 
@@ -44,6 +45,7 @@ pub struct TracerConfig {
     telemetry: bool,
     telemetry_interval: Duration,
     span_sample_every: u64,
+    diagnose: Option<DiagnoseConfig>,
 }
 
 impl TracerConfig {
@@ -65,6 +67,7 @@ impl TracerConfig {
             telemetry: true,
             telemetry_interval: Duration::from_millis(100),
             span_sample_every: 64,
+            diagnose: None,
         }
     }
 
@@ -217,6 +220,15 @@ impl TracerConfig {
         self
     }
 
+    /// Enables live diagnosis: the consumer thread feeds every parsed
+    /// event batch to an in-process [`dio_diagnose::DiagnosisEngine`]
+    /// configured by `config`, raising alerts *during* the trace (see
+    /// [`crate::Tracer::diagnosis`]). Off by default.
+    pub fn diagnose(mut self, config: DiagnoseConfig) -> Self {
+        self.diagnose = Some(config);
+        self
+    }
+
     /// Runs the static verifier over this configuration's filter (the
     /// analysis [`crate::Tracer::try_attach`] applies before attaching).
     ///
@@ -276,6 +288,10 @@ impl TracerConfig {
 
     pub(crate) fn span_sampling(&self) -> u64 {
         self.span_sample_every
+    }
+
+    pub(crate) fn diagnose_config(&self) -> Option<DiagnoseConfig> {
+        self.diagnose.clone()
     }
 }
 

@@ -9,6 +9,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use serde_json::{json, Value};
 
 use dio_backend::DocStore;
+use dio_diagnose::{Alert, DiagnosisEngine, EngineStats};
 use dio_ebpf::{ProgramConfig, RawEvent, RingBuffer, RingStats, TracerProgram};
 use dio_kernel::{Kernel, ProbeId, SyscallProbe};
 use dio_telemetry::span::{SpanCollector, SpanSummary, Stage, StageStamps};
@@ -44,6 +45,11 @@ pub struct TraceSummary {
     /// Operator-facing warnings about the session, e.g. the empty-trace
     /// diagnosis (events were inspected but the filter admitted none).
     pub notes: Vec<String>,
+    /// Every alert the live diagnosis engine raised (empty when
+    /// [`crate::TracerConfig::diagnose`] was not enabled).
+    pub alerts: Vec<Alert>,
+    /// Live-diagnosis engine counters, when diagnosis was enabled.
+    pub diagnosis: Option<EngineStats>,
 }
 
 impl TraceSummary {
@@ -105,6 +111,45 @@ pub struct Tracer {
     registry: Arc<MetricsRegistry>,
     spans: Arc<SpanCollector>,
     exporter: Option<ExporterHandle>,
+    engine: Option<Arc<DiagnosisEngine>>,
+    /// Destination for alert documents raised after the consumer exits
+    /// (the engine's end-of-stream pass during shutdown).
+    alert_sink: Option<AlertSink>,
+}
+
+/// Destination for live alert documents (the session's telemetry index).
+#[derive(Clone)]
+struct AlertSink {
+    backend: DocStore,
+    telemetry_index: String,
+    session: String,
+}
+
+impl AlertSink {
+    /// Bulk-indexes alerts as `kind: "alert"` documents.
+    fn ship(&self, alerts: &[Alert]) {
+        if alerts.is_empty() {
+            return;
+        }
+        let docs = alerts
+            .iter()
+            .map(|a| {
+                let mut doc = a.to_document();
+                doc["session"] = json!(self.session);
+                doc
+            })
+            .collect();
+        self.backend.bulk(&self.telemetry_index, docs);
+    }
+}
+
+/// In-process feed from the consumer thread to the diagnosis engine.
+struct DiagnoseTap {
+    engine: Arc<DiagnosisEngine>,
+    /// `None` while telemetry is disabled (no telemetry index exists, so
+    /// alerts stay queryable on the engine only).
+    sink: Option<AlertSink>,
+    channel_capacity: f64,
 }
 
 /// One parsed event in flight between consumer and shipper: the backend
@@ -192,6 +237,23 @@ impl Tracer {
         let spans = SpanCollector::new(&registry, config.span_sampling());
         program.bind_spans(Arc::clone(&spans));
 
+        // Live diagnosis (off by default): the consumer thread taps every
+        // parsed batch into the engine, so alerts rise while the trace
+        // runs — no backend round-trip involved.
+        let engine = config.diagnose_config().map(|diagnose| {
+            let engine = DiagnosisEngine::new(diagnose);
+            engine.bind_telemetry(&registry);
+            engine
+        });
+        let alert_sink = match &engine {
+            Some(_) if config.telemetry_enabled() => Some(AlertSink {
+                backend: backend.clone(),
+                telemetry_index: config.telemetry_index_name(),
+                session: config.session().to_string(),
+            }),
+            _ => None,
+        };
+
         let stop_flag = Arc::new(AtomicBool::new(false));
         let stored = Arc::new(AtomicU64::new(0));
         let batches = Arc::new(AtomicU64::new(0));
@@ -205,6 +267,11 @@ impl Tracer {
             let drain_batch = config.drain();
             let poll = config.poll();
             let spans = Arc::clone(&spans);
+            let tap = engine.as_ref().map(|engine| DiagnoseTap {
+                engine: Arc::clone(engine),
+                sink: alert_sink.clone(),
+                channel_capacity: (config.batch() * 64).max(1) as f64,
+            });
             let telemetry = ConsumerTelemetry {
                 drain_batch: registry.histogram("tracer.consumer.drain_batch"),
                 parse_ns: registry.histogram("tracer.consumer.parse_ns"),
@@ -222,6 +289,7 @@ impl Tracer {
                         poll,
                         &spans,
                         &telemetry,
+                        tap.as_ref(),
                     )
                 })
                 .expect("spawn consumer thread")
@@ -294,6 +362,8 @@ impl Tracer {
             registry,
             spans,
             exporter,
+            engine,
+            alert_sink,
         })
     }
 
@@ -339,6 +409,13 @@ impl Tracer {
         self.spans.summary()
     }
 
+    /// The live diagnosis engine, when [`crate::TracerConfig::diagnose`]
+    /// enabled it — poll [`DiagnosisEngine::alerts`] /
+    /// [`DiagnosisEngine::active_alerts`] for verdicts *during* the trace.
+    pub fn diagnosis(&self) -> Option<Arc<DiagnosisEngine>> {
+        self.engine.clone()
+    }
+
     /// Detaches from the kernel, drains every buffered event, flushes the
     /// last batch, and returns the session summary.
     pub fn stop(mut self) -> TraceSummary {
@@ -373,6 +450,19 @@ impl Tracer {
                 prog.filtered
             ));
         }
+        // End-of-stream diagnosis pass: seal every open window and ship
+        // the final alerts before the exporter's last flush, so the
+        // `diagnose.*` counters in the shipped health documents are final.
+        let (alerts, diagnosis) = match &self.engine {
+            Some(engine) => {
+                engine.finish();
+                if let Some(sink) = &self.alert_sink {
+                    sink.ship(&engine.drain_unshipped());
+                }
+                (engine.alerts(), Some(engine.stats()))
+            }
+            None => (Vec::new(), None),
+        };
         // Stop the exporter only after the pipeline has drained, so its
         // final flush ships the end state of every metric.
         if let Some(exporter) = self.exporter.take() {
@@ -391,6 +481,8 @@ impl Tracer {
             health: self.registry.snapshot(),
             spans,
             notes,
+            alerts,
+            diagnosis,
         }
     }
 }
@@ -412,8 +504,13 @@ fn consumer_loop(
     poll: Duration,
     spans: &SpanCollector,
     telemetry: &ConsumerTelemetry,
+    tap: Option<&DiagnoseTap>,
 ) {
     loop {
+        // Sample the fill level before draining: post-drain occupancy is
+        // flattered by the drain itself and would hide the very pressure
+        // the diagnosis tap must degrade under.
+        let pre_drain_pressure = ring.fill_fraction();
         let raws = ring.drain_all_stamped(drain_batch);
         let drained = raws.len();
         if raws.is_empty() && stop.load(Ordering::Acquire) && ring.is_empty() {
@@ -422,6 +519,7 @@ fn consumer_loop(
         if drained > 0 {
             telemetry.drain_batch.record(drained as u64);
         }
+        let mut tap_docs: Vec<Value> = Vec::new();
         for raw in raws {
             let mut stamps = raw.stamps;
             let parse_timer = telemetry.parse_ns.start_timer();
@@ -430,11 +528,28 @@ fn consumer_loop(
             stamps.stamp_now(Stage::Parse);
             let pre_enqueue = stamps;
             stamps.stamp_now(Stage::BatchEnqueue);
+            if tap.is_some() {
+                tap_docs.push(doc.clone());
+            }
             if tx.send(ShipItem { doc, stamps }).is_err() {
                 // Shipper gone: the event never cleared the batch_enqueue
                 // hand-off — attribute the drop there.
                 spans.record_drop(&pre_enqueue);
                 return;
+            }
+        }
+        if let Some(tap) = tap {
+            if !tap_docs.is_empty() {
+                // Pressure is the worse of the two queues flanking this
+                // thread; past the engine's threshold it evaluates a
+                // sample instead of every event, so diagnosis sheds load
+                // rather than slowing the drain (and growing the drops it
+                // exists to observe).
+                let pressure = pre_drain_pressure.max(tx.len() as f64 / tap.channel_capacity);
+                let fresh = tap.engine.observe_batch_with_pressure(&tap_docs, pressure);
+                if let Some(sink) = &tap.sink {
+                    sink.ship(&fresh);
+                }
             }
         }
         telemetry.channel_depth.set(tx.len() as u64);
@@ -740,6 +855,53 @@ mod tests {
         assert_eq!(summary.events_stored, 1);
         assert!(summary.notes.is_empty());
         assert!(!summary.health.counters.contains_key("tracer.warn.empty_trace"));
+    }
+
+    #[test]
+    fn diagnosis_tap_observes_events_while_the_trace_runs() {
+        use dio_diagnose::DiagnoseConfig;
+
+        let k = kernel();
+        let backend = DocStore::new();
+        let tracer = Tracer::attach(
+            TracerConfig::new("live").diagnose(DiagnoseConfig::default()),
+            &k,
+            backend.clone(),
+        );
+        let t = k.spawn_process("app").spawn_thread("app");
+        let fd = t.openat("/app.log", OpenFlags::CREAT | OpenFlags::RDWR, 0o644).unwrap();
+        t.write(fd, b"hello").unwrap();
+        t.close(fd).unwrap();
+
+        let engine = tracer.diagnosis().expect("engine present when configured");
+        // The consumer thread feeds the engine asynchronously: the events
+        // must arrive while the tracer is still attached.
+        for _ in 0..500 {
+            if engine.stats().observed >= 3 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(engine.stats().observed >= 3, "tap saw events before teardown");
+
+        let summary = tracer.stop();
+        let stats = summary.diagnosis.expect("summary carries engine stats");
+        assert_eq!(stats.observed, summary.events_stored);
+        assert_eq!(stats.evaluated, stats.observed, "no pressure, no sampling");
+        assert!(summary.alerts.is_empty(), "healthy workload raises nothing");
+    }
+
+    #[test]
+    fn sessions_without_diagnose_have_no_engine() {
+        let k = kernel();
+        let tracer = Tracer::attach(TracerConfig::new("plain"), &k, DocStore::new());
+        assert!(tracer.diagnosis().is_none());
+        let t = k.spawn_process("app").spawn_thread("app");
+        t.creat("/f", 0o644).unwrap();
+        let summary = tracer.stop();
+        assert!(summary.diagnosis.is_none());
+        assert!(summary.alerts.is_empty());
+        assert!(!summary.health.counters.contains_key("diagnose.events.observed"));
     }
 
     #[test]

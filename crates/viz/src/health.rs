@@ -236,6 +236,31 @@ pub fn render_health_dashboard(index: &Index) -> String {
     ));
     out.push('\n');
 
+    // --- Alert history: `kind: "alert"` documents shipped live by the
+    // diagnosis engine into the same telemetry index.
+    let alerts = index
+        .search(
+            &SearchRequest::new(Query::term("kind", "alert"))
+                .sort_by("seq", SortOrder::Asc)
+                .size(usize::MAX),
+        )
+        .hits;
+    if !alerts.is_empty() {
+        out.push_str(&format!("### Alert history ({} raised)\n", alerts.len()));
+        for hit in &alerts {
+            let d = &hit.source;
+            out.push_str(&format!(
+                "  [{:<8}] {:<20} t={} {} — {}\n",
+                d["severity"].as_str().unwrap_or("?"),
+                d["alert_kind"].as_str().unwrap_or("?"),
+                d["time"].as_u64().unwrap_or(0),
+                d["subject"].as_str().unwrap_or(""),
+                d["message"].as_str().unwrap_or(""),
+            ));
+        }
+        out.push('\n');
+    }
+
     // --- Time series across export rounds.
     if report.snapshots.len() > 1 {
         let drop_series: Vec<(f64, f64)> = report
@@ -361,6 +386,24 @@ mod tests {
         let lag = report.series("span.lag.watermark_ns");
         assert_eq!(lag.len(), 3);
         assert_eq!(lag[2].1, 60_000.0);
+    }
+
+    #[test]
+    fn alert_documents_render_as_history_panel() {
+        let idx = sample_index();
+        idx.bulk(vec![json!({
+            "session": "s", "kind": "alert", "seq": 0u64,
+            "detector": "data_loss", "alert_kind": "data_loss",
+            "severity": "critical", "time": 42u64,
+            "subject": "/var/log/app.log",
+            "message": "read resumed at stale offset 26",
+        })]);
+        let out = render_health_dashboard(&idx);
+        assert!(out.contains("Alert history (1 raised)"));
+        assert!(out.contains("[critical] data_loss"));
+        assert!(out.contains("/var/log/app.log"));
+        // The alert doc must not pollute the metric snapshots.
+        assert_eq!(HealthReport::from_index(&idx).snapshots.len(), 3);
     }
 
     #[test]

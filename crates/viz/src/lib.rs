@@ -13,16 +13,21 @@
 //! * [`Dashboard`] — named panels bound to backend queries, including the
 //!   [`dashboards`] predefined with DIO;
 //! * [`render_latency_waterfall`] — per-stage p50/p99 bars and the
-//!   end-to-end latency distribution of the pipeline's own event spans.
+//!   end-to-end latency distribution of the pipeline's own event spans;
+//! * [`render_top`] — the `dio top` live view: per-process syscall rates
+//!   with activity sparklines, hottest files, and active alerts from the
+//!   streaming diagnosis engine.
 
 mod chart;
 mod dashboard;
 mod health;
 mod table;
+mod top;
 mod waterfall;
 
 pub use chart::{BarChart, Chart, Heatmap, Series};
 pub use dashboard::{dashboards, Dashboard, Panel, PanelSpec};
 pub use health::{render_health_dashboard, HealthReport, HealthSnapshot, MetricPoint};
 pub use table::{group_digits, CellFormat, Column, Table};
+pub use top::{render_alert_history, render_top, sparkline, TopOptions};
 pub use waterfall::render_latency_waterfall;

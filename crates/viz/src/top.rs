@@ -1,0 +1,332 @@
+//! `dio top` — the live view of a running tracing session.
+//!
+//! Renders, from the session's event index plus the diagnosis engine's
+//! alert feed, a `top(1)`-style screen: per-process syscall rates with
+//! latency sparklines, the hottest files, and the currently active
+//! alerts. The screen describes one *window* of trailing activity
+//! ([`TopOptions::window_ns`]) ending at "now" (the newest event time
+//! unless pinned via [`TopOptions::now_ns`], which the golden-snapshot
+//! test uses for determinism).
+
+use std::collections::BTreeMap;
+
+use dio_backend::{Index, Query, SearchRequest, SortOrder};
+use dio_diagnose::Alert;
+use serde_json::Value;
+
+/// Tuning knobs for [`render_top`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopOptions {
+    /// Width of the trailing window the screen describes (default 1 s).
+    pub window_ns: u64,
+    /// Maximum rows per table (default 10).
+    pub rows: usize,
+    /// Buckets in each activity sparkline (default 16).
+    pub spark_buckets: usize,
+    /// Pins "now"; `None` uses the newest event time in the index.
+    pub now_ns: Option<u64>,
+}
+
+impl Default for TopOptions {
+    fn default() -> Self {
+        TopOptions { window_ns: 1_000_000_000, rows: 10, spark_buckets: 16, now_ns: None }
+    }
+}
+
+const SPARK_LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a unicode block-character sparkline of `values`, scaled to the
+/// maximum value (an all-zero series renders as a flat baseline).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dio_viz::sparkline(&[0.0, 1.0, 2.0, 4.0]), "▁▃▅█");
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    let max = values.iter().copied().fold(0.0_f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 || v <= 0.0 {
+                SPARK_LEVELS[0]
+            } else {
+                let idx = ((v / max) * 7.0).round() as usize;
+                SPARK_LEVELS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[derive(Default)]
+struct ProcRow {
+    ops: u64,
+    errors: u64,
+    latencies: Vec<u64>,
+    buckets: Vec<f64>,
+}
+
+#[derive(Default)]
+struct FileRow {
+    ops: u64,
+    reads: u64,
+    writes: u64,
+    errors: u64,
+}
+
+fn window_events(index: &Index, start_ns: u64, end_ns: u64) -> Vec<Value> {
+    let query = Query::bool_query()
+        .must(Query::range("time").gte(start_ns as f64).lte(end_ns as f64).build())
+        .build();
+    index
+        .search(&SearchRequest::new(query).sort_by("time", SortOrder::Asc).size(usize::MAX))
+        .hits
+        .into_iter()
+        .map(|h| h.source)
+        .collect()
+}
+
+fn newest_event_time(index: &Index) -> u64 {
+    index
+        .search(&SearchRequest::new(Query::MatchAll).sort_by("time", SortOrder::Desc).size(1))
+        .hits
+        .first()
+        .map(|h| h.source["time"].as_u64().unwrap_or(0))
+        .unwrap_or(0)
+}
+
+/// Renders the `dio top` screen over `index` (a session's `dio-<session>`
+/// event index) and the engine's current `alerts`.
+///
+/// The caller decides which alerts to show — pass
+/// [`dio_diagnose::DiagnosisEngine::active_alerts`] for the live view, or
+/// the full history for a post-mortem.
+pub fn render_top(index: &Index, alerts: &[Alert], opts: &TopOptions) -> String {
+    let now_ns = opts.now_ns.unwrap_or_else(|| newest_event_time(index));
+    let start_ns = now_ns.saturating_sub(opts.window_ns.max(1));
+    let events = window_events(index, start_ns, now_ns);
+    let window_s = opts.window_ns.max(1) as f64 / 1e9;
+    let buckets = opts.spark_buckets.max(1);
+    let bucket_ns = (opts.window_ns.max(1) / buckets as u64).max(1);
+
+    let mut procs: BTreeMap<(u64, String), ProcRow> = BTreeMap::new();
+    let mut files: BTreeMap<String, FileRow> = BTreeMap::new();
+    for doc in &events {
+        let pid = doc["pid"].as_u64().unwrap_or(0);
+        let name = doc["proc_name"].as_str().unwrap_or("?").to_string();
+        let row = procs.entry((pid, name)).or_default();
+        row.ops += 1;
+        if doc["ret_val"].as_i64().unwrap_or(0) < 0 {
+            row.errors += 1;
+        }
+        if let Some(lat) = doc["latency_ns"].as_u64() {
+            row.latencies.push(lat);
+        }
+        if row.buckets.is_empty() {
+            row.buckets = vec![0.0; buckets];
+        }
+        let t = doc["time"].as_u64().unwrap_or(0).saturating_sub(start_ns);
+        let slot = ((t / bucket_ns) as usize).min(buckets - 1);
+        row.buckets[slot] += 1.0;
+
+        let file = doc["file_path"]
+            .as_str()
+            .or_else(|| doc["file_tag"].as_str())
+            .unwrap_or("")
+            .to_string();
+        if !file.is_empty() {
+            let frow = files.entry(file).or_default();
+            frow.ops += 1;
+            match doc["syscall"].as_str() {
+                Some("read" | "pread64" | "readv") => frow.reads += 1,
+                Some("write" | "pwrite64" | "writev") => frow.writes += 1,
+                _ => {}
+            }
+            if doc["ret_val"].as_i64().unwrap_or(0) < 0 {
+                frow.errors += 1;
+            }
+        }
+    }
+
+    let mut out = format!(
+        "== dio top — {} ({} syscalls in the last {:.1}s, t = {} ns) ==\n\n",
+        index.name(),
+        events.len(),
+        window_s,
+        now_ns,
+    );
+
+    // --- Per-process table, busiest first.
+    out.push_str("### Processes\n");
+    out.push_str(&format!(
+        "{:>7}  {:<16} {:>7} {:>9} {:>5} {:>9} {:>9}  activity\n",
+        "pid", "process", "ops", "ops/s", "err", "p50(µs)", "p99(µs)"
+    ));
+    let mut proc_rows: Vec<_> = procs.into_iter().collect();
+    proc_rows.sort_by(|a, b| b.1.ops.cmp(&a.1.ops).then_with(|| a.0.cmp(&b.0)));
+    for ((pid, name), mut row) in proc_rows.into_iter().take(opts.rows) {
+        row.latencies.sort_unstable();
+        out.push_str(&format!(
+            "{:>7}  {:<16} {:>7} {:>9.0} {:>5} {:>9.1} {:>9.1}  {}\n",
+            pid,
+            name,
+            row.ops,
+            row.ops as f64 / window_s,
+            row.errors,
+            percentile(&row.latencies, 0.50) as f64 / 1e3,
+            percentile(&row.latencies, 0.99) as f64 / 1e3,
+            sparkline(&row.buckets),
+        ));
+    }
+    out.push('\n');
+
+    // --- Per-file table, busiest first.
+    out.push_str("### Files\n");
+    out.push_str(&format!(
+        "{:<40} {:>7} {:>7} {:>7} {:>5}\n",
+        "file", "ops", "reads", "writes", "err"
+    ));
+    let mut file_rows: Vec<_> = files.into_iter().collect();
+    file_rows.sort_by(|a, b| b.1.ops.cmp(&a.1.ops).then_with(|| a.0.cmp(&b.0)));
+    for (file, row) in file_rows.into_iter().take(opts.rows) {
+        out.push_str(&format!(
+            "{:<40} {:>7} {:>7} {:>7} {:>5}\n",
+            file, row.ops, row.reads, row.writes, row.errors
+        ));
+    }
+    out.push('\n');
+
+    // --- Active alerts.
+    if alerts.is_empty() {
+        out.push_str("### Alerts\nnone active\n");
+    } else {
+        out.push_str(&format!("### Alerts ({} active)\n", alerts.len()));
+        out.push_str(&render_alert_rows(alerts));
+    }
+    out
+}
+
+fn render_alert_rows(alerts: &[Alert]) -> String {
+    let mut out = String::new();
+    for a in alerts {
+        out.push_str(&format!(
+            "  [{:<8}] {:<20} t={} {} — {}\n",
+            a.severity.as_str(),
+            a.kind.as_str(),
+            a.time_ns,
+            a.subject,
+            a.message
+        ));
+    }
+    out
+}
+
+/// Renders the full alert history as a panel (newest last) — the
+/// companion to the active-alerts section of [`render_top`].
+pub fn render_alert_history(alerts: &[Alert]) -> String {
+    let mut out = format!("### Alert history ({} raised)\n", alerts.len());
+    if alerts.is_empty() {
+        out.push_str("no alerts raised\n");
+    } else {
+        out.push_str(&render_alert_rows(alerts));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dio_diagnose::{Alert, AlertKind, Severity};
+    use serde_json::json;
+
+    fn event(time: u64, pid: u64, name: &str, class: &str, lat: u64, ret: i64) -> Value {
+        json!({
+            "session": "s", "syscall": class, "class": class, "pid": pid,
+            "tid": pid, "proc_name": name, "time": time,
+            "latency_ns": lat, "ret_val": ret, "file_path": "/data.bin",
+        })
+    }
+
+    fn sample_index() -> Index {
+        let idx = Index::new("dio-s");
+        let mut docs = Vec::new();
+        for i in 0..40u64 {
+            docs.push(event(1_000_000 * i, 7, "writer", "write", 5_000 + i, 8));
+        }
+        docs.push(event(45_000_000, 9, "reader", "read", 2_000, -5));
+        idx.bulk(docs);
+        idx
+    }
+
+    fn alert() -> Alert {
+        Alert {
+            seq: 0,
+            detector: "data_loss",
+            kind: AlertKind::DataLoss,
+            severity: Severity::Critical,
+            time_ns: 39_000_000,
+            window_start_ns: None,
+            window_end_ns: None,
+            subject: "/data.bin".to_string(),
+            message: "read resumed at stale offset".to_string(),
+            fields: json!({}),
+            evidence: vec![],
+        }
+    }
+
+    #[test]
+    fn top_renders_processes_files_and_alerts() {
+        let idx = sample_index();
+        let opts =
+            TopOptions { window_ns: 50_000_000, now_ns: Some(50_000_000), ..Default::default() };
+        let out = render_top(&idx, &[alert()], &opts);
+        assert!(out.contains("dio top"));
+        assert!(out.contains("writer"));
+        assert!(out.contains("reader"));
+        assert!(out.contains("/data.bin"));
+        assert!(out.contains("[critical] data_loss"));
+        // 40 writer ops over a 0.05 s window → 800 ops/s.
+        assert!(out.contains("800"), "ops/s column present:\n{out}");
+    }
+
+    #[test]
+    fn top_without_alerts_says_none() {
+        let out = render_top(&sample_index(), &[], &TopOptions::default());
+        assert!(out.contains("none active"));
+    }
+
+    #[test]
+    fn window_excludes_older_events() {
+        let idx = sample_index();
+        // Window covering only the final read.
+        let opts =
+            TopOptions { window_ns: 500_000, now_ns: Some(45_200_000), ..Default::default() };
+        let out = render_top(&idx, &[], &opts);
+        assert!(out.contains("reader"));
+        assert!(!out.contains("writer"));
+    }
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        let s = sparkline(&[1.0, 8.0]);
+        assert_eq!(s.chars().last(), Some('█'));
+    }
+
+    #[test]
+    fn alert_history_lists_every_alert() {
+        let out = render_alert_history(&[alert(), alert()]);
+        assert!(out.contains("2 raised"));
+        assert_eq!(out.matches("data_loss").count(), 2);
+        assert!(render_alert_history(&[]).contains("no alerts raised"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Headless golden-snapshot test of the `dio top` render.
+//!
+//! The fixture is fully deterministic (fixed event times, pinned
+//! `now_ns`), so the rendered screen must match
+//! `tests/golden/dio_top.txt` byte for byte. Regenerate after an
+//! intentional layout change with:
+//!
+//! ```text
+//! DIO_UPDATE_GOLDEN=1 cargo test -p dio-viz --test golden_top
+//! ```
+
+use dio_backend::Index;
+use dio_diagnose::{Alert, AlertKind, Severity};
+use dio_viz::{render_top, TopOptions};
+use serde_json::{json, Value};
+
+fn event(time: u64, pid: u64, name: &str, class: &str, lat: u64, ret: i64, path: &str) -> Value {
+    json!({
+        "session": "golden", "syscall": class, "class": class, "pid": pid,
+        "tid": pid, "proc_name": name, "time": time,
+        "latency_ns": lat, "ret_val": ret, "file_path": path,
+    })
+}
+
+fn fixture() -> Index {
+    let idx = Index::new("dio-golden");
+    let mut docs = Vec::new();
+    // A busy writer ramping up over the window, a slow reader, and a
+    // failing stat loop — enough to exercise every column.
+    for i in 0..32u64 {
+        let burst = 1 + i / 8; // 1,1,..2,..3,..4 → visible sparkline ramp
+        for b in 0..burst {
+            docs.push(event(
+                i * 31_250_000 + b * 1_000,
+                101,
+                "db_bench",
+                "write",
+                40_000 + i * 500,
+                4096,
+                "/db/000042.sst",
+            ));
+        }
+    }
+    for i in 0..8u64 {
+        docs.push(event(
+            i * 125_000_000 + 7,
+            202,
+            "compaction",
+            "read",
+            900_000,
+            4096,
+            "/db/000007.sst",
+        ));
+    }
+    for i in 0..4u64 {
+        docs.push(event(i * 250_000_000 + 11, 303, "watchdog", "other", 2_000, -2, "/db/LOCK"));
+    }
+    idx.bulk(docs);
+    idx
+}
+
+fn alerts() -> Vec<Alert> {
+    vec![Alert {
+        seq: 0,
+        detector: "error_rate",
+        kind: AlertKind::ErrorRateAnomaly,
+        severity: Severity::Warning,
+        time_ns: 750_000_011,
+        window_start_ns: Some(0),
+        window_end_ns: Some(1_000_000_000),
+        subject: "proc:watchdog".to_string(),
+        fields: json!({}),
+        evidence: vec![],
+        message: "4/4 syscalls failed".to_string(),
+    }]
+}
+
+#[test]
+fn dio_top_matches_golden_snapshot() {
+    let opts = TopOptions {
+        window_ns: 1_000_000_000,
+        rows: 10,
+        spark_buckets: 16,
+        now_ns: Some(1_000_000_000),
+    };
+    let rendered = render_top(&fixture(), &alerts(), &opts);
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/dio_top.txt");
+    if std::env::var_os("DIO_UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &rendered).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(golden_path).expect("golden snapshot present");
+    assert_eq!(rendered, golden, "dio top render drifted from tests/golden/dio_top.txt");
+}

@@ -1,0 +1,230 @@
+//! Parity between the streaming detectors in `dio-diagnose` and the
+//! offline algorithms in `dio-correlate`: fed the same event set (with
+//! the streaming window sized so nothing is cut off), both must reach
+//! the same verdicts — the live engine is an *incremental port*, not a
+//! different analysis.
+
+use proptest::prelude::*;
+
+use dio_backend::Index;
+use dio_correlate::{detect_contention, detect_data_loss, ContentionConfig};
+use dio_diagnose::{
+    Alert, AlertKind, ContentionDetector, DataLossDetector, DiagnoseConfig, DiagnosisEngine,
+};
+use serde_json::{json, Value};
+
+// --------------------------------------------------------- data loss
+
+/// One file generation: bytes written, then the first read's (offset,
+/// ret). Writes preceding reads per generation is the regime both
+/// algorithms assume (a tailer only reads after the writer produced
+/// something), and where their `bytes_at_risk` accounting coincides.
+#[derive(Debug, Clone)]
+struct GenSpec {
+    writes: Vec<u16>,
+    read: Option<(u16, i64)>, // first-read offset, ret_val
+}
+
+fn gen_spec() -> impl Strategy<Value = GenSpec> {
+    let read =
+        prop_oneof![Just(None), (0..200u16, prop_oneof![Just(0i64), 1..100i64]).prop_map(Some),];
+    (proptest::collection::vec(1..400u16, 0..4), read)
+        .prop_map(|(writes, read)| GenSpec { writes, read })
+}
+
+fn data_loss_docs(files: &[Vec<GenSpec>]) -> Vec<Value> {
+    let mut docs = Vec::new();
+    let mut time = 0u64;
+    for (f, gens) in files.iter().enumerate() {
+        let (dev, ino) = (7340032u64, 100 + f as u64);
+        for (g, spec) in gens.iter().enumerate() {
+            // Distinct first-access timestamp per generation = the
+            // inode-reuse signature the file tag encodes.
+            let tag = format!("{dev}|{ino}|{}", (g as u64 + 1) * 1_000);
+            let mut offset = 0u64;
+            for &w in &spec.writes {
+                time += 10;
+                docs.push(json!({
+                    "session": "parity", "syscall": "write", "class": "write",
+                    "pid": 1, "tid": 1, "proc_name": "flb-pipeline",
+                    "time": time, "ret_val": w, "offset": offset,
+                    "file_tag": tag, "file_path": format!("/log{f}"),
+                }));
+                offset += w as u64;
+            }
+            if let Some((roff, ret)) = spec.read {
+                time += 10;
+                docs.push(json!({
+                    "session": "parity", "syscall": "read", "class": "read",
+                    "pid": 2, "tid": 2, "proc_name": "fluent-bit",
+                    "time": time, "ret_val": ret, "offset": roff,
+                    "file_tag": tag, "file_path": format!("/log{f}"),
+                }));
+            }
+        }
+    }
+    docs
+}
+
+fn data_loss_alerts(alerts: &[Alert]) -> Vec<&Alert> {
+    alerts.iter().filter(|a| a.kind == AlertKind::DataLoss).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streaming [`DataLossDetector`] == offline [`detect_data_loss`]:
+    /// same incident count, and per incident the same stale offset,
+    /// bytes at risk, and reader.
+    #[test]
+    fn streaming_data_loss_matches_offline(
+        files in proptest::collection::vec(
+            proptest::collection::vec(gen_spec(), 1..4), 1..3)
+    ) {
+        let docs = data_loss_docs(&files);
+
+        let index = Index::new("dio-parity");
+        index.bulk(docs.clone());
+        let offline = detect_data_loss(&index);
+
+        let mut det = DataLossDetector::default();
+        let mut alerts = Vec::new();
+        for doc in &docs {
+            det.observe(doc, &mut alerts);
+        }
+        let streamed = data_loss_alerts(&alerts);
+
+        prop_assert_eq!(streamed.len(), offline.len(),
+            "incident counts diverge: offline {:?} vs streamed {:?}", offline, alerts);
+        for (alert, incident) in streamed.iter().zip(&offline) {
+            prop_assert_eq!(alert.fields["stale_offset"].as_u64(), Some(incident.stale_offset));
+            prop_assert_eq!(alert.fields["bytes_at_risk"].as_u64(), Some(incident.bytes_at_risk));
+            prop_assert_eq!(alert.fields["reader"].as_str().unwrap_or(""), incident.reader.as_str());
+            prop_assert_eq!(alert.fields["tag"].as_str().map(str::to_string),
+                Some(incident.tag.to_string()));
+        }
+    }
+}
+
+// -------------------------------------------------------- contention
+
+/// One Fig. 4 window: client ops plus background compaction threads.
+/// `None` = a silent window (exercises the gap-fill path both
+/// implementations must apply identically).
+fn window_spec() -> impl Strategy<Value = Option<(u8, u8, u8)>> {
+    prop_oneof![Just(None), (0..12u8, 0..8u8, 1..5u8).prop_map(Some)]
+}
+
+const WINDOW_NS: u64 = 1_000;
+
+fn contention_docs(windows: &[Option<(u8, u8, u8)>]) -> Vec<Value> {
+    let mut docs = Vec::new();
+    for (w, spec) in windows.iter().enumerate() {
+        let base = w as u64 * WINDOW_NS;
+        let Some((clients, bg_threads, bg_ops)) = spec else { continue };
+        for i in 0..*clients as u64 {
+            docs.push(json!({
+                "session": "parity", "syscall": "pread64", "class": "read",
+                "pid": 1, "tid": 1, "proc_name": "db_bench_c", "time": base + i,
+                "ret_val": 4096,
+            }));
+        }
+        for t in 0..*bg_threads {
+            for i in 0..*bg_ops as u64 {
+                docs.push(json!({
+                    "session": "parity", "syscall": "pwrite64", "class": "write",
+                    "pid": 1, "tid": 2 + t, "proc_name": format!("rocksdb:low{t}"),
+                    "time": base + 100 + i, "ret_val": 4096,
+                }));
+            }
+        }
+    }
+    docs
+}
+
+fn float_eq(a: f64, b: f64) -> bool {
+    (a.is_nan() && b.is_nan()) || a == b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streaming [`ContentionDetector::report`] == offline
+    /// [`detect_contention`]: identical window activity (including
+    /// gap-filled silent windows), means, and overall verdict.
+    #[test]
+    fn streaming_contention_matches_offline(
+        windows in proptest::collection::vec(window_spec(), 1..7),
+        threshold in 0..7usize,
+    ) {
+        let docs = contention_docs(&windows);
+
+        let index = Index::new("dio-parity");
+        index.bulk(docs.clone());
+        let config = ContentionConfig {
+            window_ns: WINDOW_NS,
+            background_threshold: threshold,
+            ..Default::default()
+        };
+        let offline = detect_contention(&index, &config);
+
+        let mut det = ContentionDetector::new(
+            WINDOW_NS,
+            config.client_prefix.clone(),
+            config.background_prefix.clone(),
+            threshold,
+        );
+        for doc in &docs {
+            det.observe(doc);
+        }
+        let mut alerts = Vec::new();
+        det.evaluate_all(&mut alerts);
+        let streamed = det.report();
+
+        prop_assert_eq!(&streamed.windows, &offline.windows);
+        prop_assert!(float_eq(streamed.client_ops_contended, offline.client_ops_contended),
+            "contended means diverge: {} vs {}",
+            streamed.client_ops_contended, offline.client_ops_contended);
+        prop_assert!(float_eq(streamed.client_ops_calm, offline.client_ops_calm),
+            "calm means diverge: {} vs {}",
+            streamed.client_ops_calm, offline.client_ops_calm);
+        prop_assert_eq!(streamed.contention_detected(), offline.contention_detected());
+    }
+}
+
+// ------------------------------------------------- engine end-to-end
+
+/// The assembled engine over the exact Fig. 2a fixture reaches the same
+/// verdict as the offline pass over the same stored trace.
+#[test]
+fn engine_agrees_with_offline_on_fig2a_fixture() {
+    let mk = |time: u64, syscall: &str, proc: &str, ret: i64, tag: &str, offset: u64| {
+        json!({
+            "session": "fig2a", "syscall": syscall,
+            "class": if syscall == "read" { "read" } else { "write" },
+            "pid": 1, "tid": 1, "proc_name": proc, "time": time,
+            "ret_val": ret, "offset": offset, "file_tag": tag,
+            "file_path": "/app.log",
+        })
+    };
+    let docs = vec![
+        mk(100, "write", "flb-pipeline", 26, "7340032|12|100", 0),
+        mk(200, "read", "fluent-bit", 26, "7340032|12|100", 0),
+        mk(300, "write", "flb-pipeline", 16, "7340032|12|200", 0),
+        mk(400, "read", "fluent-bit", 0, "7340032|12|200", 26),
+    ];
+
+    let index = Index::new("dio-fig2a");
+    index.bulk(docs.clone());
+    let offline = detect_data_loss(&index);
+    assert_eq!(offline.len(), 1);
+
+    let engine = DiagnosisEngine::new(DiagnoseConfig::default());
+    engine.observe_batch(&docs);
+    engine.finish();
+    let live = engine.alerts();
+    let live_loss = data_loss_alerts(&live);
+    assert_eq!(live_loss.len(), 1, "engine must flag the Fig. 2a bug: {live:?}");
+    assert_eq!(live_loss[0].fields["stale_offset"].as_u64(), Some(offline[0].stale_offset));
+    assert_eq!(live_loss[0].fields["bytes_at_risk"].as_u64(), Some(offline[0].bytes_at_risk));
+}

@@ -83,6 +83,13 @@ fn span_counts_reconcile_exactly_with_event_counts() {
     assert_eq!(report.trace.health.counter("span.dropped"), spans.dropped);
     assert_eq!(report.trace.health.counter("span.drop.at_ring_push"), spans.dropped);
 
+    // One source of truth for drops: the ring's per-CPU counters, the
+    // `ebpf.ring.dropped` telemetry counter, and the span collector's
+    // attribution are all updated at the ring's single overflow site, so
+    // every layer reports the same number.
+    assert_eq!(report.trace.health.counter("ebpf.ring.dropped"), spans.dropped);
+    assert_eq!(report.trace.health.counter("ebpf.ring.dropped"), report.trace.events_dropped);
+
     // With 1-in-1 sampling every completed span became a queryable span
     // document in the telemetry index, next to the metric documents.
     let index = dio.telemetry_index("span-recon").expect("telemetry index exists");

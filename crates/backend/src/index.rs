@@ -303,6 +303,11 @@ pub struct Index {
     /// (see [`crate::Subscription`]). Kept outside `inner` so delivery
     /// happens after the ingest write lock is released.
     subscribers: RwLock<Vec<std::sync::Arc<crate::subscribe::SubQueue>>>,
+    /// Write-through persistence, set when the owning [`crate::DocStore`]
+    /// was opened on disk. Every accepted mutation is appended (and on
+    /// disk) before the call acknowledges; the in-memory structures stay
+    /// the query path.
+    persist: Option<std::sync::Arc<crate::storage::StorageEngine>>,
 }
 
 impl std::fmt::Debug for Index {
@@ -312,14 +317,55 @@ impl std::fmt::Debug for Index {
 }
 
 impl Index {
-    /// Creates an empty index.
+    /// Creates an empty in-memory index.
     pub fn new(name: impl Into<String>) -> Self {
         Index {
             name: name.into(),
             inner: RwLock::new(IndexInner::default()),
             query_ns: std::sync::OnceLock::new(),
             subscribers: RwLock::new(Vec::new()),
+            persist: None,
         }
+    }
+
+    /// Creates an empty index that writes through to `engine`.
+    pub(crate) fn new_persistent(
+        name: impl Into<String>,
+        engine: std::sync::Arc<crate::storage::StorageEngine>,
+    ) -> Self {
+        let mut index = Index::new(name);
+        index.persist = Some(engine);
+        index
+    }
+
+    /// Rebuilds an index from recovered documents (sorted by id). The
+    /// inverted indexes are built lazily at the first query, so reopening
+    /// a large store stays cheap until someone actually searches it.
+    pub(crate) fn from_persisted(
+        name: impl Into<String>,
+        engine: std::sync::Arc<crate::storage::StorageEngine>,
+        docs: Vec<(u64, Vec<u8>)>,
+    ) -> Self {
+        let index = Index::new_persistent(name, engine);
+        {
+            let mut inner = index.inner.write();
+            for (id, bytes) in docs {
+                let text = std::str::from_utf8(&bytes).expect("recovered document is UTF-8");
+                let doc: Value =
+                    serde_json::from_str(text).expect("recovered document parses as JSON");
+                inner.docs.insert(id, doc);
+                inner.order.push(id);
+                inner.pending.push(id);
+                inner.next_id = inner.next_id.max(id + 1);
+            }
+        }
+        index
+    }
+
+    /// Serializes a document for the write-through log (done before any
+    /// lock is taken).
+    fn persist_bytes(doc: &Value) -> Vec<u8> {
+        serde_json::to_string(doc).expect("document serializes").into_bytes()
     }
 
     /// Opens a continuous query: every batch accepted from now on is also
@@ -383,10 +429,16 @@ impl Index {
         // Copy for subscribers before the document moves into the store;
         // the copy is skipped entirely when nobody subscribed.
         let snapshot = self.has_subscribers().then(|| vec![doc.clone()]);
+        let bytes = self.persist.as_ref().map(|_| Self::persist_bytes(&doc));
         let id = {
             let mut inner = self.inner.write();
             let id = inner.next_id;
             inner.next_id += 1;
+            if let (Some(engine), Some(bytes)) = (&self.persist, bytes) {
+                engine
+                    .append_puts(&self.name, vec![(id, bytes)])
+                    .expect("dio-backend: persistent append failed");
+            }
             inner.docs.insert(id, doc);
             inner.order.push(id);
             inner.pending.push(id);
@@ -405,9 +457,19 @@ impl Index {
     /// work happens on the separate backend server.
     pub fn bulk(&self, docs: Vec<Value>) -> Vec<u64> {
         let snapshot = self.has_subscribers().then(|| docs.clone());
+        // Serialize for the write-through log before taking the lock.
+        let bytes: Option<Vec<Vec<u8>>> =
+            self.persist.as_ref().map(|_| docs.iter().map(Self::persist_bytes).collect());
         let ids = {
             let mut inner = self.inner.write();
             let mut ids = Vec::with_capacity(docs.len());
+            let first_id = inner.next_id;
+            if let (Some(engine), Some(bytes)) = (&self.persist, bytes) {
+                let puts = bytes.into_iter().enumerate().map(|(i, b)| (first_id + i as u64, b));
+                engine
+                    .append_puts(&self.name, puts.collect())
+                    .expect("dio-backend: persistent append failed");
+            }
             for doc in docs {
                 let id = inner.next_id;
                 inner.next_id += 1;
@@ -452,6 +514,9 @@ impl Index {
         let Some(doc) = inner.docs.remove(&id) else {
             return false;
         };
+        if let Some(engine) = &self.persist {
+            engine.append_delete(&self.name, id).expect("dio-backend: persistent delete failed");
+        }
         inner.unindex_doc(id, &doc);
         inner.deletions += 1;
         // Compact `order` lazily once deletions pile up.
@@ -513,12 +578,23 @@ impl Index {
         self.refresh();
         let mut inner = self.inner.write();
         let ids = inner.matching_ids(query);
+        let mut rewritten: Vec<(u64, Vec<u8>)> = Vec::new();
         for &id in &ids {
             let mut doc = inner.docs.remove(&id).expect("id from matching_ids");
             inner.unindex_doc(id, &doc);
             update(&mut doc);
             inner.index_doc(id, &doc);
+            if self.persist.is_some() {
+                rewritten.push((id, Self::persist_bytes(&doc)));
+            }
             inner.docs.insert(id, doc);
+        }
+        if let Some(engine) = &self.persist {
+            if !rewritten.is_empty() {
+                engine
+                    .append_puts(&self.name, rewritten)
+                    .expect("dio-backend: persistent update failed");
+            }
         }
         ids.len()
     }
@@ -531,6 +607,19 @@ impl Index {
             self.delete(id);
         }
         ids.len()
+    }
+}
+
+impl Drop for Index {
+    /// Closing the index (store shutdown, `delete_index`, reopen cycle)
+    /// closes every subscription deterministically: queued batches stay
+    /// drainable, but receives return `None` immediately instead of
+    /// waiting out their timeout, and [`crate::Subscription::is_closed`]
+    /// flips to true. See the `subscribe` module docs.
+    fn drop(&mut self) {
+        for sub in self.subscribers.read().iter() {
+            sub.close();
+        }
     }
 }
 

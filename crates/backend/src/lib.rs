@@ -38,6 +38,7 @@
 mod agg;
 mod index;
 mod query;
+pub mod storage;
 mod store;
 mod subscribe;
 mod value_path;
@@ -45,6 +46,7 @@ mod value_path;
 pub use agg::{AggResult, Aggregation, Bucket, StatsResult};
 pub use index::{Hit, Index, SearchRequest, SearchResponse};
 pub use query::{BoolBuilder, Query, RangeBuilder, SortOrder};
+pub use storage::{StorageConfig, StorageEngine, StorageReport};
 pub use store::DocStore;
 pub use subscribe::{Subscription, DEFAULT_SUBSCRIPTION_CAPACITY};
 pub use value_path::{as_keyword, as_number, for_each_leaf, get_path};

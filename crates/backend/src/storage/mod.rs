@@ -1,0 +1,583 @@
+//! Persistent sharded storage under [`crate::DocStore`] (DESIGN.md §11).
+//!
+//! A bitcask-style engine: every mutation is one CRC-framed record
+//! appended to a segment file; an in-memory [`keydir`] maps each live
+//! (index, doc id) key to its newest frame; sealed segments carry hint
+//! files so reopening reads keys, not documents; a background compactor
+//! merges sealed segments and drops superseded frames. The key space is
+//! split over N independent **shards** — separate directories, locks,
+//! and segment chains — so concurrent sessions append in parallel
+//! instead of serializing on one lock domain.
+//!
+//! Durability contract: when an append returns, the batch has reached
+//! the kernel page cache — it survives a process kill (the crash
+//! harness's threat model). `fdatasync` runs at segment seal, on
+//! [`StorageEngine::flush`] (wired to tracer session close), and per
+//! batch when [`StorageConfig::sync_every_batch`] is set.
+
+pub mod crash;
+pub mod crc;
+pub mod hint;
+pub mod keydir;
+pub mod record;
+pub mod segment;
+pub mod shard;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::{Condvar, Mutex};
+
+use dio_telemetry::{Counter, MetricsRegistry};
+
+use shard::{Op, Shard, ShardReport};
+
+/// Tuning knobs for [`StorageEngine::open`].
+#[derive(Debug, Clone)]
+pub struct StorageConfig {
+    /// Number of independent shards (fixed at store creation; recorded
+    /// in the manifest and reused on reopen regardless of this value).
+    pub shards: usize,
+    /// Active-segment size that triggers a seal + rotation.
+    pub max_segment_bytes: u64,
+    /// Dead-byte fraction of sealed data that triggers compaction.
+    pub compact_min_dead_ratio: f64,
+    /// Minimum sealed bytes before compaction is considered.
+    pub compact_min_sealed_bytes: u64,
+    /// `fdatasync` every batch (machine-crash durability) instead of
+    /// only at seal/flush (process-crash durability).
+    pub sync_every_batch: bool,
+    /// Run the background compaction thread.
+    pub auto_compact: bool,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            shards: 8,
+            max_segment_bytes: 8 * 1024 * 1024,
+            compact_min_dead_ratio: 0.35,
+            compact_min_sealed_bytes: 1024 * 1024,
+            sync_every_batch: false,
+            auto_compact: true,
+        }
+    }
+}
+
+impl StorageConfig {
+    /// A profile with tiny segments and eager compaction, so unit tests
+    /// and the crash harness exercise rotation/merge without gigabytes.
+    pub fn tiny_for_tests() -> Self {
+        StorageConfig {
+            shards: 4,
+            max_segment_bytes: 4 * 1024,
+            compact_min_dead_ratio: 0.2,
+            compact_min_sealed_bytes: 1024,
+            auto_compact: false,
+            ..StorageConfig::default()
+        }
+    }
+}
+
+/// A monotonically increasing statistic, mirrored into a bound
+/// telemetry counter once [`StorageEngine::bind_telemetry`] runs.
+#[derive(Debug, Default)]
+pub struct StatCell {
+    local: AtomicU64,
+    bound: OnceLock<Arc<Counter>>,
+}
+
+impl StatCell {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.local.fetch_add(n, Ordering::Relaxed);
+        if let Some(c) = self.bound.get() {
+            c.add(n);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.local.load(Ordering::Relaxed)
+    }
+
+    fn bind(&self, counter: Arc<Counter>) {
+        counter.add(self.get());
+        let _ = self.bound.set(counter);
+    }
+}
+
+/// Engine-lifetime counters (recovery and maintenance activity).
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Torn tails truncated during recovery (`backend.recovery.truncated`).
+    pub recovery_truncated: StatCell,
+    /// Hint files rebuilt because they were missing, torn, or stale.
+    pub hints_rewritten: StatCell,
+    /// Active segments sealed (rotations).
+    pub segments_sealed: StatCell,
+    /// Compaction merges completed.
+    pub compactions: StatCell,
+    /// Bytes written by compaction merges.
+    pub compacted_bytes: StatCell,
+    /// Bytes appended by ingest.
+    pub bytes_appended: StatCell,
+    /// Records appended by ingest.
+    pub records_appended: StatCell,
+}
+
+/// Point-in-time engine statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StorageReport {
+    /// Number of shards.
+    pub shards: usize,
+    /// Aggregated per-shard state.
+    pub totals: ShardReport,
+    /// Torn tails truncated during recovery.
+    pub recovery_truncated: u64,
+    /// Hint files rebuilt at open.
+    pub hints_rewritten: u64,
+    /// Segments sealed over the engine's lifetime.
+    pub segments_sealed: u64,
+    /// Compactions completed over the engine's lifetime.
+    pub compactions: u64,
+}
+
+struct CompactorHandle {
+    thread: std::thread::JoinHandle<()>,
+}
+
+struct CompactorShared {
+    stop: Mutex<bool>,
+    wake: Condvar,
+}
+
+/// The persistent sharded engine (see module docs). One per on-disk
+/// store; shared by every [`crate::DocStore`] clone.
+pub struct StorageEngine {
+    root: PathBuf,
+    config: StorageConfig,
+    shards: Vec<Arc<Shard>>,
+    stats: Arc<EngineStats>,
+    compactor_shared: Arc<CompactorShared>,
+    compactor: Mutex<Option<CompactorHandle>>,
+}
+
+impl std::fmt::Debug for StorageEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StorageEngine")
+            .field("root", &self.root)
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+/// FNV-1a over (index name, doc id): the shard router. Deterministic
+/// across processes (unlike `std` hashing), so reopen routes every key
+/// to the shard that wrote it.
+fn route(index: &str, doc_id: u64, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in index.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for b in doc_id.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+const MANIFEST: &str = "MANIFEST";
+
+fn read_or_write_manifest(root: &Path, config: &StorageConfig) -> std::io::Result<usize> {
+    let path = root.join(MANIFEST);
+    match std::fs::read_to_string(&path) {
+        Ok(text) => {
+            let mut lines = text.lines();
+            let version = lines.next().unwrap_or("");
+            if version != "dio-store v1" {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unsupported store format: {version:?}"),
+                ));
+            }
+            let shards = lines
+                .next()
+                .and_then(|l| l.strip_prefix("shards "))
+                .and_then(|n| n.parse::<usize>().ok())
+                .ok_or_else(|| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "bad manifest shard line")
+                })?;
+            Ok(shards)
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            let shards = config.shards.max(1);
+            let tmp = root.join("MANIFEST.tmp");
+            std::fs::write(&tmp, format!("dio-store v1\nshards {shards}\n"))?;
+            std::fs::rename(&tmp, &path)?;
+            Ok(shards)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Every live document recovered at open, grouped by index and sorted
+/// by doc id (the original ingest order within an index).
+pub type LoadedStore = BTreeMap<String, Vec<(u64, Vec<u8>)>>;
+
+impl StorageEngine {
+    /// Opens (creating if needed) the store under `root`, replaying all
+    /// shards and returning the engine plus every live document.
+    pub fn open(root: &Path, config: StorageConfig) -> std::io::Result<(Arc<Self>, LoadedStore)> {
+        std::fs::create_dir_all(root)?;
+        let shard_count = read_or_write_manifest(root, &config)?;
+        let stats = Arc::new(EngineStats::default());
+
+        let mut shards: Vec<Option<(Shard, Vec<shard::LiveDoc>)>> = Vec::new();
+        shards.resize_with(shard_count, || None);
+        std::thread::scope(|scope| -> std::io::Result<()> {
+            let mut handles = Vec::new();
+            for (k, slot) in shards.iter_mut().enumerate() {
+                let dir = root.join(format!("shard-{k:03}"));
+                let stats = &stats;
+                handles.push((slot, scope.spawn(move || Shard::open(dir, k, stats))));
+            }
+            for (slot, handle) in handles {
+                *slot = Some(handle.join().expect("shard open thread panicked")?);
+            }
+            Ok(())
+        })?;
+
+        let mut loaded: LoadedStore = BTreeMap::new();
+        let mut shard_arcs = Vec::with_capacity(shard_count);
+        for opened in shards {
+            let (shard, docs) = opened.expect("every shard opened");
+            for doc in docs {
+                loaded.entry(doc.index).or_default().push((doc.doc_id, doc.value));
+            }
+            shard_arcs.push(Arc::new(shard));
+        }
+        for docs in loaded.values_mut() {
+            docs.sort_by_key(|(id, _)| *id);
+        }
+
+        let engine = Arc::new(StorageEngine {
+            root: root.to_path_buf(),
+            config,
+            shards: shard_arcs,
+            stats,
+            compactor_shared: Arc::new(CompactorShared {
+                stop: Mutex::new(false),
+                wake: Condvar::new(),
+            }),
+            compactor: Mutex::new(None),
+        });
+        if engine.config.auto_compact {
+            engine.spawn_compactor();
+        }
+        Ok((engine, loaded))
+    }
+
+    fn spawn_compactor(self: &Arc<Self>) {
+        let shards: Vec<Arc<Shard>> = self.shards.clone();
+        let config = self.config.clone();
+        let stats = Arc::clone(&self.stats);
+        let shared = Arc::clone(&self.compactor_shared);
+        let thread = std::thread::Builder::new()
+            .name("dio-compactor".into())
+            .spawn(move || loop {
+                {
+                    let mut stop = shared.stop.lock();
+                    if *stop {
+                        return;
+                    }
+                    // Woken early by appends that notice garbage piling
+                    // up; otherwise polls.
+                    shared.wake.wait_for(&mut stop, std::time::Duration::from_millis(100));
+                    if *stop {
+                        return;
+                    }
+                }
+                for shard in &shards {
+                    if shard.needs_compaction(&config) {
+                        if let Err(e) = shard.compact(&stats) {
+                            // Maintenance failure must not take ingest
+                            // down; surface it and retry next round.
+                            eprintln!("dio-backend: compaction failed: {e}");
+                        }
+                    }
+                }
+            })
+            .expect("spawn compactor thread");
+        *self.compactor.lock() = Some(CompactorHandle { thread });
+    }
+
+    fn nudge_compactor(&self) {
+        self.compactor_shared.wake.notify_all();
+    }
+
+    /// Root directory of the store.
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of shards (from the manifest).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &StorageConfig {
+        &self.config
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Appends a batch of document writes for one index. Returns once
+    /// every routed shard has the bytes on disk — the caller may then
+    /// acknowledge the documents.
+    pub fn append_puts(&self, index: &str, docs: Vec<(u64, Vec<u8>)>) -> std::io::Result<()> {
+        let n = self.shards.len();
+        let mut per_shard: Vec<Vec<Op>> = Vec::new();
+        per_shard.resize_with(n, Vec::new);
+        for (doc_id, value) in docs {
+            per_shard[route(index, doc_id, n)].push(Op::Put {
+                index: index.to_string(),
+                doc_id,
+                value,
+            });
+        }
+        let mut compact_wanted = false;
+        for (k, ops) in per_shard.into_iter().enumerate() {
+            if !ops.is_empty() {
+                compact_wanted |= self.shards[k].append_batch(ops, &self.config, &self.stats)?;
+            }
+        }
+        if compact_wanted {
+            self.nudge_compactor();
+        }
+        Ok(())
+    }
+
+    /// Appends a tombstone for one document.
+    pub fn append_delete(&self, index: &str, doc_id: u64) -> std::io::Result<()> {
+        let k = route(index, doc_id, self.shards.len());
+        let ops = vec![Op::Delete { index: index.to_string(), doc_id }];
+        if self.shards[k].append_batch(ops, &self.config, &self.stats)? {
+            self.nudge_compactor();
+        }
+        Ok(())
+    }
+
+    /// Appends a drop-index barrier to every shard (keys of an index
+    /// are spread across all of them).
+    pub fn drop_index(&self, index: &str) -> std::io::Result<()> {
+        let mut compact_wanted = false;
+        for shard in &self.shards {
+            let ops = vec![Op::DropIndex { index: index.to_string() }];
+            compact_wanted |= shard.append_batch(ops, &self.config, &self.stats)?;
+        }
+        if compact_wanted {
+            self.nudge_compactor();
+        }
+        Ok(())
+    }
+
+    /// `fdatasync`s every shard's active segment (session close, or an
+    /// explicit durability point).
+    pub fn flush(&self) -> std::io::Result<()> {
+        for shard in &self.shards {
+            shard.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Synchronously compacts every shard (tests and maintenance CLIs;
+    /// production relies on the background thread).
+    pub fn compact_now(&self) -> std::io::Result<()> {
+        for shard in &self.shards {
+            shard.compact(&self.stats)?;
+        }
+        Ok(())
+    }
+
+    /// Point-in-time statistics across shards.
+    pub fn report(&self) -> StorageReport {
+        let mut totals = ShardReport::default();
+        for shard in &self.shards {
+            totals.merge(&shard.stats());
+        }
+        StorageReport {
+            shards: self.shards.len(),
+            totals,
+            recovery_truncated: self.stats.recovery_truncated.get(),
+            hints_rewritten: self.stats.hints_rewritten.get(),
+            segments_sealed: self.stats.segments_sealed.get(),
+            compactions: self.stats.compactions.get(),
+        }
+    }
+
+    /// Full invariant check (crash harness): every shard's keydir,
+    /// segment chain, and active-writer bookkeeping must be internally
+    /// consistent. Expensive — reads every record.
+    pub fn verify(&self) -> Result<StorageReport, String> {
+        let mut totals = ShardReport::default();
+        for shard in &self.shards {
+            totals.merge(&shard.verify()?);
+        }
+        Ok(StorageReport {
+            shards: self.shards.len(),
+            totals,
+            recovery_truncated: self.stats.recovery_truncated.get(),
+            hints_rewritten: self.stats.hints_rewritten.get(),
+            segments_sealed: self.stats.segments_sealed.get(),
+            compactions: self.stats.compactions.get(),
+        })
+    }
+
+    /// Registers the engine's counters with `registry` under
+    /// `backend.recovery.*` / `backend.storage.*`. Idempotent.
+    pub fn bind_telemetry(&self, registry: &MetricsRegistry) {
+        self.stats.recovery_truncated.bind(registry.counter("backend.recovery.truncated"));
+        self.stats.hints_rewritten.bind(registry.counter("backend.recovery.hints_rewritten"));
+        self.stats.segments_sealed.bind(registry.counter("backend.storage.segments_sealed"));
+        self.stats.compactions.bind(registry.counter("backend.storage.compactions"));
+        self.stats.compacted_bytes.bind(registry.counter("backend.storage.compacted_bytes"));
+        self.stats.bytes_appended.bind(registry.counter("backend.storage.bytes_appended"));
+        self.stats.records_appended.bind(registry.counter("backend.storage.records_appended"));
+    }
+}
+
+impl Drop for StorageEngine {
+    fn drop(&mut self) {
+        if let Some(handle) = self.compactor.lock().take() {
+            *self.compactor_shared.stop.lock() = true;
+            self.compactor_shared.wake.notify_all();
+            let _ = handle.thread.join();
+        }
+        // Close = durability point: a cleanly dropped store survives
+        // machine crashes too, not just process kills.
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dio-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn doc(i: u64) -> Vec<u8> {
+        format!("{{\"n\":{i}}}").into_bytes()
+    }
+
+    #[test]
+    fn open_write_reopen_roundtrip() {
+        let root = tmp_root("roundtrip");
+        let config = StorageConfig::tiny_for_tests();
+        {
+            let (engine, loaded) = StorageEngine::open(&root, config.clone()).unwrap();
+            assert!(loaded.is_empty());
+            engine.append_puts("dio-a", (0..50).map(|i| (i, doc(i))).collect()).unwrap();
+            engine.append_puts("dio-b", vec![(0, doc(99))]).unwrap();
+            engine.append_delete("dio-a", 7).unwrap();
+        }
+        let (engine, loaded) = StorageEngine::open(&root, config).unwrap();
+        assert_eq!(loaded.len(), 2);
+        let a = &loaded["dio-a"];
+        assert_eq!(a.len(), 49, "one doc tombstoned");
+        assert!(a.iter().all(|(id, _)| *id != 7));
+        // Sorted by id == original ingest order.
+        assert!(a.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(loaded["dio-b"], vec![(0, doc(99))]);
+        engine.verify().unwrap();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_spread() {
+        let hits: std::collections::HashSet<usize> =
+            (0..64).map(|i| route("dio-x", i, 8)).collect();
+        assert!(hits.len() >= 4, "64 keys land on at least half the shards: {hits:?}");
+        assert_eq!(route("dio-x", 3, 8), route("dio-x", 3, 8));
+    }
+
+    #[test]
+    fn drop_index_erases_across_shards() {
+        let root = tmp_root("dropidx");
+        let config = StorageConfig::tiny_for_tests();
+        {
+            let (engine, _) = StorageEngine::open(&root, config.clone()).unwrap();
+            engine.append_puts("gone", (0..40).map(|i| (i, doc(i))).collect()).unwrap();
+            engine.append_puts("kept", (0..10).map(|i| (i, doc(i))).collect()).unwrap();
+            engine.drop_index("gone").unwrap();
+        }
+        let (engine, loaded) = StorageEngine::open(&root, config).unwrap();
+        assert!(!loaded.contains_key("gone"));
+        assert_eq!(loaded["kept"].len(), 10);
+        engine.verify().unwrap();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn compaction_shrinks_and_preserves() {
+        let root = tmp_root("compact");
+        let config = StorageConfig::tiny_for_tests();
+        let (engine, _) = StorageEngine::open(&root, config.clone()).unwrap();
+        // Overwrite the same 20 keys many times: most frames are garbage.
+        for round in 0..50u64 {
+            engine
+                .append_puts("dio-a", (0..20).map(|i| (i, doc(round * 100 + i))).collect())
+                .unwrap();
+        }
+        let before = engine.report();
+        engine.compact_now().unwrap();
+        let after = engine.report();
+        assert!(after.compactions > 0);
+        assert!(
+            after.totals.sealed_bytes + after.totals.active_bytes
+                < before.totals.sealed_bytes + before.totals.active_bytes,
+            "compaction reclaims space: {before:?} -> {after:?}"
+        );
+        engine.verify().unwrap();
+        drop(engine);
+
+        let (engine, loaded) = StorageEngine::open(&root, config).unwrap();
+        let a = &loaded["dio-a"];
+        assert_eq!(a.len(), 20);
+        for (id, value) in a {
+            assert_eq!(value, &doc(49 * 100 + id), "latest round survives");
+        }
+        engine.verify().unwrap();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn manifest_pins_shard_count() {
+        let root = tmp_root("manifest");
+        {
+            let (engine, _) =
+                StorageEngine::open(&root, StorageConfig { shards: 3, ..Default::default() })
+                    .unwrap();
+            assert_eq!(engine.shard_count(), 3);
+        }
+        let (engine, _) =
+            StorageEngine::open(&root, StorageConfig { shards: 16, ..Default::default() }).unwrap();
+        assert_eq!(engine.shard_count(), 3, "manifest wins over config on reopen");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

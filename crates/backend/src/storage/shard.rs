@@ -1,0 +1,617 @@
+//! One storage shard: an independent bitcask instance.
+//!
+//! A shard owns a directory of segment files, an active
+//! [`SegmentWriter`], a [`KeyDir`], and its own mutex — the unit of
+//! write concurrency. The router in [`super`] spreads (index, doc id)
+//! keys over shards, so eight writer threads land on eight different
+//! locks and files instead of contending on one.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+
+use parking_lot::Mutex;
+
+use super::crash::{self, CrashSite};
+use super::hint::{self, HintEntry};
+use super::keydir::{Displaced, KeyDir, Slot};
+use super::record::Record;
+use super::segment::{self, ScannedRecord, SegmentWriter};
+use super::{EngineStats, StorageConfig};
+
+/// One logical mutation routed to a shard.
+#[derive(Debug)]
+pub enum Op {
+    /// Write `doc_id` of `index` with a serialized JSON body.
+    Put {
+        /// Target index.
+        index: String,
+        /// Document id within the index.
+        doc_id: u64,
+        /// Serialized JSON body.
+        value: Vec<u8>,
+    },
+    /// Delete `doc_id` of `index`.
+    Delete {
+        /// Target index.
+        index: String,
+        /// Document id within the index.
+        doc_id: u64,
+    },
+    /// Drop every document of `index`.
+    DropIndex {
+        /// Target index.
+        index: String,
+    },
+}
+
+/// Bookkeeping for one sealed (immutable) segment.
+#[derive(Debug, Clone, Copy, Default)]
+struct SealedInfo {
+    len: u64,
+}
+
+struct ShardInner {
+    writer: SegmentWriter,
+    keydir: KeyDir,
+    next_seqno: u64,
+    next_gen: u64,
+    /// Sealed generations and their lengths.
+    sealed: BTreeMap<u64, SealedInfo>,
+    /// Dead (superseded) bytes per generation, active included.
+    dead_by_gen: HashMap<u64, u64>,
+    /// Keydir entries of the active segment, accumulated so sealing can
+    /// write the hint file without re-scanning the log.
+    active_hints: Vec<HintEntry>,
+}
+
+impl ShardInner {
+    fn account(&mut self, displaced: Option<Displaced>) {
+        if let Some(d) = displaced {
+            *self.dead_by_gen.entry(d.gen).or_insert(0) += d.bytes;
+        }
+    }
+
+    fn sealed_bytes(&self) -> u64 {
+        self.sealed.values().map(|s| s.len).sum()
+    }
+
+    fn sealed_dead_bytes(&self) -> u64 {
+        self.sealed.keys().map(|gen| self.dead_by_gen.get(gen).copied().unwrap_or(0)).sum()
+    }
+}
+
+/// A live document recovered at open time.
+#[derive(Debug)]
+pub struct LiveDoc {
+    /// Index (session) name.
+    pub index: String,
+    /// Document id within the index.
+    pub doc_id: u64,
+    /// Serialized JSON body.
+    pub value: Vec<u8>,
+}
+
+/// One independent bitcask instance (see module docs).
+pub struct Shard {
+    id: usize,
+    dir: PathBuf,
+    inner: Mutex<ShardInner>,
+    /// Serializes compactions (they overlap with appends, never with
+    /// each other).
+    compact_gate: Mutex<()>,
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard").field("id", &self.id).field("dir", &self.dir).finish()
+    }
+}
+
+fn apply_scanned(keydir: &mut KeyDir, gen: u64, rec: &ScannedRecord) -> (Vec<Displaced>, u64) {
+    let slot = Slot { gen, offset: rec.offset, frame_len: rec.len, seqno: rec.record.seqno };
+    let mut own_dead = 0;
+    let displaced = if rec.record.is_drop_index() {
+        // The barrier record itself is pure metadata: dead weight in its
+        // own segment from birth.
+        own_dead += rec.len as u64;
+        keydir.apply_drop_index(&rec.record.index, rec.record.seqno)
+    } else if rec.record.is_tombstone() {
+        own_dead += rec.len as u64;
+        keydir
+            .apply_tombstone(&rec.record.index, rec.record.doc_id, rec.record.seqno)
+            .into_iter()
+            .collect()
+    } else {
+        keydir.apply_put(&rec.record.index, rec.record.doc_id, slot).into_iter().collect()
+    };
+    (displaced, own_dead)
+}
+
+fn apply_hint_entry(keydir: &mut KeyDir, gen: u64, e: &HintEntry) -> (Vec<Displaced>, u64) {
+    let rec = ScannedRecord {
+        record: Record {
+            seqno: e.seqno,
+            flags: e.flags,
+            index: e.index.clone(),
+            doc_id: e.doc_id,
+            value: Vec::new(),
+        },
+        offset: e.offset,
+        len: e.frame_len,
+    };
+    apply_scanned(keydir, gen, &rec)
+}
+
+impl Shard {
+    /// Opens (or creates) the shard under `dir`, replaying segments into
+    /// the keydir and returning every live document.
+    pub fn open(
+        dir: PathBuf,
+        id: usize,
+        stats: &EngineStats,
+    ) -> std::io::Result<(Self, Vec<LiveDoc>)> {
+        std::fs::create_dir_all(&dir)?;
+        segment::remove_stale_merge_tmps(&dir)?;
+        let gens = segment::list_generations(&dir)?;
+        let mut keydir = KeyDir::new();
+        let mut dead_by_gen: HashMap<u64, u64> = HashMap::new();
+        let mut sealed = BTreeMap::new();
+        let mut max_seqno = 0u64;
+        let mut active_hints = Vec::new();
+        let account =
+            |dead_by_gen: &mut HashMap<u64, u64>, displaced: Vec<Displaced>, own: (u64, u64)| {
+                for d in displaced {
+                    *dead_by_gen.entry(d.gen).or_insert(0) += d.bytes;
+                }
+                if own.1 > 0 {
+                    *dead_by_gen.entry(own.0).or_insert(0) += own.1;
+                }
+            };
+
+        let active_gen = gens.last().copied();
+        for &gen in &gens {
+            let log_path = dir.join(segment::log_name(gen));
+            let hint_path = dir.join(segment::hint_name(gen));
+            let log_len = std::fs::metadata(&log_path)?.len();
+            let is_active = Some(gen) == active_gen;
+            let hint_entries = if is_active { None } else { hint::read(&hint_path, log_len) };
+            match hint_entries {
+                Some(entries) => {
+                    for e in &entries {
+                        max_seqno = max_seqno.max(e.seqno);
+                        let (displaced, own_dead) = apply_hint_entry(&mut keydir, gen, e);
+                        account(&mut dead_by_gen, displaced, (gen, own_dead));
+                    }
+                    sealed.insert(gen, SealedInfo { len: log_len });
+                }
+                None => {
+                    // Missing/torn/stale hint, or the active segment:
+                    // scan the log, truncating a torn tail.
+                    let scanned = segment::scan(&log_path)?;
+                    if scanned.torn.is_some() {
+                        segment::truncate(&log_path, scanned.valid_len)?;
+                        stats.recovery_truncated.add(1);
+                    }
+                    let entries: Vec<HintEntry> =
+                        scanned.records.iter().map(HintEntry::from_scanned).collect();
+                    for rec in &scanned.records {
+                        max_seqno = max_seqno.max(rec.record.seqno);
+                        let (displaced, own_dead) = apply_scanned(&mut keydir, gen, rec);
+                        account(&mut dead_by_gen, displaced, (gen, own_dead));
+                    }
+                    if is_active {
+                        active_hints = entries;
+                    } else {
+                        // Rewrite the hint so the next open is fast.
+                        hint::write(&hint_path, &entries, scanned.valid_len)?;
+                        stats.hints_rewritten.add(1);
+                        sealed.insert(gen, SealedInfo { len: scanned.valid_len });
+                    }
+                }
+            }
+        }
+
+        // Load every live document, reading each segment at most once.
+        let mut by_gen: BTreeMap<u64, Vec<(String, u64, Slot)>> = BTreeMap::new();
+        for (index, doc_id, slot) in keydir.live() {
+            by_gen.entry(slot.gen).or_default().push((index.to_string(), doc_id, slot));
+        }
+        let mut docs = Vec::with_capacity(keydir.live_len());
+        for (gen, mut slots) in by_gen {
+            slots.sort_by_key(|(_, _, s)| s.offset);
+            let bytes = std::fs::read(dir.join(segment::log_name(gen)))?;
+            for (index, doc_id, slot) in slots {
+                let start = slot.offset as usize;
+                let end = start + slot.frame_len as usize;
+                let (record, _) = super::record::decode(&bytes[start..end]).map_err(|e| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("shard {id} gen {gen} offset {start}: {e:?}"),
+                    )
+                })?;
+                docs.push(LiveDoc { index, doc_id, value: record.value });
+            }
+        }
+
+        keydir.prune_shadows();
+        let (writer, next_gen) = match active_gen {
+            Some(gen) => {
+                let valid_len = std::fs::metadata(dir.join(segment::log_name(gen)))?.len();
+                (SegmentWriter::reopen(&dir, gen, valid_len)?, gen + 1)
+            }
+            None => (SegmentWriter::create(&dir, 1)?, 2),
+        };
+        let inner = ShardInner {
+            writer,
+            keydir,
+            next_seqno: max_seqno + 1,
+            next_gen,
+            sealed,
+            dead_by_gen,
+            active_hints,
+        };
+        Ok((Shard { id, dir, inner: Mutex::new(inner), compact_gate: Mutex::new(()) }, docs))
+    }
+
+    /// Appends a batch of mutations. When this returns, every op is on
+    /// disk (page cache): the caller may acknowledge the batch. Returns
+    /// whether the shard now wants compaction.
+    pub fn append_batch(
+        &self,
+        ops: Vec<Op>,
+        config: &StorageConfig,
+        stats: &EngineStats,
+    ) -> std::io::Result<bool> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let gen = inner.writer.gen();
+        let mut buf = Vec::new();
+        let mut staged: Vec<HintEntry> = Vec::with_capacity(ops.len());
+        for op in ops {
+            let seqno = inner.next_seqno;
+            inner.next_seqno += 1;
+            let record = match op {
+                Op::Put { index, doc_id, value } => {
+                    Record { seqno, flags: 0, index, doc_id, value }
+                }
+                Op::Delete { index, doc_id } => Record::tombstone(seqno, &index, doc_id),
+                Op::DropIndex { index } => Record::drop_index(seqno, &index),
+            };
+            let offset = inner.writer.len() + buf.len() as u64;
+            let frame_len = record.encoded_len() as u32;
+            record.encode_into(&mut buf);
+            staged.push(HintEntry {
+                seqno,
+                flags: record.flags,
+                index: record.index,
+                doc_id: record.doc_id,
+                frame_len,
+                offset,
+            });
+        }
+        inner.writer.append(&buf)?;
+        if config.sync_every_batch {
+            inner.writer.sync()?;
+        }
+        stats.bytes_appended.add(buf.len() as u64);
+        stats.records_appended.add(staged.len() as u64);
+
+        for entry in staged {
+            let slot =
+                Slot { gen, offset: entry.offset, frame_len: entry.frame_len, seqno: entry.seqno };
+            if entry.flags & super::record::FLAG_DROP_INDEX != 0 {
+                *inner.dead_by_gen.entry(gen).or_insert(0) += entry.frame_len as u64;
+                for d in inner.keydir.apply_drop_index(&entry.index, entry.seqno) {
+                    *inner.dead_by_gen.entry(d.gen).or_insert(0) += d.bytes;
+                }
+            } else if entry.flags & super::record::FLAG_TOMBSTONE != 0 {
+                *inner.dead_by_gen.entry(gen).or_insert(0) += entry.frame_len as u64;
+                let displaced =
+                    inner.keydir.apply_tombstone(&entry.index, entry.doc_id, entry.seqno);
+                inner.account(displaced);
+            } else {
+                let displaced = inner.keydir.apply_put(&entry.index, entry.doc_id, slot);
+                inner.account(displaced);
+            }
+            inner.active_hints.push(entry);
+        }
+
+        if inner.writer.len() >= config.max_segment_bytes {
+            Self::seal_active(inner, stats)?;
+        }
+        Ok(self.wants_compaction(inner, config))
+    }
+
+    /// Seals the active segment in place (sync + hint + bookkeeping)
+    /// without rotating — the caller installs the replacement writer.
+    fn seal_current(inner: &mut ShardInner, stats: &EngineStats) -> std::io::Result<()> {
+        inner.writer.sync()?;
+        let gen = inner.writer.gen();
+        let len = inner.writer.len();
+        let dir = inner.writer.path().parent().expect("segment has parent dir").to_path_buf();
+        hint::write(&dir.join(segment::hint_name(gen)), &inner.active_hints, len)?;
+        inner.sealed.insert(gen, SealedInfo { len });
+        inner.active_hints.clear();
+        stats.segments_sealed.add(1);
+        Ok(())
+    }
+
+    /// Seals the active segment and opens a fresh one.
+    fn seal_active(inner: &mut ShardInner, stats: &EngineStats) -> std::io::Result<()> {
+        Self::seal_current(inner, stats)?;
+        let dir = inner.writer.path().parent().expect("segment has parent dir").to_path_buf();
+        let next = inner.next_gen;
+        inner.next_gen += 1;
+        inner.writer = SegmentWriter::create(&dir, next)?;
+        Ok(())
+    }
+
+    fn wants_compaction(&self, inner: &ShardInner, config: &StorageConfig) -> bool {
+        let sealed_bytes = inner.sealed_bytes();
+        if sealed_bytes < config.compact_min_sealed_bytes || inner.sealed.len() < 2 {
+            return false;
+        }
+        inner.sealed_dead_bytes() as f64 >= sealed_bytes as f64 * config.compact_min_dead_ratio
+    }
+
+    /// Whether background compaction would currently help.
+    pub fn needs_compaction(&self, config: &StorageConfig) -> bool {
+        let inner = self.inner.lock();
+        self.wants_compaction(&inner, config)
+    }
+
+    /// Flushes the active segment to durable storage.
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.inner.lock().writer.sync()
+    }
+
+    /// Merges every sealed segment into one, dropping superseded records,
+    /// tombstones, and barriers (full-merge semantics: anything outside
+    /// the inputs is strictly newer, so shadow records need not survive).
+    ///
+    /// Appends proceed concurrently — the shard lock is held only to
+    /// rotate at the start and to install the result at the end.
+    /// Crash-safe: output is written to `merge-*.tmp`, fsynced, renamed,
+    /// and only then are inputs deleted oldest-first, so at every kill
+    /// point the union of surviving files replays to the same store.
+    pub fn compact(&self, stats: &EngineStats) -> std::io::Result<()> {
+        let _gate = self.compact_gate.lock();
+        // Phase 1 (locked): allocate the output generation *below* a
+        // fresh active segment, and snapshot the input set.
+        let (output_gen, inputs) = {
+            let mut inner = self.inner.lock();
+            let inner = &mut *inner;
+            if inner.sealed.is_empty() && inner.writer.is_empty() {
+                return Ok(());
+            }
+            // Seal the current active so it participates in the merge;
+            // the new active's gen is above the output's. An *empty*
+            // active can't be sealed (a zero-length sealed segment is
+            // pure cruft), so its file is removed once the replacement
+            // exists — a crash in between just leaves an empty segment
+            // for the next open to scan.
+            let empty_active = if inner.writer.is_empty() {
+                Some(inner.writer.path().to_path_buf())
+            } else {
+                Self::seal_current(inner, stats)?;
+                None
+            };
+            let output_gen = inner.next_gen;
+            inner.next_gen += 1;
+            let active_gen = inner.next_gen;
+            inner.next_gen += 1;
+            let dir = self.dir.clone();
+            inner.writer = SegmentWriter::create(&dir, active_gen)?;
+            if let Some(path) = empty_active {
+                std::fs::remove_file(path)?;
+            }
+            let inputs: Vec<u64> = inner.sealed.keys().copied().collect();
+            (output_gen, inputs)
+        };
+        if inputs.is_empty() {
+            return Ok(());
+        }
+
+        // Phase 2 (unlocked): replay the immutable inputs and keep only
+        // records that are the newest for their key *within the inputs*
+        // and not shadowed by a tombstone or barrier.
+        let mut merge_dir = KeyDir::new();
+        let mut scans: HashMap<u64, Vec<ScannedRecord>> = HashMap::new();
+        for &gen in &inputs {
+            let scanned = segment::scan(&self.dir.join(segment::log_name(gen)))?;
+            for rec in &scanned.records {
+                apply_scanned(&mut merge_dir, gen, rec);
+            }
+            scans.insert(gen, scanned.records);
+        }
+        let mut keep: Vec<(u64, ScannedRecord)> = Vec::new();
+        for (&gen, records) in &scans {
+            for rec in records {
+                if rec.record.flags == 0
+                    && merge_dir.get(&rec.record.index, rec.record.doc_id).is_some_and(|s| {
+                        s.gen == gen && s.offset == rec.offset && s.seqno == rec.record.seqno
+                    })
+                {
+                    keep.push((gen, rec.clone()));
+                }
+            }
+        }
+        // Stable output order: by original seqno.
+        keep.sort_by_key(|(_, rec)| rec.record.seqno);
+
+        // Phase 3 (unlocked): write the output to a tmp file, hint it,
+        // then atomically promote it to a real segment.
+        let tmp_path = self.dir.join(segment::merge_tmp_name(output_gen));
+        let mut out = std::fs::File::create(&tmp_path)?;
+        let mut out_len = 0u64;
+        let mut out_slots: Vec<(String, u64, Slot)> = Vec::with_capacity(keep.len());
+        let mut out_hints: Vec<HintEntry> = Vec::with_capacity(keep.len());
+        let mut buf = Vec::new();
+        for (_, rec) in &keep {
+            buf.clear();
+            rec.record.encode_into(&mut buf);
+            if let Some(split) = crash::armed_split(CrashSite::Compact, buf.len()) {
+                use std::io::Write as _;
+                out.write_all(&buf[..split]).expect("crash-injection prefix write");
+                let _ = out.sync_data();
+                crash::abort_now();
+            }
+            use std::io::Write as _;
+            out.write_all(&buf)?;
+            let slot = Slot {
+                gen: output_gen,
+                offset: out_len,
+                frame_len: buf.len() as u32,
+                seqno: rec.record.seqno,
+            };
+            out_slots.push((rec.record.index.clone(), rec.record.doc_id, slot));
+            out_hints.push(HintEntry {
+                seqno: rec.record.seqno,
+                flags: rec.record.flags,
+                index: rec.record.index.clone(),
+                doc_id: rec.record.doc_id,
+                frame_len: slot.frame_len,
+                offset: slot.offset,
+            });
+            out_len += buf.len() as u64;
+        }
+        out.sync_data()?;
+        drop(out);
+        hint::write(&self.dir.join(segment::hint_name(output_gen)), &out_hints, out_len)?;
+        std::fs::rename(&tmp_path, self.dir.join(segment::log_name(output_gen)))?;
+
+        // Phase 4 (locked): repoint still-current keydir entries at the
+        // output and swap the segment bookkeeping.
+        {
+            let mut inner = self.inner.lock();
+            let inner = &mut *inner;
+            let mut out_dead = 0u64;
+            for (index, doc_id, slot) in out_slots {
+                // Repoint keys that did not advance mid-merge; frames of
+                // keys that did are garbage in the output from birth.
+                if !inner.keydir.repoint(&index, doc_id, slot) {
+                    out_dead += slot.frame_len as u64;
+                }
+            }
+            for gen in &inputs {
+                inner.sealed.remove(gen);
+                inner.dead_by_gen.remove(gen);
+            }
+            inner.sealed.insert(output_gen, SealedInfo { len: out_len });
+            if out_dead > 0 {
+                inner.dead_by_gen.insert(output_gen, out_dead);
+            }
+        }
+
+        // Phase 5 (unlocked): delete inputs oldest-first, so a crash
+        // mid-deletion can never leave an old value without the newer
+        // record that shadowed it.
+        for &gen in &inputs {
+            std::fs::remove_file(self.dir.join(segment::log_name(gen)))?;
+            let _ = std::fs::remove_file(self.dir.join(segment::hint_name(gen)));
+        }
+        stats.compactions.add(1);
+        stats.compacted_bytes.add(out_len);
+        Ok(())
+    }
+
+    /// Verifies shard invariants for the crash harness: every keydir slot
+    /// must resolve to a checksum-valid record with matching key and
+    /// seqno, every segment must replay cleanly end-to-end, and the
+    /// active segment must be the highest generation on disk.
+    pub fn verify(&self) -> Result<ShardReport, String> {
+        let inner = self.inner.lock();
+        let gens = segment::list_generations(&self.dir)
+            .map_err(|e| format!("shard {}: list: {e}", self.id))?;
+        let active_gen = inner.writer.gen();
+        if gens.last().copied() != Some(active_gen) {
+            return Err(format!(
+                "shard {}: active gen {} is not the max on disk ({:?})",
+                self.id, active_gen, gens
+            ));
+        }
+        let mut segments = 0usize;
+        for &gen in &gens {
+            let scanned = segment::scan(&self.dir.join(segment::log_name(gen)))
+                .map_err(|e| format!("shard {} gen {gen}: scan: {e}", self.id))?;
+            if scanned.torn.is_some() {
+                return Err(format!(
+                    "shard {} gen {gen}: torn record at offset {} after recovery",
+                    self.id, scanned.valid_len
+                ));
+            }
+            if gen == active_gen && scanned.valid_len != inner.writer.len() {
+                return Err(format!(
+                    "shard {} gen {gen}: writer believes {} bytes, disk has {}",
+                    self.id,
+                    inner.writer.len(),
+                    scanned.valid_len
+                ));
+            }
+            segments += 1;
+        }
+        let mut live_keys = 0usize;
+        for (index, doc_id, slot) in inner.keydir.live() {
+            let rec = segment::read_at(
+                &self.dir.join(segment::log_name(slot.gen)),
+                slot.offset,
+                slot.frame_len,
+            )
+            .map_err(|e| {
+                format!("shard {}: keydir slot {index}/{doc_id} unreadable: {e}", self.id)
+            })?;
+            if rec.index != index || rec.doc_id != doc_id || rec.seqno != slot.seqno {
+                return Err(format!(
+                    "shard {}: keydir slot {index}/{doc_id} resolves to {}/{} seq {}",
+                    self.id, rec.index, rec.doc_id, rec.seqno
+                ));
+            }
+            live_keys += 1;
+        }
+        Ok(ShardReport {
+            segments,
+            live_keys,
+            sealed_bytes: inner.sealed_bytes(),
+            dead_bytes: inner.dead_by_gen.values().sum(),
+            active_bytes: inner.writer.len(),
+        })
+    }
+
+    /// Point-in-time shard statistics.
+    pub fn stats(&self) -> ShardReport {
+        let inner = self.inner.lock();
+        ShardReport {
+            segments: inner.sealed.len() + 1,
+            live_keys: inner.keydir.live_len(),
+            sealed_bytes: inner.sealed_bytes(),
+            dead_bytes: inner.dead_by_gen.values().sum(),
+            active_bytes: inner.writer.len(),
+        }
+    }
+}
+
+/// Per-shard snapshot returned by [`Shard::stats`] / [`Shard::verify`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Segment files (active included).
+    pub segments: usize,
+    /// Live keydir entries.
+    pub live_keys: usize,
+    /// Bytes in sealed segments.
+    pub sealed_bytes: u64,
+    /// Superseded bytes across all segments.
+    pub dead_bytes: u64,
+    /// Bytes in the active segment.
+    pub active_bytes: u64,
+}
+
+impl ShardReport {
+    /// Folds another report into this one (for engine-level totals).
+    pub fn merge(&mut self, other: &ShardReport) {
+        self.segments += other.segments;
+        self.live_keys += other.live_keys;
+        self.sealed_bytes += other.sealed_bytes;
+        self.dead_bytes += other.dead_bytes;
+        self.active_bytes += other.active_bytes;
+    }
+}

@@ -1,6 +1,7 @@
 //! The multi-index document store (the Elasticsearch cluster stand-in).
 
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
@@ -10,6 +11,7 @@ use dio_telemetry::span::{monotonic_ns, Stage, StageStamps};
 use dio_telemetry::{Counter, Histogram, MetricsRegistry};
 
 use crate::index::Index;
+use crate::storage::{StorageConfig, StorageEngine, StorageReport};
 
 /// Telemetry handles updated on the store's ingest and query paths once
 /// [`DocStore::bind_telemetry`] is called.
@@ -40,18 +42,91 @@ struct StoreTelemetry {
 pub struct DocStore {
     indices: Arc<RwLock<BTreeMap<String, Arc<Index>>>>,
     telemetry: Arc<OnceLock<StoreTelemetry>>,
+    /// Present when the store was [`DocStore::open`]ed on disk; `None`
+    /// for the in-memory default (unit tests, short-lived sessions).
+    persist: Option<Arc<StorageEngine>>,
 }
 
 impl std::fmt::Debug for DocStore {
+    /// Non-blocking by design: `Debug` is called from logging and panic
+    /// paths that may already interleave with writers, so it must never
+    /// queue behind the indices lock (a second acquisition on a path
+    /// that holds it — or a writer waiting in between — would deadlock).
+    /// It takes the read lock at most once, via `try_read`.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DocStore").field("indices", &self.index_names()).finish()
+        let mut s = f.debug_struct("DocStore");
+        match self.indices.try_read() {
+            Some(guard) => s.field("indices", &guard.keys().collect::<Vec<_>>()),
+            None => s.field("indices", &"<locked>"),
+        };
+        s.field("persistent", &self.persist.is_some()).finish()
     }
 }
 
 impl DocStore {
-    /// Creates an empty store.
+    /// Creates an empty in-memory store (contents vanish at drop).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Opens (creating if needed) a persistent store rooted at `path`,
+    /// replaying any existing segments — see DESIGN.md §11. Every index
+    /// write is acknowledged only after it is on disk; reopening the
+    /// same path recovers every acknowledged document, truncating torn
+    /// tail records (counted in `backend.recovery.truncated`).
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Self::open_with(path, StorageConfig::default())
+    }
+
+    /// [`DocStore::open`] with explicit [`StorageConfig`] tuning.
+    pub fn open_with(path: impl AsRef<Path>, config: StorageConfig) -> std::io::Result<Self> {
+        let (engine, loaded) = StorageEngine::open(path.as_ref(), config)?;
+        let mut indices = BTreeMap::new();
+        for (name, docs) in loaded {
+            let index = Index::from_persisted(&name, Arc::clone(&engine), docs);
+            indices.insert(name, Arc::new(index));
+        }
+        Ok(DocStore {
+            indices: Arc::new(RwLock::new(indices)),
+            telemetry: Arc::new(OnceLock::new()),
+            persist: Some(engine),
+        })
+    }
+
+    /// Whether the store persists to disk.
+    pub fn is_persistent(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// The storage engine behind a persistent store (`None` in-memory).
+    /// Exposes maintenance and verification entry points for tests,
+    /// benches, and the crash harness.
+    pub fn storage(&self) -> Option<&Arc<StorageEngine>> {
+        self.persist.as_ref()
+    }
+
+    /// `fdatasync`s all shards of a persistent store (a durability
+    /// point; the tracer calls this when a session closes). No-op
+    /// in-memory.
+    pub fn flush(&self) -> std::io::Result<()> {
+        match &self.persist {
+            Some(engine) => engine.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Synchronously compacts all shards of a persistent store. No-op
+    /// in-memory.
+    pub fn compact_now(&self) -> std::io::Result<()> {
+        match &self.persist {
+            Some(engine) => engine.compact_now(),
+            None => Ok(()),
+        }
+    }
+
+    /// Storage statistics of a persistent store (`None` in-memory).
+    pub fn storage_report(&self) -> Option<StorageReport> {
+        self.persist.as_ref().map(|e| e.report())
     }
 
     /// Registers the store's metrics (`backend.bulk.ns` / `backend.bulk.docs`
@@ -69,6 +144,9 @@ impl DocStore {
                 idx.bind_query_histogram(Arc::clone(&t.query_ns));
             }
         }
+        if let Some(engine) = &self.persist {
+            engine.bind_telemetry(registry);
+        }
     }
 
     /// Returns the index named `name`, creating it if absent.
@@ -77,9 +155,12 @@ impl DocStore {
             return Arc::clone(idx);
         }
         let mut indices = self.indices.write();
-        let idx = Arc::clone(
-            indices.entry(name.to_string()).or_insert_with(|| Arc::new(Index::new(name))),
-        );
+        let idx = Arc::clone(indices.entry(name.to_string()).or_insert_with(|| {
+            Arc::new(match &self.persist {
+                Some(engine) => Index::new_persistent(name, Arc::clone(engine)),
+                None => Index::new(name),
+            })
+        }));
         if let Some(t) = self.telemetry.get() {
             idx.bind_query_histogram(Arc::clone(&t.query_ns));
         }
@@ -103,12 +184,22 @@ impl DocStore {
         self.index(name).subscribe(capacity)
     }
 
-    /// Deletes an index, returning whether it existed.
+    /// Deletes an index, returning whether it existed. On a persistent
+    /// store a drop barrier is appended to every shard first, so the
+    /// deletion itself survives a crash.
     pub fn delete_index(&self, name: &str) -> bool {
-        self.indices.write().remove(name).is_some()
+        let existed = self.indices.write().remove(name).is_some();
+        if existed {
+            if let Some(engine) = &self.persist {
+                engine.drop_index(name).expect("dio-backend: persistent index drop failed");
+            }
+        }
+        existed
     }
 
-    /// Names of all indices, sorted.
+    /// Names of all indices, sorted. One read-lock acquisition; callers
+    /// formatting the store should prefer `{:?}` (non-blocking) over
+    /// composing this with other locked accessors.
     pub fn index_names(&self) -> Vec<String> {
         self.indices.read().keys().cloned().collect()
     }
@@ -186,6 +277,49 @@ mod tests {
         let first = spans[0].get(Stage::BulkIndex).expect("stamped");
         let second = spans[1].get(Stage::BulkIndex).expect("stamped");
         assert_eq!(first, second, "one acknowledgement time for the whole bulk");
+    }
+
+    #[test]
+    fn debug_does_not_deadlock_under_a_held_write_lock() {
+        // Regression guard for the old Debug impl, which re-acquired the
+        // indices read lock via `index_names()` while already formatting —
+        // with a writer queued in between, that self-deadlocked. The new
+        // impl must complete (with a placeholder) even while another
+        // thread holds the write guard.
+        let store = DocStore::new();
+        store.index("dio-held");
+        let guard = store.indices.write();
+        let clone = store.clone();
+        let handle = std::thread::spawn(move || format!("{clone:?}"));
+        let rendered = handle.join().expect("Debug must not deadlock");
+        assert!(rendered.contains("<locked>"), "got: {rendered}");
+        drop(guard);
+        let rendered = format!("{store:?}");
+        assert!(rendered.contains("dio-held"), "got: {rendered}");
+    }
+
+    #[test]
+    fn persistent_store_roundtrips_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("dio-store-rt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let store = DocStore::open_with(&dir, StorageConfig::tiny_for_tests()).unwrap();
+            assert!(store.is_persistent());
+            store.bulk("dio-s1", vec![json!({"syscall": "read"}), json!({"syscall": "write"})]);
+            store.bulk("dio-s2", vec![json!({"syscall": "openat"})]);
+            store.index("dio-s1").delete(1);
+            store.flush().unwrap();
+        }
+        let store = DocStore::open_with(&dir, StorageConfig::tiny_for_tests()).unwrap();
+        assert_eq!(store.index_names(), vec!["dio-s1".to_string(), "dio-s2".to_string()]);
+        assert_eq!(store.index("dio-s1").len(), 1);
+        assert_eq!(store.index("dio-s2").len(), 1);
+        let resp = store
+            .index("dio-s1")
+            .search(&crate::SearchRequest::new(crate::Query::term("syscall", "read")));
+        assert_eq!(resp.total, 1);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -33,6 +33,9 @@ pub(crate) struct SubQueue {
     capacity: usize,
     missed: AtomicU64,
     alive: AtomicBool,
+    /// Set by the index side when it shuts down (store close/reopen,
+    /// `delete_index`): no further batches will ever arrive.
+    closed: AtomicBool,
 }
 
 impl SubQueue {
@@ -42,11 +45,16 @@ impl SubQueue {
             capacity: capacity.max(1),
             missed: AtomicU64::new(0),
             alive: AtomicBool::new(true),
+            closed: AtomicBool::new(false),
         }
     }
 
     pub(crate) fn is_alive(&self) -> bool {
         self.alive.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::Release);
     }
 
     /// Non-blocking delivery: drops (and counts) the batch when full.
@@ -87,17 +95,32 @@ impl Subscription {
     }
 
     /// Waits up to `timeout` for a batch (polling; granularity ~1ms).
+    ///
+    /// On a **closed** subscription (see [`Subscription::is_closed`])
+    /// this still drains queued batches, but returns `None` immediately
+    /// once the queue is empty instead of sleeping out the timeout — a
+    /// consumer looping on `recv_timeout` terminates deterministically
+    /// when its index shuts down.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Vec<Value>> {
         let deadline = Instant::now() + timeout;
         loop {
             if let Some(batch) = self.try_recv() {
                 return Some(batch);
             }
-            if Instant::now() >= deadline {
+            // Check closed *after* the drain attempt: batches delivered
+            // before the close are never lost.
+            if self.is_closed() || Instant::now() >= deadline {
                 return None;
             }
             std::thread::sleep(Duration::from_millis(1));
         }
+    }
+
+    /// Whether the index side shut down (store close/reopen or
+    /// `delete_index`). Queued batches remain drainable; nothing new
+    /// will ever arrive, and [`Subscription::missed_batches`] is final.
+    pub fn is_closed(&self) -> bool {
+        self.queue.closed.load(Ordering::Acquire)
     }
 
     /// Pops every pending batch.

@@ -1,0 +1,222 @@
+//! Ingest-throughput baseline for the persistent backend
+//! (`results/BENCH_ingest.json`).
+//!
+//! Eight writer threads, each bulk-indexing into its own session index
+//! (the tracer's concurrency shape: one index per traced session), over
+//! four configurations:
+//!
+//! * `memory`          — the default in-memory [`DocStore`];
+//! * `docstore_shard1` / `docstore_shard8` — the full persistent path
+//!   (JSON serialization + inverted indexes + storage engine);
+//! * `engine_shard1` / `engine_shard8` — the storage engine alone, with
+//!   pre-serialized bodies, isolating what sharding buys: with one
+//!   shard every thread serializes on a single mutex and segment file,
+//!   with eight they append in parallel.
+//!
+//! The headline claim this artifact pins: the sharded engine sustains
+//! **≥ 4×** the single-lock engine's ingest rate at 8 writer threads.
+//! Sharding buys *parallelism*, so the gate scales with the cores the
+//! machine actually has: on a ≥ 8-way box the full 4× is enforced; on
+//! smaller boxes the floor drops to half the available parallelism
+//! (a single-core runner can only show the convoy-overhead win, not a
+//! wall-clock one — the JSON records `available_parallelism` so the
+//! artifact is interpretable either way).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dio_backend::{DocStore, StorageConfig, StorageEngine};
+use dio_bench::{format_duration_ns, write_json_result, write_result};
+use dio_viz::Table;
+
+const THREADS: usize = 8;
+
+#[derive(Clone, Copy)]
+struct Load {
+    batches: usize,
+    docs_per_batch: usize,
+}
+
+impl Load {
+    fn total_docs(&self) -> usize {
+        THREADS * self.batches * self.docs_per_batch
+    }
+}
+
+fn body(thread: usize, batch: usize, k: usize) -> serde_json::Value {
+    serde_json::json!({
+        "syscall": "write",
+        "proc_name": format!("writer{thread}"),
+        "seq": batch * 1000 + k,
+        "payload": "x".repeat(96),
+    })
+}
+
+fn persist_config(shards: usize) -> StorageConfig {
+    StorageConfig {
+        shards,
+        // Maintenance off and large segments: measure the append path,
+        // not rotation/merge scheduling.
+        auto_compact: false,
+        ..StorageConfig::default()
+    }
+}
+
+fn bench_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("dio-bench-ingest-{tag}-{}", std::process::id()))
+}
+
+/// Full-path ingest through a [`DocStore`]: docs/sec over `load`.
+fn run_docstore(store: &DocStore, load: Load) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let store = store.clone();
+            scope.spawn(move || {
+                let index = format!("dio-ing{t}");
+                for b in 0..load.batches {
+                    let docs = (0..load.docs_per_batch).map(|k| body(t, b, k)).collect();
+                    store.bulk(&index, docs);
+                }
+            });
+        }
+    });
+    load.total_docs() as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Per-thread batches of (doc id, serialized body) pairs.
+type PreparedBatches = Vec<Vec<Vec<(u64, Vec<u8>)>>>;
+
+/// Engine-only ingest with pre-serialized bodies: docs/sec over `load`.
+fn run_engine(engine: &Arc<StorageEngine>, load: Load) -> f64 {
+    // Serialize outside the timed region: the engine's job starts at
+    // bytes, and the JSON cost is identical in every mode anyway.
+    let prepared: PreparedBatches = (0..THREADS)
+        .map(|t| {
+            (0..load.batches)
+                .map(|b| {
+                    (0..load.docs_per_batch)
+                        .map(|k| {
+                            let id = (b * load.docs_per_batch + k) as u64;
+                            let bytes = serde_json::to_string(&body(t, b, k))
+                                .expect("serialize")
+                                .into_bytes();
+                            (id, bytes)
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (t, batches) in prepared.into_iter().enumerate() {
+            let engine = Arc::clone(engine);
+            scope.spawn(move || {
+                let index = format!("dio-ing{t}");
+                for batch in batches {
+                    engine.append_puts(&index, batch).expect("append");
+                }
+            });
+        }
+    });
+    load.total_docs() as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let load = if dio_bench::smoke_mode() {
+        Load { batches: 10, docs_per_batch: 20 }
+    } else {
+        Load { batches: 150, docs_per_batch: 100 }
+    };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // The wall-clock speedup a single lock can lose to sharding is
+    // bounded by how many appends can truly run at once.
+    let speedup_target = if cores >= 8 { 4.0 } else { (cores as f64 / 2.0).max(1.0) };
+
+    let run_start = Instant::now();
+    let mut rows = Vec::new();
+    let mut metrics = serde_json::Map::new();
+    let mut record = |name: &str, docs_per_sec: f64, rows: &mut Vec<Vec<String>>| {
+        eprintln!("  {name}: {docs_per_sec:.0} docs/s");
+        rows.push(vec![name.to_string(), format!("{docs_per_sec:.0}")]);
+        metrics.insert(format!("{name}_docs_per_sec"), serde_json::json!(docs_per_sec));
+    };
+
+    let memory = run_docstore(&DocStore::new(), load);
+    record("memory", memory, &mut rows);
+
+    let mut docstore_rates = Vec::new();
+    for shards in [1usize, 8] {
+        let dir = bench_dir(&format!("docstore{shards}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DocStore::open_with(&dir, persist_config(shards)).expect("open store");
+        let rate = run_docstore(&store, load);
+        record(&format!("docstore_shard{shards}"), rate, &mut rows);
+        docstore_rates.push(rate);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let mut engine_rates = Vec::new();
+    for shards in [1usize, 8] {
+        let dir = bench_dir(&format!("engine{shards}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (engine, _) = StorageEngine::open(&dir, persist_config(shards)).expect("open engine");
+        let rate = run_engine(&engine, load);
+        record(&format!("engine_shard{shards}"), rate, &mut rows);
+        engine_rates.push(rate);
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let engine_speedup = engine_rates[1] / engine_rates[0];
+    let docstore_speedup = docstore_rates[1] / docstore_rates[0];
+    let persist_overhead = docstore_rates[1] / memory;
+    metrics.insert("engine_shard_speedup".into(), serde_json::json!(engine_speedup));
+    metrics.insert("docstore_shard_speedup".into(), serde_json::json!(docstore_speedup));
+    metrics.insert("persistent_vs_memory".into(), serde_json::json!(persist_overhead));
+    metrics.insert("available_parallelism".into(), serde_json::json!(cores));
+    metrics.insert("speedup_target".into(), serde_json::json!(speedup_target));
+
+    let table = Table::from_rows(["mode", "docs/sec"], rows);
+    let mut out = String::from("Ingest throughput, 8 writer threads x 1 session index each\n\n");
+    out.push_str(&table.to_ascii());
+    out.push_str(&format!(
+        "\nengine sharding speedup (8 shards vs 1): {engine_speedup:.1}x \
+         (target: >= {speedup_target:.1}x at {cores} cores; 4x on >= 8 cores)\n\
+         full-path sharding speedup:              {docstore_speedup:.1}x\n\
+         persistent vs in-memory full path:       {:.0}% of memory rate\n\
+         wall time: {}\n",
+        persist_overhead * 100.0,
+        format_duration_ns(run_start.elapsed().as_nanos() as u64)
+    ));
+    println!("{out}");
+    write_result("BENCH_ingest.txt", &out);
+    write_json_result(
+        "BENCH_ingest.json",
+        "bench_ingest",
+        serde_json::json!({
+            "threads": THREADS,
+            "batches_per_thread": load.batches,
+            "docs_per_batch": load.docs_per_batch,
+            "payload_bytes": 96,
+        }),
+        serde_json::Value::Object(metrics),
+    );
+
+    if !dio_bench::smoke_mode() {
+        assert!(
+            engine_speedup >= speedup_target,
+            "sharded engine must sustain >= {speedup_target:.1}x the single-lock ingest \
+             rate at {THREADS} writer threads on {cores} cores, got {engine_speedup:.2}x \
+             ({:.0} vs {:.0} docs/s)",
+            engine_rates[1],
+            engine_rates[0],
+        );
+        assert!(
+            docstore_speedup > 1.0,
+            "sharding must help the full path too, got {docstore_speedup:.2}x"
+        );
+    }
+}

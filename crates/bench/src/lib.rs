@@ -11,6 +11,7 @@
 //! ratios that produce the phenomena (compaction I/O ≫ client I/O per
 //! burst; tracer cost a few percent of syscall cost). See DESIGN.md §2.
 
+pub mod crash_schedule;
 pub mod rocksdb_run;
 
 use std::io::Write as _;

@@ -115,6 +115,9 @@ pub struct Tracer {
     /// Destination for alert documents raised after the consumer exits
     /// (the engine's end-of-stream pass during shutdown).
     alert_sink: Option<AlertSink>,
+    /// The store every pipeline stage ships into; flushed at shutdown so
+    /// session close is a durability point for persistent backends.
+    backend: DocStore,
 }
 
 /// Destination for live alert documents (the session's telemetry index).
@@ -364,6 +367,7 @@ impl Tracer {
             exporter,
             engine,
             alert_sink,
+            backend: backend.clone(),
         })
     }
 
@@ -468,6 +472,10 @@ impl Tracer {
         if let Some(exporter) = self.exporter.take() {
             exporter.stop();
         }
+        // Session close is a durability point: everything the pipeline
+        // shipped — events, health documents, final alerts — is fsynced
+        // before the summary is handed back. A no-op for in-memory stores.
+        let _ = self.backend.flush();
         // Summarize spans first: it refreshes the lag gauges, so the
         // health snapshot below carries the final (drained = 0) lag.
         let spans = self.spans.summary();
@@ -724,6 +732,30 @@ mod tests {
         let summary = tracer.stop();
         assert_eq!(summary.events_stored, 50);
         assert_eq!(backend.index("dio-drain").len(), 50);
+    }
+
+    #[test]
+    fn stop_is_a_durability_point_for_persistent_backends() {
+        let dir = std::env::temp_dir().join(format!("dio-tracer-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let k = kernel();
+            let backend = DocStore::open(&dir).expect("open persistent store");
+            let tracer = Tracer::attach(TracerConfig::new("durable"), &k, backend.clone());
+            let t = k.spawn_process("app").spawn_thread("app");
+            for i in 0..8 {
+                t.creat(&format!("/d{i}"), 0o644).unwrap();
+            }
+            let summary = tracer.stop();
+            assert_eq!(summary.events_stored, 8);
+        }
+        // A fresh process (here: a fresh store over the same directory)
+        // sees everything the stopped session shipped.
+        let reopened = DocStore::open(&dir).expect("reopen");
+        assert_eq!(reopened.index("dio-durable").len(), 8);
+        assert_eq!(reopened.index("dio-durable").count(&Query::term("syscall", "creat")), 8);
+        drop(reopened);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -176,6 +176,18 @@ impl<T: ?Sized> RwLock<T> {
         RwLockWriteGuard { inner: self.inner.write().unwrap_or_else(|e| e.into_inner()) }
     }
 
+    /// Attempts shared read access without blocking; `None` when a
+    /// writer holds (or std would block behind) the lock.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(inner) => Some(RwLockReadGuard { inner }),
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                Some(RwLockReadGuard { inner: e.into_inner() })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Returns a mutable reference to the protected value.
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(|e| e.into_inner())

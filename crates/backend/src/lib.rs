@@ -46,7 +46,7 @@ mod value_path;
 pub use agg::{AggResult, Aggregation, Bucket, StatsResult};
 pub use index::{Hit, Index, SearchRequest, SearchResponse};
 pub use query::{BoolBuilder, Query, RangeBuilder, SortOrder};
-pub use storage::{StorageConfig, StorageEngine, StorageReport};
+pub use storage::{ShardReport, StorageConfig, StorageEngine, StorageReport};
 pub use store::DocStore;
 pub use subscribe::{Subscription, DEFAULT_SUBSCRIPTION_CAPACITY};
 pub use value_path::{as_keyword, as_number, for_each_leaf, get_path};

@@ -81,7 +81,10 @@ pub fn armed_split(site: CrashSite, len: usize) -> Option<usize> {
 }
 
 /// Kills the process without unwinding, exactly like a SIGKILL landing
-/// between two `write(2)` calls.
+/// between two `write(2)` calls. The flight recorder is dumped first —
+/// the dump only touches already-durable state, so the crash semantics
+/// the harness verifies are unchanged.
 pub fn abort_now() -> ! {
+    let _ = dio_telemetry::trace::dump_on_trigger("crash");
     std::process::abort()
 }

@@ -30,9 +30,10 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Condvar, Mutex};
 
-use dio_telemetry::{Counter, MetricsRegistry};
+use dio_telemetry::{trace, Counter, Histogram, MetricsRegistry};
 
-use shard::{Op, Shard, ShardReport};
+pub use shard::ShardReport;
+use shard::{Op, Shard};
 
 /// Tuning knobs for [`StorageEngine::open`].
 #[derive(Debug, Clone)]
@@ -126,15 +127,34 @@ pub struct EngineStats {
     pub bytes_appended: StatCell,
     /// Records appended by ingest.
     pub records_appended: StatCell,
+    /// `fdatasync` calls issued (per-batch syncs, seals, flushes).
+    pub fsyncs: StatCell,
+    /// Fsync latency (`backend.storage.fsync_ns`), bound alongside the
+    /// counters by [`StorageEngine::bind_telemetry`].
+    fsync_ns: OnceLock<Arc<Histogram>>,
 }
 
-/// Point-in-time engine statistics.
-#[derive(Debug, Clone, Copy, Default)]
+impl EngineStats {
+    /// Counts one fsync that took `ns` nanoseconds.
+    pub(crate) fn record_fsync(&self, ns: u64) {
+        self.fsyncs.add(1);
+        if let Some(h) = self.fsync_ns.get() {
+            h.record(ns);
+        }
+    }
+}
+
+/// Point-in-time engine statistics. Serializable so reports can travel
+/// as `kind: "storage"` documents into the telemetry index (the
+/// dashboard's feed) and be reconstructed on the viz side.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct StorageReport {
     /// Number of shards.
     pub shards: usize,
     /// Aggregated per-shard state.
     pub totals: ShardReport,
+    /// State of each shard, in shard order.
+    pub per_shard: Vec<ShardReport>,
     /// Torn tails truncated during recovery.
     pub recovery_truncated: u64,
     /// Hint files rebuilt at open.
@@ -143,6 +163,42 @@ pub struct StorageReport {
     pub segments_sealed: u64,
     /// Compactions completed over the engine's lifetime.
     pub compactions: u64,
+    /// Bytes written by compaction merges over the engine's lifetime.
+    pub compacted_bytes: u64,
+    /// Bytes appended by ingest over the engine's lifetime.
+    pub bytes_appended: u64,
+    /// `fdatasync` calls over the engine's lifetime.
+    pub fsyncs: u64,
+}
+
+impl StorageReport {
+    /// Dead fraction of all stored bytes — the compaction debt the
+    /// background merger works against.
+    pub fn dead_ratio(&self) -> f64 {
+        let stored = self.totals.sealed_bytes + self.totals.active_bytes;
+        if stored == 0 {
+            0.0
+        } else {
+            self.totals.dead_bytes as f64 / stored as f64
+        }
+    }
+
+    /// The report as a backend document (`kind: "storage"`). It carries
+    /// no `metric` field, so health-report readers of the telemetry
+    /// index skip it; the storage panel queries it by `kind`.
+    pub fn to_document(&self) -> serde_json::Value {
+        let mut doc = serde_json::to_value(self).expect("storage report serializes");
+        doc["kind"] = serde_json::Value::from("storage");
+        doc
+    }
+
+    /// Parses a document produced by [`StorageReport::to_document`].
+    pub fn from_document(doc: &serde_json::Value) -> Option<StorageReport> {
+        if doc["kind"].as_str() != Some("storage") {
+            return None;
+        }
+        serde_json::from_value(doc).ok()
+    }
 }
 
 struct CompactorHandle {
@@ -236,6 +292,14 @@ impl StorageEngine {
         let shard_count = read_or_write_manifest(root, &config)?;
         let stats = Arc::new(EngineStats::default());
 
+        // Recovery is traced: one storage.open root span for the store,
+        // one recovery.shard child per shard (carrying torn-tail and
+        // hint-rebuild attrs), so a slow reopen is attributable.
+        let mut open_span = trace::begin_manual("storage", "storage.open", None);
+        open_span.attr("store", trace::fnv64(&root.to_string_lossy()));
+        open_span.attr("shards", shard_count);
+        let open_ctx = open_span.ctx();
+
         let mut shards: Vec<Option<(Shard, Vec<shard::LiveDoc>)>> = Vec::new();
         shards.resize_with(shard_count, || None);
         std::thread::scope(|scope| -> std::io::Result<()> {
@@ -243,7 +307,7 @@ impl StorageEngine {
             for (k, slot) in shards.iter_mut().enumerate() {
                 let dir = root.join(format!("shard-{k:03}"));
                 let stats = &stats;
-                handles.push((slot, scope.spawn(move || Shard::open(dir, k, stats))));
+                handles.push((slot, scope.spawn(move || Shard::open(dir, k, stats, open_ctx))));
             }
             for (slot, handle) in handles {
                 *slot = Some(handle.join().expect("shard open thread panicked")?);
@@ -263,6 +327,10 @@ impl StorageEngine {
         for docs in loaded.values_mut() {
             docs.sort_by_key(|(id, _)| *id);
         }
+        open_span.attr("torn_truncated", stats.recovery_truncated.get());
+        open_span.attr("hints_rebuilt", stats.hints_rewritten.get());
+        open_span.attr("live_docs", loaded.values().map(Vec::len).sum::<usize>());
+        open_span.finish();
 
         let engine = Arc::new(StorageEngine {
             root: root.to_path_buf(),
@@ -393,7 +461,7 @@ impl StorageEngine {
     /// explicit durability point).
     pub fn flush(&self) -> std::io::Result<()> {
         for shard in &self.shards {
-            shard.sync()?;
+            shard.sync(&self.stats)?;
         }
         Ok(())
     }
@@ -409,17 +477,26 @@ impl StorageEngine {
 
     /// Point-in-time statistics across shards.
     pub fn report(&self) -> StorageReport {
+        let per_shard: Vec<ShardReport> = self.shards.iter().map(|s| s.stats()).collect();
+        self.report_from(per_shard)
+    }
+
+    fn report_from(&self, per_shard: Vec<ShardReport>) -> StorageReport {
         let mut totals = ShardReport::default();
-        for shard in &self.shards {
-            totals.merge(&shard.stats());
+        for shard in &per_shard {
+            totals.merge(shard);
         }
         StorageReport {
             shards: self.shards.len(),
             totals,
+            per_shard,
             recovery_truncated: self.stats.recovery_truncated.get(),
             hints_rewritten: self.stats.hints_rewritten.get(),
             segments_sealed: self.stats.segments_sealed.get(),
             compactions: self.stats.compactions.get(),
+            compacted_bytes: self.stats.compacted_bytes.get(),
+            bytes_appended: self.stats.bytes_appended.get(),
+            fsyncs: self.stats.fsyncs.get(),
         }
     }
 
@@ -427,18 +504,11 @@ impl StorageEngine {
     /// segment chain, and active-writer bookkeeping must be internally
     /// consistent. Expensive — reads every record.
     pub fn verify(&self) -> Result<StorageReport, String> {
-        let mut totals = ShardReport::default();
+        let mut per_shard = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
-            totals.merge(&shard.verify()?);
+            per_shard.push(shard.verify()?);
         }
-        Ok(StorageReport {
-            shards: self.shards.len(),
-            totals,
-            recovery_truncated: self.stats.recovery_truncated.get(),
-            hints_rewritten: self.stats.hints_rewritten.get(),
-            segments_sealed: self.stats.segments_sealed.get(),
-            compactions: self.stats.compactions.get(),
-        })
+        Ok(self.report_from(per_shard))
     }
 
     /// Registers the engine's counters with `registry` under
@@ -451,6 +521,8 @@ impl StorageEngine {
         self.stats.compacted_bytes.bind(registry.counter("backend.storage.compacted_bytes"));
         self.stats.bytes_appended.bind(registry.counter("backend.storage.bytes_appended"));
         self.stats.records_appended.bind(registry.counter("backend.storage.records_appended"));
+        self.stats.fsyncs.bind(registry.counter("backend.storage.fsyncs"));
+        let _ = self.stats.fsync_ns.set(registry.histogram("backend.storage.fsync_ns"));
     }
 }
 

@@ -11,6 +11,9 @@ use std::path::PathBuf;
 
 use parking_lot::Mutex;
 
+use dio_telemetry::span::monotonic_ns;
+use dio_telemetry::trace;
+
 use super::crash::{self, CrashSite};
 use super::hint::{self, HintEntry};
 use super::keydir::{Displaced, KeyDir, Slot};
@@ -142,14 +145,38 @@ fn apply_hint_entry(keydir: &mut KeyDir, gen: u64, e: &HintEntry) -> (Vec<Displa
     apply_scanned(keydir, gen, &rec)
 }
 
+/// One `fdatasync` of the active segment, traced as a `storage.fsync`
+/// span and counted into the engine's fsync stats.
+fn synced_write(
+    writer: &mut SegmentWriter,
+    stats: &EngineStats,
+    shard: usize,
+) -> std::io::Result<()> {
+    let mut fsync_span = trace::span("storage", "storage.fsync");
+    fsync_span.attr("shard", shard);
+    fsync_span.attr("gen", writer.gen());
+    let t0 = monotonic_ns();
+    writer.sync()?;
+    stats.record_fsync(monotonic_ns().saturating_sub(t0));
+    Ok(())
+}
+
 impl Shard {
     /// Opens (or creates) the shard under `dir`, replaying segments into
-    /// the keydir and returning every live document.
+    /// the keydir and returning every live document. The recovery work
+    /// is recorded as a `recovery.shard` span under `parent` (the
+    /// engine's `storage.open` span) with torn-tail / hint-rebuild
+    /// attrs, so counters and causal spans describe the same repairs.
     pub fn open(
         dir: PathBuf,
         id: usize,
         stats: &EngineStats,
+        parent: trace::SpanCtx,
     ) -> std::io::Result<(Self, Vec<LiveDoc>)> {
+        let mut recovery_span = trace::span_child_of(Some(parent), "storage", "recovery.shard");
+        recovery_span.attr("shard", id);
+        let mut torn_truncated = 0u64;
+        let mut hints_rebuilt = 0u64;
         std::fs::create_dir_all(&dir)?;
         segment::remove_stale_merge_tmps(&dir)?;
         let gens = segment::list_generations(&dir)?;
@@ -191,6 +218,7 @@ impl Shard {
                     if scanned.torn.is_some() {
                         segment::truncate(&log_path, scanned.valid_len)?;
                         stats.recovery_truncated.add(1);
+                        torn_truncated += 1;
                     }
                     let entries: Vec<HintEntry> =
                         scanned.records.iter().map(HintEntry::from_scanned).collect();
@@ -205,6 +233,7 @@ impl Shard {
                         // Rewrite the hint so the next open is fast.
                         hint::write(&hint_path, &entries, scanned.valid_len)?;
                         stats.hints_rewritten.add(1);
+                        hints_rebuilt += 1;
                         sealed.insert(gen, SealedInfo { len: scanned.valid_len });
                     }
                 }
@@ -250,6 +279,11 @@ impl Shard {
             dead_by_gen,
             active_hints,
         };
+        recovery_span.attr("segments", gens.len());
+        recovery_span.attr("live_keys", inner.keydir.live_len());
+        recovery_span.attr("torn_truncated", torn_truncated);
+        recovery_span.attr("hints_rebuilt", hints_rebuilt);
+        drop(recovery_span);
         Ok((Shard { id, dir, inner: Mutex::new(inner), compact_gate: Mutex::new(()) }, docs))
     }
 
@@ -262,6 +296,9 @@ impl Shard {
         config: &StorageConfig,
         stats: &EngineStats,
     ) -> std::io::Result<bool> {
+        let mut append_span = trace::span("storage", "storage.append");
+        append_span.attr("shard", self.id);
+        append_span.attr("records", ops.len());
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
         let gen = inner.writer.gen();
@@ -289,9 +326,10 @@ impl Shard {
                 offset,
             });
         }
+        append_span.attr("bytes", buf.len());
         inner.writer.append(&buf)?;
         if config.sync_every_batch {
-            inner.writer.sync()?;
+            synced_write(&mut inner.writer, stats, self.id)?;
         }
         stats.bytes_appended.add(buf.len() as u64);
         stats.records_appended.add(staged.len() as u64);
@@ -317,19 +355,31 @@ impl Shard {
         }
 
         if inner.writer.len() >= config.max_segment_bytes {
-            Self::seal_active(inner, stats)?;
+            Self::seal_active(inner, stats, self.id)?;
         }
         Ok(self.wants_compaction(inner, config))
     }
 
     /// Seals the active segment in place (sync + hint + bookkeeping)
     /// without rotating — the caller installs the replacement writer.
-    fn seal_current(inner: &mut ShardInner, stats: &EngineStats) -> std::io::Result<()> {
-        inner.writer.sync()?;
+    fn seal_current(
+        inner: &mut ShardInner,
+        stats: &EngineStats,
+        shard: usize,
+    ) -> std::io::Result<()> {
+        let mut seal_span = trace::span("storage", "storage.seal");
+        seal_span.attr("shard", shard);
+        seal_span.attr("gen", inner.writer.gen());
+        seal_span.attr("bytes", inner.writer.len());
+        synced_write(&mut inner.writer, stats, shard)?;
         let gen = inner.writer.gen();
         let len = inner.writer.len();
         let dir = inner.writer.path().parent().expect("segment has parent dir").to_path_buf();
-        hint::write(&dir.join(segment::hint_name(gen)), &inner.active_hints, len)?;
+        {
+            let mut hint_span = trace::span("storage", "storage.hint");
+            hint_span.attr("entries", inner.active_hints.len());
+            hint::write(&dir.join(segment::hint_name(gen)), &inner.active_hints, len)?;
+        }
         inner.sealed.insert(gen, SealedInfo { len });
         inner.active_hints.clear();
         stats.segments_sealed.add(1);
@@ -337,8 +387,12 @@ impl Shard {
     }
 
     /// Seals the active segment and opens a fresh one.
-    fn seal_active(inner: &mut ShardInner, stats: &EngineStats) -> std::io::Result<()> {
-        Self::seal_current(inner, stats)?;
+    fn seal_active(
+        inner: &mut ShardInner,
+        stats: &EngineStats,
+        shard: usize,
+    ) -> std::io::Result<()> {
+        Self::seal_current(inner, stats, shard)?;
         let dir = inner.writer.path().parent().expect("segment has parent dir").to_path_buf();
         let next = inner.next_gen;
         inner.next_gen += 1;
@@ -361,8 +415,9 @@ impl Shard {
     }
 
     /// Flushes the active segment to durable storage.
-    pub fn sync(&self) -> std::io::Result<()> {
-        self.inner.lock().writer.sync()
+    pub fn sync(&self, stats: &EngineStats) -> std::io::Result<()> {
+        let mut inner = self.inner.lock();
+        synced_write(&mut inner.writer, stats, self.id)
     }
 
     /// Merges every sealed segment into one, dropping superseded records,
@@ -376,8 +431,14 @@ impl Shard {
     /// point the union of surviving files replays to the same store.
     pub fn compact(&self, stats: &EngineStats) -> std::io::Result<()> {
         let _gate = self.compact_gate.lock();
+        // The whole merge is one storage.compact span with a child per
+        // phase, so the compaction timeline can be read off the flight
+        // recorder (and a stall attributed to the phase that caused it).
+        let mut compact_span = trace::span("storage", "storage.compact");
+        compact_span.attr("shard", self.id);
         // Phase 1 (locked): allocate the output generation *below* a
         // fresh active segment, and snapshot the input set.
+        let rotate_span = trace::span("storage", "compact.rotate");
         let (output_gen, inputs) = {
             let mut inner = self.inner.lock();
             let inner = &mut *inner;
@@ -393,7 +454,7 @@ impl Shard {
             let empty_active = if inner.writer.is_empty() {
                 Some(inner.writer.path().to_path_buf())
             } else {
-                Self::seal_current(inner, stats)?;
+                Self::seal_current(inner, stats, self.id)?;
                 None
             };
             let output_gen = inner.next_gen;
@@ -408,13 +469,16 @@ impl Shard {
             let inputs: Vec<u64> = inner.sealed.keys().copied().collect();
             (output_gen, inputs)
         };
+        drop(rotate_span);
         if inputs.is_empty() {
             return Ok(());
         }
+        compact_span.attr("inputs", inputs.len());
 
         // Phase 2 (unlocked): replay the immutable inputs and keep only
         // records that are the newest for their key *within the inputs*
         // and not shadowed by a tombstone or barrier.
+        let mut merge_span = trace::span("storage", "compact.merge");
         let mut merge_dir = KeyDir::new();
         let mut scans: HashMap<u64, Vec<ScannedRecord>> = HashMap::new();
         for &gen in &inputs {
@@ -438,6 +502,7 @@ impl Shard {
         }
         // Stable output order: by original seqno.
         keep.sort_by_key(|(_, rec)| rec.record.seqno);
+        merge_span.attr("kept", keep.len());
 
         // Phase 3 (unlocked): write the output to a tmp file, hint it,
         // then atomically promote it to a real segment.
@@ -475,14 +540,26 @@ impl Shard {
             });
             out_len += buf.len() as u64;
         }
+        let t0 = monotonic_ns();
         out.sync_data()?;
+        stats.record_fsync(monotonic_ns().saturating_sub(t0));
         drop(out);
-        hint::write(&self.dir.join(segment::hint_name(output_gen)), &out_hints, out_len)?;
-        std::fs::rename(&tmp_path, self.dir.join(segment::log_name(output_gen)))?;
+        merge_span.attr("out_bytes", out_len);
+        drop(merge_span);
+        {
+            let mut hint_span = trace::span("storage", "compact.hint");
+            hint_span.attr("entries", out_hints.len());
+            hint::write(&self.dir.join(segment::hint_name(output_gen)), &out_hints, out_len)?;
+        }
+        {
+            let _rename_span = trace::span("storage", "compact.rename");
+            std::fs::rename(&tmp_path, self.dir.join(segment::log_name(output_gen)))?;
+        }
 
         // Phase 4 (locked): repoint still-current keydir entries at the
         // output and swap the segment bookkeeping.
         {
+            let _repoint_span = trace::span("storage", "compact.repoint");
             let mut inner = self.inner.lock();
             let inner = &mut *inner;
             let mut out_dead = 0u64;
@@ -506,10 +583,15 @@ impl Shard {
         // Phase 5 (unlocked): delete inputs oldest-first, so a crash
         // mid-deletion can never leave an old value without the newer
         // record that shadowed it.
-        for &gen in &inputs {
-            std::fs::remove_file(self.dir.join(segment::log_name(gen)))?;
-            let _ = std::fs::remove_file(self.dir.join(segment::hint_name(gen)));
+        {
+            let mut delete_span = trace::span("storage", "compact.delete");
+            delete_span.attr("inputs", inputs.len());
+            for &gen in &inputs {
+                std::fs::remove_file(self.dir.join(segment::log_name(gen)))?;
+                let _ = std::fs::remove_file(self.dir.join(segment::hint_name(gen)));
+            }
         }
+        compact_span.attr("out_bytes", out_len);
         stats.compactions.add(1);
         stats.compacted_bytes.add(out_len);
         Ok(())
@@ -591,7 +673,7 @@ impl Shard {
 }
 
 /// Per-shard snapshot returned by [`Shard::stats`] / [`Shard::verify`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ShardReport {
     /// Segment files (active included).
     pub segments: usize,

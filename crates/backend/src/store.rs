@@ -8,7 +8,7 @@ use parking_lot::RwLock;
 use serde_json::Value;
 
 use dio_telemetry::span::{monotonic_ns, Stage, StageStamps};
-use dio_telemetry::{Counter, Histogram, MetricsRegistry};
+use dio_telemetry::{trace, Counter, Histogram, MetricsRegistry};
 
 use crate::index::Index;
 use crate::storage::{StorageConfig, StorageEngine, StorageReport};
@@ -206,6 +206,9 @@ impl DocStore {
 
     /// Bulk-indexes documents into `name` (creating the index if needed).
     pub fn bulk(&self, name: &str, docs: Vec<Value>) -> Vec<u64> {
+        let mut bulk_span = trace::span("backend", "backend.bulk");
+        bulk_span.attr("docs", docs.len());
+        bulk_span.attr("index", trace::fnv64(name));
         let timer = self.telemetry.get().map(|t| {
             t.bulk_docs.add(docs.len() as u64);
             t.bulk_ns.start_timer()

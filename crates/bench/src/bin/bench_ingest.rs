@@ -159,6 +159,7 @@ fn main() {
     }
 
     let mut engine_rates = Vec::new();
+    let mut storage_report = None;
     for shards in [1usize, 8] {
         let dir = bench_dir(&format!("engine{shards}"));
         let _ = std::fs::remove_dir_all(&dir);
@@ -166,9 +167,56 @@ fn main() {
         let rate = run_engine(&engine, load);
         record(&format!("engine_shard{shards}"), rate, &mut rows);
         engine_rates.push(rate);
+        if shards == 8 {
+            storage_report = Some(engine.report());
+        }
         drop(engine);
         let _ = std::fs::remove_dir_all(&dir);
     }
+
+    // Storage-engine work done by the sharded run, so a throughput
+    // regression can be attributed (more fsyncs? more seals?) from the
+    // artifact alone.
+    if let Some(report) = &storage_report {
+        metrics.insert("storage_fsyncs".into(), serde_json::json!(report.fsyncs));
+        metrics.insert("storage_bytes_appended".into(), serde_json::json!(report.bytes_appended));
+        metrics.insert("storage_segments_sealed".into(), serde_json::json!(report.segments_sealed));
+        metrics.insert("storage_compactions".into(), serde_json::json!(report.compactions));
+        metrics.insert("storage_compacted_bytes".into(), serde_json::json!(report.compacted_bytes));
+        metrics.insert("storage_dead_ratio".into(), serde_json::json!(report.dead_ratio()));
+    }
+
+    // Flight-recorder overhead on the hottest path: the sharded engine
+    // run with span recording on vs off (best of `reps` to damp noise).
+    // The recorder is always-on by design; this pins the cost of that
+    // choice. `DIO_ENFORCE_FLIGHTREC_OVERHEAD=1` turns the <5% claim
+    // into a hard gate (the CI overhead job sets it).
+    let reps = if dio_bench::smoke_mode() { 1 } else { 3 };
+    let best_rate = |enabled: bool, tag: &str| -> f64 {
+        dio_telemetry::trace::recorder().set_enabled(enabled);
+        let mut best = 0.0f64;
+        for rep in 0..reps {
+            let dir = bench_dir(&format!("flightrec-{tag}{rep}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let (engine, _) = StorageEngine::open(&dir, persist_config(8)).expect("open engine");
+            best = best.max(run_engine(&engine, load));
+            drop(engine);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        best
+    };
+    let rate_recording = best_rate(true, "on");
+    let rate_disabled = best_rate(false, "off");
+    dio_telemetry::trace::recorder().set_enabled(true);
+    let flightrec_overhead_pct =
+        ((rate_disabled - rate_recording) / rate_disabled * 100.0).max(0.0);
+    eprintln!(
+        "  flight recorder overhead: {flightrec_overhead_pct:.2}% \
+         ({rate_recording:.0} recording vs {rate_disabled:.0} disabled docs/s)"
+    );
+    metrics.insert("flightrec_overhead_pct".into(), serde_json::json!(flightrec_overhead_pct));
+    metrics.insert("flightrec_on_docs_per_sec".into(), serde_json::json!(rate_recording));
+    metrics.insert("flightrec_off_docs_per_sec".into(), serde_json::json!(rate_disabled));
 
     let engine_speedup = engine_rates[1] / engine_rates[0];
     let docstore_speedup = docstore_rates[1] / docstore_rates[0];
@@ -187,6 +235,7 @@ fn main() {
          (target: >= {speedup_target:.1}x at {cores} cores; 4x on >= 8 cores)\n\
          full-path sharding speedup:              {docstore_speedup:.1}x\n\
          persistent vs in-memory full path:       {:.0}% of memory rate\n\
+         flight recorder overhead (engine path):  {flightrec_overhead_pct:.2}%\n\
          wall time: {}\n",
         persist_overhead * 100.0,
         format_duration_ns(run_start.elapsed().as_nanos() as u64)
@@ -217,6 +266,14 @@ fn main() {
         assert!(
             docstore_speedup > 1.0,
             "sharding must help the full path too, got {docstore_speedup:.2}x"
+        );
+    }
+    if std::env::var("DIO_ENFORCE_FLIGHTREC_OVERHEAD").is_ok_and(|v| v == "1") {
+        assert!(
+            flightrec_overhead_pct < 5.0,
+            "always-on flight recorder must cost < 5% engine ingest throughput, \
+             measured {flightrec_overhead_pct:.2}% \
+             ({rate_recording:.0} recording vs {rate_disabled:.0} disabled docs/s)"
         );
     }
 }

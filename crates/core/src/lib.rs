@@ -39,7 +39,8 @@ use std::sync::Arc;
 
 pub use dio_backend::{
     AggResult, Aggregation, Bucket, DocStore, Hit, Index, Query, SearchRequest, SearchResponse,
-    SortOrder, StatsResult, Subscription, DEFAULT_SUBSCRIPTION_CAPACITY,
+    ShardReport, SortOrder, StatsResult, StorageConfig, StorageEngine, StorageReport, Subscription,
+    DEFAULT_SUBSCRIPTION_CAPACITY,
 };
 pub use dio_correlate::{
     analyze_offsets, correlate_paths, detect_contention, detect_data_loss, detect_small_io,
@@ -55,12 +56,14 @@ pub use dio_kernel::{
     DiskProfile, Errno, Kernel, OpenFlags, Process, SimClock, SysResult, ThreadCtx, Vfs, Whence,
 };
 pub use dio_syscall::{FileTag, FileType, Pid, SyscallClass, SyscallEvent, SyscallKind, Tid};
-pub use dio_telemetry::{SpanCollector, SpanSummary, Stage, StageStamps};
+pub use dio_telemetry::{
+    trace, FlightRecorder, SpanCollector, SpanCtx, SpanSummary, Stage, StageStamps, TraceSpan,
+};
 pub use dio_tracer::{generate_session_name, TraceSummary, Tracer, TracerConfig};
 pub use dio_viz::{
-    dashboards, render_alert_history, render_health_dashboard, render_latency_waterfall,
-    render_top, sparkline, Chart, Column, Dashboard, HealthReport, Heatmap, Panel, PanelSpec,
-    Series, Table, TopOptions,
+    dashboards, latest_storage_report, render_alert_history, render_compaction_timeline,
+    render_health_dashboard, render_latency_waterfall, render_storage_panel, render_top, sparkline,
+    Chart, Column, Dashboard, HealthReport, Heatmap, Panel, PanelSpec, Series, Table, TopOptions,
 };
 
 /// The assembled DIO deployment: one kernel under observation plus the
@@ -206,7 +209,22 @@ impl DioSession {
     /// active alerts (empty when diagnosis is off).
     pub fn top(&self, opts: &TopOptions) -> String {
         let alerts = self.diagnosis().map(|e| e.active_alerts()).unwrap_or_default();
-        render_top(&self.index(), &alerts, opts)
+        let mut out = render_top(&self.index(), &alerts, opts);
+        // Persistent sessions get the storage engine's occupancy and
+        // compaction-debt panel below the live view.
+        if let Some(report) = self.backend.storage_report() {
+            out.push('\n');
+            out.push_str(&render_storage_panel(&report, None));
+        }
+        out
+    }
+
+    /// Writes the flight recorder's current spans to
+    /// `results/flightrec-manual-<pid>.json` (Chrome Trace Event Format
+    /// plus a critical-path summary) and returns the path. `None` when
+    /// no dump directory is available (see `DIO_RESULTS_DIR`).
+    pub fn dump_flight_recorder(&self) -> Option<std::path::PathBuf> {
+        trace::recorder().dump("manual")
     }
 
     /// Stops tracing, drains buffered events, runs path correlation (unless

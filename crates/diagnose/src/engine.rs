@@ -197,6 +197,9 @@ pub struct DiagnosisEngine {
     last_event_ns: AtomicU64,
     sample_tick: AtomicU64,
     telemetry: OnceLock<EngineTelemetry>,
+    /// Set once the first alert has dumped the flight recorder, so a
+    /// noisy engine produces one forensic snapshot, not one per alert.
+    flight_dumped: AtomicBool,
 }
 
 impl std::fmt::Debug for DiagnosisEngine {
@@ -250,6 +253,7 @@ impl DiagnosisEngine {
             last_event_ns: AtomicU64::new(0),
             sample_tick: AtomicU64::new(0),
             telemetry: OnceLock::new(),
+            flight_dumped: AtomicBool::new(false),
         })
     }
 
@@ -400,6 +404,11 @@ impl DiagnosisEngine {
             }
             if let Some(t) = self.telemetry.get() {
                 t.alerts_raised.add(fresh.len() as u64);
+            }
+            // First alert of the session: freeze the flight recorder so
+            // the spans leading up to the anomaly survive for forensics.
+            if !self.flight_dumped.swap(true, Ordering::Relaxed) {
+                let _ = dio_telemetry::trace::dump_on_trigger("alert");
             }
         }
         if let Some(t) = self.telemetry.get() {

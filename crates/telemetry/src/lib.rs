@@ -19,7 +19,11 @@
 //! * [`span`] — end-to-end event span tracing: per-event [`StageStamps`]
 //!   stamped at every pipeline hand-off, aggregated by [`SpanCollector`]
 //!   into per-stage/e2e latency histograms, a pipeline lag watermark, and
-//!   drop attribution.
+//!   drop attribution;
+//! * [`trace`] — causal span tracing into the always-on, bounded
+//!   [`trace::FlightRecorder`] (per-thread lock-free rings,
+//!   oldest-evicted), with Chrome-trace export, a critical-path
+//!   summary, and post-hoc dump triggers.
 //!
 //! Metric names are dotted paths (`ebpf.ring.dropped`,
 //! `tracer.shipper.batch_ns`); the full catalog is documented in
@@ -47,8 +51,10 @@ mod exporter;
 mod metrics;
 mod registry;
 pub mod span;
+pub mod trace;
 
 pub use exporter::{Exporter, ExporterHandle};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, StageTimer};
 pub use registry::{MetricsRegistry, TelemetrySnapshot};
 pub use span::{monotonic_ns, SpanCollector, SpanSummary, Stage, StageStamps, StampCarrier};
+pub use trace::{FlightRecorder, SpanCtx, TraceSpan};

@@ -86,6 +86,8 @@ impl Gauge {
 
 /// A lock-free log-bucketed histogram over `u64` samples (latencies in ns,
 /// batch sizes, ...). Constant memory, ~3% value resolution, O(1) record.
+///
+/// `Debug` prints the summary snapshot, not the raw buckets.
 pub struct Histogram {
     counts: Box<[AtomicU64]>,
     total: AtomicU64,
@@ -97,6 +99,12 @@ pub struct Histogram {
 impl Default for Histogram {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Histogram").field(&self.snapshot()).finish()
     }
 }
 
@@ -165,12 +173,6 @@ impl Histogram {
             p99: percentile(99.0),
             p999: percentile(99.9),
         }
-    }
-}
-
-impl std::fmt::Debug for Histogram {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Histogram").field("count", &self.count()).finish_non_exhaustive()
     }
 }
 

@@ -14,7 +14,7 @@ use dio_ebpf::{ProgramConfig, RawEvent, RingBuffer, RingStats, TracerProgram};
 use dio_kernel::{Kernel, ProbeId, SyscallProbe};
 use dio_telemetry::span::{SpanCollector, SpanSummary, Stage, StageStamps};
 use dio_telemetry::{
-    Exporter, ExporterHandle, Gauge, Histogram, MetricsRegistry, TelemetrySnapshot,
+    trace, Exporter, ExporterHandle, Gauge, Histogram, MetricsRegistry, TelemetrySnapshot,
 };
 use dio_verify::VerifyError;
 
@@ -118,6 +118,9 @@ pub struct Tracer {
     /// The store every pipeline stage ships into; flushed at shutdown so
     /// session close is a durability point for persistent backends.
     backend: DocStore,
+    /// The session's causal root span in the flight recorder: every
+    /// shipped batch parents to it, so one session is one trace.
+    session_span: Option<trace::ManualSpan>,
 }
 
 /// Destination for live alert documents (the session's telemetry index).
@@ -257,6 +260,13 @@ impl Tracer {
             _ => None,
         };
 
+        // The session's root span: batches shipped on the shipper thread
+        // parent to it via its SpanCtx, so the flight recorder sees one
+        // causal tree per session.
+        let mut session_span = trace::begin_manual("session", "session", None);
+        session_span.attr("sid", trace::fnv64(config.session()));
+        let session_ctx = session_span.ctx();
+
         let stop_flag = Arc::new(AtomicBool::new(false));
         let stored = Arc::new(AtomicU64::new(0));
         let batches = Arc::new(AtomicU64::new(0));
@@ -328,6 +338,7 @@ impl Tracer {
                         spans,
                         span_sink,
                         telemetry,
+                        session_ctx,
                     };
                     shipper_loop(&ctx, &rx)
                 })
@@ -345,7 +356,19 @@ impl Tracer {
                 move |_| {
                     lag_spans.refresh_lag();
                 },
-                move |docs| {
+                move |mut docs| {
+                    // Persistent stores ride a `kind: "storage"` report
+                    // along with every health round, stamped with the
+                    // round's seq/time so the dashboard can align them.
+                    if let Some(report) = sink_backend.storage_report() {
+                        let mut doc = report.to_document();
+                        if let Some(first) = docs.first() {
+                            doc["session"] = first["session"].clone();
+                            doc["seq"] = first["seq"].clone();
+                            doc["time"] = first["time"].clone();
+                        }
+                        docs.push(doc);
+                    }
                     sink_backend.bulk(&telemetry_index, docs);
                 },
             )
@@ -368,6 +391,7 @@ impl Tracer {
             engine,
             alert_sink,
             backend: backend.clone(),
+            session_span: Some(session_span),
         })
     }
 
@@ -475,7 +499,21 @@ impl Tracer {
         // Session close is a durability point: everything the pipeline
         // shipped — events, health documents, final alerts — is fsynced
         // before the summary is handed back. A no-op for in-memory stores.
-        let _ = self.backend.flush();
+        match self.session_span.take() {
+            Some(mut session_span) => {
+                {
+                    let _flush_span =
+                        trace::span_child_of(Some(session_span.ctx()), "storage", "storage.flush");
+                    let _ = self.backend.flush();
+                }
+                session_span.attr("events", self.stored.load(Ordering::Relaxed));
+                session_span.attr("batches", self.batches.load(Ordering::Relaxed));
+                session_span.finish();
+            }
+            None => {
+                let _ = self.backend.flush();
+            }
+        }
         // Summarize spans first: it refreshes the lag gauges, so the
         // health snapshot below carries the final (drained = 0) lag.
         let spans = self.spans.summary();
@@ -593,6 +631,9 @@ struct ShipperCtx {
     spans: Arc<SpanCollector>,
     span_sink: Option<SpanSink>,
     telemetry: ShipperTelemetry,
+    /// The session root span's coordinates: each shipped batch opens a
+    /// `ship.batch` child of it (cross-thread parenting).
+    session_ctx: trace::SpanCtx,
 }
 
 fn shipper_loop(ctx: &ShipperCtx, rx: &Receiver<ShipItem>) {
@@ -634,7 +675,14 @@ fn flush_batch(ctx: &ShipperCtx, batch: &mut Vec<ShipItem>) {
         stamps.push(item.stamps);
     }
     let batch_timer = ctx.telemetry.batch_ns.start_timer();
-    ctx.backend.bulk_spans(&ctx.index_name, docs, &mut stamps);
+    {
+        // The causal chain of one shipped batch: ship.batch →
+        // backend.bulk → storage.append → storage.fsync, all nested via
+        // the shipper thread's span stack.
+        let mut ship_span = trace::span_child_of(Some(ctx.session_ctx), "ship", "ship.batch");
+        ship_span.attr("docs", n);
+        ctx.backend.bulk_spans(&ctx.index_name, docs, &mut stamps);
+    }
     batch_timer.observe();
     ctx.stored.fetch_add(n, Ordering::Relaxed);
     ctx.batches.fetch_add(1, Ordering::Relaxed);

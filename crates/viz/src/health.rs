@@ -236,6 +236,14 @@ pub fn render_health_dashboard(index: &Index) -> String {
     ));
     out.push('\n');
 
+    // --- Storage engine: `kind: "storage"` reports shipped by
+    // persistent sessions into the same telemetry index.
+    if let Some(storage) = crate::storage::latest_storage_report(index) {
+        let fsync_ns = last.get("backend.storage.fsync_ns");
+        out.push_str(&crate::storage::render_storage_panel(&storage, fsync_ns));
+        out.push('\n');
+    }
+
     // --- Alert history: `kind: "alert"` documents shipped live by the
     // diagnosis engine into the same telemetry index.
     let alerts = index
@@ -403,6 +411,18 @@ mod tests {
         assert!(out.contains("[critical] data_loss"));
         assert!(out.contains("/var/log/app.log"));
         // The alert doc must not pollute the metric snapshots.
+        assert_eq!(HealthReport::from_index(&idx).snapshots.len(), 3);
+    }
+
+    #[test]
+    fn storage_document_renders_storage_panel() {
+        let idx = sample_index();
+        let report = dio_backend::StorageReport { shards: 2, fsyncs: 9, ..Default::default() };
+        idx.bulk(vec![report.to_document()]);
+        let out = render_health_dashboard(&idx);
+        assert!(out.contains("### Storage engine"), "{out}");
+        assert!(out.contains("fsyncs 9"), "{out}");
+        // The storage doc must not pollute the metric snapshots.
         assert_eq!(HealthReport::from_index(&idx).snapshots.len(), 3);
     }
 

@@ -16,11 +16,15 @@
 //!   end-to-end latency distribution of the pipeline's own event spans;
 //! * [`render_top`] — the `dio top` live view: per-process syscall rates
 //!   with activity sparklines, hottest files, and active alerts from the
-//!   streaming diagnosis engine.
+//!   streaming diagnosis engine;
+//! * [`render_storage_panel`] / [`render_compaction_timeline`] — the
+//!   storage engine's occupancy, compaction debt, fsync latency, and
+//!   compaction phase timeline for persistent sessions.
 
 mod chart;
 mod dashboard;
 mod health;
+mod storage;
 mod table;
 mod top;
 mod waterfall;
@@ -28,6 +32,7 @@ mod waterfall;
 pub use chart::{BarChart, Chart, Heatmap, Series};
 pub use dashboard::{dashboards, Dashboard, Panel, PanelSpec};
 pub use health::{render_health_dashboard, HealthReport, HealthSnapshot, MetricPoint};
+pub use storage::{latest_storage_report, render_compaction_timeline, render_storage_panel};
 pub use table::{group_digits, CellFormat, Column, Table};
 pub use top::{render_alert_history, render_top, sparkline, TopOptions};
 pub use waterfall::render_latency_waterfall;

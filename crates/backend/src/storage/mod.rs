@@ -135,11 +135,13 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
-    /// Counts one fsync that took `ns` nanoseconds.
+    /// Counts one fsync that took `ns` nanoseconds. Called inside the
+    /// `storage.fsync` span, so the ambient trace id rides along as the
+    /// bucket's exemplar.
     pub(crate) fn record_fsync(&self, ns: u64) {
         self.fsyncs.add(1);
         if let Some(h) = self.fsync_ns.get() {
-            h.record(ns);
+            h.record_traced(ns);
         }
     }
 }
@@ -522,7 +524,11 @@ impl StorageEngine {
         self.stats.bytes_appended.bind(registry.counter("backend.storage.bytes_appended"));
         self.stats.records_appended.bind(registry.counter("backend.storage.records_appended"));
         self.stats.fsyncs.bind(registry.counter("backend.storage.fsyncs"));
-        let _ = self.stats.fsync_ns.set(registry.histogram("backend.storage.fsync_ns"));
+        let fsync_ns = registry.histogram("backend.storage.fsync_ns");
+        // Exemplars link slow fsync buckets to the flight-recorder span
+        // that produced them (record_fsync runs inside `storage.fsync`).
+        fsync_ns.enable_exemplars();
+        let _ = self.stats.fsync_ns.set(fsync_ns);
     }
 }
 

@@ -66,6 +66,19 @@ fn bench_dir(tag: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("dio-bench-ingest-{tag}-{}", std::process::id()))
 }
 
+/// One blocking GET against the bench's introspection server; the body
+/// is drained and discarded (the point is the scrape's cost, not its
+/// content).
+fn scrape_once(addr: std::net::SocketAddr, path: &str) -> std::io::Result<usize> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")?;
+    let mut sink = Vec::new();
+    stream.read_to_end(&mut sink)?;
+    Ok(sink.len())
+}
+
 /// Full-path ingest through a [`DocStore`]: docs/sec over `load`.
 fn run_docstore(store: &DocStore, load: Load) -> f64 {
     let start = Instant::now();
@@ -218,6 +231,66 @@ fn main() {
     metrics.insert("flightrec_on_docs_per_sec".into(), serde_json::json!(rate_recording));
     metrics.insert("flightrec_off_docs_per_sec".into(), serde_json::json!(rate_disabled));
 
+    // Scrape-under-load: the same full-path DocStore ingest with the
+    // introspection server answering a tight /metrics + /api/storage
+    // polling loop, vs unobserved (best of `reps`, like the recorder
+    // gate above). `DIO_ENFORCE_SERVE_OVERHEAD=1` turns the <5% claim
+    // into a hard gate (the CI serve-smoke job sets it).
+    let serve_rate = |scraped: bool, tag: &str| -> f64 {
+        let mut best = 0.0f64;
+        for rep in 0..reps {
+            let dir = bench_dir(&format!("serve-{tag}{rep}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = DocStore::open_with(&dir, persist_config(8)).expect("open store");
+            let registry = Arc::new(dio_telemetry::MetricsRegistry::new());
+            store.bind_telemetry(&registry);
+            let state = dio_serve::ServeState {
+                session: "bench-serve".to_string(),
+                registry,
+                backend: Arc::new(store.clone()),
+                index_name: "dio-ing0".to_string(),
+                telemetry_index: "dio-telemetry-bench-serve".to_string(),
+                engine: None,
+            };
+            let server = dio_serve::serve("127.0.0.1:0", state).expect("bind server");
+            let addr = server.addr();
+            let stop_scraping = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let scraper = scraped.then(|| {
+                let stop = Arc::clone(&stop_scraping);
+                std::thread::spawn(move || {
+                    let mut scrapes = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                        for path in ["/metrics", "/api/storage"] {
+                            let _ = scrape_once(addr, path);
+                        }
+                        scrapes += 1;
+                    }
+                    scrapes
+                })
+            });
+            best = best.max(run_docstore(&store, load));
+            stop_scraping.store(true, std::sync::atomic::Ordering::Release);
+            if let Some(s) = scraper {
+                let scrapes = s.join().expect("scraper ok");
+                assert!(scrapes > 0, "scraper must have completed at least one round");
+            }
+            drop(server);
+            drop(store);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        best
+    };
+    let rate_scraped = serve_rate(true, "on");
+    let rate_unserved = serve_rate(false, "off");
+    let serve_overhead_pct = ((rate_unserved - rate_scraped) / rate_unserved * 100.0).max(0.0);
+    eprintln!(
+        "  scrape-under-load overhead: {serve_overhead_pct:.2}% \
+         ({rate_scraped:.0} scraped vs {rate_unserved:.0} unobserved docs/s)"
+    );
+    metrics.insert("serve_overhead_pct".into(), serde_json::json!(serve_overhead_pct));
+    metrics.insert("serve_scraped_docs_per_sec".into(), serde_json::json!(rate_scraped));
+    metrics.insert("serve_unobserved_docs_per_sec".into(), serde_json::json!(rate_unserved));
+
     let engine_speedup = engine_rates[1] / engine_rates[0];
     let docstore_speedup = docstore_rates[1] / docstore_rates[0];
     let persist_overhead = docstore_rates[1] / memory;
@@ -236,6 +309,7 @@ fn main() {
          full-path sharding speedup:              {docstore_speedup:.1}x\n\
          persistent vs in-memory full path:       {:.0}% of memory rate\n\
          flight recorder overhead (engine path):  {flightrec_overhead_pct:.2}%\n\
+         scrape-under-load overhead (full path):  {serve_overhead_pct:.2}%\n\
          wall time: {}\n",
         persist_overhead * 100.0,
         format_duration_ns(run_start.elapsed().as_nanos() as u64)
@@ -274,6 +348,14 @@ fn main() {
             "always-on flight recorder must cost < 5% engine ingest throughput, \
              measured {flightrec_overhead_pct:.2}% \
              ({rate_recording:.0} recording vs {rate_disabled:.0} disabled docs/s)"
+        );
+    }
+    if std::env::var("DIO_ENFORCE_SERVE_OVERHEAD").is_ok_and(|v| v == "1") {
+        assert!(
+            serve_overhead_pct < 5.0,
+            "a sustained /metrics scrape must cost < 5% full-path ingest throughput, \
+             measured {serve_overhead_pct:.2}% \
+             ({rate_scraped:.0} scraped vs {rate_unserved:.0} unobserved docs/s)"
         );
     }
 }

@@ -35,6 +35,7 @@
 //! # Ok::<(), dio_core::Errno>(())
 //! ```
 
+use std::net::SocketAddr;
 use std::sync::Arc;
 
 pub use dio_backend::{
@@ -55,6 +56,7 @@ pub use dio_ebpf::{FilterSpec, RingConfig, RingStats};
 pub use dio_kernel::{
     DiskProfile, Errno, Kernel, OpenFlags, Process, SimClock, SysResult, ThreadCtx, Vfs, Whence,
 };
+pub use dio_serve::{lint_openmetrics, serve, ServeHandle, ServeState};
 pub use dio_syscall::{FileTag, FileType, Pid, SyscallClass, SyscallEvent, SyscallKind, Tid};
 pub use dio_telemetry::{
     trace, FlightRecorder, SpanCollector, SpanCtx, SpanSummary, Stage, StageStamps, TraceSpan,
@@ -99,17 +101,30 @@ impl Dio {
     }
 
     /// Starts a tracing session.
+    ///
+    /// When `DIO_SERVE_ADDR` is set (e.g. `127.0.0.1:9900`, port `0` for
+    /// ephemeral), the session's live introspection server starts
+    /// automatically on that address; a bind failure is reported on
+    /// stderr and tracing proceeds unserved.
     pub fn trace(&self, config: TracerConfig) -> DioSession {
         let index_name = config.index_name();
         let session_name = config.session().to_string();
         let tracer = Tracer::attach(config, &self.kernel, self.backend.clone());
-        DioSession {
+        let mut session = DioSession {
             backend: self.backend.clone(),
             tracer: Some(tracer),
             session_name,
             index_name,
             auto_correlate: true,
+            server: None,
+        };
+        if let Ok(addr) = std::env::var("DIO_SERVE_ADDR") {
+            match session.serve(addr.as_str()) {
+                Ok(bound) => eprintln!("dio: serving introspection on http://{bound}"),
+                Err(e) => eprintln!("dio: DIO_SERVE_ADDR={addr} bind failed: {e}"),
+            }
         }
+        session
     }
 
     /// The backend index of a previous session (post-mortem analysis).
@@ -162,6 +177,7 @@ pub struct DioSession {
     session_name: String,
     index_name: String,
     auto_correlate: bool,
+    server: Option<ServeHandle>,
 }
 
 impl DioSession {
@@ -219,6 +235,42 @@ impl DioSession {
         out
     }
 
+    /// Starts the live introspection server on `addr` (port `0` binds an
+    /// ephemeral port; see [`dio_serve`] for the endpoint catalogue) and
+    /// returns the bound address. The server runs until the session stops
+    /// or [`DioSession::stop_serving`] is called; starting twice replaces
+    /// the previous server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error when `addr` is unavailable.
+    pub fn serve(&mut self, addr: impl std::net::ToSocketAddrs) -> std::io::Result<SocketAddr> {
+        let tracer = self.tracer.as_ref().expect("tracer present until stop");
+        let state = ServeState {
+            session: self.session_name.clone(),
+            registry: Arc::clone(tracer.registry()),
+            backend: Arc::new(self.backend.clone()),
+            index_name: self.index_name.clone(),
+            telemetry_index: format!("dio-telemetry-{}", self.session_name),
+            engine: tracer.diagnosis(),
+        };
+        let handle = serve(addr, state)?;
+        let bound = handle.addr();
+        self.server = Some(handle);
+        Ok(bound)
+    }
+
+    /// The introspection server's bound address, when one is running.
+    pub fn serve_addr(&self) -> Option<SocketAddr> {
+        self.server.as_ref().map(|s| s.addr())
+    }
+
+    /// Stops the introspection server (if running) without stopping the
+    /// trace.
+    pub fn stop_serving(&mut self) {
+        self.server = None;
+    }
+
     /// Writes the flight recorder's current spans to
     /// `results/flightrec-manual-<pid>.json` (Chrome Trace Event Format
     /// plus a critical-path summary) and returns the path. `None` when
@@ -232,6 +284,10 @@ impl DioSession {
     pub fn stop(mut self) -> SessionReport {
         let tracer = self.tracer.take().expect("tracer present until stop");
         let trace = tracer.stop();
+        // The tracer's shutdown ships the final alerts and health docs
+        // before this point; connected SSE clients get a last chance at
+        // them before the server's threads are joined.
+        self.server = None;
         let correlation = if self.auto_correlate {
             correlate_paths(&self.index())
         } else {

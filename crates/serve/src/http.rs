@@ -1,0 +1,154 @@
+//! Hand-rolled HTTP/1.1 plumbing: request parsing and response writing
+//! over std [`TcpStream`]s — no external dependencies, no async runtime.
+//!
+//! The surface is deliberately tiny: GET-only, `Connection: close`, a
+//! bounded request head, and hard socket timeouts, because the server's
+//! one job is to hand out snapshots without ever stalling the pipeline
+//! it observes.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Maximum bytes of request head (request line + headers) accepted
+/// before the connection is rejected — nobody needs more to GET a
+/// metrics page.
+pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// How long a client may take to deliver its request head.
+pub const READ_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// How long one response write may block on a slow client before the
+/// connection is dropped.
+pub const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A parsed request line: method, decoded path, and query parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method (`GET`, `HEAD`, ...).
+    pub method: String,
+    /// The path component, without the query string.
+    pub path: String,
+    /// Query parameters in declaration order (last duplicate wins).
+    pub query: BTreeMap<String, String>,
+}
+
+fn parse_query(raw: &str) -> BTreeMap<String, String> {
+    let mut query = BTreeMap::new();
+    for pair in raw.split('&').filter(|p| !p.is_empty()) {
+        match pair.split_once('=') {
+            Some((k, v)) => query.insert(k.to_string(), v.to_string()),
+            None => query.insert(pair.to_string(), String::new()),
+        };
+    }
+    query
+}
+
+/// Parses the request line out of `head` (everything up to the blank
+/// line). Returns `None` for anything that is not a plausible HTTP/1.x
+/// request.
+pub fn parse_request(head: &str) -> Option<Request> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), BTreeMap::new()),
+    };
+    Some(Request { method, path, query })
+}
+
+/// Reads the request head (up to the `\r\n\r\n` terminator) from
+/// `stream`, bounded by [`MAX_REQUEST_BYTES`] and the stream's read
+/// timeout. Any body is ignored — every served endpoint is a GET.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    parse_request(&head).ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP request")
+    })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a complete `Connection: close` response.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes the response head of an unbounded stream (Server-Sent
+/// Events): no `Content-Length`, the connection *is* the framing.
+pub fn write_stream_head(stream: &mut TcpStream, content_type: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nCache-Control: no-store\r\nConnection: close\r\n\r\n",
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_request_line_and_query() {
+        let r = parse_request("GET /api/top?window_ns=5000&rows=3 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/api/top");
+        assert_eq!(r.query.get("window_ns").map(String::as_str), Some("5000"));
+        assert_eq!(r.query.get("rows").map(String::as_str), Some("3"));
+    }
+
+    #[test]
+    fn plain_path_has_empty_query() {
+        let r = parse_request("GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(r.path, "/metrics");
+        assert!(r.query.is_empty());
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(parse_request("").is_none());
+        assert!(parse_request("NOT A REQUEST").is_none());
+        assert!(parse_request("GET /x SPDY/3").is_none());
+    }
+}

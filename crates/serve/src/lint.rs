@@ -1,0 +1,308 @@
+//! A self-contained OpenMetrics lint for the `/metrics` exposition.
+//!
+//! CI and the server tests run this against live output, so a
+//! regression in the encoder (bad name charset, non-monotone buckets,
+//! `_count` drift, malformed exemplars) fails loudly instead of
+//! silently corrupting scrapes. The checks cover the subset of the
+//! OpenMetrics spec the encoder emits:
+//!
+//! * metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*`;
+//! * only `# TYPE`/`# HELP`/`# UNIT`/`# EOF` metadata lines, one
+//!   `# TYPE` per family, terminal `# EOF`;
+//! * every sample belongs to a declared family, counters expose
+//!   `_total`, histograms expose `_bucket`/`_sum`/`_count`;
+//! * histogram `le` bounds strictly increase, cumulative counts never
+//!   decrease, `le="+Inf"` is present and equals `_count`;
+//! * exemplars parse as `# {label="value",...} <number>`.
+
+use std::collections::BTreeMap;
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[derive(Default)]
+struct HistogramFamily {
+    buckets: Vec<(f64, u64)>,
+    inf: Option<u64>,
+    sum_seen: bool,
+    count: Option<u64>,
+}
+
+/// One parsed sample line.
+struct Sample<'a> {
+    name: &'a str,
+    labels: BTreeMap<&'a str, &'a str>,
+    value: &'a str,
+    exemplar: Option<&'a str>,
+}
+
+fn parse_labels(raw: &str) -> Option<BTreeMap<&str, &str>> {
+    let mut labels = BTreeMap::new();
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Some(labels);
+    }
+    for pair in raw.split(',') {
+        let (k, v) = pair.split_once('=')?;
+        let v = v.strip_prefix('"')?.strip_suffix('"')?;
+        labels.insert(k.trim(), v);
+    }
+    Some(labels)
+}
+
+fn parse_sample(line: &str) -> Option<Sample<'_>> {
+    let (metric, rest) = match line.find('{') {
+        Some(brace) => {
+            let close = line[brace..].find('}')? + brace;
+            let name = &line[..brace];
+            let labels = &line[brace + 1..close];
+            let rest = line[close + 1..].trim_start();
+            (Some((name, labels)), rest)
+        }
+        None => {
+            let mut parts = line.splitn(2, ' ');
+            let name = parts.next()?;
+            (Some((name, "")), parts.next()?.trim_start())
+        }
+    };
+    let (name, labels_raw) = metric?;
+    let (value, exemplar) = match rest.split_once(" # ") {
+        Some((v, ex)) => (v.trim(), Some(ex.trim())),
+        None => (rest.trim(), None),
+    };
+    Some(Sample { name, labels: parse_labels(labels_raw)?, value, exemplar })
+}
+
+fn check_exemplar(raw: &str, line: &str, errors: &mut Vec<String>) {
+    // Grammar: `{label="value",...} <number>`.
+    let Some(rest) = raw.strip_prefix('{') else {
+        errors.push(format!("exemplar must start with '{{': {line}"));
+        return;
+    };
+    let Some((labels, value)) = rest.split_once('}') else {
+        errors.push(format!("exemplar labels not closed: {line}"));
+        return;
+    };
+    if parse_labels(labels).is_none_or(|l| l.is_empty()) {
+        errors.push(format!("exemplar labels malformed: {line}"));
+    }
+    if value.trim().parse::<f64>().is_err() {
+        errors.push(format!("exemplar value is not a number: {line}"));
+    }
+}
+
+/// Lints `text` as an OpenMetrics exposition; returns every violation
+/// found (empty = clean).
+pub fn lint_openmetrics(text: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut histograms: BTreeMap<String, HistogramFamily> = BTreeMap::new();
+    let mut counters_with_total: BTreeMap<String, bool> = BTreeMap::new();
+    let mut saw_eof = false;
+
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if saw_eof {
+            errors.push(format!("content after # EOF: {line}"));
+            continue;
+        }
+        if let Some(meta) = line.strip_prefix('#') {
+            let meta = meta.trim_start();
+            if meta == "EOF" {
+                saw_eof = true;
+            } else if let Some(rest) = meta.strip_prefix("TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                    errors.push(format!("malformed TYPE line: {line}"));
+                    continue;
+                };
+                if !valid_name(name) {
+                    errors.push(format!("invalid metric name `{name}`: {line}"));
+                }
+                if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "info") {
+                    errors.push(format!("unknown metric type `{kind}`: {line}"));
+                }
+                if types.insert(name.to_string(), kind.to_string()).is_some() {
+                    errors.push(format!("duplicate TYPE for `{name}`"));
+                }
+                if kind == "counter" {
+                    counters_with_total.insert(name.to_string(), false);
+                }
+            } else if !meta.starts_with("HELP ") && !meta.starts_with("UNIT ") {
+                errors.push(format!("unexpected comment line: {line}"));
+            }
+            continue;
+        }
+
+        let Some(sample) = parse_sample(line) else {
+            errors.push(format!("unparsable sample line: {line}"));
+            continue;
+        };
+        if !valid_name(sample.name) {
+            errors.push(format!("invalid sample name `{}`: {line}", sample.name));
+        }
+        if sample.value.parse::<f64>().is_err() {
+            errors.push(format!("sample value is not a number: {line}"));
+        }
+        if let Some(ex) = sample.exemplar {
+            check_exemplar(ex, line, &mut errors);
+        }
+
+        // Resolve the owning family: longest declared name that is the
+        // sample name itself or a `_total`/`_bucket`/`_sum`/`_count`
+        // expansion of it.
+        let family = types.keys().filter(|f| {
+            sample.name == f.as_str()
+                || ["_total", "_bucket", "_sum", "_count"]
+                    .iter()
+                    .any(|s| sample.name == format!("{f}{s}"))
+        });
+        let Some(family) = family.max_by_key(|f| f.len()).cloned() else {
+            errors.push(format!("sample without a TYPE declaration: {line}"));
+            continue;
+        };
+        let kind = types[&family].clone();
+        let suffix = &sample.name[family.len()..];
+        match kind.as_str() {
+            "counter" => {
+                if suffix == "_total" {
+                    counters_with_total.insert(family.clone(), true);
+                } else {
+                    errors.push(format!("counter sample must be `{family}_total`: {line}"));
+                }
+            }
+            "gauge" if !suffix.is_empty() => {
+                errors.push(format!("gauge sample must be bare `{family}`: {line}"));
+            }
+            "histogram" => {
+                let entry = histograms.entry(family.clone()).or_default();
+                match suffix {
+                    "_bucket" => {
+                        let Some(le) = sample.labels.get("le") else {
+                            errors.push(format!("bucket without `le` label: {line}"));
+                            continue;
+                        };
+                        let count: u64 = sample.value.parse().unwrap_or(0);
+                        if *le == "+Inf" {
+                            entry.inf = Some(count);
+                        } else {
+                            match le.parse::<f64>() {
+                                Ok(bound) => entry.buckets.push((bound, count)),
+                                Err(_) => {
+                                    errors.push(format!("unparsable le=\"{le}\": {line}"));
+                                }
+                            }
+                        }
+                    }
+                    "_sum" => entry.sum_seen = true,
+                    "_count" => entry.count = sample.value.parse().ok(),
+                    _ => errors.push(format!(
+                        "histogram sample must be `_bucket`/`_sum`/`_count`: {line}"
+                    )),
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if !saw_eof {
+        errors.push("missing terminal # EOF".to_string());
+    }
+    for (name, seen) in counters_with_total {
+        if !seen {
+            errors.push(format!("counter `{name}` has no `_total` sample"));
+        }
+    }
+    for (name, family) in histograms {
+        for pair in family.buckets.windows(2) {
+            if pair[1].0 <= pair[0].0 {
+                errors.push(format!("histogram `{name}` le bounds not increasing"));
+            }
+            if pair[1].1 < pair[0].1 {
+                errors.push(format!("histogram `{name}` cumulative counts decrease"));
+            }
+        }
+        match (family.inf, family.count) {
+            (None, _) => errors.push(format!("histogram `{name}` missing le=\"+Inf\" bucket")),
+            (_, None) => errors.push(format!("histogram `{name}` missing `_count`")),
+            (Some(inf), Some(count)) if inf != count => {
+                errors.push(format!("histogram `{name}`: +Inf bucket {inf} != _count {count}"));
+            }
+            _ => {}
+        }
+        if let (Some(&(_, last)), Some(inf)) = (family.buckets.last(), family.inf) {
+            if last > inf {
+                errors.push(format!("histogram `{name}`: finite bucket exceeds +Inf"));
+            }
+        }
+        if !family.sum_seen {
+            errors.push(format!("histogram `{name}` missing `_sum`"));
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_exposition_passes() {
+        let text = "# TYPE a counter\na_total 5\n\
+                    # TYPE g gauge\ng 7\n\
+                    # TYPE h histogram\n\
+                    h_bucket{le=\"10\"} 2 # {trace_id=\"00ff\"} 9\n\
+                    h_bucket{le=\"100\"} 3\n\
+                    h_bucket{le=\"+Inf\"} 3\nh_sum 120\nh_count 3\n\
+                    # EOF\n";
+        assert_eq!(lint_openmetrics(text), Vec::<String>::new());
+    }
+
+    #[test]
+    fn missing_eof_and_bad_names_flagged() {
+        let errs = lint_openmetrics("# TYPE bad-name counter\nbad-name_total 1\n");
+        assert!(errs.iter().any(|e| e.contains("invalid metric name")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("missing terminal # EOF")), "{errs:?}");
+    }
+
+    #[test]
+    fn non_monotone_buckets_flagged() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"10\"} 5\nh_bucket{le=\"100\"} 3\n\
+                    h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n# EOF\n";
+        let errs = lint_openmetrics(text);
+        assert!(errs.iter().any(|e| e.contains("cumulative counts decrease")), "{errs:?}");
+    }
+
+    #[test]
+    fn inf_count_mismatch_flagged() {
+        let text = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n# EOF\n";
+        let errs = lint_openmetrics(text);
+        assert!(errs.iter().any(|e| e.contains("+Inf bucket 4 != _count 5")), "{errs:?}");
+    }
+
+    #[test]
+    fn undeclared_sample_and_bad_exemplar_flagged() {
+        let text = "orphan 1\n# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 1 # not-braces 5\n\
+                    h_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n# EOF\n";
+        let errs = lint_openmetrics(text);
+        assert!(errs.iter().any(|e| e.contains("without a TYPE declaration")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("exemplar must start with '{'")), "{errs:?}");
+    }
+
+    #[test]
+    fn counter_without_total_flagged() {
+        let errs = lint_openmetrics("# TYPE c counter\nc 1\n# EOF\n");
+        assert!(errs.iter().any(|e| e.contains("must be `c_total`")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("no `_total` sample")), "{errs:?}");
+    }
+}

@@ -49,12 +49,15 @@
 
 mod exporter;
 mod metrics;
+pub mod openmetrics;
 mod registry;
 pub mod span;
 pub mod trace;
 
 pub use exporter::{Exporter, ExporterHandle};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, StageTimer};
-pub use registry::{MetricsRegistry, TelemetrySnapshot};
+pub use metrics::{
+    quantile_sorted, Counter, Gauge, Histogram, HistogramBucket, HistogramSnapshot, StageTimer,
+};
+pub use registry::{MetricRef, MetricsRegistry, TelemetrySnapshot};
 pub use span::{monotonic_ns, SpanCollector, SpanSummary, Stage, StageStamps, StampCarrier};
 pub use trace::{FlightRecorder, SpanCtx, TraceSpan};

@@ -1,6 +1,7 @@
 //! The individual metric instruments: counters, gauges, histograms, timers.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Sub-buckets per power of two (resolution ≈ 1/32 ≈ 3%), matching the
@@ -26,6 +27,18 @@ fn bucket_lower_bound(bucket: usize) -> u64 {
     let msb = (bucket / SUB) as u32 + SUB_BITS - 1;
     let sub = (bucket % SUB) as u64;
     (1u64 << msb) | (sub << (msb - SUB_BITS))
+}
+
+/// Inclusive upper bound of `bucket`: one below the next bucket's lower
+/// bound, or `u64::MAX` for buckets at or past the top of the `u64`
+/// range (the lower bound of bucket `bucket + 1` would overflow 64
+/// bits — those buckets absorb everything up to `u64::MAX`).
+fn bucket_upper_bound(bucket: usize) -> u64 {
+    let next = bucket + 1;
+    if next >= BUCKETS || (next / SUB) as u32 + SUB_BITS - 1 > 63 {
+        return u64::MAX;
+    }
+    bucket_lower_bound(next) - 1
 }
 
 /// A monotonically increasing event count.
@@ -84,6 +97,29 @@ impl Gauge {
     }
 }
 
+/// Last traced sample to land in one bucket: `(trace_id, value)` slots
+/// written racily on record and read racily by the exposition encoder —
+/// exemplars are best-effort pointers, not accounting.
+struct ExemplarSlot {
+    trace_id: AtomicU64,
+    value: AtomicU64,
+}
+
+/// One non-empty histogram bucket as seen by exposition encoders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramBucket {
+    /// Inclusive integer upper bound of the bucket (`u64::MAX` for the
+    /// final open-ended bucket). Integer samples `<= upper` land in this
+    /// bucket or an earlier one, so cumulative counts rendered against
+    /// these bounds are exact.
+    pub upper: u64,
+    /// Samples recorded into this bucket.
+    pub count: u64,
+    /// Last `(trace_id, value)` recorded here, when exemplar capture is
+    /// enabled and a traced sample has landed in the bucket.
+    pub exemplar: Option<(u64, u64)>,
+}
+
 /// A lock-free log-bucketed histogram over `u64` samples (latencies in ns,
 /// batch sizes, ...). Constant memory, ~3% value resolution, O(1) record.
 ///
@@ -94,6 +130,7 @@ pub struct Histogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    exemplars: OnceLock<Box<[ExemplarSlot]>>,
 }
 
 impl Default for Histogram {
@@ -117,6 +154,7 @@ impl Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            exemplars: OnceLock::new(),
         }
     }
 
@@ -127,6 +165,74 @@ impl Histogram {
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.min.fetch_min(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Allocates per-bucket exemplar slots so subsequent
+    /// [`record_with_exemplar`](Histogram::record_with_exemplar) /
+    /// [`record_traced`](Histogram::record_traced) calls remember which
+    /// flight-recorder trace last landed in each bucket. Idempotent;
+    /// costs `BUCKETS * 16` bytes once enabled, nothing before.
+    pub fn enable_exemplars(&self) {
+        self.exemplars.get_or_init(|| {
+            (0..BUCKETS)
+                .map(|_| ExemplarSlot { trace_id: AtomicU64::new(0), value: AtomicU64::new(0) })
+                .collect()
+        });
+    }
+
+    /// Whether exemplar capture has been enabled.
+    pub fn exemplars_enabled(&self) -> bool {
+        self.exemplars.get().is_some()
+    }
+
+    /// Records one sample and, when exemplar capture is enabled and
+    /// `trace_id` is non-zero, remembers `(trace_id, value)` as the
+    /// bucket's exemplar (last writer wins).
+    pub fn record_with_exemplar(&self, value: u64, trace_id: u64) {
+        self.record(value);
+        if trace_id != 0 {
+            if let Some(slots) = self.exemplars.get() {
+                let slot = &slots[bucket_of(value)];
+                slot.trace_id.store(trace_id, Ordering::Relaxed);
+                slot.value.store(value, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records one sample, tagging the bucket exemplar with the calling
+    /// thread's ambient flight-recorder trace id (the innermost open
+    /// span), when there is one and exemplar capture is enabled.
+    pub fn record_traced(&self, value: u64) {
+        match crate::trace::current_trace_id() {
+            Some(id) => self.record_with_exemplar(value, id),
+            None => self.record(value),
+        }
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The non-empty buckets in ascending value order, with inclusive
+    /// integer upper bounds — the raw material for cumulative
+    /// (`le`-style) exposition.
+    pub fn nonzero_buckets(&self) -> Vec<HistogramBucket> {
+        let slots = self.exemplars.get();
+        let mut out = Vec::new();
+        for (i, c) in self.counts.iter().enumerate() {
+            let count = c.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            let upper = bucket_upper_bound(i);
+            let exemplar = slots.and_then(|s| {
+                let id = s[i].trace_id.load(Ordering::Relaxed);
+                (id != 0).then(|| (id, s[i].value.load(Ordering::Relaxed)))
+            });
+            out.push(HistogramBucket { upper, count, exemplar });
+        }
+        out
     }
 
     /// Starts a scoped timer that records elapsed nanoseconds on drop.
@@ -195,6 +301,51 @@ pub struct HistogramSnapshot {
     pub p99: u64,
     /// 99.9th percentile.
     pub p999: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimates an arbitrary quantile (`q` in `[0, 1]`) by linear
+    /// interpolation between the snapshot's known knots
+    /// `(0, min) … (0.5, p50) … (0.9, p90) … (0.99, p99) …
+    /// (0.999, p999) … (1, max)`. Exact at the knots, a straight-line
+    /// estimate between them; 0 when the snapshot is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let knots = [
+            (0.0, self.min as f64),
+            (0.50, self.p50 as f64),
+            (0.90, self.p90 as f64),
+            (0.99, self.p99 as f64),
+            (0.999, self.p999 as f64),
+            (1.0, self.max as f64),
+        ];
+        for pair in knots.windows(2) {
+            let (q0, v0) = pair[0];
+            let (q1, v1) = pair[1];
+            if q <= q1 {
+                let frac = if q1 > q0 { (q - q0) / (q1 - q0) } else { 0.0 };
+                return (v0 + (v1 - v0) * frac).round() as u64;
+            }
+        }
+        self.max
+    }
+}
+
+/// Nearest-rank quantile over an already-sorted sample slice (`q` in
+/// `[0, 1]`): the sample at index `round((len - 1) * q)`. 0 when empty.
+/// This is the exact-sample counterpart of
+/// [`HistogramSnapshot::quantile`], shared by the viz panels that hold
+/// raw latency vectors.
+pub fn quantile_sorted(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
 }
 
 /// Scoped timer from [`Histogram::start_timer`]; records the elapsed
@@ -287,6 +438,80 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count, 1);
         assert!(s.max >= 1_000_000, "recorded at least 1ms, got {}ns", s.max);
+    }
+
+    #[test]
+    fn nonzero_buckets_are_cumulative_exact_for_integer_samples() {
+        let h = Histogram::new();
+        for v in [1u64, 1, 5, 100, 100_000, u64::MAX] {
+            h.record(v);
+        }
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.iter().map(|b| b.count).sum::<u64>(), 6);
+        // Upper bounds ascend and every recorded value fits under the
+        // bound of the bucket it was counted in.
+        for pair in buckets.windows(2) {
+            assert!(pair[0].upper < pair[1].upper);
+        }
+        assert_eq!(buckets.last().unwrap().upper, u64::MAX);
+        let below = |v: u64| buckets.iter().filter(|b| b.upper >= v).map(|b| b.count).sum::<u64>();
+        assert_eq!(below(0), 6, "all counts sit at or above each value's bucket");
+    }
+
+    #[test]
+    fn exemplars_capture_last_trace_per_bucket() {
+        let h = Histogram::new();
+        h.record_with_exemplar(10, 0xaaaa); // dropped: capture not enabled yet
+        h.enable_exemplars();
+        assert!(h.exemplars_enabled());
+        h.record_with_exemplar(10, 0xbbbb);
+        h.record_with_exemplar(10, 0xcccc); // same bucket: last writer wins
+        h.record_with_exemplar(1_000_000, 0); // trace id 0 = no exemplar
+        let buckets = h.nonzero_buckets();
+        let small = buckets.iter().find(|b| b.upper >= 10 && b.count == 3).expect("bucket of 10");
+        assert_eq!(small.exemplar, Some((0xcccc, 10)));
+        let big = buckets.iter().find(|b| b.upper >= 1_000_000).expect("bucket of 1e6");
+        assert_eq!(big.exemplar, None);
+    }
+
+    #[test]
+    fn snapshot_quantile_interpolates_between_knots() {
+        let snap = HistogramSnapshot {
+            count: 100,
+            min: 0,
+            max: 1000,
+            mean: 100.0,
+            p50: 100,
+            p90: 500,
+            p99: 900,
+            p999: 990,
+        };
+        // Exact at the knots.
+        assert_eq!(snap.quantile(0.0), 0);
+        assert_eq!(snap.quantile(0.5), 100);
+        assert_eq!(snap.quantile(0.9), 500);
+        assert_eq!(snap.quantile(0.99), 900);
+        assert_eq!(snap.quantile(0.999), 990);
+        assert_eq!(snap.quantile(1.0), 1000);
+        // Linear between them: q=0.25 is halfway up the (0,min)-(0.5,p50)
+        // segment; q=0.95 halfway up (0.9,p90)-(0.99,p99)... pinned.
+        assert_eq!(snap.quantile(0.25), 50);
+        assert_eq!(snap.quantile(0.95), 722);
+        // Out-of-range input clamps.
+        assert_eq!(snap.quantile(-1.0), 0);
+        assert_eq!(snap.quantile(2.0), 1000);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_sorted_is_nearest_rank() {
+        assert_eq!(quantile_sorted(&[], 0.5), 0);
+        assert_eq!(quantile_sorted(&[7], 0.99), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile_sorted(&v, 0.0), 1);
+        assert_eq!(quantile_sorted(&v, 0.5), 51, "round((99)*0.5)=50 -> v[50]");
+        assert_eq!(quantile_sorted(&v, 0.99), 99);
+        assert_eq!(quantile_sorted(&v, 1.0), 100);
     }
 
     #[test]

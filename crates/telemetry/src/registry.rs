@@ -13,6 +13,21 @@ enum Metric {
     Histogram(Arc<Histogram>),
 }
 
+/// A borrowed view of one registered metric, as visited by
+/// [`MetricsRegistry::for_each`]. Lets encoders (e.g. the OpenMetrics
+/// exposition) reach the live instruments — including histogram buckets
+/// and exemplars a [`TelemetrySnapshot`] does not carry — without
+/// cloning the registry.
+#[derive(Clone, Copy)]
+pub enum MetricRef<'a> {
+    /// A counter.
+    Counter(&'a Counter),
+    /// A gauge.
+    Gauge(&'a Gauge),
+    /// A histogram.
+    Histogram(&'a Histogram),
+}
+
 /// Registry of named metrics for one pipeline instance.
 ///
 /// Registration (`counter`/`gauge`/`histogram`) takes a write lock once;
@@ -74,6 +89,21 @@ impl MetricsRegistry {
         {
             Metric::Histogram(h) => h.clone(),
             _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// Visits every registered metric in name order, borrowing the live
+    /// instrument. The registry's read lock is held for the duration of
+    /// the walk, so keep `f` cheap (recording stays lock-free — only
+    /// registration takes the write lock).
+    pub fn for_each(&self, mut f: impl FnMut(&str, MetricRef<'_>)) {
+        let metrics = self.metrics.read().unwrap_or_else(|e| e.into_inner());
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => f(name, MetricRef::Counter(c)),
+                Metric::Gauge(g) => f(name, MetricRef::Gauge(g)),
+                Metric::Histogram(h) => f(name, MetricRef::Histogram(h)),
+            }
         }
     }
 

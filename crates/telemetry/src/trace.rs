@@ -471,6 +471,14 @@ pub fn current_ctx() -> Option<SpanCtx> {
     STACK.try_with(|s| s.borrow().last().copied()).ok().flatten()
 }
 
+/// The trace id of the calling thread's innermost open span, if any —
+/// the hook metric exemplars use
+/// ([`Histogram::record_traced`](crate::Histogram::record_traced)) to
+/// link a histogram bucket back to a flight-recorder trace.
+pub fn current_trace_id() -> Option<u64> {
+    current_ctx().map(|c| c.trace_id)
+}
+
 /// An open span tied to the calling thread: records itself into the
 /// global recorder on drop and parents any span opened below it on
 /// this thread. Obtained from [`span`] / [`span_child_of`].

@@ -17,6 +17,17 @@ pub fn generate_session_name() -> String {
     format!("dio-session-{}", SESSION_COUNTER.fetch_add(1, Ordering::Relaxed))
 }
 
+/// Default exporter flush interval: 100 ms, overridable at process level
+/// through `DIO_EXPORT_INTERVAL_MS` (clamped to >= 1 ms). The builder's
+/// [`TracerConfig::telemetry_interval`] still wins over the environment.
+fn default_telemetry_interval() -> Duration {
+    std::env::var("DIO_EXPORT_INTERVAL_MS")
+        .ok()
+        .and_then(|raw| raw.trim().parse::<u64>().ok())
+        .map(|ms| Duration::from_millis(ms.max(1)))
+        .unwrap_or(Duration::from_millis(100))
+}
+
 /// Full configuration of a tracing session.
 ///
 /// # Examples
@@ -65,7 +76,7 @@ impl TracerConfig {
             enter_cost_ns: 0,
             exit_cost_ns: 0,
             telemetry: true,
-            telemetry_interval: Duration::from_millis(100),
+            telemetry_interval: default_telemetry_interval(),
             span_sample_every: 64,
             diagnose: None,
         }
@@ -335,6 +346,23 @@ mod tests {
     fn malformed_json_rejected() {
         assert!(TracerConfig::from_json("{not json").is_err());
         assert!(TracerConfig::from_json("{}").is_err(), "all fields required");
+    }
+
+    #[test]
+    fn export_interval_env_overrides_default() {
+        std::env::set_var("DIO_EXPORT_INTERVAL_MS", "7");
+        let from_env = TracerConfig::new("env").telemetry_tick();
+        std::env::set_var("DIO_EXPORT_INTERVAL_MS", "0");
+        let clamped = TracerConfig::new("env").telemetry_tick();
+        std::env::set_var("DIO_EXPORT_INTERVAL_MS", "junk");
+        let junk = TracerConfig::new("env").telemetry_tick();
+        std::env::remove_var("DIO_EXPORT_INTERVAL_MS");
+        assert_eq!(from_env, Duration::from_millis(7));
+        assert_eq!(clamped, Duration::from_millis(1), "zero clamps to 1 ms");
+        assert_eq!(junk, Duration::from_millis(100), "unparsable falls back");
+        let explicit =
+            TracerConfig::new("env").telemetry_interval(Duration::from_secs(3)).telemetry_tick();
+        assert_eq!(explicit, Duration::from_secs(3), "builder wins over env");
     }
 
     #[test]

@@ -325,6 +325,9 @@ impl Tracer {
                 batch_ns: registry.histogram("tracer.shipper.batch_ns"),
                 batch_size: registry.histogram("tracer.shipper.batch_size"),
             };
+            // batch_ns carries metric→trace exemplars so OpenMetrics
+            // scrapes can link latency buckets to flight-recorder spans.
+            telemetry.batch_ns.enable_exemplars();
             std::thread::Builder::new()
                 .name(format!("dio-shipper-{}", config.session()))
                 .spawn(move || {
@@ -674,7 +677,7 @@ fn flush_batch(ctx: &ShipperCtx, batch: &mut Vec<ShipItem>) {
         docs.push(item.doc);
         stamps.push(item.stamps);
     }
-    let batch_timer = ctx.telemetry.batch_ns.start_timer();
+    let batch_start = Instant::now();
     {
         // The causal chain of one shipped batch: ship.batch →
         // backend.bulk → storage.append → storage.fsync, all nested via
@@ -683,7 +686,12 @@ fn flush_batch(ctx: &ShipperCtx, batch: &mut Vec<ShipItem>) {
         ship_span.attr("docs", n);
         ctx.backend.bulk_spans(&ctx.index_name, docs, &mut stamps);
     }
-    batch_timer.observe();
+    // Recorded with the session trace id as an exemplar: a `/metrics`
+    // scrape can jump from a slow batch_ns bucket straight to this
+    // session's span tree in the flight-recorder dump.
+    ctx.telemetry
+        .batch_ns
+        .record_with_exemplar(batch_start.elapsed().as_nanos() as u64, ctx.session_ctx.trace_id);
     ctx.stored.fetch_add(n, Ordering::Relaxed);
     ctx.batches.fetch_add(1, Ordering::Relaxed);
     // Every stamp record now carries its bulk-index time: feed the span

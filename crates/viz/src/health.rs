@@ -10,7 +10,8 @@
 use std::collections::BTreeMap;
 
 use dio_backend::{Index, Query, SearchRequest, SortOrder};
-use serde_json::Value;
+use dio_telemetry::HistogramSnapshot;
+use serde_json::{json, Value};
 
 use crate::chart::{Chart, Series};
 
@@ -22,24 +23,7 @@ pub enum MetricPoint {
     /// A last-value gauge.
     Gauge(u64),
     /// A latency/size distribution summary.
-    Histogram {
-        /// Recorded samples.
-        count: u64,
-        /// Smallest recorded value.
-        min: u64,
-        /// Largest recorded value.
-        max: u64,
-        /// Mean of recorded values.
-        mean: f64,
-        /// Percentile estimates (lower bound of the owning bucket).
-        p50: u64,
-        /// 90th percentile.
-        p90: u64,
-        /// 99th percentile.
-        p99: u64,
-        /// 99.9th percentile.
-        p999: u64,
-    },
+    Histogram(HistogramSnapshot),
 }
 
 impl MetricPoint {
@@ -48,7 +32,21 @@ impl MetricPoint {
     pub fn plot_value(&self) -> f64 {
         match self {
             MetricPoint::Counter(v) | MetricPoint::Gauge(v) => *v as f64,
-            MetricPoint::Histogram { p99, .. } => *p99 as f64,
+            MetricPoint::Histogram(h) => h.p99 as f64,
+        }
+    }
+
+    /// Serializes the observation with its kind tag, mirroring the
+    /// health-document schema.
+    pub fn to_json(&self) -> Value {
+        match self {
+            MetricPoint::Counter(v) => json!({"kind": "counter", "value": *v}),
+            MetricPoint::Gauge(v) => json!({"kind": "gauge", "value": *v}),
+            MetricPoint::Histogram(h) => json!({
+                "kind": "histogram",
+                "count": h.count, "min": h.min, "max": h.max, "mean": h.mean,
+                "p50": h.p50, "p90": h.p90, "p99": h.p99, "p999": h.p999,
+            }),
         }
     }
 }
@@ -111,7 +109,7 @@ impl HealthReport {
             let point = match doc["kind"].as_str() {
                 Some("counter") => MetricPoint::Counter(u64_field(doc, "value")),
                 Some("gauge") => MetricPoint::Gauge(u64_field(doc, "value")),
-                Some("histogram") => MetricPoint::Histogram {
+                Some("histogram") => MetricPoint::Histogram(HistogramSnapshot {
                     count: u64_field(doc, "count"),
                     min: u64_field(doc, "min"),
                     max: u64_field(doc, "max"),
@@ -120,7 +118,7 @@ impl HealthReport {
                     p90: u64_field(doc, "p90"),
                     p99: u64_field(doc, "p99"),
                     p999: u64_field(doc, "p999"),
-                },
+                }),
                 _ => continue,
             };
             let snap = rounds.entry(seq).or_insert_with(|| HealthSnapshot {
@@ -174,6 +172,27 @@ impl HealthReport {
             .filter_map(|s| s.get(metric).map(|p| (s.seq as f64, p.plot_value())))
             .collect()
     }
+
+    /// Serializes the report (session, per-round snapshots, derived
+    /// indicators) for the `/api/health` endpoint.
+    pub fn to_json(&self) -> Value {
+        let snapshots: Vec<Value> = self
+            .snapshots
+            .iter()
+            .map(|s| {
+                let metrics: serde_json::Map =
+                    s.metrics.iter().map(|(name, p)| (name.clone(), p.to_json())).collect();
+                json!({"seq": s.seq, "time_ns": s.time_ns, "metrics": Value::Object(metrics)})
+            })
+            .collect();
+        json!({
+            "session": self.session,
+            "rounds": self.snapshots.len(),
+            "drop_rate": self.drop_rate(),
+            "syscall_rate": self.syscall_rate(),
+            "snapshots": snapshots,
+        })
+    }
 }
 
 /// Renders the pipeline-health dashboard for a `dio-telemetry-<session>`
@@ -204,7 +223,7 @@ pub fn render_health_dashboard(index: &Index) -> String {
             MetricPoint::Gauge(v) => {
                 out.push_str(&format!("{name:<name_width$}  {:>9}  {v}\n", "gauge"));
             }
-            MetricPoint::Histogram { .. } => {} // rendered below
+            MetricPoint::Histogram(_) => {} // rendered below
         }
     }
     out.push('\n');
@@ -216,9 +235,10 @@ pub fn render_health_dashboard(index: &Index) -> String {
         "metric", "count", "p50", "p90", "p99", "p999", "max"
     ));
     for (name, point) in &last.metrics {
-        if let MetricPoint::Histogram { count, max, p50, p90, p99, p999, .. } = point {
+        if let MetricPoint::Histogram(h) = point {
             out.push_str(&format!(
-                "{name:<name_width$}  {count:>10} {p50:>12} {p90:>12} {p99:>12} {p999:>12} {max:>12}\n"
+                "{name:<name_width$}  {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+                h.count, h.p50, h.p90, h.p99, h.p999, h.max
             ));
         }
     }

@@ -72,13 +72,13 @@ pub fn render_storage_panel(report: &StorageReport, fsync_ns: Option<&MetricPoin
         "recovery: {} torn tails truncated, {} hint files rebuilt\n",
         report.recovery_truncated, report.hints_rewritten,
     ));
-    if let Some(MetricPoint::Histogram { count, p50, p99, max, .. }) = fsync_ns {
+    if let Some(MetricPoint::Histogram(h)) = fsync_ns {
         out.push_str(&format!(
             "fsync latency: {} syncs, p50 {}, p99 {}, max {}\n",
-            count,
-            fmt_ns(*p50),
-            fmt_ns(*p99),
-            fmt_ns(*max),
+            h.count,
+            fmt_ns(h.p50),
+            fmt_ns(h.p99),
+            fmt_ns(h.max),
         ));
     }
 
@@ -197,7 +197,7 @@ mod tests {
 
     #[test]
     fn panel_renders_fsync_histogram_line() {
-        let point = MetricPoint::Histogram {
+        let point = MetricPoint::Histogram(dio_telemetry::HistogramSnapshot {
             count: 42,
             min: 1_000,
             max: 9_000_000,
@@ -206,7 +206,7 @@ mod tests {
             p90: 400_000,
             p99: 1_500_000,
             p999: 8_000_000,
-        };
+        });
         let out = render_storage_panel(&report(), Some(&point));
         assert!(out.contains("fsync latency: 42 syncs"), "{out}");
         assert!(out.contains("p50 150.0µs"), "{out}");

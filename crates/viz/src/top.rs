@@ -12,7 +12,8 @@ use std::collections::BTreeMap;
 
 use dio_backend::{Index, Query, SearchRequest, SortOrder};
 use dio_diagnose::Alert;
-use serde_json::Value;
+use dio_telemetry::quantile_sorted;
+use serde_json::{json, Value};
 
 /// Tuning knobs for [`render_top`].
 #[derive(Debug, Clone, PartialEq)]
@@ -58,14 +59,6 @@ pub fn sparkline(values: &[f64]) -> String {
         .collect()
 }
 
-fn percentile(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
 #[derive(Default)]
 struct ProcRow {
     ops: u64,
@@ -80,6 +73,103 @@ struct FileRow {
     reads: u64,
     writes: u64,
     errors: u64,
+}
+
+/// One process row of a [`TopSnapshot`], busiest first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopProcess {
+    /// Process id.
+    pub pid: u64,
+    /// Process name (`?` when unknown).
+    pub name: String,
+    /// Syscalls in the window.
+    pub ops: u64,
+    /// Syscall rate over the window.
+    pub ops_per_sec: f64,
+    /// Failed syscalls (negative return) in the window.
+    pub errors: u64,
+    /// Median syscall latency (ns) in the window.
+    pub p50_ns: u64,
+    /// 95th-percentile syscall latency (ns).
+    pub p95_ns: u64,
+    /// 99th-percentile syscall latency (ns).
+    pub p99_ns: u64,
+    /// Ops per sparkline bucket across the window.
+    pub activity: Vec<f64>,
+}
+
+/// One file row of a [`TopSnapshot`], busiest first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopFile {
+    /// File path (or tag) the syscalls targeted.
+    pub path: String,
+    /// Syscalls touching the file in the window.
+    pub ops: u64,
+    /// Read-class syscalls.
+    pub reads: u64,
+    /// Write-class syscalls.
+    pub writes: u64,
+    /// Failed syscalls.
+    pub errors: u64,
+}
+
+/// The data behind one `dio top` screen: the trailing-window process and
+/// file aggregates plus the alerts handed in. [`render_top`] draws it;
+/// [`TopSnapshot::to_json`] serves it as `/api/top`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopSnapshot {
+    /// The event index the window was read from.
+    pub index: String,
+    /// End of the window (ns).
+    pub now_ns: u64,
+    /// Window width (ns).
+    pub window_ns: u64,
+    /// Total syscalls observed in the window.
+    pub total_ops: u64,
+    /// Busiest processes, at most `opts.rows`.
+    pub processes: Vec<TopProcess>,
+    /// Busiest files, at most `opts.rows`.
+    pub files: Vec<TopFile>,
+    /// The alerts supplied by the caller (active or historical).
+    pub alerts: Vec<Alert>,
+}
+
+impl TopSnapshot {
+    /// Serializes the snapshot for the `/api/top` endpoint.
+    pub fn to_json(&self) -> Value {
+        let processes: Vec<Value> = self
+            .processes
+            .iter()
+            .map(|p| {
+                json!({
+                    "pid": p.pid, "name": p.name, "ops": p.ops,
+                    "ops_per_sec": p.ops_per_sec, "errors": p.errors,
+                    "p50_ns": p.p50_ns, "p95_ns": p.p95_ns, "p99_ns": p.p99_ns,
+                    "activity": p.activity,
+                })
+            })
+            .collect();
+        let files: Vec<Value> = self
+            .files
+            .iter()
+            .map(|f| {
+                json!({
+                    "path": f.path, "ops": f.ops, "reads": f.reads,
+                    "writes": f.writes, "errors": f.errors,
+                })
+            })
+            .collect();
+        let alerts: Vec<Value> = self.alerts.iter().map(Alert::to_document).collect();
+        json!({
+            "index": self.index,
+            "now_ns": self.now_ns,
+            "window_ns": self.window_ns,
+            "total_ops": self.total_ops,
+            "processes": processes,
+            "files": files,
+            "alerts": alerts,
+        })
+    }
 }
 
 fn window_events(index: &Index, start_ns: u64, end_ns: u64) -> Vec<Value> {
@@ -103,13 +193,13 @@ fn newest_event_time(index: &Index) -> u64 {
         .unwrap_or(0)
 }
 
-/// Renders the `dio top` screen over `index` (a session's `dio-<session>`
-/// event index) and the engine's current `alerts`.
+/// Aggregates one trailing window of `index` into a [`TopSnapshot`] —
+/// the shared substrate of [`render_top`] (ANSI) and `/api/top` (JSON).
 ///
-/// The caller decides which alerts to show — pass
+/// The caller decides which alerts to include — pass
 /// [`dio_diagnose::DiagnosisEngine::active_alerts`] for the live view, or
 /// the full history for a post-mortem.
-pub fn render_top(index: &Index, alerts: &[Alert], opts: &TopOptions) -> String {
+pub fn top_snapshot(index: &Index, alerts: &[Alert], opts: &TopOptions) -> TopSnapshot {
     let now_ns = opts.now_ns.unwrap_or_else(|| newest_event_time(index));
     let start_ns = now_ns.saturating_sub(opts.window_ns.max(1));
     let events = window_events(index, start_ns, now_ns);
@@ -156,12 +246,68 @@ pub fn render_top(index: &Index, alerts: &[Alert], opts: &TopOptions) -> String 
         }
     }
 
+    let mut proc_rows: Vec<_> = procs.into_iter().collect();
+    proc_rows.sort_by(|a, b| b.1.ops.cmp(&a.1.ops).then_with(|| a.0.cmp(&b.0)));
+    let processes = proc_rows
+        .into_iter()
+        .take(opts.rows)
+        .map(|((pid, name), mut row)| {
+            row.latencies.sort_unstable();
+            TopProcess {
+                pid,
+                name,
+                ops: row.ops,
+                ops_per_sec: row.ops as f64 / window_s,
+                errors: row.errors,
+                p50_ns: quantile_sorted(&row.latencies, 0.50),
+                p95_ns: quantile_sorted(&row.latencies, 0.95),
+                p99_ns: quantile_sorted(&row.latencies, 0.99),
+                activity: row.buckets,
+            }
+        })
+        .collect();
+
+    let mut file_rows: Vec<_> = files.into_iter().collect();
+    file_rows.sort_by(|a, b| b.1.ops.cmp(&a.1.ops).then_with(|| a.0.cmp(&b.0)));
+    let files = file_rows
+        .into_iter()
+        .take(opts.rows)
+        .map(|(path, row)| TopFile {
+            path,
+            ops: row.ops,
+            reads: row.reads,
+            writes: row.writes,
+            errors: row.errors,
+        })
+        .collect();
+
+    TopSnapshot {
+        index: index.name().to_string(),
+        now_ns,
+        window_ns: opts.window_ns.max(1),
+        total_ops: events.len() as u64,
+        processes,
+        files,
+        alerts: alerts.to_vec(),
+    }
+}
+
+/// Renders the `dio top` screen over `index` (a session's `dio-<session>`
+/// event index) and the engine's current `alerts`.
+///
+/// The caller decides which alerts to show — pass
+/// [`dio_diagnose::DiagnosisEngine::active_alerts`] for the live view, or
+/// the full history for a post-mortem.
+pub fn render_top(index: &Index, alerts: &[Alert], opts: &TopOptions) -> String {
+    render_top_snapshot(&top_snapshot(index, alerts, opts))
+}
+
+/// Renders an already-built [`TopSnapshot`] as the `dio top` screen.
+pub fn render_top_snapshot(snap: &TopSnapshot) -> String {
+    let window_s = snap.window_ns.max(1) as f64 / 1e9;
     let mut out = format!(
         "== dio top — {} ({} syscalls in the last {:.1}s, t = {} ns) ==\n\n",
-        index.name(),
-        events.len(),
-        window_s,
-        now_ns,
+        snap.index, snap.total_ops, window_s, snap.now_ns,
     );
 
     // --- Per-process table, busiest first.
@@ -170,20 +316,17 @@ pub fn render_top(index: &Index, alerts: &[Alert], opts: &TopOptions) -> String 
         "{:>7}  {:<16} {:>7} {:>9} {:>5} {:>9} {:>9}  activity\n",
         "pid", "process", "ops", "ops/s", "err", "p50(µs)", "p99(µs)"
     ));
-    let mut proc_rows: Vec<_> = procs.into_iter().collect();
-    proc_rows.sort_by(|a, b| b.1.ops.cmp(&a.1.ops).then_with(|| a.0.cmp(&b.0)));
-    for ((pid, name), mut row) in proc_rows.into_iter().take(opts.rows) {
-        row.latencies.sort_unstable();
+    for p in &snap.processes {
         out.push_str(&format!(
             "{:>7}  {:<16} {:>7} {:>9.0} {:>5} {:>9.1} {:>9.1}  {}\n",
-            pid,
-            name,
-            row.ops,
-            row.ops as f64 / window_s,
-            row.errors,
-            percentile(&row.latencies, 0.50) as f64 / 1e3,
-            percentile(&row.latencies, 0.99) as f64 / 1e3,
-            sparkline(&row.buckets),
+            p.pid,
+            p.name,
+            p.ops,
+            p.ops_per_sec,
+            p.errors,
+            p.p50_ns as f64 / 1e3,
+            p.p99_ns as f64 / 1e3,
+            sparkline(&p.activity),
         ));
     }
     out.push('\n');
@@ -194,22 +337,20 @@ pub fn render_top(index: &Index, alerts: &[Alert], opts: &TopOptions) -> String 
         "{:<40} {:>7} {:>7} {:>7} {:>5}\n",
         "file", "ops", "reads", "writes", "err"
     ));
-    let mut file_rows: Vec<_> = files.into_iter().collect();
-    file_rows.sort_by(|a, b| b.1.ops.cmp(&a.1.ops).then_with(|| a.0.cmp(&b.0)));
-    for (file, row) in file_rows.into_iter().take(opts.rows) {
+    for f in &snap.files {
         out.push_str(&format!(
             "{:<40} {:>7} {:>7} {:>7} {:>5}\n",
-            file, row.ops, row.reads, row.writes, row.errors
+            f.path, f.ops, f.reads, f.writes, f.errors
         ));
     }
     out.push('\n');
 
     // --- Active alerts.
-    if alerts.is_empty() {
+    if snap.alerts.is_empty() {
         out.push_str("### Alerts\nnone active\n");
     } else {
-        out.push_str(&format!("### Alerts ({} active)\n", alerts.len()));
-        out.push_str(&render_alert_rows(alerts));
+        out.push_str(&format!("### Alerts ({} active)\n", snap.alerts.len()));
+        out.push_str(&render_alert_rows(&snap.alerts));
     }
     out
 }

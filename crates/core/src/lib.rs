@@ -56,16 +56,23 @@ pub use dio_ebpf::{FilterSpec, RingConfig, RingStats};
 pub use dio_kernel::{
     DiskProfile, Errno, Kernel, OpenFlags, Process, SimClock, SysResult, ThreadCtx, Vfs, Whence,
 };
+pub use dio_rules::{
+    compile as compile_rules, parse_rules, verify_rules, RuleCheck, RuleSet, RulesError,
+    RulesReport,
+};
 pub use dio_serve::{lint_openmetrics, serve, ServeHandle, ServeState};
 pub use dio_syscall::{FileTag, FileType, Pid, SyscallClass, SyscallEvent, SyscallKind, Tid};
 pub use dio_telemetry::{
     trace, FlightRecorder, SpanCollector, SpanCtx, SpanSummary, Stage, StageStamps, TraceSpan,
 };
-pub use dio_tracer::{generate_session_name, TraceSummary, Tracer, TracerConfig};
+pub use dio_tracer::{
+    generate_session_name, AttachError, RuleCompileError, TraceSummary, Tracer, TracerConfig,
+};
 pub use dio_viz::{
     dashboards, latest_storage_report, render_alert_history, render_compaction_timeline,
-    render_health_dashboard, render_latency_waterfall, render_storage_panel, render_top, sparkline,
-    Chart, Column, Dashboard, HealthReport, Heatmap, Panel, PanelSpec, Series, Table, TopOptions,
+    render_health_dashboard, render_latency_waterfall, render_rules_panel, render_storage_panel,
+    render_top, sparkline, Chart, Column, Dashboard, HealthReport, Heatmap, Panel, PanelSpec,
+    Series, Table, TopOptions,
 };
 
 /// The assembled DIO deployment: one kernel under observation plus the
@@ -226,6 +233,15 @@ impl DioSession {
     pub fn top(&self, opts: &TopOptions) -> String {
         let alerts = self.diagnosis().map(|e| e.active_alerts()).unwrap_or_default();
         let mut out = render_top(&self.index(), &alerts, opts);
+        // Sessions with loaded diagnosis rules list them with live
+        // fire/suppress counters below the alerts.
+        if let Some(engine) = self.diagnosis() {
+            let reports = engine.dynamic_reports();
+            if !reports.is_empty() {
+                out.push('\n');
+                out.push_str(&render_rules_panel(&reports));
+            }
+        }
         // Persistent sessions get the storage engine's occupancy and
         // compaction-debt panel below the live view.
         if let Some(report) = self.backend.storage_report() {
@@ -407,6 +423,28 @@ mod tests {
         let report = session.stop();
         let stats = report.trace.diagnosis.expect("summary carries stats");
         assert_eq!(stats.observed, report.trace.events_stored);
+    }
+
+    #[test]
+    fn rules_sessions_show_the_rules_panel_in_top() {
+        let dio = fast_dio();
+        let session = dio.trace(TracerConfig::new("ruled-top").shipped_rules());
+        let t = dio.kernel().spawn_process("app").spawn_thread("app");
+        let fd = t.creat("/f.bin", 0o644).unwrap();
+        t.write(fd, b"x").unwrap();
+        t.close(fd).unwrap();
+        let engine = session.diagnosis().expect("shipped rules imply diagnosis");
+        for _ in 0..500 {
+            if engine.stats().observed >= 3 && session.events_stored() >= 3 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let screen = session.top(&TopOptions::default());
+        assert!(screen.contains("### Rules"), "{screen}");
+        assert!(screen.contains("data_loss"), "{screen}");
+        assert!(screen.contains("contention_skew"), "{screen}");
+        session.stop();
     }
 
     #[test]

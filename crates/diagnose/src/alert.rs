@@ -55,6 +55,9 @@ pub enum AlertKind {
     SyscallRateAnomaly,
     /// Per-key error fraction crossed the configured threshold.
     ErrorRateAnomaly,
+    /// A user-defined diagnosis rule matched (no more specific kind was
+    /// named in its `alert(...)` action).
+    RuleMatch,
 }
 
 impl AlertKind {
@@ -66,7 +69,25 @@ impl AlertKind {
             AlertKind::ContentionSkew => "contention_skew",
             AlertKind::SyscallRateAnomaly => "syscall_rate_anomaly",
             AlertKind::ErrorRateAnomaly => "error_rate_anomaly",
+            AlertKind::RuleMatch => "rule_match",
         }
+    }
+
+    /// Parses the stable snake_case name back into a kind.
+    ///
+    /// This is the inverse of [`AlertKind::as_str`]; rule files use it to
+    /// map `alert(critical, data_loss, ...)` kind idents onto the typed
+    /// kinds shared with the hand-coded detectors.
+    pub fn parse(name: &str) -> Option<AlertKind> {
+        Some(match name {
+            "data_loss" => AlertKind::DataLoss,
+            "stale_offset_resume" => AlertKind::StaleOffsetResume,
+            "contention_skew" => AlertKind::ContentionSkew,
+            "syscall_rate_anomaly" => AlertKind::SyscallRateAnomaly,
+            "error_rate_anomaly" => AlertKind::ErrorRateAnomaly,
+            "rule_match" => AlertKind::RuleMatch,
+            _ => return None,
+        })
     }
 }
 
@@ -189,6 +210,22 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(AlertKind::DataLoss.to_string(), "data_loss");
         assert_eq!(AlertKind::SyscallRateAnomaly.as_str(), "syscall_rate_anomaly");
+        assert_eq!(AlertKind::RuleMatch.as_str(), "rule_match");
         assert_eq!(Severity::Critical.to_string(), "critical");
+    }
+
+    #[test]
+    fn parse_inverts_as_str() {
+        for kind in [
+            AlertKind::DataLoss,
+            AlertKind::StaleOffsetResume,
+            AlertKind::ContentionSkew,
+            AlertKind::SyscallRateAnomaly,
+            AlertKind::ErrorRateAnomaly,
+            AlertKind::RuleMatch,
+        ] {
+            assert_eq!(AlertKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(AlertKind::parse("nope"), None);
     }
 }

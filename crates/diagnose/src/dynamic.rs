@@ -1,0 +1,58 @@
+//! Dynamically installed detectors.
+//!
+//! The built-in detectors are compiled into the engine; [`DynDetector`]
+//! opens the same observe/seal/finish lifecycle to detectors built at
+//! runtime — most prominently rule sets compiled from the `dio-rules`
+//! DSL. A dynamic detector is installed with
+//! [`crate::DiagnosisEngine::install_detector`] and from then on sees
+//! exactly the event stream (and degradation sampling) the hand-coded
+//! detectors see, and publishes into the same alert log.
+
+use dio_telemetry::MetricsRegistry;
+use serde_json::Value;
+
+use crate::alert::Alert;
+
+/// A detector installed into the [`crate::DiagnosisEngine`] at runtime.
+///
+/// The engine drives the same lifecycle it drives for the built-in
+/// detectors:
+///
+/// 1. [`DynDetector::observe`] for every evaluated event document (in
+///    arrival order, under the engine lock — implementations must not
+///    block);
+/// 2. [`DynDetector::evaluate_ready`] after each batch (seal
+///    watermark-ready windows);
+/// 3. [`DynDetector::evaluate_all`] once, at end of stream.
+///
+/// Alerts pushed onto `out` receive their sequence numbers from the
+/// engine and ship through the same sinks as built-in alerts.
+pub trait DynDetector: Send {
+    /// Stable name of the detector (used in reports and telemetry).
+    fn name(&self) -> &str;
+
+    /// Feeds one event document; pushes any resulting alerts onto `out`.
+    fn observe(&mut self, doc: &Value, out: &mut Vec<Alert>);
+
+    /// Seals watermark-ready windows and raises their alerts.
+    fn evaluate_ready(&mut self, out: &mut Vec<Alert>);
+
+    /// Seals every remaining window (end of stream).
+    fn evaluate_all(&mut self, out: &mut Vec<Alert>);
+
+    /// Number of windows still accumulating (feeds the
+    /// `diagnose.windows.open` gauge).
+    fn open_windows(&self) -> usize {
+        0
+    }
+
+    /// Per-unit status reports (one JSON object per rule/check), used by
+    /// `/api/rules` and the `dio top` rules panel. The default is empty.
+    fn reports(&self) -> Vec<Value> {
+        Vec::new()
+    }
+
+    /// Registers detector-specific telemetry (e.g. per-rule counters)
+    /// with the session registry. Called when the engine itself is bound.
+    fn bind_telemetry(&mut self, _registry: &MetricsRegistry) {}
+}

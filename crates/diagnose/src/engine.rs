@@ -33,6 +33,7 @@ use crate::alert::{Alert, AlertKind, Severity};
 use crate::detectors::{
     ContentionDetector, DataLossDetector, ErrorRateDetector, RateDetector, RateKey,
 };
+use crate::dynamic::DynDetector;
 
 /// Configuration of the live diagnosis engine (all knobs, flat so it
 /// serializes through the tracer's JSON configuration file).
@@ -169,6 +170,8 @@ struct EngineInner {
     contention: ContentionDetector,
     rate: RateDetector,
     error_rate: ErrorRateDetector,
+    /// Detectors installed at runtime (compiled rule sets).
+    dynamic: Vec<Box<dyn DynDetector>>,
     alerts: Vec<Alert>,
     unshipped: Vec<Alert>,
     finished: bool,
@@ -240,6 +243,7 @@ impl DiagnosisEngine {
                     config.error_min_ops,
                     config.evidence_limit,
                 ),
+                dynamic: Vec::new(),
                 alerts: Vec::new(),
                 unshipped: Vec::new(),
                 finished: false,
@@ -262,10 +266,31 @@ impl DiagnosisEngine {
         &self.config
     }
 
+    /// Installs a runtime-built detector (e.g. a compiled `dio-rules`
+    /// rule set) alongside the built-in ones.
+    ///
+    /// Install **before** [`DiagnosisEngine::bind_telemetry`] so the
+    /// detector's own counters (`diagnose.rule.*`) register with the
+    /// session registry; detectors installed later still run but skip
+    /// telemetry registration.
+    pub fn install_detector(&self, detector: Box<dyn DynDetector>) {
+        self.inner.lock().dynamic.push(detector);
+    }
+
+    /// Per-unit status reports of every installed dynamic detector
+    /// (one JSON object per rule), in installation order.
+    pub fn dynamic_reports(&self) -> Vec<Value> {
+        let inner = self.inner.lock();
+        inner.dynamic.iter().flat_map(|d| d.reports()).collect()
+    }
+
     /// Registers the `diagnose.*` counters and gauges with a session
     /// registry so degradation and alert activity ship with the health
-    /// documents.
+    /// documents. Also binds every dynamic detector installed so far.
     pub fn bind_telemetry(&self, registry: &MetricsRegistry) {
+        for detector in self.inner.lock().dynamic.iter_mut() {
+            detector.bind_telemetry(registry);
+        }
         let _ = self.telemetry.set(EngineTelemetry {
             observed: registry.counter("diagnose.events.observed"),
             evaluated: registry.counter("diagnose.events.evaluated"),
@@ -318,10 +343,16 @@ impl DiagnosisEngine {
                 inner.contention.observe(doc);
                 inner.rate.observe(doc);
                 inner.error_rate.observe(doc);
+                for detector in inner.dynamic.iter_mut() {
+                    detector.observe(doc, &mut fresh);
+                }
             }
             inner.contention.evaluate_ready(&mut fresh);
             inner.rate.evaluate_ready(&mut fresh);
             inner.error_rate.evaluate_ready(&mut fresh);
+            for detector in inner.dynamic.iter_mut() {
+                detector.evaluate_ready(&mut fresh);
+            }
             self.commit(&mut inner, &mut fresh, max_time);
         }
         self.observed.fetch_add(docs.len() as u64, Ordering::Relaxed);
@@ -350,6 +381,9 @@ impl DiagnosisEngine {
         inner.contention.evaluate_all(&mut fresh);
         inner.rate.evaluate_all(&mut fresh);
         inner.error_rate.evaluate_all(&mut fresh);
+        for detector in inner.dynamic.iter_mut() {
+            detector.evaluate_all(&mut fresh);
+        }
         // Retrospective safety net: per-window streaming alerts compare
         // against the calm mean *so far*, which can miss a dip whose calm
         // baseline only materialized later. The full-trace report applies
@@ -419,7 +453,9 @@ impl DiagnosisEngine {
             t.open_windows.set(
                 (inner.contention.open_windows()
                     + inner.rate.open_windows()
-                    + inner.error_rate.open_windows()) as u64,
+                    + inner.error_rate.open_windows()
+                    + inner.dynamic.iter().map(|d| d.open_windows()).sum::<usize>())
+                    as u64,
             );
         }
     }
@@ -654,6 +690,60 @@ mod tests {
         handle.stop();
         assert_eq!(engine.stats().observed, 5);
         assert!(engine.alerts().iter().any(|a| a.kind == AlertKind::DataLoss));
+    }
+
+    #[test]
+    fn dynamic_detector_runs_the_full_lifecycle() {
+        struct Probe {
+            seen: u64,
+            finished: bool,
+        }
+        impl DynDetector for Probe {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn observe(&mut self, _doc: &Value, _out: &mut Vec<Alert>) {
+                self.seen += 1;
+            }
+            fn evaluate_ready(&mut self, _out: &mut Vec<Alert>) {}
+            fn evaluate_all(&mut self, out: &mut Vec<Alert>) {
+                self.finished = true;
+                out.push(Alert {
+                    seq: 0,
+                    detector: "rule",
+                    kind: AlertKind::RuleMatch,
+                    severity: Severity::Info,
+                    time_ns: 9,
+                    window_start_ns: None,
+                    window_end_ns: None,
+                    subject: "probe".into(),
+                    message: format!("saw {} events", self.seen),
+                    fields: json!({"seen": self.seen}),
+                    evidence: Vec::new(),
+                });
+            }
+            fn reports(&self) -> Vec<Value> {
+                vec![json!({"rule": "probe", "seen": self.seen})]
+            }
+        }
+
+        let engine = DiagnosisEngine::new(DiagnoseConfig::default());
+        engine.install_detector(Box::new(Probe { seen: 0, finished: false }));
+        engine.observe_batch(&buggy_batch());
+        let fresh = engine.finish();
+        assert!(fresh
+            .iter()
+            .any(|a| a.kind == AlertKind::RuleMatch && a.message == "saw 5 events"));
+        let reports = engine.dynamic_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0]["seen"], 5);
+        // The dynamic alert went through commit: it has a real sequence
+        // number and shows up in the shared alert log.
+        let alerts = engine.alerts();
+        assert!(alerts.iter().any(|a| a.kind == AlertKind::RuleMatch));
+        for (i, a) in alerts.iter().enumerate() {
+            assert_eq!(a.seq, i as u64);
+        }
     }
 
     #[test]

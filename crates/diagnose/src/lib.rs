@@ -45,6 +45,7 @@
 
 mod alert;
 mod detectors;
+mod dynamic;
 mod engine;
 mod window;
 
@@ -52,5 +53,6 @@ pub use alert::{Alert, AlertKind, Severity};
 pub use detectors::{
     ContentionDetector, DataLossDetector, ErrorRateDetector, RateDetector, RateKey,
 };
+pub use dynamic::DynDetector;
 pub use engine::{DiagnoseConfig, DiagnosisEngine, EngineStats, SubscriptionHandle};
 pub use window::SlidingWindows;

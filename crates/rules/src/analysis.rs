@@ -1,0 +1,662 @@
+//! Satisfiability analysis over rule predicates.
+//!
+//! The verifier proves predicates *statically empty* (can never evaluate
+//! to true) or *tautological* (the negation is empty) by abstract
+//! interpretation on negation normal form: numeric atoms collapse into
+//! per-expression intervals, string atoms into allowed/forbidden sets and
+//! prefix constraints, boolean atoms into forced values. Everything the
+//! analysis cannot model becomes an *opaque* atom that is assumed
+//! satisfiable — the pass only ever claims emptiness on a definite
+//! contradiction, so every rejection carries a proof.
+//!
+//! Soundness under runtime semantics: evaluation is three-valued (a
+//! missing field makes its atom *unknown*, and unknown never fires a
+//! rule). Kleene evaluation is monotone — if a predicate evaluates true,
+//! every two-valued completion of the unknowns is also true — so a
+//! classically unsatisfiable predicate can never fire at runtime.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{BinOp, Expr, ExprKind};
+use crate::catalog::{self, Domain, FieldTy};
+
+/// Proves `expr` unsatisfiable, returning a human-readable proof.
+pub fn prove_unsat(expr: &Expr) -> Option<String> {
+    let mut vars = BTreeMap::new();
+    let n = nnf(expr, false, &mut vars);
+    unsat(&n, &vars)
+}
+
+/// Proves `expr` tautological (its negation is unsatisfiable).
+pub fn prove_taut(expr: &Expr) -> Option<String> {
+    let mut vars = BTreeMap::new();
+    let n = nnf(expr, true, &mut vars);
+    unsat(&n, &vars)
+}
+
+/// Domain facts known about one analysis variable.
+#[derive(Debug, Clone, Default)]
+struct VarInfo {
+    lo: Option<f64>,
+    hi: Option<f64>,
+    domain: Option<Domain>,
+}
+
+/// Negation normal form with typed leaf atoms.
+enum NExpr {
+    And(Vec<NExpr>),
+    Or(Vec<NExpr>),
+    Atom(Atom),
+}
+
+/// Comparison operators surviving into atoms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cmp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Cmp {
+    fn of(op: BinOp) -> Option<Cmp> {
+        Some(match op {
+            BinOp::Eq => Cmp::Eq,
+            BinOp::Ne => Cmp::Ne,
+            BinOp::Lt => Cmp::Lt,
+            BinOp::Le => Cmp::Le,
+            BinOp::Gt => Cmp::Gt,
+            BinOp::Ge => Cmp::Ge,
+            _ => return None,
+        })
+    }
+
+    fn negate(self) -> Cmp {
+        match self {
+            Cmp::Eq => Cmp::Ne,
+            Cmp::Ne => Cmp::Eq,
+            Cmp::Lt => Cmp::Ge,
+            Cmp::Le => Cmp::Gt,
+            Cmp::Gt => Cmp::Le,
+            Cmp::Ge => Cmp::Lt,
+        }
+    }
+
+    fn flip(self) -> Cmp {
+        match self {
+            Cmp::Lt => Cmp::Gt,
+            Cmp::Le => Cmp::Ge,
+            Cmp::Gt => Cmp::Lt,
+            Cmp::Ge => Cmp::Le,
+            other => other,
+        }
+    }
+
+    fn eval(self, a: f64, b: f64) -> bool {
+        match self {
+            Cmp::Eq => a == b,
+            Cmp::Ne => a != b,
+            Cmp::Lt => a < b,
+            Cmp::Le => a <= b,
+            Cmp::Gt => a > b,
+            Cmp::Ge => a >= b,
+        }
+    }
+}
+
+/// One analyzable constraint (leaf of the NNF tree).
+enum Atom {
+    /// `var op constant`.
+    Num { var: String, op: Cmp, val: f64, src: String },
+    /// `var == value` (or `!=` when negated).
+    StrEq { var: String, val: String, neg: bool, src: String },
+    /// `var in (values)` (or negated).
+    StrIn { var: String, vals: Vec<String>, neg: bool, src: String },
+    /// `var starts_with prefix` (or negated).
+    Prefix { var: String, prefix: String, neg: bool, src: String },
+    /// A boolean atom forced to a value (`first_read`, `follows(x)`).
+    BoolIs { var: String, val: bool, src: String },
+    /// A constant truth value (both sides folded).
+    Const { val: bool, src: String },
+    /// Beyond the abstraction; assumed satisfiable either way.
+    Opaque,
+}
+
+/// Constant-folds a numeric expression (durations fold to nanoseconds).
+fn const_num(e: &Expr) -> Option<f64> {
+    match &e.kind {
+        ExprKind::Int(v) => Some(*v as f64),
+        ExprKind::Float(v) => Some(*v),
+        ExprKind::Dur(d) => Some(d.as_ns() as f64),
+        ExprKind::Neg(inner) => const_num(inner).map(|v| -v),
+        ExprKind::Binary { op, lhs, rhs } => {
+            let (a, b) = (const_num(lhs)?, const_num(rhs)?);
+            match op {
+                BinOp::Add => Some(a + b),
+                BinOp::Sub => Some(a - b),
+                BinOp::Mul => Some(a * b),
+                BinOp::Div if b != 0.0 => Some(a / b),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn const_str(e: &Expr) -> Option<&str> {
+    match &e.kind {
+        ExprKind::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// Registers domain facts for a variable expression and returns its key.
+fn var_key(e: &Expr, vars: &mut BTreeMap<String, VarInfo>) -> String {
+    let key = e.to_string();
+    let info = vars.entry(key.clone()).or_default();
+    apply_domain_facts(e, info);
+    key
+}
+
+fn apply_domain_facts(e: &Expr, info: &mut VarInfo) {
+    match &e.kind {
+        ExprKind::Ident(name) => {
+            if let Some(field) = catalog::field(name) {
+                if matches!(field.ty, FieldTy::UInt | FieldTy::Ns) {
+                    info.lo = Some(0.0);
+                }
+                info.domain = field.domain;
+            } else {
+                match name.as_str() {
+                    // 1-based reuse-generation index.
+                    "generation" => info.lo = Some(1.0),
+                    "count" | "errors" | "rate" => info.lo = Some(0.0),
+                    "error_fraction" => {
+                        info.lo = Some(0.0);
+                        info.hi = Some(1.0);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        ExprKind::Call { name, args } => match name.as_str() {
+            "count" | "errors" | "rate" | "distinct" => info.lo = Some(0.0),
+            "error_fraction" => {
+                info.lo = Some(0.0);
+                info.hi = Some(1.0);
+            }
+            "p50" | "p95" | "p99" => {
+                if let Some(ExprKind::Ident(f)) = args.first().map(|a| &a.kind) {
+                    if let Some(field) = catalog::field(f) {
+                        if matches!(field.ty, FieldTy::UInt | FieldTy::Ns) {
+                            info.lo = Some(0.0);
+                        }
+                    }
+                }
+            }
+            "baseline" | "mean_when" => {
+                if let Some(inner) = args.first() {
+                    apply_domain_facts(inner, info);
+                }
+            }
+            _ => {}
+        },
+        _ => {}
+    }
+}
+
+/// Renders the source form of an atom, with applied negation.
+fn src_of(e: &Expr, neg: bool) -> String {
+    if neg {
+        format!("not ({e})")
+    } else {
+        e.to_string()
+    }
+}
+
+/// Converts to negation normal form, pushing `neg` inward.
+fn nnf(e: &Expr, neg: bool, vars: &mut BTreeMap<String, VarInfo>) -> NExpr {
+    match &e.kind {
+        ExprKind::Not(inner) => nnf(inner, !neg, vars),
+        ExprKind::Binary { op: BinOp::And, lhs, rhs } => {
+            let (a, b) = (nnf(lhs, neg, vars), nnf(rhs, neg, vars));
+            if neg {
+                NExpr::Or(vec![a, b])
+            } else {
+                NExpr::And(vec![a, b])
+            }
+        }
+        ExprKind::Binary { op: BinOp::Or, lhs, rhs } => {
+            let (a, b) = (nnf(lhs, neg, vars), nnf(rhs, neg, vars));
+            if neg {
+                NExpr::And(vec![a, b])
+            } else {
+                NExpr::Or(vec![a, b])
+            }
+        }
+        ExprKind::Binary { op, lhs, rhs } if op.is_cmp() => {
+            let Some(mut cmp) = Cmp::of(*op) else { return NExpr::Atom(Atom::Opaque) };
+            if neg {
+                cmp = cmp.negate();
+            }
+            let src = src_of(e, neg);
+            // Numeric: constant on either side.
+            match (const_num(lhs), const_num(rhs)) {
+                (Some(a), Some(b)) => {
+                    return NExpr::Atom(Atom::Const { val: cmp.eval(a, b), src });
+                }
+                (None, Some(val)) if const_str(lhs).is_none() => {
+                    let var = var_key(lhs, vars);
+                    return NExpr::Atom(Atom::Num { var, op: cmp, val, src });
+                }
+                (Some(val), None) if const_str(rhs).is_none() => {
+                    let var = var_key(rhs, vars);
+                    return NExpr::Atom(Atom::Num { var, op: cmp.flip(), val, src });
+                }
+                _ => {}
+            }
+            // String equality with a literal on one side.
+            if matches!(cmp, Cmp::Eq | Cmp::Ne) {
+                let (var_e, lit) = match (const_str(lhs), const_str(rhs)) {
+                    (None, Some(s)) => (Some(&**lhs), Some(s)),
+                    (Some(s), None) => (Some(&**rhs), Some(s)),
+                    (Some(a), Some(b)) => {
+                        let val = if cmp == Cmp::Eq { a == b } else { a != b };
+                        return NExpr::Atom(Atom::Const { val, src });
+                    }
+                    _ => (None, None),
+                };
+                if let (Some(var_e), Some(lit)) = (var_e, lit) {
+                    let var = var_key(var_e, vars);
+                    return NExpr::Atom(Atom::StrEq {
+                        var,
+                        val: lit.to_string(),
+                        neg: cmp == Cmp::Ne,
+                        src,
+                    });
+                }
+            }
+            NExpr::Atom(Atom::Opaque)
+        }
+        ExprKind::In { lhs, items } => {
+            let src = src_of(e, neg);
+            if let Some(s) = const_str(lhs) {
+                let member = items.iter().any(|i| i == s);
+                return NExpr::Atom(Atom::Const { val: member != neg, src });
+            }
+            let var = var_key(lhs, vars);
+            NExpr::Atom(Atom::StrIn { var, vals: items.clone(), neg, src })
+        }
+        ExprKind::StartsWith { lhs, prefix } => {
+            let src = src_of(e, neg);
+            if let Some(s) = const_str(lhs) {
+                return NExpr::Atom(Atom::Const {
+                    val: s.starts_with(prefix.as_str()) != neg,
+                    src,
+                });
+            }
+            let var = var_key(lhs, vars);
+            NExpr::Atom(Atom::Prefix { var, prefix: prefix.clone(), neg, src })
+        }
+        ExprKind::Ident(_) | ExprKind::Call { .. } => {
+            // A bare boolean atom (`first_read`, `follows(write)`).
+            let src = src_of(e, neg);
+            let var = var_key(e, vars);
+            NExpr::Atom(Atom::BoolIs { var, val: !neg, src })
+        }
+        _ => NExpr::Atom(Atom::Opaque),
+    }
+}
+
+// ------------------------------------------------------------------ solver
+
+/// One directed numeric bound with its provenance.
+#[derive(Debug, Clone)]
+struct Bound {
+    val: f64,
+    strict: bool,
+    src: String,
+}
+
+/// Accumulated constraints for one variable inside a conjunction.
+#[derive(Default)]
+struct VarState {
+    lo: Option<Bound>,
+    hi: Option<Bound>,
+    ne: Vec<(f64, String)>,
+    allowed: Option<(BTreeSet<String>, String)>,
+    forbidden: Vec<(String, String)>,
+    req_prefixes: Vec<(String, String)>,
+    forb_prefixes: Vec<(String, String)>,
+    bool_true: Option<String>,
+    bool_false: Option<String>,
+}
+
+/// Checks an NNF tree for definite unsatisfiability.
+fn unsat(n: &NExpr, vars: &BTreeMap<String, VarInfo>) -> Option<String> {
+    match n {
+        NExpr::Or(children) => {
+            let mut proofs = Vec::new();
+            for c in children {
+                proofs.push(unsat(c, vars)?);
+            }
+            proofs.dedup();
+            Some(format!("every branch is empty: {}", proofs.join("; ")))
+        }
+        NExpr::And(_) | NExpr::Atom(_) => {
+            // Flatten the conjunction; nested Or children are checked
+            // recursively (a definitely-empty disjunct empties the whole
+            // conjunction).
+            let mut atoms = Vec::new();
+            let mut stack = vec![n];
+            while let Some(cur) = stack.pop() {
+                match cur {
+                    NExpr::And(cs) => stack.extend(cs.iter()),
+                    NExpr::Or(_) => {
+                        if let Some(proof) = unsat(cur, vars) {
+                            return Some(proof);
+                        }
+                    }
+                    NExpr::Atom(a) => atoms.push(a),
+                }
+            }
+            solve_conjunction(&atoms, vars)
+        }
+    }
+}
+
+fn solve_conjunction(atoms: &[&Atom], vars: &BTreeMap<String, VarInfo>) -> Option<String> {
+    let mut states: BTreeMap<&str, VarState> = BTreeMap::new();
+    // Seed domain facts.
+    for (var, info) in vars {
+        let state = states.entry(var.as_str()).or_default();
+        if let Some(lo) = info.lo {
+            state.lo =
+                Some(Bound { val: lo, strict: false, src: format!("`{var}` is at least {lo}") });
+        }
+        if let Some(hi) = info.hi {
+            state.hi =
+                Some(Bound { val: hi, strict: false, src: format!("`{var}` is at most {hi}") });
+        }
+    }
+    for atom in atoms {
+        match atom {
+            Atom::Const { val: false, src } => {
+                return Some(format!("`{src}` is constantly false"));
+            }
+            Atom::Const { .. } | Atom::Opaque => {}
+            Atom::Num { var, op, val, src } => {
+                let state = states.entry(var.as_str()).or_default();
+                match op {
+                    Cmp::Eq => {
+                        tighten_lo(state, *val, false, src);
+                        tighten_hi(state, *val, false, src);
+                    }
+                    Cmp::Ne => state.ne.push((*val, src.clone())),
+                    Cmp::Lt => tighten_hi(state, *val, true, src),
+                    Cmp::Le => tighten_hi(state, *val, false, src),
+                    Cmp::Gt => tighten_lo(state, *val, true, src),
+                    Cmp::Ge => tighten_lo(state, *val, false, src),
+                }
+            }
+            Atom::StrEq { var, val, neg, src } => {
+                let state = states.entry(var.as_str()).or_default();
+                if *neg {
+                    state.forbidden.push((val.clone(), src.clone()));
+                } else {
+                    intersect_allowed(state, std::iter::once(val.clone()).collect(), src);
+                }
+            }
+            Atom::StrIn { var, vals, neg, src } => {
+                let state = states.entry(var.as_str()).or_default();
+                if *neg {
+                    state.forbidden.extend(vals.iter().map(|v| (v.clone(), src.clone())));
+                } else {
+                    intersect_allowed(state, vals.iter().cloned().collect(), src);
+                }
+            }
+            Atom::Prefix { var, prefix, neg, src } => {
+                let state = states.entry(var.as_str()).or_default();
+                if *neg {
+                    state.forb_prefixes.push((prefix.clone(), src.clone()));
+                } else {
+                    state.req_prefixes.push((prefix.clone(), src.clone()));
+                }
+            }
+            Atom::BoolIs { var, val, src } => {
+                let state = states.entry(var.as_str()).or_default();
+                let slot = if *val { &mut state.bool_true } else { &mut state.bool_false };
+                if slot.is_none() {
+                    *slot = Some(src.clone());
+                }
+            }
+        }
+    }
+    for (var, state) in &states {
+        if let Some(proof) = check_var(var, state, vars.get(*var)) {
+            return Some(proof);
+        }
+    }
+    None
+}
+
+fn tighten_lo(state: &mut VarState, val: f64, strict: bool, src: &str) {
+    let better = match &state.lo {
+        None => true,
+        Some(b) => val > b.val || (val == b.val && strict && !b.strict),
+    };
+    if better {
+        state.lo = Some(Bound { val, strict, src: src.to_string() });
+    }
+}
+
+fn tighten_hi(state: &mut VarState, val: f64, strict: bool, src: &str) {
+    let better = match &state.hi {
+        None => true,
+        Some(b) => val < b.val || (val == b.val && strict && !b.strict),
+    };
+    if better {
+        state.hi = Some(Bound { val, strict, src: src.to_string() });
+    }
+}
+
+fn intersect_allowed(state: &mut VarState, vals: BTreeSet<String>, src: &str) {
+    match &mut state.allowed {
+        None => state.allowed = Some((vals, src.to_string())),
+        Some((cur, cur_src)) => {
+            cur.retain(|v| vals.contains(v));
+            *cur_src = format!("{cur_src}` and `{src}");
+        }
+    }
+}
+
+fn check_var(var: &str, state: &VarState, info: Option<&VarInfo>) -> Option<String> {
+    // Numeric interval emptiness.
+    if let (Some(lo), Some(hi)) = (&state.lo, &state.hi) {
+        if lo.val > hi.val || (lo.val == hi.val && (lo.strict || hi.strict)) {
+            return Some(format!("`{}` contradicts `{}` on `{var}`", lo.src, hi.src));
+        }
+        // A point interval punctured by `!=`.
+        if lo.val == hi.val {
+            for (ne, ne_src) in &state.ne {
+                if *ne == lo.val {
+                    return Some(format!(
+                        "`{}` pins `{var}` to {} but `{}` excludes it",
+                        lo.src, lo.val, ne_src
+                    ));
+                }
+            }
+        }
+    }
+    // Boolean atom forced both ways.
+    if let (Some(t), Some(f)) = (&state.bool_true, &state.bool_false) {
+        return Some(format!("`{t}` contradicts `{f}`"));
+    }
+    // Required prefixes must nest.
+    for (p, p_src) in &state.req_prefixes {
+        for (q, q_src) in &state.req_prefixes {
+            if !p.starts_with(q.as_str()) && !q.starts_with(p.as_str()) {
+                return Some(format!(
+                    "`{p_src}` contradicts `{q_src}`: no string starts with both"
+                ));
+            }
+        }
+        for (q, q_src) in &state.forb_prefixes {
+            if p.starts_with(q.as_str()) {
+                return Some(format!(
+                    "`{p_src}` contradicts `{q_src}`: every `{p}…` string also starts with `{q}`"
+                ));
+            }
+        }
+    }
+    // Candidate-set exhaustion: explicit allowed set, or the field's
+    // finite enum domain.
+    let candidates: Option<(Vec<String>, String)> = match &state.allowed {
+        Some((set, src)) => Some((set.iter().cloned().collect(), src.clone())),
+        None => info.and_then(|i| i.domain).and_then(|d| {
+            // Only worth scanning when something constrains the values.
+            if state.req_prefixes.is_empty()
+                && state.forb_prefixes.is_empty()
+                && state.forbidden.is_empty()
+            {
+                None
+            } else {
+                Some((
+                    d.members().into_iter().map(str::to_string).collect(),
+                    format!("`{var}` ranges over {}", d.describe()),
+                ))
+            }
+        }),
+    };
+    if let Some((candidates, src)) = candidates {
+        let survives = candidates.iter().any(|c| {
+            state.forbidden.iter().all(|(f, _)| f != c)
+                && state.req_prefixes.iter().all(|(p, _)| c.starts_with(p.as_str()))
+                && state.forb_prefixes.iter().all(|(p, _)| !c.starts_with(p.as_str()))
+        });
+        if !survives {
+            let others: Vec<&str> = state
+                .forbidden
+                .iter()
+                .map(|(_, s)| s.as_str())
+                .chain(state.req_prefixes.iter().map(|(_, s)| s.as_str()))
+                .chain(state.forb_prefixes.iter().map(|(_, s)| s.as_str()))
+                .collect();
+            let constraint = if others.is_empty() {
+                "no candidate value survives".to_string()
+            } else {
+                format!("no value satisfies `{}`", others.join("` and `"))
+            };
+            return Some(format!("{src} leaves `{var}` empty: {constraint}"));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn unsat_of(src: &str) -> Option<String> {
+        prove_unsat(&parse_expr(src).unwrap())
+    }
+
+    fn taut_of(src: &str) -> Option<String> {
+        prove_taut(&parse_expr(src).unwrap())
+    }
+
+    #[test]
+    fn interval_contradictions_are_proven() {
+        assert!(unsat_of("offset > 10 and offset < 5").is_some());
+        assert!(unsat_of("offset > 0 and offset == 0").is_some());
+        assert!(unsat_of("ret_val == 1 and ret_val != 1").is_some());
+        assert!(unsat_of("offset > 10 and offset < 20").is_none());
+    }
+
+    #[test]
+    fn unsigned_domain_facts_apply() {
+        assert!(unsat_of("offset < 0").is_some(), "offset is unsigned");
+        assert!(unsat_of("ret_val < 0").is_none(), "ret_val is signed");
+        assert!(unsat_of("error_fraction > 1.5").is_some());
+        assert!(unsat_of("generation < 1").is_some(), "generations are 1-based");
+    }
+
+    #[test]
+    fn string_set_contradictions_are_proven() {
+        assert!(unsat_of("syscall == \"read\" and syscall == \"write\"").is_some());
+        assert!(unsat_of("syscall in (read, write) and syscall == \"openat\"").is_some());
+        assert!(unsat_of("syscall in (read, write) and syscall != \"read\"").is_none());
+        assert!(unsat_of("syscall == \"read\" and not (syscall in (read, write))").is_some());
+    }
+
+    #[test]
+    fn prefix_contradictions_are_proven() {
+        assert!(unsat_of(
+            "proc_name starts_with \"db_bench\" and proc_name starts_with \"rocksdb\""
+        )
+        .is_some());
+        assert!(unsat_of(
+            "proc_name starts_with \"db_bench\" and not (proc_name starts_with \"db\")"
+        )
+        .is_some());
+        assert!(unsat_of("proc_name starts_with \"db\" and proc_name starts_with \"db_bench\"")
+            .is_none());
+    }
+
+    #[test]
+    fn enum_domain_exhaustion_is_proven() {
+        assert!(unsat_of("syscall starts_with \"xyz\"").is_some());
+        assert!(unsat_of("syscall starts_with \"pread\"").is_none());
+        assert!(unsat_of("class starts_with \"data\"").is_none());
+    }
+
+    #[test]
+    fn bool_atoms_conflict() {
+        assert!(unsat_of("first_read and not first_read").is_some());
+        assert!(unsat_of("follows(write) and not follows(write)").is_some());
+        assert!(unsat_of("follows(write) and not follows(read)").is_none());
+    }
+
+    #[test]
+    fn or_branches_must_all_be_empty() {
+        assert!(unsat_of("(offset < 0) or (error_fraction > 2.0)").is_some());
+        assert!(unsat_of("(offset < 0) or (offset > 10)").is_none());
+    }
+
+    #[test]
+    fn constant_folding_sees_through_arithmetic() {
+        assert!(unsat_of("offset > 4 * 1000 and offset < 2 + 2").is_some());
+        assert!(unsat_of("1 > 2").is_some());
+        assert!(unsat_of("latency_ns > 5ms and latency_ns < 1ms").is_some());
+    }
+
+    #[test]
+    fn opaque_atoms_stay_satisfiable() {
+        assert!(unsat_of("count > baseline(count, 3) * 4.0").is_none());
+        assert!(unsat_of("errors / count >= 0.25").is_none());
+    }
+
+    #[test]
+    fn tautologies_are_proven_via_the_negation() {
+        assert!(taut_of("offset >= 0").is_some());
+        assert!(taut_of("offset > 0 or offset <= 0").is_some());
+        assert!(taut_of("offset > 0").is_none());
+        assert!(taut_of("error_fraction <= 1.0").is_some());
+    }
+
+    #[test]
+    fn proofs_cite_the_contradicting_atoms() {
+        let proof = unsat_of("offset > 0 and offset == 0").unwrap();
+        assert!(proof.contains("offset > 0"), "{proof}");
+        assert!(proof.contains("offset == 0"), "{proof}");
+    }
+
+    #[test]
+    fn nested_unsat_conjunct_empties_the_whole_predicate() {
+        assert!(unsat_of("count >= 100 and (offset > 0 and offset < 0)").is_some());
+        assert!(unsat_of("count >= 100 and (offset < 0 or 1 > 2)").is_some());
+    }
+}

@@ -1,0 +1,257 @@
+//! The field catalog the static pass checks predicates against.
+//!
+//! Every name a rule may reference resolves here: the event-document
+//! fields emitted by `SyscallEvent::to_document` (typed, with enum
+//! domains derived from the 42-syscall contract in `dio-syscall`), the
+//! stream sequence atoms, and the window aggregate functions. `dio-verify`
+//! cross-checks this table against its own `DOCUMENT_FIELDS` list so the
+//! two crates cannot drift.
+
+use dio_syscall::SyscallKind;
+
+/// Static type of a catalog field or expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldTy {
+    /// Unsigned integer (counts, ids, offsets).
+    UInt,
+    /// Signed integer (`ret_val`).
+    Int,
+    /// Nanosecond-valued quantity (timestamps, latencies). Numeric, but
+    /// comparisons against bare literals draw a unit-confusion warning.
+    Ns,
+    /// Floating-point quantity (fractions, rates).
+    Float,
+    /// String.
+    Str,
+    /// Boolean.
+    Bool,
+    /// Nested object — present in documents but not addressable in rules.
+    Object,
+}
+
+impl FieldTy {
+    /// Whether the type participates in numeric comparison/arithmetic.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, FieldTy::UInt | FieldTy::Int | FieldTy::Ns | FieldTy::Float)
+    }
+
+    /// Human-readable name for diagnostics.
+    pub fn describe(self) -> &'static str {
+        match self {
+            FieldTy::UInt => "unsigned integer",
+            FieldTy::Int => "integer",
+            FieldTy::Ns => "nanoseconds",
+            FieldTy::Float => "float",
+            FieldTy::Str => "string",
+            FieldTy::Bool => "boolean",
+            FieldTy::Object => "object",
+        }
+    }
+}
+
+/// Finite value domain of an enum-valued string field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// The 42 syscall names of Table I.
+    Syscalls,
+    /// The four functional classes of Table I.
+    Classes,
+    /// The eight file types of the enrichment layer.
+    FileTypes,
+}
+
+/// Class names as serialized into documents (`SyscallClass::to_string`).
+pub const CLASS_NAMES: &[&str] =
+    &["data", "metadata", "extended attributes", "directory management"];
+
+/// File-type names as serialized into documents (`FileType::name`).
+pub const FILE_TYPE_NAMES: &[&str] = &[
+    "regular",
+    "directory",
+    "socket",
+    "block_device",
+    "char_device",
+    "pipe",
+    "symlink",
+    "unknown",
+];
+
+impl Domain {
+    /// Whether `value` is a member of the domain.
+    pub fn contains(self, value: &str) -> bool {
+        match self {
+            Domain::Syscalls => value.parse::<SyscallKind>().is_ok(),
+            Domain::Classes => CLASS_NAMES.contains(&value),
+            Domain::FileTypes => FILE_TYPE_NAMES.contains(&value),
+        }
+    }
+
+    /// Every member of the domain.
+    pub fn members(self) -> Vec<&'static str> {
+        match self {
+            Domain::Syscalls => SyscallKind::ALL.iter().map(|k| k.name()).collect(),
+            Domain::Classes => CLASS_NAMES.to_vec(),
+            Domain::FileTypes => FILE_TYPE_NAMES.to_vec(),
+        }
+    }
+
+    /// Short description for diagnostics.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Domain::Syscalls => "the 42 syscalls of Table I",
+            Domain::Classes => "the 4 syscall classes",
+            Domain::FileTypes => "the 8 file types",
+        }
+    }
+}
+
+/// One addressable event-document field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Document field name.
+    pub name: &'static str,
+    /// Static type.
+    pub ty: FieldTy,
+    /// Finite value domain, when the field is enum-valued.
+    pub domain: Option<Domain>,
+}
+
+/// Every event-document field a rule may reference, in document order.
+///
+/// The first twelve entries mirror `dio-verify`'s `DOCUMENT_FIELDS`
+/// (always present); the tail lists the optional enrichment fields.
+pub const FIELDS: &[FieldDef] = &[
+    FieldDef { name: "session", ty: FieldTy::Str, domain: None },
+    FieldDef { name: "syscall", ty: FieldTy::Str, domain: Some(Domain::Syscalls) },
+    FieldDef { name: "class", ty: FieldTy::Str, domain: Some(Domain::Classes) },
+    FieldDef { name: "pid", ty: FieldTy::UInt, domain: None },
+    FieldDef { name: "tid", ty: FieldTy::UInt, domain: None },
+    FieldDef { name: "proc_name", ty: FieldTy::Str, domain: None },
+    FieldDef { name: "cpu", ty: FieldTy::UInt, domain: None },
+    FieldDef { name: "time", ty: FieldTy::Ns, domain: None },
+    FieldDef { name: "time_exit", ty: FieldTy::Ns, domain: None },
+    FieldDef { name: "latency_ns", ty: FieldTy::Ns, domain: None },
+    FieldDef { name: "ret_val", ty: FieldTy::Int, domain: None },
+    FieldDef { name: "args", ty: FieldTy::Object, domain: None },
+    FieldDef { name: "offset", ty: FieldTy::UInt, domain: None },
+    FieldDef { name: "file_tag", ty: FieldTy::Str, domain: None },
+    FieldDef { name: "file_path", ty: FieldTy::Str, domain: None },
+    FieldDef { name: "file_type", ty: FieldTy::Str, domain: Some(Domain::FileTypes) },
+];
+
+/// Looks up a document field by name.
+pub fn field(name: &str) -> Option<&'static FieldDef> {
+    FIELDS.iter().find(|f| f.name == name)
+}
+
+/// Stream sequence atoms (only meaningful in `on stream` rules).
+///
+/// * `generation` — 1-based reuse-generation index of the event's
+///   `file_tag` within its `(dev, ino)` pair; defined for data-path
+///   read/write calls carrying a parseable tag.
+/// * `first_read` — whether this event is the first `read`/`pread64`
+///   observed for its `file_tag`.
+/// * `follows(<syscall>)` — whether the previous event on the same `tid`
+///   was the named syscall (a directly-follows atom).
+pub const STREAM_ATOMS: &[(&str, FieldTy)] =
+    &[("generation", FieldTy::UInt), ("first_read", FieldTy::Bool)];
+
+/// Window aggregate names (only meaningful in `on window` rules), with
+/// result types. Call-shape validation happens in the checker.
+pub const AGGREGATES: &[(&str, FieldTy)] = &[
+    ("count", FieldTy::UInt),
+    ("errors", FieldTy::UInt),
+    ("error_fraction", FieldTy::Float),
+    ("rate", FieldTy::Float),
+    ("p50", FieldTy::Float),
+    ("p95", FieldTy::Float),
+    ("p99", FieldTy::Float),
+    ("distinct", FieldTy::UInt),
+    ("baseline", FieldTy::Float),
+    ("mean_when", FieldTy::Float),
+];
+
+/// Whether `name` names a window aggregate.
+pub fn is_aggregate(name: &str) -> bool {
+    AGGREGATES.iter().any(|(n, _)| *n == name)
+}
+
+/// Result type of an aggregate.
+pub fn aggregate_ty(name: &str) -> Option<FieldTy> {
+    AGGREGATES.iter().find(|(n, _)| *n == name).map(|&(_, ty)| ty)
+}
+
+/// Every name the DSL knows (for did-you-mean suggestions).
+pub fn known_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = FIELDS.iter().map(|f| f.name).collect();
+    names.extend(STREAM_ATOMS.iter().map(|&(n, _)| n));
+    names.push("follows");
+    names.extend(AGGREGATES.iter().map(|&(n, _)| n));
+    names
+}
+
+/// The closest known name within edit distance 2, for diagnostics.
+pub fn suggest(name: &str) -> Option<&'static str> {
+    known_names()
+        .into_iter()
+        .map(|k| (edit_distance(name, k), k))
+        .filter(|&(d, _)| d <= 2)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, k)| k)
+}
+
+/// Classic Levenshtein distance (small inputs only).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_the_42_syscalls() {
+        assert!(Domain::Syscalls.contains("pread64"));
+        assert!(!Domain::Syscalls.contains("futex"));
+        assert_eq!(Domain::Syscalls.members().len(), 42);
+    }
+
+    #[test]
+    fn field_lookup_and_types() {
+        assert_eq!(field("ret_val").unwrap().ty, FieldTy::Int);
+        assert_eq!(field("latency_ns").unwrap().ty, FieldTy::Ns);
+        assert_eq!(field("class").unwrap().domain, Some(Domain::Classes));
+        assert!(field("bogus").is_none());
+    }
+
+    #[test]
+    fn suggestions_catch_typos() {
+        assert_eq!(suggest("ofset"), Some("offset"));
+        assert_eq!(suggest("latency"), None, "distance 3 is too far to guess");
+        assert_eq!(suggest("procname"), Some("proc_name"));
+    }
+
+    #[test]
+    fn class_names_match_display_impls() {
+        use dio_syscall::SyscallClass;
+        for class in [
+            SyscallClass::Data,
+            SyscallClass::Metadata,
+            SyscallClass::ExtendedAttributes,
+            SyscallClass::DirectoryManagement,
+        ] {
+            assert!(CLASS_NAMES.contains(&class.to_string().as_str()), "{class}");
+        }
+    }
+}

@@ -1,0 +1,851 @@
+//! Compilation of verified rule files onto the streaming engine.
+//!
+//! A [`RuleSet`] implements [`DynDetector`]: installed into the
+//! `DiagnosisEngine` it sees exactly the event stream the hand-coded
+//! detectors see and publishes the same typed [`Alert`] documents.
+//! Stream rules evaluate per event over shared [`StreamState`]; window
+//! rules compile their aggregates into per-window accumulators on the
+//! same [`SlidingWindows`] machinery (and therefore the same watermark
+//! and sealing semantics) as the built-in detectors.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use dio_diagnose::{Alert, AlertKind, DynDetector, Severity, SlidingWindows};
+use dio_telemetry::{Counter, MetricsRegistry};
+use serde_json::{json, Value};
+
+use crate::ast::{Action, Expr, ExprKind, Rule, RuleFile, SeverityLit, Trigger};
+use crate::check::{verify_rules, RulesError, RulesReport};
+use crate::exec::{eval, event_resolver, EventAtoms, StreamState, V};
+use crate::lexer::ParseError;
+use crate::parser::parse_rules;
+
+/// Why a rule source failed to load.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The source did not parse.
+    Parse(ParseError),
+    /// The file parsed but the static pass rejected it.
+    Verify(RulesError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "{e}"),
+            CompileError::Verify(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+impl From<RulesError> for CompileError {
+    fn from(e: RulesError) -> Self {
+        CompileError::Verify(e)
+    }
+}
+
+/// Parses, verifies, and compiles rule source. The only path onto the
+/// engine: a statically rejected file never produces a [`RuleSet`].
+pub fn compile(src: &str) -> Result<RuleSet, CompileError> {
+    let file = parse_rules(src)?;
+    let report = verify_rules(&file).into_result()?;
+    Ok(RuleSet::build(file, report))
+}
+
+/// Compiles an already-parsed file, still enforcing the static pass.
+pub fn compile_file(file: &RuleFile) -> Result<RuleSet, RulesError> {
+    let report = verify_rules(file).into_result()?;
+    Ok(RuleSet::build(file.clone(), report))
+}
+
+/// Compiles without the static pass.
+///
+/// Only for tests (the never-fires property runs statically-rejected
+/// rules on purpose); evaluation is total and unknown-tolerant, so even
+/// ill-typed predicates execute without panicking — they just never
+/// evaluate to true.
+pub fn compile_unchecked(file: &RuleFile) -> RuleSet {
+    RuleSet::build(file.clone(), verify_rules(file))
+}
+
+// ------------------------------------------------------------ aggregates
+
+/// One base (per-window) aggregate, identified by its printed form.
+#[derive(Debug, Clone)]
+enum AggSpec {
+    Count(Option<Expr>),
+    Errors,
+    ErrorFraction,
+    Rate,
+    Pct(f64, Expr),
+    Distinct(Expr, Option<Expr>),
+    /// Malformed under `compile_unchecked`: accumulates nothing,
+    /// evaluates to unknown.
+    Invalid,
+}
+
+/// A derived aggregate computed at seal time from per-key history.
+#[derive(Debug, Clone)]
+enum PostSpec {
+    /// Mean of `inner` over the previous `n` sealed windows of the key;
+    /// defined only once exactly `n` windows of history exist.
+    Baseline { inner: String, n: usize },
+    /// Running mean of `inner` over past windows where `cond` held.
+    MeanWhen { inner: String, cond: Expr },
+}
+
+/// Per-window per-key accumulator state, parallel to the spec list.
+#[derive(Debug, Clone)]
+enum AggAcc {
+    Count(u64),
+    Errors(u64),
+    ErrorFraction { ops: u64, errs: u64 },
+    Rate(u64),
+    Pct(Vec<f64>),
+    Distinct(std::collections::BTreeSet<String>),
+    Invalid,
+}
+
+impl AggSpec {
+    fn fresh_acc(&self) -> AggAcc {
+        match self {
+            AggSpec::Count(_) => AggAcc::Count(0),
+            AggSpec::Errors => AggAcc::Errors(0),
+            AggSpec::ErrorFraction => AggAcc::ErrorFraction { ops: 0, errs: 0 },
+            AggSpec::Rate => AggAcc::Rate(0),
+            AggSpec::Pct(..) => AggAcc::Pct(Vec::new()),
+            AggSpec::Distinct(..) => AggAcc::Distinct(Default::default()),
+            AggSpec::Invalid => AggAcc::Invalid,
+        }
+    }
+
+    fn observe(&self, acc: &mut AggAcc, doc: &Value) {
+        let resolver = event_resolver(doc, None);
+        match (self, acc) {
+            (AggSpec::Count(None), AggAcc::Count(n)) => *n += 1,
+            (AggSpec::Count(Some(pred)), AggAcc::Count(n)) if eval(pred, &resolver).is_true() => {
+                *n += 1;
+            }
+            (AggSpec::Count(Some(_)), AggAcc::Count(_)) => {}
+            (AggSpec::Errors, AggAcc::Errors(n))
+                if doc["ret_val"].as_i64().is_some_and(|r| r < 0) =>
+            {
+                *n += 1;
+            }
+            (AggSpec::Errors, AggAcc::Errors(_)) => {}
+            (AggSpec::ErrorFraction, AggAcc::ErrorFraction { ops, errs }) => {
+                *ops += 1;
+                if doc["ret_val"].as_i64().is_some_and(|r| r < 0) {
+                    *errs += 1;
+                }
+            }
+            (AggSpec::Rate, AggAcc::Rate(n)) => *n += 1,
+            (AggSpec::Pct(_, expr), AggAcc::Pct(values)) => {
+                if let V::Num(v) = eval(expr, &resolver) {
+                    values.push(v);
+                }
+            }
+            (AggSpec::Distinct(value, pred), AggAcc::Distinct(set)) => {
+                let selected = match pred {
+                    Some(p) => eval(p, &resolver).is_true(),
+                    None => true,
+                };
+                if selected {
+                    match eval(value, &resolver) {
+                        V::Num(n) => {
+                            set.insert(format!("{n}"));
+                        }
+                        V::Str(s) => {
+                            set.insert(s);
+                        }
+                        V::Bool(b) => {
+                            set.insert(b.to_string());
+                        }
+                        V::Unknown => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn value(&self, acc: &AggAcc, width_ns: u64) -> V {
+        match acc {
+            AggAcc::Count(n) | AggAcc::Errors(n) => V::Num(*n as f64),
+            AggAcc::ErrorFraction { ops: 0, .. } => V::Unknown,
+            AggAcc::ErrorFraction { ops, errs } => V::Num(*errs as f64 / *ops as f64),
+            AggAcc::Rate(n) => V::Num(*n as f64 / (width_ns.max(1) as f64 / 1e9)),
+            AggAcc::Pct(values) => {
+                if values.is_empty() {
+                    return V::Unknown;
+                }
+                let AggSpec::Pct(q, _) = self else { return V::Unknown };
+                let mut sorted = values.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                // Nearest-rank percentile.
+                let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+                V::Num(sorted[rank.clamp(1, sorted.len()) - 1])
+            }
+            AggAcc::Distinct(set) => V::Num(set.len() as f64),
+            AggAcc::Invalid => V::Unknown,
+        }
+    }
+}
+
+/// The aggregate program of one window rule: base aggregates keyed by
+/// printed form, then derived aggregates in dependency order.
+#[derive(Debug, Clone, Default)]
+struct WindowProgram {
+    aggs: Vec<(String, AggSpec)>,
+    posts: Vec<(String, PostSpec)>,
+}
+
+impl WindowProgram {
+    fn collect(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Ident(name) if is_nullary_agg(name) => {
+                self.register_base(name.clone(), base_spec(name, &[]));
+            }
+            ExprKind::Call { name, args } if crate::catalog::is_aggregate(name) => {
+                let key = e.to_string();
+                match name.as_str() {
+                    "baseline" | "mean_when" => {
+                        if self.posts.iter().any(|(k, _)| *k == key) {
+                            return;
+                        }
+                        let Some(first) = args.first() else {
+                            self.register_base(key, AggSpec::Invalid);
+                            return;
+                        };
+                        // The inner aggregate (and any aggregates inside a
+                        // mean_when condition) must be computed first.
+                        self.collect(first);
+                        let inner = first.to_string();
+                        let post = match name.as_str() {
+                            "baseline" => {
+                                let n = match args.get(1).map(|a| &a.kind) {
+                                    Some(ExprKind::Int(n)) if *n >= 1 => *n as usize,
+                                    _ => 1,
+                                };
+                                PostSpec::Baseline { inner, n }
+                            }
+                            _ => {
+                                let cond = match args.get(1) {
+                                    Some(c) => {
+                                        self.collect(c);
+                                        c.clone()
+                                    }
+                                    None => Expr::new(ExprKind::Int(0)),
+                                };
+                                PostSpec::MeanWhen { inner, cond }
+                            }
+                        };
+                        self.posts.push((key, post));
+                    }
+                    _ => self.register_base(key, base_spec(name, args)),
+                }
+            }
+            ExprKind::Neg(inner) | ExprKind::Not(inner) => self.collect(inner),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                self.collect(lhs);
+                self.collect(rhs);
+            }
+            ExprKind::In { lhs, .. } | ExprKind::StartsWith { lhs, .. } => self.collect(lhs),
+            _ => {}
+        }
+    }
+
+    fn register_base(&mut self, key: String, spec: AggSpec) {
+        if !self.aggs.iter().any(|(k, _)| *k == key) {
+            self.aggs.push((key, spec));
+        }
+    }
+}
+
+fn is_nullary_agg(name: &str) -> bool {
+    matches!(name, "count" | "errors" | "error_fraction" | "rate")
+}
+
+fn base_spec(name: &str, args: &[Expr]) -> AggSpec {
+    match (name, args) {
+        ("count", []) => AggSpec::Count(None),
+        ("count", [pred]) => AggSpec::Count(Some(pred.clone())),
+        ("errors", []) => AggSpec::Errors,
+        ("error_fraction", []) => AggSpec::ErrorFraction,
+        ("rate", []) => AggSpec::Rate,
+        ("p50", [v]) => AggSpec::Pct(50.0, v.clone()),
+        ("p95", [v]) => AggSpec::Pct(95.0, v.clone()),
+        ("p99", [v]) => AggSpec::Pct(99.0, v.clone()),
+        ("distinct", [v]) => AggSpec::Distinct(v.clone(), None),
+        ("distinct", [v, pred]) => AggSpec::Distinct(v.clone(), Some(pred.clone())),
+        _ => AggSpec::Invalid,
+    }
+}
+
+// ---------------------------------------------------------- compiled rule
+
+/// Per-key state behind a derived aggregate.
+#[derive(Debug, Clone, Default)]
+struct PostState {
+    /// Trailing inner values (baseline).
+    hist: VecDeque<f64>,
+    /// Running sum/count of inner values over matching windows (mean_when).
+    sum: f64,
+    n: u64,
+}
+
+#[derive(Debug, Default)]
+struct RuleStats {
+    evaluated: u64,
+    fired: u64,
+    suppressed: u64,
+    records: u64,
+}
+
+struct CompiledRule {
+    rule: Rule,
+    program: WindowProgram,
+    /// Window start → key value → accumulators (window rules only).
+    windows: Option<SlidingWindows<BTreeMap<String, Vec<AggAcc>>>>,
+    /// Per post-spec, per key value: derived-aggregate state.
+    post_state: Vec<BTreeMap<String, PostState>>,
+    stats: RuleStats,
+    fired_counter: Option<Arc<Counter>>,
+    suppressed_counter: Option<Arc<Counter>>,
+}
+
+impl CompiledRule {
+    fn new(rule: Rule) -> CompiledRule {
+        let mut program = WindowProgram::default();
+        let windows = match &rule.trigger {
+            Trigger::Stream => None,
+            Trigger::Window { width, slide } => {
+                program.collect(&rule.when);
+                Some(SlidingWindows::new(width.as_ns(), slide.map(|s| s.as_ns()).unwrap_or(0)))
+            }
+        };
+        let post_state = vec![BTreeMap::new(); program.posts.len()];
+        CompiledRule {
+            rule,
+            program,
+            windows,
+            post_state,
+            stats: RuleStats::default(),
+            fired_counter: None,
+            suppressed_counter: None,
+        }
+    }
+
+    fn width_ns(&self) -> u64 {
+        match &self.rule.trigger {
+            Trigger::Window { width, .. } => width.as_ns(),
+            Trigger::Stream => 0,
+        }
+    }
+
+    /// The window key for `doc`, `None` when the key field is missing
+    /// (the event is skipped, matching the hand-coded detectors).
+    fn key_of(&self, doc: &Value) -> Option<String> {
+        let Some(dim) = self.rule.key else { return Some(String::new()) };
+        let field = dim.field();
+        match &doc[field] {
+            Value::Number(n) => n.as_u64().map(|v| v.to_string()),
+            Value::String(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+
+    fn observe_window(&mut self, doc: &Value) {
+        let Some(key) = self.key_of(doc) else { return };
+        // Missing timestamps bucket at 0, matching the built-in detectors.
+        let t = doc["time"].as_u64().unwrap_or(0);
+        let Some(windows) = &mut self.windows else { return };
+        let program = &self.program;
+        windows.observe(t, |acc| {
+            let accs = acc
+                .entry(key.clone())
+                .or_insert_with(|| program.aggs.iter().map(|(_, s)| s.fresh_acc()).collect());
+            for ((_, spec), slot) in program.aggs.iter().zip(accs.iter_mut()) {
+                spec.observe(slot, doc);
+            }
+        });
+    }
+
+    /// Evaluates one sealed window, raising alerts for definite matches.
+    fn seal(&mut self, start: u64, keys: BTreeMap<String, Vec<AggAcc>>, out: &mut Vec<Alert>) {
+        let width = self.width_ns();
+        for (key, accs) in keys {
+            self.stats.evaluated += 1;
+            // 1. Base aggregate values.
+            let mut env: BTreeMap<String, V> = BTreeMap::new();
+            for ((name, spec), acc) in self.program.aggs.iter().zip(accs.iter()) {
+                env.insert(name.clone(), spec.value(acc, width));
+            }
+            // 2. Derived aggregates, in dependency order, reading history
+            //    from *before* this window.
+            for (i, (name, post)) in self.program.posts.iter().enumerate() {
+                let state = self.post_state[i].entry(key.clone()).or_default();
+                let value = match post {
+                    PostSpec::Baseline { n, .. } => {
+                        if state.hist.len() == *n {
+                            V::Num(state.hist.iter().sum::<f64>() / *n as f64)
+                        } else {
+                            V::Unknown
+                        }
+                    }
+                    PostSpec::MeanWhen { .. } => {
+                        if state.n > 0 {
+                            V::Num(state.sum / state.n as f64)
+                        } else {
+                            V::Unknown
+                        }
+                    }
+                };
+                env.insert(name.clone(), value);
+            }
+            // 3. Evaluate the predicate in window scope.
+            let resolver = |e: &Expr| env.get(&e.to_string()).cloned();
+            let fired = eval(&self.rule.when, &resolver).is_true();
+            if fired {
+                let subject = if key.is_empty() { self.rule.name.clone() } else { key.clone() };
+                self.fire(subject, start + width, Some((start, start + width)), &env, &[], out);
+            }
+            // 4. Update derived-aggregate state *after* evaluation, so a
+            //    window never contributes to its own baseline.
+            for (i, (_, post)) in self.program.posts.iter().enumerate() {
+                let inner = match post {
+                    PostSpec::Baseline { inner, .. } | PostSpec::MeanWhen { inner, .. } => inner,
+                };
+                let Some(V::Num(inner_value)) = env.get(inner.as_str()).cloned() else { continue };
+                let update_mean = match post {
+                    PostSpec::Baseline { .. } => false,
+                    PostSpec::MeanWhen { cond, .. } => {
+                        eval(cond, &|e: &Expr| env.get(&e.to_string()).cloned()).is_true()
+                    }
+                };
+                let state = self.post_state[i].entry(key.clone()).or_default();
+                match post {
+                    PostSpec::Baseline { n, .. } => {
+                        state.hist.push_back(inner_value);
+                        while state.hist.len() > *n {
+                            state.hist.pop_front();
+                        }
+                    }
+                    PostSpec::MeanWhen { .. } => {
+                        if update_mean {
+                            state.sum += inner_value;
+                            state.n += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn observe_stream(&mut self, doc: &Value, atoms: &EventAtoms, out: &mut Vec<Alert>) {
+        self.stats.evaluated += 1;
+        let resolver = event_resolver(doc, Some(atoms));
+        if eval(&self.rule.when, &resolver).is_true() {
+            let subject = doc["file_tag"]
+                .as_str()
+                .map(str::to_string)
+                .unwrap_or_else(|| self.rule.name.clone());
+            let time = doc["time"].as_u64().unwrap_or(0);
+            self.fire(subject, time, None, &BTreeMap::new(), std::slice::from_ref(doc), out);
+        }
+    }
+
+    fn fire(
+        &mut self,
+        subject: String,
+        time_ns: u64,
+        window: Option<(u64, u64)>,
+        env: &BTreeMap<String, V>,
+        evidence: &[Value],
+        out: &mut Vec<Alert>,
+    ) {
+        match &self.rule.action {
+            Action::Record { .. } => {
+                self.stats.records += 1;
+            }
+            Action::Alert { severity, kind, message, .. } => {
+                if self.rule.limit.is_some_and(|l| self.stats.fired >= l) {
+                    self.stats.suppressed += 1;
+                    if let Some(c) = &self.suppressed_counter {
+                        c.inc();
+                    }
+                    return;
+                }
+                self.stats.fired += 1;
+                if let Some(c) = &self.fired_counter {
+                    c.inc();
+                }
+                let kind =
+                    kind.as_deref().and_then(AlertKind::parse).unwrap_or(AlertKind::RuleMatch);
+                let mut values = serde_json::Map::new();
+                for (k, v) in env {
+                    values.insert(k.clone(), v.to_json());
+                }
+                let values = Value::Object(values);
+                out.push(Alert {
+                    seq: 0,
+                    detector: "rules",
+                    kind,
+                    severity: match severity {
+                        SeverityLit::Info => Severity::Info,
+                        SeverityLit::Warning => Severity::Warning,
+                        SeverityLit::Critical => Severity::Critical,
+                    },
+                    time_ns,
+                    window_start_ns: window.map(|(s, _)| s),
+                    window_end_ns: window.map(|(_, e)| e),
+                    subject,
+                    message: message.clone(),
+                    fields: json!({ "rule": self.rule.name, "values": values }),
+                    evidence: evidence.to_vec(),
+                });
+            }
+        }
+    }
+
+    fn report(&self) -> Value {
+        let (trigger, window_ns, slide_ns) = match &self.rule.trigger {
+            Trigger::Stream => ("stream", None, None),
+            Trigger::Window { width, slide } => {
+                ("window", Some(width.as_ns()), slide.map(|s| s.as_ns()))
+            }
+        };
+        let (action, severity, kind) = match &self.rule.action {
+            Action::Alert { severity, kind, .. } => {
+                ("alert", Some(severity.keyword()), Some(kind.as_deref().unwrap_or("rule_match")))
+            }
+            Action::Record { .. } => ("record", None, None),
+        };
+        json!({
+            "rule": self.rule.name,
+            "trigger": trigger,
+            "window_ns": window_ns,
+            "slide_ns": slide_ns,
+            "key": self.rule.key.map(|k| k.keyword()),
+            "when": self.rule.when.to_string(),
+            "action": action,
+            "severity": severity,
+            "alert_kind": kind,
+            "limit": self.rule.limit,
+            "evaluated": self.stats.evaluated,
+            "fired": self.stats.fired,
+            "suppressed": self.stats.suppressed,
+            "records": self.stats.records,
+            "open_windows": self.windows.as_ref().map(|w| w.open_count()).unwrap_or(0),
+        })
+    }
+}
+
+// --------------------------------------------------------------- rule set
+
+/// A compiled set of rules, installable into the engine as a detector.
+pub struct RuleSet {
+    rules: Vec<CompiledRule>,
+    stream: StreamState,
+    has_stream_rules: bool,
+    report: RulesReport,
+}
+
+impl RuleSet {
+    fn build(file: RuleFile, report: RulesReport) -> RuleSet {
+        let rules: Vec<CompiledRule> = file.rules.into_iter().map(CompiledRule::new).collect();
+        let has_stream_rules = rules.iter().any(|r| matches!(r.rule.trigger, Trigger::Stream));
+        RuleSet { rules, stream: StreamState::default(), has_stream_rules, report }
+    }
+
+    /// The static-analysis report the set was admitted under (carries any
+    /// warnings; rejecting reports never reach a `RuleSet` via [`compile`]).
+    pub fn verify_report(&self) -> &RulesReport {
+        &self.report
+    }
+
+    /// Number of compiled rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Rule names, in file order.
+    pub fn names(&self) -> Vec<&str> {
+        self.rules.iter().map(|r| r.rule.name.as_str()).collect()
+    }
+}
+
+impl DynDetector for RuleSet {
+    fn name(&self) -> &str {
+        "rules"
+    }
+
+    fn observe(&mut self, doc: &Value, out: &mut Vec<Alert>) {
+        // Sequence atoms advance once per event, shared across rules.
+        let atoms =
+            if self.has_stream_rules { self.stream.advance(doc) } else { EventAtoms::default() };
+        for rule in &mut self.rules {
+            match rule.rule.trigger {
+                Trigger::Stream => rule.observe_stream(doc, &atoms, out),
+                Trigger::Window { .. } => rule.observe_window(doc),
+            }
+        }
+    }
+
+    fn evaluate_ready(&mut self, out: &mut Vec<Alert>) {
+        for rule in &mut self.rules {
+            let ready = match &mut rule.windows {
+                Some(w) => w.drain_ready(),
+                None => continue,
+            };
+            for (start, keys) in ready {
+                rule.seal(start, keys, out);
+            }
+        }
+    }
+
+    fn evaluate_all(&mut self, out: &mut Vec<Alert>) {
+        for rule in &mut self.rules {
+            let remaining = match &mut rule.windows {
+                Some(w) => w.drain_all(),
+                None => continue,
+            };
+            for (start, keys) in remaining {
+                rule.seal(start, keys, out);
+            }
+        }
+    }
+
+    fn open_windows(&self) -> usize {
+        self.rules.iter().filter_map(|r| r.windows.as_ref()).map(|w| w.open_count()).sum()
+    }
+
+    fn reports(&self) -> Vec<Value> {
+        self.rules.iter().map(|r| r.report()).collect()
+    }
+
+    fn bind_telemetry(&mut self, registry: &MetricsRegistry) {
+        for rule in &mut self.rules {
+            let name = &rule.rule.name;
+            rule.fired_counter = Some(registry.counter(&format!("diagnose.rule.{name}.fired")));
+            rule.suppressed_counter =
+                Some(registry.counter(&format!("diagnose.rule.{name}.suppressed")));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn doc(t: u64, syscall: &str, extra: Value) -> Value {
+        let mut d = json!({
+            "syscall": syscall,
+            "class": "data",
+            "pid": 10,
+            "tid": 10,
+            "proc_name": "app",
+            "time": t,
+            "ret_val": 1,
+        });
+        if let (Value::Object(base), Value::Object(e)) = (&mut d, extra) {
+            for (k, v) in e.iter() {
+                base.insert(k.clone(), v.clone());
+            }
+        }
+        d
+    }
+
+    fn run(set: &mut RuleSet, docs: &[Value]) -> Vec<Alert> {
+        let mut out = Vec::new();
+        for d in docs {
+            set.observe(d, &mut out);
+        }
+        set.evaluate_ready(&mut out);
+        set.evaluate_all(&mut out);
+        out
+    }
+
+    #[test]
+    fn rejected_sources_never_compile() {
+        let Err(err) = compile("rule r when offset > 0 and offset < 0 then record(\"x\")") else {
+            panic!("statically empty rule must not compile")
+        };
+        assert!(matches!(err, CompileError::Verify(_)));
+        assert!(compile("rule r when (((").is_err());
+    }
+
+    #[test]
+    fn stream_rule_fires_and_carries_evidence() {
+        let mut set = compile(
+            "rule slow when latency_ns > 5ms and ret_val < 0 \
+             then alert(warning, \"slow failing call\")",
+        )
+        .unwrap();
+        let alerts = run(
+            &mut set,
+            &[
+                doc(10, "read", json!({"latency_ns": 6_000_000, "ret_val": -5})),
+                doc(20, "read", json!({"latency_ns": 1_000, "ret_val": -5})),
+            ],
+        );
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::RuleMatch);
+        assert_eq!(alerts[0].severity, Severity::Warning);
+        assert_eq!(alerts[0].time_ns, 10);
+        assert_eq!(alerts[0].evidence.len(), 1);
+        assert_eq!(alerts[0].fields["rule"], "slow");
+    }
+
+    #[test]
+    fn window_rule_counts_per_key() {
+        let mut set = compile(
+            "rule burst on window(1us) by pid when count >= 3 \
+             then alert(info, \"bursty\")",
+        )
+        .unwrap();
+        let mut docs: Vec<Value> = (0..5).map(|i| doc(100 + i, "read", json!({}))).collect();
+        docs.push(doc(50, "read", json!({"pid": 99})));
+        let alerts = run(&mut set, &docs);
+        assert_eq!(alerts.len(), 1, "only pid 10 bursts");
+        assert_eq!(alerts[0].subject, "10");
+        assert_eq!(alerts[0].window_start_ns, Some(0));
+        assert_eq!(alerts[0].window_end_ns, Some(1_000));
+        assert_eq!(alerts[0].time_ns, 1_000);
+    }
+
+    #[test]
+    fn baseline_needs_full_history_then_detects_spikes() {
+        let mut set = compile(
+            "rule spike on window(1us) when count > baseline(count, 2) * 3.0 \
+             then alert(warning, syscall_rate_anomaly, \"spike\")",
+        )
+        .unwrap();
+        // Windows: 2, 2, then 50 events.
+        let mut docs = Vec::new();
+        for w in 0..2u64 {
+            for i in 0..2u64 {
+                docs.push(doc(w * 1_000 + i, "read", json!({})));
+            }
+        }
+        for i in 0..50u64 {
+            docs.push(doc(2_000 + i, "read", json!({})));
+        }
+        let alerts = run(&mut set, &docs);
+        assert_eq!(alerts.len(), 1, "first two windows build the baseline");
+        assert_eq!(alerts[0].kind, AlertKind::SyscallRateAnomaly);
+        assert_eq!(alerts[0].window_start_ns, Some(2_000));
+        assert_eq!(alerts[0].fields["values"]["baseline(count, 2)"], 2.0);
+    }
+
+    #[test]
+    fn mean_when_tracks_only_matching_windows() {
+        // Calm mean over windows with no errors; fire when a clean window
+        // dips below the calm mean.
+        let mut set = compile(
+            "rule dip on window(1us) when errors == 0 and count * 2 < \
+             mean_when(count, errors == 0) then alert(info, \"dip\")",
+        )
+        .unwrap();
+        let mut docs = Vec::new();
+        // Window 0: 10 clean events. Window 1: 10 events with errors
+        // (excluded from the mean). Window 2: 1 clean event → dip.
+        for i in 0..10u64 {
+            docs.push(doc(i, "read", json!({})));
+        }
+        for i in 0..10u64 {
+            docs.push(doc(1_000 + i, "read", json!({"ret_val": -1})));
+        }
+        docs.push(doc(2_000, "read", json!({})));
+        let alerts = run(&mut set, &docs);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].window_start_ns, Some(2_000));
+        assert_eq!(alerts[0].fields["values"]["mean_when(count, errors == 0)"], 10.0);
+    }
+
+    #[test]
+    fn limit_suppresses_and_counts() {
+        let mut set =
+            compile("rule all when ret_val >= 0 then alert(info, \"hit\") limit 2").unwrap();
+        let docs: Vec<Value> = (0..5).map(|i| doc(i, "read", json!({}))).collect();
+        let alerts = run(&mut set, &docs);
+        assert_eq!(alerts.len(), 2);
+        let report = &set.reports()[0];
+        assert_eq!(report["fired"], 2);
+        assert_eq!(report["suppressed"], 3);
+        assert_eq!(report["evaluated"], 5);
+    }
+
+    #[test]
+    fn record_rules_count_without_alerting() {
+        let mut set = compile("rule seen when syscall == \"read\" then record(\"reads\")").unwrap();
+        let alerts = run(&mut set, &[doc(1, "read", json!({})), doc(2, "write", json!({}))]);
+        assert!(alerts.is_empty());
+        assert_eq!(set.reports()[0]["records"], 1);
+    }
+
+    #[test]
+    fn telemetry_counters_track_fires() {
+        let registry = MetricsRegistry::new();
+        let mut set = compile("rule r when ret_val >= 0 then alert(info, \"x\")").unwrap();
+        set.bind_telemetry(&registry);
+        run(&mut set, &[doc(1, "read", json!({}))]);
+        assert_eq!(registry.snapshot().counter("diagnose.rule.r.fired"), 1);
+    }
+
+    #[test]
+    fn percentile_and_error_fraction_aggregates() {
+        let mut set = compile(
+            "rule slow on window(1us) when p95(latency_ns) > 5ms and error_fraction >= 0.5 \
+             then alert(warning, \"slow and failing\")",
+        )
+        .unwrap();
+        let mut docs = Vec::new();
+        for i in 0..10u64 {
+            let ret = if i < 5 { -1 } else { 1 };
+            docs.push(doc(i, "read", json!({"latency_ns": 10_000_000, "ret_val": ret})));
+        }
+        let alerts = run(&mut set, &docs);
+        assert_eq!(alerts.len(), 1);
+    }
+
+    #[test]
+    fn unchecked_compilation_of_rejected_rules_never_fires() {
+        let file = parse_rules(
+            "rule empty when offset > 10 and offset < 5 then alert(critical, \"never\")",
+        )
+        .unwrap();
+        let mut set = compile_unchecked(&file);
+        assert!(set.verify_report().statically_empty("empty"));
+        let docs: Vec<Value> = (0..20).map(|i| doc(i, "read", json!({"offset": i * 3}))).collect();
+        let alerts = run(&mut set, &docs);
+        assert!(alerts.is_empty(), "statically empty rule must never fire");
+    }
+
+    #[test]
+    fn unchecked_ill_typed_rules_execute_without_panicking() {
+        let file = parse_rules(
+            "rule bad when nonsense > syscall + 3 or p95(args) > 1 then alert(info, \"x\")",
+        )
+        .unwrap();
+        let mut set = compile_unchecked(&file);
+        let alerts = run(&mut set, &[doc(1, "read", json!({}))]);
+        assert!(alerts.is_empty());
+    }
+}

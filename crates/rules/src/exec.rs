@@ -1,0 +1,346 @@
+//! Three-valued runtime evaluation of rule predicates.
+//!
+//! Evaluation uses Kleene's strong three-valued logic: a missing document
+//! field (or any expression the event cannot answer) evaluates to
+//! *unknown*, `and` is false-dominant, `or` is true-dominant, and a rule
+//! fires only when its predicate is definitely true. Kleene evaluation is
+//! monotone in the unknowns, which is what makes the static pass sound:
+//! a predicate proven classically unsatisfiable cannot become true under
+//! any assignment, so it can never fire at runtime either.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde_json::Value;
+
+use crate::ast::{BinOp, Expr, ExprKind};
+
+/// A runtime value in the three-valued domain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum V {
+    /// A number (integers, floats, and nanosecond quantities unify here).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// The third truth value: the event cannot answer this expression.
+    Unknown,
+}
+
+impl V {
+    /// Converts a JSON document value.
+    pub fn of_json(v: &Value) -> V {
+        match v {
+            Value::Number(n) => V::Num(n.as_f64()),
+            Value::String(s) => V::Str(s.clone()),
+            Value::Bool(b) => V::Bool(*b),
+            _ => V::Unknown,
+        }
+    }
+
+    /// Renders into JSON (unknown becomes `null`).
+    pub fn to_json(&self) -> Value {
+        match self {
+            V::Num(n) => serde_json::Number::from_f64(*n).map(Value::Number).unwrap_or(Value::Null),
+            V::Str(s) => Value::String(s.clone()),
+            V::Bool(b) => Value::Bool(*b),
+            V::Unknown => Value::Null,
+        }
+    }
+
+    /// The definite truth value, if any.
+    pub fn truth(&self) -> Option<bool> {
+        match self {
+            V::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is definitely true.
+    pub fn is_true(&self) -> bool {
+        matches!(self, V::Bool(true))
+    }
+
+    fn num(&self) -> Option<f64> {
+        match self {
+            V::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Evaluates `e`, resolving `Ident`/`Call` leaves through `resolve`.
+///
+/// The resolver returns `None` for names it cannot answer, which becomes
+/// [`V::Unknown`]. Evaluation never panics, whatever the expression — the
+/// escape hatch `compile_unchecked` feeds arbitrary (even ill-typed)
+/// predicates through here.
+pub fn eval(e: &Expr, resolve: &dyn Fn(&Expr) -> Option<V>) -> V {
+    match &e.kind {
+        ExprKind::Int(v) => V::Num(*v as f64),
+        ExprKind::Float(v) => V::Num(*v),
+        ExprKind::Dur(d) => V::Num(d.as_ns() as f64),
+        ExprKind::Str(s) => V::Str(s.clone()),
+        ExprKind::Ident(_) | ExprKind::Call { .. } => resolve(e).unwrap_or(V::Unknown),
+        ExprKind::Neg(inner) => match eval(inner, resolve).num() {
+            Some(n) => V::Num(-n),
+            None => V::Unknown,
+        },
+        ExprKind::Not(inner) => match eval(inner, resolve).truth() {
+            Some(b) => V::Bool(!b),
+            None => V::Unknown,
+        },
+        ExprKind::Binary { op, lhs, rhs } => {
+            match op {
+                // Kleene: false dominates `and`, true dominates `or`.
+                BinOp::And => match (eval(lhs, resolve).truth(), eval(rhs, resolve).truth()) {
+                    (Some(false), _) | (_, Some(false)) => V::Bool(false),
+                    (Some(true), Some(true)) => V::Bool(true),
+                    _ => V::Unknown,
+                },
+                BinOp::Or => match (eval(lhs, resolve).truth(), eval(rhs, resolve).truth()) {
+                    (Some(true), _) | (_, Some(true)) => V::Bool(true),
+                    (Some(false), Some(false)) => V::Bool(false),
+                    _ => V::Unknown,
+                },
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    cmp(*op, eval(lhs, resolve), eval(rhs, resolve))
+                }
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                    match (eval(lhs, resolve).num(), eval(rhs, resolve).num()) {
+                        (Some(a), Some(b)) => match op {
+                            BinOp::Add => V::Num(a + b),
+                            BinOp::Sub => V::Num(a - b),
+                            BinOp::Mul => V::Num(a * b),
+                            _ if b == 0.0 => V::Unknown,
+                            _ => V::Num(a / b),
+                        },
+                        _ => V::Unknown,
+                    }
+                }
+            }
+        }
+        ExprKind::In { lhs, items } => match eval(lhs, resolve) {
+            V::Str(s) => V::Bool(items.contains(&s)),
+            _ => V::Unknown,
+        },
+        ExprKind::StartsWith { lhs, prefix } => match eval(lhs, resolve) {
+            V::Str(s) => V::Bool(s.starts_with(prefix.as_str())),
+            _ => V::Unknown,
+        },
+    }
+}
+
+fn cmp(op: BinOp, a: V, b: V) -> V {
+    let ord = match (&a, &b) {
+        (V::Num(x), V::Num(y)) => x.partial_cmp(y),
+        (V::Str(x), V::Str(y)) => Some(x.cmp(y)),
+        (V::Bool(x), V::Bool(y)) => match op {
+            BinOp::Eq | BinOp::Ne => Some(x.cmp(y)),
+            _ => None,
+        },
+        _ => None,
+    };
+    match ord {
+        Some(ord) => V::Bool(match op {
+            BinOp::Eq => ord.is_eq(),
+            BinOp::Ne => !ord.is_eq(),
+            BinOp::Lt => ord.is_lt(),
+            BinOp::Le => ord.is_le(),
+            BinOp::Gt => ord.is_gt(),
+            BinOp::Ge => ord.is_ge(),
+            // Non-comparison operators never reach `cmp`.
+            _ => return V::Unknown,
+        }),
+        None => V::Unknown,
+    }
+}
+
+// -------------------------------------------------------- stream atoms
+
+/// Per-event values of the stream sequence atoms.
+#[derive(Debug, Clone, Default)]
+pub struct EventAtoms {
+    /// 1-based reuse generation of the event's file tag, when defined.
+    pub generation: Option<u64>,
+    /// Whether this is the first read observed for the tag, when defined.
+    pub first_read: Option<bool>,
+    /// The previous syscall on this event's thread, when known.
+    pub prev_syscall: Option<String>,
+}
+
+/// Shared sequence state across all stream rules of a rule set.
+///
+/// Mirrors the bookkeeping of the hand-coded `DataLossDetector`:
+/// generations are registered per `(dev, ino)` pair for the four
+/// data-path calls carrying a parseable `file_tag`, and first reads are
+/// tracked per tag.
+#[derive(Debug, Default)]
+pub struct StreamState {
+    generations: BTreeMap<(u64, u64), Vec<String>>,
+    first_read_seen: BTreeSet<String>,
+    last_syscall_by_tid: BTreeMap<u64, String>,
+}
+
+/// Data-path syscalls that define `generation`/`first_read`.
+fn is_data_rw(syscall: &str) -> bool {
+    matches!(syscall, "read" | "write" | "pread64" | "pwrite64")
+}
+
+/// Parses a `dev|ino|ts` file tag into its `(dev, ino)` identity.
+fn parse_tag(tag: &str) -> Option<(u64, u64)> {
+    let mut parts = tag.split('|');
+    let dev = parts.next()?.parse().ok()?;
+    let ino = parts.next()?.parse().ok()?;
+    parts.next()?.parse::<u64>().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((dev, ino))
+}
+
+impl StreamState {
+    /// Computes this event's atom values, then folds the event into the
+    /// sequence state (atoms describe the stream *up to and including*
+    /// this event, matching the hand-coded detector's evaluation point).
+    pub fn advance(&mut self, doc: &Value) -> EventAtoms {
+        let syscall = doc["syscall"].as_str().unwrap_or("");
+        let mut atoms = EventAtoms::default();
+        if let Some(tid) = doc["tid"].as_u64() {
+            atoms.prev_syscall = self.last_syscall_by_tid.get(&tid).cloned();
+            if !syscall.is_empty() {
+                self.last_syscall_by_tid.insert(tid, syscall.to_string());
+            }
+        }
+        let tag = doc["file_tag"].as_str().unwrap_or("");
+        if is_data_rw(syscall) {
+            if let Some(identity) = parse_tag(tag) {
+                let tags = self.generations.entry(identity).or_default();
+                let position = match tags.iter().position(|t| t == tag) {
+                    Some(p) => p,
+                    None => {
+                        tags.push(tag.to_string());
+                        tags.len() - 1
+                    }
+                };
+                atoms.generation = Some(position as u64 + 1);
+                if matches!(syscall, "read" | "pread64") {
+                    atoms.first_read = Some(self.first_read_seen.insert(tag.to_string()));
+                }
+            }
+        }
+        atoms
+    }
+}
+
+/// Resolver for per-event evaluation: document fields, plus the stream
+/// atoms when `atoms` is provided (stream rules only).
+pub fn event_resolver<'a>(
+    doc: &'a Value,
+    atoms: Option<&'a EventAtoms>,
+) -> impl Fn(&Expr) -> Option<V> + 'a {
+    move |e: &Expr| match &e.kind {
+        ExprKind::Ident(name) => match name.as_str() {
+            "generation" => atoms.and_then(|a| a.generation).map(|g| V::Num(g as f64)),
+            "first_read" => atoms.and_then(|a| a.first_read).map(V::Bool),
+            _ => match doc.get(name.as_str()) {
+                Some(v) => Some(V::of_json(v)),
+                None => Some(V::Unknown),
+            },
+        },
+        ExprKind::Call { name, args } if name == "follows" => {
+            let atoms = atoms?;
+            let prev = atoms.prev_syscall.as_deref()?;
+            match args.first().map(|a| &a.kind) {
+                Some(ExprKind::Ident(sys)) => Some(V::Bool(prev == sys)),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+    use serde_json::json;
+
+    fn eval_on(src: &str, doc: &Value, atoms: Option<&EventAtoms>) -> V {
+        let expr = parse_expr(src).unwrap();
+        eval(&expr, &event_resolver(doc, atoms))
+    }
+
+    #[test]
+    fn field_comparisons_evaluate() {
+        let doc = json!({"syscall": "read", "ret_val": -5, "latency_ns": 7_000_000});
+        assert_eq!(eval_on("ret_val < 0", &doc, None), V::Bool(true));
+        assert_eq!(eval_on("latency_ns > 5ms", &doc, None), V::Bool(true));
+        assert_eq!(eval_on("syscall in (read, write)", &doc, None), V::Bool(true));
+        assert_eq!(eval_on("syscall starts_with \"pw\"", &doc, None), V::Bool(false));
+    }
+
+    #[test]
+    fn missing_fields_are_unknown_and_do_not_fire() {
+        let doc = json!({"syscall": "read"});
+        assert_eq!(eval_on("offset > 0", &doc, None), V::Unknown);
+        // False dominates and: the rule is definitely not firing.
+        assert_eq!(eval_on("offset > 0 and ret_val == 1", &doc, None), V::Unknown);
+        assert_eq!(
+            eval_on("offset > 0 and syscall == \"write\"", &doc, None),
+            V::Bool(false),
+            "a definite false short-circuits the unknown"
+        );
+        // True dominates or.
+        assert_eq!(eval_on("offset > 0 or syscall == \"read\"", &doc, None), V::Bool(true));
+        assert_eq!(eval_on("not (offset > 0)", &doc, None), V::Unknown);
+    }
+
+    #[test]
+    fn arithmetic_and_division_guard() {
+        let doc = json!({"ret_val": 10, "offset": 3});
+        assert_eq!(eval_on("ret_val * 2 + offset == 23", &doc, None), V::Bool(true));
+        assert_eq!(eval_on("ret_val / 0 > 1", &doc, None), V::Unknown);
+        assert_eq!(eval_on("-ret_val < 0", &doc, None), V::Bool(true));
+    }
+
+    #[test]
+    fn stream_state_tracks_generations_and_first_reads() {
+        let mut state = StreamState::default();
+        let write_g1 = json!({"syscall": "write", "tid": 1, "file_tag": "7|12|100", "ret_val": 4});
+        let read_g2 = json!({"syscall": "read", "tid": 1, "file_tag": "7|12|900", "ret_val": 0});
+        let a = state.advance(&write_g1);
+        assert_eq!(a.generation, Some(1));
+        assert_eq!(a.first_read, None, "writes do not define first_read");
+        let a = state.advance(&read_g2);
+        assert_eq!(a.generation, Some(2), "same (dev, ino), new tag");
+        assert_eq!(a.first_read, Some(true));
+        assert_eq!(a.prev_syscall.as_deref(), Some("write"));
+        let a = state.advance(&read_g2);
+        assert_eq!(a.first_read, Some(false), "second read of the tag");
+    }
+
+    #[test]
+    fn atoms_undefined_off_the_data_path() {
+        let mut state = StreamState::default();
+        let openat = json!({"syscall": "openat", "tid": 1, "file_tag": "7|12|100"});
+        let atoms = state.advance(&openat);
+        assert_eq!(atoms.generation, None);
+        let doc = json!({"syscall": "openat"});
+        assert_eq!(eval_on("generation > 1", &doc, Some(&atoms)), V::Unknown);
+        assert_eq!(eval_on("first_read", &doc, Some(&atoms)), V::Unknown);
+    }
+
+    #[test]
+    fn follows_matches_the_previous_syscall_per_tid() {
+        let mut state = StreamState::default();
+        state.advance(&json!({"syscall": "write", "tid": 7}));
+        state.advance(&json!({"syscall": "openat", "tid": 8}));
+        let atoms = state.advance(&json!({"syscall": "fsync", "tid": 7}));
+        let doc = json!({"syscall": "fsync"});
+        assert_eq!(eval_on("follows(write)", &doc, Some(&atoms)), V::Bool(true));
+        assert_eq!(eval_on("follows(read)", &doc, Some(&atoms)), V::Bool(false));
+        let first = state.advance(&json!({"syscall": "read", "tid": 9}));
+        assert_eq!(eval_on("follows(read)", &doc, Some(&first)), V::Unknown);
+    }
+}

@@ -1,0 +1,405 @@
+//! Tokenizer for the rule DSL.
+//!
+//! Whitespace separates tokens; `#` starts a line comment. Numbers with a
+//! `ns`/`us`/`ms`/`s` suffix lex as duration literals, keeping units
+//! explicit at the token level (fractional durations are rejected with a
+//! pointer at the smaller unit to use instead).
+
+use crate::ast::{DurUnit, Span};
+
+/// One token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token variant.
+    pub kind: TokenKind,
+    /// Position of the token's first character.
+    pub span: Span,
+}
+
+/// Token variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Duration literal: written value + unit.
+    Dur(u64, DurUnit),
+    /// String literal (unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+}
+
+impl TokenKind {
+    /// Short description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("`{s}`"),
+            TokenKind::Int(v) => format!("`{v}`"),
+            TokenKind::Float(v) => format!("`{v:?}`"),
+            TokenKind::Dur(v, u) => format!("`{v}{}`", u.suffix()),
+            TokenKind::Str(_) => "string literal".to_string(),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+            TokenKind::EqEq => "`==`".to_string(),
+            TokenKind::Ne => "`!=`".to_string(),
+            TokenKind::Lt => "`<`".to_string(),
+            TokenKind::Le => "`<=`".to_string(),
+            TokenKind::Gt => "`>`".to_string(),
+            TokenKind::Ge => "`>=`".to_string(),
+            TokenKind::Plus => "`+`".to_string(),
+            TokenKind::Minus => "`-`".to_string(),
+            TokenKind::Star => "`*`".to_string(),
+            TokenKind::Slash => "`/`".to_string(),
+        }
+    }
+}
+
+/// A lexer or parser failure, with position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Where it went wrong.
+    pub span: Span,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error: {} ({})", self.message, self.span)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Tokenizes `src`, or reports the first malformed token.
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+    while i < bytes.len() {
+        let c = bytes[i];
+        let span = Span { line, col };
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'(' => {
+                tokens.push(Token { kind: TokenKind::LParen, span });
+                bump!();
+            }
+            b')' => {
+                tokens.push(Token { kind: TokenKind::RParen, span });
+                bump!();
+            }
+            b',' => {
+                tokens.push(Token { kind: TokenKind::Comma, span });
+                bump!();
+            }
+            b'+' => {
+                tokens.push(Token { kind: TokenKind::Plus, span });
+                bump!();
+            }
+            b'-' => {
+                tokens.push(Token { kind: TokenKind::Minus, span });
+                bump!();
+            }
+            b'*' => {
+                tokens.push(Token { kind: TokenKind::Star, span });
+                bump!();
+            }
+            b'/' => {
+                tokens.push(Token { kind: TokenKind::Slash, span });
+                bump!();
+            }
+            b'=' => {
+                bump!();
+                if i < bytes.len() && bytes[i] == b'=' {
+                    bump!();
+                    tokens.push(Token { kind: TokenKind::EqEq, span });
+                } else {
+                    return Err(ParseError {
+                        message: "single `=` is not an operator; use `==`".into(),
+                        span,
+                    });
+                }
+            }
+            b'!' => {
+                bump!();
+                if i < bytes.len() && bytes[i] == b'=' {
+                    bump!();
+                    tokens.push(Token { kind: TokenKind::Ne, span });
+                } else {
+                    return Err(ParseError {
+                        message: "`!` is not an operator; use `not` or `!=`".into(),
+                        span,
+                    });
+                }
+            }
+            b'<' => {
+                bump!();
+                if i < bytes.len() && bytes[i] == b'=' {
+                    bump!();
+                    tokens.push(Token { kind: TokenKind::Le, span });
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, span });
+                }
+            }
+            b'>' => {
+                bump!();
+                if i < bytes.len() && bytes[i] == b'=' {
+                    bump!();
+                    tokens.push(Token { kind: TokenKind::Ge, span });
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, span });
+                }
+            }
+            b'"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(ParseError { message: "unterminated string".into(), span });
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            bump!();
+                            break;
+                        }
+                        b'\\' => {
+                            bump!();
+                            if i >= bytes.len() {
+                                return Err(ParseError {
+                                    message: "unterminated string".into(),
+                                    span,
+                                });
+                            }
+                            match bytes[i] {
+                                b'"' => s.push('"'),
+                                b'\\' => s.push('\\'),
+                                b'n' => s.push('\n'),
+                                other => {
+                                    return Err(ParseError {
+                                        message: format!(
+                                            "unknown escape `\\{}` in string",
+                                            other as char
+                                        ),
+                                        span: Span { line, col },
+                                    })
+                                }
+                            }
+                            bump!();
+                        }
+                        b'\n' => {
+                            return Err(ParseError {
+                                message: "newline inside string literal".into(),
+                                span,
+                            })
+                        }
+                        _ => {
+                            // Consume one full UTF-8 scalar.
+                            let start = i;
+                            let ch_len = utf8_len(bytes[i]);
+                            for _ in 0..ch_len {
+                                if i < bytes.len() {
+                                    bump!();
+                                }
+                            }
+                            s.push_str(std::str::from_utf8(&bytes[start..i]).map_err(|_| {
+                                ParseError { message: "invalid UTF-8 in string".into(), span }
+                            })?);
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), span });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    bump!();
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        bump!();
+                    }
+                }
+                let digits = std::str::from_utf8(&bytes[start..i]).expect("ascii digits");
+                // Unit suffix glued to the number → duration literal.
+                let suffix_start = i;
+                while i < bytes.len() && bytes[i].is_ascii_alphabetic() {
+                    bump!();
+                }
+                let suffix = std::str::from_utf8(&bytes[suffix_start..i]).expect("ascii alpha");
+                if suffix.is_empty() {
+                    let kind = if is_float {
+                        TokenKind::Float(digits.parse().map_err(|_| ParseError {
+                            message: format!("malformed float `{digits}`"),
+                            span,
+                        })?)
+                    } else {
+                        TokenKind::Int(digits.parse().map_err(|_| ParseError {
+                            message: format!("integer `{digits}` out of range"),
+                            span,
+                        })?)
+                    };
+                    tokens.push(Token { kind, span });
+                } else {
+                    let unit = match suffix {
+                        "ns" => DurUnit::Ns,
+                        "us" => DurUnit::Us,
+                        "ms" => DurUnit::Ms,
+                        "s" => DurUnit::S,
+                        other => {
+                            return Err(ParseError {
+                                message: format!(
+                                    "unknown unit suffix `{other}` (expected ns, us, ms, or s)"
+                                ),
+                                span,
+                            })
+                        }
+                    };
+                    if is_float {
+                        return Err(ParseError {
+                            message: format!(
+                                "fractional duration `{digits}{suffix}`; use a smaller unit"
+                            ),
+                            span,
+                        });
+                    }
+                    let value: u64 = digits.parse().map_err(|_| ParseError {
+                        message: format!("duration `{digits}{suffix}` out of range"),
+                        span,
+                    })?;
+                    tokens.push(Token { kind: TokenKind::Dur(value, unit), span });
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    bump!();
+                }
+                let ident = std::str::from_utf8(&bytes[start..i]).expect("ascii ident");
+                tokens.push(Token { kind: TokenKind::Ident(ident.to_string()), span });
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character `{}`", other as char),
+                    span,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_operators_and_literals() {
+        assert_eq!(
+            kinds("a >= 4.0 and b in (read, \"x y\") # comment\nc != 250ms"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ge,
+                TokenKind::Float(4.0),
+                TokenKind::Ident("and".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("in".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("read".into()),
+                TokenKind::Comma,
+                TokenKind::Str("x y".into()),
+                TokenKind::RParen,
+                TokenKind::Ident("c".into()),
+                TokenKind::Ne,
+                TokenKind::Dur(250, DurUnit::Ms),
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_and_column() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span, Span { line: 1, col: 1 });
+        assert_eq!(toks[1].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn rejects_bad_tokens_with_position() {
+        assert!(lex("a = b").unwrap_err().message.contains("use `==`"));
+        assert!(lex("1.5s").unwrap_err().message.contains("fractional duration"));
+        assert!(lex("10m").unwrap_err().message.contains("unknown unit suffix"));
+        assert!(lex("\"open").unwrap_err().message.contains("unterminated"));
+        let err = lex("a\n  @").unwrap_err();
+        assert_eq!(err.span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn string_escapes_unescape() {
+        assert_eq!(kinds(r#""a\"b\\c\nd""#), vec![TokenKind::Str("a\"b\\c\nd".into())]);
+    }
+}

@@ -1,0 +1,536 @@
+//! Recursive-descent parser: token stream → [`RuleFile`].
+//!
+//! Every error carries the span of the offending token. Comparisons are
+//! non-associative (`a < b < c` is rejected with a dedicated message),
+//! and `not` binds looser than comparisons, so `not a == b` reads as
+//! `not (a == b)`.
+
+use crate::ast::{
+    Action, BinOp, DurLit, Expr, ExprKind, KeyDim, Rule, RuleFile, SeverityLit, Span, Trigger,
+};
+use crate::lexer::{lex, ParseError, Token, TokenKind};
+
+/// Parses a rule file, or reports the first syntax error with its span.
+pub fn parse_rules(src: &str) -> Result<RuleFile, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut rules = Vec::new();
+    while !p.at_end() {
+        rules.push(p.rule()?);
+    }
+    Ok(RuleFile { rules })
+}
+
+/// Parses a single expression (used by tests and the analysis fixtures).
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.expr()?;
+    if !p.at_end() {
+        return Err(p.error_here("trailing input after expression"));
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn span_here(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.span)
+            .or_else(|| self.tokens.last().map(|t| t.span))
+            .unwrap_or_default()
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> ParseError {
+        let message = match self.peek() {
+            Some(kind) => format!("{}, found {}", message.into(), kind.describe()),
+            None => format!("{}, found end of input", message.into()),
+        };
+        ParseError { message, span: self.span_here() }
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes the next token if it is the given punctuation.
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Span, ParseError> {
+        if self.peek() == Some(kind) {
+            let span = self.span_here();
+            self.pos += 1;
+            Ok(span)
+        } else {
+            Err(self.error_here(format!("expected {what}")))
+        }
+    }
+
+    /// Consumes the next token if it is the given keyword ident.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(TokenKind::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<Span, ParseError> {
+        if matches!(self.peek(), Some(TokenKind::Ident(s)) if s == kw) {
+            let span = self.span_here();
+            self.pos += 1;
+            Ok(span)
+        } else {
+            Err(self.error_here(format!("expected `{kw}`")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), ParseError> {
+        match self.peek() {
+            Some(TokenKind::Ident(_)) => {
+                let span = self.span_here();
+                let Some(Token { kind: TokenKind::Ident(s), .. }) = self.bump() else {
+                    unreachable!("peeked an ident");
+                };
+                Ok((s, span))
+            }
+            _ => Err(self.error_here(format!("expected {what}"))),
+        }
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(TokenKind::Str(_)) => {
+                let Some(Token { kind: TokenKind::Str(s), .. }) = self.bump() else {
+                    unreachable!("peeked a string");
+                };
+                Ok(s)
+            }
+            _ => Err(self.error_here(format!("expected {what}"))),
+        }
+    }
+
+    fn duration(&mut self, what: &str) -> Result<DurLit, ParseError> {
+        match self.peek() {
+            Some(TokenKind::Dur(_, _)) => {
+                let span = self.span_here();
+                let Some(Token { kind: TokenKind::Dur(value, unit), .. }) = self.bump() else {
+                    unreachable!("peeked a duration");
+                };
+                Ok(DurLit { value, unit, span })
+            }
+            Some(TokenKind::Int(_)) => {
+                Err(self.error_here(format!("expected {what} with a unit suffix (ns/us/ms/s)")))
+            }
+            _ => Err(self.error_here(format!("expected {what}"))),
+        }
+    }
+
+    // ------------------------------------------------------------- rules
+
+    fn rule(&mut self) -> Result<Rule, ParseError> {
+        self.expect_kw("rule")?;
+        let (name, name_span) = self.ident("rule name")?;
+        let trigger = if self.eat_kw("on") {
+            if self.eat_kw("stream") {
+                Trigger::Stream
+            } else if self.eat_kw("window") {
+                self.expect(&TokenKind::LParen, "`(` after `window`")?;
+                let width = self.duration("window width")?;
+                let slide = if self.eat(&TokenKind::Comma) {
+                    Some(self.duration("window slide")?)
+                } else {
+                    None
+                };
+                self.expect(&TokenKind::RParen, "`)` after window spec")?;
+                Trigger::Window { width, slide }
+            } else {
+                return Err(self.error_here("expected `stream` or `window` after `on`"));
+            }
+        } else {
+            Trigger::Stream
+        };
+        let key = if self.eat_kw("by") {
+            let (kw, span) = self.ident("key dimension after `by`")?;
+            Some(match kw.as_str() {
+                "pid" => KeyDim::Pid,
+                "file" => KeyDim::File,
+                "class" => KeyDim::Class,
+                "proc" => KeyDim::Proc,
+                other => {
+                    return Err(ParseError {
+                        message: format!(
+                            "unknown key dimension `{other}` (expected pid, file, class, or proc)"
+                        ),
+                        span,
+                    })
+                }
+            })
+        } else {
+            None
+        };
+        self.expect_kw("when")?;
+        let when = self.expr()?;
+        self.expect_kw("then")?;
+        let action = self.action()?;
+        let limit = if self.eat_kw("limit") {
+            match self.peek() {
+                Some(&TokenKind::Int(v)) if v >= 0 => {
+                    self.pos += 1;
+                    Some(v as u64)
+                }
+                _ => return Err(self.error_here("expected a non-negative integer after `limit`")),
+            }
+        } else {
+            None
+        };
+        Ok(Rule { name, name_span, trigger, key, when, action, limit })
+    }
+
+    fn action(&mut self) -> Result<Action, ParseError> {
+        if self.eat_kw("alert") {
+            self.expect(&TokenKind::LParen, "`(` after `alert`")?;
+            let (sev, sev_span) = self.ident("severity (info/warning/critical)")?;
+            let severity = match sev.as_str() {
+                "info" => SeverityLit::Info,
+                "warning" => SeverityLit::Warning,
+                "critical" => SeverityLit::Critical,
+                other => {
+                    return Err(ParseError {
+                        message: format!(
+                            "unknown severity `{other}` (expected info, warning, or critical)"
+                        ),
+                        span: sev_span,
+                    })
+                }
+            };
+            self.expect(&TokenKind::Comma, "`,` after severity")?;
+            let (kind, kind_span, message) = match self.peek() {
+                Some(TokenKind::Ident(_)) => {
+                    let (k, span) = self.ident("alert kind")?;
+                    self.expect(&TokenKind::Comma, "`,` after alert kind")?;
+                    (Some(k), span, self.string("alert message string")?)
+                }
+                _ => (None, Span::default(), self.string("alert message string")?),
+            };
+            self.expect(&TokenKind::RParen, "`)` after alert message")?;
+            Ok(Action::Alert { severity, kind, kind_span, message })
+        } else if self.eat_kw("record") {
+            self.expect(&TokenKind::LParen, "`(` after `record`")?;
+            let label = self.string("record label string")?;
+            self.expect(&TokenKind::RParen, "`)` after record label")?;
+            Ok(Action::Record { label })
+        } else {
+            Err(self.error_here("expected `alert` or `record` after `then`"))
+        }
+    }
+
+    // ------------------------------------------------------- expressions
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("or") {
+            let rhs = self.and_expr()?;
+            let span = lhs.span;
+            lhs = Expr {
+                kind: ExprKind::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("and") {
+            let rhs = self.not_expr()?;
+            let span = lhs.span;
+            lhs = Expr {
+                kind: ExprKind::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if matches!(self.peek(), Some(TokenKind::Ident(s)) if s == "not") {
+            let span = self.span_here();
+            self.pos += 1;
+            let inner = self.not_expr()?;
+            return Ok(Expr { kind: ExprKind::Not(Box::new(inner)), span });
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(TokenKind::EqEq) => Some(BinOp::Eq),
+            Some(TokenKind::Ne) => Some(BinOp::Ne),
+            Some(TokenKind::Lt) => Some(BinOp::Lt),
+            Some(TokenKind::Le) => Some(BinOp::Le),
+            Some(TokenKind::Gt) => Some(BinOp::Gt),
+            Some(TokenKind::Ge) => Some(BinOp::Ge),
+            Some(TokenKind::Ident(s)) if s == "in" => {
+                self.pos += 1;
+                self.expect(&TokenKind::LParen, "`(` after `in`")?;
+                let mut items = Vec::new();
+                loop {
+                    match self.bump() {
+                        Some(Token { kind: TokenKind::Ident(s), .. }) => items.push(s),
+                        Some(Token { kind: TokenKind::Str(s), .. }) => items.push(s),
+                        Some(t) => {
+                            return Err(ParseError {
+                                message: format!(
+                                    "expected identifier or string in `in` list, found {}",
+                                    t.kind.describe()
+                                ),
+                                span: t.span,
+                            })
+                        }
+                        None => return Err(self.error_here("unterminated `in` list")),
+                    }
+                    if self.eat(&TokenKind::Comma) {
+                        continue;
+                    }
+                    self.expect(&TokenKind::RParen, "`)` closing the `in` list")?;
+                    break;
+                }
+                let span = lhs.span;
+                return Ok(Expr { kind: ExprKind::In { lhs: Box::new(lhs), items }, span });
+            }
+            Some(TokenKind::Ident(s)) if s == "starts_with" => {
+                self.pos += 1;
+                let prefix = self.string("prefix string after `starts_with`")?;
+                let span = lhs.span;
+                return Ok(Expr {
+                    kind: ExprKind::StartsWith { lhs: Box::new(lhs), prefix },
+                    span,
+                });
+            }
+            _ => None,
+        };
+        let Some(op) = op else { return Ok(lhs) };
+        self.pos += 1;
+        let rhs = self.add_expr()?;
+        if matches!(
+            self.peek(),
+            Some(
+                TokenKind::EqEq
+                    | TokenKind::Ne
+                    | TokenKind::Lt
+                    | TokenKind::Le
+                    | TokenKind::Gt
+                    | TokenKind::Ge
+            )
+        ) {
+            return Err(
+                self.error_here("comparisons do not chain; combine two comparisons with `and`")
+            );
+        }
+        let span = lhs.span;
+        Ok(Expr { kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Plus) => BinOp::Add,
+                Some(TokenKind::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            let span = lhs.span;
+            lhs = Expr {
+                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Star) => BinOp::Mul,
+                Some(TokenKind::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            let span = lhs.span;
+            lhs = Expr {
+                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == Some(&TokenKind::Minus) {
+            let span = self.span_here();
+            self.pos += 1;
+            let inner = self.unary_expr()?;
+            return Ok(Expr { kind: ExprKind::Neg(Box::new(inner)), span });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let span = self.span_here();
+        match self.peek() {
+            Some(TokenKind::LParen) => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(inner)
+            }
+            Some(&TokenKind::Int(v)) => {
+                self.pos += 1;
+                Ok(Expr { kind: ExprKind::Int(v), span })
+            }
+            Some(&TokenKind::Float(v)) => {
+                self.pos += 1;
+                Ok(Expr { kind: ExprKind::Float(v), span })
+            }
+            Some(&TokenKind::Dur(value, unit)) => {
+                self.pos += 1;
+                Ok(Expr { kind: ExprKind::Dur(DurLit { value, unit, span }), span })
+            }
+            Some(TokenKind::Str(_)) => {
+                let s = self.string("string")?;
+                Ok(Expr { kind: ExprKind::Str(s), span })
+            }
+            Some(TokenKind::Ident(_)) => {
+                let (name, span) = self.ident("identifier")?;
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&TokenKind::Comma) {
+                                continue;
+                            }
+                            self.expect(&TokenKind::RParen, "`)` closing the argument list")?;
+                            break;
+                        }
+                    }
+                    Ok(Expr { kind: ExprKind::Call { name, args }, span })
+                } else {
+                    Ok(Expr { kind: ExprKind::Ident(name), span })
+                }
+            }
+            _ => Err(self.error_here("expected an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> String {
+        parse_rules(src).unwrap().to_string()
+    }
+
+    #[test]
+    fn parses_a_full_rule_and_prints_canonically() {
+        let src = "rule r on window(1s, 250ms) by class \
+                   when count > baseline(count, 3) * 4.0 and count >= 100 \
+                   then alert(warning, syscall_rate_anomaly, \"spike\") limit 5";
+        let printed = roundtrip(src);
+        assert_eq!(
+            printed.trim(),
+            "rule r on window(1s, 250ms) by class when count > baseline(count, 3) * 4.0 \
+             and count >= 100 then alert(warning, syscall_rate_anomaly, \"spike\") limit 5"
+        );
+        // The canonical form is a parser fixpoint.
+        assert_eq!(roundtrip(&printed), printed);
+    }
+
+    #[test]
+    fn stream_trigger_is_the_default_and_prints_bare() {
+        let a = parse_rules("rule r when first_read then record(\"x\")").unwrap();
+        let b = parse_rules("rule r on stream when first_read then record(\"x\")").unwrap();
+        // Same canonical form (spans differ, structure does not).
+        assert_eq!(a.to_string(), b.to_string());
+        assert!(matches!(b.rules[0].trigger, Trigger::Stream));
+        assert_eq!(a.to_string().trim(), "rule r when first_read then record(\"x\")");
+    }
+
+    #[test]
+    fn not_binds_looser_than_comparison() {
+        let e = parse_expr("not offset > 0").unwrap();
+        assert_eq!(e.to_string(), "not offset > 0");
+        assert!(matches!(e.kind, ExprKind::Not(_)));
+    }
+
+    #[test]
+    fn chained_comparison_is_rejected() {
+        let err = parse_expr("1 < x < 3").unwrap_err();
+        assert!(err.message.contains("do not chain"), "{err}");
+    }
+
+    #[test]
+    fn window_width_requires_a_unit() {
+        let err =
+            parse_rules("rule r on window(1000) when count > 1 then record(\"x\")").unwrap_err();
+        assert!(err.message.contains("unit suffix"), "{err}");
+    }
+
+    #[test]
+    fn unknown_keywords_are_spanned_errors() {
+        let err = parse_rules("rule r by tenant when a > 1 then record(\"x\")").unwrap_err();
+        assert!(err.message.contains("unknown key dimension `tenant`"), "{err}");
+        assert_eq!(err.span.line, 1);
+        let err = parse_rules("rule r when a > 1 then alert(fatal, \"boom\")").unwrap_err();
+        assert!(err.message.contains("unknown severity `fatal`"), "{err}");
+    }
+
+    #[test]
+    fn parenthesized_groups_survive_the_printer() {
+        let e = parse_expr("(a or b) and not (c and d)").unwrap();
+        assert_eq!(e.to_string(), "(a or b) and not (c and d)");
+        assert_eq!(parse_expr(&e.to_string()).unwrap().to_string(), e.to_string());
+    }
+
+    #[test]
+    fn negative_literals_parse_via_unary_minus() {
+        let e = parse_expr("ret_val == -2").unwrap();
+        assert_eq!(e.to_string(), "ret_val == -2");
+    }
+}

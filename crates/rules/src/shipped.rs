@@ -1,0 +1,70 @@
+//! The rule files shipped with the tracer.
+//!
+//! These re-express the hand-coded detectors of `dio-diagnose` as DSL
+//! rules (and are parity-tested against them over the Fig. 2 / Fig. 3
+//! experiment streams). They are embedded from `rules/*.dio` at the
+//! repository root, so the committed files and the compiled-in copies
+//! cannot drift.
+
+/// Fig. 2: inode-reuse data loss, stale-offset resume, validated restart.
+pub const FIG2_DATA_LOSS: &str = include_str!("../../../rules/fig2_data_loss.dio");
+
+/// Fig. 3: background-compaction contention skew.
+pub const FIG3_CONTENTION: &str = include_str!("../../../rules/fig3_contention.dio");
+
+/// Per-class rate spike/collapse versus a trailing baseline.
+pub const RATE_ANOMALY: &str = include_str!("../../../rules/rate_anomaly.dio");
+
+/// Per-class error-fraction threshold.
+pub const ERROR_RATE: &str = include_str!("../../../rules/error_rate.dio");
+
+/// Every shipped rule file: `(name, source)`, name matching
+/// `rules/<name>.dio` in the repository.
+pub const ALL: &[(&str, &str)] = &[
+    ("fig2_data_loss", FIG2_DATA_LOSS),
+    ("fig3_contention", FIG3_CONTENTION),
+    ("rate_anomaly", RATE_ANOMALY),
+    ("error_rate", ERROR_RATE),
+];
+
+/// The source of a shipped rule file, by name.
+pub fn get(name: &str) -> Option<&'static str> {
+    ALL.iter().find(|(n, _)| *n == name).map(|&(_, src)| src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn every_shipped_file_compiles_with_zero_diagnostics() {
+        for (name, src) in ALL {
+            let set = compile(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(
+                set.verify_report().diagnostics().is_empty(),
+                "{name} must be warning-free: {:?}",
+                set.verify_report().diagnostics()
+            );
+            assert!(!set.is_empty(), "{name} defines at least one rule");
+        }
+    }
+
+    #[test]
+    fn shipped_names_resolve() {
+        assert!(get("fig2_data_loss").is_some());
+        assert!(get("nope").is_none());
+    }
+
+    #[test]
+    fn shipped_rule_names_are_globally_unique() {
+        let mut names = Vec::new();
+        for (_, src) in ALL {
+            names.extend(compile(src).unwrap().names().iter().map(|n| n.to_string()));
+        }
+        let total = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), total, "rule names collide across shipped files");
+    }
+}

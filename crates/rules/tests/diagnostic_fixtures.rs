@@ -1,0 +1,81 @@
+//! One committed fixture per typed diagnostic.
+//!
+//! `tests/fixtures/rules/<check-name>.dio` at the repo root holds a
+//! minimal rule file triggering exactly the check it is named after.
+//! This suite walks [`RuleCheck::ALL`] so adding a fourteenth check
+//! without a fixture fails loudly, and asserts each fixture's
+//! accept/reject fate matches the check's level — the same files double
+//! as the CI `check-rules` job's negative corpus, where exit codes are
+//! pinned.
+
+use std::path::{Path, PathBuf};
+
+use dio_rules::{compile, parse_rules, verify_rules, CompileError, RuleCheck};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/rules")
+}
+
+fn fixture_source(check: RuleCheck) -> String {
+    let path = fixture_dir().join(format!("{}.dio", check.name()));
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("every check needs a fixture: {}: {e}", path.display()))
+}
+
+#[test]
+fn every_check_has_a_fixture_that_triggers_it() {
+    for &check in RuleCheck::ALL {
+        let src = fixture_source(check);
+        let file = parse_rules(&src).unwrap_or_else(|e| panic!("{} must parse: {e}", check));
+        let report = verify_rules(&file);
+        let fired: Vec<RuleCheck> = report.diagnostics().iter().map(|d| d.check).collect();
+        assert!(
+            fired.contains(&check),
+            "{}.dio must trigger its namesake check, got {fired:?}",
+            check.name()
+        );
+    }
+}
+
+#[test]
+fn fixture_fate_matches_check_level() {
+    for &check in RuleCheck::ALL {
+        let src = fixture_source(check);
+        match compile(&src) {
+            Ok(_) => assert!(
+                !check.rejects(),
+                "{}.dio compiled but its check is reject-level",
+                check.name()
+            ),
+            Err(CompileError::Verify(err)) => {
+                assert!(
+                    check.rejects(),
+                    "{}.dio was rejected but its check is warn-level: {err}",
+                    check.name()
+                );
+                assert!(
+                    err.report().errors().any(|d| d.check == check),
+                    "{}.dio must be rejected by its namesake check, not a bystander: {err}",
+                    check.name()
+                );
+            }
+            Err(other) => panic!("{}.dio failed before verification: {other}", check.name()),
+        }
+    }
+}
+
+/// Warn-level fixtures still make it to a live [`dio_rules::RuleSet`]:
+/// a warning must never block a load.
+#[test]
+fn warn_level_fixtures_still_compile_to_rule_sets() {
+    let warn_only: Vec<RuleCheck> =
+        RuleCheck::ALL.iter().copied().filter(|c| !c.rejects()).collect();
+    assert_eq!(
+        warn_only,
+        [RuleCheck::UnitConfusion, RuleCheck::ShadowedRule, RuleCheck::GappyWindow]
+    );
+    for check in warn_only {
+        let set = compile(&fixture_source(check)).expect("warn-level fixture loads");
+        assert!(!set.names().is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! Property tests for the rule DSL.
+//!
+//! 1. The pretty-printer is canonical: printing a generated rule file
+//!    and reparsing it reaches a fixpoint in one step.
+//! 2. A rule the static pass proves empty never fires at runtime, for
+//!    any event stream (the soundness contract that justifies rejecting
+//!    it at load time).
+//! 3. `compile_unchecked` + evaluation are total: arbitrary ill-typed
+//!    rules over arbitrary documents never panic, and `limit` is always
+//!    respected.
+
+use dio_diagnose::DynDetector;
+use dio_rules::{compile, compile_unchecked, parse_rules, verify_rules, CompileError, RuleCheck};
+use proptest::prelude::*;
+use serde_json::{Map, Value};
+
+/// Splitmix64: a tiny deterministic PRNG so one `u64` seed drives the
+/// whole structure of a generated case.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn pick<'a>(&mut self, items: &'a [&'a str]) -> &'a str {
+        items[self.below(items.len() as u64) as usize]
+    }
+
+    fn chance(&mut self, one_in: u64) -> bool {
+        self.below(one_in) == 0
+    }
+}
+
+const IDENTS: &[&str] =
+    &["offset", "ret_val", "latency_ns", "count", "syscall", "proc_name", "first_read", "zz_9"];
+const STRINGS: &[&str] = &["db_bench", "rocksdb:low", "a b", "q\"x", "back\\slash", "nl\nend", ""];
+const OPS: &[&str] = &["or", "and", "==", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/"];
+
+/// Prints a generated expression directly as source text. Generating
+/// *text* from the grammar (rather than AST values) exercises the
+/// parser and printer together; the fixpoint property below then pins
+/// the canonical form.
+fn gen_expr(g: &mut Gen, depth: u32) -> String {
+    if depth == 0 || g.chance(3) {
+        return match g.below(6) {
+            0 => format!("{}", g.below(1_000_000)),
+            1 => format!("{}.{}", g.below(1000), g.below(10)),
+            2 => format!("{}{}", g.below(600), g.pick(&["ns", "us", "ms", "s"])),
+            3 => quote(g.pick(STRINGS)),
+            _ => g.pick(IDENTS).to_string(),
+        };
+    }
+    match g.below(6) {
+        0 => {
+            let op = g.pick(OPS);
+            format!("{} {} {}", gen_expr(g, depth - 1), op, gen_expr(g, depth - 1))
+        }
+        1 => format!("not {}", gen_expr(g, depth - 1)),
+        2 => format!("-{}", gen_expr(g, depth - 1)),
+        3 => {
+            let n = 1 + g.below(2);
+            let args: Vec<String> = (0..n).map(|_| gen_expr(g, depth - 1)).collect();
+            format!("{}({})", g.pick(IDENTS), args.join(", "))
+        }
+        4 => {
+            let n = 1 + g.below(3);
+            let items: Vec<String> = (0..n)
+                .map(|_| {
+                    if g.chance(2) {
+                        g.pick(&["read", "pread64", "write"]).to_string()
+                    } else {
+                        quote(g.pick(STRINGS))
+                    }
+                })
+                .collect();
+            format!("{} in ({})", gen_expr(g, depth - 1), items.join(", "))
+        }
+        _ => format!("{} starts_with {}", gen_expr(g, depth - 1), quote(g.pick(STRINGS))),
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::from("\"");
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn gen_rule(g: &mut Gen, idx: u64) -> String {
+    let mut src = format!("rule r{idx}_{}", g.below(100));
+    if g.chance(2) {
+        src.push_str(&format!(" on window({}ms", 1 + g.below(600_000)));
+        if g.chance(2) {
+            src.push_str(&format!(", {}ms", 1 + g.below(600_000)));
+        }
+        src.push(')');
+        if g.chance(2) {
+            src.push_str(&format!(" by {}", g.pick(&["pid", "file", "class", "proc"])));
+        }
+    }
+    src.push_str(&format!(" when {}", gen_expr(g, 3)));
+    if g.chance(2) {
+        src.push_str(&format!(
+            " then alert({}, {})",
+            g.pick(&["info", "warning", "critical"]),
+            quote(g.pick(STRINGS))
+        ));
+    } else {
+        src.push_str(&format!(" then record({})", quote(g.pick(STRINGS))));
+    }
+    if g.chance(3) {
+        src.push_str(&format!(" limit {}", g.below(4)));
+    }
+    src.push('\n');
+    src
+}
+
+/// A random event document: random subset of contract fields, with
+/// occasionally wrongly-typed values.
+fn gen_doc(g: &mut Gen) -> Value {
+    let mut map = Map::new();
+    map.insert("time".to_string(), Value::from(g.below(5_000_000_000)));
+    if g.chance(4) {
+        // Occasionally a wrongly-typed timestamp.
+        map.insert("time".to_string(), Value::String("later".to_string()));
+    }
+    for field in ["syscall", "class", "proc_name", "file_tag"] {
+        if !g.chance(4) {
+            let val = match g.below(4) {
+                0 => Value::String(g.pick(&["read", "pread64", "write", "open", "nope"]).into()),
+                1 => Value::String(format!("{}|{}|{}", g.below(8), g.below(4), g.below(100))),
+                2 => Value::from(g.below(100)),
+                _ => Value::Null,
+            };
+            map.insert(field.to_string(), val);
+        }
+    }
+    for field in ["pid", "tid", "offset", "ret_val", "latency_ns", "cpu"] {
+        if !g.chance(4) {
+            let val = match g.below(3) {
+                0 => Value::from(g.below(100_000)),
+                1 => Value::String("oops".to_string()),
+                _ => Value::Bool(g.chance(2)),
+            };
+            map.insert(field.to_string(), val);
+        }
+    }
+    Value::Object(map)
+}
+
+/// A well-typed stream predicate (so the verifier reaches the
+/// satisfiability analysis instead of bailing on type errors).
+fn gen_typed_stream_pred(g: &mut Gen, depth: u32) -> String {
+    if depth == 0 || g.chance(3) {
+        return match g.below(5) {
+            0 => format!(
+                "{} {} {}",
+                g.pick(&["offset", "pid", "tid", "ret_val"]),
+                g.pick(&["==", "!=", "<", "<=", ">", ">="]),
+                g.below(1000)
+            ),
+            1 => format!("syscall in ({})", g.pick(&["read", "pread64", "write, close"])),
+            2 => format!("proc_name starts_with {}", quote(g.pick(&["db_bench", "rocksdb:low"]))),
+            3 => "first_read".to_string(),
+            _ => format!("generation > {}", g.below(5)),
+        };
+    }
+    match g.below(3) {
+        0 => format!(
+            "{} and {}",
+            gen_typed_stream_pred(g, depth - 1),
+            gen_typed_stream_pred(g, depth - 1)
+        ),
+        1 => format!(
+            "({} or {})",
+            gen_typed_stream_pred(g, depth - 1),
+            gen_typed_stream_pred(g, depth - 1)
+        ),
+        _ => format!("not ({})", gen_typed_stream_pred(g, depth - 1)),
+    }
+}
+
+/// A well-typed windowed predicate over aggregates.
+fn gen_typed_window_pred(g: &mut Gen, depth: u32) -> String {
+    if depth == 0 || g.chance(2) {
+        return match g.below(4) {
+            0 => format!("count {} {}", g.pick(&["<", "<=", ">", ">="]), g.below(1000)),
+            1 => format!("errors > {}", g.below(100)),
+            2 => format!("error_fraction >= 0.{}", g.below(10)),
+            _ => format!("rate > {}.0", g.below(500)),
+        };
+    }
+    format!(
+        "{} {} {}",
+        gen_typed_window_pred(g, depth - 1),
+        g.pick(&["and", "or"]),
+        gen_typed_window_pred(g, depth - 1)
+    )
+}
+
+/// Guards the fixpoint property against vacuity: the grammar-directed
+/// generator must produce parseable files most of the time, or the
+/// property below would quantify over (almost) nothing.
+#[test]
+fn generator_mostly_produces_parseable_files() {
+    let accepted = (0..200u64)
+        .filter(|&seed| {
+            let mut g = Gen(seed);
+            let n = 1 + g.below(4);
+            let src: String = (0..n).map(|i| gen_rule(&mut g, i)).collect();
+            parse_rules(&src).is_ok()
+        })
+        .count();
+    assert!(accepted >= 100, "only {accepted}/200 generated files parse");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print → reparse is a fixpoint: whatever the parser accepts, the
+    /// canonical form reparses to the identical canonical form.
+    #[test]
+    fn printed_rule_files_reparse_to_the_same_text(seed in any::<u64>()) {
+        let mut g = Gen(seed);
+        let n = 1 + g.below(4);
+        let src: String = (0..n).map(|i| gen_rule(&mut g, i)).collect();
+        let Ok(file) = parse_rules(&src) else {
+            // Grammar-level rejects (e.g. `in` lhs restrictions) are fine;
+            // the property quantifies over accepted inputs.
+            return Ok(());
+        };
+        let printed = file.to_string();
+        let reparsed = parse_rules(&printed).map_err(|e| {
+            TestCaseError::fail(format!("canonical form must reparse: {e}\n{printed}"))
+        })?;
+        prop_assert_eq!(&reparsed.to_string(), &printed, "src: {}", src);
+        // And a second round trip is exactly stable.
+        prop_assert_eq!(&parse_rules(&reparsed.to_string()).unwrap().to_string(), &printed);
+    }
+
+    /// Soundness of the unsat proof against Kleene runtime semantics: a
+    /// rule proven statically empty never fires on any event stream.
+    #[test]
+    fn statically_empty_rules_never_fire(seed in any::<u64>()) {
+        let mut g = Gen(seed);
+        let src = format!(
+            "rule dead when ({}) and offset < 0 then alert(critical, \"never\")\n\
+             rule dead_w on window(1s) by class when ({}) and count < 0 \
+             then alert(warning, \"never\")\n",
+            gen_typed_stream_pred(&mut g, 3),
+            gen_typed_window_pred(&mut g, 2),
+        );
+        let file = parse_rules(&src).unwrap();
+        let report = verify_rules(&file);
+        prop_assert!(report.statically_empty("dead"), "{src}\n{:?}", report.diagnostics());
+        prop_assert!(report.statically_empty("dead_w"), "{src}\n{:?}", report.diagnostics());
+        // The checked compiler refuses the file outright…
+        match compile(&src) {
+            Err(CompileError::Verify(err)) => {
+                prop_assert!(err.violates(RuleCheck::UnsatisfiablePredicate))
+            }
+            Err(other) => {
+                return Err(TestCaseError::fail(format!("expected verify reject, got {other}")))
+            }
+            Ok(_) => {
+                return Err(TestCaseError::fail("expected static reject, file compiled"))
+            }
+        }
+        // …and even bypassing the gate, the rules never fire.
+        let mut set = compile_unchecked(&file);
+        let mut out = Vec::new();
+        for _ in 0..60 {
+            let doc = gen_doc(&mut g);
+            set.observe(&doc, &mut out);
+            set.evaluate_ready(&mut out);
+        }
+        set.evaluate_all(&mut out);
+        prop_assert!(out.is_empty(), "statically-empty rule fired: {:?}", out[0]);
+    }
+
+    /// Totality: arbitrary (often ill-typed) rules over arbitrary
+    /// documents never panic, and `limit N` caps fired alerts per rule.
+    #[test]
+    fn unchecked_evaluation_is_total_and_limits_hold(seed in any::<u64>()) {
+        let mut g = Gen(seed);
+        let n = 1 + g.below(3);
+        let src: String = (0..n).map(|i| gen_rule(&mut g, i)).collect();
+        let Ok(file) = parse_rules(&src) else { return Ok(()) };
+        let mut set = compile_unchecked(&file);
+        let mut out = Vec::new();
+        for _ in 0..40 {
+            let doc = gen_doc(&mut g);
+            set.observe(&doc, &mut out);
+            if g.chance(8) {
+                set.evaluate_ready(&mut out);
+            }
+        }
+        set.evaluate_all(&mut out);
+        for report in set.reports() {
+            let fired = report["fired"].as_u64().unwrap_or(0);
+            if let Some(limit) = report["limit"].as_u64() {
+                prop_assert!(
+                    fired <= limit,
+                    "rule {} fired {} times past limit {}",
+                    report["rule"],
+                    fired,
+                    limit
+                );
+            }
+        }
+    }
+}

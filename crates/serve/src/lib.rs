@@ -16,6 +16,7 @@
 //! | `/metrics`           | OpenMetrics text exposition (with exemplars)       |
 //! | `/api/top`           | JSON `dio top` snapshot (`window_ns`, `rows` query)|
 //! | `/api/health`        | JSON pipeline-health report                        |
+//! | `/api/rules`         | JSON loaded-rule list with fire/suppress counters  |
 //! | `/api/storage`       | JSON storage-engine report (404 when in-memory)    |
 //! | `/top`               | ANSI `dio top` render, text/plain                  |
 //! | `/dashboard`         | ANSI health dashboard, text/plain                  |
@@ -367,6 +368,21 @@ fn handle_connection(
             let report = HealthReport::from_index(&state.backend.index(&state.telemetry_index));
             (200, "application/json", report.to_json().to_string().into_bytes())
         }
+        "/api/rules" => match &state.engine {
+            Some(engine) => {
+                let reports = engine.dynamic_reports();
+                let body = json!({
+                    "session": state.session,
+                    "rules": reports,
+                });
+                (200, "application/json", body.to_string().into_bytes())
+            }
+            None => (
+                404,
+                "application/json",
+                b"{\"error\":\"session has no diagnosis engine\"}".to_vec(),
+            ),
+        },
         "/api/storage" => match state.backend.storage_report() {
             Some(report) => {
                 (200, "application/json", report.to_document().to_string().into_bytes())
@@ -384,6 +400,13 @@ fn handle_connection(
                 &alerts,
                 &TopOptions::default(),
             );
+            if let Some(engine) = &state.engine {
+                let reports = engine.dynamic_reports();
+                if !reports.is_empty() {
+                    out.push('\n');
+                    out.push_str(&dio_viz::render_rules_panel(&reports));
+                }
+            }
             if let Some(report) = state.backend.storage_report() {
                 out.push('\n');
                 out.push_str(&render_storage_panel(&report, None));
@@ -410,9 +433,9 @@ fn handle_connection(
             let body = json!({
                 "error": "not found",
                 "endpoints": [
-                    "/metrics", "/api/top", "/api/health", "/api/storage",
-                    "/api/alerts/stream", "/top", "/dashboard", "/flightrec",
-                    "/healthz", "/readyz",
+                    "/metrics", "/api/top", "/api/health", "/api/rules",
+                    "/api/storage", "/api/alerts/stream", "/top", "/dashboard",
+                    "/flightrec", "/healthz", "/readyz",
                 ],
             });
             (404, "application/json", body.to_string().into_bytes())
@@ -574,6 +597,38 @@ mod tests {
         let (status, _) = get(addr, "/api/storage");
         assert_eq!(status, 404, "in-memory store has no storage report");
 
+        handle.shutdown();
+    }
+
+    #[test]
+    fn api_rules_lists_loaded_rules_with_counters() {
+        // Without an engine the endpoint is a clean 404.
+        let mut handle = serve("127.0.0.1:0", test_state("norules")).expect("serve");
+        let (status, body) = get(handle.addr(), "/api/rules");
+        assert_eq!(status, 404);
+        assert!(body.contains("no diagnosis engine"), "{body}");
+        handle.shutdown();
+
+        // With rules installed, the endpoint lists one report per rule.
+        let engine = DiagnosisEngine::new(dio_diagnose::DiagnoseConfig::default());
+        let set = dio_rules::compile(dio_rules::shipped::FIG2_DATA_LOSS).unwrap();
+        engine.install_detector(Box::new(set));
+        let mut state = test_state("ruled");
+        state.engine = Some(engine);
+        let mut handle = serve("127.0.0.1:0", state).expect("serve");
+        let (status, body) = get(handle.addr(), "/api/rules");
+        assert_eq!(status, 200);
+        let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(doc["session"], json!("ruled"));
+        let rules = doc["rules"].as_array().unwrap();
+        assert_eq!(rules.len(), 3, "{body}");
+        assert_eq!(rules[0]["rule"], json!("data_loss"));
+        assert_eq!(rules[0]["fired"], json!(0));
+        assert_eq!(rules[0]["suppressed"], json!(0));
+        // The ANSI /top view carries the same panel.
+        let (status, top) = get(handle.addr(), "/top");
+        assert_eq!(status, 200);
+        assert!(top.contains("### Rules (3 loaded)"), "{top}");
         handle.shutdown();
     }
 

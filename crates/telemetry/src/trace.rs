@@ -252,6 +252,7 @@ pub struct FlightRecorder {
     rings: Mutex<Vec<Arc<ThreadRing>>>,
     recorded: AtomicU64,
     evicted: AtomicU64,
+    dump_seq: Mutex<std::collections::BTreeMap<String, u64>>,
 }
 
 impl std::fmt::Debug for FlightRecorder {
@@ -277,6 +278,7 @@ impl FlightRecorder {
             rings: Mutex::new(Vec::new()),
             recorded: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
+            dump_seq: Mutex::new(std::collections::BTreeMap::new()),
         }
     }
 
@@ -398,12 +400,20 @@ impl FlightRecorder {
     }
 
     /// Writes the current window to
-    /// `$DIO_RESULTS_DIR|results/flightrec-<reason>-<pid>.json` (Chrome
+    /// `$DIO_RESULTS_DIR|results/flightrec-<reason>-<NN>.json` (Chrome
     /// trace format plus an `otherData` block with the trigger reason
     /// and the critical-path summary). Returns the path, or `None` when
     /// no results directory exists — dump triggers fire from library
     /// code, so they only write where an artifact directory is already
     /// established (experiments, CI) or explicitly requested via env.
+    ///
+    /// Naming is deterministic and capped: `NN` is a per-reason
+    /// sequence (`01`, `02`, …) held by this recorder, never the pid —
+    /// re-runs overwrite the same artifact names instead of littering
+    /// the results directory. Past [`dump_cap`] dumps for one reason
+    /// the last slot is overwritten in place, so a dump storm leaves at
+    /// most `cap` files per reason with the storm's earliest dumps and
+    /// its latest.
     pub fn dump(&self, reason: &str) -> Option<PathBuf> {
         let dir = dump_dir()?;
         std::fs::create_dir_all(&dir).ok()?;
@@ -411,7 +421,13 @@ impl FlightRecorder {
             .chars()
             .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '-' })
             .collect();
-        let path = dir.join(format!("flightrec-{tag}-{}.json", std::process::id()));
+        let seq = {
+            let mut seqs = self.dump_seq.lock().unwrap_or_else(|e| e.into_inner());
+            let n = seqs.entry(tag.clone()).or_insert(0);
+            *n = (*n + 1).min(dump_cap());
+            *n
+        };
+        let path = dir.join(format!("flightrec-{tag}-{seq:02}.json"));
         let spans = self.snapshot();
         let mut doc = String::from("{\"otherData\":{");
         doc.push_str(&format!(
@@ -428,6 +444,12 @@ impl FlightRecorder {
         std::fs::write(&path, doc).ok()?;
         Some(path)
     }
+}
+
+/// Per-reason cap on dump artifacts: `DIO_FLIGHTREC_DUMP_CAP`
+/// (default 8, floor 1). Dumps past the cap reuse the cap's slot.
+pub fn dump_cap() -> u64 {
+    std::env::var("DIO_FLIGHTREC_DUMP_CAP").ok().and_then(|v| v.parse().ok()).unwrap_or(8).max(1)
 }
 
 fn dump_dir() -> Option<PathBuf> {

@@ -57,6 +57,7 @@ pub struct TracerConfig {
     telemetry_interval: Duration,
     span_sample_every: u64,
     diagnose: Option<DiagnoseConfig>,
+    rules: Vec<String>,
 }
 
 impl TracerConfig {
@@ -79,6 +80,7 @@ impl TracerConfig {
             telemetry_interval: default_telemetry_interval(),
             span_sample_every: 64,
             diagnose: None,
+            rules: Vec::new(),
         }
     }
 
@@ -240,6 +242,45 @@ impl TracerConfig {
         self
     }
 
+    /// Appends one `dio-rules` rule-file source (DSL text).
+    ///
+    /// The sources are compiled — and statically verified — when the
+    /// tracer attaches; a file the verifier rejects fails
+    /// [`crate::Tracer::try_attach`] with the rule diagnostics, before
+    /// any tracepoint is enabled. Configuring rules without
+    /// [`TracerConfig::diagnose`] enables live diagnosis with the
+    /// default [`DiagnoseConfig`].
+    pub fn rules_source(mut self, src: impl Into<String>) -> Self {
+        self.rules.push(src.into());
+        self
+    }
+
+    /// Appends every rule file shipped with the tracer
+    /// (`dio_rules::shipped::ALL`: the Fig. 2 / Fig. 3 detectors plus
+    /// the rate and error-rate anomaly rules).
+    pub fn shipped_rules(mut self) -> Self {
+        for &(_, src) in dio_rules::shipped::ALL {
+            self.rules.push(src.to_string());
+        }
+        self
+    }
+
+    /// Appends a rule file read from the host file system.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the file cannot be read; DSL errors
+    /// surface later, at attach time.
+    pub fn rules_file(self, path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let src = std::fs::read_to_string(path)?;
+        Ok(self.rules_source(src))
+    }
+
+    /// The configured rule-file sources, in configuration order.
+    pub fn rule_sources(&self) -> &[String] {
+        &self.rules
+    }
+
     /// Runs the static verifier over this configuration's filter (the
     /// analysis [`crate::Tracer::try_attach`] applies before attaching).
     ///
@@ -363,6 +404,16 @@ mod tests {
         let explicit =
             TracerConfig::new("env").telemetry_interval(Duration::from_secs(3)).telemetry_tick();
         assert_eq!(explicit, Duration::from_secs(3), "builder wins over env");
+    }
+
+    #[test]
+    fn rules_accumulate_and_roundtrip_through_json() {
+        let config = TracerConfig::new("rules")
+            .rules_source("rule r when offset > 0 then record(\"r\")")
+            .shipped_rules();
+        assert_eq!(config.rule_sources().len(), 1 + dio_rules::shipped::ALL.len());
+        let parsed = TracerConfig::from_json(&config.to_json()).unwrap();
+        assert_eq!(parsed.rule_sources(), config.rule_sources());
     }
 
     #[test]

@@ -19,7 +19,8 @@ mod config;
 mod tracer;
 
 pub use config::{generate_session_name, TracerConfig};
-pub use tracer::{TraceSummary, Tracer};
+pub use tracer::{AttachError, TraceSummary, Tracer};
 
 // Verification vocabulary, re-exported for callers handling rejections.
+pub use dio_rules::{CompileError as RuleCompileError, RuleCheck, RulesError};
 pub use dio_verify::{Rule, VerifyError, VerifyReport};

@@ -20,6 +20,67 @@ use dio_verify::VerifyError;
 
 use crate::config::TracerConfig;
 
+/// Why [`Tracer::try_attach`] refused to attach.
+///
+/// Both variants are *load-time* rejections: nothing was attached, no
+/// tracepoint was enabled, and the backend holds no session index.
+#[derive(Debug)]
+pub enum AttachError {
+    /// The event filter was statically rejected by `dio-verify`.
+    Filter(VerifyError),
+    /// A configured `dio-rules` rule file failed to parse or was
+    /// rejected by the rule verifier.
+    Rules {
+        /// Index of the offending source in
+        /// [`TracerConfig::rule_sources`].
+        index: usize,
+        /// The parse or verification error.
+        error: dio_rules::CompileError,
+    },
+}
+
+impl AttachError {
+    /// Whether the rejection includes the given filter-verifier rule
+    /// (convenience passthrough to [`VerifyError::violates`]).
+    pub fn violates(&self, rule: dio_verify::Rule) -> bool {
+        matches!(self, AttachError::Filter(err) if err.violates(rule))
+    }
+
+    /// The rule-compilation error, when rules caused the rejection.
+    pub fn rules_error(&self) -> Option<&dio_rules::CompileError> {
+        match self {
+            AttachError::Rules { error, .. } => Some(error),
+            AttachError::Filter(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AttachError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttachError::Filter(err) => err.fmt(f),
+            AttachError::Rules { index, error } => {
+                write!(f, "rule file #{index} rejected: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttachError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttachError::Filter(err) => Some(err),
+            AttachError::Rules { error, .. } => Some(error),
+        }
+    }
+}
+
+impl From<VerifyError> for AttachError {
+    fn from(err: VerifyError) -> Self {
+        AttachError::Filter(err)
+    }
+}
+
 /// Summary of a finished tracing session.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceSummary {
@@ -206,18 +267,31 @@ impl Tracer {
     /// Attaches the tracer after statically verifying the configuration.
     ///
     /// This is the load-time gate of DESIGN.md §9: the filter is analyzed
-    /// by `dio-verify` before any tracepoint is enabled, so a spec that
-    /// provably traces nothing (or costs unbounded per-event work) is
-    /// rejected here instead of producing a silently empty session.
+    /// by `dio-verify` — and every configured `dio-rules` file by the
+    /// rule verifier — before any tracepoint is enabled, so a spec that
+    /// provably traces nothing (or costs unbounded per-event work, or a
+    /// rule that provably never fires) is rejected here instead of
+    /// producing a silently empty session.
     ///
     /// # Errors
     ///
-    /// Returns the [`VerifyError`] naming each violated rule.
+    /// Returns the [`AttachError`] naming each violated filter rule or
+    /// the rule-file diagnostics.
     pub fn try_attach(
         config: TracerConfig,
         kernel: &Kernel,
         backend: DocStore,
-    ) -> Result<Tracer, VerifyError> {
+    ) -> Result<Tracer, AttachError> {
+        // Rule files gate attach exactly like the filter does: reject
+        // before any tracepoint or ring buffer exists.
+        let rule_sets = config
+            .rule_sources()
+            .iter()
+            .enumerate()
+            .map(|(index, src)| {
+                dio_rules::compile(src).map_err(|error| AttachError::Rules { index, error })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
         let ring = Arc::new(RingBuffer::new(kernel.num_cpus(), config.ring_config()));
         let (enter_cost_ns, exit_cost_ns) = config.costs();
         let program = TracerProgram::new(
@@ -245,9 +319,18 @@ impl Tracer {
 
         // Live diagnosis (off by default): the consumer thread taps every
         // parsed batch into the engine, so alerts rise while the trace
-        // runs — no backend round-trip involved.
-        let engine = config.diagnose_config().map(|diagnose| {
+        // runs — no backend round-trip involved. Configured rules imply
+        // diagnosis even without an explicit DiagnoseConfig; rule sets
+        // install before telemetry binds so their per-rule counters
+        // (`diagnose.rule.*`) register with the session registry.
+        let diagnose_config = config
+            .diagnose_config()
+            .or_else(|| (!rule_sets.is_empty()).then(dio_diagnose::DiagnoseConfig::default));
+        let engine = diagnose_config.map(|diagnose| {
             let engine = DiagnosisEngine::new(diagnose);
+            for set in rule_sets {
+                engine.install_detector(Box::new(set));
+            }
             engine.bind_telemetry(&registry);
             engine
         });
@@ -990,6 +1073,66 @@ mod tests {
         assert!(summary.diagnosis.is_none());
         assert!(summary.alerts.is_empty());
         assert!(!summary.health.counters.contains_key("diagnose.events.observed"));
+    }
+
+    #[test]
+    fn try_attach_rejects_bad_rule_files() {
+        let k = kernel();
+        let backend = DocStore::new();
+        // `offset < 0` is provably empty (offset is unsigned): the rule
+        // verifier rejects the file at attach time.
+        let config = TracerConfig::new("badrules")
+            .rules_source("rule dead when offset < 0 then alert(critical, \"never\")");
+        let err = Tracer::try_attach(config, &k, backend.clone()).unwrap_err();
+        let rules_err = err.rules_error().expect("rules, not the filter, caused the reject");
+        match rules_err {
+            crate::RuleCompileError::Verify(v) => {
+                assert!(v.violates(dio_rules::RuleCheck::UnsatisfiablePredicate))
+            }
+            other => panic!("expected verify rejection, got {other}"),
+        }
+        assert!(err.to_string().contains("rule file #0"), "{err}");
+        assert!(!err.violates(dio_verify::Rule::EmptySyscallSet));
+        // Nothing was attached and no session index exists.
+        let t = k.spawn_process("app").spawn_thread("app");
+        t.creat("/x", 0o644).unwrap();
+        assert!(!k.tracepoints().is_traced(SyscallKind::Creat));
+        assert!(backend.index_names().is_empty());
+    }
+
+    #[test]
+    fn configured_rules_run_live_and_register_counters() {
+        let k = kernel();
+        let backend = DocStore::new();
+        // Rules without an explicit DiagnoseConfig still get an engine;
+        // the shipped files ride along and stay quiet on this workload.
+        let config = TracerConfig::new("ruled")
+            .rules_source(
+                "rule every_write when syscall == \"write\" \
+                 then alert(info, rule_match, \"write seen\") limit 2",
+            )
+            .shipped_rules();
+        let tracer = Tracer::attach(config, &k, backend);
+        assert!(tracer.diagnosis().is_some(), "rules imply live diagnosis");
+
+        let t = k.spawn_process("app").spawn_thread("app");
+        let fd = t.openat("/app.log", OpenFlags::CREAT | OpenFlags::RDWR, 0o644).unwrap();
+        for _ in 0..3 {
+            t.write(fd, b"hello").unwrap();
+        }
+        t.close(fd).unwrap();
+        let summary = tracer.stop();
+
+        // 3 writes, limit 2: two alerts fired, the third suppressed.
+        assert_eq!(summary.alerts.len(), 2, "alerts: {:?}", summary.alerts);
+        for alert in &summary.alerts {
+            assert_eq!(alert.detector, "rules");
+            assert_eq!(alert.fields["rule"], json!("every_write"));
+        }
+        assert_eq!(summary.health.counters.get("diagnose.rule.every_write.fired"), Some(&2));
+        assert_eq!(summary.health.counters.get("diagnose.rule.every_write.suppressed"), Some(&1));
+        // Shipped rules registered their counters too, without firing.
+        assert_eq!(summary.health.counters.get("diagnose.rule.data_loss.fired"), Some(&0));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! dio-verify --write-docs    [--root DIR]   regenerate the Table I listings in the docs
 //! dio-verify --print-table                  print the canonical Table I markdown
 //! dio-verify --check-filter FILE            verify a TracerConfig/FilterSpec JSON file
+//! dio-verify --check-rules FILE...          statically verify diagnosis rule (.dio) files
 //! ```
 //!
 //! Exits 0 on success, 1 on findings, 2 on usage errors.
@@ -16,13 +17,15 @@ use dio_verify::{check_catalog, table1_markdown, verify_filter, write_docs, Filt
 
 const USAGE: &str = "usage: dio-verify (--check-catalog | --write-docs) [--root DIR]
        dio-verify --print-table
-       dio-verify --check-filter FILE";
+       dio-verify --check-filter FILE
+       dio-verify --check-rules FILE...";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode: Option<&str> = None;
     let mut root = PathBuf::from(".");
     let mut filter_file: Option<PathBuf> = None;
+    let mut rule_files: Vec<PathBuf> = Vec::new();
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -48,6 +51,11 @@ fn main() -> ExitCode {
                     None => return usage("--check-filter needs a FILE"),
                 }
             }
+            "--check-rules" => {
+                if mode.replace("rules").is_some() {
+                    return usage("more than one mode given");
+                }
+            }
             "--root" => match it.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => return usage("--root needs a DIR"),
@@ -55,6 +63,9 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
+            }
+            other if mode == Some("rules") && !other.starts_with('-') => {
+                rule_files.push(PathBuf::from(other));
             }
             other => return usage(&format!("unknown argument `{other}`")),
         }
@@ -123,6 +134,53 @@ fn main() -> ExitCode {
                     eprintln!("{err}");
                     ExitCode::FAILURE
                 }
+            }
+        }
+        Some("rules") => {
+            if rule_files.is_empty() {
+                return usage("--check-rules needs at least one FILE");
+            }
+            let mut findings = 0usize;
+            for file in &rule_files {
+                let src = match std::fs::read_to_string(file) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("dio-verify: cannot read {}: {e}", file.display());
+                        findings += 1;
+                        continue;
+                    }
+                };
+                let ast = match dio_rules::parse_rules(&src) {
+                    Ok(ast) => ast,
+                    Err(e) => {
+                        eprintln!("{}: {e}", file.display());
+                        findings += 1;
+                        continue;
+                    }
+                };
+                let report = dio_rules::verify_rules(&ast);
+                for w in report.warnings() {
+                    eprintln!("{}: {w}", file.display());
+                }
+                let errors: Vec<_> = report.errors().collect();
+                if errors.is_empty() {
+                    println!(
+                        "dio-verify: {} OK — {} rule(s) verified",
+                        file.display(),
+                        ast.rules.len()
+                    );
+                } else {
+                    for e in &errors {
+                        eprintln!("{}: {e}", file.display());
+                    }
+                    findings += errors.len();
+                }
+            }
+            if findings == 0 {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("dio-verify: {findings} rule check(s) failed");
+                ExitCode::FAILURE
             }
         }
         _ => usage("no mode given"),

@@ -355,6 +355,14 @@ pub fn check_catalog(root: &Path) -> Vec<LintFailure> {
             Err(f) => failures.push(f),
         }
     }
+    for doc in crate::rules_lint::RULES_DOC_FILES {
+        match read(root, doc) {
+            Ok(content) => {
+                failures.extend(crate::rules_lint::check_doc_rules_reference(doc, &content))
+            }
+            Err(f) => failures.push(f),
+        }
+    }
     failures
 }
 
@@ -384,6 +392,7 @@ pub fn write_docs(root: &Path) -> Result<Vec<PathBuf>, String> {
             written.push(path);
         }
     }
+    written.extend(crate::rules_lint::write_rules_reference(root)?);
     Ok(written)
 }
 

@@ -36,6 +36,7 @@
 mod catalog;
 mod filter;
 mod report;
+mod rules_lint;
 
 pub use catalog::{
     check_args_arms_src, check_catalog, check_catalog_invariants, check_doc_table,
@@ -44,3 +45,4 @@ pub use catalog::{
 };
 pub use filter::{verify_filter, FilterFacts, MAX_PATH_PREFIXES, MAX_PATH_PREFIX_BYTES, PATH_MAX};
 pub use report::{Diagnostic, Rule, Severity, VerifyError, VerifyReport};
+pub use rules_lint::{check_doc_rules_reference, RULES_REFERENCE_BEGIN, RULES_REFERENCE_END};

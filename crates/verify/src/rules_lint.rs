@@ -1,0 +1,186 @@
+//! Lints tying the `dio-rules` DSL into the repo-level catalog checks.
+//!
+//! Two concerns live here:
+//!
+//! * the generated DSL reference block in DESIGN.md (between
+//!   [`RULES_REFERENCE_BEGIN`] / [`RULES_REFERENCE_END`]) must match
+//!   [`dio_rules::reference_markdown`] — same marker pattern as the
+//!   Table I listing, same `--write-docs` regeneration;
+//! * the rule catalog's event fields must stay in lock-step with the
+//!   document contract ([`crate::DOCUMENT_FIELDS`]), so a field added to
+//!   `SyscallEvent::to_document` becomes addressable from rules (or the
+//!   drift is flagged), enforced by this module's tests.
+
+use std::path::Path;
+
+use crate::catalog::LintFailure;
+
+/// Marker opening the generated `dio-rules` reference block in DESIGN.md.
+pub const RULES_REFERENCE_BEGIN: &str = "<!-- dio-rules:reference:begin -->";
+/// Marker closing the generated `dio-rules` reference block.
+pub const RULES_REFERENCE_END: &str = "<!-- dio-rules:reference:end -->";
+
+/// Doc files carrying the generated rule reference.
+pub(crate) const RULES_DOC_FILES: &[&str] = &["DESIGN.md"];
+
+/// Checks a doc file's generated rule-reference block against
+/// [`dio_rules::reference_markdown`].
+pub fn check_doc_rules_reference(name: &str, content: &str) -> Vec<LintFailure> {
+    let start = match content.find(RULES_REFERENCE_BEGIN) {
+        Some(i) => i + RULES_REFERENCE_BEGIN.len(),
+        None => {
+            return vec![LintFailure {
+                check: "docs-rules-reference",
+                message: format!("{name} has no `{RULES_REFERENCE_BEGIN}` marker"),
+            }]
+        }
+    };
+    let Some(end) = content[start..].find(RULES_REFERENCE_END).map(|i| i + start) else {
+        return vec![LintFailure {
+            check: "docs-rules-reference",
+            message: format!("{name} has no `{RULES_REFERENCE_END}` marker"),
+        }];
+    };
+    let want = dio_rules::reference_markdown();
+    if content[start..end].trim() != want.trim() {
+        vec![LintFailure {
+            check: "docs-rules-reference",
+            message: format!(
+                "{name} rule reference drifted from dio-rules; run `dio-verify --write-docs`"
+            ),
+        }]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Rewrites the rule-reference block of each doc in [`RULES_DOC_FILES`]
+/// under `root`. Returns the paths rewritten (possibly none).
+///
+/// # Errors
+///
+/// Fails when a doc file is unreadable or lacks the marker pair.
+pub(crate) fn write_rules_reference(root: &Path) -> Result<Vec<std::path::PathBuf>, String> {
+    let mut written = Vec::new();
+    for doc in RULES_DOC_FILES {
+        let path = root.join(doc);
+        let content =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {doc}: {e}"))?;
+        let start = content
+            .find(RULES_REFERENCE_BEGIN)
+            .ok_or_else(|| format!("{doc} has no {RULES_REFERENCE_BEGIN} marker"))?
+            + RULES_REFERENCE_BEGIN.len();
+        let end = content[start..]
+            .find(RULES_REFERENCE_END)
+            .ok_or_else(|| format!("{doc} has no {RULES_REFERENCE_END} marker"))?
+            + start;
+        let next = format!(
+            "{}\n{}{}",
+            &content[..start],
+            dio_rules::reference_markdown(),
+            &content[end..]
+        );
+        if next != content {
+            std::fs::write(&path, &next).map_err(|e| format!("cannot write {doc}: {e}"))?;
+            written.push(path);
+        }
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DOCUMENT_FIELDS;
+
+    /// The rule catalog's leading entries mirror the always-present
+    /// document fields, in document order — a field added to the event
+    /// contract must become addressable from rules.
+    #[test]
+    fn rules_catalog_mirrors_document_fields() {
+        let rule_fields: Vec<&str> = dio_rules::catalog::FIELDS.iter().map(|f| f.name).collect();
+        assert_eq!(
+            &rule_fields[..DOCUMENT_FIELDS.len()],
+            DOCUMENT_FIELDS,
+            "dio-rules catalog must lead with dio-verify's DOCUMENT_FIELDS"
+        );
+        // The tail is exactly the enrichment/correlation fields.
+        assert_eq!(
+            &rule_fields[DOCUMENT_FIELDS.len()..],
+            &["offset", "file_tag", "file_path", "file_type"],
+        );
+    }
+
+    /// The enum domains the rule analysis exhausts over (`class`,
+    /// `file_type`) must spell values exactly as the document contract
+    /// serializes them — a drifted spelling would make valid rules
+    /// "provably" empty.
+    #[test]
+    fn rules_enum_domains_match_document_serializations() {
+        use dio_rules::catalog::Domain;
+        use dio_syscall::{FileType, SyscallClass};
+        let classes: Vec<String> = [
+            SyscallClass::Data,
+            SyscallClass::Metadata,
+            SyscallClass::ExtendedAttributes,
+            SyscallClass::DirectoryManagement,
+        ]
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
+        assert_eq!(Domain::Classes.members(), classes);
+        let file_types: Vec<String> = [
+            FileType::Regular,
+            FileType::Directory,
+            FileType::Socket,
+            FileType::BlockDevice,
+            FileType::CharDevice,
+            FileType::Pipe,
+            FileType::Symlink,
+            FileType::Unknown,
+        ]
+        .iter()
+        .map(|t| t.to_string())
+        .collect();
+        assert_eq!(Domain::FileTypes.members(), file_types);
+        // And the syscall domain is Table I itself.
+        assert_eq!(
+            Domain::Syscalls.members(),
+            dio_syscall::SyscallKind::ALL.iter().map(|k| k.name()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn reference_drift_is_flagged_and_marker_pair_required() {
+        let fresh = format!(
+            "# doc\n{RULES_REFERENCE_BEGIN}\n{}{RULES_REFERENCE_END}\n",
+            dio_rules::reference_markdown()
+        );
+        assert!(check_doc_rules_reference("t.md", &fresh).is_empty());
+
+        let drifted = fresh.replace("latency_ns", "latency_us");
+        let failures = check_doc_rules_reference("t.md", &drifted);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].check, "docs-rules-reference");
+
+        let missing = check_doc_rules_reference("t.md", "# no markers");
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].message.contains("marker"));
+    }
+
+    #[test]
+    fn write_rules_reference_fills_the_block() {
+        let dir = std::env::temp_dir().join(format!("dio-rules-docs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let doc = dir.join("DESIGN.md");
+        std::fs::write(&doc, format!("x\n{RULES_REFERENCE_BEGIN}\nstale\n{RULES_REFERENCE_END}\n"))
+            .unwrap();
+        let written = write_rules_reference(&dir).unwrap();
+        assert_eq!(written, vec![doc.clone()]);
+        let content = std::fs::read_to_string(&doc).unwrap();
+        assert!(check_doc_rules_reference("DESIGN.md", &content).is_empty());
+        // Idempotent: a second run rewrites nothing.
+        assert!(write_rules_reference(&dir).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

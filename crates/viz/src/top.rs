@@ -370,6 +370,41 @@ fn render_alert_rows(alerts: &[Alert]) -> String {
     out
 }
 
+/// Renders the loaded diagnosis rules as a `dio top` panel: one row per
+/// rule with its trigger and live fire/suppress counters.
+///
+/// `reports` is the engine's per-rule status
+/// ([`dio_diagnose::DiagnosisEngine::dynamic_reports`], one JSON object
+/// per rule); the same documents back `/api/rules` on the introspection
+/// server.
+pub fn render_rules_panel(reports: &[Value]) -> String {
+    let mut out = format!("### Rules ({} loaded)\n", reports.len());
+    if reports.is_empty() {
+        out.push_str("no rule files loaded\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "{:<24} {:<18} {:>9} {:>7} {:>7} {:>7}\n",
+        "rule", "trigger", "evaluated", "fired", "supp", "rec"
+    ));
+    for r in reports {
+        let mut trigger = r["trigger"].as_str().unwrap_or("?").to_string();
+        if let Some(key) = r["key"].as_str() {
+            trigger.push_str(&format!(" by {key}"));
+        }
+        out.push_str(&format!(
+            "{:<24} {:<18} {:>9} {:>7} {:>7} {:>7}\n",
+            r["rule"].as_str().unwrap_or("?"),
+            trigger,
+            r["evaluated"].as_u64().unwrap_or(0),
+            r["fired"].as_u64().unwrap_or(0),
+            r["suppressed"].as_u64().unwrap_or(0),
+            r["records"].as_u64().unwrap_or(0),
+        ));
+    }
+    out
+}
+
 /// Renders the full alert history as a panel (newest last) — the
 /// companion to the active-alerts section of [`render_top`].
 pub fn render_alert_history(alerts: &[Alert]) -> String {
@@ -461,6 +496,27 @@ mod tests {
         assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
         let s = sparkline(&[1.0, 8.0]);
         assert_eq!(s.chars().last(), Some('█'));
+    }
+
+    #[test]
+    fn rules_panel_lists_per_rule_counters() {
+        let reports = vec![
+            json!({
+                "rule": "data_loss", "trigger": "stream", "key": null,
+                "evaluated": 120, "fired": 2, "suppressed": 0, "records": 0,
+            }),
+            json!({
+                "rule": "rate_spike", "trigger": "window", "key": "class",
+                "evaluated": 9, "fired": 1, "suppressed": 3, "records": 0,
+            }),
+        ];
+        let out = render_rules_panel(&reports);
+        assert!(out.contains("Rules (2 loaded)"), "{out}");
+        assert!(out.contains("data_loss"), "{out}");
+        assert!(out.contains("window by class"), "{out}");
+        let spike_row = out.lines().find(|l| l.starts_with("rate_spike")).unwrap();
+        assert!(spike_row.contains('1') && spike_row.contains('3'), "{spike_row}");
+        assert!(render_rules_panel(&[]).contains("no rule files loaded"));
     }
 
     #[test]

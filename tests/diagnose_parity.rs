@@ -3,14 +3,23 @@
 //! the streaming window sized so nothing is cut off), both must reach
 //! the same verdicts — the live engine is an *incremental port*, not a
 //! different analysis.
+//!
+//! The second half holds the shipped `.dio` rule files to the same
+//! standard against the *hand-coded* detectors they re-express: over
+//! the traced Fig. 2 scenario and Fig. 3-shaped streams, compiled rules
+//! must produce the identical alert sequence — same kinds, severities,
+//! times, and window bounds, in the same order.
 
 use proptest::prelude::*;
 
+use dio::core::{Dio, DiskProfile, Kernel, Query, SearchRequest, SortOrder, TracerConfig};
 use dio_backend::Index;
 use dio_correlate::{detect_contention, detect_data_loss, ContentionConfig};
 use dio_diagnose::{
     Alert, AlertKind, ContentionDetector, DataLossDetector, DiagnoseConfig, DiagnosisEngine,
+    DynDetector, Severity,
 };
+use dio_fluentbit::{run_issue_1875, FluentBitVersion};
 use serde_json::{json, Value};
 
 // --------------------------------------------------------- data loss
@@ -227,4 +236,183 @@ fn engine_agrees_with_offline_on_fig2a_fixture() {
     assert_eq!(live_loss.len(), 1, "engine must flag the Fig. 2a bug: {live:?}");
     assert_eq!(live_loss[0].fields["stale_offset"].as_u64(), Some(offline[0].stale_offset));
     assert_eq!(live_loss[0].fields["bytes_at_risk"].as_u64(), Some(offline[0].bytes_at_risk));
+}
+
+// ------------------------------------------- shipped rules vs detectors
+
+/// The comparable spine of an alert: what must be *identical* between a
+/// hand-coded detector and the rule re-expressing it. Messages, subjects,
+/// and evidence are each implementation's own voice; kind, severity,
+/// time, and window bounds are the diagnosis.
+type AlertSpine = (AlertKind, Severity, u64, Option<u64>, Option<u64>);
+
+fn spine(alerts: &[Alert]) -> Vec<AlertSpine> {
+    alerts
+        .iter()
+        .map(|a| (a.kind, a.severity, a.time_ns, a.window_start_ns, a.window_end_ns))
+        .collect()
+}
+
+/// Runs a compiled rule file over a finished document stream.
+fn run_rules(source: &str, docs: &[Value]) -> Vec<Alert> {
+    let mut set = dio_rules::compile(source).expect("shipped rules verify");
+    let mut out = Vec::new();
+    for doc in docs {
+        set.observe(doc, &mut out);
+        set.evaluate_ready(&mut out);
+    }
+    set.evaluate_all(&mut out);
+    out
+}
+
+/// Traces one Fluent Bit issue-1875 run and returns its event documents
+/// in stream (time) order.
+fn traced_fluentbit_stream(version: FluentBitVersion, session: &str) -> Vec<Value> {
+    let dio = Dio::with_kernel(Kernel::builder().root_disk(DiskProfile::instant()).build());
+    let handle = dio.trace(TracerConfig::new(session));
+    run_issue_1875(dio.kernel(), version, "/app.log", 0).unwrap();
+    handle.stop();
+    let index = dio.session_index(session).unwrap();
+    let total = index.count(&Query::MatchAll) as usize;
+    let hits = index
+        .search(&SearchRequest::new(Query::MatchAll).sort_by("time", SortOrder::Asc).size(total))
+        .hits;
+    assert_eq!(hits.len(), total, "stream pull must not truncate");
+    hits.into_iter().map(|h| h.source).collect()
+}
+
+/// `rules/fig2_data_loss.dio` over the traced buggy run == the
+/// hand-coded [`DataLossDetector`]: one critical data-loss alert,
+/// identical spine, naming the firing rule.
+#[test]
+fn fig2_rules_match_detector_on_traced_buggy_stream() {
+    let docs = traced_fluentbit_stream(FluentBitVersion::V1_4_0, "rules-fig2a");
+
+    let mut det = DataLossDetector::default();
+    let mut hand = Vec::new();
+    for doc in &docs {
+        det.observe(doc, &mut hand);
+    }
+    let ruled = run_rules(dio_rules::shipped::FIG2_DATA_LOSS, &docs);
+
+    assert_eq!(spine(&ruled), spine(&hand), "rule alerts must mirror the detector's");
+    assert_eq!(hand.len(), 1, "the buggy run raises exactly the Fig. 2a alert: {hand:?}");
+    assert_eq!(ruled[0].kind, AlertKind::DataLoss);
+    assert_eq!(ruled[0].severity, Severity::Critical);
+    assert_eq!(ruled[0].detector, "rules");
+    assert_eq!(ruled[0].fields["rule"], "data_loss");
+}
+
+/// Over the fixed version's trace both stay silent, and the rule file's
+/// `validated_restart` record observes the offset-0 restart the detector
+/// counts.
+#[test]
+fn fig2_rules_match_detector_on_traced_fixed_stream() {
+    let docs = traced_fluentbit_stream(FluentBitVersion::V2_0_5, "rules-fig2b");
+
+    let mut det = DataLossDetector::default();
+    let mut hand = Vec::new();
+    for doc in &docs {
+        det.observe(doc, &mut hand);
+    }
+    assert!(hand.is_empty(), "the fix must not alert: {hand:?}");
+
+    let mut set = dio_rules::compile(dio_rules::shipped::FIG2_DATA_LOSS).unwrap();
+    let mut ruled = Vec::new();
+    for doc in &docs {
+        set.observe(doc, &mut ruled);
+    }
+    set.evaluate_all(&mut ruled);
+    assert!(ruled.is_empty(), "rules must stay silent on the fixed run: {ruled:?}");
+
+    let validated = det.validated_restarts();
+    let restarts = set
+        .reports()
+        .into_iter()
+        .find(|r| r["rule"] == "validated_restart")
+        .expect("shipped rule present")["records"]
+        .as_u64()
+        .unwrap_or(0);
+    assert_eq!(restarts, validated, "validated restarts counted identically");
+    assert_eq!(validated, 1);
+}
+
+/// Fig. 3-shaped stream at the engine's real scale (1 s windows,
+/// `db_bench*` clients vs `rocksdb:low*` compactions, threshold 5):
+/// calm windows build the baseline, then a contended window with
+/// depressed client throughput fires — identically on both sides.
+fn fig3_docs(windows: &[Option<(u8, u8, u8)>]) -> Vec<Value> {
+    const SECOND: u64 = 1_000_000_000;
+    let mut docs = Vec::new();
+    for (w, spec) in windows.iter().enumerate() {
+        let base = w as u64 * SECOND;
+        let Some((clients, bg_threads, bg_ops)) = spec else { continue };
+        for i in 0..*clients as u64 {
+            docs.push(json!({
+                "session": "rules-fig3", "syscall": "pread64", "class": "read",
+                "pid": 1, "tid": 1, "proc_name": "db_bench_c", "time": base + i,
+                "ret_val": 4096,
+            }));
+        }
+        for t in 0..*bg_threads {
+            for i in 0..*bg_ops as u64 {
+                docs.push(json!({
+                    "session": "rules-fig3", "syscall": "pwrite64", "class": "write",
+                    "pid": 1, "tid": 2 + t, "proc_name": format!("rocksdb:low{t}"),
+                    "time": base + 100 + i, "ret_val": 4096,
+                }));
+            }
+        }
+    }
+    docs
+}
+
+fn fig3_hand_alerts(docs: &[Value]) -> Vec<Alert> {
+    let defaults = DiagnoseConfig::default();
+    let mut det = ContentionDetector::new(
+        defaults.window_ns,
+        defaults.client_prefix.clone(),
+        defaults.background_prefix.clone(),
+        defaults.background_threshold,
+    );
+    for doc in docs {
+        det.observe(doc);
+    }
+    let mut out = Vec::new();
+    det.evaluate_all(&mut out);
+    out
+}
+
+#[test]
+fn fig3_rule_matches_detector_on_contended_stream() {
+    // Two calm windows (8 clients each, 2 background threads), then a
+    // contended one: 6 distinct compaction threads, clients down to 3.
+    let docs = fig3_docs(&[Some((8, 2, 3)), Some((8, 2, 3)), Some((3, 6, 4))]);
+
+    let hand = fig3_hand_alerts(&docs);
+    let ruled = run_rules(dio_rules::shipped::FIG3_CONTENTION, &docs);
+
+    assert_eq!(spine(&ruled), spine(&hand), "rule alerts must mirror the detector's");
+    assert_eq!(hand.len(), 1, "the contended window must fire: {hand:?}");
+    assert_eq!(ruled[0].kind, AlertKind::ContentionSkew);
+    assert_eq!(ruled[0].severity, Severity::Warning);
+    assert_eq!(ruled[0].fields["rule"], "contention_skew");
+    assert_eq!(ruled[0].window_start_ns, Some(2_000_000_000));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary Fig. 3-shaped streams (silent windows included, so the
+    /// gap-fill path is exercised): `rules/fig3_contention.dio` and the
+    /// hand-coded [`ContentionDetector`] emit identical alert sequences.
+    #[test]
+    fn fig3_rule_matches_detector_on_arbitrary_windows(
+        windows in proptest::collection::vec(window_spec(), 1..7),
+    ) {
+        let docs = fig3_docs(&windows);
+        let hand = fig3_hand_alerts(&docs);
+        let ruled = run_rules(dio_rules::shipped::FIG3_CONTENTION, &docs);
+        prop_assert_eq!(spine(&ruled), spine(&hand));
+    }
 }

@@ -118,8 +118,11 @@ fn buggy_batch() -> Vec<serde_json::Value> {
 }
 
 /// The first alert an engine raises freezes the flight recorder to
-/// `flightrec-alert-<pid>.json`; later alerts do not rewrite it, and an
-/// explicit dump lands beside it as `flightrec-manual-<pid>.json`.
+/// `flightrec-alert-01.json` — a deterministic name, not the pid, so
+/// re-runs overwrite their artifacts instead of littering `results/`.
+/// Later alerts do not rewrite it, an explicit dump lands beside it as
+/// `flightrec-manual-01.json`, and a dump storm is capped at
+/// [`trace::dump_cap`] files per reason.
 ///
 /// Serializes on `DIO_RESULTS_DIR`, which no other test in this binary
 /// touches.
@@ -132,7 +135,7 @@ fn alert_and_manual_dumps_write_chrome_artifacts() {
     let engine = DiagnosisEngine::new(DiagnoseConfig::default());
     let fresh = engine.observe_batch(&buggy_batch());
     assert!(!fresh.is_empty(), "batch raises an alert");
-    let alert_dump = dir.join(format!("flightrec-alert-{}.json", std::process::id()));
+    let alert_dump = dir.join("flightrec-alert-01.json");
     assert!(alert_dump.is_file(), "alert fire dumped the recorder");
 
     let doc: serde_json::Value =
@@ -149,10 +152,25 @@ fn alert_and_manual_dumps_write_chrome_artifacts() {
     assert_eq!(std::fs::read_to_string(&alert_dump).unwrap(), "marker");
 
     let manual = trace::dump_on_trigger("manual").expect("manual dump path");
-    assert_eq!(manual, dir.join(format!("flightrec-manual-{}.json", std::process::id())));
+    assert_eq!(manual, dir.join("flightrec-manual-01.json"));
     let doc: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&manual).unwrap()).unwrap();
     assert_eq!(doc["otherData"]["reason"], "manual");
+
+    // A dump storm stays capped: past the cap, the last slot is reused.
+    let cap = trace::dump_cap();
+    let mut last = None;
+    for _ in 0..cap + 3 {
+        last = trace::dump_on_trigger("storm");
+    }
+    assert_eq!(last.unwrap(), dir.join(format!("flightrec-storm-{cap:02}.json")));
+    let storms = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref().unwrap().file_name().to_string_lossy().starts_with("flightrec-storm-")
+        })
+        .count() as u64;
+    assert_eq!(storms, cap, "storm artifacts capped at dump_cap() files");
 
     std::env::remove_var("DIO_RESULTS_DIR");
     let _ = std::fs::remove_dir_all(&dir);

@@ -27,6 +27,7 @@ use std::time::Instant;
 
 use dio_backend::{DocStore, StorageConfig, StorageEngine};
 use dio_bench::{format_duration_ns, write_json_result, write_result};
+use dio_profile::{DfgMiner, ProfileConfig};
 use dio_viz::Table;
 
 const THREADS: usize = 8;
@@ -77,6 +78,60 @@ fn scrape_once(addr: std::net::SocketAddr, path: &str) -> std::io::Result<usize>
     let mut sink = Vec::new();
     stream.read_to_end(&mut sink)?;
     Ok(sink.len())
+}
+
+/// A fully event-shaped body (time axis, latency, pid/tid, file tag):
+/// what the tracer's consumer actually ships, so the DFG miner does the
+/// same per-doc work it does in a profiled session.
+fn event_body(thread: usize, batch: usize, k: usize) -> serde_json::Value {
+    let seq = (batch * 1000 + k) as u64;
+    serde_json::json!({
+        "syscall": if k % 8 == 7 { "fsync" } else { "write" },
+        "time": seq * 1_000,
+        "latency_ns": 700 + (k as u64 % 64) * 10,
+        "pid": 100 + thread as u64,
+        "tid": 100 + thread as u64,
+        "proc_name": format!("writer{thread}"),
+        "ret_val": 96,
+        "file_tag": format!("8:1|{thread}|7"),
+        "payload": "x".repeat(96),
+    })
+}
+
+/// Full-path ingest of event-shaped docs, each session thread running
+/// its own [`DfgMiner`] over every batch before it is bulk-indexed (the
+/// exact shape a profiled tracer session runs: one miner per session,
+/// observing on the consumer path). Returns (docs/sec, transitions
+/// mined across all sessions).
+fn run_docstore_events(store: &DocStore, profiled: bool, load: Load) -> (f64, u64) {
+    let start = Instant::now();
+    let transitions = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let store = store.clone();
+            let transitions = &transitions;
+            scope.spawn(move || {
+                let miner = profiled.then(|| DfgMiner::new(ProfileConfig::default()));
+                let index = format!("dio-ing{t}");
+                for b in 0..load.batches {
+                    let docs: Vec<_> =
+                        (0..load.docs_per_batch).map(|k| event_body(t, b, k)).collect();
+                    if let Some(miner) = &miner {
+                        miner.observe_batch(&docs);
+                    }
+                    store.bulk(&index, docs);
+                }
+                if let Some(miner) = &miner {
+                    miner.finish();
+                    transitions.fetch_add(
+                        miner.snapshot().transitions,
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                }
+            });
+        }
+    });
+    (load.total_docs() as f64 / start.elapsed().as_secs_f64(), transitions.into_inner())
 }
 
 /// Full-path ingest through a [`DocStore`]: docs/sec over `load`.
@@ -251,6 +306,7 @@ fn main() {
                 index_name: "dio-ing0".to_string(),
                 telemetry_index: "dio-telemetry-bench-serve".to_string(),
                 engine: None,
+                profiler: None,
             };
             let server = dio_serve::serve("127.0.0.1:0", state).expect("bind server");
             let addr = server.addr();
@@ -291,6 +347,43 @@ fn main() {
     metrics.insert("serve_scraped_docs_per_sec".into(), serde_json::json!(rate_scraped));
     metrics.insert("serve_unobserved_docs_per_sec".into(), serde_json::json!(rate_unserved));
 
+    // DFG mining overhead on the full ingest path: the same event-shaped
+    // docs with each session thread's DfgMiner observing every batch
+    // before it is indexed (the profiled-session shape: one miner per
+    // session) vs sailing past the miner (best of `reps`, like the gates
+    // above). `DIO_ENFORCE_DFG_OVERHEAD=1` turns the <5% claim into a
+    // hard gate (the CI dfg job sets it).
+    let dfg_rate = |profiled: bool, tag: &str| -> f64 {
+        let mut best = 0.0f64;
+        for rep in 0..reps {
+            let dir = bench_dir(&format!("dfg-{tag}{rep}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = DocStore::open_with(&dir, persist_config(8)).expect("open store");
+            let (rate, transitions) = run_docstore_events(&store, profiled, load);
+            best = best.max(rate);
+            if profiled {
+                assert!(
+                    transitions > 0,
+                    "the profiled run must actually mine transitions, \
+                     else the overhead number is vacuous"
+                );
+            }
+            drop(store);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        best
+    };
+    let rate_profiled = dfg_rate(true, "on");
+    let rate_unprofiled = dfg_rate(false, "off");
+    let dfg_overhead_pct = ((rate_unprofiled - rate_profiled) / rate_unprofiled * 100.0).max(0.0);
+    eprintln!(
+        "  DFG mining overhead: {dfg_overhead_pct:.2}% \
+         ({rate_profiled:.0} profiled vs {rate_unprofiled:.0} unprofiled docs/s)"
+    );
+    metrics.insert("dfg_overhead_pct".into(), serde_json::json!(dfg_overhead_pct));
+    metrics.insert("dfg_on_docs_per_sec".into(), serde_json::json!(rate_profiled));
+    metrics.insert("dfg_off_docs_per_sec".into(), serde_json::json!(rate_unprofiled));
+
     let engine_speedup = engine_rates[1] / engine_rates[0];
     let docstore_speedup = docstore_rates[1] / docstore_rates[0];
     let persist_overhead = docstore_rates[1] / memory;
@@ -310,6 +403,7 @@ fn main() {
          persistent vs in-memory full path:       {:.0}% of memory rate\n\
          flight recorder overhead (engine path):  {flightrec_overhead_pct:.2}%\n\
          scrape-under-load overhead (full path):  {serve_overhead_pct:.2}%\n\
+         DFG mining overhead (full path):         {dfg_overhead_pct:.2}%\n\
          wall time: {}\n",
         persist_overhead * 100.0,
         format_duration_ns(run_start.elapsed().as_nanos() as u64)
@@ -356,6 +450,14 @@ fn main() {
             "a sustained /metrics scrape must cost < 5% full-path ingest throughput, \
              measured {serve_overhead_pct:.2}% \
              ({rate_scraped:.0} scraped vs {rate_unserved:.0} unobserved docs/s)"
+        );
+    }
+    if std::env::var("DIO_ENFORCE_DFG_OVERHEAD").is_ok_and(|v| v == "1") {
+        assert!(
+            dfg_overhead_pct < 5.0,
+            "streaming DFG mining must cost < 5% full-path ingest throughput, \
+             measured {dfg_overhead_pct:.2}% \
+             ({rate_profiled:.0} profiled vs {rate_unprofiled:.0} unprofiled docs/s)"
         );
     }
 }

@@ -7,7 +7,7 @@
 
 use dio_core::{
     dashboards, detect_data_loss, render_alert_history, Alert, AlertKind, DiagnoseConfig, Dio,
-    Query, SearchRequest, SortOrder, TracerConfig,
+    ProfileConfig, Query, SearchRequest, SortOrder, TracerConfig,
 };
 use dio_fluentbit::{run_issue_1875, FluentBitVersion};
 
@@ -39,8 +39,13 @@ fn run_version(version: FluentBitVersion, fig: &str) -> (String, serde_json::Val
     // The paper filters on the two applications' processes; our kernel
     // only runs those two, so the full syscall set is equivalent. The
     // streaming diagnosis engine rides along to raise the Fig. 2a verdict
-    // live, while the trace is still running.
-    let session = dio.trace(TracerConfig::new(&session_name).diagnose(DiagnoseConfig::default()));
+    // live, while the trace is still running; the DFG profiler rides
+    // along too, so that verdict names its critical syscall transition.
+    let session = dio.trace(
+        TracerConfig::new(&session_name)
+            .diagnose(DiagnoseConfig::default())
+            .profile(ProfileConfig::default()),
+    );
     let outcome = run_issue_1875(dio.kernel(), version, "/app.log", GAP_NS)
         .expect("scenario replays cleanly");
 
@@ -55,10 +60,24 @@ fn run_version(version: FluentBitVersion, fig: &str) -> (String, serde_json::Val
     };
     let live_data_loss = live_alerts.iter().filter(|a| is_data_loss(a)).count();
     match version {
-        FluentBitVersion::V1_4_0 => assert!(
-            live_data_loss >= 1,
-            "v1.4.0 must raise a live data-loss alert before teardown, got {live_alerts:?}"
-        ),
+        FluentBitVersion::V1_4_0 => {
+            assert!(
+                live_data_loss >= 1,
+                "v1.4.0 must raise a live data-loss alert before teardown, got {live_alerts:?}"
+            );
+            // Every data-loss verdict must carry a DFG attribution block
+            // naming the critical syscall transition of the alert window.
+            for alert in live_alerts.iter().filter(|a| is_data_loss(a)) {
+                let attribution =
+                    alert.attribution.as_ref().expect("data-loss alert carries attribution");
+                let edge = attribution["edge"].as_str().expect("attribution names an edge");
+                assert!(edge.contains("->"), "edge is a transition: {edge}");
+                assert!(
+                    attribution["transitions"].as_u64().unwrap_or(0) > 0,
+                    "attribution backed by observed transitions: {attribution}"
+                );
+            }
+        }
         FluentBitVersion::V2_0_5 => {
             assert_eq!(live_data_loss, 0, "v2.0.5 must stay clean, got {live_alerts:?}");
             assert!(engine.validated_restarts() >= 1, "offset-0 restart must be validated");
@@ -195,6 +214,8 @@ fn run_version(version: FluentBitVersion, fig: &str) -> (String, serde_json::Val
         "live_verdict": {
             "data_loss_detected": live_data_loss >= 1,
             "detected_before_teardown": true,
+            "attributed_alerts":
+                report.trace.alerts.iter().filter(|a| a.attribution.is_some()).count(),
             "alerts_raised": report.trace.alerts.len(),
             "validated_offset0_restarts": engine.validated_restarts(),
             "events_observed": diagnosis.observed,

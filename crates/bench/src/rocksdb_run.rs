@@ -91,6 +91,9 @@ pub struct RocksdbRunConfig {
     /// Attach the live diagnosis engine to the DIO tracer (streaming
     /// contention/rate detectors windowed at `window_ns`).
     pub diagnose: bool,
+    /// Attach the streaming DFG profiler to the DIO tracer; combined
+    /// with `diagnose`, alerts gain critical-edge attribution blocks.
+    pub profile: bool,
 }
 
 impl Default for RocksdbRunConfig {
@@ -104,6 +107,7 @@ impl Default for RocksdbRunConfig {
             window_ns: 250_000_000,
             seed: 42,
             diagnose: false,
+            profile: false,
         }
     }
 }
@@ -129,6 +133,7 @@ impl RocksdbRunConfig {
             "window_ns": self.window_ns,
             "seed": self.seed,
             "diagnose": self.diagnose,
+            "profile": self.profile,
         })
     }
 }
@@ -218,6 +223,9 @@ pub fn run_rocksdb(setup: TracingSetup, config: &RocksdbRunConfig) -> RocksdbRun
                 // rocksdb:low compactors).
                 tracer_config =
                     tracer_config.diagnose(DiagnoseConfig::default().window_ns(config.window_ns));
+            }
+            if config.profile {
+                tracer_config = tracer_config.profile(dio_profile::ProfileConfig::default());
             }
             dio_tracer = Some(Tracer::attach(tracer_config, &kernel, backend.clone()));
         }

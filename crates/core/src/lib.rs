@@ -56,6 +56,10 @@ pub use dio_ebpf::{FilterSpec, RingConfig, RingStats};
 pub use dio_kernel::{
     DiskProfile, Errno, Kernel, OpenFlags, Process, SimClock, SysResult, ThreadCtx, Vfs, Whence,
 };
+pub use dio_profile::{
+    format_ns, to_dot, to_json, to_mermaid, DfgMiner, DfgSnapshot, EdgeSnapshot, GraphSnapshot,
+    NodeSnapshot, ProfileConfig,
+};
 pub use dio_rules::{
     compile as compile_rules, parse_rules, verify_rules, RuleCheck, RuleSet, RulesError,
     RulesReport,
@@ -70,9 +74,9 @@ pub use dio_tracer::{
 };
 pub use dio_viz::{
     dashboards, latest_storage_report, render_alert_history, render_compaction_timeline,
-    render_health_dashboard, render_latency_waterfall, render_rules_panel, render_storage_panel,
-    render_top, sparkline, Chart, Column, Dashboard, HealthReport, Heatmap, Panel, PanelSpec,
-    Series, Table, TopOptions,
+    render_dfg_panel, render_health_dashboard, render_latency_waterfall, render_rules_panel,
+    render_storage_panel, render_top, sparkline, Chart, Column, Dashboard, HealthReport, Heatmap,
+    Panel, PanelSpec, Series, Table, TopOptions,
 };
 
 /// The assembled DIO deployment: one kernel under observation plus the
@@ -242,6 +246,12 @@ impl DioSession {
                 out.push_str(&render_rules_panel(&reports));
             }
         }
+        // Profiled sessions get the live directly-follows-graph panel:
+        // the busiest syscall transitions with latency percentiles.
+        if let Some(miner) = self.tracer.as_ref().and_then(|t| t.profiler()) {
+            out.push('\n');
+            out.push_str(&dio_viz::render_dfg_panel(&dio_profile::to_json(&miner.snapshot())));
+        }
         // Persistent sessions get the storage engine's occupancy and
         // compaction-debt panel below the live view.
         if let Some(report) = self.backend.storage_report() {
@@ -269,6 +279,7 @@ impl DioSession {
             index_name: self.index_name.clone(),
             telemetry_index: format!("dio-telemetry-{}", self.session_name),
             engine: tracer.diagnosis(),
+            profiler: tracer.profiler(),
         };
         let handle = serve(addr, state)?;
         let bound = handle.addr();

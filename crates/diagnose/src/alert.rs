@@ -123,6 +123,13 @@ pub struct Alert {
     pub fields: Value,
     /// The raw event documents that triggered the detection.
     pub evidence: Vec<Value>,
+    /// Causal attribution computed by the DFG profiler when one is
+    /// attached to the engine (`None` otherwise): the critical
+    /// directly-follows edge over the alert window plus corroborating
+    /// flight-recorder spans. Attribution is a decoration — it never
+    /// changes the alert spine (kind, severity, window, subject,
+    /// message, fields, evidence).
+    pub attribution: Option<Value>,
 }
 
 impl Alert {
@@ -144,14 +151,16 @@ impl Alert {
     ///     message: "stale read".into(),
     ///     fields: serde_json::json!({}),
     ///     evidence: vec![],
+    ///     attribution: None,
     /// };
     /// let doc = alert.to_document();
     /// assert_eq!(doc["kind"], "alert");
     /// assert_eq!(doc["alert_kind"], "data_loss");
     /// assert!(doc.get("metric").is_none(), "must not look like a health doc");
+    /// assert!(doc.get("attribution").is_none(), "absent until a profiler attributes");
     /// ```
     pub fn to_document(&self) -> Value {
-        json!({
+        let mut doc = json!({
             "kind": "alert",
             "seq": self.seq,
             "detector": self.detector,
@@ -164,7 +173,11 @@ impl Alert {
             "message": self.message,
             "fields": self.fields,
             "evidence": self.evidence,
-        })
+        });
+        if let Some(attribution) = &self.attribution {
+            doc["attribution"] = attribution.clone();
+        }
+        doc
     }
 }
 
@@ -185,6 +198,7 @@ mod tests {
             message: "m".into(),
             fields: json!({"a": 1}),
             evidence: vec![json!({"time": 42})],
+            attribution: None,
         }
     }
 
@@ -198,6 +212,19 @@ mod tests {
         assert_eq!(doc["time"], 42);
         assert_eq!(doc["window_end_ns"], 100);
         assert_eq!(doc["evidence"][0]["time"], 42);
+    }
+
+    #[test]
+    fn attribution_block_rides_the_document_when_present() {
+        let mut alert = sample(AlertKind::DataLoss, Severity::Critical);
+        assert!(alert.to_document().get("attribution").is_none());
+        alert.attribution = Some(json!({"edge": "write->fsync", "growth": 0.4}));
+        let doc = alert.to_document();
+        assert_eq!(doc["attribution"]["edge"], "write->fsync");
+        // The spine is untouched by the decoration.
+        let mut bare = sample(AlertKind::DataLoss, Severity::Critical).to_document();
+        bare["attribution"] = doc["attribution"].clone();
+        assert_eq!(bare, doc);
     }
 
     #[test]

@@ -50,6 +50,7 @@ fn alert(
         message,
         fields,
         evidence,
+        attribution: None,
     }
 }
 

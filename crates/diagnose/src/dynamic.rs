@@ -55,4 +55,11 @@ pub trait DynDetector: Send {
     /// Registers detector-specific telemetry (e.g. per-rule counters)
     /// with the session registry. Called when the engine itself is bound.
     fn bind_telemetry(&mut self, _registry: &MetricsRegistry) {}
+
+    /// Names of rules that opted into DFG attribution (`attribution on`
+    /// in the rule DSL). The engine collects these at install time and
+    /// decorates only opted-in rule alerts; the default opts nothing in.
+    fn attribution_optins(&self) -> Vec<String> {
+        Vec::new()
+    }
 }

@@ -172,6 +172,8 @@ struct EngineInner {
     error_rate: ErrorRateDetector,
     /// Detectors installed at runtime (compiled rule sets).
     dynamic: Vec<Box<dyn DynDetector>>,
+    /// Rule names that opted into DFG attribution (`attribution on`).
+    attribution_rules: std::collections::BTreeSet<String>,
     alerts: Vec<Alert>,
     unshipped: Vec<Alert>,
     finished: bool,
@@ -188,10 +190,17 @@ struct EngineTelemetry {
     open_windows: Arc<Gauge>,
 }
 
+/// Computes the `attribution` block for an alert, installed via
+/// [`DiagnosisEngine::set_attributor`]. In the shipped wiring this is the
+/// DFG profiler's critical-path computation; the engine itself only knows
+/// the type, keeping `dio-diagnose` free of a profile dependency.
+pub type Attributor = Box<dyn Fn(&Alert) -> Option<Value> + Send + Sync>;
+
 /// The live diagnosis engine (see the module docs).
 pub struct DiagnosisEngine {
     config: DiagnoseConfig,
     inner: Mutex<EngineInner>,
+    attributor: OnceLock<Attributor>,
     observed: AtomicU64,
     evaluated: AtomicU64,
     sampled_out: AtomicU64,
@@ -244,11 +253,13 @@ impl DiagnosisEngine {
                     config.evidence_limit,
                 ),
                 dynamic: Vec::new(),
+                attribution_rules: Default::default(),
                 alerts: Vec::new(),
                 unshipped: Vec::new(),
                 finished: false,
             }),
             config,
+            attributor: OnceLock::new(),
             observed: AtomicU64::new(0),
             evaluated: AtomicU64::new(0),
             sampled_out: AtomicU64::new(0),
@@ -274,7 +285,18 @@ impl DiagnosisEngine {
     /// session registry; detectors installed later still run but skip
     /// telemetry registration.
     pub fn install_detector(&self, detector: Box<dyn DynDetector>) {
-        self.inner.lock().dynamic.push(detector);
+        let mut inner = self.inner.lock();
+        inner.attribution_rules.extend(detector.attribution_optins());
+        inner.dynamic.push(detector);
+    }
+
+    /// Installs the attribution callback (at most once; later calls are
+    /// ignored). When present, every alert a built-in detector raises is
+    /// decorated with its result before being stored or returned; alerts
+    /// from the `rules` detector are decorated only when their rule opted
+    /// in via `attribution on` (see [`DynDetector::attribution_optins`]).
+    pub fn set_attributor(&self, attributor: Attributor) {
+        let _ = self.attributor.set(attributor);
     }
 
     /// Per-unit status reports of every installed dynamic detector
@@ -415,6 +437,7 @@ impl DiagnosisEngine {
                         "degradation_factor": report.degradation_factor(),
                     }),
                     evidence: Vec::new(),
+                    attribution: None,
                 });
             }
         }
@@ -430,9 +453,24 @@ impl DiagnosisEngine {
             self.last_event_ns.fetch_max(max_time, Ordering::Relaxed);
         }
         if !fresh.is_empty() {
+            let attributor = self.attributor.get();
             for alert in fresh.iter_mut() {
                 alert.seq = inner.alerts.len() as u64;
                 alert.evidence.truncate(self.config.evidence_limit);
+                // Decorate before cloning so the stored, shipped, and
+                // returned copies all carry the same attribution. Rule
+                // alerts only get one when their rule opted in.
+                if alert.attribution.is_none() {
+                    if let Some(attribute) = attributor {
+                        let wants = alert.detector != "rules"
+                            || alert.fields["rule"]
+                                .as_str()
+                                .is_some_and(|rule| inner.attribution_rules.contains(rule));
+                        if wants {
+                            alert.attribution = attribute(alert);
+                        }
+                    }
+                }
                 inner.alerts.push(alert.clone());
                 inner.unshipped.push(alert.clone());
             }
@@ -720,6 +758,7 @@ mod tests {
                     message: format!("saw {} events", self.seen),
                     fields: json!({"seen": self.seen}),
                     evidence: Vec::new(),
+                    attribution: None,
                 });
             }
             fn reports(&self) -> Vec<Value> {
@@ -744,6 +783,58 @@ mod tests {
         for (i, a) in alerts.iter().enumerate() {
             assert_eq!(a.seq, i as u64);
         }
+    }
+
+    #[test]
+    fn attributor_decorates_builtin_alerts_and_opted_in_rules_only() {
+        struct RulePair;
+        impl DynDetector for RulePair {
+            fn name(&self) -> &str {
+                "rules"
+            }
+            fn observe(&mut self, _doc: &Value, _out: &mut Vec<Alert>) {}
+            fn evaluate_ready(&mut self, _out: &mut Vec<Alert>) {}
+            fn evaluate_all(&mut self, out: &mut Vec<Alert>) {
+                for rule in ["opted", "plain"] {
+                    out.push(Alert {
+                        seq: 0,
+                        detector: "rules",
+                        kind: AlertKind::RuleMatch,
+                        severity: Severity::Info,
+                        time_ns: 9,
+                        window_start_ns: None,
+                        window_end_ns: None,
+                        subject: rule.into(),
+                        message: format!("rule {rule} matched"),
+                        fields: json!({"rule": rule}),
+                        evidence: Vec::new(),
+                        attribution: None,
+                    });
+                }
+            }
+            fn attribution_optins(&self) -> Vec<String> {
+                vec!["opted".to_string()]
+            }
+        }
+
+        let engine = DiagnosisEngine::new(DiagnoseConfig::default());
+        engine.install_detector(Box::new(RulePair));
+        engine.set_attributor(Box::new(|alert| {
+            Some(json!({"edge": "write->fsync", "for": alert.subject}))
+        }));
+        engine.observe_batch(&buggy_batch());
+        engine.finish();
+        let alerts = engine.alerts();
+        let data_loss = alerts.iter().find(|a| a.kind == AlertKind::DataLoss).unwrap();
+        assert!(data_loss.attribution.is_some(), "built-ins always attribute");
+        let opted = alerts.iter().find(|a| a.subject == "opted").unwrap();
+        assert_eq!(opted.attribution.as_ref().unwrap()["for"], "opted");
+        let plain = alerts.iter().find(|a| a.subject == "plain").unwrap();
+        assert!(plain.attribution.is_none(), "non-opted rule stays bare");
+        // The shipped copies carry the same decoration as the stored ones.
+        let shipped = engine.drain_unshipped();
+        let shipped_loss = shipped.iter().find(|a| a.kind == AlertKind::DataLoss).unwrap();
+        assert_eq!(shipped_loss.attribution, data_loss.attribution);
     }
 
     #[test]

@@ -453,6 +453,10 @@ pub struct Rule {
     pub action: Action,
     /// Optional cap on fired alerts (beyond it, matches are suppressed).
     pub limit: Option<u64>,
+    /// Whether alerts fired by this rule opt into DFG critical-path
+    /// attribution (`attribution on`). Off by default: attribution is a
+    /// decoration, so rules must ask for it explicitly.
+    pub attribution: bool,
 }
 
 impl std::fmt::Display for Rule {
@@ -484,6 +488,9 @@ impl std::fmt::Display for Rule {
         }
         if let Some(limit) = self.limit {
             write!(f, " limit {limit}")?;
+        }
+        if self.attribution {
+            f.write_str(" attribution on")?;
         }
         Ok(())
     }

@@ -513,6 +513,7 @@ impl CompiledRule {
                     message: message.clone(),
                     fields: json!({ "rule": self.rule.name, "values": values }),
                     evidence: evidence.to_vec(),
+                    attribution: None,
                 });
             }
         }
@@ -542,6 +543,7 @@ impl CompiledRule {
             "severity": severity,
             "alert_kind": kind,
             "limit": self.rule.limit,
+            "attribution": self.rule.attribution,
             "evaluated": self.stats.evaluated,
             "fired": self.stats.fired,
             "suppressed": self.stats.suppressed,
@@ -588,11 +590,20 @@ impl RuleSet {
     pub fn names(&self) -> Vec<&str> {
         self.rules.iter().map(|r| r.rule.name.as_str()).collect()
     }
+
+    /// Names of rules carrying `attribution on`, in file order.
+    pub fn attribution_rules(&self) -> Vec<&str> {
+        self.rules.iter().filter(|r| r.rule.attribution).map(|r| r.rule.name.as_str()).collect()
+    }
 }
 
 impl DynDetector for RuleSet {
     fn name(&self) -> &str {
         "rules"
+    }
+
+    fn attribution_optins(&self) -> Vec<String> {
+        self.attribution_rules().iter().map(|s| s.to_string()).collect()
     }
 
     fn observe(&mut self, doc: &Value, out: &mut Vec<Alert>) {
@@ -777,6 +788,22 @@ mod tests {
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].window_start_ns, Some(2_000));
         assert_eq!(alerts[0].fields["values"]["mean_when(count, errors == 0)"], 10.0);
+    }
+
+    #[test]
+    fn attribution_optins_name_only_opted_rules() {
+        let set = compile(
+            "rule opted when ret_val >= 0 then alert(info, \"hit\") attribution on\n\
+             rule plain when ret_val >= 0 then alert(info, \"hit\")\n\
+             rule explicit_off when ret_val >= 0 then alert(info, \"hit\") attribution off",
+        )
+        .unwrap();
+        assert_eq!(set.attribution_rules(), vec!["opted"]);
+        assert_eq!(set.attribution_optins(), vec!["opted".to_string()]);
+        let report = &set.reports()[0];
+        assert_eq!(report["rule"], "opted");
+        assert_eq!(report["attribution"], true);
+        assert_eq!(set.reports()[1]["attribution"], false);
     }
 
     #[test]

@@ -209,7 +209,22 @@ impl Parser {
         } else {
             None
         };
-        Ok(Rule { name, name_span, trigger, key, when, action, limit })
+        let attribution = if self.eat_kw("attribution") {
+            let (mode, span) = self.ident("`on` or `off` after `attribution`")?;
+            match mode.as_str() {
+                "on" => true,
+                "off" => false,
+                other => {
+                    return Err(ParseError {
+                        message: format!("unknown attribution mode `{other}` (expected on or off)"),
+                        span,
+                    })
+                }
+            }
+        } else {
+            false
+        };
+        Ok(Rule { name, name_span, trigger, key, when, action, limit, attribution })
     }
 
     fn action(&mut self) -> Result<Action, ParseError> {
@@ -480,6 +495,29 @@ mod tests {
         );
         // The canonical form is a parser fixpoint.
         assert_eq!(roundtrip(&printed), printed);
+    }
+
+    #[test]
+    fn attribution_knob_parses_and_prints_only_when_on() {
+        let on =
+            parse_rules("rule r when offset > 0 then alert(info, \"x\") limit 2 attribution on")
+                .unwrap();
+        assert!(on.rules[0].attribution);
+        assert_eq!(
+            on.to_string().trim(),
+            "rule r when offset > 0 then alert(info, \"x\") limit 2 attribution on"
+        );
+        // `attribution off` is the default, so the printer drops it.
+        let off =
+            parse_rules("rule r when offset > 0 then alert(info, \"x\") attribution off").unwrap();
+        assert!(!off.rules[0].attribution);
+        assert_eq!(off.to_string().trim(), "rule r when offset > 0 then alert(info, \"x\")");
+        let bare = parse_rules("rule r when offset > 0 then alert(info, \"x\")").unwrap();
+        assert_eq!(bare.to_string(), off.to_string());
+        // Anything but on/off is a spanned error.
+        let err = parse_rules("rule r when offset > 0 then alert(info, \"x\") attribution maybe")
+            .unwrap_err();
+        assert!(err.message.contains("unknown attribution mode `maybe`"), "{err}");
     }
 
     #[test]

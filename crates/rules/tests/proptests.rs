@@ -127,6 +127,9 @@ fn gen_rule(g: &mut Gen, idx: u64) -> String {
     if g.chance(3) {
         src.push_str(&format!(" limit {}", g.below(4)));
     }
+    if g.chance(3) {
+        src.push_str(&format!(" attribution {}", g.pick(&["on", "off"])));
+    }
     src.push('\n');
     src
 }

@@ -18,6 +18,8 @@
 //! | `/api/health`        | JSON pipeline-health report                        |
 //! | `/api/rules`         | JSON loaded-rule list with fire/suppress counters  |
 //! | `/api/storage`       | JSON storage-engine report (404 when in-memory)    |
+//! | `/api/dfg`           | JSON DFG snapshot; `?format=dot\|mermaid` exports  |
+//! | `/dfg`               | text DFG panel (busiest directly-follows edges)    |
 //! | `/top`               | ANSI `dio top` render, text/plain                  |
 //! | `/dashboard`         | ANSI health dashboard, text/plain                  |
 //! | `/api/alerts/stream` | Server-Sent Events: live diagnosis alerts          |
@@ -42,6 +44,7 @@ use std::time::Duration;
 
 use dio_backend::DocStore;
 use dio_diagnose::DiagnosisEngine;
+use dio_profile::DfgMiner;
 use dio_telemetry::{trace, MetricsRegistry};
 use dio_viz::{
     render_health_dashboard, render_storage_panel, render_top, top_snapshot, HealthReport,
@@ -77,6 +80,8 @@ pub struct ServeState {
     pub telemetry_index: String,
     /// Live diagnosis engine, when the session runs with diagnosis on.
     pub engine: Option<Arc<DiagnosisEngine>>,
+    /// Streaming DFG miner, when the session runs with profiling on.
+    pub profiler: Option<Arc<DfgMiner>>,
 }
 
 /// Server self-observation, registered into the session registry so the
@@ -87,6 +92,7 @@ struct ServeTelemetry {
     busy: Arc<dio_telemetry::Counter>,
     sse_clients: Arc<dio_telemetry::Gauge>,
     sse_events: Arc<dio_telemetry::Counter>,
+    sse_missed: Arc<dio_telemetry::Counter>,
 }
 
 impl ServeTelemetry {
@@ -97,6 +103,7 @@ impl ServeTelemetry {
             busy: registry.counter("serve.http.busy"),
             sse_clients: registry.gauge("serve.sse.clients"),
             sse_events: registry.counter("serve.sse.events"),
+            sse_missed: registry.counter("serve.sse.missed_batches"),
         }
     }
 }
@@ -383,6 +390,44 @@ fn handle_connection(
                 b"{\"error\":\"session has no diagnosis engine\"}".to_vec(),
             ),
         },
+        "/api/dfg" => match &state.profiler {
+            Some(miner) => {
+                let snapshot = miner.snapshot();
+                match request.query.get("format").map(String::as_str) {
+                    Some("dot") => (
+                        200,
+                        "text/vnd.graphviz; charset=utf-8",
+                        dio_profile::to_dot(&snapshot.global, &state.session).into_bytes(),
+                    ),
+                    Some("mermaid") => (
+                        200,
+                        "text/plain; charset=utf-8",
+                        dio_profile::to_mermaid(&snapshot.global).into_bytes(),
+                    ),
+                    Some(other) => {
+                        telemetry.errors.inc();
+                        let body = json!({
+                            "error": format!("unknown format `{other}`"),
+                            "formats": ["dot", "mermaid"],
+                        });
+                        (400, "application/json", body.to_string().into_bytes())
+                    }
+                    None => {
+                        let mut body = dio_profile::to_json(&snapshot);
+                        body["session"] = json!(state.session);
+                        (200, "application/json", body.to_string().into_bytes())
+                    }
+                }
+            }
+            None => (404, "application/json", b"{\"error\":\"session has no profiler\"}".to_vec()),
+        },
+        "/dfg" => match &state.profiler {
+            Some(miner) => {
+                let out = dio_viz::render_dfg_panel(&dio_profile::to_json(&miner.snapshot()));
+                (200, "text/plain; charset=utf-8", out.into_bytes())
+            }
+            None => (404, "application/json", b"{\"error\":\"session has no profiler\"}".to_vec()),
+        },
         "/api/storage" => match state.backend.storage_report() {
             Some(report) => {
                 (200, "application/json", report.to_document().to_string().into_bytes())
@@ -406,6 +451,10 @@ fn handle_connection(
                     out.push('\n');
                     out.push_str(&dio_viz::render_rules_panel(&reports));
                 }
+            }
+            if let Some(miner) = &state.profiler {
+                out.push('\n');
+                out.push_str(&dio_viz::render_dfg_panel(&dio_profile::to_json(&miner.snapshot())));
             }
             if let Some(report) = state.backend.storage_report() {
                 out.push('\n');
@@ -434,8 +483,8 @@ fn handle_connection(
                 "error": "not found",
                 "endpoints": [
                     "/metrics", "/api/top", "/api/health", "/api/rules",
-                    "/api/storage", "/api/alerts/stream", "/top", "/dashboard",
-                    "/flightrec", "/healthz", "/readyz",
+                    "/api/storage", "/api/dfg", "/api/alerts/stream", "/top",
+                    "/dfg", "/dashboard", "/flightrec", "/healthz", "/readyz",
                 ],
             });
             (404, "application/json", body.to_string().into_bytes())
@@ -509,9 +558,18 @@ fn pump_sse(
     http::write_stream_head(stream, "text/event-stream")?;
     stream.write_all(b": dio alert stream\n\n")?;
     stream.flush()?;
+    // Batches the subscription dropped because this client was slow,
+    // folded into `serve.sse.missed_batches` as deltas so the counter
+    // aggregates across clients while each heartbeat reports its own.
+    let mut reported_missed = 0u64;
     loop {
         if stop.load(Ordering::Acquire) {
             return Ok(());
+        }
+        let missed = subscription.missed_batches();
+        if missed > reported_missed {
+            telemetry.sse_missed.add(missed - reported_missed);
+            reported_missed = missed;
         }
         match subscription.recv_timeout(SSE_POLL) {
             Some(batch) => {
@@ -556,6 +614,7 @@ mod tests {
             index_name: format!("dio-{session}"),
             telemetry_index: format!("dio-telemetry-{session}"),
             engine: None,
+            profiler: None,
         }
     }
 
@@ -629,6 +688,61 @@ mod tests {
         let (status, top) = get(handle.addr(), "/top");
         assert_eq!(status, 200);
         assert!(top.contains("### Rules (3 loaded)"), "{top}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn api_dfg_serves_snapshot_and_exports() {
+        // Without a profiler the endpoints are clean 404s.
+        let mut handle = serve("127.0.0.1:0", test_state("nodfg")).expect("serve");
+        let (status, body) = get(handle.addr(), "/api/dfg");
+        assert_eq!(status, 404);
+        assert!(body.contains("no profiler"), "{body}");
+        let (status, _) = get(handle.addr(), "/dfg");
+        assert_eq!(status, 404);
+        handle.shutdown();
+
+        // With a miner attached, the snapshot and exports come through.
+        let miner = DfgMiner::new(dio_profile::ProfileConfig::default());
+        let ev = |t: u64, syscall: &str| {
+            json!({
+                "time": t, "syscall": syscall, "pid": 1, "tid": 1,
+                "proc_name": "writer", "latency_ns": 1_000, "ret_val": 8,
+                "file_path": "/data.bin",
+            })
+        };
+        miner.observe_batch(&[ev(10, "openat"), ev(20, "write"), ev(30, "fsync")]);
+        let mut state = test_state("dfg");
+        state.profiler = Some(Arc::clone(&miner));
+        let mut handle = serve("127.0.0.1:0", state).expect("serve");
+
+        let (status, body) = get(handle.addr(), "/api/dfg");
+        assert_eq!(status, 200);
+        let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(doc["session"], json!("dfg"));
+        assert_eq!(doc["transitions"], json!(2), "{body}");
+
+        let (status, dot) = get(handle.addr(), "/api/dfg?format=dot");
+        assert_eq!(status, 200);
+        assert!(dot.contains("digraph"), "{dot}");
+        assert!(dot.contains("write") && dot.contains("fsync"), "{dot}");
+
+        let (status, mmd) = get(handle.addr(), "/api/dfg?format=mermaid");
+        assert_eq!(status, 200);
+        assert!(mmd.contains("graph LR"), "{mmd}");
+
+        let (status, body) = get(handle.addr(), "/api/dfg?format=svg");
+        assert_eq!(status, 400);
+        assert!(body.contains("unknown format"), "{body}");
+
+        let (status, panel) = get(handle.addr(), "/dfg");
+        assert_eq!(status, 200);
+        assert!(panel.contains("### DFG (2 transitions"), "{panel}");
+
+        // The ANSI /top view carries the same panel.
+        let (status, top) = get(handle.addr(), "/top");
+        assert_eq!(status, 200);
+        assert!(top.contains("### DFG"), "{top}");
         handle.shutdown();
     }
 

@@ -504,6 +504,56 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_quantile_edge_cases() {
+        // Empty histogram: every quantile is 0, including the extremes
+        // and NaN (which clamps to 0.0 before the count check matters).
+        let empty = Histogram::new().snapshot();
+        assert_eq!(empty.count, 0);
+        for q in [0.0, 0.5, 1.0, f64::NAN] {
+            assert_eq!(empty.quantile(q), 0);
+        }
+
+        // Single sample: one populated bucket, so every knot collapses
+        // onto the same value and interpolation must stay flat.
+        let single = {
+            let h = Histogram::new();
+            h.record(42);
+            h.snapshot()
+        };
+        assert_eq!(single.count, 1);
+        assert_eq!(single.quantile(0.0), single.min);
+        assert_eq!(single.quantile(1.0), single.max);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(single.quantile(q), single.quantile(0.5), "flat at q={q}");
+        }
+
+        // All samples in one bucket (identical values): same flatness
+        // even with a large count.
+        let uniform = {
+            let h = Histogram::new();
+            for _ in 0..1000 {
+                h.record(7_000);
+            }
+            h.snapshot()
+        };
+        assert_eq!(uniform.count, 1000);
+        assert_eq!(uniform.quantile(0.0), uniform.quantile(1.0));
+
+        // q=0.0 and q=1.0 pin exactly to min and max on a spread
+        // histogram — no interpolation bleed at the boundary knots.
+        let spread = {
+            let h = Histogram::new();
+            for v in [1u64, 10, 100, 1_000, 10_000] {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        assert_eq!(spread.quantile(0.0), spread.min);
+        assert_eq!(spread.quantile(1.0), spread.max);
+        assert!(spread.quantile(0.5) >= spread.min && spread.quantile(0.5) <= spread.max);
+    }
+
+    #[test]
     fn quantile_sorted_is_nearest_rank() {
         assert_eq!(quantile_sorted(&[], 0.5), 0);
         assert_eq!(quantile_sorted(&[7], 0.99), 7);

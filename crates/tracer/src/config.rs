@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use dio_diagnose::DiagnoseConfig;
 use dio_ebpf::{FilterSpec, RingConfig};
+use dio_profile::ProfileConfig;
 use dio_syscall::{Pid, SyscallKind, Tid};
 
 static SESSION_COUNTER: AtomicU64 = AtomicU64::new(1);
@@ -58,6 +59,7 @@ pub struct TracerConfig {
     span_sample_every: u64,
     diagnose: Option<DiagnoseConfig>,
     rules: Vec<String>,
+    profile: Option<ProfileConfig>,
 }
 
 impl TracerConfig {
@@ -81,6 +83,7 @@ impl TracerConfig {
             span_sample_every: 64,
             diagnose: None,
             rules: Vec::new(),
+            profile: None,
         }
     }
 
@@ -242,6 +245,20 @@ impl TracerConfig {
         self
     }
 
+    /// Enables streaming DFG profiling: the consumer thread feeds every
+    /// parsed event batch (at the same pipeline pressure the diagnosis
+    /// engine sees) to an in-process [`dio_profile::DfgMiner`] configured
+    /// by `config`, mining directly-follows graphs *during* the trace
+    /// (see [`crate::Tracer::profiler`]). When live diagnosis is also
+    /// enabled, the miner is installed as the engine's attributor: every
+    /// built-in alert — and every rule alert whose rule says
+    /// `attribution on` — gets a critical-path `attribution` block.
+    /// Off by default.
+    pub fn profile(mut self, config: ProfileConfig) -> Self {
+        self.profile = Some(config);
+        self
+    }
+
     /// Appends one `dio-rules` rule-file source (DSL text).
     ///
     /// The sources are compiled — and statically verified — when the
@@ -344,6 +361,10 @@ impl TracerConfig {
 
     pub(crate) fn diagnose_config(&self) -> Option<DiagnoseConfig> {
         self.diagnose.clone()
+    }
+
+    pub(crate) fn profile_config(&self) -> Option<ProfileConfig> {
+        self.profile.clone()
     }
 }
 

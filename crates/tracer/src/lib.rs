@@ -21,6 +21,10 @@ mod tracer;
 pub use config::{generate_session_name, TracerConfig};
 pub use tracer::{AttachError, TraceSummary, Tracer};
 
+// Profiling vocabulary, re-exported so callers can configure the DFG
+// miner without a direct `dio-profile` dependency.
+pub use dio_profile::{DfgMiner, DfgSnapshot, ProfileConfig};
+
 // Verification vocabulary, re-exported for callers handling rejections.
 pub use dio_rules::{CompileError as RuleCompileError, RuleCheck, RulesError};
 pub use dio_verify::{Rule, VerifyError, VerifyReport};

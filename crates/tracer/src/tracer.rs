@@ -12,6 +12,7 @@ use dio_backend::DocStore;
 use dio_diagnose::{Alert, DiagnosisEngine, EngineStats};
 use dio_ebpf::{ProgramConfig, RawEvent, RingBuffer, RingStats, TracerProgram};
 use dio_kernel::{Kernel, ProbeId, SyscallProbe};
+use dio_profile::DfgMiner;
 use dio_telemetry::span::{SpanCollector, SpanSummary, Stage, StageStamps};
 use dio_telemetry::{
     trace, Exporter, ExporterHandle, Gauge, Histogram, MetricsRegistry, TelemetrySnapshot,
@@ -111,6 +112,9 @@ pub struct TraceSummary {
     pub alerts: Vec<Alert>,
     /// Live-diagnosis engine counters, when diagnosis was enabled.
     pub diagnosis: Option<EngineStats>,
+    /// Final directly-follows-graph snapshot, when profiling was enabled
+    /// (see [`crate::TracerConfig::profile`]); sealed at shutdown.
+    pub dfg: Option<dio_profile::DfgSnapshot>,
 }
 
 impl TraceSummary {
@@ -173,9 +177,13 @@ pub struct Tracer {
     spans: Arc<SpanCollector>,
     exporter: Option<ExporterHandle>,
     engine: Option<Arc<DiagnosisEngine>>,
+    /// The streaming DFG miner, when [`TracerConfig::profile`] enabled it.
+    profiler: Option<Arc<DfgMiner>>,
     /// Destination for alert documents raised after the consumer exits
     /// (the engine's end-of-stream pass during shutdown).
     alert_sink: Option<AlertSink>,
+    /// Destination for the profiler's final phase documents at shutdown.
+    phase_sink: Option<AlertSink>,
     /// The store every pipeline stage ships into; flushed at shutdown so
     /// session close is a durability point for persistent backends.
     backend: DocStore,
@@ -208,6 +216,18 @@ impl AlertSink {
             .collect();
         self.backend.bulk(&self.telemetry_index, docs);
     }
+
+    /// Bulk-indexes already-typed documents (e.g. the profiler's
+    /// `kind: "phase"` documents), stamped with the session name.
+    fn ship_docs(&self, mut docs: Vec<Value>) {
+        if docs.is_empty() {
+            return;
+        }
+        for doc in docs.iter_mut() {
+            doc["session"] = json!(self.session);
+        }
+        self.backend.bulk(&self.telemetry_index, docs);
+    }
 }
 
 /// In-process feed from the consumer thread to the diagnosis engine.
@@ -215,6 +235,14 @@ struct DiagnoseTap {
     engine: Arc<DiagnosisEngine>,
     /// `None` while telemetry is disabled (no telemetry index exists, so
     /// alerts stay queryable on the engine only).
+    sink: Option<AlertSink>,
+    channel_capacity: f64,
+}
+
+/// In-process feed from the consumer thread to the DFG profiler.
+struct ProfileTap {
+    miner: Arc<DfgMiner>,
+    /// Ships `kind: "phase"` documents; `None` while telemetry is off.
     sink: Option<AlertSink>,
     channel_capacity: f64,
 }
@@ -334,14 +362,38 @@ impl Tracer {
             engine.bind_telemetry(&registry);
             engine
         });
-        let alert_sink = match &engine {
-            Some(_) if config.telemetry_enabled() => Some(AlertSink {
-                backend: backend.clone(),
-                telemetry_index: config.telemetry_index_name(),
-                session: config.session().to_string(),
-            }),
-            _ => None,
-        };
+        let telemetry_sink = config.telemetry_enabled().then(|| AlertSink {
+            backend: backend.clone(),
+            telemetry_index: config.telemetry_index_name(),
+            session: config.session().to_string(),
+        });
+        let alert_sink = engine.as_ref().and_then(|_| telemetry_sink.clone());
+
+        // Streaming DFG profiling (off by default): the consumer feeds the
+        // miner the same parsed batches at the same pressure signal the
+        // diagnosis tap sees. With diagnosis also on, the miner becomes the
+        // engine's attributor: each committed alert (built-in, or a rule
+        // with `attribution on`) gets the critical directly-follows edge
+        // over its window plus the overlapping flight-recorder spans.
+        let profiler = config.profile_config().map(|profile| {
+            let miner = DfgMiner::new(profile);
+            miner.bind_telemetry(&registry);
+            miner
+        });
+        if let (Some(engine), Some(miner)) = (&engine, &profiler) {
+            let miner = Arc::clone(miner);
+            engine.set_attributor(Box::new(move |alert| {
+                let spans = trace::recorder().snapshot();
+                miner.attribute(
+                    alert.window_start_ns,
+                    alert.window_end_ns,
+                    alert.time_ns,
+                    &alert.subject,
+                    &spans,
+                )
+            }));
+        }
+        let phase_sink = profiler.as_ref().and_then(|_| telemetry_sink.clone());
 
         // The session's root span: batches shipped on the shipper thread
         // parent to it via its SpanCtx, so the flight recorder sees one
@@ -368,6 +420,11 @@ impl Tracer {
                 sink: alert_sink.clone(),
                 channel_capacity: (config.batch() * 64).max(1) as f64,
             });
+            let profile_tap = profiler.as_ref().map(|miner| ProfileTap {
+                miner: Arc::clone(miner),
+                sink: phase_sink.clone(),
+                channel_capacity: (config.batch() * 64).max(1) as f64,
+            });
             let telemetry = ConsumerTelemetry {
                 drain_batch: registry.histogram("tracer.consumer.drain_batch"),
                 parse_ns: registry.histogram("tracer.consumer.parse_ns"),
@@ -386,6 +443,7 @@ impl Tracer {
                         &spans,
                         &telemetry,
                         tap.as_ref(),
+                        profile_tap.as_ref(),
                     )
                 })
                 .expect("spawn consumer thread")
@@ -475,7 +533,9 @@ impl Tracer {
             spans,
             exporter,
             engine,
+            profiler,
             alert_sink,
+            phase_sink,
             backend: backend.clone(),
             session_span: Some(session_span),
         })
@@ -530,6 +590,14 @@ impl Tracer {
         self.engine.clone()
     }
 
+    /// The streaming DFG miner, when [`crate::TracerConfig::profile`]
+    /// enabled it — poll [`DfgMiner::snapshot`] for the graphs *during*
+    /// the trace, or keep the `Arc` across [`Tracer::stop`] for the final
+    /// (sealed) state.
+    pub fn profiler(&self) -> Option<Arc<DfgMiner>> {
+        self.profiler.clone()
+    }
+
     /// Detaches from the kernel, drains every buffered event, flushes the
     /// last batch, and returns the session summary.
     pub fn stop(mut self) -> TraceSummary {
@@ -563,6 +631,15 @@ impl Tracer {
                  the spec is satisfiable but matched nothing at runtime",
                 prog.filtered
             ));
+        }
+        // Seal the profiler first: the engine's end-of-stream pass below
+        // may raise final alerts, and their attribution should see the
+        // completed transition ring and final phase window.
+        if let Some(miner) = &self.profiler {
+            miner.finish();
+            if let Some(sink) = &self.phase_sink {
+                sink.ship_docs(miner.drain_phase_docs());
+            }
         }
         // End-of-stream diagnosis pass: seal every open window and ship
         // the final alerts before the exporter's last flush, so the
@@ -615,6 +692,7 @@ impl Tracer {
             notes,
             alerts,
             diagnosis,
+            dfg: self.profiler.as_ref().map(|m| m.snapshot()),
         }
     }
 }
@@ -637,6 +715,7 @@ fn consumer_loop(
     spans: &SpanCollector,
     telemetry: &ConsumerTelemetry,
     tap: Option<&DiagnoseTap>,
+    profile: Option<&ProfileTap>,
 ) {
     loop {
         // Sample the fill level before draining: post-drain occupancy is
@@ -660,7 +739,7 @@ fn consumer_loop(
             stamps.stamp_now(Stage::Parse);
             let pre_enqueue = stamps;
             stamps.stamp_now(Stage::BatchEnqueue);
-            if tap.is_some() {
+            if tap.is_some() || profile.is_some() {
                 tap_docs.push(doc.clone());
             }
             if tx.send(ShipItem { doc, stamps }).is_err() {
@@ -668,6 +747,18 @@ fn consumer_loop(
                 // hand-off — attribute the drop there.
                 spans.record_drop(&pre_enqueue);
                 return;
+            }
+        }
+        // The profiler observes *before* the engine: an alert raised by
+        // this very batch is attributed against a transition ring that
+        // already includes the batch's syscalls.
+        if let Some(profile) = profile {
+            if !tap_docs.is_empty() {
+                let pressure = pre_drain_pressure.max(tx.len() as f64 / profile.channel_capacity);
+                profile.miner.observe_batch_with_pressure(&tap_docs, pressure);
+                if let Some(sink) = &profile.sink {
+                    sink.ship_docs(profile.miner.drain_phase_docs());
+                }
             }
         }
         if let Some(tap) = tap {
@@ -1133,6 +1224,93 @@ mod tests {
         assert_eq!(summary.health.counters.get("diagnose.rule.every_write.suppressed"), Some(&1));
         // Shipped rules registered their counters too, without firing.
         assert_eq!(summary.health.counters.get("diagnose.rule.data_loss.fired"), Some(&0));
+    }
+
+    #[test]
+    fn profile_tap_mines_dfgs_while_the_trace_runs() {
+        use dio_profile::ProfileConfig;
+
+        let k = kernel();
+        let backend = DocStore::new();
+        let tracer = Tracer::attach(
+            TracerConfig::new("profiled").profile(ProfileConfig::default()),
+            &k,
+            backend.clone(),
+        );
+        let miner = tracer.profiler().expect("profiler present when configured");
+        let t = k.spawn_process("app").spawn_thread("app");
+        let fd = t.openat("/app.log", OpenFlags::CREAT | OpenFlags::RDWR, 0o644).unwrap();
+        for _ in 0..4 {
+            t.write(fd, b"hello").unwrap();
+        }
+        t.close(fd).unwrap();
+        let summary = tracer.stop();
+        assert_eq!(summary.events_stored, 6);
+        // The kept Arc sees the final sealed state: openat→write,
+        // write→write, write→close all mined on the consumer thread.
+        let snap = miner.snapshot();
+        assert_eq!(snap.events, 6);
+        assert_eq!(snap.transitions, 5);
+        let labels: Vec<String> = snap.global.edges.iter().map(|e| e.label()).collect();
+        assert!(labels.contains(&"write->write".to_string()), "edges: {labels:?}");
+        assert!(labels.contains(&"write->close".to_string()), "edges: {labels:?}");
+        // Miner telemetry rode the session registry into the summary.
+        assert_eq!(summary.health.counters.get("dfg.transitions"), Some(&5));
+        // No profile config → no miner.
+        let bare = Tracer::attach(TracerConfig::new("bare"), &k, DocStore::new());
+        assert!(bare.profiler().is_none());
+    }
+
+    #[test]
+    fn alerts_carry_dfg_attribution_when_profiling_is_on() {
+        use dio_diagnose::DiagnoseConfig;
+        use dio_profile::ProfileConfig;
+
+        let k = kernel();
+        let backend = DocStore::new();
+        let tracer = Tracer::attach(
+            TracerConfig::new("attributed")
+                .diagnose(DiagnoseConfig::default())
+                .profile(ProfileConfig::default()),
+            &k,
+            backend.clone(),
+        );
+        // The Fig. 2 data-loss shape: a reader resumes a recreated file
+        // from a stale offset and reads 0 bytes.
+        let writer = k.spawn_process("app").spawn_thread("app");
+        let reader = k.spawn_process("fluent-bit").spawn_thread("fluent-bit");
+        let fd = writer.openat("/log", OpenFlags::CREAT | OpenFlags::RDWR, 0o644).unwrap();
+        writer.write(fd, b"abcdefghijklmnopqrstuvwxyz").unwrap();
+        let rfd = reader.openat("/log", OpenFlags::RDONLY, 0).unwrap();
+        let mut buf = [0u8; 26];
+        reader.read(rfd, &mut buf).unwrap();
+        writer.close(fd).unwrap();
+        reader.close(rfd).unwrap();
+        writer.unlink("/log").unwrap();
+        let fd2 = writer.openat("/log", OpenFlags::CREAT | OpenFlags::RDWR, 0o644).unwrap();
+        writer.write(fd2, b"0123456789").unwrap();
+        let rfd2 = reader.openat("/log", OpenFlags::RDONLY, 0).unwrap();
+        reader.pread64(rfd2, &mut buf, 26).unwrap();
+        let summary = tracer.stop();
+
+        let loss = summary
+            .alerts
+            .iter()
+            .find(|a| a.kind == dio_diagnose::AlertKind::DataLoss)
+            .expect("data-loss alert raised");
+        let attribution = loss.attribution.as_ref().expect("alert carries attribution");
+        let edge = attribution["edge"].as_str().unwrap();
+        assert!(edge.contains("->"), "critical edge names a transition: {edge}");
+        assert!(attribution["transitions"].as_u64().unwrap() >= 1);
+        // The decoration rode the shipped alert document too.
+        let idx = backend.index("dio-telemetry-attributed");
+        let hits = idx.search(&dio_backend::SearchRequest::new(Query::term("kind", "alert")));
+        let shipped = hits
+            .hits
+            .iter()
+            .find(|h| h.source["alert_kind"] == "data_loss")
+            .expect("alert document shipped");
+        assert_eq!(shipped.source["attribution"]["edge"], json!(edge));
     }
 
     #[test]

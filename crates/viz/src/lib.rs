@@ -35,7 +35,7 @@ pub use health::{render_health_dashboard, HealthReport, HealthSnapshot, MetricPo
 pub use storage::{latest_storage_report, render_compaction_timeline, render_storage_panel};
 pub use table::{group_digits, CellFormat, Column, Table};
 pub use top::{
-    render_alert_history, render_rules_panel, render_top, render_top_snapshot, sparkline,
-    top_snapshot, TopFile, TopOptions, TopProcess, TopSnapshot,
+    render_alert_history, render_dfg_panel, render_rules_panel, render_top, render_top_snapshot,
+    sparkline, top_snapshot, TopFile, TopOptions, TopProcess, TopSnapshot,
 };
 pub use waterfall::render_latency_waterfall;

@@ -405,6 +405,65 @@ pub fn render_rules_panel(reports: &[Value]) -> String {
     out
 }
 
+/// Renders a streaming DFG snapshot as a `dio top` panel: the busiest
+/// directly-follows edges of the global graph with their latency and
+/// inter-arrival percentiles.
+///
+/// `snapshot` is the miner's serialized [`DfgSnapshot`] (the same JSON
+/// `/api/dfg` serves), passed as a [`Value`] so the renderer needs no
+/// `dio-profile` dependency.
+///
+/// [`DfgSnapshot`]: https://docs.rs/dio-profile
+pub fn render_dfg_panel(snapshot: &Value) -> String {
+    let transitions = snapshot["transitions"].as_u64().unwrap_or(0);
+    let shifts = snapshot["phase_shifts"].as_u64().unwrap_or(0);
+    let mut out = format!("### DFG ({transitions} transitions, {shifts} phase shifts)\n");
+    let edges = snapshot["global"]["edges"].as_array().cloned().unwrap_or_default();
+    if edges.is_empty() {
+        out.push_str("no transitions mined\n");
+        return out;
+    }
+    let mut rows: Vec<&Value> = edges.iter().collect();
+    rows.sort_by_key(|e| std::cmp::Reverse(e["count"].as_u64().unwrap_or(0)));
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>10} {:>10} {:>10}\n",
+        "edge", "count", "lat p50", "lat p99", "gap p50"
+    ));
+    for edge in rows.iter().take(10) {
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>10} {:>10} {:>10}\n",
+            format!(
+                "{}->{}",
+                edge["from"].as_str().unwrap_or("?"),
+                edge["to"].as_str().unwrap_or("?")
+            ),
+            edge["count"].as_u64().unwrap_or(0),
+            format_ns_short(edge["latency"]["p50"].as_u64().unwrap_or(0)),
+            format_ns_short(edge["latency"]["p99"].as_u64().unwrap_or(0)),
+            format_ns_short(edge["gap"]["p50"].as_u64().unwrap_or(0)),
+        ));
+    }
+    let procs = snapshot["processes"].as_object().map(|m| m.len()).unwrap_or(0);
+    let tags = snapshot["tags"].as_object().map(|m| m.len()).unwrap_or(0);
+    out.push_str(&format!(
+        "{} edge(s) total, {} process graph(s), {} file-tag graph(s)\n",
+        edges.len(),
+        procs,
+        tags
+    ));
+    out
+}
+
+/// Compact nanosecond rendering for the DFG panel columns.
+fn format_ns_short(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.1}s", ns as f64 / 1e9),
+    }
+}
+
 /// Renders the full alert history as a panel (newest last) — the
 /// companion to the active-alerts section of [`render_top`].
 pub fn render_alert_history(alerts: &[Alert]) -> String {
@@ -455,6 +514,7 @@ mod tests {
             message: "read resumed at stale offset".to_string(),
             fields: json!({}),
             evidence: vec![],
+            attribution: None,
         }
     }
 
@@ -517,6 +577,35 @@ mod tests {
         let spike_row = out.lines().find(|l| l.starts_with("rate_spike")).unwrap();
         assert!(spike_row.contains('1') && spike_row.contains('3'), "{spike_row}");
         assert!(render_rules_panel(&[]).contains("no rule files loaded"));
+    }
+
+    #[test]
+    fn dfg_panel_lists_busiest_edges_first() {
+        let snapshot = json!({
+            "events": 12, "transitions": 9, "phase_shifts": 1,
+            "global": {
+                "nodes": [],
+                "edges": [
+                    {"from": "write", "to": "fsync", "count": 3,
+                     "latency": {"p50": 2_000_000u64, "p99": 9_000_000u64},
+                     "gap": {"p50": 500u64}},
+                    {"from": "open", "to": "write", "count": 6,
+                     "latency": {"p50": 800u64, "p99": 1_200u64},
+                     "gap": {"p50": 100u64}},
+                ],
+                "evicted_edges": 0,
+            },
+            "processes": {"writer": {"nodes": [], "edges": [], "evicted_edges": 0}},
+            "tags": {},
+        });
+        let out = render_dfg_panel(&snapshot);
+        assert!(out.contains("DFG (9 transitions, 1 phase shifts)"), "{out}");
+        let open_line = out.lines().position(|l| l.starts_with("open->write")).unwrap();
+        let fsync_line = out.lines().position(|l| l.starts_with("write->fsync")).unwrap();
+        assert!(open_line < fsync_line, "edges sorted by count:\n{out}");
+        assert!(out.contains("2.0ms"), "latency formatted:\n{out}");
+        assert!(out.contains("1 process graph(s)"), "{out}");
+        assert!(render_dfg_panel(&json!({})).contains("no transitions mined"));
     }
 
     #[test]

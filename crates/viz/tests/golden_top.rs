@@ -72,6 +72,7 @@ fn alerts() -> Vec<Alert> {
         fields: json!({}),
         evidence: vec![],
         message: "4/4 syscalls failed".to_string(),
+        attribution: None,
     }]
 }
 

@@ -337,6 +337,54 @@ fn fig2_rules_match_detector_on_traced_fixed_stream() {
     assert_eq!(validated, 1);
 }
 
+/// `attribution on` is pure decoration: the same traced stream through
+/// the engine with and without an attributor installed yields identical
+/// alert spines, fields, and messages — the block rides along on the
+/// opted-in rules without ever changing the diagnosis.
+#[test]
+fn attribution_never_changes_the_alert_spine() {
+    let docs = traced_fluentbit_stream(FluentBitVersion::V1_4_0, "attr-parity");
+
+    let run = |attribute: bool| -> Vec<Alert> {
+        let engine = DiagnosisEngine::new(DiagnoseConfig::default());
+        let set = dio_rules::compile(dio_rules::shipped::FIG2_DATA_LOSS).unwrap();
+        engine.install_detector(Box::new(set));
+        if attribute {
+            engine.set_attributor(Box::new(|alert| {
+                json!({
+                    "edge": "write->read",
+                    "transitions": 1,
+                    "subject": alert.subject,
+                })
+                .into()
+            }));
+        }
+        engine.observe_batch(&docs);
+        engine.finish();
+        engine.alerts()
+    };
+
+    let bare = run(false);
+    let attributed = run(true);
+    assert!(!bare.is_empty(), "the buggy stream must alert");
+    assert!(bare.iter().all(|a| a.attribution.is_none()));
+    assert_eq!(spine(&attributed), spine(&bare), "attribution must not change the spine");
+    for (a, b) in attributed.iter().zip(&bare) {
+        assert_eq!(a.fields, b.fields, "fields untouched by attribution");
+        assert_eq!(a.message, b.message, "message untouched by attribution");
+        assert_eq!(a.subject, b.subject);
+        assert_eq!(a.evidence.len(), b.evidence.len());
+    }
+    // The shipped data_loss rule opts in, so its alerts carry the block.
+    assert!(
+        attributed
+            .iter()
+            .filter(|a| a.fields["rule"] == "data_loss")
+            .all(|a| a.attribution.is_some()),
+        "opted-in rule alerts must be attributed: {attributed:?}"
+    );
+}
+
 /// Fig. 3-shaped stream at the engine's real scale (1 s windows,
 /// `db_bench*` clients vs `rocksdb:low*` compactions, threshold 5):
 /// calm windows build the baseline, then a contended window with

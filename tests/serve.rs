@@ -43,6 +43,7 @@ fn openmetrics_render_matches_golden_snapshot() {
     let registry = MetricsRegistry::new();
     registry.counter("tracer.events.stored").add(1234);
     registry.counter("consumer.batches").add(9);
+    registry.counter("serve.sse.missed_batches").add(2);
     registry.gauge("ring.occupancy").set(17);
     let h = registry.histogram("tracer.shipper.batch_ns");
     h.enable_exemplars();
@@ -60,6 +61,12 @@ fn openmetrics_render_matches_golden_snapshot() {
     let golden = std::fs::read_to_string(golden_path).expect("golden snapshot present");
     assert_eq!(rendered, golden, "exposition drifted from tests/golden/openmetrics.txt");
     assert_eq!(lint_openmetrics(&rendered), Vec::<String>::new(), "golden must lint clean");
+    // SSE backpressure accounting is part of the stable exposition: a
+    // slow alert-stream client shows up here, never as silent loss.
+    assert!(
+        rendered.contains("serve_sse_missed_batches_total 2"),
+        "SSE missed-batch counter must render: {rendered}"
+    );
 }
 
 // ------------------------------------ live endpoints, lint and exemplars
